@@ -1,0 +1,104 @@
+//! Criterion benchmarks of the vectorized operators (the per-chunk work that
+//! makes a query FAST or SLOW in the paper's terms).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cscan_exec::ops::collect;
+use cscan_exec::{AggFunc, ChunkOrderedAggregate, ChunkSource, Expr, Filter, HashAggregate, MemTable, Operator, Project};
+use cscan_storage::ChunkId;
+
+const ROWS: u64 = 200_000;
+const CHUNK: u64 = 20_000;
+
+fn bench_scan_select(c: &mut Criterion) {
+    let table = MemTable::lineitem_demo(ROWS, CHUNK);
+    let cols = vec![
+        table.column_index("l_shipdate").unwrap(),
+        table.column_index("l_discount").unwrap(),
+        table.column_index("l_quantity").unwrap(),
+        table.column_index("l_extendedprice").unwrap(),
+    ];
+    let mut group = c.benchmark_group("q6_like");
+    group.throughput(Throughput::Elements(ROWS));
+    group.bench_function("filter_project_sum", |b| {
+        b.iter(|| {
+            let src = ChunkSource::in_order(&table, cols.clone());
+            let filtered = Filter::new(
+                src,
+                Expr::col(0)
+                    .between(100, 500)
+                    .and(Expr::col(1).between(2, 6))
+                    .and(Expr::col(2).lt(Expr::lit(24))),
+            );
+            let projected = Project::new(filtered, vec![Expr::col(3).mul(Expr::col(1))]);
+            let mut agg = HashAggregate::new(projected, vec![], vec![AggFunc::Sum(0)]);
+            collect(&mut agg).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let table = MemTable::lineitem_demo(ROWS, CHUNK);
+    let key = table.column_index("l_orderkey").unwrap();
+    let price = table.column_index("l_extendedprice").unwrap();
+    let order: Vec<ChunkId> =
+        (0..table.num_chunks()).rev().map(ChunkId::new).collect();
+
+    let mut group = c.benchmark_group("ordered_aggregation");
+    group.throughput(Throughput::Elements(ROWS));
+    group.bench_function("hash_aggregate", |b| {
+        b.iter(|| {
+            let src = ChunkSource::new(&table, vec![key, price], order.clone());
+            let mut agg = HashAggregate::new(src, vec![0], vec![AggFunc::Sum(1), AggFunc::Count]);
+            agg.next().map(|c| c.len())
+        })
+    });
+    group.bench_function("chunk_ordered_aggregate_out_of_order", |b| {
+        b.iter(|| {
+            let src = ChunkSource::new(&table, vec![key, price], order.clone());
+            let mut agg = ChunkOrderedAggregate::new(src, 0, vec![AggFunc::Sum(1), AggFunc::Count]);
+            collect(&mut agg).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cooperative_merge_join(c: &mut Criterion) {
+    let lineitem = MemTable::lineitem_demo(ROWS, CHUNK);
+    let orders = MemTable::orders_demo(ROWS / 4, CHUNK / 4);
+    let l_cols = vec![
+        lineitem.column_index("l_orderkey").unwrap(),
+        lineitem.column_index("l_extendedprice").unwrap(),
+    ];
+    let o_cols = vec![
+        orders.column_index("o_orderkey").unwrap(),
+        orders.column_index("o_orderdate").unwrap(),
+    ];
+    let mut group = c.benchmark_group("cooperative_merge_join");
+    group.throughput(Throughput::Elements(ROWS));
+    group.bench_function("chunk_aligned_join", |b| {
+        b.iter(|| {
+            let mut join = cscan_exec::CooperativeMergeJoin::in_order(
+                &lineitem,
+                &orders,
+                l_cols.clone(),
+                0,
+                o_cols.clone(),
+                0,
+            );
+            let mut rows = 0usize;
+            while let Some(batch) = join.next() {
+                rows += batch.len();
+            }
+            rows
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scan_select, bench_aggregation, bench_cooperative_merge_join
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of end-to-end simulated runs: the cost of simulating
+//! the Table 2 style workload under each scheduling policy (this is the
+//! harness behind Tables 2/3 and Figures 5–7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cscan_core::model::TableModel;
+use cscan_core::policy::PolicyKind;
+use cscan_core::sim::{SimConfig, Simulation};
+use cscan_workload::queries::table2_classes;
+use cscan_workload::streams::{build_streams, StreamSetup};
+
+fn bench_policies(c: &mut Criterion) {
+    let model = TableModel::nsm_uniform(64, 100_000, 256);
+    let config = SimConfig::default().with_buffer_chunks(12);
+    let setup = StreamSetup { streams: 6, queries_per_stream: 3, classes: table2_classes(), seed: 5 };
+    let streams = build_streams(&setup, &model, None);
+
+    let mut group = c.benchmark_group("simulated_run");
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut sim = Simulation::new(model.clone(), policy, config);
+                sim.submit_streams(streams.clone());
+                sim.run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_executor(c: &mut Criterion) {
+    use cscan_core::threaded::ScanServer;
+    use cscan_core::{CScanPlan, ScanRanges};
+    use std::time::Duration;
+
+    let model = TableModel::nsm_uniform(32, 10_000, 16);
+    c.bench_function("threaded_full_scan_32_chunks", |b| {
+        b.iter(|| {
+            let server = ScanServer::builder(model.clone())
+                .policy(PolicyKind::Relevance)
+                .buffer_chunks(8)
+                .io_cost_per_page(Duration::ZERO)
+                .build();
+            let handle =
+                server.cscan(CScanPlan::new("bench", ScanRanges::full(32), model.all_columns()));
+            let mut n = 0;
+            while let Some(guard) = handle.next_chunk() {
+                guard.complete();
+                n += 1;
+            }
+            n
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_threaded_executor
+}
+criterion_main!(benches);

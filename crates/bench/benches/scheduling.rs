@@ -1,0 +1,29 @@
+//! Criterion microbenchmarks of the relevance scheduler itself (the
+//! machinery behind Figure 8): cost of one full scheduling decision as the
+//! number of chunks and the scan size grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cscan_bench::experiments::fig8;
+
+fn bench_scheduling_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relevance_scheduling_step");
+    for &chunks in &[128u32, 256, 512, 1024] {
+        for &percent in &[1u32, 10, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{percent}pct_scan"), chunks),
+                &(chunks, percent),
+                |b, &(chunks, percent)| {
+                    b.iter(|| fig8::measure_scheduling_step(chunks, percent, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheduling_step
+}
+criterion_main!(benches);

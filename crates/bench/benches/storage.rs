@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the storage substrate: layout geometry queries,
+//! column-set algebra, zonemap pruning and the reuse-probability formula.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cscan_core::reuse::reuse_probability;
+use cscan_core::ColSet;
+use cscan_storage::{ChunkId, ColumnId, Layout, ScanRanges, ZoneMap};
+use cscan_workload::lineitem::{lineitem_dsm_layout, lineitem_nsm_layout};
+
+fn bench_layout_geometry(c: &mut Criterion) {
+    let nsm = lineitem_nsm_layout(1);
+    let dsm = lineitem_dsm_layout(1);
+    let all_nsm = nsm.schema().all_columns();
+    let some_dsm = dsm.schema().resolve(&["l_shipdate", "l_quantity", "l_extendedprice"]);
+
+    c.bench_function("nsm_chunk_pages_full_table", |b| {
+        b.iter(|| {
+            (0..nsm.num_chunks())
+                .map(|i| nsm.chunk_pages(ChunkId::new(i), &all_nsm))
+                .sum::<u64>()
+        })
+    });
+    c.bench_function("dsm_chunk_regions_3_columns_full_table", |b| {
+        b.iter(|| {
+            (0..dsm.num_chunks())
+                .map(|i| dsm.chunk_regions(ChunkId::new(i), &some_dsm).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_colset_and_ranges(c: &mut Criterion) {
+    let a = ColSet::first_n(32);
+    let b_set = ColSet::from_columns((16..48).map(ColumnId::new));
+    c.bench_function("colset_algebra", |bench| {
+        bench.iter(|| {
+            let u = a.union(b_set);
+            let i = a.intersect(b_set);
+            let d = a.difference(b_set);
+            u.len() + i.len() + d.len()
+        })
+    });
+
+    let ranges = ScanRanges::from_chunk_indices((0..4096).filter(|i| i % 3 != 0));
+    let other = ScanRanges::single(1000, 3000);
+    c.bench_function("scan_ranges_overlap_4096_chunks", |bench| {
+        bench.iter(|| ranges.overlap(&other))
+    });
+}
+
+fn bench_zonemap_and_reuse(c: &mut Criterion) {
+    let zm = ZoneMap::build(
+        ColumnId::new(0),
+        (0..2048).map(|chunk| (0..16).map(move |i| (chunk * 100 + i * 7) as i64)),
+    );
+    c.bench_function("zonemap_matching_ranges_2048_chunks", |b| {
+        b.iter(|| zm.matching_ranges(50_000, 90_000).num_chunks())
+    });
+    c.bench_function("reuse_probability_eq1", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cq in 1..=100u64 {
+                acc += reuse_probability(100, cq, 10);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_layout_geometry, bench_colset_and_ranges, bench_zonemap_and_reuse
+}
+criterion_main!(benches);

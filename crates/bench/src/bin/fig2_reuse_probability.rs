@@ -1,0 +1,40 @@
+//! Reproduces Figure 2: probability of finding a useful chunk in a
+//! randomly-filled buffer pool (Equation 1 of the paper).
+
+use cscan_bench::experiments::fig2;
+use cscan_bench::report::TextTable;
+
+fn main() {
+    let result = fig2::run(42);
+
+    println!("Figure 2 — probability of finding a useful chunk (table of {} chunks)\n", fig2::TABLE_CHUNKS);
+    let mut header: Vec<String> = vec!["chunks needed".to_string()];
+    header.extend(fig2::BUFFER_PERCENTS.iter().map(|b| format!("{b}% buffered")));
+    let mut table = TextTable::new(header);
+    for cq in [1u64, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let mut row = vec![cq.to_string()];
+        for curve in &result.curves {
+            let p = curve.points.iter().find(|(d, _)| *d == cq).map(|(_, p)| *p).unwrap_or(0.0);
+            row.push(format!("{p:.3}"));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    println!("Monte-Carlo cross-check (30 000 trials per point):");
+    let mut check = TextTable::new(["buffer", "demand", "analytic", "monte-carlo", "abs diff"]);
+    for (cb, cq, exact, mc) in &result.cross_checks {
+        check.row([
+            format!("{cb}%"),
+            cq.to_string(),
+            format!("{exact:.4}"),
+            format!("{mc:.4}"),
+            format!("{:.4}", (exact - mc).abs()),
+        ]);
+    }
+    println!("{}", check.render());
+    println!(
+        "Paper check: a 10% scan against a 10% buffer finds useful data with p = {:.2} (paper: \"over 50%\").",
+        cscan_core::reuse::reuse_probability(100, 10, 10)
+    );
+}

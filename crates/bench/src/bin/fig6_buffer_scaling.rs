@@ -1,0 +1,46 @@
+//! Reproduces Figure 6: number of I/O requests, system time and average
+//! normalized latency as the buffer pool capacity is swept from 12.5 % to
+//! 100 % of the table size, for a CPU-intensive and an I/O-intensive query
+//! set.
+
+use cscan_bench::experiments::fig6;
+use cscan_bench::report::{f2, TextTable};
+use cscan_bench::Scale;
+use cscan_core::policy::PolicyKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 6 — behaviour under varying buffer capacity ({scale:?} scale)\n");
+    let points = fig6::run(scale, 42);
+
+    for set in [fig6::QuerySet::CpuIntensive, fig6::QuerySet::IoIntensive] {
+        println!("=== {} query set ===\n", set.name());
+        for (title, value) in [
+            ("Number of I/O requests", 0usize),
+            ("System time (s)", 1),
+            ("Average normalized latency", 2),
+        ] {
+            let mut table = TextTable::new(["buffer %", "normal", "attach", "elevator", "relevance"]);
+            for &fraction in &fig6::BUFFER_FRACTIONS {
+                let mut row = vec![format!("{:.1}%", fraction * 100.0)];
+                for policy in PolicyKind::ALL {
+                    let p = points
+                        .iter()
+                        .find(|p| {
+                            p.set == set
+                                && (p.buffer_fraction - fraction).abs() < 1e-9
+                                && p.policy == policy
+                        })
+                        .expect("missing point");
+                    row.push(match value {
+                        0 => p.io_requests.to_string(),
+                        1 => f2(p.system_time),
+                        _ => f2(p.avg_normalized_latency),
+                    });
+                }
+                table.row(row);
+            }
+            println!("{title}\n{}", table.render());
+        }
+    }
+}

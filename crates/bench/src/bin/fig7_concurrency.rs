@@ -1,0 +1,31 @@
+//! Reproduces Figure 7: average query latency for 1–32 concurrent queries
+//! scanning 5 %, 20 % or 50 % of the relation.
+
+use cscan_bench::experiments::fig7;
+use cscan_bench::report::{f2, TextTable};
+use cscan_bench::Scale;
+use cscan_core::policy::PolicyKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let limit = if scale == Scale::Quick { Some(16) } else { None };
+    println!("Figure 7 — latency vs. number of concurrent queries ({scale:?} scale)\n");
+    let points = fig7::run(scale, 42, limit);
+
+    for &percent in &fig7::PERCENTS {
+        let mut table =
+            TextTable::new(["queries", "normal", "attach", "elevator", "relevance"]);
+        for &n in fig7::CONCURRENCY.iter().filter(|&&n| points.iter().any(|p| p.queries == n)) {
+            let mut row = vec![n.to_string()];
+            for policy in PolicyKind::ALL {
+                let p = points
+                    .iter()
+                    .find(|p| p.percent == percent && p.queries == n && p.policy == policy)
+                    .expect("missing point");
+                row.push(f2(p.avg_latency));
+            }
+            table.row(row);
+        }
+        println!("{percent}% scans — average query latency (s)\n{}", table.render());
+    }
+}

@@ -1,0 +1,64 @@
+//! Reproduces Table 2: row-storage (NSM/PAX) comparison of the four
+//! scheduling policies under 16 streams of 4 random FAST/SLOW queries.
+//!
+//! Run with `--paper` for the full TPC-H SF-10 setup or `--quick` (default)
+//! for a scaled-down version.
+
+use cscan_bench::experiments::table2;
+use cscan_bench::report::{f2, pct, TextTable};
+use cscan_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 2 — NSM/PAX policy comparison ({scale:?} scale)\n");
+    let result = table2::run(scale, 42);
+    let cmp = &result.comparison;
+
+    let mut system = TextTable::new([
+        "policy",
+        "avg stream time (s)",
+        "avg norm. latency",
+        "total time (s)",
+        "CPU use",
+        "I/O requests",
+    ]);
+    for row in &cmp.rows {
+        system.row([
+            row.policy.name().to_string(),
+            f2(row.avg_stream_time),
+            f2(row.avg_normalized_latency),
+            f2(row.total_time),
+            pct(row.cpu_use),
+            row.io_requests.to_string(),
+        ]);
+    }
+    println!("System statistics\n{}", system.render());
+
+    println!("Query statistics (per query class)");
+    for row in &cmp.rows {
+        let mut per_class = TextTable::new([
+            "class",
+            "count",
+            "standalone (s)",
+            "avg latency (s)",
+            "stddev",
+            "norm. latency",
+            "I/Os",
+        ]);
+        let ios = row.result.ios_by_label();
+        for (label, summary) in row.result.latency_by_label() {
+            let base = result.base_times.get(&label).copied().unwrap_or(0.0);
+            let io = ios.iter().find(|(l, _)| *l == label).map(|(_, n)| *n).unwrap_or(0);
+            per_class.row([
+                label.clone(),
+                summary.count().to_string(),
+                f2(base),
+                f2(summary.mean()),
+                f2(summary.stddev()),
+                f2(if base > 0.0 { summary.mean() / base } else { 0.0 }),
+                io.to_string(),
+            ]);
+        }
+        println!("\n[{}]\n{}", row.policy.name(), per_class.render());
+    }
+}

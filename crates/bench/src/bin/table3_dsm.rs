@@ -1,0 +1,49 @@
+//! Reproduces Table 3: column-storage (DSM) comparison of the four
+//! scheduling policies (TPC-H SF-40, 1.5 GB buffer, faster SLOW query).
+
+use cscan_bench::experiments::table3;
+use cscan_bench::report::{f2, pct, TextTable};
+use cscan_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 3 — DSM policy comparison ({scale:?} scale)\n");
+    let result = table3::run(scale, 42);
+    let cmp = &result.comparison;
+
+    let mut system = TextTable::new([
+        "policy",
+        "avg stream time (s)",
+        "avg norm. latency",
+        "total time (s)",
+        "CPU use",
+        "I/O requests",
+    ]);
+    for row in &cmp.rows {
+        system.row([
+            row.policy.name().to_string(),
+            f2(row.avg_stream_time),
+            f2(row.avg_normalized_latency),
+            f2(row.total_time),
+            pct(row.cpu_use),
+            row.io_requests.to_string(),
+        ]);
+    }
+    println!("System statistics\n{}", system.render());
+
+    println!("Per-class average latency (seconds)");
+    let mut per_class = TextTable::new(["class", "cold (s)", "normal", "attach", "elevator", "relevance"]);
+    let labels: Vec<String> = {
+        let mut l: Vec<String> = result.base_times.keys().cloned().collect();
+        l.sort();
+        l
+    };
+    for label in labels {
+        let mut cells = vec![label.clone(), f2(result.base_times[&label])];
+        for row in &cmp.rows {
+            cells.push(f2(row.result.avg_latency_for(&label).unwrap_or(0.0)));
+        }
+        per_class.row(cells);
+    }
+    println!("{}", per_class.render());
+}

@@ -1,0 +1,42 @@
+//! Reproduces Table 4: the DSM column-overlap study on a synthetic
+//! 10-attribute table, comparing `normal` and `relevance` as the queries'
+//! column windows go from fully overlapping to disjoint.
+
+use cscan_bench::experiments::table4;
+use cscan_bench::report::{f2, TextTable};
+use cscan_bench::Scale;
+use cscan_core::policy::PolicyKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 4 — DSM column-overlap experiment ({scale:?} scale)\n");
+    let result = table4::run(scale, 42);
+
+    let mut table = TextTable::new([
+        "queries (columns used)",
+        "normal I/Os",
+        "normal avg lat (s)",
+        "normal stddev",
+        "relevance I/Os",
+        "relevance avg lat (s)",
+        "relevance stddev",
+    ]);
+    for (set, _) in cscan_workload::synthetic::table4_query_sets() {
+        let n = result.cell(&set, PolicyKind::Normal);
+        let r = result.cell(&set, PolicyKind::Relevance);
+        table.row([
+            set.clone(),
+            n.io_requests.to_string(),
+            f2(n.latency.mean()),
+            f2(n.latency.stddev()),
+            r.io_requests.to_string(),
+            f2(r.latency.mean()),
+            f2(r.latency.stddev()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: relevance's benefit shrinks as the column overlap between\n\
+         concurrent queries decreases, but it keeps beating normal throughout."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 2: probability of finding a useful chunk in a randomly-filled
+//! buffer pool (Equation 1), for buffer sizes of 1–50 % of the relation.
+
+use cscan_core::reuse::{
+    figure2_curves, reuse_probability, reuse_probability_monte_carlo, ReuseCurve,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The buffer sizes (as a percentage of the 100-chunk relation) plotted in
+/// Figure 2 of the paper.
+pub const BUFFER_PERCENTS: [u64; 5] = [1, 5, 10, 20, 50];
+
+/// The table size, in chunks, used by the figure.
+pub const TABLE_CHUNKS: u64 = 100;
+
+/// The analytic curves plus a Monte-Carlo cross-check at a few sample points.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// One curve per buffer size, exactly as plotted in the paper.
+    pub curves: Vec<ReuseCurve>,
+    /// `(buffer_chunks, demand_chunks, analytic, monte_carlo)` check points.
+    pub cross_checks: Vec<(u64, u64, f64, f64)>,
+}
+
+/// Computes the Figure 2 data.
+pub fn run(seed: u64) -> Fig2Result {
+    let curves = figure2_curves(TABLE_CHUNKS, &BUFFER_PERCENTS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cross_checks = Vec::new();
+    for &cb in &BUFFER_PERCENTS {
+        for cq in [5u64, 10, 30] {
+            let exact = reuse_probability(TABLE_CHUNKS, cq, cb);
+            let mc = reuse_probability_monte_carlo(&mut rng, TABLE_CHUNKS, cq, cb, 30_000);
+            cross_checks.push((cb, cq, exact, mc));
+        }
+    }
+    Fig2Result { curves, cross_checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_match_paper_shape() {
+        let r = run(1);
+        assert_eq!(r.curves.len(), 5);
+        // The paper's headline point: >50% reuse probability for a 10% scan
+        // with a 10% buffer.
+        let ten_pct = r.curves.iter().find(|c| c.buffer_chunks == 10).unwrap();
+        let p_at_10 = ten_pct.points.iter().find(|(cq, _)| *cq == 10).unwrap().1;
+        assert!(p_at_10 > 0.5 && p_at_10 < 0.8, "got {p_at_10}");
+        // The 50% buffer curve saturates very quickly.
+        let fifty = r.curves.iter().find(|c| c.buffer_chunks == 50).unwrap();
+        assert!(fifty.points[9].1 > 0.99, "10-chunk demand against a 50% buffer is near certain");
+        // The 1% buffer curve grows roughly linearly with demand.
+        let one = r.curves.iter().find(|c| c.buffer_chunks == 1).unwrap();
+        assert!((one.points[49].1 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn monte_carlo_validates_the_formula() {
+        let r = run(7);
+        for (cb, cq, exact, mc) in r.cross_checks {
+            assert!((exact - mc).abs() < 0.02, "cb={cb} cq={cq}: exact={exact} mc={mc}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 7: average query latency under a varying number of concurrent
+//! queries (1–32) reading 5 %, 20 % or 50 % of the relation.
+
+use crate::harness::Scale;
+use cscan_core::model::TableModel;
+use cscan_core::policy::PolicyKind;
+use cscan_core::sim::{SimConfig, Simulation};
+use cscan_workload::lineitem::lineitem_nsm_model;
+use cscan_workload::queries::QueryClass;
+use cscan_workload::streams::uniform_streams;
+
+/// One measurement of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig7Point {
+    /// Scan size in percent of the table (5, 20 or 50).
+    pub percent: u32,
+    /// Number of concurrent single-query streams.
+    pub queries: usize,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Average query latency in seconds.
+    pub avg_latency: f64,
+}
+
+/// The concurrency levels swept.
+pub const CONCURRENCY: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The scan sizes swept (percent of the table).
+pub const PERCENTS: [u32; 3] = [5, 20, 50];
+
+/// The table and buffer used (SF-10 with a 1 GB buffer in the paper).  The
+/// stream stagger is short so that all `n` queries genuinely overlap.
+pub fn setup(scale: Scale) -> (TableModel, SimConfig) {
+    let model = lineitem_nsm_model(scale.nsm_scale_factor());
+    let config = SimConfig::default()
+        .with_buffer_chunks(scale.nsm_buffer_chunks())
+        .with_stagger(cscan_simdisk::SimDuration::from_millis(500));
+    (model, config)
+}
+
+/// Runs the Figure 7 sweep.  `concurrency_limit` truncates the sweep for
+/// quick runs.
+pub fn run(scale: Scale, seed: u64, concurrency_limit: Option<usize>) -> Vec<Fig7Point> {
+    let (model, config) = setup(scale);
+    let mut points = Vec::new();
+    for &percent in &PERCENTS {
+        for &n in CONCURRENCY.iter().filter(|&&n| n <= concurrency_limit.unwrap_or(usize::MAX)) {
+            let class = QueryClass::fast(percent);
+            let streams = uniform_streams(class, n, &model, None, seed + n as u64);
+            for policy in PolicyKind::ALL {
+                let mut sim = Simulation::new(model.clone(), policy, config);
+                sim.submit_streams(streams.clone());
+                let result = sim.run();
+                points.push(Fig7Point {
+                    percent,
+                    queries: n,
+                    policy,
+                    avg_latency: result.avg_latency(),
+                });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(points: &[Fig7Point], percent: u32, n: usize, policy: PolicyKind) -> f64 {
+        points
+            .iter()
+            .find(|p| p.percent == percent && p.queries == n && p.policy == policy)
+            .expect("missing point")
+            .avg_latency
+    }
+
+    #[test]
+    fn relevance_gains_grow_with_concurrency() {
+        let points = run(Scale::Quick, 23, Some(8));
+        // With a single query all policies are (nearly) identical.
+        for percent in PERCENTS {
+            let rel = find(&points, percent, 1, PolicyKind::Relevance);
+            let norm = find(&points, percent, 1, PolicyKind::Normal);
+            assert!(
+                (rel - norm).abs() / norm.max(1e-9) < 0.15,
+                "single-query latencies should roughly agree: {rel} vs {norm}"
+            );
+        }
+        // At 8 concurrent 50% scans, relevance is clearly better than normal,
+        // and the advantage at 8 queries exceeds the advantage at 2.
+        let rel8 = find(&points, 50, 8, PolicyKind::Relevance);
+        let norm8 = find(&points, 50, 8, PolicyKind::Normal);
+        assert!(rel8 < norm8, "relevance {rel8} vs normal {norm8}");
+        let ratio2 = find(&points, 50, 2, PolicyKind::Normal)
+            / find(&points, 50, 2, PolicyKind::Relevance).max(1e-9);
+        let ratio8 = norm8 / rel8.max(1e-9);
+        assert!(
+            ratio8 >= ratio2 * 0.9,
+            "the advantage should grow (or at least not collapse): {ratio2} -> {ratio8}"
+        );
+        // Without sharing, latency can only grow with concurrency; the
+        // cooperative policies are allowed to beat their standalone time
+        // because later queries reuse buffered chunks.
+        let one = find(&points, 50, 1, PolicyKind::Normal);
+        let eight = find(&points, 50, 8, PolicyKind::Normal);
+        assert!(eight >= one * 0.9, "normal: {one} -> {eight}");
+    }
+}

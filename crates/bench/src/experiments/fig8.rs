@@ -1,0 +1,175 @@
+//! Figure 8: cost of relevance-based scheduling.
+//!
+//! The relevance policy's `loadRelevance` must consider every (chunk, query)
+//! pair, so its cost grows super-linearly as chunks shrink.  This experiment
+//! measures the *actual wall-clock* cost of one full scheduling step
+//! (`chooseQueryToProcess` + `chooseChunkToLoad` + victim selection) of this
+//! implementation, for a 2 GB relation divided into 128–2048 chunks and
+//! queries scanning 1 %, 10 % or 100 % of it, and reports the overhead as a
+//! fraction of the (simulated) execution time of the same workload.
+
+use cscan_core::abm::{Abm, AbmState};
+use cscan_core::model::TableModel;
+use cscan_core::policy::{PolicyKind, RelevancePolicy};
+use cscan_core::sim::{QuerySpec, SimConfig, Simulation};
+use cscan_core::ScanRanges;
+use cscan_simdisk::SimTime;
+use std::time::Instant;
+
+/// One measurement of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig8Point {
+    /// Number of chunks the 2 GB relation is divided into.
+    pub num_chunks: u32,
+    /// Scan size in percent.
+    pub percent: u32,
+    /// Average wall-clock time of one scheduling step, in milliseconds.
+    pub scheduling_ms: f64,
+    /// Scheduling overhead as a fraction of the workload's execution time.
+    pub fraction_of_execution: f64,
+}
+
+/// The chunk counts swept (chunk size = 2 GB / count).
+pub const CHUNK_COUNTS: [u32; 5] = [128, 256, 512, 1024, 2048];
+
+/// The scan percentages swept.
+pub const PERCENTS: [u32; 3] = [1, 10, 100];
+
+/// Total relation size modelled (2 GB, as in the paper).
+pub const TABLE_BYTES: u64 = 2 * 1024 * 1024 * 1024;
+
+/// Number of concurrent queries (16 streams in the paper).
+pub const QUERIES: usize = 16;
+
+fn model_for(num_chunks: u32) -> TableModel {
+    let pages_per_chunk = (TABLE_BYTES / num_chunks as u64) / cscan_storage::DEFAULT_PAGE_SIZE;
+    TableModel::nsm_uniform(num_chunks, 2_000_000_000 / 72 / num_chunks as u64, pages_per_chunk)
+}
+
+/// Builds an ABM with 16 registered queries of the given scan size and a
+/// quarter-table buffer, to exercise realistic state.
+fn build_abm(num_chunks: u32, percent: u32, seed: u64) -> Abm {
+    let model = model_for(num_chunks);
+    let capacity = model.total_pages(model.all_columns()) / 4;
+    let all_columns = model.all_columns();
+    let state = AbmState::new(model, capacity.max(1));
+    let mut abm = Abm::new(state, PolicyKind::Relevance.build());
+    let len = ((num_chunks as u64 * percent as u64).div_ceil(100)).max(1) as u32;
+    let mut pos = seed as u32 % num_chunks;
+    for q in 0..QUERIES {
+        let start = pos % num_chunks.saturating_sub(len).max(1);
+        abm.register_query(
+            format!("q{q}"),
+            ScanRanges::single(start, (start + len).min(num_chunks)),
+            all_columns,
+            SimTime::ZERO,
+        );
+        pos = pos.wrapping_mul(7).wrapping_add(13);
+    }
+    abm
+}
+
+/// Measures the average wall-clock cost of one relevance scheduling step.
+pub fn measure_scheduling_step(num_chunks: u32, percent: u32, iterations: u32) -> f64 {
+    let mut abm = build_abm(num_chunks, percent, 11);
+    // Pre-load a handful of chunks so the use/keep relevance paths have
+    // buffered state to look at, while keeping (almost) every query starved —
+    // the regime in which the scheduler actually runs.
+    let mut loaded = 0;
+    while loaded < 4 {
+        match abm.plan_load(SimTime::ZERO) {
+            Some(_) => {
+                abm.complete_load();
+                loaded += 1;
+            }
+            None => break,
+        }
+    }
+    let mut policy = RelevancePolicy::new();
+    use cscan_core::policy::Policy as _;
+    let start = Instant::now();
+    let mut decisions = 0u32;
+    for _ in 0..iterations {
+        // One full scheduling step: pick a query & chunk to load, pick the
+        // chunk a query should consume, pick a victim.
+        if let Some(decision) = policy.next_load(abm.state(), SimTime::ZERO) {
+            std::hint::black_box(&decision);
+            let _ = std::hint::black_box(policy.choose_victim(abm.state(), &decision));
+            let _ = std::hint::black_box(policy.next_chunk(decision.trigger, abm.state()));
+        }
+        decisions += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    elapsed * 1000.0 / decisions.max(1) as f64
+}
+
+/// Estimates the execution time of the corresponding workload (virtual time
+/// from the simulator) so the overhead can be expressed as a fraction.
+fn execution_time(num_chunks: u32, percent: u32, seed: u64) -> (f64, u64) {
+    let model = model_for(num_chunks);
+    let config = SimConfig::default().with_buffer_fraction(0.25);
+    let mut sim = Simulation::new(model.clone(), PolicyKind::Relevance, config);
+    let len = ((num_chunks as u64 * percent as u64).div_ceil(100)).max(1) as u32;
+    for q in 0..QUERIES as u32 {
+        let start = (seed as u32 + q * 37) % num_chunks.saturating_sub(len).max(1);
+        sim.submit_stream(vec![QuerySpec::range_scan(
+            format!("scan-{percent}"),
+            ScanRanges::single(start, (start + len).min(num_chunks)),
+            8_000_000.0,
+        )]);
+    }
+    let result = sim.run();
+    (result.total_time.as_secs_f64(), result.io_requests)
+}
+
+/// Runs the Figure 8 sweep.  `iterations` controls the measurement effort per
+/// point (a few hundred is plenty in release builds).
+pub fn run(iterations: u32) -> Vec<Fig8Point> {
+    let mut points = Vec::new();
+    for &num_chunks in &CHUNK_COUNTS {
+        for &percent in &PERCENTS {
+            let scheduling_ms = measure_scheduling_step(num_chunks, percent, iterations);
+            let (exec_secs, ios) = execution_time(num_chunks, percent, 3);
+            // Each I/O requires one scheduling step.
+            let total_scheduling_secs = scheduling_ms / 1000.0 * ios as f64;
+            let fraction = if exec_secs > 0.0 { total_scheduling_secs / exec_secs } else { 0.0 };
+            points.push(Fig8Point {
+                num_chunks,
+                percent,
+                scheduling_ms,
+                fraction_of_execution: fraction,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_cost_grows_with_chunk_count() {
+        // Only two chunk counts and few iterations to keep the test quick
+        // (and debug builds are slow); the full sweep runs in the binary.
+        let small = measure_scheduling_step(128, 10, 30);
+        let large = measure_scheduling_step(1024, 10, 30);
+        assert!(small >= 0.0 && large >= 0.0);
+        assert!(
+            large > small,
+            "more chunks must cost more scheduling time: {small} ms vs {large} ms"
+        );
+    }
+
+    #[test]
+    fn overhead_fraction_is_small() {
+        let (exec, ios) = execution_time(256, 10, 3);
+        assert!(exec > 0.0);
+        assert!(ios > 0);
+        let ms = measure_scheduling_step(256, 10, 20);
+        let fraction = ms / 1000.0 * ios as f64 / exec;
+        // The paper's bound: worst case below 1% of execution time — allow a
+        // bit more in unoptimized debug builds.
+        assert!(fraction < 0.05, "scheduling overhead fraction {fraction}");
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per table / figure of the paper's evaluation section.
+//!
+//! | module   | reproduces |
+//! |----------|------------|
+//! | [`fig2`]   | Figure 2 — buffer-reuse probability (Eq. 1) |
+//! | [`table2`] | Table 2 — NSM/PAX policy comparison, 16×4 query streams |
+//! | [`fig4`]   | Figure 4 — chunk-access-over-time traces per policy |
+//! | [`fig5`]   | Figure 5 — throughput/latency scatter over 15 query mixes |
+//! | [`fig6`]   | Figure 6 — sweep over buffer-pool capacity |
+//! | [`fig7`]   | Figure 7 — sweep over the number of concurrent queries |
+//! | [`fig8`]   | Figure 8 — scheduling cost of the relevance policy |
+//! | [`table3`] | Table 3 — DSM policy comparison |
+//! | [`table4`] | Table 4 — DSM column-overlap study |
+//!
+//! Table 1 of the paper is published TPC-H price/performance data (used as
+//! motivation), not an experiment, and is therefore only discussed in
+//! `EXPERIMENTS.md`.
+
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table2;
+pub mod table3;
+pub mod table4;

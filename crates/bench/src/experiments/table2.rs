@@ -1,0 +1,102 @@
+//! Table 2: row-storage (NSM/PAX) policy comparison.
+//!
+//! 16 streams of 4 queries drawn from FAST/SLOW × {1, 10, 50, 100} %, TPC-H
+//! SF-10 `lineitem`, 16 MB chunks, a 1 GB (64-chunk) buffer pool and a 3 s
+//! stream stagger.  Reported per policy: average stream time, average
+//! normalized latency, total time, CPU use and the number of I/O requests,
+//! plus per-query-class latency and I/O breakdowns.
+
+use crate::harness::{base_times, compare_policies, PolicyComparison, Scale};
+use cscan_core::model::TableModel;
+use cscan_core::sim::SimConfig;
+use cscan_workload::lineitem::lineitem_nsm_model;
+use cscan_workload::queries::table2_classes;
+use cscan_workload::streams::{build_streams, StreamSetup};
+use std::collections::HashMap;
+
+/// The Table 2 experiment output.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// Per-policy summary and per-query detail.
+    pub comparison: PolicyComparison,
+    /// Standalone cold times per query class label.
+    pub base_times: HashMap<String, f64>,
+    /// The model the experiment ran against.
+    pub model: TableModel,
+}
+
+/// The simulation configuration used by Table 2 at the given scale.
+pub fn config(scale: Scale) -> SimConfig {
+    SimConfig::default()
+        .with_buffer_chunks(scale.nsm_buffer_chunks())
+        .with_stagger(scale.stagger())
+}
+
+/// Runs the Table 2 experiment.
+pub fn run(scale: Scale, seed: u64) -> Table2Result {
+    let model = lineitem_nsm_model(scale.nsm_scale_factor());
+    let config = config(scale);
+    let setup = StreamSetup {
+        streams: scale.streams(),
+        queries_per_stream: scale.queries_per_stream(),
+        classes: table2_classes(),
+        seed,
+    };
+    let streams = build_streams(&setup, &model, None);
+    let base = base_times(&model, &table2_classes(), config);
+    let comparison = compare_policies(&model, &streams, config, &base);
+    Table2Result { comparison, base_times: base, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscan_core::policy::PolicyKind;
+
+    #[test]
+    fn quick_scale_reproduces_the_paper_ordering() {
+        let r = run(Scale::Quick, 42);
+        let cmp = &r.comparison;
+        let normal = cmp.row(PolicyKind::Normal);
+        let attach = cmp.row(PolicyKind::Attach);
+        let elevator = cmp.row(PolicyKind::Elevator);
+        let relevance = cmp.row(PolicyKind::Relevance);
+
+        // Headline result: relevance wins on both axes (a few percent of
+        // slack is allowed at this reduced scale).
+        assert!(
+            relevance.avg_stream_time <= attach.avg_stream_time * 1.05,
+            "relevance {} vs attach {}",
+            relevance.avg_stream_time,
+            attach.avg_stream_time
+        );
+        assert!(
+            relevance.avg_stream_time < normal.avg_stream_time,
+            "relevance {} vs normal {}",
+            relevance.avg_stream_time,
+            normal.avg_stream_time
+        );
+        assert!(
+            relevance.avg_normalized_latency < normal.avg_normalized_latency,
+            "relevance {} vs normal {}",
+            relevance.avg_normalized_latency,
+            normal.avg_normalized_latency
+        );
+        assert!(
+            relevance.avg_normalized_latency < elevator.avg_normalized_latency,
+            "elevator's blocking must show up as poor latency: relevance {} vs elevator {}",
+            relevance.avg_normalized_latency,
+            elevator.avg_normalized_latency
+        );
+        // Normal issues the most I/O; the sharing policies need fewer reads.
+        assert!(normal.io_requests as f64 >= attach.io_requests as f64 * 0.95);
+        assert!(normal.io_requests > relevance.io_requests);
+        // Elevator keeps the number of I/O requests low (its whole point).
+        assert!(elevator.io_requests as f64 <= attach.io_requests as f64 * 1.05);
+        // Sanity: every policy processed the full workload.
+        let expected = Scale::Quick.streams() * Scale::Quick.queries_per_stream();
+        for row in &cmp.rows {
+            assert_eq!(row.result.queries.len(), expected, "{:?}", row.policy);
+        }
+    }
+}

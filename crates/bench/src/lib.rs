@@ -1,0 +1,22 @@
+//! Experiment harness for the Cooperative Scans reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a module
+//! under [`experiments`] that builds the corresponding workload, runs it
+//! through the deterministic simulation for each scheduling policy and
+//! returns structured results; the `src/bin/*` binaries print them in a
+//! layout mirroring the paper, and `EXPERIMENTS.md` records paper-vs-measured
+//! numbers.
+//!
+//! Most experiments accept an [`Scale`]: `Quick` shrinks the data
+//! and stream counts so the whole suite runs in seconds (used by the
+//! integration tests), `Paper` uses the paper's sizes (TPC-H SF-10/SF-40,
+//! 16 streams of 4 queries).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{base_times, compare_policies, PolicyComparison, PolicyRow, Scale};
+pub use report::TextTable;

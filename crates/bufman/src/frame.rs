@@ -1,0 +1,173 @@
+//! Buffer frames and page identity.
+
+use cscan_storage::PageId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a page in the buffer pool: which table object and which page
+/// within it.  (A table id is enough here; the reproduction never buffers
+/// index pages separately.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageKey {
+    /// Identifier of the table (or clustered-table group) the page belongs to.
+    pub table: u32,
+    /// Page number within the table's storage area.
+    pub page: PageId,
+}
+
+impl PageKey {
+    /// Creates a page key.
+    pub fn new(table: u32, page: u64) -> Self {
+        Self { table, page: PageId::new(page) }
+    }
+}
+
+impl fmt::Display for PageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}:{}", self.table, self.page.index())
+    }
+}
+
+/// Index of a frame slot inside the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FrameId(pub usize);
+
+/// A buffer frame: one page-sized slot of the pool.
+///
+/// The reproduction does not store actual page bytes in the frame (the data
+/// content is irrelevant for I/O scheduling); a frame tracks *which* page it
+/// holds, its pin count and its dirty flag.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Frame {
+    key: Option<PageKey>,
+    pin_count: u32,
+    dirty: bool,
+}
+
+impl Frame {
+    /// Creates an empty frame.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The page currently held, if any.
+    pub fn key(&self) -> Option<PageKey> {
+        self.key
+    }
+
+    /// True if the frame holds no page.
+    pub fn is_free(&self) -> bool {
+        self.key.is_none()
+    }
+
+    /// Current pin count.
+    pub fn pin_count(&self) -> u32 {
+        self.pin_count
+    }
+
+    /// True if the frame is pinned by at least one user.
+    pub fn is_pinned(&self) -> bool {
+        self.pin_count > 0
+    }
+
+    /// True if the page was modified since it was loaded.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Installs a page into the frame, resetting pin count and dirty flag.
+    pub fn install(&mut self, key: PageKey) {
+        self.key = Some(key);
+        self.pin_count = 0;
+        self.dirty = false;
+    }
+
+    /// Removes the page from the frame.
+    ///
+    /// # Panics
+    /// Panics if the frame is pinned — evicting a pinned page is a logic error.
+    pub fn evict(&mut self) -> Option<PageKey> {
+        assert!(self.pin_count == 0, "cannot evict a pinned frame");
+        self.dirty = false;
+        self.key.take()
+    }
+
+    /// Increments the pin count.
+    pub fn pin(&mut self) {
+        debug_assert!(self.key.is_some(), "pinning an empty frame");
+        self.pin_count += 1;
+    }
+
+    /// Decrements the pin count, optionally marking the page dirty.
+    ///
+    /// # Panics
+    /// Panics if the frame is not pinned.
+    pub fn unpin(&mut self, dirty: bool) {
+        assert!(self.pin_count > 0, "unpin without matching pin");
+        self.pin_count -= 1;
+        self.dirty |= dirty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut f = Frame::empty();
+        assert!(f.is_free());
+        assert!(!f.is_pinned());
+        f.install(PageKey::new(1, 42));
+        assert_eq!(f.key(), Some(PageKey::new(1, 42)));
+        f.pin();
+        f.pin();
+        assert_eq!(f.pin_count(), 2);
+        f.unpin(false);
+        f.unpin(true);
+        assert!(f.is_dirty());
+        assert!(!f.is_pinned());
+        let evicted = f.evict();
+        assert_eq!(evicted, Some(PageKey::new(1, 42)));
+        assert!(f.is_free());
+        assert!(!f.is_dirty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot evict a pinned frame")]
+    fn evicting_pinned_frame_panics() {
+        let mut f = Frame::empty();
+        f.install(PageKey::new(0, 0));
+        f.pin();
+        f.evict();
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin without matching pin")]
+    fn unbalanced_unpin_panics() {
+        let mut f = Frame::empty();
+        f.install(PageKey::new(0, 0));
+        f.unpin(false);
+    }
+
+    #[test]
+    fn install_resets_state() {
+        let mut f = Frame::empty();
+        f.install(PageKey::new(0, 1));
+        f.pin();
+        f.unpin(true);
+        assert!(f.is_dirty());
+        f.install(PageKey::new(0, 2));
+        assert!(!f.is_dirty());
+        assert_eq!(f.pin_count(), 0);
+    }
+
+    #[test]
+    fn page_key_display_and_order() {
+        let a = PageKey::new(1, 5);
+        let b = PageKey::new(1, 6);
+        let c = PageKey::new(2, 0);
+        assert!(a < b && b < c);
+        assert_eq!(format!("{a}"), "T1:5");
+    }
+}

@@ -1,0 +1,20 @@
+//! Classic page-level buffer manager.
+//!
+//! This is the substrate the paper assumes already exists in every DBMS and
+//! against which the Active Buffer Manager is contrasted (Figure 1 and
+//! Section 7.1).  It provides a fixed pool of page frames, a page table,
+//! pin/unpin reference counting and pluggable replacement policies (LRU,
+//! MRU and Clock).  The `normal` scan policy is exactly "sequential reads
+//! through an LRU-buffered pool", and Section 7.1's "ABM on top of the
+//! standard buffer manager" integration is exercised by the
+//! [`pool::BufferPool::acquire_range`] API.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod policy;
+pub mod pool;
+
+pub use frame::{Frame, FrameId, PageKey};
+pub use policy::{ClockPolicy, LruPolicy, MruPolicy, ReplacementPolicy};
+pub use pool::{BufferPool, FetchOutcome, PoolStats};

@@ -1,0 +1,349 @@
+//! The page buffer pool.
+//!
+//! A fixed number of frames, a page table mapping [`PageKey`] to frames, a
+//! pluggable [`ReplacementPolicy`] and hit/miss statistics.  This is the
+//! "standard buffer manager" of Figure 1; the Active Buffer Manager either
+//! replaces it (chunk-granularity slots) or sits on top of it by acquiring
+//! page ranges (Section 7.1), which [`BufferPool::acquire_range`] models.
+
+use crate::frame::{Frame, FrameId, PageKey};
+use crate::policy::ReplacementPolicy;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of a fetch: whether the page was already resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// The page was found in the pool.
+    Hit(FrameId),
+    /// The page was not resident and has been installed into the frame;
+    /// the caller is responsible for actually reading it from disk.
+    Miss(FrameId),
+}
+
+impl FetchOutcome {
+    /// The frame holding the page, regardless of hit/miss.
+    pub fn frame(&self) -> FrameId {
+        match *self {
+            FetchOutcome::Hit(f) | FetchOutcome::Miss(f) => f,
+        }
+    }
+
+    /// True if the page was already resident.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, FetchOutcome::Hit(_))
+    }
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Number of fetches satisfied from the pool.
+    pub hits: u64,
+    /// Number of fetches that required a disk read.
+    pub misses: u64,
+    /// Number of pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in `[0, 1]`; zero if nothing was fetched yet.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity page buffer pool.
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    page_table: HashMap<PageKey, FrameId>,
+    free: Vec<FrameId>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: PoolStats,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.frames.len())
+            .field("resident", &self.page_table.len())
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` frames and the given replacement policy.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: Box<dyn ReplacementPolicy>) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Self {
+            frames: (0..capacity).map(|_| Frame::empty()).collect(),
+            page_table: HashMap::with_capacity(capacity),
+            free: (0..capacity).rev().map(FrameId).collect(),
+            policy,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Number of frames in the pool.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// Name of the replacement policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Whether `key` is currently resident.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.page_table.contains_key(&key)
+    }
+
+    /// The frame holding `key`, if resident.
+    pub fn lookup(&self, key: PageKey) -> Option<FrameId> {
+        self.page_table.get(&key).copied()
+    }
+
+    /// Pin count of the page, if resident.
+    pub fn pin_count(&self, key: PageKey) -> Option<u32> {
+        self.lookup(key).map(|f| self.frames[f.0].pin_count())
+    }
+
+    /// Fetches `key`, pinning the resulting frame.
+    ///
+    /// On a miss the page is installed into a free or victimized frame; the
+    /// caller must perform the actual disk read.  Returns `None` only if the
+    /// pool is completely pinned and nothing can be evicted.
+    pub fn fetch_and_pin(&mut self, key: PageKey) -> Option<FetchOutcome> {
+        if let Some(&frame) = self.page_table.get(&key) {
+            self.frames[frame.0].pin();
+            self.policy.on_access(frame);
+            self.stats.hits += 1;
+            return Some(FetchOutcome::Hit(frame));
+        }
+        let frame = self.obtain_frame()?;
+        self.frames[frame.0].install(key);
+        self.frames[frame.0].pin();
+        self.page_table.insert(key, frame);
+        self.policy.on_install(frame);
+        self.stats.misses += 1;
+        Some(FetchOutcome::Miss(frame))
+    }
+
+    /// Unpins a previously pinned page.
+    ///
+    /// # Panics
+    /// Panics if the page is not resident or not pinned.
+    pub fn unpin(&mut self, key: PageKey, dirty: bool) {
+        let frame = *self
+            .page_table
+            .get(&key)
+            .unwrap_or_else(|| panic!("unpin of non-resident page {key}"));
+        self.frames[frame.0].unpin(dirty);
+    }
+
+    /// Fetches and immediately unpins every page in `keys`, reporting how
+    /// many were misses — the access pattern of a chunk-sized request from
+    /// an ABM layered on top of this pool (Section 7.1).
+    pub fn acquire_range(&mut self, keys: &[PageKey]) -> Option<u64> {
+        let mut misses = 0;
+        for &key in keys {
+            let outcome = self.fetch_and_pin(key)?;
+            if !outcome.is_hit() {
+                misses += 1;
+            }
+            self.unpin(key, false);
+        }
+        Some(misses)
+    }
+
+    /// Drops `key` from the pool if it is resident and unpinned.
+    /// Returns true if the page was evicted.
+    pub fn evict_page(&mut self, key: PageKey) -> bool {
+        match self.page_table.get(&key) {
+            Some(&frame) if !self.frames[frame.0].is_pinned() => {
+                self.frames[frame.0].evict();
+                self.page_table.remove(&key);
+                self.policy.on_evict(frame);
+                self.free.push(frame);
+                self.stats.evictions += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Obtains a frame for a new page: a free frame if available, otherwise a
+    /// policy-chosen victim.
+    fn obtain_frame(&mut self) -> Option<FrameId> {
+        if let Some(frame) = self.free.pop() {
+            return Some(frame);
+        }
+        let frames = &self.frames;
+        let victim = self.policy.pick_victim(&|f: FrameId| !frames[f.0].is_pinned())?;
+        let old_key = self.frames[victim.0].evict().expect("victim frame must hold a page");
+        self.page_table.remove(&old_key);
+        self.policy.on_evict(victim);
+        self.stats.evictions += 1;
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ClockPolicy, LruPolicy, MruPolicy};
+
+    fn key(p: u64) -> PageKey {
+        PageKey::new(0, p)
+    }
+
+    fn lru_pool(capacity: usize) -> BufferPool {
+        BufferPool::new(capacity, Box::new(LruPolicy::new()))
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut pool = lru_pool(2);
+        assert!(matches!(pool.fetch_and_pin(key(1)), Some(FetchOutcome::Miss(_))));
+        pool.unpin(key(1), false);
+        assert!(matches!(pool.fetch_and_pin(key(1)), Some(FetchOutcome::Hit(_))));
+        pool.unpin(key(1), false);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_order_under_pressure() {
+        let mut pool = lru_pool(2);
+        for p in 1..=2 {
+            pool.fetch_and_pin(key(p)).unwrap();
+            pool.unpin(key(p), false);
+        }
+        // Touch page 1 so page 2 becomes the LRU victim.
+        pool.fetch_and_pin(key(1)).unwrap();
+        pool.unpin(key(1), false);
+        pool.fetch_and_pin(key(3)).unwrap();
+        pool.unpin(key(3), false);
+        assert!(pool.contains(key(1)));
+        assert!(!pool.contains(key(2)));
+        assert!(pool.contains(key(3)));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn pinned_pages_are_never_victims() {
+        let mut pool = lru_pool(2);
+        pool.fetch_and_pin(key(1)).unwrap();
+        pool.fetch_and_pin(key(2)).unwrap();
+        // Both pinned: a third fetch cannot find room.
+        assert!(pool.fetch_and_pin(key(3)).is_none());
+        pool.unpin(key(1), false);
+        // Now page 1 can be evicted.
+        assert!(pool.fetch_and_pin(key(3)).is_some());
+        assert!(!pool.contains(key(1)));
+        assert!(pool.contains(key(2)));
+    }
+
+    #[test]
+    fn mru_pool_sheds_the_newest_page() {
+        let mut pool = BufferPool::new(2, Box::new(MruPolicy::new()));
+        for p in 1..=2 {
+            pool.fetch_and_pin(key(p)).unwrap();
+            pool.unpin(key(p), false);
+        }
+        pool.fetch_and_pin(key(3)).unwrap();
+        pool.unpin(key(3), false);
+        assert!(pool.contains(key(1)), "MRU keeps the oldest page");
+        assert!(!pool.contains(key(2)));
+    }
+
+    #[test]
+    fn clock_pool_works_end_to_end() {
+        let mut pool = BufferPool::new(3, Box::new(ClockPolicy::new()));
+        for p in 1..=6 {
+            pool.fetch_and_pin(key(p)).unwrap();
+            pool.unpin(key(p), false);
+        }
+        assert_eq!(pool.resident(), 3);
+        assert_eq!(pool.stats().misses, 6);
+        assert_eq!(pool.stats().evictions, 3);
+        assert_eq!(pool.policy_name(), "clock");
+    }
+
+    #[test]
+    fn acquire_range_reports_misses() {
+        let mut pool = lru_pool(8);
+        let first: Vec<PageKey> = (0..4).map(key).collect();
+        assert_eq!(pool.acquire_range(&first), Some(4));
+        // Second acquisition of the same range is all hits.
+        assert_eq!(pool.acquire_range(&first), Some(0));
+        // Overlapping range: only the new pages miss.
+        let second: Vec<PageKey> = (2..6).map(key).collect();
+        assert_eq!(pool.acquire_range(&second), Some(2));
+    }
+
+    #[test]
+    fn explicit_page_eviction() {
+        let mut pool = lru_pool(4);
+        pool.fetch_and_pin(key(1)).unwrap();
+        assert!(!pool.evict_page(key(1)), "pinned page cannot be evicted");
+        pool.unpin(key(1), false);
+        assert!(pool.evict_page(key(1)));
+        assert!(!pool.evict_page(key(1)), "already gone");
+        assert!(!pool.contains(key(1)));
+    }
+
+    #[test]
+    fn lookup_and_pin_count() {
+        let mut pool = lru_pool(4);
+        pool.fetch_and_pin(key(7)).unwrap();
+        assert!(pool.lookup(key(7)).is_some());
+        assert_eq!(pool.pin_count(key(7)), Some(1));
+        assert_eq!(pool.pin_count(key(8)), None);
+        pool.unpin(key(7), false);
+        assert_eq!(pool.pin_count(key(7)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let _ = BufferPool::new(0, Box::new(LruPolicy::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of non-resident page")]
+    fn unpin_unknown_page_panics() {
+        let mut pool = lru_pool(2);
+        pool.unpin(key(9), false);
+    }
+
+    #[test]
+    fn debug_format_mentions_policy() {
+        let pool = lru_pool(2);
+        let s = format!("{pool:?}");
+        assert!(s.contains("lru"));
+        assert!(s.contains("capacity"));
+    }
+}

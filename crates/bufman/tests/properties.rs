@@ -1,0 +1,100 @@
+//! Property-based tests for the classic buffer pool.
+
+use cscan_bufman::{BufferPool, ClockPolicy, LruPolicy, MruPolicy, PageKey, ReplacementPolicy};
+use proptest::prelude::*;
+
+fn make_pool(which: u8, capacity: usize) -> BufferPool {
+    let policy: Box<dyn ReplacementPolicy> = match which % 3 {
+        0 => Box::new(LruPolicy::new()),
+        1 => Box::new(MruPolicy::new()),
+        _ => Box::new(ClockPolicy::new()),
+    };
+    BufferPool::new(capacity, policy)
+}
+
+proptest! {
+    /// Whatever the access sequence, the pool never holds more pages than
+    /// frames, and hits + misses equals the number of fetches.
+    #[test]
+    fn residency_never_exceeds_capacity(
+        which in 0u8..3,
+        capacity in 1usize..32,
+        accesses in prop::collection::vec(0u64..100, 1..500),
+    ) {
+        let mut pool = make_pool(which, capacity);
+        let mut fetches = 0u64;
+        for &p in &accesses {
+            let key = PageKey::new(0, p);
+            if let Some(_outcome) = pool.fetch_and_pin(key) {
+                pool.unpin(key, false);
+                fetches += 1;
+            }
+            prop_assert!(pool.resident() <= capacity);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.hits + stats.misses, fetches);
+        prop_assert!(stats.hit_ratio() >= 0.0 && stats.hit_ratio() <= 1.0);
+    }
+
+    /// A working set no larger than the pool is never evicted once loaded:
+    /// after the first pass every access is a hit, for every policy.
+    #[test]
+    fn small_working_set_stays_resident(
+        which in 0u8..3,
+        set_size in 1usize..16,
+        passes in 2usize..6,
+    ) {
+        let mut pool = make_pool(which, set_size);
+        for _ in 0..1 {
+            for p in 0..set_size as u64 {
+                let key = PageKey::new(0, p);
+                pool.fetch_and_pin(key).unwrap();
+                pool.unpin(key, false);
+            }
+        }
+        let misses_after_warmup = pool.stats().misses;
+        for _ in 0..passes {
+            for p in 0..set_size as u64 {
+                let key = PageKey::new(0, p);
+                let outcome = pool.fetch_and_pin(key).unwrap();
+                prop_assert!(outcome.is_hit());
+                pool.unpin(key, false);
+            }
+        }
+        prop_assert_eq!(pool.stats().misses, misses_after_warmup);
+    }
+
+    /// Pinned pages survive arbitrary pressure; fetches fail (rather than
+    /// evicting a pinned page) when everything is pinned.
+    #[test]
+    fn pinned_pages_survive_pressure(
+        which in 0u8..3,
+        capacity in 2usize..10,
+        pressure in prop::collection::vec(100u64..200, 10..100),
+    ) {
+        let mut pool = make_pool(which, capacity);
+        // Pin half the pool permanently.
+        let pinned: Vec<PageKey> = (0..capacity as u64 / 2).map(|p| PageKey::new(1, p)).collect();
+        for &k in &pinned {
+            pool.fetch_and_pin(k).unwrap();
+        }
+        for &p in &pressure {
+            let key = PageKey::new(0, p);
+            if pool.fetch_and_pin(key).is_some() {
+                pool.unpin(key, false);
+            }
+            for &k in &pinned {
+                prop_assert!(pool.contains(k), "pinned page {k} was evicted");
+            }
+        }
+    }
+
+    /// acquire_range is idempotent on a pool large enough to hold the range.
+    #[test]
+    fn acquire_range_idempotent(which in 0u8..3, len in 1u64..32) {
+        let mut pool = make_pool(which, 64);
+        let keys: Vec<PageKey> = (0..len).map(|p| PageKey::new(0, p)).collect();
+        prop_assert_eq!(pool.acquire_range(&keys), Some(len));
+        prop_assert_eq!(pool.acquire_range(&keys), Some(0));
+    }
+}

@@ -1,0 +1,345 @@
+//! The Active Buffer Manager (ABM).
+//!
+//! The ABM owns the shared bookkeeping ([`AbmState`]) and a scheduling
+//! [`Policy`].  The execution front-ends (the discrete-event simulation and
+//! the threaded executor) drive it through a small set of operations that
+//! correspond directly to the pseudo-code of Figure 3 in the paper:
+//!
+//! * [`Abm::register_query`] — `CScan` announces its data need up-front;
+//! * [`Abm::acquire_chunk`] — `selectChunk` / `chooseAvailableChunk`;
+//! * [`Abm::release_chunk`] — the query finished processing a chunk;
+//! * [`Abm::plan_load`] — `chooseQueryToProcess` + `chooseChunkToLoad` +
+//!   `findFreeSlot` (eviction) rolled into one scheduling step;
+//! * [`Abm::complete_load`] — `loadChunk` finished; interested blocked
+//!   queries should be signalled;
+//! * [`Abm::finish_query`] — the CScan operator is closed.
+
+mod buffer;
+mod state;
+
+pub use buffer::BufferedChunk;
+pub use state::{AbmState, STARVATION_THRESHOLD};
+
+use crate::colset::ColSet;
+use crate::policy::Policy;
+use crate::query::{QueryId, QueryState};
+use cscan_simdisk::SimTime;
+use cscan_storage::{ChunkId, PhysRegion, ScanRanges};
+
+/// A scheduling decision: load `chunk` (the given columns of it) on behalf of
+/// the triggering query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadDecision {
+    /// The query with the highest scheduling priority (the "trigger").
+    pub trigger: QueryId,
+    /// The chunk to load.
+    pub chunk: ChunkId,
+    /// The columns to make resident (ignored for NSM tables).
+    pub cols: ColSet,
+}
+
+/// A fully planned load: the decision plus its physical cost, ready to be
+/// submitted to the disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPlan {
+    /// The underlying scheduling decision.
+    pub decision: LoadDecision,
+    /// Pages that will be read (only the missing columns for DSM).
+    pub pages: u64,
+    /// Physical regions to read.
+    pub regions: Vec<PhysRegion>,
+    /// Chunks that were evicted to make room for this load.
+    pub evicted: Vec<ChunkId>,
+}
+
+/// The Active Buffer Manager: shared state plus a scheduling policy.
+pub struct Abm {
+    state: AbmState,
+    policy: Box<dyn Policy>,
+    next_query_id: u64,
+}
+
+impl std::fmt::Debug for Abm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Abm")
+            .field("policy", &self.policy.name())
+            .field("queries", &self.state.num_queries())
+            .field("buffered", &self.state.num_buffered())
+            .field("used_pages", &self.state.used_pages())
+            .field("capacity_pages", &self.state.capacity_pages())
+            .finish()
+    }
+}
+
+impl Abm {
+    /// Creates an ABM over `state` driven by `policy`.
+    pub fn new(state: AbmState, policy: Box<dyn Policy>) -> Self {
+        Self { state, policy, next_query_id: 0 }
+    }
+
+    /// Read access to the shared state.
+    pub fn state(&self) -> &AbmState {
+        &self.state
+    }
+
+    /// The name of the active scheduling policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Registers a new CScan, returning its id.
+    pub fn register_query(
+        &mut self,
+        label: impl Into<String>,
+        ranges: ScanRanges,
+        columns: ColSet,
+        now: SimTime,
+    ) -> QueryId {
+        let id = QueryId(self.next_query_id);
+        self.next_query_id += 1;
+        self.state.register_query(id, label, ranges, columns, now);
+        self.policy.on_register(id, &self.state);
+        id
+    }
+
+    /// The paper's `selectChunk`: picks the most relevant *resident* chunk
+    /// for query `q` and pins it for processing.  Returns `None` if nothing
+    /// is available (the query must block until a load completes).
+    pub fn acquire_chunk(&mut self, q: QueryId, now: SimTime) -> Option<ChunkId> {
+        if self.state.query(q).is_finished() {
+            return None;
+        }
+        match self.policy.next_chunk(q, &self.state) {
+            Some(chunk) => {
+                debug_assert!(
+                    self.state.is_resident_for(q, chunk),
+                    "{q:?}: policy chose non-resident {chunk:?}"
+                );
+                self.state.unblock_query(q, now);
+                self.state.start_processing(q, chunk);
+                Some(chunk)
+            }
+            None => {
+                self.state.block_query(q, now);
+                None
+            }
+        }
+    }
+
+    /// Marks `chunk` as fully consumed by `q`.  For DSM tables, columns no
+    /// other query needs are dropped eagerly to free buffer space.
+    pub fn release_chunk(&mut self, q: QueryId, chunk: ChunkId) {
+        self.state.finish_processing(q, chunk);
+        if self.state.model().is_dsm() {
+            self.state.drop_dead_columns(chunk);
+        }
+    }
+
+    /// Whether query `q` has processed everything it asked for.
+    pub fn is_query_finished(&self, q: QueryId) -> bool {
+        self.state.query(q).is_finished()
+    }
+
+    /// Closes a query, removing it from the ABM.  Returns its final state.
+    pub fn finish_query(&mut self, q: QueryId) -> QueryState {
+        self.policy.on_query_finished(q, &self.state);
+        self.state.remove_query(q)
+    }
+
+    /// One scheduling step of the ABM main loop: choose what to load next,
+    /// evicting as needed to make room.  Returns `None` when there is
+    /// nothing useful (or possible) to load right now.
+    ///
+    /// At most one load may be outstanding; calling this while a load is in
+    /// flight returns `None`.
+    pub fn plan_load(&mut self, now: SimTime) -> Option<LoadPlan> {
+        if self.state.inflight().is_some() {
+            return None;
+        }
+        let decision = self.policy.next_load(&self.state, now)?;
+        let pages = self.state.pages_to_load(decision.chunk, decision.cols);
+        if pages == 0 {
+            // Nothing missing: the policy picked an already-resident chunk;
+            // treat as "nothing to do" to avoid an empty I/O.
+            return None;
+        }
+        if pages > self.state.capacity_pages() {
+            // A single chunk larger than the whole pool can never fit.
+            return None;
+        }
+        // Make room: ask the policy for victims until the load fits.
+        let mut evicted = Vec::new();
+        while self.state.free_pages() < pages {
+            match self.policy.choose_victim(&self.state, &decision) {
+                Some(victim) => {
+                    debug_assert!(self.state.is_evictable(victim), "policy chose unevictable victim");
+                    self.state.evict(victim);
+                    evicted.push(victim);
+                }
+                None => {
+                    // Cannot make room now (everything is pinned or protected).
+                    return None;
+                }
+            }
+        }
+        let regions = {
+            let missing = self.state.missing_columns(decision.chunk, decision.cols);
+            let cols = if self.state.model().is_dsm() { missing } else { self.state.model().all_columns() };
+            self.state.model().chunk_regions(decision.chunk, cols)
+        };
+        self.state.begin_load(decision.chunk, decision.cols);
+        self.state.count_triggered_io(decision.trigger);
+        Some(LoadPlan { decision, pages, regions, evicted })
+    }
+
+    /// Completes the outstanding load.  Returns the queries that are
+    /// interested in the loaded chunk and currently blocked — the driver
+    /// should wake them (the `signalQuery` of Figure 3).
+    pub fn complete_load(&mut self) -> Vec<QueryId> {
+        let chunk = self.state.inflight().expect("no load in flight").0;
+        self.state.complete_load();
+        self.state
+            .queries()
+            .filter(|q| q.needs(chunk) && q.is_blocked())
+            .map(|q| q.id)
+            .collect()
+    }
+
+    /// Whether any active query still has unprocessed chunks.
+    pub fn has_pending_work(&self) -> bool {
+        self.state.queries().any(|q| !q.is_finished())
+    }
+
+    /// Emergency pressure relief: evict the least interesting evictable chunk
+    /// regardless of policy preferences.  Used by drivers as a last resort
+    /// when the buffer is full of partially loaded (DSM) chunks that no query
+    /// can consume.  Returns the evicted chunk, if any.
+    pub fn force_evict_one(&mut self) -> Option<ChunkId> {
+        let victim = self
+            .state
+            .buffered()
+            .filter(|b| self.state.is_evictable(b.chunk))
+            .min_by_key(|b| (self.state.num_interested(b.chunk), b.last_touch))
+            .map(|b| b.chunk)?;
+        self.state.evict(victim);
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TableModel;
+    use crate::policy::{PolicyKind, RelevancePolicy};
+
+    fn abm(chunks: u32, buffer_chunks: u64) -> Abm {
+        let model = TableModel::nsm_uniform(chunks, 1000, 16);
+        let state = AbmState::new(model, buffer_chunks * 16);
+        Abm::new(state, Box::new(RelevancePolicy::new()))
+    }
+
+    fn full_cols(abm: &Abm) -> ColSet {
+        abm.state().model().all_columns()
+    }
+
+    #[test]
+    fn end_to_end_single_query() {
+        let mut abm = abm(10, 4);
+        let cols = full_cols(&abm);
+        let q = abm.register_query("full", ScanRanges::full(10), cols, SimTime::ZERO);
+        let mut processed = 0;
+        let mut guard = 0;
+        while !abm.is_query_finished(q) {
+            guard += 1;
+            assert!(guard < 1000, "no progress");
+            // Drive I/O until something is available.
+            if let Some(chunk) = abm.acquire_chunk(q, SimTime::ZERO) {
+                abm.release_chunk(q, chunk);
+                processed += 1;
+                continue;
+            }
+            let plan = abm.plan_load(SimTime::ZERO).expect("blocked with nothing to load");
+            assert!(plan.pages > 0);
+            assert!(!plan.regions.is_empty());
+            let woken = abm.complete_load();
+            assert!(woken.contains(&q));
+        }
+        assert_eq!(processed, 10);
+        assert_eq!(abm.state().io_requests(), 10);
+        let final_state = abm.finish_query(q);
+        assert!(final_state.is_finished());
+        assert!(!abm.has_pending_work());
+    }
+
+    #[test]
+    fn eviction_happens_under_pressure() {
+        let mut abm = abm(10, 2); // room for only two chunks
+        let cols = full_cols(&abm);
+        let q = abm.register_query("full", ScanRanges::full(10), cols, SimTime::ZERO);
+        let mut evictions = 0;
+        while !abm.is_query_finished(q) {
+            if let Some(chunk) = abm.acquire_chunk(q, SimTime::ZERO) {
+                abm.release_chunk(q, chunk);
+                continue;
+            }
+            let plan = abm.plan_load(SimTime::ZERO).expect("must be able to plan");
+            evictions += plan.evicted.len();
+            abm.complete_load();
+        }
+        assert!(evictions >= 8, "loading 10 chunks through a 2-chunk pool must evict, got {evictions}");
+        assert!(abm.state().used_pages() <= abm.state().capacity_pages());
+    }
+
+    #[test]
+    fn plan_load_returns_none_when_idle_queries_only() {
+        let mut abm = abm(10, 4);
+        // No queries at all.
+        assert!(abm.plan_load(SimTime::ZERO).is_none());
+        let cols = full_cols(&abm);
+        let q = abm.register_query("one", ScanRanges::single(0, 1), cols, SimTime::ZERO);
+        let plan = abm.plan_load(SimTime::ZERO).unwrap();
+        assert_eq!(plan.decision.chunk, ChunkId::new(0));
+        // A second plan while the first is in flight is refused.
+        assert!(abm.plan_load(SimTime::ZERO).is_none());
+        abm.complete_load();
+        // Query processes its only chunk; nothing further to load.
+        let chunk = abm.acquire_chunk(q, SimTime::ZERO).unwrap();
+        abm.release_chunk(q, chunk);
+        assert!(abm.plan_load(SimTime::ZERO).is_none());
+        assert!(abm.is_query_finished(q));
+    }
+
+    #[test]
+    fn two_queries_share_loaded_chunks() {
+        let mut abm = abm(10, 5);
+        let cols = full_cols(&abm);
+        let q1 = abm.register_query("a", ScanRanges::single(0, 5), cols, SimTime::ZERO);
+        let q2 = abm.register_query("b", ScanRanges::single(0, 5), cols, SimTime::ZERO);
+        // Run a simple round-robin driver until both finish.
+        let mut guard = 0;
+        while abm.has_pending_work() {
+            guard += 1;
+            assert!(guard < 500);
+            let mut progressed = false;
+            for &q in &[q1, q2] {
+                if abm.is_query_finished(q) {
+                    continue;
+                }
+                if let Some(c) = abm.acquire_chunk(q, SimTime::ZERO) {
+                    abm.release_chunk(q, c);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                if abm.plan_load(SimTime::ZERO).is_some() {
+                    abm.complete_load();
+                } else {
+                    panic!("stuck: no progress and nothing to load");
+                }
+            }
+        }
+        // Perfect sharing: 5 chunks loaded once despite two consumers.
+        assert_eq!(abm.state().io_requests(), 5);
+        assert_eq!(abm.policy_name(), PolicyKind::Relevance.name());
+    }
+}

@@ -1,0 +1,591 @@
+//! The Active Buffer Manager's shared bookkeeping.
+//!
+//! [`AbmState`] is the ground truth every scheduling policy reads: which
+//! queries are active and what they still need, which chunks (and, for DSM,
+//! which columns of them) are resident, how much buffer space is in use, and
+//! who is starved.  Policies never mutate this state directly; mutations go
+//! through [`crate::Abm`], which is driven by the simulation or the threaded
+//! executor.
+
+use crate::abm::buffer::BufferedChunk;
+use crate::colset::ColSet;
+use crate::model::TableModel;
+use crate::query::{QueryId, QueryState};
+use cscan_simdisk::SimTime;
+use cscan_storage::{ChunkId, ScanRanges};
+use std::collections::BTreeMap;
+
+/// A query is *starved* when it has fewer than this many available chunks
+/// (including the one it is currently processing) — Figure 3 of the paper.
+pub const STARVATION_THRESHOLD: u32 = 2;
+
+/// The shared state of the Active Buffer Manager.
+#[derive(Debug, Clone)]
+pub struct AbmState {
+    model: TableModel,
+    capacity_pages: u64,
+    used_pages: u64,
+    queries: BTreeMap<QueryId, QueryState>,
+    buffered: BTreeMap<ChunkId, BufferedChunk>,
+    /// Per-chunk count of active queries that still need the chunk.
+    interested: Vec<u32>,
+    /// Monotonic counter for load sequencing and LRU timestamps.
+    seq: u64,
+    /// Chunk currently being loaded (at most one outstanding load).
+    inflight: Option<(ChunkId, ColSet)>,
+    /// Total chunk loads completed.
+    io_requests: u64,
+    /// Total pages read from disk.
+    pages_read: u64,
+    /// Total queries registered over the lifetime of this ABM.
+    queries_registered: u64,
+}
+
+impl AbmState {
+    /// Creates the state for `model` with a buffer pool of `capacity_pages` pages.
+    ///
+    /// # Panics
+    /// Panics if the capacity is zero.
+    pub fn new(model: TableModel, capacity_pages: u64) -> Self {
+        assert!(capacity_pages > 0, "buffer capacity must be positive");
+        let chunks = model.num_chunks() as usize;
+        Self {
+            model,
+            capacity_pages,
+            used_pages: 0,
+            queries: BTreeMap::new(),
+            buffered: BTreeMap::new(),
+            interested: vec![0; chunks],
+            seq: 0,
+            inflight: None,
+            io_requests: 0,
+            pages_read: 0,
+            queries_registered: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only accessors (used by policies).
+    // ------------------------------------------------------------------
+
+    /// The table model being scheduled.
+    pub fn model(&self) -> &TableModel {
+        &self.model
+    }
+
+    /// Buffer pool capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Pages currently occupied.
+    pub fn used_pages(&self) -> u64 {
+        self.used_pages
+    }
+
+    /// Pages still free.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity_pages.saturating_sub(self.used_pages)
+    }
+
+    /// Number of active (registered, unfinished) queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Total queries ever registered.
+    pub fn queries_registered(&self) -> u64 {
+        self.queries_registered
+    }
+
+    /// Iterator over active queries in registration (id) order.
+    pub fn queries(&self) -> impl Iterator<Item = &QueryState> {
+        self.queries.values()
+    }
+
+    /// The state of query `q`.
+    ///
+    /// # Panics
+    /// Panics if the query is not registered.
+    pub fn query(&self, q: QueryId) -> &QueryState {
+        self.queries.get(&q).unwrap_or_else(|| panic!("unknown query {q:?}"))
+    }
+
+    /// The state of query `q`, if registered.
+    pub fn try_query(&self, q: QueryId) -> Option<&QueryState> {
+        self.queries.get(&q)
+    }
+
+    /// Iterator over resident chunks in chunk order.
+    pub fn buffered(&self) -> impl Iterator<Item = &BufferedChunk> {
+        self.buffered.values()
+    }
+
+    /// Number of resident chunks (fully or partially loaded).
+    pub fn num_buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// The buffer entry for `chunk`, if resident.
+    pub fn buffered_chunk(&self, chunk: ChunkId) -> Option<&BufferedChunk> {
+        self.buffered.get(&chunk)
+    }
+
+    /// The chunk currently being loaded, if any.
+    pub fn inflight(&self) -> Option<(ChunkId, ColSet)> {
+        self.inflight
+    }
+
+    /// Number of chunk loads completed so far.
+    pub fn io_requests(&self) -> u64 {
+        self.io_requests
+    }
+
+    /// Number of pages read from disk so far.
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read
+    }
+
+    /// Whether all of `cols` of `chunk` are resident.
+    pub fn is_resident(&self, chunk: ChunkId, cols: ColSet) -> bool {
+        match self.buffered.get(&chunk) {
+            Some(b) => cols.is_subset_of(b.columns),
+            None => cols.is_empty(),
+        }
+    }
+
+    /// Whether `chunk` is resident with all columns query `q` needs.
+    pub fn is_resident_for(&self, q: QueryId, chunk: ChunkId) -> bool {
+        self.is_resident(chunk, self.query(q).columns)
+    }
+
+    /// The columns of `cols` that are *not* yet resident for `chunk`.
+    pub fn missing_columns(&self, chunk: ChunkId, cols: ColSet) -> ColSet {
+        match self.buffered.get(&chunk) {
+            Some(b) => cols.difference(b.columns),
+            None => cols,
+        }
+    }
+
+    /// Pages that would have to be read to make `cols` of `chunk` resident.
+    ///
+    /// For NSM a chunk is all-or-nothing: either zero (already resident) or
+    /// the full chunk.  For DSM only the missing columns are counted.
+    pub fn pages_to_load(&self, chunk: ChunkId, cols: ColSet) -> u64 {
+        if self.model.is_dsm() {
+            let missing = self.missing_columns(chunk, cols);
+            self.model.chunk_pages(chunk, missing)
+        } else if self.buffered.contains_key(&chunk) {
+            0
+        } else {
+            self.model.chunk_pages(chunk, cols)
+        }
+    }
+
+    /// Number of active queries that still need `chunk`.
+    pub fn num_interested(&self, chunk: ChunkId) -> u32 {
+        self.interested[chunk.as_usize()]
+    }
+
+    /// The active queries that still need `chunk`.
+    pub fn interested_queries(&self, chunk: ChunkId) -> Vec<QueryId> {
+        self.queries
+            .values()
+            .filter(|q| q.needs(chunk))
+            .map(|q| q.id)
+            .collect()
+    }
+
+    /// Number of *available* chunks for query `q`: resident chunks it still
+    /// needs, including the one it is currently processing.
+    pub fn available_chunks(&self, q: QueryId) -> u32 {
+        let query = self.query(q);
+        let mut count = 0;
+        // Iterate over whichever side is smaller: the buffer or the query's
+        // remaining chunks.  Buffers are small (tens to hundreds of chunks).
+        for b in self.buffered.values() {
+            if query.needs(b.chunk) && query.columns.is_subset_of(b.columns) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Whether query `q` is starved (fewer than two available chunks).
+    pub fn is_starved(&self, q: QueryId) -> bool {
+        self.available_chunks(q) < STARVATION_THRESHOLD
+    }
+
+    /// Whether query `q` is starved or on the border of starvation
+    /// (used by `keepRelevance` to avoid evicting chunks whose loss would
+    /// make a query immediately schedulable again).
+    pub fn is_almost_starved(&self, q: QueryId) -> bool {
+        self.available_chunks(q) <= STARVATION_THRESHOLD
+    }
+
+    /// Number of starved queries interested in `chunk`.
+    pub fn num_interested_starved(&self, chunk: ChunkId) -> u32 {
+        self.queries
+            .values()
+            .filter(|q| q.needs(chunk) && self.is_starved(q.id))
+            .count() as u32
+    }
+
+    /// Number of almost-starved queries interested in `chunk`.
+    pub fn num_interested_almost_starved(&self, chunk: ChunkId) -> u32 {
+        self.queries
+            .values()
+            .filter(|q| q.needs(chunk) && self.is_almost_starved(q.id))
+            .count() as u32
+    }
+
+    /// Whether `chunk` is needed by at least one starved query — the
+    /// `usefulForStarvedQuery` guard of `findFreeSlot`.
+    pub fn useful_for_starved_query(&self, chunk: ChunkId) -> bool {
+        self.queries.values().any(|q| q.needs(chunk) && self.is_starved(q.id))
+    }
+
+    /// Whether `chunk` may be evicted right now: resident, not pinned and not
+    /// the target of the in-flight load.
+    pub fn is_evictable(&self, chunk: ChunkId) -> bool {
+        match self.buffered.get(&chunk) {
+            Some(b) => !b.is_pinned() && self.inflight.map(|(c, _)| c) != Some(chunk),
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (driven by `Abm`).
+    // ------------------------------------------------------------------
+
+    /// Registers a new query.
+    pub(crate) fn register_query(
+        &mut self,
+        id: QueryId,
+        label: impl Into<String>,
+        ranges: ScanRanges,
+        columns: ColSet,
+        now: SimTime,
+    ) {
+        assert!(!self.queries.contains_key(&id), "query {id:?} registered twice");
+        let state = QueryState::new(id, label, ranges, columns, self.model.num_chunks(), now);
+        for chunk in state.remaining_chunks() {
+            self.interested[chunk.as_usize()] += 1;
+        }
+        self.queries.insert(id, state);
+        self.queries_registered += 1;
+    }
+
+    /// Removes a finished (or cancelled) query, dropping its interest counts.
+    pub(crate) fn remove_query(&mut self, id: QueryId) -> QueryState {
+        let state = self.queries.remove(&id).unwrap_or_else(|| panic!("unknown query {id:?}"));
+        // A cancelled query may still have outstanding interest.
+        for chunk in state.remaining_chunks() {
+            let slot = &mut self.interested[chunk.as_usize()];
+            *slot = slot.saturating_sub(1);
+        }
+        state
+    }
+
+    /// Marks the start of a chunk load.
+    pub(crate) fn begin_load(&mut self, chunk: ChunkId, cols: ColSet) {
+        debug_assert!(self.inflight.is_none(), "only one outstanding load is supported");
+        self.inflight = Some((chunk, cols));
+    }
+
+    /// Completes the in-flight load: the chunk's columns become resident.
+    /// Returns the number of pages added.
+    pub(crate) fn complete_load(&mut self) -> u64 {
+        let (chunk, cols) = self.inflight.take().expect("no load in flight");
+        let missing = self.missing_columns(chunk, cols);
+        let pages = if self.model.is_dsm() {
+            self.model.chunk_pages(chunk, missing)
+        } else {
+            self.model.chunk_pages(chunk, self.model.all_columns())
+        };
+        self.seq += 1;
+        let seq = self.seq;
+        let all_columns = if self.model.is_dsm() { cols } else { self.model.all_columns() };
+        match self.buffered.get_mut(&chunk) {
+            Some(b) => {
+                b.columns = b.columns.union(all_columns);
+                b.pages += pages;
+                b.loaded_seq = seq;
+                b.last_touch = seq;
+            }
+            None => {
+                self.buffered.insert(chunk, BufferedChunk::new(chunk, all_columns, pages, seq));
+            }
+        }
+        self.used_pages += pages;
+        self.io_requests += 1;
+        self.pages_read += pages;
+        pages
+    }
+
+    /// Aborts the in-flight load (used when a query set change makes it moot).
+    #[allow(dead_code)]
+    pub(crate) fn abort_load(&mut self) {
+        self.inflight = None;
+    }
+
+    /// Evicts `chunk` entirely from the buffer.  Returns the pages freed.
+    ///
+    /// # Panics
+    /// Panics if the chunk is pinned or not resident.
+    pub(crate) fn evict(&mut self, chunk: ChunkId) -> u64 {
+        let b = self
+            .buffered
+            .remove(&chunk)
+            .unwrap_or_else(|| panic!("evicting non-resident chunk {chunk:?}"));
+        assert!(!b.is_pinned(), "evicting pinned chunk {chunk:?}");
+        self.used_pages -= b.pages;
+        b.pages
+    }
+
+    /// Drops the resident columns of `chunk` that no active query needs
+    /// (DSM only).  Returns the pages freed.
+    pub(crate) fn drop_dead_columns(&mut self, chunk: ChunkId) -> u64 {
+        if !self.model.is_dsm() {
+            return 0;
+        }
+        let needed_cols = self
+            .queries
+            .values()
+            .filter(|q| q.needs(chunk))
+            .fold(ColSet::empty(), |acc, q| acc.union(q.columns));
+        let Some(b) = self.buffered.get_mut(&chunk) else { return 0 };
+        if b.is_pinned() {
+            return 0;
+        }
+        let dead = b.columns.difference(needed_cols);
+        if dead.is_empty() {
+            return 0;
+        }
+        let freed = self.model.chunk_pages(chunk, dead);
+        b.columns = b.columns.difference(dead);
+        b.pages = b.pages.saturating_sub(freed);
+        let now_empty = b.columns.is_empty();
+        if now_empty {
+            self.buffered.remove(&chunk);
+        }
+        self.used_pages -= freed;
+        freed
+    }
+
+    /// Marks query `q` as starting to process `chunk` (pins the chunk).
+    pub(crate) fn start_processing(&mut self, q: QueryId, chunk: ChunkId) {
+        self.seq += 1;
+        let seq = self.seq;
+        let query = self.queries.get_mut(&q).unwrap_or_else(|| panic!("unknown query {q:?}"));
+        query.start_processing(chunk);
+        let b = self
+            .buffered
+            .get_mut(&chunk)
+            .unwrap_or_else(|| panic!("{q:?} processing non-resident chunk {chunk:?}"));
+        b.pin(q);
+        b.last_touch = seq;
+    }
+
+    /// Marks query `q` as done with `chunk` (unpins, interest drops).
+    pub(crate) fn finish_processing(&mut self, q: QueryId, chunk: ChunkId) {
+        let query = self.queries.get_mut(&q).unwrap_or_else(|| panic!("unknown query {q:?}"));
+        query.finish_processing(chunk);
+        self.interested[chunk.as_usize()] = self.interested[chunk.as_usize()].saturating_sub(1);
+        if let Some(b) = self.buffered.get_mut(&chunk) {
+            b.unpin(q);
+        }
+    }
+
+    /// Marks query `q` as blocked at `now`.
+    pub(crate) fn block_query(&mut self, q: QueryId, now: SimTime) {
+        if let Some(query) = self.queries.get_mut(&q) {
+            query.block(now);
+        }
+    }
+
+    /// Marks query `q` as unblocked at `now`.
+    pub(crate) fn unblock_query(&mut self, q: QueryId, now: SimTime) {
+        if let Some(query) = self.queries.get_mut(&q) {
+            query.unblock(now);
+        }
+    }
+
+    /// Records that a load was triggered on behalf of `q`.
+    pub(crate) fn count_triggered_io(&mut self, q: QueryId) {
+        if let Some(query) = self.queries.get_mut(&q) {
+            query.ios_triggered += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TableModel;
+
+    fn nsm_state(chunks: u32, buffer_chunks: u64) -> AbmState {
+        let model = TableModel::nsm_uniform(chunks, 1000, 16);
+        let capacity = buffer_chunks * 16;
+        AbmState::new(model, capacity)
+    }
+
+    fn register(state: &mut AbmState, id: u64, start: u32, end: u32) {
+        let cols = state.model().all_columns();
+        state.register_query(QueryId(id), format!("q{id}"), ScanRanges::single(start, end), cols, SimTime::ZERO);
+    }
+
+    #[test]
+    fn registration_tracks_interest() {
+        let mut s = nsm_state(20, 4);
+        register(&mut s, 1, 0, 10);
+        register(&mut s, 2, 5, 15);
+        assert_eq!(s.num_queries(), 2);
+        assert_eq!(s.num_interested(ChunkId::new(0)), 1);
+        assert_eq!(s.num_interested(ChunkId::new(7)), 2);
+        assert_eq!(s.num_interested(ChunkId::new(15)), 0);
+        assert_eq!(s.interested_queries(ChunkId::new(7)), vec![QueryId(1), QueryId(2)]);
+        assert_eq!(s.queries_registered(), 2);
+    }
+
+    #[test]
+    fn load_and_residency() {
+        let mut s = nsm_state(20, 4);
+        register(&mut s, 1, 0, 10);
+        let cols = s.model().all_columns();
+        assert_eq!(s.pages_to_load(ChunkId::new(3), cols), 16);
+        s.begin_load(ChunkId::new(3), cols);
+        assert_eq!(s.inflight().map(|(c, _)| c), Some(ChunkId::new(3)));
+        let pages = s.complete_load();
+        assert_eq!(pages, 16);
+        assert_eq!(s.used_pages(), 16);
+        assert_eq!(s.free_pages(), 48);
+        assert!(s.is_resident_for(QueryId(1), ChunkId::new(3)));
+        assert_eq!(s.pages_to_load(ChunkId::new(3), cols), 0);
+        assert_eq!(s.io_requests(), 1);
+        assert_eq!(s.pages_read(), 16);
+        assert_eq!(s.available_chunks(QueryId(1)), 1);
+        assert!(s.is_starved(QueryId(1)));
+    }
+
+    #[test]
+    fn processing_and_interest_lifecycle() {
+        let mut s = nsm_state(20, 4);
+        register(&mut s, 1, 0, 10);
+        register(&mut s, 2, 0, 10);
+        let cols = s.model().all_columns();
+        s.begin_load(ChunkId::new(0), cols);
+        s.complete_load();
+        s.start_processing(QueryId(1), ChunkId::new(0));
+        assert!(!s.is_evictable(ChunkId::new(0)), "pinned chunk is not evictable");
+        assert_eq!(s.num_interested(ChunkId::new(0)), 2);
+        s.finish_processing(QueryId(1), ChunkId::new(0));
+        assert_eq!(s.num_interested(ChunkId::new(0)), 1, "q1 no longer needs it");
+        assert!(s.is_evictable(ChunkId::new(0)));
+        assert!(s.query(QueryId(1)).processing.is_none());
+        // q2 can still use the chunk.
+        assert!(s.is_resident_for(QueryId(2), ChunkId::new(0)));
+        s.start_processing(QueryId(2), ChunkId::new(0));
+        s.finish_processing(QueryId(2), ChunkId::new(0));
+        assert_eq!(s.num_interested(ChunkId::new(0)), 0);
+        // Evict and check accounting.
+        let freed = s.evict(ChunkId::new(0));
+        assert_eq!(freed, 16);
+        assert_eq!(s.used_pages(), 0);
+    }
+
+    #[test]
+    fn starvation_thresholds() {
+        let mut s = nsm_state(20, 8);
+        register(&mut s, 1, 0, 10);
+        let cols = s.model().all_columns();
+        assert!(s.is_starved(QueryId(1)));
+        for c in 0..3u32 {
+            s.begin_load(ChunkId::new(c), cols);
+            s.complete_load();
+        }
+        assert_eq!(s.available_chunks(QueryId(1)), 3);
+        assert!(!s.is_starved(QueryId(1)));
+        assert!(!s.is_almost_starved(QueryId(1)));
+        // Process one chunk; two remain available -> almost starved but not starved.
+        s.start_processing(QueryId(1), ChunkId::new(0));
+        s.finish_processing(QueryId(1), ChunkId::new(0));
+        assert_eq!(s.available_chunks(QueryId(1)), 2);
+        assert!(!s.is_starved(QueryId(1)));
+        assert!(s.is_almost_starved(QueryId(1)));
+        assert!(s.useful_for_starved_query(ChunkId::new(5)) == false);
+    }
+
+    #[test]
+    fn dsm_partial_residency() {
+        let model = TableModel::dsm_uniform(10, 1000, &[2, 4, 8]);
+        let mut s = AbmState::new(model, 1000);
+        let c01 = ColSet::from_columns([cscan_storage::ColumnId::new(0), cscan_storage::ColumnId::new(1)]);
+        let c12 = ColSet::from_columns([cscan_storage::ColumnId::new(1), cscan_storage::ColumnId::new(2)]);
+        s.register_query(QueryId(1), "a", ScanRanges::single(0, 5), c01, SimTime::ZERO);
+        s.register_query(QueryId(2), "b", ScanRanges::single(0, 5), c12, SimTime::ZERO);
+        // Load chunk 0 with q1's columns.
+        assert_eq!(s.pages_to_load(ChunkId::new(0), c01), 6);
+        s.begin_load(ChunkId::new(0), c01);
+        assert_eq!(s.complete_load(), 6);
+        assert!(s.is_resident_for(QueryId(1), ChunkId::new(0)));
+        assert!(!s.is_resident_for(QueryId(2), ChunkId::new(0)), "column 2 still missing");
+        // Loading for q2 only reads the missing column (8 pages).
+        assert_eq!(s.pages_to_load(ChunkId::new(0), c12), 8);
+        s.begin_load(ChunkId::new(0), c12);
+        assert_eq!(s.complete_load(), 8);
+        assert!(s.is_resident_for(QueryId(2), ChunkId::new(0)));
+        assert_eq!(s.used_pages(), 14);
+        // After q1 finishes with chunk 0, column 0 is dead weight once q1 is done with it.
+        s.start_processing(QueryId(1), ChunkId::new(0));
+        s.finish_processing(QueryId(1), ChunkId::new(0));
+        let freed = s.drop_dead_columns(ChunkId::new(0));
+        assert_eq!(freed, 2, "column 0 is needed by nobody anymore");
+        assert_eq!(s.used_pages(), 12);
+        assert!(s.is_resident_for(QueryId(2), ChunkId::new(0)), "q2's columns survive");
+    }
+
+    #[test]
+    fn remove_query_releases_interest() {
+        let mut s = nsm_state(10, 4);
+        register(&mut s, 1, 0, 10);
+        assert_eq!(s.num_interested(ChunkId::new(4)), 1);
+        let st = s.remove_query(QueryId(1));
+        assert_eq!(st.total_chunks(), 10);
+        assert_eq!(s.num_interested(ChunkId::new(4)), 0);
+        assert_eq!(s.num_queries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut s = nsm_state(10, 4);
+        register(&mut s, 1, 0, 5);
+        register(&mut s, 1, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicting pinned chunk")]
+    fn evicting_pinned_chunk_panics() {
+        let mut s = nsm_state(10, 4);
+        register(&mut s, 1, 0, 5);
+        let cols = s.model().all_columns();
+        s.begin_load(ChunkId::new(0), cols);
+        s.complete_load();
+        s.start_processing(QueryId(1), ChunkId::new(0));
+        s.evict(ChunkId::new(0));
+    }
+
+    #[test]
+    fn blocking_bookkeeping() {
+        let mut s = nsm_state(10, 4);
+        register(&mut s, 1, 0, 5);
+        s.block_query(QueryId(1), SimTime::from_secs(1));
+        assert!(s.query(QueryId(1)).is_blocked());
+        s.unblock_query(QueryId(1), SimTime::from_secs(3));
+        assert!(!s.query(QueryId(1)).is_blocked());
+        assert_eq!(s.query(QueryId(1)).total_blocked, cscan_simdisk::SimDuration::from_secs(2));
+        s.count_triggered_io(QueryId(1));
+        assert_eq!(s.query(QueryId(1)).ios_triggered, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! The CScan operator's registration plan.
+//!
+//! A `CScan` differs from a traditional `Scan` in two ways (Section 4): it
+//! announces *all* the data it will need up-front — a range or set of ranges
+//! of a table plus, for DSM, the columns it touches — and it is willing to
+//! accept chunks in whatever order the ABM finds convenient.  [`CScanPlan`]
+//! is that announcement; the execution front-ends turn it into a registered
+//! query.
+
+use crate::colset::ColSet;
+use crate::model::TableModel;
+use cscan_storage::{ScanRanges, ZoneMap};
+use serde::{Deserialize, Serialize};
+
+/// The data need a CScan announces to the Active Buffer Manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CScanPlan {
+    /// Human-readable label used in reports (e.g. `"F-10"`).
+    pub label: String,
+    /// The chunk ranges to read.
+    pub ranges: ScanRanges,
+    /// The columns to read (ignored for NSM storage).
+    pub columns: ColSet,
+}
+
+impl CScanPlan {
+    /// A scan over explicit ranges and columns.
+    pub fn new(label: impl Into<String>, ranges: ScanRanges, columns: ColSet) -> Self {
+        Self { label: label.into(), ranges, columns }
+    }
+
+    /// A full-table scan.
+    pub fn full_table(label: impl Into<String>, model: &TableModel, columns: ColSet) -> Self {
+        Self::new(label, ScanRanges::full(model.num_chunks()), columns)
+    }
+
+    /// A scan derived from a range predicate through a zonemap: only the
+    /// chunks whose min/max interval intersects `[lo, hi]` are requested.
+    /// This is how the "multiple ranges" scan plans of Section 2 arise.
+    pub fn from_zonemap(
+        label: impl Into<String>,
+        zonemap: &ZoneMap,
+        lo: i64,
+        hi: i64,
+        columns: ColSet,
+    ) -> Self {
+        Self::new(label, zonemap.matching_ranges(lo, hi), columns)
+    }
+
+    /// Number of chunks the plan requests.
+    pub fn num_chunks(&self) -> u32 {
+        self.ranges.num_chunks()
+    }
+
+    /// True if the plan requests nothing (e.g. a predicate no chunk can match).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The fraction of the table this plan touches.
+    pub fn selectivity(&self, model: &TableModel) -> f64 {
+        self.num_chunks() as f64 / model.num_chunks() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscan_storage::zonemap::ZoneEntry;
+    use cscan_storage::ColumnId;
+
+    #[test]
+    fn full_table_plan() {
+        let model = TableModel::nsm_uniform(50, 100, 16);
+        let plan = CScanPlan::full_table("full", &model, model.all_columns());
+        assert_eq!(plan.num_chunks(), 50);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.selectivity(&model), 1.0);
+        assert_eq!(plan.label, "full");
+    }
+
+    #[test]
+    fn zonemap_plan_skips_chunks() {
+        let model = TableModel::nsm_uniform(4, 100, 16);
+        let zm = ZoneMap::new(
+            ColumnId::new(0),
+            vec![
+                ZoneEntry { min: 0, max: 9 },
+                ZoneEntry { min: 10, max: 19 },
+                ZoneEntry { min: 500, max: 600 },
+                ZoneEntry { min: 20, max: 29 },
+            ],
+        );
+        let plan = CScanPlan::from_zonemap("range", &zm, 12, 25, ColSet::first_n(1));
+        assert_eq!(plan.num_chunks(), 2);
+        assert_eq!(plan.ranges.chunks().iter().map(|c| c.index()).collect::<Vec<_>>(), vec![1, 3]);
+        assert!((plan.selectivity(&model) - 0.5).abs() < 1e-9);
+        let nothing = CScanPlan::from_zonemap("none", &zm, 1000, 2000, ColSet::first_n(1));
+        assert!(nothing.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! # Cooperative Scans
+//!
+//! A from-scratch reproduction of *Cooperative Scans: Dynamic Bandwidth
+//! Sharing in a DBMS* (Zukowski, Héman, Nes, Boncz — VLDB 2007).
+//!
+//! Concurrent (index) scans fight for sequential disk bandwidth.  The paper
+//! replaces the traditional Scan-operator-plus-LRU-buffer arrangement with:
+//!
+//! * **CScan** — a scan operator that registers the chunk ranges it needs
+//!   up-front and accepts out-of-order delivery;
+//! * **ABM** (Active Buffer Manager) — a chunk-granularity buffer manager
+//!   that knows every active scan's remaining needs and dynamically decides
+//!   which chunk to load or evict next.
+//!
+//! Four scheduling policies are implemented behind one [`policy::Policy`]
+//! trait: [`policy::NormalPolicy`], [`policy::AttachPolicy`],
+//! [`policy::ElevatorPolicy`] and the paper's contribution,
+//! [`policy::RelevancePolicy`] (with both the NSM relevance functions of
+//! Fig. 3 and the column-aware DSM variants of Fig. 11).
+//!
+//! Two execution front-ends drive the same ABM:
+//!
+//! * [`sim::Simulation`] — a deterministic discrete-event simulation used to
+//!   regenerate every table and figure of the paper's evaluation;
+//! * [`threaded`] — a real multi-threaded executor (OS threads, condition
+//!   variables, an I/O thread running the ABM main loop of Fig. 3) for live
+//!   use of the API.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cscan_core::model::TableModel;
+//! use cscan_core::policy::PolicyKind;
+//! use cscan_core::sim::{QuerySpec, SimConfig, Simulation};
+//! use cscan_storage::ScanRanges;
+//!
+//! // A 100-chunk NSM table, a 25-chunk buffer pool, two concurrent scans
+//! // processing 5 million tuples per second each.
+//! let model = TableModel::nsm_uniform(100, 100_000, 256);
+//! let config = SimConfig::default().with_buffer_chunks(25);
+//! let mut sim = Simulation::new(model, PolicyKind::Relevance, config);
+//! sim.submit_stream(vec![
+//!     QuerySpec::full_scan("q1", 5_000_000.0),
+//!     QuerySpec::range_scan("q2", ScanRanges::single(10, 40), 5_000_000.0),
+//! ]);
+//! let result = sim.run();
+//! assert_eq!(result.queries.len(), 2);
+//! assert!(result.io_requests > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abm;
+pub mod colset;
+pub mod cscan;
+pub mod model;
+pub mod policy;
+pub mod query;
+pub mod reuse;
+pub mod sim;
+pub mod threaded;
+
+pub use abm::{Abm, AbmState, BufferedChunk, LoadDecision};
+pub use colset::ColSet;
+pub use cscan::CScanPlan;
+pub use model::{StorageKind, TableModel};
+pub use policy::{
+    AttachPolicy, ElevatorPolicy, NormalPolicy, Policy, PolicyKind, RelevancePolicy,
+};
+pub use query::{QueryId, QueryState};
+
+// Re-export the identifiers that appear throughout the public API.
+pub use cscan_storage::{ChunkId, ColumnId, ScanRanges};

@@ -1,0 +1,207 @@
+//! The `elevator` policy: one global, strictly sequential scan cursor.
+//!
+//! The system reads chunks in table order (skipping chunks nobody wants),
+//! wrapping around at the end.  Every active query picks up the chunks it
+//! needs as the cursor passes through its range.  This minimizes the number
+//! of I/O requests and gives the disk a perfectly sequential pattern, but
+//! query speed degenerates to the speed of the slowest query and range scans
+//! may wait long before the cursor reaches their data (Section 3).
+
+use crate::abm::{AbmState, LoadDecision};
+use crate::colset::ColSet;
+use crate::policy::{Policy, PolicyKind};
+use crate::query::QueryId;
+use cscan_simdisk::SimTime;
+use cscan_storage::ChunkId;
+
+/// Single global sequential cursor (see module docs).
+#[derive(Debug, Default)]
+pub struct ElevatorPolicy {
+    /// The next chunk index the global cursor will consider.
+    cursor: u32,
+}
+
+impl ElevatorPolicy {
+    /// Creates the policy with the cursor at the start of the table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current cursor position (next chunk index to consider).
+    pub fn cursor(&self) -> u32 {
+        self.cursor
+    }
+
+    /// Columns to load for `chunk`: the union of the columns of every active
+    /// query that still needs it (the paper: "it only loads the union of all
+    /// columns needed for this position by the active queries").
+    fn union_columns(state: &AbmState, chunk: ChunkId) -> ColSet {
+        if !state.model().is_dsm() {
+            return state.model().all_columns();
+        }
+        state
+            .queries()
+            .filter(|q| q.needs(chunk))
+            .fold(ColSet::empty(), |acc, q| acc.union(q.columns))
+    }
+
+    /// Finds the next chunk (starting at the cursor, wrapping once) that some
+    /// query needs and that is missing data for those queries.
+    fn next_wanted(&self, state: &AbmState) -> Option<(ChunkId, ColSet)> {
+        let n = state.model().num_chunks();
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            let chunk = ChunkId::new(idx);
+            if state.num_interested(chunk) == 0 {
+                continue;
+            }
+            let cols = Self::union_columns(state, chunk);
+            if state.pages_to_load(chunk, cols) > 0 {
+                return Some((chunk, cols));
+            }
+        }
+        None
+    }
+}
+
+impl Policy for ElevatorPolicy {
+    fn name(&self) -> &'static str {
+        "elevator"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Elevator
+    }
+
+    fn next_load(&mut self, state: &AbmState, _now: SimTime) -> Option<LoadDecision> {
+        let (chunk, cols) = self.next_wanted(state)?;
+        // Attribute the load to an interested query (the first one) purely
+        // for accounting; the elevator itself is query-agnostic.
+        let trigger = state.interested_queries(chunk).first().copied()?;
+        self.cursor = (chunk.index() + 1) % state.model().num_chunks();
+        Some(LoadDecision { trigger, chunk, cols })
+    }
+
+    fn next_chunk(&mut self, q: QueryId, state: &AbmState) -> Option<ChunkId> {
+        // Consume resident chunks in the order the elevator loaded them
+        // (FIFO), which preserves the global sequential delivery order.
+        let query = state.query(q);
+        state
+            .buffered()
+            .filter(|b| query.needs_and_not_processing(b.chunk))
+            .filter(|b| query.columns.is_subset_of(b.columns))
+            .min_by_key(|b| b.loaded_seq)
+            .map(|b| b.chunk)
+    }
+
+    fn choose_victim(&mut self, state: &AbmState, load: &LoadDecision) -> Option<ChunkId> {
+        // Only chunks nobody needs any more may be evicted; evicting a chunk
+        // that an interested query has not yet consumed would break the
+        // "everyone picks it up as the cursor passes" contract and force a
+        // re-read.  If nothing qualifies the elevator simply waits.
+        state
+            .buffered()
+            .filter(|b| b.chunk != load.chunk && state.is_evictable(b.chunk))
+            .filter(|b| state.num_interested(b.chunk) == 0)
+            .min_by_key(|b| b.loaded_seq)
+            .map(|b| b.chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abm::AbmState;
+    use crate::model::TableModel;
+    use cscan_storage::ScanRanges;
+
+    fn state(chunks: u32, buffer_chunks: u64) -> AbmState {
+        AbmState::new(TableModel::nsm_uniform(chunks, 1000, 16), buffer_chunks * 16)
+    }
+
+    fn register(s: &mut AbmState, id: u64, start: u32, end: u32) -> QueryId {
+        let cols = s.model().all_columns();
+        s.register_query(QueryId(id), format!("q{id}"), ScanRanges::single(start, end), cols, SimTime::ZERO);
+        QueryId(id)
+    }
+
+    fn load(s: &mut AbmState, chunk: u32) {
+        let cols = s.model().all_columns();
+        s.begin_load(ChunkId::new(chunk), cols);
+        s.complete_load();
+    }
+
+    #[test]
+    fn cursor_visits_only_wanted_chunks_in_order() {
+        let mut s = state(20, 10);
+        register(&mut s, 1, 2, 5);
+        register(&mut s, 2, 10, 12);
+        let mut p = ElevatorPolicy::new();
+        let picked: Vec<u32> = std::iter::from_fn(|| {
+            let d = p.next_load(&s, SimTime::ZERO)?;
+            // Simulate the load completing so the next call moves on.
+            let cols = s.model().all_columns();
+            s.begin_load(d.chunk, cols);
+            s.complete_load();
+            Some(d.chunk.index())
+        })
+        .collect();
+        assert_eq!(picked, vec![2, 3, 4, 10, 11]);
+        assert!(p.next_load(&s, SimTime::ZERO).is_none(), "everything wanted is resident");
+    }
+
+    #[test]
+    fn cursor_wraps_around_for_late_queries() {
+        let mut s = state(10, 10);
+        register(&mut s, 1, 5, 8);
+        let mut p = ElevatorPolicy::new();
+        // Serve the first query up to chunk 7.
+        for expected in [5, 6, 7] {
+            let d = p.next_load(&s, SimTime::ZERO).unwrap();
+            assert_eq!(d.chunk.index(), expected);
+            load(&mut s, expected);
+        }
+        // A new query needing earlier chunks has to wait for the wrap.
+        register(&mut s, 2, 0, 2);
+        let d = p.next_load(&s, SimTime::ZERO).unwrap();
+        assert_eq!(d.chunk.index(), 0, "cursor wrapped to the beginning");
+    }
+
+    #[test]
+    fn queries_consume_in_load_order() {
+        let mut s = state(10, 10);
+        let q = register(&mut s, 1, 0, 5);
+        let mut p = ElevatorPolicy::new();
+        load(&mut s, 3);
+        load(&mut s, 1);
+        // Chunk 3 was loaded first: FIFO delivery hands it out first.
+        assert_eq!(p.next_chunk(q, &s), Some(ChunkId::new(3)));
+        s.start_processing(q, ChunkId::new(3));
+        s.finish_processing(q, ChunkId::new(3));
+        assert_eq!(p.next_chunk(q, &s), Some(ChunkId::new(1)));
+    }
+
+    #[test]
+    fn eviction_protects_unconsumed_chunks() {
+        let mut s = state(10, 2);
+        let q1 = register(&mut s, 1, 0, 4);
+        let mut p = ElevatorPolicy::new();
+        load(&mut s, 0);
+        load(&mut s, 1);
+        let d = LoadDecision { trigger: q1, chunk: ChunkId::new(2), cols: s.model().all_columns() };
+        // Both resident chunks are still needed by q1: nothing may be evicted.
+        assert_eq!(p.choose_victim(&s, &d), None);
+        // After q1 consumes chunk 0 it becomes evictable.
+        s.start_processing(q1, ChunkId::new(0));
+        s.finish_processing(q1, ChunkId::new(0));
+        assert_eq!(p.choose_victim(&s, &d), Some(ChunkId::new(0)));
+    }
+
+    #[test]
+    fn no_queries_means_nothing_to_do() {
+        let s = state(10, 4);
+        let mut p = ElevatorPolicy::new();
+        assert!(p.next_load(&s, SimTime::ZERO).is_none());
+        assert_eq!(p.cursor(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Scan scheduling policies.
+//!
+//! All four policies analysed in the paper are implemented behind the
+//! [`Policy`] trait: [`NormalPolicy`] (per-query sequential scans over an
+//! LRU buffer), [`AttachPolicy`] (circular/shared scans), [`ElevatorPolicy`]
+//! (one global sequential cursor) and [`RelevancePolicy`] (the paper's
+//! contribution).  Policies are pure decision logic: they read the
+//! [`AbmState`] and never mutate it, which lets the same implementations be
+//! driven by the deterministic simulation and by the threaded executor.
+
+mod attach;
+mod elevator;
+mod normal;
+mod relevance;
+
+pub use attach::AttachPolicy;
+pub use elevator::ElevatorPolicy;
+pub use normal::NormalPolicy;
+pub use relevance::RelevancePolicy;
+
+use crate::abm::{AbmState, LoadDecision};
+use crate::query::QueryId;
+use cscan_simdisk::SimTime;
+use cscan_storage::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// Which of the four scheduling policies to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Traditional per-query sequential scans with LRU buffering.
+    Normal,
+    /// Circular ("shared") scans: new queries attach to overlapping ones.
+    Attach,
+    /// One global sequential cursor for the whole system.
+    Elevator,
+    /// The paper's relevance-function-based policy.
+    Relevance,
+}
+
+impl PolicyKind {
+    /// All policies, in the order the paper's tables list them.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Normal, PolicyKind::Attach, PolicyKind::Elevator, PolicyKind::Relevance];
+
+    /// The policy's lowercase name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Normal => "normal",
+            PolicyKind::Attach => "attach",
+            PolicyKind::Elevator => "elevator",
+            PolicyKind::Relevance => "relevance",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Normal => Box::new(NormalPolicy::new()),
+            PolicyKind::Attach => Box::new(AttachPolicy::new()),
+            PolicyKind::Elevator => Box::new(ElevatorPolicy::new()),
+            PolicyKind::Relevance => Box::new(RelevancePolicy::new()),
+        }
+    }
+
+    /// Parses a policy name (case-insensitive).
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "normal" | "lru" => Some(PolicyKind::Normal),
+            "attach" | "circular" | "shared" => Some(PolicyKind::Attach),
+            "elevator" | "scan" => Some(PolicyKind::Elevator),
+            "relevance" | "cscan" | "cooperative" => Some(PolicyKind::Relevance),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scan scheduling policy.
+///
+/// The three decision points correspond to Figure 3 of the paper:
+/// `next_chunk` is `chooseAvailableChunk` (which resident chunk should the
+/// query consume next), `next_load` is `chooseQueryToProcess` +
+/// `chooseChunkToLoad` (what should the disk do next), and `choose_victim`
+/// is the eviction half of `findFreeSlot`.
+pub trait Policy: Send {
+    /// The policy's name (matches [`PolicyKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// The corresponding [`PolicyKind`].
+    fn kind(&self) -> PolicyKind;
+
+    /// Called when a new query registers.
+    fn on_register(&mut self, _q: QueryId, _state: &AbmState) {}
+
+    /// Called when a query is closed.
+    fn on_query_finished(&mut self, _q: QueryId, _state: &AbmState) {}
+
+    /// Which chunk should the disk load next, and for whom?  `None` means
+    /// there is nothing useful to load right now.
+    fn next_load(&mut self, state: &AbmState, now: SimTime) -> Option<LoadDecision>;
+
+    /// Which resident chunk should query `q` consume next?  `None` means the
+    /// query must block until a load completes.
+    fn next_chunk(&mut self, q: QueryId, state: &AbmState) -> Option<ChunkId>;
+
+    /// Pick a chunk to evict to make room for `load`.  `None` means no
+    /// eviction is currently possible (everything is pinned or protected).
+    fn choose_victim(&mut self, state: &AbmState, load: &LoadDecision) -> Option<ChunkId>;
+}
+
+/// Shared helper: the least-recently-touched evictable chunk, excluding the
+/// chunk being loaded.  This is the eviction rule of the traditional
+/// policies (`normal`, `attach`); `elevator` and `relevance` use their own.
+pub(crate) fn lru_victim(state: &AbmState, protect: ChunkId) -> Option<ChunkId> {
+    state
+        .buffered()
+        .filter(|b| b.chunk != protect && state.is_evictable(b.chunk))
+        .min_by_key(|b| b.last_touch)
+        .map(|b| b.chunk)
+}
+
+/// Shared helper: the columns that should be fetched when loading `chunk`
+/// for `trigger` under a traditional policy — the trigger's own columns
+/// (NSM tables ignore the column set entirely).
+pub(crate) fn trigger_columns(state: &AbmState, trigger: QueryId) -> crate::colset::ColSet {
+    if state.model().is_dsm() {
+        state.query(trigger).columns
+    } else {
+        state.model().all_columns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build().kind(), kind);
+            assert_eq!(kind.build().name(), kind.name());
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(PolicyKind::parse("LRU"), Some(PolicyKind::Normal));
+        assert_eq!(PolicyKind::parse("circular"), Some(PolicyKind::Attach));
+        assert_eq!(PolicyKind::parse("cooperative"), Some(PolicyKind::Relevance));
+        assert_eq!(PolicyKind::parse("bogus"), None);
+    }
+}

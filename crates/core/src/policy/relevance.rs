@@ -1,0 +1,394 @@
+//! The `relevance` policy — the paper's contribution.
+//!
+//! All decisions are made by per-chunk and per-query *relevance functions*
+//! (Figure 3 for NSM, Figure 11 for DSM):
+//!
+//! * `queryRelevance` picks which query to load a chunk for: only starved
+//!   queries (fewer than two available chunks) are considered, shorter
+//!   queries first, with a boost that grows with waiting time so long
+//!   queries are not starved forever;
+//! * `loadRelevance` picks which of that query's missing chunks to read:
+//!   chunks wanted by many starved queries first (DSM additionally divides
+//!   by the number of pages that must be read, preferring cheap loads);
+//! * `useRelevance` picks which available chunk a query consumes next:
+//!   the one with the fewest interested queries (DSM: the one occupying the
+//!   most buffer space per interested query), so that poorly-shared chunks
+//!   become evictable as early as possible;
+//! * `keepRelevance` picks eviction victims: chunks useful to almost-starved
+//!   queries are protected, otherwise the least-shared (DSM: largest per
+//!   interested query) chunk goes first.
+
+use crate::abm::{AbmState, LoadDecision};
+use crate::colset::ColSet;
+use crate::policy::{Policy, PolicyKind};
+use crate::query::QueryId;
+use cscan_simdisk::SimTime;
+use cscan_storage::ChunkId;
+
+/// Weight that makes "number of interested starved queries" dominate
+/// "number of interested queries" in the load/keep relevance functions
+/// (the paper's `Qmax`: an upper bound on the number of concurrent queries).
+const QMAX: f64 = 1024.0;
+
+/// The relevance-based Cooperative Scans policy (see module docs).
+#[derive(Debug, Default)]
+pub struct RelevancePolicy {
+    _private: (),
+}
+
+impl RelevancePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Relevance functions.  Public (crate) visibility so the benchmark that
+    // reproduces Figure 8 can measure their cost in isolation.
+    // ------------------------------------------------------------------
+
+    /// `queryRelevance(q)`: priority of scheduling a load on behalf of `q`.
+    pub fn query_relevance(state: &AbmState, q: QueryId, now: SimTime) -> f64 {
+        if !state.is_starved(q) {
+            return f64::NEG_INFINITY;
+        }
+        let query = state.query(q);
+        let waiting = query.waiting_time(now).as_secs_f64();
+        let running = state.num_queries().max(1) as f64;
+        -(query.chunks_needed() as f64) + waiting / running
+    }
+
+    /// `useRelevance(c, q)`: priority of *consuming* resident chunk `c`.
+    pub fn use_relevance(state: &AbmState, q: QueryId, chunk: ChunkId) -> f64 {
+        if state.model().is_dsm() {
+            // Fig. 11: prefer chunks that occupy many cached pages per
+            // interested overlapping query, so big chunks get freed early.
+            let cols = state.query(q).columns;
+            let interested = state
+                .queries()
+                .filter(|other| other.needs(chunk) && other.columns.overlaps(cols))
+                .count()
+                .max(1) as f64;
+            let cached_pages = state
+                .buffered_chunk(chunk)
+                .map(|b| state.model().chunk_pages(chunk, b.columns.intersect(cols)))
+                .unwrap_or(0) as f64;
+            cached_pages / interested
+        } else {
+            // Fig. 3: prefer chunks with the fewest interested queries.
+            QMAX - state.num_interested(chunk) as f64
+        }
+    }
+
+    /// `loadRelevance(c)`: priority of *loading* missing chunk `c` for the
+    /// triggering query.
+    pub fn load_relevance(state: &AbmState, trigger: QueryId, chunk: ChunkId) -> f64 {
+        if state.model().is_dsm() {
+            // Fig. 11: queries = starved queries interested in the chunk that
+            // overlap the trigger's columns; benefit L = |queries|, cost Pl =
+            // pages that must be read for all columns those queries use.
+            let trigger_cols = state.query(trigger).columns;
+            let mut cols = ColSet::empty();
+            let mut l = 0u32;
+            for q in state.queries() {
+                if q.needs(chunk) && q.columns.overlaps(trigger_cols) && state.is_starved(q.id) {
+                    cols = cols.union(q.columns);
+                    l += 1;
+                }
+            }
+            if l == 0 {
+                // Always at least the trigger itself.
+                cols = trigger_cols;
+                l = 1;
+            }
+            let pages_to_load = state.pages_to_load(chunk, cols).max(1) as f64;
+            l as f64 / pages_to_load
+        } else {
+            state.num_interested_starved(chunk) as f64 * QMAX
+                + state.num_interested(chunk) as f64
+        }
+    }
+
+    /// `keepRelevance(c)`: priority of *keeping* resident chunk `c` (the
+    /// chunk with the lowest value is evicted first).
+    pub fn keep_relevance(state: &AbmState, chunk: ChunkId) -> f64 {
+        if state.model().is_dsm() {
+            // Fig. 11: keep chunks that occupy few pages and serve many
+            // almost-starved queries; evict big, poorly-shared ones first.
+            let mut cols = ColSet::empty();
+            let mut interested_almost_starved = 0u32;
+            for q in state.queries() {
+                if q.needs(chunk) && state.is_almost_starved(q.id) {
+                    cols = cols.union(q.columns);
+                    interested_almost_starved += 1;
+                }
+            }
+            let cached = state
+                .buffered_chunk(chunk)
+                .map(|b| state.model().chunk_pages(chunk, b.columns.intersect(cols)))
+                .unwrap_or(0)
+                .max(1) as f64;
+            interested_almost_starved as f64 / cached
+        } else {
+            state.num_interested_almost_starved(chunk) as f64 * QMAX
+                + state.num_interested(chunk) as f64
+        }
+    }
+
+    /// The columns to fetch when loading `chunk` for `trigger`: the trigger's
+    /// columns plus those of any starved overlapping query interested in the
+    /// chunk (NSM: all columns).
+    fn load_columns(state: &AbmState, trigger: QueryId, chunk: ChunkId) -> ColSet {
+        if !state.model().is_dsm() {
+            return state.model().all_columns();
+        }
+        let trigger_cols = state.query(trigger).columns;
+        let mut cols = trigger_cols;
+        for q in state.queries() {
+            if q.id != trigger
+                && q.needs(chunk)
+                && q.columns.overlaps(trigger_cols)
+                && state.is_starved(q.id)
+            {
+                cols = cols.union(q.columns);
+            }
+        }
+        cols
+    }
+}
+
+impl Policy for RelevancePolicy {
+    fn name(&self) -> &'static str {
+        "relevance"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Relevance
+    }
+
+    fn next_load(&mut self, state: &AbmState, now: SimTime) -> Option<LoadDecision> {
+        // chooseQueryToProcess: the starved query with the highest relevance.
+        let trigger = state
+            .queries()
+            .filter(|q| !q.is_finished())
+            .map(|q| (Self::query_relevance(state, q.id, now), q.id))
+            .filter(|(r, _)| r.is_finite())
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
+            .map(|(_, id)| id)?;
+        // chooseChunkToLoad: the missing chunk with the highest load relevance.
+        let trigger_cols = state.query(trigger).columns;
+        let chunk = state
+            .query(trigger)
+            .remaining_chunks()
+            .filter(|&c| state.pages_to_load(c, trigger_cols) > 0)
+            .map(|c| (Self::load_relevance(state, trigger, c), c))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
+            .map(|(_, c)| c)?;
+        let cols = Self::load_columns(state, trigger, chunk);
+        Some(LoadDecision { trigger, chunk, cols })
+    }
+
+    fn next_chunk(&mut self, q: QueryId, state: &AbmState) -> Option<ChunkId> {
+        // chooseAvailableChunk: the resident chunk with the highest use relevance.
+        let query = state.query(q);
+        state
+            .buffered()
+            .filter(|b| query.needs_and_not_processing(b.chunk))
+            .filter(|b| query.columns.is_subset_of(b.columns))
+            .map(|b| (Self::use_relevance(state, q, b.chunk), b.chunk))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
+            .map(|(_, c)| c)
+    }
+
+    fn choose_victim(&mut self, state: &AbmState, load: &LoadDecision) -> Option<ChunkId> {
+        let trigger = state.query(load.trigger);
+        // First pass (the paper's findFreeSlot guards): skip chunks that are
+        // pinned, the chunk being loaded, chunks the triggering query still
+        // needs, and chunks useful to a starved query.
+        let strict = state
+            .buffered()
+            .filter(|b| b.chunk != load.chunk && state.is_evictable(b.chunk))
+            .filter(|b| !trigger.needs(b.chunk))
+            .filter(|b| !state.useful_for_starved_query(b.chunk))
+            .map(|b| (Self::keep_relevance(state, b.chunk), b.chunk))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+            .map(|(_, c)| c);
+        if strict.is_some() {
+            return strict;
+        }
+        // Relaxed pass: buffer pressure is real; victimize the least
+        // relevant evictable chunk even if someone still wants it.
+        state
+            .buffered()
+            .filter(|b| b.chunk != load.chunk && state.is_evictable(b.chunk))
+            .map(|b| (Self::keep_relevance(state, b.chunk), b.chunk))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+            .map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abm::AbmState;
+    use crate::model::TableModel;
+    use cscan_storage::{ColumnId, ScanRanges};
+
+    fn state(chunks: u32, buffer_chunks: u64) -> AbmState {
+        AbmState::new(TableModel::nsm_uniform(chunks, 1000, 16), buffer_chunks * 16)
+    }
+
+    fn register(s: &mut AbmState, id: u64, start: u32, end: u32) -> QueryId {
+        let cols = s.model().all_columns();
+        s.register_query(QueryId(id), format!("q{id}"), ScanRanges::single(start, end), cols, SimTime::ZERO);
+        QueryId(id)
+    }
+
+    fn load(s: &mut AbmState, chunk: u32) {
+        let cols = s.model().all_columns();
+        s.begin_load(ChunkId::new(chunk), cols);
+        s.complete_load();
+    }
+
+    #[test]
+    fn short_starved_queries_win() {
+        let mut s = state(100, 10);
+        let short = register(&mut s, 1, 0, 5);
+        let long = register(&mut s, 2, 0, 80);
+        let now = SimTime::ZERO;
+        let r_short = RelevancePolicy::query_relevance(&s, short, now);
+        let r_long = RelevancePolicy::query_relevance(&s, long, now);
+        assert!(r_short > r_long, "short queries get priority: {r_short} vs {r_long}");
+        let mut p = RelevancePolicy::new();
+        let d = p.next_load(&s, now).unwrap();
+        assert_eq!(d.trigger, short);
+        // The chosen chunk is shared by both queries (chunks 0..5 are).
+        assert!(s.query(long).needs(d.chunk));
+    }
+
+    #[test]
+    fn non_starved_queries_are_not_scheduled() {
+        let mut s = state(20, 10);
+        let q = register(&mut s, 1, 0, 10);
+        load(&mut s, 0);
+        load(&mut s, 1);
+        load(&mut s, 2);
+        assert!(!s.is_starved(q));
+        assert_eq!(RelevancePolicy::query_relevance(&s, q, SimTime::ZERO), f64::NEG_INFINITY);
+        let mut p = RelevancePolicy::new();
+        assert!(p.next_load(&s, SimTime::ZERO).is_none(), "nobody is starved");
+    }
+
+    #[test]
+    fn waiting_time_eventually_boosts_long_queries() {
+        let mut s = state(100, 10);
+        let short = register(&mut s, 1, 0, 5);
+        let long = register(&mut s, 2, 0, 80);
+        // The long query has been blocked for a very long time.
+        s.block_query(long, SimTime::ZERO);
+        let later = SimTime::from_secs(1000);
+        let r_short = RelevancePolicy::query_relevance(&s, short, later);
+        let r_long = RelevancePolicy::query_relevance(&s, long, later);
+        assert!(r_long > r_short, "waiting time must eventually win: {r_long} vs {r_short}");
+    }
+
+    #[test]
+    fn use_relevance_prefers_least_shared_chunks() {
+        let mut s = state(20, 10);
+        let q1 = register(&mut s, 1, 0, 10);
+        let _q2 = register(&mut s, 2, 5, 10);
+        load(&mut s, 0); // only q1 wants chunk 0
+        load(&mut s, 7); // both want chunk 7
+        let mut p = RelevancePolicy::new();
+        assert_eq!(
+            p.next_chunk(q1, &s),
+            Some(ChunkId::new(0)),
+            "consume the chunk fewer queries are interested in first"
+        );
+    }
+
+    #[test]
+    fn load_relevance_prefers_widely_wanted_chunks() {
+        let mut s = state(20, 10);
+        let q1 = register(&mut s, 1, 0, 10);
+        let _q2 = register(&mut s, 2, 5, 10);
+        let _q3 = register(&mut s, 3, 5, 10);
+        // All three queries are starved; chunks 5..10 serve three of them.
+        let mut p = RelevancePolicy::new();
+        let d = p.next_load(&s, SimTime::ZERO).unwrap();
+        assert!(d.chunk.index() >= 5, "chunk {:?} should be in the shared range", d.chunk);
+        let shared = RelevancePolicy::load_relevance(&s, q1, ChunkId::new(6));
+        let private = RelevancePolicy::load_relevance(&s, q1, ChunkId::new(1));
+        assert!(shared > private);
+    }
+
+    #[test]
+    fn keep_relevance_protects_starved_queries_chunks() {
+        let mut s = state(20, 10);
+        let q1 = register(&mut s, 1, 0, 10);
+        let _q2 = register(&mut s, 2, 15, 20);
+        load(&mut s, 0);
+        load(&mut s, 15);
+        // Process chunk 0 for q1 so it is no longer needed by anyone.
+        s.start_processing(q1, ChunkId::new(0));
+        s.finish_processing(q1, ChunkId::new(0));
+        let mut p = RelevancePolicy::new();
+        let d = LoadDecision { trigger: q1, chunk: ChunkId::new(1), cols: s.model().all_columns() };
+        // Chunk 15 is needed by the starved q2 and must not be the victim.
+        assert_eq!(p.choose_victim(&s, &d), Some(ChunkId::new(0)));
+    }
+
+    #[test]
+    fn victim_fallback_when_everything_is_wanted() {
+        let mut s = state(20, 2);
+        let q1 = register(&mut s, 1, 0, 20);
+        load(&mut s, 0);
+        load(&mut s, 1);
+        // Both resident chunks are still wanted by the (starved) q1, but the
+        // pool is full: the relaxed pass must still find a victim.
+        let mut p = RelevancePolicy::new();
+        let d = LoadDecision { trigger: q1, chunk: ChunkId::new(2), cols: s.model().all_columns() };
+        assert!(p.choose_victim(&s, &d).is_some());
+    }
+
+    #[test]
+    fn dsm_load_columns_cover_overlapping_starved_queries() {
+        let model = TableModel::dsm_uniform(10, 1000, &[2, 4, 8, 16]);
+        let mut s = AbmState::new(model, 10_000);
+        let cols_a = ColSet::from_columns([ColumnId::new(0), ColumnId::new(1)]);
+        let cols_b = ColSet::from_columns([ColumnId::new(1), ColumnId::new(2)]);
+        let cols_c = ColSet::from_columns([ColumnId::new(3)]);
+        s.register_query(QueryId(1), "a", ScanRanges::single(0, 5), cols_a, SimTime::ZERO);
+        s.register_query(QueryId(2), "b", ScanRanges::single(0, 5), cols_b, SimTime::ZERO);
+        s.register_query(QueryId(3), "c", ScanRanges::single(0, 5), cols_c, SimTime::ZERO);
+        let mut p = RelevancePolicy::new();
+        let d = p.next_load(&s, SimTime::ZERO).unwrap();
+        // Whoever triggers, the loaded columns must include the trigger's
+        // columns and may include the overlapping starved partner's, but not
+        // the disjoint query's column 3 unless query 3 itself triggered.
+        let trigger_cols = s.query(d.trigger).columns;
+        assert!(trigger_cols.is_subset_of(d.cols));
+        if d.trigger != QueryId(3) {
+            assert!(!d.cols.contains(ColumnId::new(3)) || trigger_cols.contains(ColumnId::new(3)));
+        }
+    }
+
+    #[test]
+    fn dsm_use_relevance_frees_large_chunks_first() {
+        let model = TableModel::dsm_uniform(10, 1000, &[1, 50]);
+        let mut s = AbmState::new(model, 10_000);
+        let narrow = ColSet::from_columns([ColumnId::new(0)]);
+        let wide = ColSet::from_columns([ColumnId::new(0), ColumnId::new(1)]);
+        s.register_query(QueryId(1), "wide", ScanRanges::single(0, 4), wide, SimTime::ZERO);
+        s.register_query(QueryId(2), "narrow", ScanRanges::single(0, 4), narrow, SimTime::ZERO);
+        // Chunk 0 resident with both columns (51 pages), chunk 1 with only
+        // the narrow column (1 page).
+        s.begin_load(ChunkId::new(0), wide);
+        s.complete_load();
+        s.begin_load(ChunkId::new(1), narrow);
+        s.complete_load();
+        let mut p = RelevancePolicy::new();
+        // The wide query consumes the expensive chunk first to free it sooner.
+        assert_eq!(p.next_chunk(QueryId(1), &s), Some(ChunkId::new(0)));
+    }
+}

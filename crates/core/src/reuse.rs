@@ -1,0 +1,191 @@
+//! Buffer-reuse probability (Figure 2 / Equation 1 of the paper).
+//!
+//! With a table of `CT` chunks, a query needing `CQ` chunks and a buffer pool
+//! holding `CB` randomly chosen chunks, the probability that *at least one*
+//! buffered chunk is useful to the query is
+//!
+//! ```text
+//! P_reuse = 1 - Π_{i=0}^{CB-1} (CT - CQ - i) / (CT - i)
+//! ```
+//!
+//! The `normal` policy, by insisting on sequential delivery, can only use the
+//! single specific chunk at its cursor, collapsing this probability to
+//! `CB / CT`.  Both quantities are provided here, plus a Monte-Carlo
+//! estimator used as an independent cross-check in the test-suite and in the
+//! Figure 2 reproduction binary.
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// Equation 1: probability that a randomly filled buffer of `cb` chunks
+/// contains at least one of the `cq` chunks a query needs, out of a table of
+/// `ct` chunks.
+///
+/// Out-of-range inputs are clamped: `cq` and `cb` are limited to `ct`.
+pub fn reuse_probability(ct: u64, cq: u64, cb: u64) -> f64 {
+    if ct == 0 {
+        return 0.0;
+    }
+    let cq = cq.min(ct);
+    let cb = cb.min(ct);
+    if cq == 0 || cb == 0 {
+        return 0.0;
+    }
+    if cq + cb > ct {
+        // Pigeonhole: the buffer cannot avoid the query's chunks.
+        return 1.0;
+    }
+    let mut miss = 1.0f64;
+    for i in 0..cb {
+        miss *= (ct - cq - i) as f64 / (ct - i) as f64;
+    }
+    1.0 - miss
+}
+
+/// The reuse probability available to the `normal` policy, which at any
+/// moment can only use one specific chunk: `CB / CT`.
+pub fn sequential_reuse_probability(ct: u64, cb: u64) -> f64 {
+    if ct == 0 {
+        0.0
+    } else {
+        (cb.min(ct)) as f64 / ct as f64
+    }
+}
+
+/// Monte-Carlo estimate of Equation 1: fill a buffer with `cb` random chunks
+/// and check whether any of the query's first `cq` chunks landed in it,
+/// repeated `trials` times.
+pub fn reuse_probability_monte_carlo<R: Rng>(
+    rng: &mut R,
+    ct: u64,
+    cq: u64,
+    cb: u64,
+    trials: u32,
+) -> f64 {
+    if ct == 0 || cq == 0 || cb == 0 || trials == 0 {
+        return 0.0;
+    }
+    let ct = ct as usize;
+    let cq = cq.min(ct as u64) as usize;
+    let cb = cb.min(ct as u64) as usize;
+    let mut hits = 0u32;
+    for _ in 0..trials {
+        // Without loss of generality the query needs chunks 0..cq; sample the
+        // buffer content uniformly without replacement.
+        let buffered = sample(rng, ct, cb);
+        if buffered.iter().any(|c| c < cq) {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+/// One row of the Figure 2 data: the reuse probability for each buffer size
+/// as the query demand varies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseCurve {
+    /// Buffer size in chunks.
+    pub buffer_chunks: u64,
+    /// `(chunks needed, probability)` points.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Computes the full set of Figure 2 curves for a table of `ct` chunks.
+pub fn figure2_curves(ct: u64, buffer_sizes: &[u64]) -> Vec<ReuseCurve> {
+    buffer_sizes
+        .iter()
+        .map(|&cb| ReuseCurve {
+            buffer_chunks: cb,
+            points: (1..=ct).map(|cq| (cq, reuse_probability(ct, cq, cb))).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(reuse_probability(0, 5, 5), 0.0);
+        assert_eq!(reuse_probability(100, 0, 10), 0.0);
+        assert_eq!(reuse_probability(100, 10, 0), 0.0);
+        assert_eq!(reuse_probability(100, 100, 1), 1.0);
+        assert_eq!(reuse_probability(100, 60, 50), 1.0, "pigeonhole");
+        assert_eq!(sequential_reuse_probability(100, 10), 0.1);
+        assert_eq!(sequential_reuse_probability(0, 10), 0.0);
+        assert_eq!(sequential_reuse_probability(10, 100), 1.0);
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        // Section 3: "over 50% for a 10% scan with a buffer pool holding 10%
+        // of the relation" (CT=100, CQ=10, CB=10).
+        let p = reuse_probability(100, 10, 10);
+        assert!(p > 0.5 && p < 0.75, "got {p}");
+        // And always at least as good as what normal can exploit.
+        assert!(p > sequential_reuse_probability(100, 10));
+    }
+
+    #[test]
+    fn monotone_in_demand_and_buffer() {
+        for cb in [1u64, 5, 20, 50] {
+            let mut prev = 0.0;
+            for cq in 1..=100u64 {
+                let p = reuse_probability(100, cq, cb);
+                assert!(p >= prev - 1e-12, "not monotone at cq={cq}, cb={cb}");
+                prev = p;
+            }
+        }
+        for cq in [1u64, 10, 50] {
+            let mut prev = 0.0;
+            for cb in 1..=100u64 {
+                let p = reuse_probability(100, cq, cb);
+                assert!(p >= prev - 1e-12, "not monotone at cq={cq}, cb={cb}");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for ct in [1u64, 10, 100, 1000] {
+            for cq in [0u64, 1, ct / 2, ct] {
+                for cb in [0u64, 1, ct / 4, ct] {
+                    let p = reuse_probability(ct, cq, cb);
+                    assert!((0.0..=1.0).contains(&p), "p={p} for ct={ct} cq={cq} cb={cb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(ct, cq, cb) in &[(100u64, 10u64, 10u64), (100, 30, 5), (50, 5, 25)] {
+            let exact = reuse_probability(ct, cq, cb);
+            let mc = reuse_probability_monte_carlo(&mut rng, ct, cq, cb, 20_000);
+            assert!((exact - mc).abs() < 0.02, "ct={ct} cq={cq} cb={cb}: exact={exact} mc={mc}");
+        }
+    }
+
+    #[test]
+    fn figure2_curves_shape() {
+        let curves = figure2_curves(100, &[1, 5, 10, 20, 50]);
+        assert_eq!(curves.len(), 5);
+        for c in &curves {
+            assert_eq!(c.points.len(), 100);
+            // Larger demand -> larger probability; final point is 1.0 when
+            // buffer + demand exceed the table.
+            assert!(c.points.last().unwrap().1 > 0.99);
+        }
+        // Larger buffers dominate smaller ones pointwise.
+        for i in 1..curves.len() {
+            for (a, b) in curves[i - 1].points.iter().zip(&curves[i].points) {
+                assert!(b.1 >= a.1 - 1e-12);
+            }
+        }
+    }
+}

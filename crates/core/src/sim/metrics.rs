@@ -1,0 +1,250 @@
+//! Results of a simulated run.
+//!
+//! [`RunResult`] carries everything the paper's tables report: per-query
+//! latencies, per-stream completion times, total (makespan) time, CPU
+//! utilization and the number of chunk-sized I/O requests, plus the raw
+//! chunk-access trace used for Figure 4.
+
+use cscan_engine::Summary;
+use cscan_simdisk::{IoTrace, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The outcome of one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The query's label (e.g. `"F-10"`).
+    pub label: String,
+    /// Index of the stream the query belonged to.
+    pub stream: usize,
+    /// Internal query id assigned by the ABM.
+    pub query_id: u64,
+    /// Time the query entered the system.
+    pub submitted_at: SimTime,
+    /// Time the query finished processing its last chunk.
+    pub finished_at: SimTime,
+    /// Number of chunks the query requested.
+    pub chunks: u32,
+    /// Number of chunk loads issued with this query as the trigger.
+    pub ios_triggered: u64,
+    /// Total time the query spent blocked waiting for data.
+    pub blocked: SimDuration,
+}
+
+impl QueryOutcome {
+    /// End-to-end latency of the query.
+    pub fn latency(&self) -> SimDuration {
+        self.finished_at.duration_since(self.submitted_at)
+    }
+}
+
+/// The outcome of a full simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Name of the scheduling policy that produced this run.
+    pub policy: String,
+    /// Completion time of the whole run (last query finish).
+    pub total_time: SimDuration,
+    /// Number of chunk-granularity I/O requests issued.
+    pub io_requests: u64,
+    /// Pages read from disk.
+    pub pages_read: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// CPU utilization over the makespan, in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Fraction of the makespan the disk was busy, in `[0, 1]`.
+    pub disk_utilization: f64,
+    /// Per-query outcomes, in completion order.
+    pub queries: Vec<QueryOutcome>,
+    /// Per-stream start times.
+    pub stream_starts: Vec<SimTime>,
+    /// Per-stream completion times (finish of the stream's last query).
+    pub stream_ends: Vec<SimTime>,
+    /// Chunk-access trace (empty unless tracing was enabled).
+    pub trace: IoTrace,
+}
+
+impl RunResult {
+    /// Per-stream running times.
+    pub fn stream_times(&self) -> Vec<SimDuration> {
+        self.stream_starts
+            .iter()
+            .zip(&self.stream_ends)
+            .map(|(&s, &e)| e.duration_since(s))
+            .collect()
+    }
+
+    /// Average stream running time — the paper's throughput metric.
+    pub fn avg_stream_time(&self) -> f64 {
+        let times = self.stream_times();
+        if times.is_empty() {
+            return 0.0;
+        }
+        times.iter().map(|t| t.as_secs_f64()).sum::<f64>() / times.len() as f64
+    }
+
+    /// Average query latency in seconds.
+    pub fn avg_latency(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.latency().as_secs_f64()).sum::<f64>()
+            / self.queries.len() as f64
+    }
+
+    /// Average *normalized* latency: each query's latency divided by its
+    /// standalone cold run time (`base_times`, keyed by label) — the paper's
+    /// latency metric.  Queries whose label has no base time are skipped.
+    pub fn avg_normalized_latency(&self, base_times: &HashMap<String, f64>) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for q in &self.queries {
+            if let Some(&base) = base_times.get(&q.label) {
+                if base > 0.0 {
+                    sum += q.latency().as_secs_f64() / base;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Latency summary (mean / stddev / count) per query label, sorted by label.
+    pub fn latency_by_label(&self) -> Vec<(String, Summary)> {
+        let mut map: HashMap<&str, Summary> = HashMap::new();
+        for q in &self.queries {
+            map.entry(&q.label).or_insert_with(Summary::new).add(q.latency().as_secs_f64());
+        }
+        let mut out: Vec<(String, Summary)> =
+            map.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// I/O count per query label, sorted by label.
+    pub fn ios_by_label(&self) -> Vec<(String, u64)> {
+        let mut map: HashMap<&str, u64> = HashMap::new();
+        for q in &self.queries {
+            *map.entry(&q.label).or_insert(0) += q.ios_triggered;
+        }
+        let mut out: Vec<(String, u64)> = map.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Average latency for one query label, if any such query ran.
+    pub fn avg_latency_for(&self, label: &str) -> Option<f64> {
+        let matching: Vec<f64> = self
+            .queries
+            .iter()
+            .filter(|q| q.label == label)
+            .map(|q| q.latency().as_secs_f64())
+            .collect();
+        if matching.is_empty() {
+            None
+        } else {
+            Some(matching.iter().sum::<f64>() / matching.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(label: &str, stream: usize, submit: u64, finish: u64) -> QueryOutcome {
+        QueryOutcome {
+            label: label.to_string(),
+            stream,
+            query_id: 0,
+            submitted_at: SimTime::from_secs(submit),
+            finished_at: SimTime::from_secs(finish),
+            chunks: 10,
+            ios_triggered: 5,
+            blocked: SimDuration::ZERO,
+        }
+    }
+
+    fn result() -> RunResult {
+        RunResult {
+            policy: "relevance".into(),
+            total_time: SimDuration::from_secs(30),
+            io_requests: 100,
+            pages_read: 1000,
+            bytes_read: 1000 * 65536,
+            cpu_utilization: 0.8,
+            disk_utilization: 0.5,
+            queries: vec![
+                outcome("F-10", 0, 0, 10),
+                outcome("F-10", 1, 3, 23),
+                outcome("S-50", 0, 10, 30),
+            ],
+            stream_starts: vec![SimTime::ZERO, SimTime::from_secs(3)],
+            stream_ends: vec![SimTime::from_secs(30), SimTime::from_secs(23)],
+            trace: IoTrace::new(),
+        }
+    }
+
+    #[test]
+    fn stream_and_latency_aggregates() {
+        let r = result();
+        assert_eq!(r.stream_times(), vec![SimDuration::from_secs(30), SimDuration::from_secs(20)]);
+        assert!((r.avg_stream_time() - 25.0).abs() < 1e-9);
+        assert!((r.avg_latency() - (10.0 + 20.0 + 20.0) / 3.0).abs() < 1e-9);
+        assert_eq!(r.queries[0].latency(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn normalized_latency_uses_base_times() {
+        let r = result();
+        let mut base = HashMap::new();
+        base.insert("F-10".to_string(), 5.0);
+        base.insert("S-50".to_string(), 10.0);
+        // (10/5 + 20/5 + 20/10) / 3 = (2 + 4 + 2) / 3
+        assert!((r.avg_normalized_latency(&base) - 8.0 / 3.0).abs() < 1e-9);
+        // Missing base times are skipped.
+        let mut partial = HashMap::new();
+        partial.insert("S-50".to_string(), 10.0);
+        assert!((r.avg_normalized_latency(&partial) - 2.0).abs() < 1e-9);
+        assert_eq!(r.avg_normalized_latency(&HashMap::new()), 0.0);
+    }
+
+    #[test]
+    fn per_label_breakdowns() {
+        let r = result();
+        let by_label = r.latency_by_label();
+        assert_eq!(by_label.len(), 2);
+        assert_eq!(by_label[0].0, "F-10");
+        assert_eq!(by_label[0].1.count(), 2);
+        assert!((by_label[0].1.mean() - 15.0).abs() < 1e-9);
+        let ios = r.ios_by_label();
+        assert_eq!(ios, vec![("F-10".to_string(), 10), ("S-50".to_string(), 5)]);
+        assert_eq!(r.avg_latency_for("S-50"), Some(20.0));
+        assert_eq!(r.avg_latency_for("nope"), None);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = RunResult {
+            policy: "normal".into(),
+            total_time: SimDuration::ZERO,
+            io_requests: 0,
+            pages_read: 0,
+            bytes_read: 0,
+            cpu_utilization: 0.0,
+            disk_utilization: 0.0,
+            queries: vec![],
+            stream_starts: vec![],
+            stream_ends: vec![],
+            trace: IoTrace::new(),
+        };
+        assert_eq!(r.avg_stream_time(), 0.0);
+        assert_eq!(r.avg_latency(), 0.0);
+        assert!(r.latency_by_label().is_empty());
+    }
+}

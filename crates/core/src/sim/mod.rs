@@ -1,0 +1,594 @@
+//! Deterministic discrete-event simulation of concurrent Cooperative Scans.
+//!
+//! The simulation combines the three resources the paper's experiments
+//! exercise: a disk (the [`cscan_simdisk::Disk`] analytic model) serving one
+//! chunk-sized scatter-gather read at a time, a processor-sharing CPU
+//! ([`cscan_engine::SharedCpu`]) on which every running query processes its
+//! current chunk, and the Active Buffer Manager deciding what to read and
+//! evict.  Query streams start with a configurable stagger and run their
+//! queries back-to-back, exactly like the benchmark setup of Section 5.1.
+//!
+//! Everything runs in virtual time, so a 16-stream TPC-H-scale experiment
+//! takes milliseconds of wall-clock time and two runs with the same inputs
+//! produce byte-identical results.
+
+mod config;
+mod metrics;
+mod spec;
+
+pub use config::{BufferSpec, SimConfig};
+pub use metrics::{QueryOutcome, RunResult};
+pub use spec::QuerySpec;
+
+use crate::abm::{Abm, AbmState, LoadDecision};
+use crate::model::TableModel;
+use crate::policy::PolicyKind;
+use crate::query::QueryId;
+use cscan_engine::{EventQueue, JobId, SharedCpu};
+use cscan_simdisk::{Disk, IoTrace, SimDuration, SimTime};
+use cscan_storage::{ChunkId, ScanRanges};
+use std::collections::HashMap;
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Start the next query of stream `stream`.
+    StreamAdvance { stream: usize },
+    /// The outstanding chunk load finished.
+    DiskDone,
+    /// A CPU job (query × chunk) predicted to finish; stale epochs are ignored.
+    CpuDone { job: JobId, epoch: u64 },
+}
+
+/// Per-active-query runtime bookkeeping the driver keeps outside the ABM.
+#[derive(Debug, Clone)]
+struct ActiveQuery {
+    stream: usize,
+    spec_index: usize,
+    submitted_at: SimTime,
+    /// The chunk currently being processed, if a CPU job is running.
+    processing: Option<ChunkId>,
+}
+
+/// A deterministic simulated execution of a set of query streams.
+pub struct Simulation {
+    model: TableModel,
+    policy: PolicyKind,
+    config: SimConfig,
+    streams: Vec<Vec<QuerySpec>>,
+}
+
+impl Simulation {
+    /// Creates a simulation of `model` under `policy`.
+    pub fn new(model: TableModel, policy: PolicyKind, config: SimConfig) -> Self {
+        Self { model, policy, config, streams: Vec::new() }
+    }
+
+    /// Adds a stream of queries that will run back-to-back.
+    pub fn submit_stream(&mut self, queries: Vec<QuerySpec>) {
+        self.streams.push(queries);
+    }
+
+    /// Adds several streams at once.
+    pub fn submit_streams(&mut self, streams: Vec<Vec<QuerySpec>>) {
+        self.streams.extend(streams);
+    }
+
+    /// The number of streams submitted so far.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Runs the simulation to completion and returns the collected metrics.
+    pub fn run(&mut self) -> RunResult {
+        Runner::new(&self.model, self.policy, self.config, &self.streams).run()
+    }
+
+    /// Convenience: run a single query by itself against a cold buffer and
+    /// return its latency in seconds.  This is the "standalone cold time" the
+    /// paper uses as the denominator of normalized latencies.
+    pub fn standalone_latency(
+        model: &TableModel,
+        policy: PolicyKind,
+        config: SimConfig,
+        query: &QuerySpec,
+    ) -> f64 {
+        let mut sim = Simulation::new(model.clone(), policy, config);
+        sim.submit_stream(vec![query.clone()]);
+        let result = sim.run();
+        result.queries.first().map(|q| q.latency().as_secs_f64()).unwrap_or(0.0)
+    }
+}
+
+/// The actual event loop, borrowed from a [`Simulation`] for one run.
+struct Runner<'a> {
+    model: &'a TableModel,
+    config: SimConfig,
+    streams: &'a [Vec<QuerySpec>],
+    abm: Abm,
+    disk: Disk,
+    cpu: SharedCpu,
+    queue: EventQueue<Event>,
+    cpu_epoch: u64,
+    current_load: Option<LoadDecision>,
+    active: HashMap<QueryId, ActiveQuery>,
+    stream_cursor: Vec<usize>,
+    stream_starts: Vec<SimTime>,
+    stream_ends: Vec<SimTime>,
+    outcomes: Vec<QueryOutcome>,
+    trace: IoTrace,
+    disk_busy_time: SimDuration,
+}
+
+impl<'a> Runner<'a> {
+    fn new(
+        model: &'a TableModel,
+        policy: PolicyKind,
+        config: SimConfig,
+        streams: &'a [Vec<QuerySpec>],
+    ) -> Self {
+        let capacity = config.buffer_pages(model);
+        let state = AbmState::new(model.clone(), capacity);
+        let abm = Abm::new(state, policy.build());
+        Self {
+            model,
+            config,
+            streams,
+            abm,
+            disk: Disk::new(config.disk),
+            cpu: SharedCpu::new(config.cores),
+            queue: EventQueue::new(),
+            cpu_epoch: 0,
+            current_load: None,
+            active: HashMap::new(),
+            stream_cursor: vec![0; streams.len()],
+            stream_starts: vec![SimTime::ZERO; streams.len()],
+            stream_ends: vec![SimTime::ZERO; streams.len()],
+            outcomes: Vec::new(),
+            trace: IoTrace::new(),
+            disk_busy_time: SimDuration::ZERO,
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        // Stagger the streams as in the paper's benchmark setup.
+        for (i, stream) in self.streams.iter().enumerate() {
+            let start = SimTime::ZERO + self.config.stream_stagger.mul_f64(i as f64);
+            self.stream_starts[i] = start;
+            self.stream_ends[i] = start;
+            if !stream.is_empty() {
+                self.queue.schedule(start, Event::StreamAdvance { stream: i });
+            }
+        }
+
+        loop {
+            match self.queue.pop() {
+                Some((now, event)) => match event {
+                    Event::StreamAdvance { stream } => self.on_stream_advance(now, stream),
+                    Event::DiskDone => self.on_disk_done(now),
+                    Event::CpuDone { job, epoch } => self.on_cpu_done(now, job, epoch),
+                },
+                None if self.abm.has_pending_work() => {
+                    // Pressure-relief valve: with DSM partial residency it is
+                    // possible (mainly under `elevator`) for the buffer to be
+                    // full of chunks that are interesting to someone but
+                    // complete for no one, with every query blocked.  Force
+                    // out the least interesting chunk and retry; if that does
+                    // not unstick the system, the assert below fires.
+                    let now = self.queue.now();
+                    if self.abm.force_evict_one().is_none() {
+                        break;
+                    }
+                    self.kick_disk(now);
+                    if self.queue.is_empty() {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+
+        assert!(
+            !self.abm.has_pending_work(),
+            "simulation ended with unfinished queries (policy {} deadlocked)",
+            self.abm.policy_name()
+        );
+
+        let makespan = self
+            .outcomes
+            .iter()
+            .map(|o| o.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .duration_since(SimTime::ZERO);
+        self.cpu.advance(SimTime::ZERO + makespan);
+        let cpu_utilization = if makespan.is_zero() {
+            0.0
+        } else {
+            self.cpu.stats().utilization(self.config.cores, makespan)
+        };
+        let disk_utilization = if makespan.is_zero() {
+            0.0
+        } else {
+            (self.disk_busy_time.as_secs_f64() / makespan.as_secs_f64()).min(1.0)
+        };
+        let state = self.abm.state();
+        RunResult {
+            policy: self.abm.policy_name().to_string(),
+            total_time: makespan,
+            io_requests: state.io_requests(),
+            pages_read: state.pages_read(),
+            bytes_read: state.pages_read() * self.model.page_size(),
+            cpu_utilization,
+            disk_utilization,
+            queries: self.outcomes,
+            stream_starts: self.stream_starts,
+            stream_ends: self.stream_ends,
+            trace: self.trace,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers.
+    // ------------------------------------------------------------------
+
+    fn on_stream_advance(&mut self, now: SimTime, stream: usize) {
+        let index = self.stream_cursor[stream];
+        let Some(spec) = self.streams[stream].get(index) else {
+            return;
+        };
+        self.stream_cursor[stream] += 1;
+        let ranges =
+            spec.ranges.clone().unwrap_or_else(|| ScanRanges::full(self.model.num_chunks()));
+        let columns = spec.columns.unwrap_or_else(|| self.model.all_columns());
+        let id = self.abm.register_query(spec.label.clone(), ranges, columns, now);
+        self.active.insert(
+            id,
+            ActiveQuery { stream, spec_index: index, submitted_at: now, processing: None },
+        );
+        // An empty scan (e.g. a predicate no chunk matches) finishes immediately.
+        if self.abm.is_query_finished(id) {
+            self.finish_query(now, id);
+        } else {
+            self.try_dispatch(now, id);
+        }
+        self.kick_disk(now);
+    }
+
+    fn on_disk_done(&mut self, now: SimTime) {
+        let load = self.current_load.take().expect("DiskDone without an outstanding load");
+        let woken = self.abm.complete_load();
+        if self.config.record_trace {
+            self.trace.record(now, load.chunk.index(), load.trigger.0);
+        }
+        for q in woken {
+            // A woken query may still find nothing acceptable (e.g. `normal`
+            // insists on in-order delivery); it simply stays blocked.
+            if self.active.get(&q).is_some_and(|a| a.processing.is_none()) {
+                self.try_dispatch(now, q);
+            }
+        }
+        self.kick_disk(now);
+    }
+
+    fn on_cpu_done(&mut self, now: SimTime, job: JobId, epoch: u64) {
+        if epoch != self.cpu_epoch {
+            return; // Stale prediction: the job set changed since it was scheduled.
+        }
+        self.cpu.advance(now);
+        let query = QueryId(job.0);
+        let Some(active) = self.active.get_mut(&query) else {
+            return;
+        };
+        let chunk = active.processing.take().expect("CPU completion for an idle query");
+        debug_assert!(self.cpu.is_done(job), "CPU completion fired early for {query:?}");
+        let spec = &self.streams[active.stream][active.spec_index];
+        let work = SimDuration::from_secs_f64(spec.cpu_seconds_for(self.model.chunk_tuples(chunk)));
+        self.cpu.complete_job(now, job, work);
+        self.abm.release_chunk(query, chunk);
+
+        if self.abm.is_query_finished(query) {
+            self.finish_query(now, query);
+        } else {
+            self.try_dispatch(now, query);
+        }
+        // Consumption changed starvation and residency interest: give the
+        // disk a chance to schedule, and re-predict CPU completions.
+        self.kick_disk(now);
+        self.reschedule_cpu(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Actions.
+    // ------------------------------------------------------------------
+
+    /// Try to hand query `q` its next chunk; start a CPU job if successful.
+    fn try_dispatch(&mut self, now: SimTime, q: QueryId) {
+        let Some(chunk) = self.abm.acquire_chunk(q, now) else {
+            return;
+        };
+        let active = self.active.get_mut(&q).expect("dispatching unknown query");
+        debug_assert!(active.processing.is_none());
+        active.processing = Some(chunk);
+        let spec = &self.streams[active.stream][active.spec_index];
+        let work = SimDuration::from_secs_f64(spec.cpu_seconds_for(self.model.chunk_tuples(chunk)));
+        self.cpu.add_job(now, JobId(q.0), work);
+        self.reschedule_cpu(now);
+    }
+
+    /// If the disk is idle, ask the ABM what to load next and submit it.
+    fn kick_disk(&mut self, now: SimTime) {
+        if self.current_load.is_some() {
+            return;
+        }
+        let Some(plan) = self.abm.plan_load(now) else {
+            return;
+        };
+        let mut completed = now;
+        for region in &plan.regions {
+            let result = self.disk.submit(now, region.to_io_request());
+            completed = completed.max(result.completed_at);
+            self.disk_busy_time += result.service_time;
+        }
+        debug_assert!(completed > now, "a load must take time");
+        self.current_load = Some(plan.decision);
+        self.queue.schedule(completed, Event::DiskDone);
+    }
+
+    /// Re-predict the next CPU completion after any change to the job set.
+    fn reschedule_cpu(&mut self, now: SimTime) {
+        self.cpu.advance(now);
+        self.cpu_epoch += 1;
+        if let Some((at, job)) = self.cpu.next_completion() {
+            self.queue.schedule(at, Event::CpuDone { job, epoch: self.cpu_epoch });
+        }
+    }
+
+    /// Record the outcome of a finished query and start its stream's next one.
+    fn finish_query(&mut self, now: SimTime, q: QueryId) {
+        let active = self.active.remove(&q).expect("finishing unknown query");
+        let state = self.abm.finish_query(q);
+        self.outcomes.push(QueryOutcome {
+            label: state.label.clone(),
+            stream: active.stream,
+            query_id: q.0,
+            submitted_at: active.submitted_at,
+            finished_at: now,
+            chunks: state.total_chunks(),
+            ios_triggered: state.ios_triggered,
+            blocked: state.total_blocked,
+        });
+        self.stream_ends[active.stream] = now;
+        if self.stream_cursor[active.stream] < self.streams[active.stream].len() {
+            self.queue.schedule(now, Event::StreamAdvance { stream: active.stream });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colset::ColSet;
+    use cscan_storage::ColumnId;
+
+    /// A small NSM table: 64 chunks, 100k tuples and 256 pages (16 MiB) each.
+    fn small_model() -> TableModel {
+        TableModel::nsm_uniform(64, 100_000, 256)
+    }
+
+    fn fast(label: &str, ranges: Option<ScanRanges>) -> QuerySpec {
+        match ranges {
+            Some(r) => QuerySpec::range_scan(label, r, 20_000_000.0),
+            None => QuerySpec::full_scan(label, 20_000_000.0),
+        }
+    }
+
+    fn slow(label: &str, ranges: Option<ScanRanges>) -> QuerySpec {
+        match ranges {
+            Some(r) => QuerySpec::range_scan(label, r, 1_000_000.0),
+            None => QuerySpec::full_scan(label, 1_000_000.0),
+        }
+    }
+
+    fn run(policy: PolicyKind, streams: Vec<Vec<QuerySpec>>, buffer_chunks: u64) -> RunResult {
+        let mut sim = Simulation::new(
+            small_model(),
+            policy,
+            SimConfig::default().with_buffer_chunks(buffer_chunks).with_trace(true),
+        );
+        sim.submit_streams(streams);
+        sim.run()
+    }
+
+    #[test]
+    fn single_full_scan_is_io_bound_and_reads_everything_once() {
+        for policy in PolicyKind::ALL {
+            let r = run(policy, vec![vec![fast("F-100", None)]], 16);
+            assert_eq!(r.queries.len(), 1, "{policy}");
+            assert_eq!(r.io_requests, 64, "{policy}: every chunk read exactly once");
+            assert_eq!(r.pages_read, 64 * 256, "{policy}");
+            // ~1 GiB at ~205 MiB/s is about 5 seconds.
+            let latency = r.queries[0].latency().as_secs_f64();
+            assert!(latency > 3.0 && latency < 12.0, "{policy}: latency {latency}");
+            assert!(r.trace.len() == 64, "{policy}");
+        }
+    }
+
+    #[test]
+    fn identical_concurrent_scans_share_io_except_normal() {
+        // Two full scans, the second starting 3 seconds (≈ 38 chunks) after
+        // the first with a 16-chunk buffer.  The cooperative policies share
+        // everything that can still be shared; `normal` shares essentially
+        // nothing because the second scan starts again from chunk 0.
+        let streams = vec![vec![fast("F-100", None)], vec![fast("F-100", None)]];
+        let mut io = std::collections::HashMap::new();
+        for policy in PolicyKind::ALL {
+            let r = run(policy, streams.clone(), 16);
+            assert_eq!(r.queries.len(), 2);
+            io.insert(policy, r.io_requests);
+        }
+        for policy in [PolicyKind::Attach, PolicyKind::Elevator, PolicyKind::Relevance] {
+            assert!(
+                io[&policy] < io[&PolicyKind::Normal],
+                "{policy}: {} vs normal {}",
+                io[&policy],
+                io[&PolicyKind::Normal]
+            );
+            assert!(io[&policy] <= 110, "{policy}: sharing bound, got {}", io[&policy]);
+        }
+        assert!(
+            io[&PolicyKind::Normal] >= 115,
+            "normal should nearly double the I/O, got {}",
+            io[&PolicyKind::Normal]
+        );
+        // Relevance additionally reuses the still-buffered chunks the first
+        // scan left behind, so it needs the fewest reads of all.
+        assert!(io[&PolicyKind::Relevance] <= io[&PolicyKind::Attach]);
+        assert!(io[&PolicyKind::Relevance] <= io[&PolicyKind::Elevator]);
+    }
+
+    #[test]
+    fn relevance_beats_normal_on_mixed_load() {
+        let mix = |i: usize| {
+            vec![
+                fast("F-25", Some(ScanRanges::single((i as u32 * 7) % 40, (i as u32 * 7) % 40 + 16))),
+                slow("S-25", Some(ScanRanges::single((i as u32 * 11) % 40, (i as u32 * 11) % 40 + 16))),
+            ]
+        };
+        let streams: Vec<Vec<QuerySpec>> = (0..6).map(mix).collect();
+        let normal = run(PolicyKind::Normal, streams.clone(), 8);
+        let relevance = run(PolicyKind::Relevance, streams, 8);
+        assert!(
+            relevance.io_requests < normal.io_requests,
+            "relevance {} vs normal {}",
+            relevance.io_requests,
+            normal.io_requests
+        );
+        assert!(
+            relevance.avg_stream_time() <= normal.avg_stream_time() * 1.10,
+            "relevance {} vs normal {}",
+            relevance.avg_stream_time(),
+            normal.avg_stream_time()
+        );
+    }
+
+    #[test]
+    fn streams_run_queries_back_to_back() {
+        let r = run(
+            PolicyKind::Relevance,
+            vec![vec![
+                fast("F-10", Some(ScanRanges::single(0, 6))),
+                fast("F-10b", Some(ScanRanges::single(30, 36))),
+            ]],
+            16,
+        );
+        assert_eq!(r.queries.len(), 2);
+        let first = &r.queries[0];
+        let second = &r.queries[1];
+        assert_eq!(first.label, "F-10");
+        assert_eq!(second.label, "F-10b");
+        assert_eq!(
+            second.submitted_at, first.finished_at,
+            "the second query starts exactly when the first finishes"
+        );
+        assert_eq!(r.stream_ends[0], second.finished_at);
+    }
+
+    #[test]
+    fn stagger_delays_later_streams() {
+        let r = run(
+            PolicyKind::Elevator,
+            vec![
+                vec![fast("F-10", Some(ScanRanges::single(0, 6)))],
+                vec![fast("F-10", Some(ScanRanges::single(0, 6)))],
+            ],
+            16,
+        );
+        assert_eq!(r.stream_starts[0], SimTime::ZERO);
+        assert_eq!(r.stream_starts[1], SimTime::from_secs(3));
+        let late_query = r.queries.iter().find(|q| q.stream == 1).unwrap();
+        assert_eq!(late_query.submitted_at, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn cpu_bound_queries_saturate_the_cpu() {
+        // Very slow queries on a single core: the CPU is the bottleneck and
+        // the disk is mostly idle.
+        let very_slow = QuerySpec::range_scan("S-50", ScanRanges::single(0, 32), 200_000.0);
+        let mut sim = Simulation::new(
+            small_model(),
+            PolicyKind::Relevance,
+            SimConfig::default().with_buffer_chunks(16).with_cores(1),
+        );
+        sim.submit_streams(vec![vec![very_slow.clone()], vec![very_slow]]);
+        let r = sim.run();
+        assert!(r.cpu_utilization > 0.7, "cpu_utilization {}", r.cpu_utilization);
+        assert!(r.disk_utilization < 0.5, "disk_utilization {}", r.disk_utilization);
+        assert!(r.cpu_utilization > r.disk_utilization);
+    }
+
+    #[test]
+    fn empty_scan_completes_immediately() {
+        let mut sim = Simulation::new(small_model(), PolicyKind::Relevance, SimConfig::default());
+        sim.submit_stream(vec![QuerySpec::range_scan("empty", ScanRanges::empty(), 1e6)]);
+        let r = sim.run();
+        assert_eq!(r.queries.len(), 1);
+        assert_eq!(r.queries[0].chunks, 0);
+        assert_eq!(r.io_requests, 0);
+    }
+
+    #[test]
+    fn standalone_latency_helper() {
+        let lat = Simulation::standalone_latency(
+            &small_model(),
+            PolicyKind::Relevance,
+            SimConfig::default(),
+            &fast("F-100", None),
+        );
+        assert!(lat > 1.0, "a cold full scan takes seconds, got {lat}");
+    }
+
+    #[test]
+    fn dsm_queries_only_read_their_columns() {
+        let model = TableModel::dsm_uniform(32, 100_000, &[4, 4, 64, 64]);
+        let narrow = ColSet::from_columns([ColumnId::new(0), ColumnId::new(1)]);
+        let mut sim = Simulation::new(
+            model.clone(),
+            PolicyKind::Relevance,
+            SimConfig::default().with_buffer_fraction(0.25),
+        );
+        sim.submit_stream(vec![QuerySpec::full_scan("narrow", 10_000_000.0).with_columns(narrow)]);
+        let r = sim.run();
+        assert_eq!(r.io_requests, 32);
+        assert_eq!(r.pages_read, 32 * 8, "only the two narrow columns are read");
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs() {
+        let streams = vec![
+            vec![fast("F-50", Some(ScanRanges::single(0, 32))), slow("S-25", Some(ScanRanges::single(10, 26)))],
+            vec![slow("S-50", Some(ScanRanges::single(16, 48)))],
+        ];
+        let a = run(PolicyKind::Relevance, streams.clone(), 8);
+        let b = run(PolicyKind::Relevance, streams, 8);
+        assert_eq!(a.io_requests, b.io_requests);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(
+            a.queries.iter().map(|q| q.finished_at).collect::<Vec<_>>(),
+            b.queries.iter().map(|q| q.finished_at).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn elevator_has_fewest_ios_on_staggered_full_scans() {
+        let streams: Vec<Vec<QuerySpec>> = (0..4).map(|_| vec![slow("S-100", None)]).collect();
+        let elevator = run(PolicyKind::Elevator, streams.clone(), 8);
+        let normal = run(PolicyKind::Normal, streams, 8);
+        assert!(
+            elevator.io_requests <= normal.io_requests,
+            "elevator {} vs normal {}",
+            elevator.io_requests,
+            normal.io_requests
+        );
+    }
+}

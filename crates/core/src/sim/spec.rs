@@ -1,0 +1,87 @@
+//! Query and stream specifications for simulated runs.
+
+use crate::colset::ColSet;
+use cscan_storage::ScanRanges;
+use serde::{Deserialize, Serialize};
+
+/// Specification of one query inside a stream.
+///
+/// The only thing that matters to the I/O scheduling experiments is *what*
+/// the query reads (ranges, columns) and *how fast* it can consume data
+/// (tuples per second of dedicated-core CPU time); the actual relational
+/// work is irrelevant and is exercised separately by the `cscan-exec` crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Label used in reports (e.g. `"F-10"` for a FAST 10% scan).
+    pub label: String,
+    /// The chunk ranges to scan; `None` means the full table.
+    pub ranges: Option<ScanRanges>,
+    /// The columns to read; `None` means all columns.
+    pub columns: Option<ColSet>,
+    /// Processing speed in tuples per second of dedicated-core CPU time.
+    pub tuples_per_sec: f64,
+}
+
+impl QuerySpec {
+    /// A scan over explicit ranges with the given processing speed.
+    pub fn range_scan(label: impl Into<String>, ranges: ScanRanges, tuples_per_sec: f64) -> Self {
+        assert!(tuples_per_sec > 0.0, "processing speed must be positive");
+        Self { label: label.into(), ranges: Some(ranges), columns: None, tuples_per_sec }
+    }
+
+    /// A full-table scan with the given processing speed.
+    pub fn full_scan(label: impl Into<String>, tuples_per_sec: f64) -> Self {
+        assert!(tuples_per_sec > 0.0, "processing speed must be positive");
+        Self { label: label.into(), ranges: None, columns: None, tuples_per_sec }
+    }
+
+    /// Restricts the query to a column set (DSM experiments).
+    pub fn with_columns(mut self, columns: ColSet) -> Self {
+        self.columns = Some(columns);
+        self
+    }
+
+    /// Renames the query.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// CPU time (seconds of a dedicated core) needed to process `tuples` tuples.
+    pub fn cpu_seconds_for(&self, tuples: u64) -> f64 {
+        tuples as f64 / self.tuples_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscan_storage::ColumnId;
+
+    #[test]
+    fn constructors() {
+        let q = QuerySpec::full_scan("F-100", 10_000_000.0);
+        assert_eq!(q.label, "F-100");
+        assert!(q.ranges.is_none());
+        assert!(q.columns.is_none());
+        let r = QuerySpec::range_scan("F-10", ScanRanges::single(0, 10), 1e6)
+            .with_columns(ColSet::from_columns([ColumnId::new(2)]))
+            .with_label("renamed");
+        assert_eq!(r.label, "renamed");
+        assert_eq!(r.ranges.as_ref().unwrap().num_chunks(), 10);
+        assert_eq!(r.columns.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cpu_cost_scales_with_tuples() {
+        let q = QuerySpec::full_scan("S", 2_000_000.0);
+        assert!((q.cpu_seconds_for(1_000_000) - 0.5).abs() < 1e-12);
+        assert_eq!(q.cpu_seconds_for(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_speed_rejected() {
+        QuerySpec::full_scan("bad", 0.0);
+    }
+}

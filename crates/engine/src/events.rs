@@ -1,0 +1,178 @@
+//! Deterministic time-ordered event queue.
+
+use cscan_simdisk::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: time, insertion sequence number (for deterministic
+/// FIFO tie-breaking) and the payload.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) pops first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled, which keeps simulations fully deterministic.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The time of the most recently popped event (the simulation's "now").
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// Scheduling an event in the past (before the last popped event) is a
+    /// logic error and panics in debug builds; in release builds the event
+    /// is delivered immediately at the current time.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "event scheduled in the past: {:?} < now {:?}",
+            time,
+            self.now
+        );
+        let time = time.max(self.now);
+        self.heap.push(Entry { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the next event, advancing the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscan_simdisk::SimDuration;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_popped_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(4), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime::from_secs(4), "now is preserved after drain");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 42);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_scheduling_and_popping() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!((t1, e1), (SimTime::from_secs(1), 1));
+        // Schedule relative to the current time.
+        q.schedule(q.now() + SimDuration::from_secs(3), 2);
+        q.schedule(q.now() + SimDuration::from_secs(2), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+}

@@ -1,0 +1,27 @@
+//! Discrete-event simulation substrate.
+//!
+//! The paper's experiments interleave three resources: a disk serving large
+//! chunk-sized reads, a bounded CPU shared by all running queries, and the
+//! scheduling logic deciding what to read next.  This crate supplies the
+//! first two ingredients in reusable form:
+//!
+//! * [`events::EventQueue`] — a deterministic time-ordered event queue
+//!   (ties broken by insertion order, so runs are exactly reproducible);
+//! * [`cpu::SharedCpu`] — a processor-sharing CPU model with a configurable
+//!   number of cores, used to capture the CPU-bound vs. I/O-bound regimes of
+//!   the paper's FAST and SLOW queries;
+//! * [`stats`] — the summary statistics (mean, standard deviation,
+//!   normalized latency) reported in the paper's tables.
+//!
+//! The actual simulation *driver* lives in `cscan-core::sim`, because it is
+//! inseparable from the Active Buffer Manager it exercises.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod events;
+pub mod stats;
+
+pub use cpu::{CpuStats, JobId, SharedCpu};
+pub use events::EventQueue;
+pub use stats::Summary;

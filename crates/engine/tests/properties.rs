@@ -1,0 +1,130 @@
+//! Property-based tests for the DES primitives.
+
+use cscan_engine::{EventQueue, JobId, SharedCpu, Summary};
+use cscan_simdisk::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order regardless of the
+    /// scheduling order.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..1_000_000u64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut popped = 0usize;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Processor sharing conserves work: the total dedicated-core time to
+    /// finish a set of jobs equals the sum of their demands divided by the
+    /// effective parallelism, and every job eventually completes.
+    #[test]
+    fn cpu_completes_all_jobs(
+        cores in 1usize..8,
+        demands in prop::collection::vec(1u64..60, 1..20),
+    ) {
+        let mut cpu = SharedCpu::new(cores);
+        let works: Vec<SimDuration> = demands.iter().map(|&s| SimDuration::from_secs(s)).collect();
+        for (i, w) in works.iter().enumerate() {
+            cpu.add_job(SimTime::ZERO, JobId(i as u64), *w);
+        }
+        let mut finished = 0usize;
+        let mut last = SimTime::ZERO;
+        while let Some((t, id)) = cpu.next_completion() {
+            prop_assert!(t >= last);
+            cpu.advance(t);
+            prop_assert!(cpu.is_done(id), "completion event for unfinished job");
+            let idx = id.0 as usize;
+            cpu.complete_job(t, id, works[idx]);
+            finished += 1;
+            last = t;
+        }
+        prop_assert_eq!(finished, works.len());
+        let total_work: f64 = works.iter().map(|w| w.as_secs_f64()).sum();
+        // Makespan is at least total_work / cores and at most total_work.
+        let makespan = last.as_secs_f64();
+        prop_assert!(makespan + 1e-6 >= total_work / cores as f64);
+        prop_assert!(makespan <= total_work + 1e-6);
+        // Work conservation.
+        let done = cpu.stats().completed_work.as_secs_f64();
+        prop_assert!((done - total_work).abs() < 1e-3);
+        // Utilization can never exceed 1.
+        prop_assert!(cpu.stats().utilization(cores, SimDuration::from_secs_f64(makespan)) <= 1.0 + 1e-9);
+    }
+
+    /// Staggered arrivals: completions are still causal (never before the
+    /// arrival plus the minimum possible service time).
+    #[test]
+    fn cpu_completions_are_causal(
+        arrivals in prop::collection::vec((0u64..100, 1u64..50), 1..15),
+    ) {
+        let mut cpu = SharedCpu::new(2);
+        let mut queue = EventQueue::new();
+        for (i, &(at, work)) in arrivals.iter().enumerate() {
+            queue.schedule(SimTime::from_secs(at), (i, SimDuration::from_secs(work)));
+        }
+        let mut pending = arrivals.len();
+        let mut arrival_time = vec![SimTime::ZERO; arrivals.len()];
+        while pending > 0 {
+            // Interleave arrivals and completions, processing whichever is next.
+            let next_completion = cpu.next_completion();
+            let next_arrival = queue.peek_time();
+            match (next_completion, next_arrival) {
+                (Some((tc, id)), Some(ta)) if tc <= ta => {
+                    cpu.advance(tc);
+                    let idx = id.0 as usize;
+                    cpu.complete_job(tc, id, SimDuration::from_secs(arrivals[idx].1));
+                    // A job can never run faster than one dedicated core.
+                    prop_assert!(tc.duration_since(arrival_time[idx]).as_secs_f64() + 1e-3 >= arrivals[idx].1 as f64);
+                    pending -= 1;
+                }
+                (_, Some(_)) => {
+                    let (t, (i, work)) = queue.pop().unwrap();
+                    arrival_time[i] = t;
+                    cpu.add_job(t, JobId(i as u64), work);
+                }
+                (Some((tc, id)), None) => {
+                    cpu.advance(tc);
+                    let idx = id.0 as usize;
+                    cpu.complete_job(tc, id, SimDuration::from_secs(arrivals[idx].1));
+                    prop_assert!(tc.duration_since(arrival_time[idx]).as_secs_f64() + 1e-3 >= arrivals[idx].1 as f64);
+                    pending -= 1;
+                }
+                (None, None) => break,
+            }
+        }
+        prop_assert_eq!(pending, 0);
+    }
+
+    /// Summary mean lies between min and max, and stddev is non-negative.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_values(&values);
+        prop_assert_eq!(s.count() as usize, values.len());
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.stddev() >= 0.0);
+        let naive_mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - naive_mean).abs() < 1e-6 * naive_mean.abs().max(1.0));
+    }
+
+    /// Merging summaries in any split equals the summary of the whole.
+    #[test]
+    fn summary_merge_associative(values in prop::collection::vec(-1e3f64..1e3, 2..100), split in 1usize..99) {
+        let split = split.min(values.len() - 1);
+        let mut a = Summary::from_values(&values[..split]);
+        let b = Summary::from_values(&values[split..]);
+        a.merge(&b);
+        let whole = Summary::from_values(&values);
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.stddev() - whole.stddev()).abs() < 1e-6);
+        prop_assert_eq!(a.count(), whole.count());
+    }
+}

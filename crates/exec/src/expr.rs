@@ -1,0 +1,177 @@
+//! Scalar expressions and predicates over data chunks.
+
+use crate::vector::{DataChunk, Value};
+use serde::{Deserialize, Serialize};
+
+/// A scalar expression evaluated column-at-a-time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Reference to an input column by position.
+    Col(usize),
+    /// A constant.
+    Const(Value),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Comparison: equal (produces 1 or 0).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Comparison: less-than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Comparison: less-or-equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Comparison: greater-or-equal.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical AND of two boolean (0/1) expressions.
+    And(Box<Expr>, Box<Expr>),
+    /// Inclusive range check: `lo <= expr <= hi`.
+    Between(Box<Expr>, Value, Value),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Constant.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs` (as 0/1).
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs` (as 0/1).
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs` (as 0/1).
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Le(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs` (as 0/1).
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Ge(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self && rhs` for boolean expressions.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `lo <= self <= hi`.
+    pub fn between(self, lo: Value, hi: Value) -> Expr {
+        Expr::Between(Box::new(self), lo, hi)
+    }
+
+    /// Evaluates the expression over every row of `chunk`.
+    pub fn eval(&self, chunk: &DataChunk) -> Vec<Value> {
+        match self {
+            Expr::Col(i) => chunk.column(*i).to_vec(),
+            Expr::Const(v) => vec![*v; chunk.len()],
+            Expr::Add(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| x.wrapping_add(y)),
+            Expr::Sub(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| x.wrapping_sub(y)),
+            Expr::Mul(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| x.wrapping_mul(y)),
+            Expr::Eq(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| (x == y) as Value),
+            Expr::Lt(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| (x < y) as Value),
+            Expr::Le(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| (x <= y) as Value),
+            Expr::Ge(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| (x >= y) as Value),
+            Expr::And(a, b) => {
+                binary(a.eval(chunk), b.eval(chunk), |x, y| ((x != 0) && (y != 0)) as Value)
+            }
+            Expr::Between(e, lo, hi) => {
+                e.eval(chunk).into_iter().map(|v| (v >= *lo && v <= *hi) as Value).collect()
+            }
+        }
+    }
+
+    /// Evaluates the expression as a boolean selection mask.
+    pub fn eval_mask(&self, chunk: &DataChunk) -> Vec<bool> {
+        self.eval(chunk).into_iter().map(|v| v != 0).collect()
+    }
+}
+
+fn binary(a: Vec<Value>, b: Vec<Value>, f: impl Fn(Value, Value) -> Value) -> Vec<Value> {
+    debug_assert_eq!(a.len(), b.len());
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscan_storage::ChunkId;
+
+    fn chunk() -> DataChunk {
+        DataChunk::new(ChunkId::new(0), vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]])
+    }
+
+    #[test]
+    fn arithmetic() {
+        let c = chunk();
+        assert_eq!(Expr::col(0).add(Expr::col(1)).eval(&c), vec![11, 22, 33, 44]);
+        assert_eq!(Expr::col(1).sub(Expr::lit(5)).eval(&c), vec![5, 15, 25, 35]);
+        assert_eq!(Expr::col(0).mul(Expr::lit(3)).eval(&c), vec![3, 6, 9, 12]);
+        assert_eq!(Expr::lit(7).eval(&c), vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let c = chunk();
+        assert_eq!(Expr::col(0).lt(Expr::lit(3)).eval(&c), vec![1, 1, 0, 0]);
+        assert_eq!(Expr::col(0).le(Expr::lit(3)).eval(&c), vec![1, 1, 1, 0]);
+        assert_eq!(Expr::col(0).ge(Expr::lit(3)).eval(&c), vec![0, 0, 1, 1]);
+        assert_eq!(Expr::col(0).eq(Expr::lit(2)).eval(&c), vec![0, 1, 0, 0]);
+        let both = Expr::col(0).ge(Expr::lit(2)).and(Expr::col(1).lt(Expr::lit(40)));
+        assert_eq!(both.eval(&c), vec![0, 1, 1, 0]);
+        assert_eq!(both.eval_mask(&c), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn between() {
+        let c = chunk();
+        assert_eq!(Expr::col(1).between(15, 35).eval(&c), vec![0, 1, 1, 0]);
+        assert_eq!(Expr::col(1).between(10, 40).eval(&c), vec![1, 1, 1, 1]);
+        assert_eq!(Expr::col(1).between(41, 50).eval(&c), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn q6_style_predicate() {
+        // shipdate in [100, 200), discount between 2 and 4, quantity < 24 —
+        // structurally the TPC-H Q6 predicate.
+        let c = DataChunk::new(
+            ChunkId::new(0),
+            vec![
+                vec![150, 250, 120, 199], // shipdate
+                vec![3, 3, 1, 4],         // discount
+                vec![10, 10, 10, 30],     // quantity
+            ],
+        );
+        let pred = Expr::col(0)
+            .between(100, 199)
+            .and(Expr::col(1).between(2, 4))
+            .and(Expr::col(2).lt(Expr::lit(24)));
+        assert_eq!(pred.eval_mask(&c), vec![true, false, false, false]);
+    }
+}

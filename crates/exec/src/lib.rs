@@ -1,0 +1,32 @@
+//! Vectorized query operators for Cooperative Scans.
+//!
+//! The scheduling experiments of the paper only need an abstract notion of
+//! "processing a chunk"; this crate supplies the concrete side: a small
+//! MonetDB/X100-style vectorized execution layer that consumes chunks — in
+//! whatever order the ABM delivers them — and produces real query results.
+//!
+//! * [`vector::DataChunk`] — a batch of column vectors tagged with the chunk
+//!   number it came from (the "virtual column" of Section 7.2);
+//! * [`table::MemTable`] — an in-memory chunked table with deterministic
+//!   generators, standing in for the TPC-H data;
+//! * [`expr::Expr`] — scalar expressions and predicates;
+//! * [`ops`] — operators: chunk sources, filter, project, hash aggregation,
+//!   and the order-aware operators of Section 7: chunk-ordered aggregation
+//!   with boundary stitching and the (cooperative) merge join over
+//!   multi-table clustering.
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod ops;
+pub mod table;
+pub mod vector;
+
+pub use expr::Expr;
+pub use ops::aggregate::{AggFunc, ChunkOrderedAggregate, HashAggregate};
+pub use ops::join::{merge_join, CooperativeMergeJoin};
+pub use ops::scan::{ChunkSource, Operator};
+pub use ops::select::Filter;
+pub use ops::project::Project;
+pub use table::MemTable;
+pub use vector::{DataChunk, Value};

@@ -1,0 +1,361 @@
+//! Aggregation operators.
+//!
+//! [`HashAggregate`] is the order-agnostic workhorse (Q1-style group-bys work
+//! regardless of delivery order).  [`ChunkOrderedAggregate`] is the
+//! order-aware operator of Section 7.2: it exploits the fact that data
+//! *within* a chunk is ordered on the grouping key even when chunks arrive
+//! out of order, emitting interior groups immediately and stitching the
+//! groups that straddle chunk boundaries at the end.
+
+use crate::ops::scan::Operator;
+use crate::vector::{DataChunk, Value};
+use cscan_storage::ChunkId;
+use std::collections::BTreeMap;
+
+/// An aggregate function over an input column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the column.
+    Sum(usize),
+    /// Number of rows.
+    Count,
+    /// Minimum of the column.
+    Min(usize),
+    /// Maximum of the column.
+    Max(usize),
+}
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AggState {
+    sum: i128,
+    count: u64,
+    min: Value,
+    max: Value,
+}
+
+impl AggState {
+    fn new() -> Self {
+        Self { sum: 0, count: 0, min: Value::MAX, max: Value::MIN }
+    }
+
+    fn update(&mut self, v: Value) {
+        self.sum += v as i128;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &AggState) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The per-group accumulators for a list of aggregate functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GroupState {
+    /// One state per aggregate function (Count reuses the first slot's count).
+    states: Vec<AggState>,
+    rows: u64,
+}
+
+impl GroupState {
+    fn new(num_aggs: usize) -> Self {
+        Self { states: vec![AggState::new(); num_aggs], rows: 0 }
+    }
+
+    fn update(&mut self, funcs: &[AggFunc], chunk: &DataChunk, row: usize) {
+        self.rows += 1;
+        for (state, func) in self.states.iter_mut().zip(funcs) {
+            match func {
+                AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) => {
+                    state.update(chunk.column(*c)[row]);
+                }
+                AggFunc::Count => state.count += 1,
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &GroupState) {
+        self.rows += other.rows;
+        for (a, b) in self.states.iter_mut().zip(&other.states) {
+            a.merge(b);
+        }
+    }
+
+    fn finalize(&self, funcs: &[AggFunc]) -> Vec<Value> {
+        funcs
+            .iter()
+            .zip(&self.states)
+            .map(|(f, s)| match f {
+                AggFunc::Sum(_) => s.sum as Value,
+                AggFunc::Count => s.count as Value,
+                AggFunc::Min(_) => s.min,
+                AggFunc::Max(_) => s.max,
+            })
+            .collect()
+    }
+}
+
+fn emit_groups(groups: BTreeMap<Vec<Value>, GroupState>, funcs: &[AggFunc], key_width: usize) -> DataChunk {
+    let mut columns: Vec<Vec<Value>> = vec![Vec::new(); key_width + funcs.len()];
+    for (key, state) in groups {
+        for (i, k) in key.iter().enumerate() {
+            columns[i].push(*k);
+        }
+        for (i, v) in state.finalize(funcs).into_iter().enumerate() {
+            columns[key_width + i].push(v);
+        }
+    }
+    DataChunk::new(ChunkId::new(0), columns)
+}
+
+/// Order-agnostic hash (here: tree, for deterministic output order) aggregation.
+///
+/// The output has one row per group: the key columns followed by one column
+/// per aggregate, ordered by key.
+pub struct HashAggregate<O> {
+    input: O,
+    key_cols: Vec<usize>,
+    funcs: Vec<AggFunc>,
+    done: bool,
+}
+
+impl<O: Operator> HashAggregate<O> {
+    /// Creates an aggregation of `funcs` grouped by `key_cols` over `input`.
+    pub fn new(input: O, key_cols: Vec<usize>, funcs: Vec<AggFunc>) -> Self {
+        assert!(!funcs.is_empty(), "an aggregation needs at least one aggregate");
+        Self { input, key_cols, funcs, done: false }
+    }
+}
+
+impl<O: Operator> Operator for HashAggregate<O> {
+    fn next(&mut self) -> Option<DataChunk> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+        while let Some(chunk) = self.input.next() {
+            for row in 0..chunk.len() {
+                let key: Vec<Value> = self.key_cols.iter().map(|&c| chunk.column(c)[row]).collect();
+                groups
+                    .entry(key)
+                    .or_insert_with(|| GroupState::new(self.funcs.len()))
+                    .update(&self.funcs, &chunk, row);
+            }
+        }
+        Some(emit_groups(groups, &self.funcs, self.key_cols.len()))
+    }
+}
+
+/// Order-aware aggregation over a clustering key (Section 7.2).
+///
+/// The input must be clustered (sorted) on a single key column table-wide,
+/// but chunks may arrive in any order.  Groups entirely inside a chunk are
+/// emitted as soon as that chunk is processed; the first and last group of
+/// every chunk might continue in neighbouring chunks, so they are kept aside
+/// and merged by key once the input is exhausted.
+pub struct ChunkOrderedAggregate<O> {
+    input: O,
+    key_col: usize,
+    funcs: Vec<AggFunc>,
+    /// Border groups awaiting their neighbours, merged by key.
+    pending: BTreeMap<Value, GroupState>,
+    /// Number of border groups that were merged with an already-pending one
+    /// (i.e. actually continued across a chunk boundary).
+    boundary_merges: u64,
+    flushed: bool,
+}
+
+impl<O: Operator> ChunkOrderedAggregate<O> {
+    /// Creates the operator; `key_col` is the clustering key column.
+    pub fn new(input: O, key_col: usize, funcs: Vec<AggFunc>) -> Self {
+        assert!(!funcs.is_empty(), "an aggregation needs at least one aggregate");
+        Self { input, key_col, funcs, pending: BTreeMap::new(), boundary_merges: 0, flushed: false }
+    }
+
+    /// Number of border groups currently parked, waiting for neighbours.
+    pub fn pending_border_groups(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of groups that actually continued across a chunk boundary.
+    pub fn boundary_merges(&self) -> u64 {
+        self.boundary_merges
+    }
+
+    /// Folds one border group into the pending set.
+    fn park(&mut self, key: Value, state: GroupState) {
+        use std::collections::btree_map::Entry;
+        match self.pending.entry(key) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().merge(&state);
+                self.boundary_merges += 1;
+            }
+            Entry::Vacant(e) => {
+                e.insert(state);
+            }
+        }
+    }
+}
+
+impl<O: Operator> Operator for ChunkOrderedAggregate<O> {
+    fn next(&mut self) -> Option<DataChunk> {
+        // Process input chunks until one yields interior groups to emit.
+        while let Some(chunk) = self.input.next() {
+            if chunk.is_empty() {
+                continue;
+            }
+            // Split the chunk into key runs (the data is sorted on the key
+            // within the chunk).
+            let keys = chunk.column(self.key_col);
+            let mut runs: Vec<(Value, GroupState)> = Vec::new();
+            let mut run_start = 0usize;
+            for row in 1..=chunk.len() {
+                if row == chunk.len() || keys[row] != keys[run_start] {
+                    let mut state = GroupState::new(self.funcs.len());
+                    for r in run_start..row {
+                        state.update(&self.funcs, &chunk, r);
+                    }
+                    runs.push((keys[run_start], state));
+                    run_start = row;
+                }
+            }
+            debug_assert!(
+                runs.windows(2).all(|w| w[0].0 <= w[1].0),
+                "input is not clustered on the key column within chunk {:?}",
+                chunk.chunk
+            );
+            // The first and last runs may continue in neighbouring chunks.
+            let n = runs.len();
+            if n == 1 {
+                let (key, state) = runs.pop().expect("one run");
+                self.park(key, state);
+                continue;
+            }
+            let (last_key, last_state) = runs.pop().expect("non-empty");
+            let mut iter = runs.into_iter();
+            let (first_key, first_state) = iter.next().expect("non-empty");
+            self.park(first_key, first_state);
+            self.park(last_key, last_state);
+            let interior: BTreeMap<Vec<Value>, GroupState> =
+                iter.map(|(k, s)| (vec![k], s)).collect();
+            if !interior.is_empty() {
+                return Some(emit_groups(interior, &self.funcs, 1));
+            }
+        }
+        // Input exhausted: flush the stitched border groups once.
+        if !self.flushed {
+            self.flushed = true;
+            if !self.pending.is_empty() {
+                let pending = std::mem::take(&mut self.pending);
+                let groups: BTreeMap<Vec<Value>, GroupState> =
+                    pending.into_iter().map(|(k, s)| (vec![k], s)).collect();
+                return Some(emit_groups(groups, &self.funcs, 1));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect;
+    use crate::ops::scan::ChunkSource;
+    use crate::table::MemTable;
+    use cscan_storage::ChunkId;
+
+    fn table() -> MemTable {
+        MemTable::lineitem_demo(8_000, 1_000)
+    }
+
+    #[test]
+    fn hash_aggregate_groups_correctly() {
+        let t = table();
+        let flag = t.column_index("l_returnflag").unwrap();
+        let qty = t.column_index("l_quantity").unwrap();
+        let src = ChunkSource::in_order(&t, vec![flag, qty]);
+        let mut agg =
+            HashAggregate::new(src, vec![0], vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)]);
+        let out = agg.next().unwrap();
+        assert!(agg.next().is_none());
+        // Three return-flag codes.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.width(), 4);
+        let total: i64 = out.column(1).iter().sum();
+        assert_eq!(total, 8_000, "counts add up to the row count");
+        assert!(out.column(3).iter().all(|&m| m <= 50));
+    }
+
+    #[test]
+    fn chunk_ordered_matches_hash_aggregate_out_of_order() {
+        // A chunk size that is not a multiple of the lineitems-per-order
+        // ratio, so orders genuinely straddle chunk boundaries.
+        let t = MemTable::lineitem_demo(8_000, 998);
+        let key = t.column_index("l_orderkey").unwrap();
+        let price = t.column_index("l_extendedprice").unwrap();
+        // Reference: hash aggregation in table order.
+        let reference = {
+            let src = ChunkSource::in_order(&t, vec![key, price]);
+            let mut agg = HashAggregate::new(src, vec![0], vec![AggFunc::Count, AggFunc::Sum(1)]);
+            agg.next().unwrap()
+        };
+        // Out-of-order delivery, as relevance would produce it.
+        let order: Vec<ChunkId> =
+            [5u32, 0, 7, 2, 6, 8, 1, 3, 4].iter().map(|&c| ChunkId::new(c)).collect();
+        let src = ChunkSource::new(&t, vec![key, price], order);
+        let mut agg = ChunkOrderedAggregate::new(src, 0, vec![AggFunc::Count, AggFunc::Sum(1)]);
+        let out = collect(&mut agg);
+        assert_eq!(out.len(), reference.len(), "same number of groups");
+        // Both are ordered by key within their batches; collect() concatenates
+        // interleaved batches, so compare as maps.
+        let to_map = |c: &DataChunk| -> std::collections::HashMap<i64, (i64, i64)> {
+            (0..c.len()).map(|i| (c.column(0)[i], (c.column(1)[i], c.column(2)[i]))).collect()
+        };
+        assert_eq!(to_map(&out), to_map(&reference));
+        assert!(agg.boundary_merges() > 0, "orders straddle chunk boundaries in this data");
+    }
+
+    #[test]
+    fn interior_groups_stream_before_input_is_exhausted() {
+        let t = table();
+        let key = t.column_index("l_orderkey").unwrap();
+        let src = ChunkSource::in_order(&t, vec![key]);
+        let mut agg = ChunkOrderedAggregate::new(src, 0, vec![AggFunc::Count]);
+        // The very first call must already produce interior groups of chunk 0
+        // while later chunks have not been read yet.
+        let first = agg.next().unwrap();
+        assert!(first.len() > 100, "chunk 0 has ~250 orders, most of them interior");
+        assert!(agg.pending_border_groups() >= 1);
+    }
+
+    #[test]
+    fn single_group_chunks_are_stitched() {
+        // A table where each chunk holds exactly one key and consecutive
+        // chunks share it: the hardest case for boundary stitching.
+        let columns: Vec<(String, crate::table::ColumnGen)> = vec![
+            ("k".into(), std::sync::Arc::new(|row: u64| (row / 2_000) as i64)),
+            ("v".into(), std::sync::Arc::new(|_| 1i64)),
+        ];
+        let t = MemTable::new(columns, 8_000, 1_000);
+        let src = ChunkSource::in_order(&t, vec![0, 1]);
+        let mut agg = ChunkOrderedAggregate::new(src, 0, vec![AggFunc::Sum(1)]);
+        let out = collect(&mut agg);
+        // 8000 rows / 2000 per key = 4 groups of 2000 each.
+        assert_eq!(out.len(), 4);
+        assert!(out.column(1).iter().all(|&s| s == 2_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggregate")]
+    fn empty_aggregate_list_rejected() {
+        let t = table();
+        let src = ChunkSource::in_order(&t, vec![0]);
+        let _ = HashAggregate::new(src, vec![0], vec![]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Query operators.
+//!
+//! Operators follow a simple Volcano-style pull model over [`DataChunk`]s:
+//! [`scan::Operator::next`] returns the next batch or `None`.  Because the
+//! CScan underneath may deliver chunks in any order, every operator here is
+//! either order-agnostic (filter, project, hash aggregation) or explicitly
+//! order-aware with chunk-boundary handling (chunk-ordered aggregation, the
+//! cooperative merge join) as described in Section 7 of the paper.
+
+pub mod aggregate;
+pub mod join;
+pub mod project;
+pub mod scan;
+pub mod select;
+
+pub use aggregate::{AggFunc, ChunkOrderedAggregate, HashAggregate};
+pub use join::{merge_join, CooperativeMergeJoin};
+pub use project::Project;
+pub use scan::{ChunkSource, Operator};
+pub use select::Filter;
+
+use crate::vector::DataChunk;
+
+/// Drains an operator, concatenating all its output rows into one chunk
+/// (convenience for tests and small results).
+pub fn collect(op: &mut dyn Operator) -> DataChunk {
+    let mut out: Option<DataChunk> = None;
+    while let Some(batch) = op.next() {
+        match &mut out {
+            None => out = Some(batch),
+            Some(acc) => {
+                for (dst, src) in acc.columns.iter_mut().zip(batch.columns) {
+                    dst.extend(src);
+                }
+            }
+        }
+    }
+    out.unwrap_or_else(|| DataChunk::empty(cscan_storage::ChunkId::new(0), 0))
+}

@@ -1,0 +1,105 @@
+//! Chunk sources: the leaf operators.
+
+use crate::table::MemTable;
+use crate::vector::DataChunk;
+use cscan_storage::ChunkId;
+
+/// A pull-based operator producing data chunks.
+pub trait Operator {
+    /// Returns the next batch, or `None` when exhausted.
+    fn next(&mut self) -> Option<DataChunk>;
+}
+
+/// A leaf operator that materializes table chunks in a given delivery order.
+///
+/// The delivery order is exactly what a CScan hands back: under the
+/// `relevance` policy it is usually *not* the table order.  Plugging the
+/// order produced by a simulated or threaded CScan into a `ChunkSource`
+/// turns a scheduling decision into actual query results.
+pub struct ChunkSource<'a> {
+    table: &'a MemTable,
+    columns: Vec<usize>,
+    order: Vec<ChunkId>,
+    position: usize,
+}
+
+impl<'a> ChunkSource<'a> {
+    /// Creates a source over `table` projecting `columns`, delivering chunks
+    /// in `order`.
+    ///
+    /// # Panics
+    /// Panics if any column index is out of range.
+    pub fn new(table: &'a MemTable, columns: Vec<usize>, order: Vec<ChunkId>) -> Self {
+        assert!(columns.iter().all(|&c| c < table.width()), "column index out of range");
+        Self { table, columns, order, position: 0 }
+    }
+
+    /// A source delivering chunks in table order (like a traditional Scan).
+    pub fn in_order(table: &'a MemTable, columns: Vec<usize>) -> Self {
+        let order = (0..table.num_chunks()).map(ChunkId::new).collect();
+        Self::new(table, columns, order)
+    }
+
+    /// A source resolving column names instead of indices.
+    ///
+    /// # Panics
+    /// Panics if a name is unknown.
+    pub fn with_names(table: &'a MemTable, names: &[&str], order: Vec<ChunkId>) -> Self {
+        let columns = names
+            .iter()
+            .map(|n| table.column_index(n).unwrap_or_else(|| panic!("unknown column {n:?}")))
+            .collect();
+        Self::new(table, columns, order)
+    }
+
+    /// Number of chunks this source will deliver.
+    pub fn num_chunks(&self) -> usize {
+        self.order.len()
+    }
+}
+
+impl Operator for ChunkSource<'_> {
+    fn next(&mut self) -> Option<DataChunk> {
+        let chunk = *self.order.get(self.position)?;
+        self.position += 1;
+        Some(self.table.read_chunk(chunk, &self.columns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivers_everything_once() {
+        let t = MemTable::lineitem_demo(4_000, 1_000);
+        let mut src = ChunkSource::in_order(&t, vec![0, 1]);
+        assert_eq!(src.num_chunks(), 4);
+        let mut rows = 0;
+        let mut seen = Vec::new();
+        while let Some(c) = src.next() {
+            rows += c.len();
+            seen.push(c.chunk.index());
+            assert_eq!(c.width(), 2);
+        }
+        assert_eq!(rows, 4_000);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn custom_order_is_respected() {
+        let t = MemTable::lineitem_demo(4_000, 1_000);
+        let order = vec![ChunkId::new(2), ChunkId::new(0), ChunkId::new(3)];
+        let mut src = ChunkSource::with_names(&t, &["l_orderkey"], order);
+        let delivered: Vec<u32> =
+            std::iter::from_fn(|| src.next().map(|c| c.chunk.index())).collect();
+        assert_eq!(delivered, vec![2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_name_panics() {
+        let t = MemTable::lineitem_demo(1_000, 500);
+        ChunkSource::with_names(&t, &["nope"], vec![]);
+    }
+}

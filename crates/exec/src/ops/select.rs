@@ -1,0 +1,64 @@
+//! Filter (selection) operator.
+
+use crate::expr::Expr;
+use crate::ops::scan::Operator;
+use crate::vector::DataChunk;
+
+/// Keeps only the rows for which a predicate evaluates to true.
+pub struct Filter<O> {
+    input: O,
+    predicate: Expr,
+}
+
+impl<O: Operator> Filter<O> {
+    /// Creates a filter over `input`.
+    pub fn new(input: O, predicate: Expr) -> Self {
+        Self { input, predicate }
+    }
+}
+
+impl<O: Operator> Operator for Filter<O> {
+    fn next(&mut self) -> Option<DataChunk> {
+        // Skip over batches that filter down to nothing so callers see a
+        // steady stream of useful data (but preserve operator termination).
+        loop {
+            let chunk = self.input.next()?;
+            let mask = self.predicate.eval_mask(&chunk);
+            let filtered = chunk.filter(&mask);
+            if !filtered.is_empty() {
+                return Some(filtered);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::ChunkSource;
+    use crate::ops::collect;
+    use crate::table::MemTable;
+
+    #[test]
+    fn filters_rows_and_skips_empty_batches() {
+        let t = MemTable::lineitem_demo(4_000, 500);
+        let qty = t.column_index("l_quantity").unwrap();
+        // quantity is 1..=50; a selective predicate.
+        let src = ChunkSource::in_order(&t, vec![qty]);
+        let mut filter = Filter::new(src, Expr::col(0).le(Expr::lit(5)));
+        let out = collect(&mut filter);
+        assert!(!out.is_empty());
+        assert!(out.column(0).iter().all(|&v| v <= 5));
+        // Roughly 10% of rows survive (5 of 50 values).
+        let frac = out.len() as f64 / 4_000.0;
+        assert!(frac > 0.05 && frac < 0.2, "got {frac}");
+    }
+
+    #[test]
+    fn impossible_predicate_yields_nothing() {
+        let t = MemTable::lineitem_demo(1_000, 500);
+        let src = ChunkSource::in_order(&t, vec![1]);
+        let mut filter = Filter::new(src, Expr::col(0).lt(Expr::lit(0)));
+        assert!(filter.next().is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Column vectors and data chunks.
+//!
+//! All values are 64-bit integers: dates are stored as days, decimals as
+//! scaled integers, flags as dictionary codes.  This matches how the
+//! scheduling-relevant parts of MonetDB/X100 treat data and keeps the
+//! executor small without losing anything the experiments need.
+
+use cscan_storage::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// A single scalar value.
+pub type Value = i64;
+
+/// A batch of rows in columnar form, tagged with the logical chunk it was
+/// read from.  The chunk number travels with the data as a "virtual column"
+/// so order-aware operators can reason about chunk boundaries (Section 7.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataChunk {
+    /// The logical chunk this batch came from.
+    pub chunk: ChunkId,
+    /// Column vectors; all must have equal length.
+    pub columns: Vec<Vec<Value>>,
+}
+
+impl DataChunk {
+    /// Creates a chunk from column vectors.
+    ///
+    /// # Panics
+    /// Panics if the columns have differing lengths.
+    pub fn new(chunk: ChunkId, columns: Vec<Vec<Value>>) -> Self {
+        if let Some(first) = columns.first() {
+            assert!(
+                columns.iter().all(|c| c.len() == first.len()),
+                "all columns of a DataChunk must have the same length"
+            );
+        }
+        Self { chunk, columns }
+    }
+
+    /// An empty chunk with `width` columns.
+    pub fn empty(chunk: ChunkId, width: usize) -> Self {
+        Self { chunk, columns: vec![Vec::new(); width] }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// True if the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The values of column `col`.
+    ///
+    /// # Panics
+    /// Panics if the column index is out of range.
+    pub fn column(&self, col: usize) -> &[Value] {
+        &self.columns[col]
+    }
+
+    /// One full row, materialized (for tests and small results).
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[idx]).collect()
+    }
+
+    /// Keeps only the rows at the given (sorted or unsorted) indices.
+    pub fn take(&self, indices: &[usize]) -> DataChunk {
+        DataChunk {
+            chunk: self.chunk,
+            columns: self
+                .columns
+                .iter()
+                .map(|c| indices.iter().map(|&i| c[i]).collect())
+                .collect(),
+        }
+    }
+
+    /// Keeps only the rows where `mask` is true.
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from the row count.
+    pub fn filter(&self, mask: &[bool]) -> DataChunk {
+        assert_eq!(mask.len(), self.len(), "selection mask length mismatch");
+        let indices: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &keep)| keep).map(|(i, _)| i).collect();
+        self.take(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> DataChunk {
+        DataChunk::new(ChunkId::new(3), vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let c = chunk();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.width(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.column(1), &[10, 20, 30, 40]);
+        assert_eq!(c.row(2), vec![3, 30]);
+        assert_eq!(c.chunk, ChunkId::new(3));
+        let e = DataChunk::empty(ChunkId::new(0), 3);
+        assert!(e.is_empty());
+        assert_eq!(e.width(), 3);
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let c = chunk();
+        let taken = c.take(&[3, 0]);
+        assert_eq!(taken.column(0), &[4, 1]);
+        assert_eq!(taken.column(1), &[40, 10]);
+        let filtered = c.filter(&[true, false, true, false]);
+        assert_eq!(filtered.column(0), &[1, 3]);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered.chunk, c.chunk);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_columns_rejected() {
+        DataChunk::new(ChunkId::new(0), vec![vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn bad_mask_rejected() {
+        chunk().filter(&[true]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Lightweight compression width models.
+//!
+//! The paper's DSM experiments (Figure 9) rely on columns having widely
+//! different *physical* widths because of lightweight compression (PDICT,
+//! PFOR, PFOR-DELTA from the authors' ICDE 2006 paper).  For I/O scheduling
+//! only the resulting width matters, not the actual encoding, so this module
+//! models compression as a bits-per-value figure.  The example operators work
+//! on uncompressed in-memory data; compression only shapes the physical
+//! layout and therefore the I/O volume.
+
+use crate::schema::ColumnType;
+use serde::{Deserialize, Serialize};
+
+/// On-disk compression scheme of a column, reduced to its effect on width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Compression {
+    /// Stored uncompressed at the type's natural width.
+    None,
+    /// Dictionary encoding (PDICT): each value stored as a `bits`-wide code.
+    Dictionary {
+        /// Bits per dictionary code.
+        bits: u8,
+    },
+    /// Patched frame-of-reference (PFOR): values stored as `bits`-wide
+    /// offsets from a per-block base, with an `exception_rate` fraction of
+    /// values stored uncompressed as exceptions.
+    Pfor {
+        /// Bits per compressed value.
+        bits: u8,
+        /// Fraction of values stored as full-width exceptions (0.0–1.0).
+        exception_rate: f32,
+    },
+    /// PFOR-DELTA: like PFOR but applied to deltas of sorted/clustered data,
+    /// typically yielding very small widths.
+    PforDelta {
+        /// Bits per compressed delta.
+        bits: u8,
+        /// Fraction of values stored as full-width exceptions (0.0–1.0).
+        exception_rate: f32,
+    },
+}
+
+impl Compression {
+    /// Physical width of one value, in bits, for a column of type `ty`.
+    pub fn physical_bits(&self, ty: ColumnType) -> u32 {
+        let natural_bits = ty.uncompressed_width() as u32 * 8;
+        match *self {
+            Compression::None => natural_bits,
+            Compression::Dictionary { bits } => (bits as u32).min(natural_bits),
+            Compression::Pfor { bits, exception_rate }
+            | Compression::PforDelta { bits, exception_rate } => {
+                let rate = exception_rate.clamp(0.0, 1.0) as f64;
+                let avg =
+                    bits as f64 + rate * natural_bits as f64;
+                (avg.ceil() as u32).min(natural_bits)
+            }
+        }
+    }
+
+    /// Compression ratio relative to the uncompressed width (1.0 = no gain).
+    pub fn ratio(&self, ty: ColumnType) -> f64 {
+        let natural = ty.uncompressed_width() as f64 * 8.0;
+        self.physical_bits(ty) as f64 / natural
+    }
+
+    /// The compression schemes used for the paper's Figure 9 example columns.
+    ///
+    /// Returns `(description, scheme)` pairs mirroring the figure:
+    /// `orderkey` PFOR-DELTA 3-bit, `partkey` PFOR 21-bit, `returnflag`
+    /// PDICT 2-bit, `extendedprice` uncompressed decimal, `comment`
+    /// uncompressed string.
+    pub fn figure9_examples() -> Vec<(&'static str, Compression)> {
+        vec![
+            ("orderkey: PFOR-DELTA 3-bit", Compression::PforDelta { bits: 3, exception_rate: 0.02 }),
+            ("partkey: PFOR 21-bit", Compression::Pfor { bits: 21, exception_rate: 0.02 }),
+            ("returnflag: PDICT 2-bit", Compression::Dictionary { bits: 2 }),
+            ("extendedprice: none (decimal 64)", Compression::None),
+            ("comment: none (str 256-bit)", Compression::None),
+        ]
+    }
+}
+
+impl Default for Compression {
+    fn default() -> Self {
+        Compression::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_keeps_natural_width() {
+        assert_eq!(Compression::None.physical_bits(ColumnType::Int64), 64);
+        assert_eq!(Compression::None.physical_bits(ColumnType::Char), 8);
+        assert_eq!(Compression::None.ratio(ColumnType::Int32), 1.0);
+    }
+
+    #[test]
+    fn dictionary_width_is_code_width() {
+        let c = Compression::Dictionary { bits: 2 };
+        assert_eq!(c.physical_bits(ColumnType::Char), 2);
+        assert_eq!(c.physical_bits(ColumnType::Int64), 2);
+        assert!(c.ratio(ColumnType::Char) - 0.25 < 1e-9);
+    }
+
+    #[test]
+    fn pfor_accounts_for_exceptions() {
+        let no_exc = Compression::Pfor { bits: 21, exception_rate: 0.0 };
+        assert_eq!(no_exc.physical_bits(ColumnType::Int64), 21);
+        let with_exc = Compression::Pfor { bits: 21, exception_rate: 0.1 };
+        // 21 + 0.1*64 = 27.4 -> 28 bits.
+        assert_eq!(with_exc.physical_bits(ColumnType::Int64), 28);
+    }
+
+    #[test]
+    fn compression_never_expands() {
+        let silly = Compression::Pfor { bits: 60, exception_rate: 1.0 };
+        assert_eq!(silly.physical_bits(ColumnType::Int32), 32);
+        let dict = Compression::Dictionary { bits: 200 };
+        assert_eq!(dict.physical_bits(ColumnType::Char), 8);
+    }
+
+    #[test]
+    fn pfor_delta_is_typically_tiny() {
+        let c = Compression::PforDelta { bits: 3, exception_rate: 0.02 };
+        let bits = c.physical_bits(ColumnType::Int64);
+        assert!(bits >= 3 && bits <= 6, "got {bits}");
+    }
+
+    #[test]
+    fn figure9_examples_shrink_where_expected() {
+        let examples = Compression::figure9_examples();
+        assert_eq!(examples.len(), 5);
+        // orderkey compresses dramatically, comment not at all.
+        assert!(examples[0].1.ratio(ColumnType::Int64) < 0.1);
+        assert_eq!(examples[4].1.ratio(ColumnType::Varchar { avg_len: 32 }), 1.0);
+    }
+
+    #[test]
+    fn exception_rate_is_clamped() {
+        let c = Compression::Pfor { bits: 8, exception_rate: 5.0 };
+        assert_eq!(c.physical_bits(ColumnType::Int32), 32);
+        let d = Compression::Pfor { bits: 8, exception_rate: -1.0 };
+        assert_eq!(d.physical_bits(ColumnType::Int32), 8);
+    }
+}

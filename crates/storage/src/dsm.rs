@@ -1,0 +1,346 @@
+//! DSM (column-store) physical layout.
+//!
+//! Each column lives in its own contiguous on-disk area, stored at its
+//! *physical* (possibly compressed) width.  Logical chunks are horizontal
+//! partitions with a fixed tuple count, so — exactly as Figure 9 of the
+//! paper illustrates — the same chunk occupies wildly different numbers of
+//! pages in different columns, chunk boundaries do not coincide with page
+//! boundaries, and a page loaded for one chunk usually also carries data of
+//! its neighbours.
+
+use crate::ids::{ChunkId, ColumnId};
+use crate::schema::TableSchema;
+use crate::{Layout, PhysRegion, DEFAULT_PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// DSM layout of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsmLayout {
+    schema: TableSchema,
+    num_tuples: u64,
+    page_size: u64,
+    tuples_per_chunk: u64,
+    num_chunks: u32,
+    /// Per-column physical width in bits.
+    column_bits: Vec<u32>,
+    /// Per-column starting byte offset of the column area (page aligned).
+    column_offsets: Vec<u64>,
+    /// Per-column area length in bytes (page aligned).
+    column_lengths: Vec<u64>,
+}
+
+impl DsmLayout {
+    /// Builds a DSM layout for `num_tuples` tuples partitioned into logical
+    /// chunks of `tuples_per_chunk` tuples, with the given page size.
+    ///
+    /// # Panics
+    /// Panics if `num_tuples` or `tuples_per_chunk` is zero, or the page size is zero.
+    pub fn new(schema: TableSchema, num_tuples: u64, page_size: u64, tuples_per_chunk: u64) -> Self {
+        assert!(num_tuples > 0, "table must contain at least one tuple");
+        assert!(tuples_per_chunk > 0, "chunks must contain at least one tuple");
+        assert!(page_size > 0, "page size must be positive");
+        let num_chunks = num_tuples.div_ceil(tuples_per_chunk) as u32;
+        let column_bits: Vec<u32> = schema.columns().iter().map(|c| c.physical_bits()).collect();
+        let mut column_offsets = Vec::with_capacity(column_bits.len());
+        let mut column_lengths = Vec::with_capacity(column_bits.len());
+        let mut cursor = 0u64;
+        for &bits in &column_bits {
+            let raw_bytes = (num_tuples as u128 * bits as u128).div_ceil(8) as u64;
+            let len = raw_bytes.div_ceil(page_size) * page_size;
+            column_offsets.push(cursor);
+            column_lengths.push(len);
+            cursor += len;
+        }
+        Self {
+            schema,
+            num_tuples,
+            page_size,
+            tuples_per_chunk,
+            num_chunks,
+            column_bits,
+            column_offsets,
+            column_lengths,
+        }
+    }
+
+    /// Builds a layout with the defaults used in the paper's DSM experiments:
+    /// 64 KiB pages and 100 000-tuple logical chunks.
+    pub fn with_defaults(schema: TableSchema, num_tuples: u64) -> Self {
+        Self::new(schema, num_tuples, DEFAULT_PAGE_SIZE, 100_000)
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Physical page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Tuples per logical chunk (the last chunk may hold fewer).
+    pub fn tuples_per_chunk(&self) -> u64 {
+        self.tuples_per_chunk
+    }
+
+    /// Physical width of one value of column `col`, in bits.
+    pub fn column_bits(&self, col: ColumnId) -> u32 {
+        self.column_bits[col.as_usize()]
+    }
+
+    /// The range of tuple positions `[start, end)` covered by `chunk`.
+    pub fn chunk_tuple_range(&self, chunk: ChunkId) -> (u64, u64) {
+        let start = chunk.index() as u64 * self.tuples_per_chunk;
+        let end = (start + self.tuples_per_chunk).min(self.num_tuples);
+        (start, end)
+    }
+
+    /// The chunk containing tuple position `tuple`.
+    pub fn chunk_of_tuple(&self, tuple: u64) -> ChunkId {
+        debug_assert!(tuple < self.num_tuples);
+        ChunkId::new((tuple / self.tuples_per_chunk) as u32)
+    }
+
+    /// Byte range `[start, end)` of the given chunk's values inside the
+    /// column area of `col` (relative to the start of that column area,
+    /// not page aligned).
+    fn chunk_column_byte_range(&self, chunk: ChunkId, col: ColumnId) -> (u64, u64) {
+        let bits = self.column_bits[col.as_usize()] as u128;
+        let (t_start, t_end) = self.chunk_tuple_range(chunk);
+        let start = (t_start as u128 * bits) / 8;
+        let end = (t_end as u128 * bits).div_ceil(8);
+        (start as u64, end as u64)
+    }
+
+    /// The page index range `[first, last]` (inclusive) within the column
+    /// area of `col` touched by `chunk`, or `None` for an empty chunk.
+    pub fn chunk_column_page_span(&self, chunk: ChunkId, col: ColumnId) -> Option<(u64, u64)> {
+        let (start, end) = self.chunk_column_byte_range(chunk, col);
+        if end <= start {
+            return None;
+        }
+        Some((start / self.page_size, (end - 1) / self.page_size))
+    }
+
+    /// Number of physical pages of column `col` that carry data of `chunk`.
+    pub fn chunk_column_pages(&self, chunk: ChunkId, col: ColumnId) -> u64 {
+        match self.chunk_column_page_span(chunk, col) {
+            Some((first, last)) => last - first + 1,
+            None => 0,
+        }
+    }
+
+    /// Whether the first/last pages of the chunk's span in `col` are shared
+    /// with the previous/next chunk — the "data waste" hazard of Section 6.2.
+    pub fn chunk_column_shares_pages(&self, chunk: ChunkId, col: ColumnId) -> (bool, bool) {
+        let span = match self.chunk_column_page_span(chunk, col) {
+            Some(s) => s,
+            None => return (false, false),
+        };
+        let shares_prev = chunk.index() > 0
+            && self
+                .chunk_column_page_span(ChunkId::new(chunk.index() - 1), col)
+                .is_some_and(|prev| prev.1 == span.0);
+        let shares_next = chunk.index() + 1 < self.num_chunks
+            && self
+                .chunk_column_page_span(ChunkId::new(chunk.index() + 1), col)
+                .is_some_and(|next| next.0 == span.1);
+        (shares_prev, shares_next)
+    }
+}
+
+impl Layout for DsmLayout {
+    fn num_chunks(&self) -> u32 {
+        self.num_chunks
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.num_tuples
+    }
+
+    fn chunk_tuples(&self, chunk: ChunkId) -> u64 {
+        let (start, end) = self.chunk_tuple_range(chunk);
+        end.saturating_sub(start)
+    }
+
+    fn chunk_pages(&self, chunk: ChunkId, cols: &[ColumnId]) -> u64 {
+        cols.iter().map(|&c| self.chunk_column_pages(chunk, c)).sum()
+    }
+
+    fn chunk_bytes(&self, chunk: ChunkId, cols: &[ColumnId]) -> u64 {
+        self.chunk_pages(chunk, cols) * self.page_size
+    }
+
+    fn chunk_regions(&self, chunk: ChunkId, cols: &[ColumnId]) -> Vec<PhysRegion> {
+        let mut regions = Vec::with_capacity(cols.len());
+        for &col in cols {
+            if let Some((first, last)) = self.chunk_column_page_span(chunk, col) {
+                let base = self.column_offsets[col.as_usize()];
+                regions.push(PhysRegion {
+                    offset: base + first * self.page_size,
+                    len: (last - first + 1) * self.page_size,
+                });
+            }
+        }
+        regions
+    }
+
+    fn num_columns(&self) -> u16 {
+        self.schema.num_columns()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.column_lengths.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compression::Compression;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "lineitem_like",
+            vec![
+                ColumnDef::compressed(
+                    "orderkey",
+                    ColumnType::Int64,
+                    Compression::PforDelta { bits: 3, exception_rate: 0.0 },
+                ),
+                ColumnDef::compressed(
+                    "partkey",
+                    ColumnType::Int64,
+                    Compression::Pfor { bits: 21, exception_rate: 0.0 },
+                ),
+                ColumnDef::compressed(
+                    "returnflag",
+                    ColumnType::Char,
+                    Compression::Dictionary { bits: 2 },
+                ),
+                ColumnDef::new("extendedprice", ColumnType::Decimal),
+                ColumnDef::new("comment", ColumnType::Varchar { avg_len: 32 }),
+            ],
+        )
+    }
+
+    fn layout() -> DsmLayout {
+        DsmLayout::new(schema(), 1_000_000, 64 * 1024, 100_000)
+    }
+
+    #[test]
+    fn chunk_count_and_tuples() {
+        let l = layout();
+        assert_eq!(l.num_chunks(), 10);
+        assert_eq!(l.chunk_tuples(ChunkId::new(0)), 100_000);
+        assert_eq!(l.chunk_tuples(ChunkId::new(9)), 100_000);
+        let l2 = DsmLayout::new(schema(), 950_001, 64 * 1024, 100_000);
+        assert_eq!(l2.num_chunks(), 10);
+        assert_eq!(l2.chunk_tuples(ChunkId::new(9)), 50_001);
+    }
+
+    #[test]
+    fn column_widths_drive_page_counts() {
+        let l = layout();
+        let c = ChunkId::new(3);
+        let orderkey = l.schema().column_id("orderkey").unwrap();
+        let price = l.schema().column_id("extendedprice").unwrap();
+        let comment = l.schema().column_id("comment").unwrap();
+        // 3-bit column: 100k tuples ~ 37.5 KB -> 1-2 pages.
+        assert!(l.chunk_column_pages(c, orderkey) <= 2);
+        // 64-bit column: 100k tuples = 800 KB -> ~13 pages.
+        let p = l.chunk_column_pages(c, price);
+        assert!((12..=14).contains(&p), "got {p}");
+        // 32-byte strings: 100k tuples = 3.2 MB -> ~49-50 pages.
+        let pc = l.chunk_column_pages(c, comment);
+        assert!((48..=51).contains(&pc), "got {pc}");
+    }
+
+    #[test]
+    fn chunk_pages_sums_over_requested_columns() {
+        let l = layout();
+        let c = ChunkId::new(0);
+        let cols = l.schema().resolve(&["orderkey", "extendedprice"]);
+        let sum = l.chunk_column_pages(c, cols[0]) + l.chunk_column_pages(c, cols[1]);
+        assert_eq!(l.chunk_pages(c, &cols), sum);
+        assert_eq!(l.chunk_bytes(c, &cols), sum * 64 * 1024);
+        assert_eq!(l.chunk_pages(c, &[]), 0);
+    }
+
+    #[test]
+    fn narrow_columns_share_pages_between_chunks() {
+        let l = layout();
+        let orderkey = l.schema().column_id("orderkey").unwrap();
+        // A 3-bit column packs ~174k values per 64 KiB page, so a 100k-tuple
+        // chunk occupies at most two pages and adjacent chunks share the
+        // boundary page (chunk boundaries never align with page boundaries).
+        let s1 = l.chunk_column_page_span(ChunkId::new(0), orderkey).unwrap();
+        let s2 = l.chunk_column_page_span(ChunkId::new(1), orderkey).unwrap();
+        assert_eq!(s2.0, s1.1, "chunk 1 starts on the page where chunk 0 ends");
+        assert!(l.chunk_column_pages(ChunkId::new(1), orderkey) <= 2);
+        let (prev, _next) = l.chunk_column_shares_pages(ChunkId::new(1), orderkey);
+        assert!(prev, "chunk 1 shares its first page with chunk 0");
+    }
+
+    #[test]
+    fn wide_columns_rarely_share_pages() {
+        let l = layout();
+        let comment = l.schema().column_id("comment").unwrap();
+        let s1 = l.chunk_column_page_span(ChunkId::new(0), comment).unwrap();
+        let s2 = l.chunk_column_page_span(ChunkId::new(1), comment).unwrap();
+        assert!(s2.0 >= s1.1, "chunk 1 starts at or after chunk 0's last page");
+        assert!(s2.1 > s1.1, "chunk 1 extends beyond chunk 0");
+    }
+
+    #[test]
+    fn regions_live_in_their_column_area() {
+        let l = layout();
+        let cols = l.schema().all_columns();
+        let regions = l.chunk_regions(ChunkId::new(5), &cols);
+        assert_eq!(regions.len(), cols.len());
+        // Regions of different columns never overlap.
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                let a_end = a.offset + a.len;
+                let b_end = b.offset + b.len;
+                assert!(a_end <= b.offset || b_end <= a.offset, "regions overlap: {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dsm_reads_less_than_nsm_for_few_columns() {
+        // The motivation for DSM in Section 2: reading 2 of many columns
+        // costs far less I/O than reading full tuples.
+        let l = layout();
+        let two = l.schema().resolve(&["orderkey", "returnflag"]);
+        let all = l.schema().all_columns();
+        let few_bytes: u64 = (0..l.num_chunks()).map(|c| l.chunk_bytes(ChunkId::new(c), &two)).sum();
+        let all_bytes: u64 = (0..l.num_chunks()).map(|c| l.chunk_bytes(ChunkId::new(c), &all)).sum();
+        assert!(few_bytes * 10 < all_bytes, "few={few_bytes} all={all_bytes}");
+    }
+
+    #[test]
+    fn total_bytes_is_page_aligned_sum_of_columns() {
+        let l = layout();
+        assert_eq!(l.total_bytes() % l.page_size(), 0);
+        assert!(l.total_bytes() > 0);
+    }
+
+    #[test]
+    fn tuple_chunk_mapping() {
+        let l = layout();
+        assert_eq!(l.chunk_of_tuple(0), ChunkId::new(0));
+        assert_eq!(l.chunk_of_tuple(99_999), ChunkId::new(0));
+        assert_eq!(l.chunk_of_tuple(100_000), ChunkId::new(1));
+        assert_eq!(l.chunk_of_tuple(999_999), ChunkId::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn zero_tuple_chunks_rejected() {
+        DsmLayout::new(schema(), 100, 64 * 1024, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Strongly-typed identifiers shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a logical chunk within a table (0-based, dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId(u32);
+
+impl ChunkId {
+    /// Creates a chunk id from its index.
+    pub const fn new(index: u32) -> Self {
+        ChunkId(index)
+    }
+
+    /// The underlying dense index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The index as a usize, for direct vector indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The chunk immediately after this one.
+    pub const fn next(self) -> ChunkId {
+        ChunkId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk#{}", self.0)
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a column within a table schema (0-based, dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColumnId(u16);
+
+impl ColumnId {
+    /// Creates a column id from its index.
+    pub const fn new(index: u16) -> Self {
+        ColumnId(index)
+    }
+
+    /// The underlying dense index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The index as a usize, for direct vector indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col#{}", self.0)
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a physical page within a table's storage area.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from its index.
+    pub const fn new(index: u64) -> Self {
+        PageId(index)
+    }
+
+    /// The underlying dense index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn chunk_id_basics() {
+        let c = ChunkId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.as_usize(), 7);
+        assert_eq!(c.next(), ChunkId::new(8));
+        assert_eq!(format!("{c:?}"), "chunk#7");
+        assert_eq!(format!("{c}"), "7");
+        assert!(ChunkId::new(3) < ChunkId::new(4));
+    }
+
+    #[test]
+    fn column_id_basics() {
+        let c = ColumnId::new(2);
+        assert_eq!(c.index(), 2);
+        assert_eq!(c.as_usize(), 2);
+        assert_eq!(format!("{c:?}"), "col#2");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<ChunkId> = (0..10).map(ChunkId::new).collect();
+        assert_eq!(set.len(), 10);
+        let pages: HashSet<PageId> = (0..5).map(PageId::new).collect();
+        assert_eq!(pages.len(), 5);
+        assert_eq!(PageId::new(3).index(), 3);
+        assert_eq!(format!("{:?}", PageId::new(3)), "page#3");
+    }
+}

@@ -1,0 +1,249 @@
+//! NSM/PAX physical layout.
+//!
+//! In the row-wise experiments of the paper (Section 5) the storage model is
+//! PAX, which "is equivalent to NSM in terms of I/O demand": every page
+//! holds all columns for a contiguous run of tuples, a chunk is a fixed
+//! number of contiguous pages (16 MB by default), and the whole chunk must
+//! be read regardless of which columns a query touches.
+
+use crate::ids::{ChunkId, ColumnId};
+use crate::schema::TableSchema;
+use crate::{Layout, PhysRegion, DEFAULT_PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// NSM/PAX layout of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NsmLayout {
+    schema: TableSchema,
+    num_tuples: u64,
+    page_size: u64,
+    chunk_size: u64,
+    tuples_per_page: u64,
+    pages_per_chunk: u64,
+    tuples_per_chunk: u64,
+    num_chunks: u32,
+}
+
+impl NsmLayout {
+    /// Builds an NSM/PAX layout for `num_tuples` tuples of `schema`, with the
+    /// given physical page size and chunk size (both in bytes).
+    ///
+    /// # Panics
+    /// Panics if the chunk size is not a positive multiple of the page size,
+    /// or if a single tuple does not fit in a page, or if `num_tuples` is zero.
+    pub fn new(schema: TableSchema, num_tuples: u64, page_size: u64, chunk_size: u64) -> Self {
+        assert!(num_tuples > 0, "table must contain at least one tuple");
+        assert!(page_size > 0 && chunk_size > 0, "page and chunk size must be positive");
+        assert!(
+            chunk_size % page_size == 0,
+            "chunk size ({chunk_size}) must be a multiple of page size ({page_size})"
+        );
+        let tuple_width = schema.tuple_width_uncompressed();
+        assert!(tuple_width <= page_size, "a tuple must fit in one page");
+        let tuples_per_page = page_size / tuple_width;
+        let pages_per_chunk = chunk_size / page_size;
+        let tuples_per_chunk = tuples_per_page * pages_per_chunk;
+        let num_chunks = num_tuples.div_ceil(tuples_per_chunk) as u32;
+        Self {
+            schema,
+            num_tuples,
+            page_size,
+            chunk_size,
+            tuples_per_page,
+            pages_per_chunk,
+            tuples_per_chunk,
+            num_chunks,
+        }
+    }
+
+    /// Builds a layout with the defaults used throughout the paper's
+    /// row-storage experiments: 64 KiB pages and 16 MiB chunks.
+    pub fn with_defaults(schema: TableSchema, num_tuples: u64) -> Self {
+        Self::new(schema, num_tuples, DEFAULT_PAGE_SIZE, 16 * 1024 * 1024)
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Physical page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Chunk size in bytes (full chunks).
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// Tuples stored per page.
+    pub fn tuples_per_page(&self) -> u64 {
+        self.tuples_per_page
+    }
+
+    /// Pages per full chunk.
+    pub fn pages_per_chunk(&self) -> u64 {
+        self.pages_per_chunk
+    }
+
+    /// Tuples per full chunk.
+    pub fn tuples_per_chunk(&self) -> u64 {
+        self.tuples_per_chunk
+    }
+
+    /// The range of tuple positions `[start, end)` covered by `chunk`.
+    pub fn chunk_tuple_range(&self, chunk: ChunkId) -> (u64, u64) {
+        let start = chunk.index() as u64 * self.tuples_per_chunk;
+        let end = (start + self.tuples_per_chunk).min(self.num_tuples);
+        (start, end)
+    }
+
+    /// The chunk containing tuple position `tuple`.
+    pub fn chunk_of_tuple(&self, tuple: u64) -> ChunkId {
+        debug_assert!(tuple < self.num_tuples);
+        ChunkId::new((tuple / self.tuples_per_chunk) as u32)
+    }
+}
+
+impl Layout for NsmLayout {
+    fn num_chunks(&self) -> u32 {
+        self.num_chunks
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.num_tuples
+    }
+
+    fn chunk_tuples(&self, chunk: ChunkId) -> u64 {
+        let (start, end) = self.chunk_tuple_range(chunk);
+        end.saturating_sub(start)
+    }
+
+    fn chunk_pages(&self, chunk: ChunkId, _cols: &[ColumnId]) -> u64 {
+        let tuples = self.chunk_tuples(chunk);
+        tuples.div_ceil(self.tuples_per_page)
+    }
+
+    fn chunk_bytes(&self, chunk: ChunkId, cols: &[ColumnId]) -> u64 {
+        self.chunk_pages(chunk, cols) * self.page_size
+    }
+
+    fn chunk_regions(&self, chunk: ChunkId, cols: &[ColumnId]) -> Vec<PhysRegion> {
+        let offset = chunk.index() as u64 * self.chunk_size;
+        let len = self.chunk_bytes(chunk, cols);
+        if len == 0 {
+            Vec::new()
+        } else {
+            vec![PhysRegion { offset, len }]
+        }
+    }
+
+    fn num_columns(&self) -> u16 {
+        self.schema.num_columns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn schema() -> TableSchema {
+        // 128-byte tuples for easy arithmetic: 16 Int64 columns.
+        TableSchema::new(
+            "wide",
+            (0..16).map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64)).collect(),
+        )
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        // 64 KiB pages -> 512 tuples/page; 1 MiB chunks -> 16 pages -> 8192 tuples/chunk.
+        let l = NsmLayout::new(schema(), 100_000, 64 * 1024, 1024 * 1024);
+        assert_eq!(l.tuples_per_page(), 512);
+        assert_eq!(l.pages_per_chunk(), 16);
+        assert_eq!(l.tuples_per_chunk(), 8192);
+        assert_eq!(l.num_chunks(), 100_000u64.div_ceil(8192) as u32);
+        assert_eq!(l.num_tuples(), 100_000);
+        assert_eq!(l.num_columns(), 16);
+    }
+
+    #[test]
+    fn last_chunk_is_partial() {
+        let l = NsmLayout::new(schema(), 10_000, 64 * 1024, 1024 * 1024);
+        // 10_000 = 8192 + 1808.
+        assert_eq!(l.num_chunks(), 2);
+        assert_eq!(l.chunk_tuples(ChunkId::new(0)), 8192);
+        assert_eq!(l.chunk_tuples(ChunkId::new(1)), 1808);
+        // Partial chunk occupies fewer pages: ceil(1808/512) = 4.
+        assert_eq!(l.chunk_pages(ChunkId::new(1), &[]), 4);
+        assert_eq!(l.chunk_pages(ChunkId::new(0), &[]), 16);
+    }
+
+    #[test]
+    fn column_set_is_irrelevant_for_nsm() {
+        let l = NsmLayout::new(schema(), 100_000, 64 * 1024, 1024 * 1024);
+        let one_col = [ColumnId::new(0)];
+        let all: Vec<ColumnId> = l.schema().all_columns();
+        let c = ChunkId::new(3);
+        assert_eq!(l.chunk_pages(c, &one_col), l.chunk_pages(c, &all));
+        assert_eq!(l.chunk_bytes(c, &one_col), l.chunk_bytes(c, &all));
+    }
+
+    #[test]
+    fn regions_are_contiguous_and_ordered() {
+        let l = NsmLayout::new(schema(), 100_000, 64 * 1024, 1024 * 1024);
+        let r0 = l.chunk_regions(ChunkId::new(0), &[]);
+        let r1 = l.chunk_regions(ChunkId::new(1), &[]);
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r0[0].offset, 0);
+        assert_eq!(r1[0].offset, 1024 * 1024);
+        assert_eq!(r0[0].len, 1024 * 1024);
+    }
+
+    #[test]
+    fn tuple_chunk_mapping_round_trips() {
+        let l = NsmLayout::new(schema(), 50_000, 64 * 1024, 1024 * 1024);
+        for &t in &[0u64, 1, 8191, 8192, 49_999] {
+            let c = l.chunk_of_tuple(t);
+            let (start, end) = l.chunk_tuple_range(c);
+            assert!(t >= start && t < end, "tuple {t} not in chunk {c:?} range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn total_bytes_accounts_for_partial_last_chunk() {
+        let l = NsmLayout::new(schema(), 10_000, 64 * 1024, 1024 * 1024);
+        let all = l.schema().all_columns();
+        let expected = l.chunk_bytes(ChunkId::new(0), &all) + l.chunk_bytes(ChunkId::new(1), &all);
+        assert_eq!(l.total_bytes(), expected);
+        assert_eq!(l.total_pages(&all), 16 + 4);
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // TPC-H SF-10 lineitem is ~60M tuples and "over 4GB" in the paper.
+        // With 70-byte physical tuples and 16MB chunks we should land in the
+        // few-hundred-chunks range, which is what makes chunk-level
+        // scheduling tractable.
+        let schema = TableSchema::new(
+            "lineitem_like",
+            (0..9).map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64)).collect(),
+        );
+        let l = NsmLayout::with_defaults(schema, 60_000_000);
+        assert!(l.num_chunks() > 100 && l.num_chunks() < 1000, "got {}", l.num_chunks());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of page size")]
+    fn misaligned_chunk_size_rejected() {
+        NsmLayout::new(schema(), 1000, 64 * 1024, 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn empty_table_rejected() {
+        NsmLayout::new(schema(), 0, 64 * 1024, 1024 * 1024);
+    }
+}

@@ -1,0 +1,302 @@
+//! Scan plans: which chunks a query needs.
+//!
+//! A CScan registers "a range or a set of ranges from a table or a clustered
+//! index" (Section 4).  [`ScanRanges`] is that registration: an ordered set
+//! of disjoint, coalesced chunk ranges.
+
+use crate::ids::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// A half-open range of chunk indices `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkRange {
+    /// First chunk index in the range.
+    pub start: u32,
+    /// One past the last chunk index in the range.
+    pub end: u32,
+}
+
+impl ChunkRange {
+    /// Creates a range; `start` must not exceed `end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "invalid chunk range {start}..{end}");
+        Self { start, end }
+    }
+
+    /// Number of chunks in the range.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the range contains no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether the range contains `chunk`.
+    pub fn contains(&self, chunk: ChunkId) -> bool {
+        chunk.index() >= self.start && chunk.index() < self.end
+    }
+
+    /// Iterator over the chunk ids in the range.
+    pub fn iter(&self) -> impl Iterator<Item = ChunkId> + '_ {
+        (self.start..self.end).map(ChunkId::new)
+    }
+}
+
+/// An ordered set of disjoint chunk ranges — the data need of one scan.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScanRanges {
+    ranges: Vec<ChunkRange>,
+}
+
+impl ScanRanges {
+    /// An empty scan (needs nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A scan over the single range `[start, end)`.
+    pub fn single(start: u32, end: u32) -> Self {
+        let r = ChunkRange::new(start, end);
+        if r.is_empty() {
+            Self::empty()
+        } else {
+            Self { ranges: vec![r] }
+        }
+    }
+
+    /// A scan over the whole table of `num_chunks` chunks.
+    pub fn full(num_chunks: u32) -> Self {
+        Self::single(0, num_chunks)
+    }
+
+    /// Builds coalesced ranges from arbitrary (possibly unsorted, possibly
+    /// duplicated) chunk indices.
+    pub fn from_chunk_indices<I: IntoIterator<Item = u32>>(indices: I) -> Self {
+        let mut v: Vec<u32> = indices.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        let mut ranges: Vec<ChunkRange> = Vec::new();
+        for idx in v {
+            match ranges.last_mut() {
+                Some(last) if last.end == idx => last.end += 1,
+                _ => ranges.push(ChunkRange::new(idx, idx + 1)),
+            }
+        }
+        Self { ranges }
+    }
+
+    /// Builds a scan from explicit ranges, normalizing (sorting, merging
+    /// overlapping or adjacent ranges, dropping empties).
+    pub fn from_ranges<I: IntoIterator<Item = ChunkRange>>(ranges: I) -> Self {
+        let mut v: Vec<ChunkRange> = ranges.into_iter().filter(|r| !r.is_empty()).collect();
+        v.sort_by_key(|r| r.start);
+        let mut out: Vec<ChunkRange> = Vec::with_capacity(v.len());
+        for r in v {
+            match out.last_mut() {
+                Some(last) if r.start <= last.end => last.end = last.end.max(r.end),
+                _ => out.push(r),
+            }
+        }
+        Self { ranges: out }
+    }
+
+    /// The normalized ranges.
+    pub fn ranges(&self) -> &[ChunkRange] {
+        &self.ranges
+    }
+
+    /// True if the scan needs no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total number of chunks needed.
+    pub fn num_chunks(&self) -> u32 {
+        self.ranges.iter().map(|r| r.len()).sum()
+    }
+
+    /// Whether the scan needs `chunk`.
+    pub fn contains(&self, chunk: ChunkId) -> bool {
+        // Ranges are sorted and disjoint: binary search by start.
+        match self.ranges.binary_search_by(|r| {
+            if chunk.index() < r.start {
+                std::cmp::Ordering::Greater
+            } else if chunk.index() >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(_) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// All needed chunk ids, in table order.
+    pub fn chunks(&self) -> Vec<ChunkId> {
+        self.iter().collect()
+    }
+
+    /// Iterator over needed chunk ids in table order.
+    pub fn iter(&self) -> impl Iterator<Item = ChunkId> + '_ {
+        self.ranges.iter().flat_map(|r| r.iter())
+    }
+
+    /// The first needed chunk, if any.
+    pub fn first(&self) -> Option<ChunkId> {
+        self.ranges.first().map(|r| ChunkId::new(r.start))
+    }
+
+    /// The last needed chunk, if any.
+    pub fn last(&self) -> Option<ChunkId> {
+        self.ranges.last().map(|r| ChunkId::new(r.end - 1))
+    }
+
+    /// Number of chunks both scans need (the overlap that drives sharing).
+    pub fn overlap(&self, other: &ScanRanges) -> u32 {
+        let mut total = 0u32;
+        let mut j = 0usize;
+        for a in &self.ranges {
+            while j < other.ranges.len() && other.ranges[j].end <= a.start {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.ranges.len() && other.ranges[k].start < a.end {
+                let b = &other.ranges[k];
+                let lo = a.start.max(b.start);
+                let hi = a.end.min(b.end);
+                total += hi - lo;
+                k += 1;
+            }
+        }
+        total
+    }
+
+    /// The next needed chunk at or after `pos`, wrapping around to the start
+    /// of the scan if none — the circular-scan order used by `attach`.
+    pub fn next_from(&self, pos: ChunkId) -> Option<ChunkId> {
+        if self.is_empty() {
+            return None;
+        }
+        for r in &self.ranges {
+            if pos.index() < r.start {
+                return Some(ChunkId::new(r.start));
+            }
+            if r.contains(pos) {
+                return Some(pos);
+            }
+        }
+        self.first()
+    }
+}
+
+impl FromIterator<ChunkId> for ScanRanges {
+    fn from_iter<T: IntoIterator<Item = ChunkId>>(iter: T) -> Self {
+        Self::from_chunk_indices(iter.into_iter().map(|c| c.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_range_basics() {
+        let s = ScanRanges::single(5, 10);
+        assert_eq!(s.num_chunks(), 5);
+        assert!(s.contains(ChunkId::new(5)));
+        assert!(s.contains(ChunkId::new(9)));
+        assert!(!s.contains(ChunkId::new(10)));
+        assert!(!s.contains(ChunkId::new(0)));
+        assert_eq!(s.first(), Some(ChunkId::new(5)));
+        assert_eq!(s.last(), Some(ChunkId::new(9)));
+        assert_eq!(s.chunks().len(), 5);
+    }
+
+    #[test]
+    fn empty_scans() {
+        assert!(ScanRanges::empty().is_empty());
+        assert!(ScanRanges::single(3, 3).is_empty());
+        assert_eq!(ScanRanges::empty().num_chunks(), 0);
+        assert_eq!(ScanRanges::empty().first(), None);
+        assert_eq!(ScanRanges::empty().next_from(ChunkId::new(0)), None);
+    }
+
+    #[test]
+    fn from_indices_coalesces() {
+        let s = ScanRanges::from_chunk_indices(vec![7, 1, 2, 3, 9, 8, 2]);
+        assert_eq!(s.ranges(), &[ChunkRange::new(1, 4), ChunkRange::new(7, 10)]);
+        assert_eq!(s.num_chunks(), 6);
+    }
+
+    #[test]
+    fn from_ranges_merges_overlaps() {
+        let s = ScanRanges::from_ranges(vec![
+            ChunkRange::new(10, 20),
+            ChunkRange::new(0, 5),
+            ChunkRange::new(4, 12),
+            ChunkRange::new(30, 30),
+        ]);
+        assert_eq!(s.ranges(), &[ChunkRange::new(0, 20)]);
+    }
+
+    #[test]
+    fn adjacent_ranges_merge() {
+        let s = ScanRanges::from_ranges(vec![ChunkRange::new(0, 5), ChunkRange::new(5, 10)]);
+        assert_eq!(s.ranges(), &[ChunkRange::new(0, 10)]);
+    }
+
+    #[test]
+    fn overlap_counts_shared_chunks() {
+        let a = ScanRanges::from_ranges(vec![ChunkRange::new(0, 10), ChunkRange::new(20, 30)]);
+        let b = ScanRanges::from_ranges(vec![ChunkRange::new(5, 25)]);
+        assert_eq!(a.overlap(&b), 5 + 5);
+        assert_eq!(b.overlap(&a), 10);
+        assert_eq!(a.overlap(&a), 20);
+        assert_eq!(a.overlap(&ScanRanges::empty()), 0);
+        let c = ScanRanges::single(50, 60);
+        assert_eq!(a.overlap(&c), 0);
+    }
+
+    #[test]
+    fn next_from_wraps_circularly() {
+        let s = ScanRanges::from_ranges(vec![ChunkRange::new(2, 5), ChunkRange::new(10, 12)]);
+        assert_eq!(s.next_from(ChunkId::new(0)), Some(ChunkId::new(2)));
+        assert_eq!(s.next_from(ChunkId::new(3)), Some(ChunkId::new(3)));
+        assert_eq!(s.next_from(ChunkId::new(5)), Some(ChunkId::new(10)));
+        assert_eq!(s.next_from(ChunkId::new(11)), Some(ChunkId::new(11)));
+        // Past the end: wrap to the beginning.
+        assert_eq!(s.next_from(ChunkId::new(12)), Some(ChunkId::new(2)));
+        assert_eq!(s.next_from(ChunkId::new(100)), Some(ChunkId::new(2)));
+    }
+
+    #[test]
+    fn iteration_is_in_table_order() {
+        let s = ScanRanges::from_chunk_indices(vec![9, 1, 5, 6]);
+        let order: Vec<u32> = s.iter().map(|c| c.index()).collect();
+        assert_eq!(order, vec![1, 5, 6, 9]);
+    }
+
+    #[test]
+    fn collect_from_chunk_ids() {
+        let s: ScanRanges = vec![ChunkId::new(3), ChunkId::new(4), ChunkId::new(9)].into_iter().collect();
+        assert_eq!(s.num_chunks(), 3);
+        assert_eq!(s.ranges().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid chunk range")]
+    fn inverted_range_rejected() {
+        ChunkRange::new(5, 2);
+    }
+
+    #[test]
+    fn full_covers_everything() {
+        let s = ScanRanges::full(100);
+        assert_eq!(s.num_chunks(), 100);
+        assert!(s.contains(ChunkId::new(0)));
+        assert!(s.contains(ChunkId::new(99)));
+    }
+}

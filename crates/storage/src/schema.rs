@@ -1,0 +1,217 @@
+//! Table schemas.
+//!
+//! Schemas in this reproduction exist to drive the *physical* modelling
+//! (column widths, compression, table sizes) and the example query
+//! operators; they are deliberately small — just enough to describe a
+//! TPC-H-style fact table.
+
+use crate::compression::Compression;
+use crate::ids::ColumnId;
+use serde::{Deserialize, Serialize};
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integer (also used for keys and dates encoded as days).
+    Int64,
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit fixed-point decimal (stored as scaled integer).
+    Decimal,
+    /// Calendar date stored as days since epoch.
+    Date,
+    /// Single ASCII character (flags).
+    Char,
+    /// Variable-length string with a declared average width.
+    Varchar {
+        /// Average uncompressed width in bytes, used for size modelling.
+        avg_len: u16,
+    },
+}
+
+impl ColumnType {
+    /// Uncompressed width of one value in bytes, as stored by the engine.
+    pub fn uncompressed_width(&self) -> u16 {
+        match self {
+            ColumnType::Int64 | ColumnType::Decimal => 8,
+            ColumnType::Int32 | ColumnType::Date => 4,
+            ColumnType::Char => 1,
+            ColumnType::Varchar { avg_len } => *avg_len,
+        }
+    }
+}
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Logical type.
+    pub ty: ColumnType,
+    /// On-disk compression scheme (affects physical width only).
+    pub compression: Compression,
+}
+
+impl ColumnDef {
+    /// Creates an uncompressed column.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty, compression: Compression::None }
+    }
+
+    /// Creates a compressed column.
+    pub fn compressed(name: impl Into<String>, ty: ColumnType, compression: Compression) -> Self {
+        Self { name: name.into(), ty, compression }
+    }
+
+    /// Physical width of one value in *bits* after compression.
+    pub fn physical_bits(&self) -> u32 {
+        self.compression.physical_bits(self.ty)
+    }
+
+    /// Physical width of one value in bytes (fractional, for size modelling).
+    pub fn physical_bytes(&self) -> f64 {
+        self.physical_bits() as f64 / 8.0
+    }
+}
+
+/// A table schema: an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema from a table name and column definitions.
+    ///
+    /// # Panics
+    /// Panics if two columns share a name or if the column list is empty.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate column name {:?}", a.name);
+            }
+        }
+        Self { name: name.into(), columns }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All column definitions in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> u16 {
+        self.columns.len() as u16
+    }
+
+    /// The definition of column `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn column(&self, id: ColumnId) -> &ColumnDef {
+        &self.columns[id.as_usize()]
+    }
+
+    /// Looks up a column id by name.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns.iter().position(|c| c.name == name).map(|i| ColumnId::new(i as u16))
+    }
+
+    /// All column ids, in declaration order.
+    pub fn all_columns(&self) -> Vec<ColumnId> {
+        (0..self.num_columns()).map(ColumnId::new).collect()
+    }
+
+    /// Sum of uncompressed per-tuple widths, in bytes.
+    pub fn tuple_width_uncompressed(&self) -> u64 {
+        self.columns.iter().map(|c| c.ty.uncompressed_width() as u64).sum()
+    }
+
+    /// Sum of physical (compressed) per-tuple widths, in bytes.
+    pub fn tuple_width_physical(&self) -> f64 {
+        self.columns.iter().map(|c| c.physical_bytes()).sum()
+    }
+
+    /// Resolves a list of column names to ids.
+    ///
+    /// # Panics
+    /// Panics if any name is unknown — schema/query mismatches are
+    /// programming errors in this reproduction.
+    pub fn resolve(&self, names: &[&str]) -> Vec<ColumnId> {
+        names
+            .iter()
+            .map(|n| {
+                self.column_id(n)
+                    .unwrap_or_else(|| panic!("unknown column {n:?} in table {:?}", self.name))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColumnType::Int64),
+                ColumnDef::new("b", ColumnType::Int32),
+                ColumnDef::compressed("c", ColumnType::Char, Compression::Dictionary { bits: 2 }),
+                ColumnDef::new("d", ColumnType::Varchar { avg_len: 32 }),
+            ],
+        )
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(ColumnType::Int64.uncompressed_width(), 8);
+        assert_eq!(ColumnType::Date.uncompressed_width(), 4);
+        assert_eq!(ColumnType::Varchar { avg_len: 25 }.uncompressed_width(), 25);
+        let s = sample();
+        assert_eq!(s.tuple_width_uncompressed(), 8 + 4 + 1 + 32);
+        // c compresses from 8 bits to 2 bits.
+        assert!(s.tuple_width_physical() < s.tuple_width_uncompressed() as f64);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.column_id("c"), Some(ColumnId::new(2)));
+        assert_eq!(s.column_id("nope"), None);
+        assert_eq!(s.column(ColumnId::new(0)).name, "a");
+        assert_eq!(s.resolve(&["b", "d"]), vec![ColumnId::new(1), ColumnId::new(3)]);
+        assert_eq!(s.all_columns().len(), 4);
+        assert_eq!(s.num_columns(), 4);
+        assert_eq!(s.name(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn resolve_unknown_panics() {
+        sample().resolve(&["zzz"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ColumnType::Int64), ColumnDef::new("a", ColumnType::Int32)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_schema_rejected() {
+        TableSchema::new("t", vec![]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Zonemaps ("small materialized aggregates").
+//!
+//! Section 2 of the paper describes keeping a min- and max-value per column
+//! per large disk block, so that range selections — even on columns the
+//! table is not ordered on, as long as they are *correlated* with the
+//! clustering order — can skip irrelevant blocks.  The result is a scan plan
+//! consisting of multiple non-contiguous chunk ranges, one of the reasons the
+//! `attach` policy struggles (Section 3).
+
+use crate::ids::{ChunkId, ColumnId};
+use crate::scan::ScanRanges;
+use serde::{Deserialize, Serialize};
+
+/// Per-chunk minimum and maximum of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneEntry {
+    /// Smallest value of the column within the chunk.
+    pub min: i64,
+    /// Largest value of the column within the chunk.
+    pub max: i64,
+}
+
+/// Min/max metadata for one column over all chunks of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneMap {
+    column: ColumnId,
+    entries: Vec<ZoneEntry>,
+}
+
+impl ZoneMap {
+    /// Creates a zonemap for `column` from per-chunk `(min, max)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any entry has `min > max`.
+    pub fn new(column: ColumnId, entries: Vec<ZoneEntry>) -> Self {
+        for (i, e) in entries.iter().enumerate() {
+            assert!(e.min <= e.max, "zonemap entry {i} has min {} > max {}", e.min, e.max);
+        }
+        Self { column, entries }
+    }
+
+    /// Builds a zonemap by scanning per-chunk value iterators.
+    pub fn build<I, C>(column: ColumnId, chunks: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = i64>,
+    {
+        let entries = chunks
+            .into_iter()
+            .map(|chunk| {
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                let mut any = false;
+                for v in chunk {
+                    any = true;
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                if any {
+                    ZoneEntry { min, max }
+                } else {
+                    // An empty chunk can never satisfy a predicate; the inverted
+                    // sentinel makes `chunk_may_match` false for all finite ranges.
+                    ZoneEntry { min: i64::MAX, max: i64::MIN }
+                }
+            })
+            .collect();
+        Self { column, entries }
+    }
+
+    /// The column this zonemap describes.
+    pub fn column(&self) -> ColumnId {
+        self.column
+    }
+
+    /// Number of chunks covered.
+    pub fn num_chunks(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// The entry for `chunk`.
+    pub fn entry(&self, chunk: ChunkId) -> ZoneEntry {
+        self.entries[chunk.as_usize()]
+    }
+
+    /// Whether `chunk` may contain values in `[lo, hi]` (inclusive).
+    pub fn chunk_may_match(&self, chunk: ChunkId, lo: i64, hi: i64) -> bool {
+        let e = self.entries[chunk.as_usize()];
+        e.max >= lo && e.min <= hi
+    }
+
+    /// The chunks that may contain values in `[lo, hi]`, as coalesced ranges.
+    pub fn matching_ranges(&self, lo: i64, hi: i64) -> ScanRanges {
+        let matching =
+            (0..self.num_chunks()).filter(|&c| self.chunk_may_match(ChunkId::new(c), lo, hi));
+        ScanRanges::from_chunk_indices(matching)
+    }
+
+    /// Fraction of chunks that may match `[lo, hi]` — the scan's effective selectivity
+    /// at chunk granularity.
+    pub fn selectivity(&self, lo: i64, hi: i64) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let matching =
+            (0..self.num_chunks()).filter(|&c| self.chunk_may_match(ChunkId::new(c), lo, hi)).count();
+        matching as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clustered (sorted) column: chunk i holds values [i*100, i*100+99].
+    fn clustered(chunks: u32) -> ZoneMap {
+        ZoneMap::new(
+            ColumnId::new(0),
+            (0..chunks as i64).map(|i| ZoneEntry { min: i * 100, max: i * 100 + 99 }).collect(),
+        )
+    }
+
+    #[test]
+    fn clustered_column_gives_contiguous_ranges() {
+        let zm = clustered(10);
+        let ranges = zm.matching_ranges(250, 449);
+        let chunks = ranges.chunks();
+        assert_eq!(chunks, vec![ChunkId::new(2), ChunkId::new(3), ChunkId::new(4)]);
+        assert_eq!(ranges.ranges().len(), 1, "contiguous chunks coalesce into one range");
+        assert!((zm.selectivity(250, 449) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_column_gives_multiple_ranges() {
+        // A column correlated with, but not identical to, the clustering
+        // order: some chunks have outlier ranges.
+        let zm = ZoneMap::new(
+            ColumnId::new(1),
+            vec![
+                ZoneEntry { min: 0, max: 10 },
+                ZoneEntry { min: 8, max: 20 },
+                ZoneEntry { min: 100, max: 120 },
+                ZoneEntry { min: 15, max: 30 },
+                ZoneEntry { min: 200, max: 220 },
+            ],
+        );
+        let ranges = zm.matching_ranges(9, 25);
+        assert_eq!(
+            ranges.chunks(),
+            vec![ChunkId::new(0), ChunkId::new(1), ChunkId::new(3)],
+            "chunk 2 and 4 are skipped"
+        );
+        assert_eq!(ranges.ranges().len(), 2, "non-contiguous matches produce multiple ranges");
+    }
+
+    #[test]
+    fn no_match_yields_empty_plan() {
+        let zm = clustered(5);
+        let ranges = zm.matching_ranges(10_000, 20_000);
+        assert!(ranges.is_empty());
+        assert_eq!(zm.selectivity(10_000, 20_000), 0.0);
+    }
+
+    #[test]
+    fn full_match_yields_full_table() {
+        let zm = clustered(5);
+        let ranges = zm.matching_ranges(i64::MIN, i64::MAX);
+        assert_eq!(ranges.num_chunks(), 5);
+        assert_eq!(zm.selectivity(i64::MIN, i64::MAX), 1.0);
+    }
+
+    #[test]
+    fn build_from_values() {
+        let zm = ZoneMap::build(
+            ColumnId::new(2),
+            vec![vec![5i64, 3, 9], vec![100, 42], vec![-7, 0]],
+        );
+        assert_eq!(zm.num_chunks(), 3);
+        assert_eq!(zm.entry(ChunkId::new(0)), ZoneEntry { min: 3, max: 9 });
+        assert_eq!(zm.entry(ChunkId::new(1)), ZoneEntry { min: 42, max: 100 });
+        assert!(zm.chunk_may_match(ChunkId::new(2), -10, -5));
+        assert!(!zm.chunk_may_match(ChunkId::new(0), 10, 20));
+        assert_eq!(zm.column(), ColumnId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "min")]
+    fn inverted_entry_rejected() {
+        ZoneMap::new(ColumnId::new(0), vec![ZoneEntry { min: 10, max: 5 }]);
+    }
+
+    #[test]
+    fn boundary_inclusive_semantics() {
+        let zm = clustered(3);
+        // Predicate exactly at a chunk's max matches that chunk.
+        assert!(zm.chunk_may_match(ChunkId::new(0), 99, 99));
+        assert!(zm.chunk_may_match(ChunkId::new(1), 100, 100));
+        assert!(!zm.chunk_may_match(ChunkId::new(0), 100, 100));
+    }
+}

@@ -1,0 +1,27 @@
+//! Workloads for the Cooperative Scans experiments.
+//!
+//! The paper evaluates on TPC-H data (scale factor 10 for the row-storage
+//! experiments, 40 for DSM) with two query templates: **FAST** (TPC-H Q6, a
+//! cheap aggregation) and **SLOW** (TPC-H Q1 with extra arithmetic), each
+//! scanning a configurable fraction of `lineitem` from a random position.
+//! This crate builds the corresponding table models
+//! ([`lineitem::lineitem_nsm_model`], [`lineitem::lineitem_dsm_model`]),
+//! query classes ([`queries::QueryClass`]), the SPEED×SIZE query mixes of
+//! Figure 5 ([`mixes`]) and the random query streams of Section 5.1
+//! ([`streams`]), plus the synthetic 10-column table of the column-overlap
+//! experiment in Table 4 ([`synthetic`]).
+//!
+//! All randomness is seeded, so every experiment is reproducible.
+
+#![warn(missing_docs)]
+
+pub mod lineitem;
+pub mod mixes;
+pub mod queries;
+pub mod streams;
+pub mod synthetic;
+
+pub use lineitem::{lineitem_dsm_model, lineitem_nsm_model, lineitem_schema, LINEITEM_TUPLES_PER_SF};
+pub use mixes::{MixSize, MixSpeed, QueryMix};
+pub use queries::{QueryClass, QuerySpeed};
+pub use streams::{build_streams, StreamSetup};

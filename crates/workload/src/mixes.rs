@@ -1,0 +1,165 @@
+//! The SPEED × SIZE query mixes of Figure 5.
+//!
+//! Figure 5 compares the policies over fifteen workloads named
+//! `"SPEED-SIZE"`: SPEED describes the ratio of fast to slow queries
+//! (`F`, `S`, `SF`, `FFS`, `SSF`) and SIZE the distribution of scanned range
+//! sizes (`S`hort = 1/2/5/10/20 %, `M`ixed = 1/2/10/50/100 %,
+//! `L`ong = 10/30/50/100 %).
+
+use crate::queries::{QueryClass, QuerySpeed};
+use serde::{Deserialize, Serialize};
+
+/// The speed composition of a mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixSpeed {
+    /// Only fast queries.
+    F,
+    /// Only slow queries.
+    S,
+    /// Fast and slow in equal measure.
+    SF,
+    /// Two fast queries for every slow one.
+    FFS,
+    /// Two slow queries for every fast one.
+    SSF,
+}
+
+impl MixSpeed {
+    /// All speed compositions used in Figure 5.
+    pub const ALL: [MixSpeed; 5] = [MixSpeed::SF, MixSpeed::S, MixSpeed::F, MixSpeed::SSF, MixSpeed::FFS];
+
+    /// The speeds in this composition (with multiplicity).
+    pub fn speeds(self) -> Vec<QuerySpeed> {
+        match self {
+            MixSpeed::F => vec![QuerySpeed::Fast],
+            MixSpeed::S => vec![QuerySpeed::Slow],
+            MixSpeed::SF => vec![QuerySpeed::Slow, QuerySpeed::Fast],
+            MixSpeed::FFS => vec![QuerySpeed::Fast, QuerySpeed::Fast, QuerySpeed::Slow],
+            MixSpeed::SSF => vec![QuerySpeed::Slow, QuerySpeed::Slow, QuerySpeed::Fast],
+        }
+    }
+
+    /// The mix's name as used in the figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixSpeed::F => "F",
+            MixSpeed::S => "S",
+            MixSpeed::SF => "SF",
+            MixSpeed::FFS => "FFS",
+            MixSpeed::SSF => "SSF",
+        }
+    }
+}
+
+/// The range-size composition of a mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixSize {
+    /// Short ranges: 1, 2, 5, 10, 20 %.
+    Short,
+    /// Mixed ranges: 1, 2, 10, 50, 100 %.
+    Mixed,
+    /// Long ranges: 10, 30, 50, 100 %.
+    Long,
+}
+
+impl MixSize {
+    /// All size compositions used in Figure 5.
+    pub const ALL: [MixSize; 3] = [MixSize::Short, MixSize::Mixed, MixSize::Long];
+
+    /// The scan percentages of this composition.
+    pub fn percents(self) -> &'static [u32] {
+        match self {
+            MixSize::Short => &[1, 2, 5, 10, 20],
+            MixSize::Mixed => &[1, 2, 10, 50, 100],
+            MixSize::Long => &[10, 30, 50, 100],
+        }
+    }
+
+    /// Single-letter name used in the figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixSize::Short => "S",
+            MixSize::Mixed => "M",
+            MixSize::Long => "L",
+        }
+    }
+}
+
+/// One of the fifteen Figure 5 workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryMix {
+    /// Speed composition.
+    pub speed: MixSpeed,
+    /// Range-size composition.
+    pub size: MixSize,
+}
+
+impl QueryMix {
+    /// All fifteen mixes of Figure 5.
+    pub fn all() -> Vec<QueryMix> {
+        let mut out = Vec::with_capacity(15);
+        for &speed in &MixSpeed::ALL {
+            for &size in &MixSize::ALL {
+                out.push(QueryMix { speed, size });
+            }
+        }
+        out
+    }
+
+    /// The label used in Figure 5, e.g. `"SF-M"` or `"FFS-L"`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.speed.name(), self.size.name())
+    }
+
+    /// The query classes of this mix: the cross product of its speeds and
+    /// range sizes.
+    pub fn classes(&self) -> Vec<QueryClass> {
+        let mut out = Vec::new();
+        for &speed in &self.speed.speeds() {
+            for &percent in self.size.percents() {
+                out.push(QueryClass { speed, percent });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_mixes() {
+        let all = QueryMix::all();
+        assert_eq!(all.len(), 15);
+        let labels: std::collections::HashSet<String> = all.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 15);
+        assert!(labels.contains("SF-M"));
+        assert!(labels.contains("FFS-L"));
+        assert!(labels.contains("S-S"));
+    }
+
+    #[test]
+    fn class_composition_reflects_ratios() {
+        let ffs_short = QueryMix { speed: MixSpeed::FFS, size: MixSize::Short };
+        let classes = ffs_short.classes();
+        // 3 speed slots × 5 percentages.
+        assert_eq!(classes.len(), 15);
+        let fast = classes.iter().filter(|c| matches!(c.speed, QuerySpeed::Fast)).count();
+        let slow = classes.iter().filter(|c| matches!(c.speed, QuerySpeed::Slow)).count();
+        assert_eq!(fast, 10);
+        assert_eq!(slow, 5);
+        let pure_fast = QueryMix { speed: MixSpeed::F, size: MixSize::Long };
+        assert!(pure_fast.classes().iter().all(|c| matches!(c.speed, QuerySpeed::Fast)));
+        assert_eq!(pure_fast.classes().len(), 4);
+    }
+
+    #[test]
+    fn size_percentages_match_paper() {
+        assert_eq!(MixSize::Short.percents(), &[1, 2, 5, 10, 20]);
+        assert_eq!(MixSize::Mixed.percents(), &[1, 2, 10, 50, 100]);
+        assert_eq!(MixSize::Long.percents(), &[10, 30, 50, 100]);
+        assert_eq!(MixSize::Short.name(), "S");
+        assert_eq!(MixSpeed::SSF.speeds().len(), 3);
+    }
+}

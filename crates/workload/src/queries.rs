@@ -1,0 +1,222 @@
+//! The FAST / SLOW query classes of the paper's benchmark.
+//!
+//! Query FAST is TPC-H Q6 (a cheap aggregation, I/O bound on the paper's
+//! hardware); query SLOW is TPC-H Q1 with extra arithmetic (CPU bound).
+//! Every query scans a contiguous fraction of `lineitem` starting at a
+//! random position — the paper's `QUERY-PERCENTAGE` notation (`F-10` = FAST
+//! over 10 % of the table).
+
+use cscan_core::model::TableModel;
+use cscan_core::sim::QuerySpec;
+use cscan_core::ColSet;
+use cscan_storage::ScanRanges;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Data-processing speed of a query class, in tuples per second of
+/// dedicated-core CPU time.
+///
+/// The defaults are calibrated against the paper's standalone cold times on
+/// TPC-H SF-10 (Table 2): FAST-100 ≈ 20 s (I/O bound at ≈ 205 MB/s), SLOW-100
+/// ≈ 35 s (CPU bound on one core of the 2 GHz Opteron).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QuerySpeed {
+    /// TPC-H Q6-like: cheap per-tuple work.
+    Fast,
+    /// TPC-H Q1-like with extra arithmetic: expensive per-tuple work.
+    Slow,
+    /// The "faster slow" variant used in the DSM experiments (Section 6.3).
+    SlowDsm,
+    /// An explicit tuples-per-second figure.
+    Custom(f64),
+}
+
+impl QuerySpeed {
+    /// Tuples per second of dedicated-core CPU time.
+    pub fn tuples_per_sec(self) -> f64 {
+        match self {
+            QuerySpeed::Fast => 8_000_000.0,
+            QuerySpeed::Slow => 1_700_000.0,
+            QuerySpeed::SlowDsm => 3_400_000.0,
+            QuerySpeed::Custom(t) => t,
+        }
+    }
+
+    /// Single-letter prefix used in labels (`F` or `S`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            QuerySpeed::Fast => "F",
+            QuerySpeed::Slow | QuerySpeed::SlowDsm => "S",
+            QuerySpeed::Custom(_) => "C",
+        }
+    }
+}
+
+/// A query class: a speed and the percentage of the table it scans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryClass {
+    /// Processing speed.
+    pub speed: QuerySpeed,
+    /// Percentage of the table scanned (1–100).
+    pub percent: u32,
+}
+
+impl QueryClass {
+    /// A FAST query over `percent` % of the table.
+    pub fn fast(percent: u32) -> Self {
+        Self { speed: QuerySpeed::Fast, percent }
+    }
+
+    /// A SLOW query over `percent` % of the table.
+    pub fn slow(percent: u32) -> Self {
+        Self { speed: QuerySpeed::Slow, percent }
+    }
+
+    /// The paper's label for this class, e.g. `"F-10"` or `"S-100"`.
+    pub fn label(&self) -> String {
+        format!("{}-{:02}", self.speed.prefix(), self.percent)
+    }
+
+    /// Number of chunks a scan of this class covers in `model`.
+    pub fn chunks_in(&self, model: &TableModel) -> u32 {
+        let total = model.num_chunks();
+        ((total as u64 * self.percent as u64 + 99) / 100).clamp(1, total as u64) as u32
+    }
+
+    /// The chunk ranges of one concrete instance of this class, starting at a
+    /// random position ("reading PERCENTAGE of the full relation from a
+    /// random location").  A 100 % scan always covers the whole table.
+    pub fn ranges<R: Rng + ?Sized>(&self, model: &TableModel, rng: &mut R) -> ScanRanges {
+        let total = model.num_chunks();
+        let len = self.chunks_in(model);
+        if len >= total {
+            return ScanRanges::full(total);
+        }
+        let start = rng.gen_range(0..=(total - len));
+        ScanRanges::single(start, start + len)
+    }
+
+    /// Instantiates a concrete [`QuerySpec`] of this class over `model`,
+    /// optionally restricted to `columns`.
+    pub fn to_spec<R: Rng + ?Sized>(
+        &self,
+        model: &TableModel,
+        columns: Option<ColSet>,
+        rng: &mut R,
+    ) -> QuerySpec {
+        let ranges = self.ranges(model, rng);
+        let mut spec =
+            QuerySpec::range_scan(self.label(), ranges, self.speed.tuples_per_sec());
+        if let Some(cols) = columns {
+            spec = spec.with_columns(cols);
+        }
+        spec
+    }
+}
+
+/// The eight query classes of Table 2 / Table 3:
+/// FAST and SLOW over 1 %, 10 %, 50 % and 100 % of the table.
+pub fn table2_classes() -> Vec<QueryClass> {
+    let mut out = Vec::new();
+    for speed in [QuerySpeed::Fast, QuerySpeed::Slow] {
+        for percent in [1, 10, 50, 100] {
+            out.push(QueryClass { speed, percent });
+        }
+    }
+    out
+}
+
+/// The DSM variant (Table 3) replaces SLOW with the faster `SlowDsm` speed.
+pub fn table3_classes() -> Vec<QueryClass> {
+    let mut out = Vec::new();
+    for speed in [QuerySpeed::Fast, QuerySpeed::SlowDsm] {
+        for percent in [1, 10, 50, 100] {
+            out.push(QueryClass { speed, percent });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> TableModel {
+        TableModel::nsm_uniform(200, 100_000, 256)
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(QueryClass::fast(1).label(), "F-01");
+        assert_eq!(QueryClass::fast(100).label(), "F-100");
+        assert_eq!(QueryClass::slow(50).label(), "S-50");
+        assert_eq!(QueryClass { speed: QuerySpeed::SlowDsm, percent: 10 }.label(), "S-10");
+    }
+
+    #[test]
+    fn speeds_are_ordered() {
+        assert!(QuerySpeed::Fast.tuples_per_sec() > QuerySpeed::SlowDsm.tuples_per_sec());
+        assert!(QuerySpeed::SlowDsm.tuples_per_sec() > QuerySpeed::Slow.tuples_per_sec());
+        assert_eq!(QuerySpeed::Custom(42.0).tuples_per_sec(), 42.0);
+        assert_eq!(QuerySpeed::Fast.prefix(), "F");
+        assert_eq!(QuerySpeed::Slow.prefix(), "S");
+    }
+
+    #[test]
+    fn chunk_counts_scale_with_percent() {
+        let m = model();
+        assert_eq!(QueryClass::fast(100).chunks_in(&m), 200);
+        assert_eq!(QueryClass::fast(50).chunks_in(&m), 100);
+        assert_eq!(QueryClass::fast(1).chunks_in(&m), 2);
+        // Tiny percentages still scan at least one chunk.
+        let tiny = TableModel::nsm_uniform(10, 100, 16);
+        assert_eq!(QueryClass::fast(1).chunks_in(&tiny), 1);
+    }
+
+    #[test]
+    fn ranges_are_within_bounds_and_randomly_placed() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let class = QueryClass::slow(10);
+        let mut starts = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let r = class.ranges(&m, &mut rng);
+            assert_eq!(r.num_chunks(), 20);
+            let first = r.first().unwrap().index();
+            let last = r.last().unwrap().index();
+            assert!(last < 200);
+            starts.insert(first);
+        }
+        assert!(starts.len() > 10, "starting positions should vary, got {}", starts.len());
+        // Full scans always cover everything.
+        let full = QueryClass::fast(100).ranges(&m, &mut rng);
+        assert_eq!(full.num_chunks(), 200);
+        assert_eq!(full.first().unwrap().index(), 0);
+    }
+
+    #[test]
+    fn to_spec_carries_speed_and_label() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = QueryClass::fast(50).to_spec(&m, None, &mut rng);
+        assert_eq!(spec.label, "F-50");
+        assert_eq!(spec.tuples_per_sec, QuerySpeed::Fast.tuples_per_sec());
+        assert!(spec.columns.is_none());
+        let cols = ColSet::first_n(3);
+        let spec = QueryClass::slow(10).to_spec(&m, Some(cols), &mut rng);
+        assert_eq!(spec.columns, Some(cols));
+    }
+
+    #[test]
+    fn class_sets_match_tables() {
+        let t2 = table2_classes();
+        assert_eq!(t2.len(), 8);
+        assert_eq!(t2[0].label(), "F-01");
+        assert_eq!(t2[7].label(), "S-100");
+        let t3 = table3_classes();
+        assert_eq!(t3.len(), 8);
+        assert!(t3.iter().all(|c| !matches!(c.speed, QuerySpeed::Slow)));
+    }
+}

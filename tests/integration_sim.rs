@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: workload generation → table models →
+//! simulated Cooperative Scans runs, checking the paper's headline claims at
+//! a reduced scale.
+
+use cscan_core::policy::PolicyKind;
+use cscan_core::sim::{QuerySpec, SimConfig, Simulation};
+use cscan_core::ScanRanges;
+use cscan_workload::lineitem::{lineitem_dsm_model, lineitem_nsm_model};
+use cscan_workload::queries::{table2_classes, QueryClass};
+use cscan_workload::streams::{build_streams, uniform_streams, StreamSetup};
+
+fn table2_like_run(policy: PolicyKind, seed: u64) -> cscan_core::sim::RunResult {
+    let model = lineitem_nsm_model(1);
+    let config = SimConfig::default().with_buffer_chunks(7);
+    let setup = StreamSetup { streams: 6, queries_per_stream: 3, classes: table2_classes(), seed };
+    let streams = build_streams(&setup, &model, None);
+    let mut sim = Simulation::new(model, policy, config);
+    sim.submit_streams(streams);
+    sim.run()
+}
+
+#[test]
+fn every_policy_completes_the_same_workload() {
+    let mut io = Vec::new();
+    for policy in PolicyKind::ALL {
+        let result = table2_like_run(policy, 7);
+        assert_eq!(result.queries.len(), 18, "{policy}: all queries finish");
+        assert!(result.total_time.as_secs_f64() > 0.0);
+        assert!(result.cpu_utilization > 0.0 && result.cpu_utilization <= 1.0);
+        assert!(result.io_requests > 0);
+        io.push((policy, result.io_requests));
+    }
+    // Every query class appears with the same multiplicity in every run, so
+    // the I/O counts are comparable: normal must be the worst or tied.
+    let normal = io.iter().find(|(p, _)| *p == PolicyKind::Normal).unwrap().1;
+    let relevance = io.iter().find(|(p, _)| *p == PolicyKind::Relevance).unwrap().1;
+    assert!(relevance < normal, "relevance {relevance} vs normal {normal}");
+}
+
+#[test]
+fn relevance_beats_normal_on_throughput_and_latency() {
+    let normal = table2_like_run(PolicyKind::Normal, 13);
+    let relevance = table2_like_run(PolicyKind::Relevance, 13);
+    assert!(relevance.avg_stream_time() < normal.avg_stream_time());
+    assert!(relevance.avg_latency() < normal.avg_latency());
+}
+
+#[test]
+fn elevator_minimizes_io_but_hurts_short_queries() {
+    // Several I/O-bound full scans keep the disk (and the elevator's global
+    // cursor) busy; a short range query arriving later, whose range lies
+    // well behind the cursor, must wait almost a full sweep under elevator
+    // while relevance serves it immediately.
+    let model = lineitem_nsm_model(1); // 28 chunks
+    let config = SimConfig::default()
+        .with_buffer_chunks(7)
+        .with_stagger(cscan_simdisk::SimDuration::from_secs(1));
+    let streams = vec![
+        vec![QuerySpec::full_scan("F-100", 8_000_000.0)],
+        vec![QuerySpec::full_scan("F-100", 8_000_000.0)],
+        vec![QuerySpec::full_scan("F-100", 8_000_000.0)],
+        vec![QuerySpec::range_scan("F-05", ScanRanges::single(0, 4), 8_000_000.0)],
+    ];
+    let run = |policy| {
+        let mut sim = Simulation::new(model.clone(), policy, config);
+        sim.submit_streams(streams.clone());
+        sim.run()
+    };
+    let elevator = run(PolicyKind::Elevator);
+    let relevance = run(PolicyKind::Relevance);
+    let short_elevator = elevator.avg_latency_for("F-05").unwrap();
+    let short_relevance = relevance.avg_latency_for("F-05").unwrap();
+    assert!(
+        short_relevance < short_elevator,
+        "the short query should finish earlier under relevance: {short_relevance} vs {short_elevator}"
+    );
+    // Elevator remains excellent at minimizing the total number of reads.
+    assert!(elevator.io_requests <= relevance.io_requests + 5);
+}
+
+#[test]
+fn dsm_scans_read_only_their_columns_under_every_policy() {
+    let model = lineitem_dsm_model(1);
+    let schema = cscan_workload::lineitem::lineitem_schema();
+    let narrow = cscan_core::ColSet::from_columns(schema.resolve(&["l_orderkey", "l_shipdate"]));
+    let narrow_pages = model.total_pages(narrow);
+    let all_pages = model.total_pages(model.all_columns());
+    assert!(narrow_pages * 4 < all_pages);
+    for policy in PolicyKind::ALL {
+        let mut sim = Simulation::new(
+            model.clone(),
+            policy,
+            SimConfig::default().with_buffer_fraction(0.3),
+        );
+        sim.submit_stream(vec![QuerySpec::full_scan("narrow", 8_000_000.0).with_columns(narrow)]);
+        let result = sim.run();
+        assert_eq!(result.pages_read, narrow_pages, "{policy}");
+    }
+}
+
+#[test]
+fn concurrency_increases_sharing_for_relevance() {
+    let model = lineitem_nsm_model(1);
+    let config = SimConfig::default()
+        .with_buffer_chunks(7)
+        .with_stagger(cscan_simdisk::SimDuration::from_millis(500));
+    let per_query_io = |n: usize| {
+        let streams = uniform_streams(QueryClass::fast(50), n, &model, None, 99);
+        let mut sim = Simulation::new(model.clone(), PolicyKind::Relevance, config);
+        sim.submit_streams(streams);
+        let r = sim.run();
+        r.io_requests as f64 / n as f64
+    };
+    let alone = per_query_io(1);
+    let crowded = per_query_io(8);
+    assert!(
+        crowded < alone * 0.75,
+        "with 8 concurrent 50% scans each query should need far fewer private reads: {crowded} vs {alone}"
+    );
+}
+
+#[test]
+fn zonemap_scans_produce_multi_range_cscans() {
+    use cscan_core::CScanPlan;
+    use cscan_storage::{ColumnId, ZoneMap};
+    // A date column correlated with the clustering order: consecutive chunks
+    // cover consecutive date ranges with some overlap.
+    let model = lineitem_nsm_model(1);
+    let zonemap = ZoneMap::build(
+        ColumnId::new(10),
+        (0..model.num_chunks() as i64).map(|c| vec![c * 30 - 5, c * 30 + 40]),
+    );
+    let plan = CScanPlan::from_zonemap("date-range", &zonemap, 100, 400, cscan_core::ColSet::first_n(1));
+    assert!(plan.num_chunks() > 0);
+    assert!(plan.num_chunks() < model.num_chunks());
+    // The plan runs under every policy even though it is a strict subset of
+    // the table expressed as (possibly) multiple ranges.
+    for policy in PolicyKind::ALL {
+        let mut sim = Simulation::new(model.clone(), policy, SimConfig::default().with_buffer_chunks(7));
+        sim.submit_stream(vec![QuerySpec::range_scan("zm", plan.ranges.clone(), 8_000_000.0)]);
+        let r = sim.run();
+        assert_eq!(r.io_requests, plan.num_chunks() as u64, "{policy}");
+    }
+}
