@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cscan_exec::ops::collect;
-use cscan_exec::{AggFunc, ChunkOrderedAggregate, ChunkSource, Expr, Filter, HashAggregate, MemTable, Operator, Project};
+use cscan_exec::{
+    AggFunc, ChunkOrderedAggregate, ChunkSource, Expr, Filter, HashAggregate, MemTable, Operator,
+    Project,
+};
 use cscan_storage::ChunkId;
 
 const ROWS: u64 = 200_000;
@@ -41,8 +44,7 @@ fn bench_aggregation(c: &mut Criterion) {
     let table = MemTable::lineitem_demo(ROWS, CHUNK);
     let key = table.column_index("l_orderkey").unwrap();
     let price = table.column_index("l_extendedprice").unwrap();
-    let order: Vec<ChunkId> =
-        (0..table.num_chunks()).rev().map(ChunkId::new).collect();
+    let order: Vec<ChunkId> = (0..table.num_chunks()).rev().map(ChunkId::new).collect();
 
     let mut group = c.benchmark_group("ordered_aggregation");
     group.throughput(Throughput::Elements(ROWS));

@@ -12,18 +12,27 @@ use cscan_workload::streams::{build_streams, StreamSetup};
 fn bench_policies(c: &mut Criterion) {
     let model = TableModel::nsm_uniform(64, 100_000, 256);
     let config = SimConfig::default().with_buffer_chunks(12);
-    let setup = StreamSetup { streams: 6, queries_per_stream: 3, classes: table2_classes(), seed: 5 };
+    let setup = StreamSetup {
+        streams: 6,
+        queries_per_stream: 3,
+        classes: table2_classes(),
+        seed: 5,
+    };
     let streams = build_streams(&setup, &model, None);
 
     let mut group = c.benchmark_group("simulated_run");
     for policy in PolicyKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &policy| {
-            b.iter(|| {
-                let mut sim = Simulation::new(model.clone(), policy, config);
-                sim.submit_streams(streams.clone());
-                sim.run()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(model.clone(), policy, config);
+                    sim.submit_streams(streams.clone());
+                    sim.run()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -41,8 +50,11 @@ fn bench_threaded_executor(c: &mut Criterion) {
                 .buffer_chunks(8)
                 .io_cost_per_page(Duration::ZERO)
                 .build();
-            let handle =
-                server.cscan(CScanPlan::new("bench", ScanRanges::full(32), model.all_columns()));
+            let handle = server.cscan(CScanPlan::new(
+                "bench",
+                ScanRanges::full(32),
+                model.all_columns(),
+            ));
             let mut n = 0;
             while let Some(guard) = handle.next_chunk() {
                 guard.complete();

@@ -1,6 +1,8 @@
 //! Criterion microbenchmarks of the relevance scheduler itself (the
 //! machinery behind Figure 8): cost of one full scheduling decision as the
-//! number of chunks and the scan size grow.
+//! number of chunks, the scan size and the number of concurrent queries
+//! grow, plus the incremental-vs-brute-force `plan_load` comparison at the
+//! heavy 64- and 128-query mixes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cscan_bench::experiments::fig8;
@@ -13,9 +15,35 @@ fn bench_scheduling_step(c: &mut Criterion) {
                 BenchmarkId::new(format!("{percent}pct_scan"), chunks),
                 &(chunks, percent),
                 |b, &(chunks, percent)| {
-                    b.iter(|| fig8::measure_scheduling_step(chunks, percent, 1));
+                    b.iter(|| fig8::measure_scheduling_step(chunks, percent, fig8::QUERIES, 1));
                 },
             );
+        }
+    }
+    group.finish();
+}
+
+fn bench_plan_load_mixes(c: &mut Criterion) {
+    // One sample = one ABM state transition (load completion or eviction)
+    // plus one `next_load` decision, i.e. a full scheduling step of the main
+    // loop.  The isolated per-decision numbers (decision only, transitions
+    // untimed) are what `fig8_scheduling_cost` writes to
+    // `BENCH_scheduling.json`.
+    let mut group = c.benchmark_group("plan_load_step");
+    for &queries in &fig8::QUERY_MIXES {
+        for &(chunks, percent) in &[(1024u32, 10u32), (2048, 100)] {
+            for &(label, brute) in &[("incremental", false), ("brute", true)] {
+                // Built once per benchmark: each sample is one state
+                // perturbation plus one scheduling decision.
+                let mut bench = fig8::PlanLoadBench::new(chunks, percent, queries, brute);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}_{queries}q_{percent}pct"), chunks),
+                    &(),
+                    move |b, ()| {
+                        b.iter(|| bench.step());
+                    },
+                );
+            }
         }
     }
     group.finish();
@@ -24,6 +52,6 @@ fn bench_scheduling_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_scheduling_step
+    targets = bench_scheduling_step, bench_plan_load_mixes
 }
 criterion_main!(benches);

@@ -11,7 +11,9 @@ fn bench_layout_geometry(c: &mut Criterion) {
     let nsm = lineitem_nsm_layout(1);
     let dsm = lineitem_dsm_layout(1);
     let all_nsm = nsm.schema().all_columns();
-    let some_dsm = dsm.schema().resolve(&["l_shipdate", "l_quantity", "l_extendedprice"]);
+    let some_dsm = dsm
+        .schema()
+        .resolve(&["l_shipdate", "l_quantity", "l_extendedprice"]);
 
     c.bench_function("nsm_chunk_pages_full_table", |b| {
         b.iter(|| {

@@ -14,7 +14,13 @@ fn main() {
 
     // Figure 2.
     let f2r = fig2::run(42);
-    let p = f2r.curves.iter().find(|c| c.buffer_chunks == 10).unwrap().points[9].1;
+    let p = f2r
+        .curves
+        .iter()
+        .find(|c| c.buffer_chunks == 10)
+        .unwrap()
+        .points[9]
+        .1;
     println!("[Fig 2] reuse probability, 10% scan vs 10% buffer: {p:.2} (paper: >0.5)\n");
 
     // Table 2.
@@ -25,7 +31,11 @@ fn main() {
     let traces = fig4::run(scale, 42);
     let mut t = TextTable::new(["policy", "I/O requests", "sequentiality"]);
     for tr in &traces {
-        t.row([tr.policy.name().to_string(), tr.trace.len().to_string(), f2(fig4::sequentiality(&tr.trace))]);
+        t.row([
+            tr.policy.name().to_string(),
+            tr.trace.len().to_string(),
+            f2(fig4::sequentiality(&tr.trace)),
+        ]);
     }
     println!("[Fig 4] chunk-access traces\n{}", t.render());
 
@@ -37,18 +47,29 @@ fn main() {
         .filter(|p| p.policy != PolicyKind::Relevance)
         .filter(|p| p.stream_time_ratio >= 1.0 && p.latency_ratio >= 1.0)
         .count();
-    let total = points.iter().filter(|p| p.policy != PolicyKind::Relevance).count();
+    let total = points
+        .iter()
+        .filter(|p| p.policy != PolicyKind::Relevance)
+        .count();
     println!("[Fig 5] {dominated}/{total} competitor points dominated by relevance\n");
 
     // Figure 6.
     let f6 = fig6::run(scale, 42);
     let rel = f6
         .iter()
-        .find(|p| p.set == fig6::QuerySet::IoIntensive && p.buffer_fraction < 0.2 && p.policy == PolicyKind::Relevance)
+        .find(|p| {
+            p.set == fig6::QuerySet::IoIntensive
+                && p.buffer_fraction < 0.2
+                && p.policy == PolicyKind::Relevance
+        })
         .unwrap();
     let nor = f6
         .iter()
-        .find(|p| p.set == fig6::QuerySet::IoIntensive && p.buffer_fraction < 0.2 && p.policy == PolicyKind::Normal)
+        .find(|p| {
+            p.set == fig6::QuerySet::IoIntensive
+                && p.buffer_fraction < 0.2
+                && p.policy == PolicyKind::Normal
+        })
         .unwrap();
     println!(
         "[Fig 6] smallest buffer, I/O-intensive set: relevance {} I/Os vs normal {} I/Os\n",
@@ -59,8 +80,14 @@ fn main() {
     let climit = if scale == Scale::Quick { Some(8) } else { None };
     let f7 = fig7::run(scale, 42, climit);
     let max_n = f7.iter().map(|p| p.queries).max().unwrap();
-    let rel = f7.iter().find(|p| p.percent == 20 && p.queries == max_n && p.policy == PolicyKind::Relevance).unwrap();
-    let nor = f7.iter().find(|p| p.percent == 20 && p.queries == max_n && p.policy == PolicyKind::Normal).unwrap();
+    let rel = f7
+        .iter()
+        .find(|p| p.percent == 20 && p.queries == max_n && p.policy == PolicyKind::Relevance)
+        .unwrap();
+    let nor = f7
+        .iter()
+        .find(|p| p.percent == 20 && p.queries == max_n && p.policy == PolicyKind::Normal)
+        .unwrap();
     println!(
         "[Fig 7] {} concurrent 20% scans: relevance {:.2}s vs normal {:.2}s average latency\n",
         max_n, rel.avg_latency, nor.avg_latency
@@ -69,7 +96,10 @@ fn main() {
     // Figure 8.
     let iterations = if scale == Scale::Quick { 30 } else { 300 };
     let f8 = fig8::run(iterations);
-    let worst = f8.iter().map(|p| p.fraction_of_execution).fold(0.0f64, f64::max);
+    let worst = f8
+        .iter()
+        .map(|p| p.fraction_of_execution)
+        .fold(0.0f64, f64::max);
     println!("[Fig 8] worst-case scheduling overhead fraction: {worst:.5} (paper: <0.01)\n");
 
     // Table 3.
@@ -78,11 +108,23 @@ fn main() {
 
     // Table 4.
     let t4 = table4::run(scale, 42);
-    let mut t = TextTable::new(["query set", "normal I/Os", "relevance I/Os", "normal lat", "relevance lat"]);
+    let mut t = TextTable::new([
+        "query set",
+        "normal I/Os",
+        "relevance I/Os",
+        "normal lat",
+        "relevance lat",
+    ]);
     for (set, _) in cscan_workload::synthetic::table4_query_sets() {
         let n = t4.cell(&set, PolicyKind::Normal);
         let r = t4.cell(&set, PolicyKind::Relevance);
-        t.row([set.clone(), n.io_requests.to_string(), r.io_requests.to_string(), f2(n.latency.mean()), f2(r.latency.mean())]);
+        t.row([
+            set.clone(),
+            n.io_requests.to_string(),
+            r.io_requests.to_string(),
+            f2(n.latency.mean()),
+            f2(r.latency.mean()),
+        ]);
     }
     println!("[Table 4] DSM column overlap\n{}", t.render());
 
@@ -90,7 +132,13 @@ fn main() {
 }
 
 fn print_comparison(title: &str, rows: &[cscan_bench::PolicyRow]) {
-    let mut t = TextTable::new(["policy", "avg stream time", "avg norm latency", "total time", "I/Os"]);
+    let mut t = TextTable::new([
+        "policy",
+        "avg stream time",
+        "avg norm latency",
+        "total time",
+        "I/Os",
+    ]);
     for row in rows {
         t.row([
             row.policy.name().to_string(),

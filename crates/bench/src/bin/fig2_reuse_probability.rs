@@ -7,14 +7,26 @@ use cscan_bench::report::TextTable;
 fn main() {
     let result = fig2::run(42);
 
-    println!("Figure 2 — probability of finding a useful chunk (table of {} chunks)\n", fig2::TABLE_CHUNKS);
+    println!(
+        "Figure 2 — probability of finding a useful chunk (table of {} chunks)\n",
+        fig2::TABLE_CHUNKS
+    );
     let mut header: Vec<String> = vec!["chunks needed".to_string()];
-    header.extend(fig2::BUFFER_PERCENTS.iter().map(|b| format!("{b}% buffered")));
+    header.extend(
+        fig2::BUFFER_PERCENTS
+            .iter()
+            .map(|b| format!("{b}% buffered")),
+    );
     let mut table = TextTable::new(header);
     for cq in [1u64, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
         let mut row = vec![cq.to_string()];
         for curve in &result.curves {
-            let p = curve.points.iter().find(|(d, _)| *d == cq).map(|(_, p)| *p).unwrap_or(0.0);
+            let p = curve
+                .points
+                .iter()
+                .find(|(d, _)| *d == cq)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0);
             row.push(format!("{p:.3}"));
         }
         table.row(row);

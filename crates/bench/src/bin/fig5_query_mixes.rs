@@ -13,21 +13,38 @@ fn main() {
     let points = fig5::run(scale, 42, limit);
 
     for policy in [PolicyKind::Normal, PolicyKind::Attach, PolicyKind::Elevator] {
-        let mut table = TextTable::new(["mix", "stream time / relevance", "norm. latency / relevance"]);
+        let mut table = TextTable::new([
+            "mix",
+            "stream time / relevance",
+            "norm. latency / relevance",
+        ]);
         for p in points.iter().filter(|p| p.policy == policy) {
             table.row([p.mix.clone(), f2(p.stream_time_ratio), f2(p.latency_ratio)]);
         }
-        println!("[{}] (relevance = 1.00 / 1.00)\n{}", policy.name(), table.render());
+        println!(
+            "[{}] (relevance = 1.00 / 1.00)\n{}",
+            policy.name(),
+            table.render()
+        );
     }
 
     // Summary: how often each competitor is dominated by relevance.
-    let mut summary = TextTable::new(["policy", "mixes", "dominated by relevance", "worse on ≥1 axis"]);
+    let mut summary = TextTable::new([
+        "policy",
+        "mixes",
+        "dominated by relevance",
+        "worse on ≥1 axis",
+    ]);
     for policy in [PolicyKind::Normal, PolicyKind::Attach, PolicyKind::Elevator] {
         let pts: Vec<_> = points.iter().filter(|p| p.policy == policy).collect();
-        let dominated =
-            pts.iter().filter(|p| p.stream_time_ratio >= 1.0 && p.latency_ratio >= 1.0).count();
-        let worse =
-            pts.iter().filter(|p| p.stream_time_ratio >= 1.0 || p.latency_ratio >= 1.0).count();
+        let dominated = pts
+            .iter()
+            .filter(|p| p.stream_time_ratio >= 1.0 && p.latency_ratio >= 1.0)
+            .count();
+        let worse = pts
+            .iter()
+            .filter(|p| p.stream_time_ratio >= 1.0 || p.latency_ratio >= 1.0)
+            .count();
         summary.row([
             policy.name().to_string(),
             pts.len().to_string(),

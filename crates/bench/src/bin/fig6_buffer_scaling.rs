@@ -20,7 +20,8 @@ fn main() {
             ("System time (s)", 1),
             ("Average normalized latency", 2),
         ] {
-            let mut table = TextTable::new(["buffer %", "normal", "attach", "elevator", "relevance"]);
+            let mut table =
+                TextTable::new(["buffer %", "normal", "attach", "elevator", "relevance"]);
             for &fraction in &fig6::BUFFER_FRACTIONS {
                 let mut row = vec![format!("{:.1}%", fraction * 100.0)];
                 for policy in PolicyKind::ALL {

@@ -8,14 +8,20 @@ use cscan_core::policy::PolicyKind;
 
 fn main() {
     let scale = Scale::from_args();
-    let limit = if scale == Scale::Quick { Some(16) } else { None };
+    let limit = if scale == Scale::Quick {
+        Some(16)
+    } else {
+        None
+    };
     println!("Figure 7 — latency vs. number of concurrent queries ({scale:?} scale)\n");
     let points = fig7::run(scale, 42, limit);
 
     for &percent in &fig7::PERCENTS {
-        let mut table =
-            TextTable::new(["queries", "normal", "attach", "elevator", "relevance"]);
-        for &n in fig7::CONCURRENCY.iter().filter(|&&n| points.iter().any(|p| p.queries == n)) {
+        let mut table = TextTable::new(["queries", "normal", "attach", "elevator", "relevance"]);
+        for &n in fig7::CONCURRENCY
+            .iter()
+            .filter(|&&n| points.iter().any(|p| p.queries == n))
+        {
             let mut row = vec![n.to_string()];
             for policy in PolicyKind::ALL {
                 let p = points
@@ -26,6 +32,9 @@ fn main() {
             }
             table.row(row);
         }
-        println!("{percent}% scans — average query latency (s)\n{}", table.render());
+        println!(
+            "{percent}% scans — average query latency (s)\n{}",
+            table.render()
+        );
     }
 }

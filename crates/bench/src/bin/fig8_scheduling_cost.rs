@@ -1,10 +1,13 @@
 //! Reproduces Figure 8: wall-clock cost of relevance-based scheduling and
 //! its share of total execution time, as the 2 GB relation is divided into
-//! more (smaller) chunks.
+//! more (smaller) chunks — plus the incremental-vs-brute-force `plan_load`
+//! comparison at the 16/64/128-query mixes, written to
+//! `BENCH_scheduling.json` so the perf trajectory is tracked across PRs.
 
 use cscan_bench::experiments::fig8;
 use cscan_bench::report::TextTable;
 use cscan_bench::Scale;
+use std::fmt::Write as _;
 
 fn main() {
     let scale = Scale::from_args();
@@ -12,12 +15,14 @@ fn main() {
         Scale::Quick => 50,
         Scale::Paper => 500,
     };
-    println!("Figure 8 — scheduling cost of the relevance policy ({iterations} iterations/point)\n");
+    println!(
+        "Figure 8 — scheduling cost of the relevance policy ({iterations} iterations/point)\n"
+    );
     let points = fig8::run(iterations);
 
-    let mut time_table = TextTable::new(["chunks", "1% scan (ms)", "10% scan (ms)", "100% scan (ms)"]);
-    let mut frac_table =
-        TextTable::new(["chunks", "1% scan", "10% scan", "100% scan"]);
+    let mut time_table =
+        TextTable::new(["chunks", "1% scan (ms)", "10% scan (ms)", "100% scan (ms)"]);
+    let mut frac_table = TextTable::new(["chunks", "1% scan", "10% scan", "100% scan"]);
     for &chunks in &fig8::CHUNK_COUNTS {
         let mut time_row = vec![chunks.to_string()];
         let mut frac_row = vec![chunks.to_string()];
@@ -32,10 +37,75 @@ fn main() {
         time_table.row(time_row);
         frac_table.row(frac_row);
     }
-    println!("Scheduling time per decision (ms, wall clock)\n{}", time_table.render());
-    println!("Scheduling time as a fraction of execution time\n{}", frac_table.render());
     println!(
-        "Paper check: the cost grows super-linearly with the number of chunks but\n\
-         stays below 1% of the execution time even at 2048 chunks."
+        "Scheduling time per decision (ms, wall clock)\n{}",
+        time_table.render()
     );
+    println!(
+        "Scheduling time as a fraction of execution time\n{}",
+        frac_table.render()
+    );
+
+    // Incremental vs brute-force plan_load at heavy concurrency (the fig7/8
+    // regime this PR optimizes).
+    println!("plan_load per decision: incremental scheduling index vs brute-force sweep");
+    let mut cmp_table = TextTable::new([
+        "queries",
+        "chunks",
+        "scan",
+        "brute (ms)",
+        "incremental (ms)",
+        "speedup",
+    ]);
+    let mut speedups = Vec::new();
+    for &queries in &fig8::QUERY_MIXES {
+        let p = fig8::compare_plan_load(2048, 100, queries, iterations);
+        cmp_table.row([
+            p.queries.to_string(),
+            p.num_chunks.to_string(),
+            format!("{}%", p.percent),
+            format!("{:.6}", p.brute_ms),
+            format!("{:.6}", p.incremental_ms),
+            format!("{:.1}x", p.speedup()),
+        ]);
+        speedups.push(p);
+    }
+    println!("{}", cmp_table.render());
+    println!(
+        "Paper check: the brute-force cost grows super-linearly with the number of\n\
+         chunks; the incremental scheduler stays near-constant per decision and\n\
+         far below 1% of the execution time even at 2048 chunks.\n"
+    );
+
+    let json = render_json(&points, &speedups);
+    let path = "BENCH_scheduling.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Renders the measurements as JSON (hand-rolled: the workspace deliberately
+/// has no serde_json dependency).
+fn render_json(points: &[fig8::Fig8Point], speedups: &[fig8::SpeedupPoint]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"fig8_scheduling_cost\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"chunks\": {}, \"scan_percent\": {}, \"scheduling_ms\": {:.6}, \"fraction_of_execution\": {:.6}}}{sep}",
+            p.num_chunks, p.percent, p.scheduling_ms, p.fraction_of_execution
+        );
+    }
+    out.push_str("  ],\n  \"plan_load_mixes\": [\n");
+    for (i, p) in speedups.iter().enumerate() {
+        let sep = if i + 1 == speedups.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"queries\": {}, \"chunks\": {}, \"scan_percent\": {}, \"brute_ms\": {:.6}, \"incremental_ms\": {:.6}, \"speedup\": {:.2}}}{sep}",
+            p.queries, p.num_chunks, p.percent, p.brute_ms, p.incremental_ms, p.speedup()
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

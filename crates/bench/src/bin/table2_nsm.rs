@@ -48,14 +48,22 @@ fn main() {
         let ios = row.result.ios_by_label();
         for (label, summary) in row.result.latency_by_label() {
             let base = result.base_times.get(&label).copied().unwrap_or(0.0);
-            let io = ios.iter().find(|(l, _)| *l == label).map(|(_, n)| *n).unwrap_or(0);
+            let io = ios
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
             per_class.row([
                 label.clone(),
                 summary.count().to_string(),
                 f2(base),
                 f2(summary.mean()),
                 f2(summary.stddev()),
-                f2(if base > 0.0 { summary.mean() / base } else { 0.0 }),
+                f2(if base > 0.0 {
+                    summary.mean() / base
+                } else {
+                    0.0
+                }),
                 io.to_string(),
             ]);
         }

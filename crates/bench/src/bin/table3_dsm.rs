@@ -32,7 +32,14 @@ fn main() {
     println!("System statistics\n{}", system.render());
 
     println!("Per-class average latency (seconds)");
-    let mut per_class = TextTable::new(["class", "cold (s)", "normal", "attach", "elevator", "relevance"]);
+    let mut per_class = TextTable::new([
+        "class",
+        "cold (s)",
+        "normal",
+        "attach",
+        "elevator",
+        "relevance",
+    ]);
     let labels: Vec<String> = {
         let mut l: Vec<String> = result.base_times.keys().cloned().collect();
         l.sort();

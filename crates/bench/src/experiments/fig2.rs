@@ -35,7 +35,10 @@ pub fn run(seed: u64) -> Fig2Result {
             cross_checks.push((cb, cq, exact, mc));
         }
     }
-    Fig2Result { curves, cross_checks }
+    Fig2Result {
+        curves,
+        cross_checks,
+    }
 }
 
 #[cfg(test)]
@@ -53,7 +56,10 @@ mod tests {
         assert!(p_at_10 > 0.5 && p_at_10 < 0.8, "got {p_at_10}");
         // The 50% buffer curve saturates very quickly.
         let fifty = r.curves.iter().find(|c| c.buffer_chunks == 50).unwrap();
-        assert!(fifty.points[9].1 > 0.99, "10-chunk demand against a 50% buffer is near certain");
+        assert!(
+            fifty.points[9].1 > 0.99,
+            "10-chunk demand against a 50% buffer is near certain"
+        );
         // The 1% buffer curve grows roughly linearly with demand.
         let one = r.curves.iter().find(|c| c.buffer_chunks == 1).unwrap();
         assert!((one.points[49].1 - 0.5).abs() < 0.02);
@@ -63,7 +69,10 @@ mod tests {
     fn monte_carlo_validates_the_formula() {
         let r = run(7);
         for (cb, cq, exact, mc) in r.cross_checks {
-            assert!((exact - mc).abs() < 0.02, "cb={cb} cq={cq}: exact={exact} mc={mc}");
+            assert!(
+                (exact - mc).abs() < 0.02,
+                "cb={cb} cq={cq}: exact={exact} mc={mc}"
+            );
         }
     }
 }

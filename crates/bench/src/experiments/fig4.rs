@@ -40,7 +40,11 @@ pub fn run(scale: Scale, seed: u64) -> Vec<PolicyTrace> {
             let mut sim = Simulation::new(model.clone(), policy, config);
             sim.submit_streams(streams.clone());
             let result = sim.run();
-            PolicyTrace { policy, trace: result.trace, total_time: result.total_time.as_secs_f64() }
+            PolicyTrace {
+                policy,
+                trace: result.trace,
+                total_time: result.total_time.as_secs_f64(),
+            }
         })
         .collect()
 }

@@ -43,8 +43,10 @@ pub fn run(scale: Scale, seed: u64, limit: Option<usize>) -> Vec<ScatterPoint> {
         let base = base_times(&model, &classes, config);
         let cmp = compare_policies(&model, &streams, config, &base);
         let relevance = cmp.row(PolicyKind::Relevance);
-        let (rel_time, rel_lat) =
-            (relevance.avg_stream_time.max(1e-9), relevance.avg_normalized_latency.max(1e-9));
+        let (rel_time, rel_lat) = (
+            relevance.avg_stream_time.max(1e-9),
+            relevance.avg_normalized_latency.max(1e-9),
+        );
         for row in &cmp.rows {
             points.push(ScatterPoint {
                 policy: row.policy,
@@ -66,8 +68,10 @@ mod tests {
         // A subset of mixes keeps the test fast while covering all speeds.
         let points = run(Scale::Quick, 21, Some(6));
         assert_eq!(points.len(), 6 * 4);
-        let relevance: Vec<&ScatterPoint> =
-            points.iter().filter(|p| p.policy == PolicyKind::Relevance).collect();
+        let relevance: Vec<&ScatterPoint> = points
+            .iter()
+            .filter(|p| p.policy == PolicyKind::Relevance)
+            .collect();
         for p in &relevance {
             assert!((p.stream_time_ratio - 1.0).abs() < 1e-9);
             assert!((p.latency_ratio - 1.0).abs() < 1e-9);
@@ -89,7 +93,10 @@ mod tests {
             .filter(|p| p.policy != PolicyKind::Relevance)
             .filter(|p| p.stream_time_ratio >= 0.95 || p.latency_ratio >= 0.95)
             .count();
-        let total = points.iter().filter(|p| p.policy != PolicyKind::Relevance).count();
+        let total = points
+            .iter()
+            .filter(|p| p.policy != PolicyKind::Relevance)
+            .count();
         assert!(
             worse_count as f64 >= total as f64 * 0.9,
             "{worse_count}/{total} competitor points should not dominate relevance"

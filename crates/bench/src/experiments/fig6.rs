@@ -118,15 +118,12 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig6Point> {
 mod tests {
     use super::*;
 
-    fn find<'a>(
-        points: &'a [Fig6Point],
-        set: QuerySet,
-        fraction: f64,
-        policy: PolicyKind,
-    ) -> &'a Fig6Point {
+    fn find(points: &[Fig6Point], set: QuerySet, fraction: f64, policy: PolicyKind) -> &Fig6Point {
         points
             .iter()
-            .find(|p| p.set == set && (p.buffer_fraction - fraction).abs() < 1e-9 && p.policy == policy)
+            .find(|p| {
+                p.set == set && (p.buffer_fraction - fraction).abs() < 1e-9 && p.policy == policy
+            })
             .expect("point missing")
     }
 

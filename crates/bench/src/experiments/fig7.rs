@@ -44,7 +44,10 @@ pub fn run(scale: Scale, seed: u64, concurrency_limit: Option<usize>) -> Vec<Fig
     let (model, config) = setup(scale);
     let mut points = Vec::new();
     for &percent in &PERCENTS {
-        for &n in CONCURRENCY.iter().filter(|&&n| n <= concurrency_limit.unwrap_or(usize::MAX)) {
+        for &n in CONCURRENCY
+            .iter()
+            .filter(|&&n| n <= concurrency_limit.unwrap_or(usize::MAX))
+        {
             let class = QueryClass::fast(percent);
             let streams = uniform_streams(class, n, &model, None, seed + n as u64);
             for policy in PolicyKind::ALL {

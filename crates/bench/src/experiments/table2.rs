@@ -45,7 +45,11 @@ pub fn run(scale: Scale, seed: u64) -> Table2Result {
     let streams = build_streams(&setup, &model, None);
     let base = base_times(&model, &table2_classes(), config);
     let comparison = compare_policies(&model, &streams, config, &base);
-    Table2Result { comparison, base_times: base, model }
+    Table2Result {
+        comparison,
+        base_times: base,
+        model,
+    }
 }
 
 #[cfg(test)]

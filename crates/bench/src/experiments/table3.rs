@@ -110,7 +110,11 @@ pub fn run(scale: Scale, seed: u64) -> Table3Result {
         base.insert(label, latency);
     }
     let comparison = compare_policies(&model, &streams, config, &base);
-    Table3Result { comparison, base_times: base, model }
+    Table3Result {
+        comparison,
+        base_times: base,
+        model,
+    }
 }
 
 #[cfg(test)]

@@ -51,7 +51,9 @@ pub fn config(scale: Scale) -> SimConfig {
         Scale::Quick => 100 * 1024 * 1024,
         Scale::Paper => 1024 * 1024 * 1024,
     };
-    SimConfig::default().with_buffer_bytes(bytes).with_stagger(scale.stagger())
+    SimConfig::default()
+        .with_buffer_bytes(bytes)
+        .with_stagger(scale.stagger())
 }
 
 /// Runs the Table 4 experiment for the `normal` and `relevance` policies
@@ -74,7 +76,11 @@ pub fn run(scale: Scale, seed: u64) -> Table4Result {
             sim.submit_streams(streams.clone());
             let result = sim.run();
             let latency = Summary::from_values(
-                &result.queries.iter().map(|q| q.latency().as_secs_f64()).collect::<Vec<_>>(),
+                &result
+                    .queries
+                    .iter()
+                    .map(|q| q.latency().as_secs_f64())
+                    .collect::<Vec<_>>(),
             );
             cells.push(Table4Cell {
                 query_set: name.clone(),

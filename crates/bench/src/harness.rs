@@ -127,7 +127,10 @@ impl PolicyComparison {
     /// # Panics
     /// Panics if the comparison does not include the policy.
     pub fn row(&self, policy: PolicyKind) -> &PolicyRow {
-        self.rows.iter().find(|r| r.policy == policy).expect("policy missing from comparison")
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy)
+            .expect("policy missing from comparison")
     }
 
     /// Ratio of a metric between two policies (`a / b`).
@@ -158,8 +161,7 @@ pub fn base_times(
             cscan_storage::ScanRanges::single(0, chunks),
             class.speed.tuples_per_sec(),
         );
-        let latency =
-            Simulation::standalone_latency(model, PolicyKind::Relevance, config, &spec);
+        let latency = Simulation::standalone_latency(model, PolicyKind::Relevance, config, &spec);
         out.insert(label, latency);
     }
     out
@@ -190,7 +192,10 @@ pub fn compare_policies(
             }
         })
         .collect();
-    PolicyComparison { rows, base_times: base.clone() }
+    PolicyComparison {
+        rows,
+        base_times: base.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -213,18 +218,30 @@ mod tests {
     fn base_times_scale_with_range_size() {
         let model = TableModel::nsm_uniform(50, 100_000, 256);
         let config = SimConfig::default().with_buffer_chunks(10);
-        let classes = vec![QueryClass::fast(10), QueryClass::fast(100), QueryClass::slow(100)];
+        let classes = vec![
+            QueryClass::fast(10),
+            QueryClass::fast(100),
+            QueryClass::slow(100),
+        ];
         let base = base_times(&model, &classes, config);
         assert_eq!(base.len(), 3);
         assert!(base["F-100"] > base["F-10"] * 5.0);
-        assert!(base["S-100"] > base["F-100"], "slow queries take longer standalone");
+        assert!(
+            base["S-100"] > base["F-100"],
+            "slow queries take longer standalone"
+        );
     }
 
     #[test]
     fn comparison_has_all_policies_and_sane_metrics() {
         let model = TableModel::nsm_uniform(40, 100_000, 256);
         let config = SimConfig::default().with_buffer_chunks(8);
-        let setup = StreamSetup { streams: 4, queries_per_stream: 2, classes: table2_classes(), seed: 3 };
+        let setup = StreamSetup {
+            streams: 4,
+            queries_per_stream: 2,
+            classes: table2_classes(),
+            seed: 3,
+        };
         let streams = build_streams(&setup, &model, None);
         let base = base_times(&model, &table2_classes(), config);
         let cmp = compare_policies(&model, &streams, config, &base);
@@ -238,7 +255,12 @@ mod tests {
             assert!(row.cpu_use > 0.0 && row.cpu_use <= 1.0);
         }
         // The relevance row is accessible and the ratio helper works.
-        let ratio = cmp.ratio(PolicyKind::Normal, PolicyKind::Relevance, |r| r.io_requests as f64);
-        assert!(ratio >= 1.0, "normal should never need fewer I/Os, got {ratio}");
+        let ratio = cmp.ratio(PolicyKind::Normal, PolicyKind::Relevance, |r| {
+            r.io_requests as f64
+        });
+        assert!(
+            ratio >= 1.0,
+            "normal should never need fewer I/Os, got {ratio}"
+        );
     }
 }

@@ -18,7 +18,10 @@ pub struct PageKey {
 impl PageKey {
     /// Creates a page key.
     pub fn new(table: u32, page: u64) -> Self {
-        Self { table, page: PageId::new(page) }
+        Self {
+            table,
+            page: PageId::new(page),
+        }
     }
 }
 

@@ -200,8 +200,12 @@ impl BufferPool {
             return Some(frame);
         }
         let frames = &self.frames;
-        let victim = self.policy.pick_victim(&|f: FrameId| !frames[f.0].is_pinned())?;
-        let old_key = self.frames[victim.0].evict().expect("victim frame must hold a page");
+        let victim = self
+            .policy
+            .pick_victim(&|f: FrameId| !frames[f.0].is_pinned())?;
+        let old_key = self.frames[victim.0]
+            .evict()
+            .expect("victim frame must hold a page");
         self.page_table.remove(&old_key);
         self.policy.on_evict(victim);
         self.stats.evictions += 1;
@@ -225,9 +229,15 @@ mod tests {
     #[test]
     fn hits_and_misses_are_counted() {
         let mut pool = lru_pool(2);
-        assert!(matches!(pool.fetch_and_pin(key(1)), Some(FetchOutcome::Miss(_))));
+        assert!(matches!(
+            pool.fetch_and_pin(key(1)),
+            Some(FetchOutcome::Miss(_))
+        ));
         pool.unpin(key(1), false);
-        assert!(matches!(pool.fetch_and_pin(key(1)), Some(FetchOutcome::Hit(_))));
+        assert!(matches!(
+            pool.fetch_and_pin(key(1)),
+            Some(FetchOutcome::Hit(_))
+        ));
         pool.unpin(key(1), false);
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (1, 1));

@@ -28,7 +28,14 @@ pub struct BufferedChunk {
 impl BufferedChunk {
     /// Creates a new buffered chunk entry.
     pub fn new(chunk: ChunkId, columns: ColSet, pages: u64, seq: u64) -> Self {
-        Self { chunk, columns, pages, loaded_seq: seq, last_touch: seq, pinned_by: Vec::new() }
+        Self {
+            chunk,
+            columns,
+            pages,
+            loaded_seq: seq,
+            last_touch: seq,
+            pinned_by: Vec::new(),
+        }
     }
 
     /// True if at least one query is currently processing this chunk.
@@ -38,7 +45,11 @@ impl BufferedChunk {
 
     /// Pins the chunk on behalf of `q`.
     pub fn pin(&mut self, q: QueryId) {
-        debug_assert!(!self.pinned_by.contains(&q), "{q:?} pinned {:?} twice", self.chunk);
+        debug_assert!(
+            !self.pinned_by.contains(&q),
+            "{q:?} pinned {:?} twice",
+            self.chunk
+        );
         self.pinned_by.push(q);
     }
 

@@ -15,6 +15,8 @@
 //! * [`Abm::finish_query`] — the CScan operator is closed.
 
 mod buffer;
+#[cfg(test)]
+mod proptests;
 mod state;
 
 pub use buffer::BufferedChunk;
@@ -57,6 +59,9 @@ pub struct Abm {
     state: AbmState,
     policy: Box<dyn Policy>,
     next_query_id: u64,
+    /// Reused buffer for the wake-up list returned by [`Abm::complete_load`],
+    /// so the per-load hot path performs no allocation.
+    wake_scratch: Vec<QueryId>,
 }
 
 impl std::fmt::Debug for Abm {
@@ -74,7 +79,12 @@ impl std::fmt::Debug for Abm {
 impl Abm {
     /// Creates an ABM over `state` driven by `policy`.
     pub fn new(state: AbmState, policy: Box<dyn Policy>) -> Self {
-        Self { state, policy, next_query_id: 0 }
+        Self {
+            state,
+            policy,
+            next_query_id: 0,
+            wake_scratch: Vec::new(),
+        }
     }
 
     /// Read access to the shared state.
@@ -172,7 +182,10 @@ impl Abm {
         while self.state.free_pages() < pages {
             match self.policy.choose_victim(&self.state, &decision) {
                 Some(victim) => {
-                    debug_assert!(self.state.is_evictable(victim), "policy chose unevictable victim");
+                    debug_assert!(
+                        self.state.is_evictable(victim),
+                        "policy chose unevictable victim"
+                    );
                     self.state.evict(victim);
                     evicted.push(victim);
                 }
@@ -184,25 +197,41 @@ impl Abm {
         }
         let regions = {
             let missing = self.state.missing_columns(decision.chunk, decision.cols);
-            let cols = if self.state.model().is_dsm() { missing } else { self.state.model().all_columns() };
+            let cols = if self.state.model().is_dsm() {
+                missing
+            } else {
+                self.state.model().all_columns()
+            };
             self.state.model().chunk_regions(decision.chunk, cols)
         };
         self.state.begin_load(decision.chunk, decision.cols);
         self.state.count_triggered_io(decision.trigger);
-        Some(LoadPlan { decision, pages, regions, evicted })
+        Some(LoadPlan {
+            decision,
+            pages,
+            regions,
+            evicted,
+        })
     }
 
     /// Completes the outstanding load.  Returns the queries that are
     /// interested in the loaded chunk and currently blocked — the driver
     /// should wake them (the `signalQuery` of Figure 3).
-    pub fn complete_load(&mut self) -> Vec<QueryId> {
+    ///
+    /// The returned slice borrows an internal scratch buffer (reused across
+    /// loads, so the per-load hot path allocates nothing); copy it out if it
+    /// must outlive the next `complete_load` call.
+    pub fn complete_load(&mut self) -> &[QueryId] {
         let chunk = self.state.inflight().expect("no load in flight").0;
         self.state.complete_load();
-        self.state
-            .queries()
-            .filter(|q| q.needs(chunk) && q.is_blocked())
-            .map(|q| q.id)
-            .collect()
+        self.wake_scratch.clear();
+        self.wake_scratch.extend(
+            self.state
+                .queries()
+                .filter(|q| q.needs(chunk) && q.is_blocked())
+                .map(|q| q.id),
+        );
+        &self.wake_scratch
     }
 
     /// Whether any active query still has unprocessed chunks.
@@ -258,7 +287,9 @@ mod tests {
                 processed += 1;
                 continue;
             }
-            let plan = abm.plan_load(SimTime::ZERO).expect("blocked with nothing to load");
+            let plan = abm
+                .plan_load(SimTime::ZERO)
+                .expect("blocked with nothing to load");
             assert!(plan.pages > 0);
             assert!(!plan.regions.is_empty());
             let woken = abm.complete_load();
@@ -286,7 +317,10 @@ mod tests {
             evictions += plan.evicted.len();
             abm.complete_load();
         }
-        assert!(evictions >= 8, "loading 10 chunks through a 2-chunk pool must evict, got {evictions}");
+        assert!(
+            evictions >= 8,
+            "loading 10 chunks through a 2-chunk pool must evict, got {evictions}"
+        );
         assert!(abm.state().used_pages() <= abm.state().capacity_pages());
     }
 

@@ -1,0 +1,187 @@
+//! Property tests of the incremental scheduling index.
+//!
+//! For arbitrary interleavings of query registration/removal, chunk loads,
+//! evictions, processing and blocking:
+//!
+//! * every cached counter of [`AbmState`] (availability, starvation levels,
+//!   per-chunk interest split by starvation) must equal its brute-force
+//!   recomputation ([`AbmState::validate_counters`]), and
+//! * the incremental [`RelevancePolicy`] must take exactly the decisions of
+//!   its brute-force twin.
+//!
+//! These run the *internal* mutation API directly (the simulation-level
+//! property tests in `tests/properties.rs` cover the public surface).
+
+use crate::abm::AbmState;
+use crate::colset::ColSet;
+use crate::model::TableModel;
+use crate::policy::{Policy as _, RelevancePolicy};
+use crate::query::QueryId;
+use cscan_simdisk::SimTime;
+use cscan_storage::{ChunkId, ColumnId, ScanRanges};
+use proptest::prelude::*;
+
+const CHUNKS: u32 = 24;
+
+/// One step of a random ABM workload.  Parameters are interpreted modulo the
+/// current state, so every generated sequence is applicable.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register a fresh query scanning `len` chunks from `start` reading the
+    /// columns of `cols` (a bitmask; ignored for NSM).
+    Register { start: u32, len: u32, cols: u8 },
+    /// Cancel the `i`-th active query (mod the number of active queries).
+    Remove { i: u8 },
+    /// Load (the missing columns of) a chunk, if no load is in flight.
+    Load { chunk: u32, cols: u8 },
+    /// Evict a chunk, if evictable.
+    Evict { chunk: u32 },
+    /// Have the `i`-th active query fully process its `pick`-th available
+    /// chunk, if it has one.
+    Process { i: u8, pick: u8 },
+    /// Mark the `i`-th active query blocked (grows its waiting time, which
+    /// feeds `queryRelevance`).
+    Block { i: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CHUNKS, 1..=CHUNKS, 1u8..8).prop_map(|(start, len, cols)| Op::Register {
+            start,
+            len,
+            cols
+        }),
+        (0u8..=255).prop_map(|i| Op::Remove { i }),
+        (0..CHUNKS, 1u8..8).prop_map(|(chunk, cols)| Op::Load { chunk, cols }),
+        (0..CHUNKS).prop_map(|chunk| Op::Evict { chunk }),
+        (0u8..=255, 0u8..=255).prop_map(|(i, pick)| Op::Process { i, pick }),
+        (0u8..=255).prop_map(|i| Op::Block { i }),
+    ]
+}
+
+fn col_set(model: &TableModel, mask: u8) -> ColSet {
+    if !model.is_dsm() {
+        return model.all_columns();
+    }
+    let num_cols = model.num_columns();
+    let mut cols = ColSet::empty();
+    for c in 0..num_cols.min(8) {
+        if mask as u16 & (1 << c) != 0 {
+            cols.insert(ColumnId::new(c));
+        }
+    }
+    if cols.is_empty() {
+        cols.insert(ColumnId::new(mask as u16 % num_cols));
+    }
+    cols
+}
+
+/// Applies `ops`, asserting after every step that the cached counters match
+/// the brute-force definitions and that the incremental and brute-force
+/// relevance policies agree on the next load decision.
+fn check_ops(model: TableModel, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut s = AbmState::new(model, 1_000_000);
+    let mut inc = RelevancePolicy::new();
+    let mut brute = RelevancePolicy::brute_force();
+    let mut next_id = 0u64;
+    let mut active: Vec<QueryId> = Vec::new();
+    let mut clock = 0u64;
+    for op in ops {
+        clock += 1;
+        let now = SimTime::from_secs(clock);
+        match *op {
+            Op::Register { start, len, cols } => {
+                let id = QueryId(next_id);
+                next_id += 1;
+                let end = (start + len).min(CHUNKS).max(start + 1);
+                let cols = col_set(s.model(), cols);
+                s.register_query(
+                    id,
+                    format!("q{}", id.0),
+                    ScanRanges::single(start, end),
+                    cols,
+                    now,
+                );
+                active.push(id);
+            }
+            Op::Remove { i } => {
+                if !active.is_empty() {
+                    let q = active.remove(i as usize % active.len());
+                    inc.on_query_finished(q, &s);
+                    brute.on_query_finished(q, &s);
+                    s.remove_query(q);
+                }
+            }
+            Op::Load { chunk, cols } => {
+                let chunk = ChunkId::new(chunk % CHUNKS);
+                let cols = col_set(s.model(), cols);
+                if s.inflight().is_none() && s.pages_to_load(chunk, cols) > 0 {
+                    s.begin_load(chunk, cols);
+                    s.complete_load();
+                }
+            }
+            Op::Evict { chunk } => {
+                let chunk = ChunkId::new(chunk % CHUNKS);
+                if s.is_evictable(chunk) {
+                    s.evict(chunk);
+                }
+            }
+            Op::Process { i, pick } => {
+                if !active.is_empty() {
+                    let q = active[i as usize % active.len()];
+                    let available: Vec<ChunkId> = s
+                        .query(q)
+                        .remaining_chunks()
+                        .filter(|&c| s.is_resident_for(q, c))
+                        .collect();
+                    if !available.is_empty() {
+                        let chunk = available[pick as usize % available.len()];
+                        s.start_processing(q, chunk);
+                        s.finish_processing(q, chunk);
+                        if s.model().is_dsm() {
+                            s.drop_dead_columns(chunk);
+                        }
+                        if s.query(q).is_finished() {
+                            active.retain(|&a| a != q);
+                            inc.on_query_finished(q, &s);
+                            brute.on_query_finished(q, &s);
+                            s.remove_query(q);
+                        }
+                    }
+                }
+            }
+            Op::Block { i } => {
+                if !active.is_empty() {
+                    let q = active[i as usize % active.len()];
+                    s.block_query(q, now);
+                }
+            }
+        }
+        // (a) every cached counter equals its brute-force recomputation;
+        s.validate_counters();
+        // (b) the incremental policy takes exactly the brute-force decisions.
+        let a = inc.next_load(&s, now).map(|d| (d.trigger, d.chunk, d.cols));
+        let b = brute
+            .next_load(&s, now)
+            .map(|d| (d.trigger, d.chunk, d.cols));
+        prop_assert_eq!(a, b, "incremental and brute-force next_load diverged");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// NSM: counters and decisions survive arbitrary operation sequences.
+    #[test]
+    fn nsm_incremental_index_matches_brute_force(ops in prop::collection::vec(arb_op(), 1..80)) {
+        check_ops(TableModel::nsm_uniform(CHUNKS, 1000, 16), &ops)?;
+    }
+
+    /// DSM (three columns of different widths, partial residency, dead-column
+    /// dropping): counters and decisions survive arbitrary operation sequences.
+    #[test]
+    fn dsm_incremental_index_matches_brute_force(ops in prop::collection::vec(arb_op(), 1..80)) {
+        check_ops(TableModel::dsm_uniform(CHUNKS, 1000, &[2, 4, 8]), &ops)?;
+    }
+}

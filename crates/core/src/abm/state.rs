@@ -6,18 +6,114 @@
 //! who is starved.  Policies never mutate this state directly; mutations go
 //! through [`crate::Abm`], which is driven by the simulation or the threaded
 //! executor.
+//!
+//! # Incremental scheduling index
+//!
+//! The relevance policy's decision functions are dominated by three
+//! quantities: per-query availability (how many resident chunks a query can
+//! still consume), the derived starvation level, and per-chunk interest
+//! counters split by starvation level.  Recomputing them from first
+//! principles costs O(queries × buffered chunks) *per lookup*, which made a
+//! single scheduling step O(chunks × queries × buffered) — the cost Figure 8
+//! of the paper worries about.
+//!
+//! This module instead maintains the index incrementally under every state
+//! transition:
+//!
+//! * `QueryState::available` — cached availability, updated on load
+//!   completion, eviction and chunk consumption (O(interested queries) per
+//!   transition);
+//! * [`AbmState::num_interested`], [`AbmState::num_interested_starved`],
+//!   [`AbmState::num_interested_almost_starved`] — flat `Vec<u32>` counters
+//!   indexed by chunk, adjusted when a query's starvation *level* changes
+//!   (O(chunks the query still needs), which only happens when availability
+//!   crosses the starvation threshold) and when interest is gained/lost
+//!   (O(1) per chunk);
+//! * a residency bitset and per-`interested_starved`-value bucket bitsets
+//!   (maintained in O(1) per counter change), which let the NSM relevance
+//!   policy answer its chunk argmax word-wise — 64 chunks per instruction —
+//!   in descending relevance order;
+//! * a bounded change log ([`AbmState::changes_since`]) recording which
+//!   chunks had a counter or residency change, so the DSM policy can repair
+//!   a cached argmax heap instead of rescanning every candidate chunk.
+//!
+//! Every cached quantity has a `_brute` twin computing the original
+//! definition; debug builds cross-check them after every mutation
+//! ([`AbmState::validate_counters`]), so the incremental index is
+//! behaviourally indistinguishable from the brute-force bookkeeping.
 
 use crate::abm::buffer::BufferedChunk;
+use crate::bitset::ChunkBitSet;
 use crate::colset::ColSet;
 use crate::model::TableModel;
 use crate::query::{QueryId, QueryState};
 use cscan_simdisk::SimTime;
 use cscan_storage::{ChunkId, ScanRanges};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// A query is *starved* when it has fewer than this many available chunks
 /// (including the one it is currently processing) — Figure 3 of the paper.
 pub const STARVATION_THRESHOLD: u32 = 2;
+
+/// Starvation level of a query derived from its availability: `0` starved,
+/// `1` almost starved (on the threshold), `2` fed.
+fn level(available: u32) -> u8 {
+    if available < STARVATION_THRESHOLD {
+        0
+    } else if available == STARVATION_THRESHOLD {
+        1
+    } else {
+        2
+    }
+}
+
+/// Bounded log of chunk-counter changes, newest last.  Entries are
+/// `(change sequence number, chunk index)`; the sequence is strictly
+/// increasing.  When the log overflows, the oldest entries are dropped and
+/// readers that far behind must fall back to a full rescan.
+#[derive(Debug, Clone, Default)]
+struct ChangeLog {
+    entries: VecDeque<(u64, u32)>,
+    capacity: usize,
+    /// Sequence number of the oldest change still fully covered by the log:
+    /// a reader that has seen everything up to `since` can catch up iff
+    /// `since + 1 >= floor`.
+    floor: u64,
+}
+
+impl ChangeLog {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            floor: 1,
+        }
+    }
+
+    fn push(&mut self, seq: u64, chunk: u32) {
+        // Collapse immediate duplicates (a burst touching one chunk twice).
+        if self.entries.back().is_some_and(|&(_, c)| c == chunk) {
+            self.entries.back_mut().unwrap().0 = seq;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            if let Some((dropped_seq, _)) = self.entries.pop_front() {
+                self.floor = dropped_seq + 1;
+            }
+        }
+        self.entries.push_back((seq, chunk));
+    }
+
+    /// Iterates the chunks changed after `since`, or `None` if the log has
+    /// already dropped entries from that range.
+    fn since(&self, since: u64) -> Option<impl Iterator<Item = ChunkId> + '_> {
+        if since + 1 < self.floor {
+            return None;
+        }
+        let start = self.entries.partition_point(|&(seq, _)| seq <= since);
+        Some(self.entries.range(start..).map(|&(_, c)| ChunkId::new(c)))
+    }
+}
 
 /// The shared state of the Active Buffer Manager.
 #[derive(Debug, Clone)]
@@ -25,10 +121,39 @@ pub struct AbmState {
     model: TableModel,
     capacity_pages: u64,
     used_pages: u64,
-    queries: BTreeMap<QueryId, QueryState>,
-    buffered: BTreeMap<ChunkId, BufferedChunk>,
+    /// Active queries, sorted by id (ids are assigned monotonically, so
+    /// registration normally appends).
+    queries: Vec<QueryState>,
+    /// Resident chunks, dense slot map indexed by chunk id.
+    buffered: Vec<Option<BufferedChunk>>,
+    /// Number of `Some` entries in `buffered`.
+    num_buffered: usize,
     /// Per-chunk count of active queries that still need the chunk.
     interested: Vec<u32>,
+    /// Per-chunk count of interested queries that are starved.
+    interested_starved: Vec<u32>,
+    /// Per-chunk count of interested queries that are starved *or* almost
+    /// starved (`is_almost_starved` includes starved queries).
+    interested_almost_starved: Vec<u32>,
+    /// Chunks with a buffered entry (any columns), as a bitset; the
+    /// complement is the "missing" filter of the NSM chunk argmax.
+    resident: ChunkBitSet,
+    /// Bucket bitsets over `interested_starved`: `starved_buckets[s]` holds
+    /// exactly the chunks whose starved-interest count equals `s` (s ≥ 1;
+    /// chunks with zero starved interest are in no bucket).  Maintained in
+    /// O(1) per counter change, they let the NSM relevance argmax walk
+    /// candidates in descending `loadRelevance` order word-wise instead of
+    /// sweeping the trigger's whole scan range.
+    starved_buckets: Vec<ChunkBitSet>,
+    /// Highest non-empty bucket index (0 when all buckets are empty).
+    max_starved: usize,
+    /// Reused scratch for starvation-level propagation.
+    chunk_scratch: Vec<u32>,
+    /// Strictly increasing counter bumped on every chunk-counter or
+    /// residency change; drives the policies' incremental argmax caches.
+    change_seq: u64,
+    /// Recent changes, newest last (bounded).
+    change_log: ChangeLog,
     /// Monotonic counter for load sequencing and LRU timestamps.
     seq: u64,
     /// Chunk currently being loaded (at most one outstanding load).
@@ -53,9 +178,18 @@ impl AbmState {
             model,
             capacity_pages,
             used_pages: 0,
-            queries: BTreeMap::new(),
-            buffered: BTreeMap::new(),
+            queries: Vec::new(),
+            buffered: vec![None; chunks],
+            num_buffered: 0,
             interested: vec![0; chunks],
+            interested_starved: vec![0; chunks],
+            interested_almost_starved: vec![0; chunks],
+            resident: ChunkBitSet::new(chunks),
+            starved_buckets: Vec::new(),
+            max_starved: 0,
+            chunk_scratch: Vec::new(),
+            change_seq: 0,
+            change_log: ChangeLog::new((4 * chunks).max(64)),
             seq: 0,
             inflight: None,
             io_requests: 0,
@@ -100,7 +234,12 @@ impl AbmState {
 
     /// Iterator over active queries in registration (id) order.
     pub fn queries(&self) -> impl Iterator<Item = &QueryState> {
-        self.queries.values()
+        self.queries.iter()
+    }
+
+    /// Index of query `q` in the sorted query vector.
+    fn query_index(&self, q: QueryId) -> Option<usize> {
+        self.queries.binary_search_by_key(&q, |s| s.id).ok()
     }
 
     /// The state of query `q`.
@@ -108,27 +247,35 @@ impl AbmState {
     /// # Panics
     /// Panics if the query is not registered.
     pub fn query(&self, q: QueryId) -> &QueryState {
-        self.queries.get(&q).unwrap_or_else(|| panic!("unknown query {q:?}"))
+        self.try_query(q)
+            .unwrap_or_else(|| panic!("unknown query {q:?}"))
     }
 
     /// The state of query `q`, if registered.
     pub fn try_query(&self, q: QueryId) -> Option<&QueryState> {
-        self.queries.get(&q)
+        self.query_index(q).map(|i| &self.queries[i])
+    }
+
+    fn query_mut(&mut self, q: QueryId) -> &mut QueryState {
+        let i = self
+            .query_index(q)
+            .unwrap_or_else(|| panic!("unknown query {q:?}"));
+        &mut self.queries[i]
     }
 
     /// Iterator over resident chunks in chunk order.
     pub fn buffered(&self) -> impl Iterator<Item = &BufferedChunk> {
-        self.buffered.values()
+        self.buffered.iter().filter_map(|b| b.as_ref())
     }
 
     /// Number of resident chunks (fully or partially loaded).
     pub fn num_buffered(&self) -> usize {
-        self.buffered.len()
+        self.num_buffered
     }
 
     /// The buffer entry for `chunk`, if resident.
     pub fn buffered_chunk(&self, chunk: ChunkId) -> Option<&BufferedChunk> {
-        self.buffered.get(&chunk)
+        self.buffered.get(chunk.as_usize()).and_then(|b| b.as_ref())
     }
 
     /// The chunk currently being loaded, if any.
@@ -148,7 +295,7 @@ impl AbmState {
 
     /// Whether all of `cols` of `chunk` are resident.
     pub fn is_resident(&self, chunk: ChunkId, cols: ColSet) -> bool {
-        match self.buffered.get(&chunk) {
+        match self.buffered_chunk(chunk) {
             Some(b) => cols.is_subset_of(b.columns),
             None => cols.is_empty(),
         }
@@ -161,7 +308,7 @@ impl AbmState {
 
     /// The columns of `cols` that are *not* yet resident for `chunk`.
     pub fn missing_columns(&self, chunk: ChunkId, cols: ColSet) -> ColSet {
-        match self.buffered.get(&chunk) {
+        match self.buffered_chunk(chunk) {
             Some(b) => cols.difference(b.columns),
             None => cols,
         }
@@ -175,35 +322,132 @@ impl AbmState {
         if self.model.is_dsm() {
             let missing = self.missing_columns(chunk, cols);
             self.model.chunk_pages(chunk, missing)
-        } else if self.buffered.contains_key(&chunk) {
+        } else if self.buffered_chunk(chunk).is_some() {
             0
         } else {
             self.model.chunk_pages(chunk, cols)
         }
     }
 
-    /// Number of active queries that still need `chunk`.
+    /// Number of active queries that still need `chunk`.  O(1).
     pub fn num_interested(&self, chunk: ChunkId) -> u32 {
         self.interested[chunk.as_usize()]
     }
 
-    /// The active queries that still need `chunk`.
-    pub fn interested_queries(&self, chunk: ChunkId) -> Vec<QueryId> {
+    /// The active queries that still need `chunk`, in id order.
+    pub fn interested_queries(&self, chunk: ChunkId) -> impl Iterator<Item = QueryId> + '_ {
         self.queries
-            .values()
-            .filter(|q| q.needs(chunk))
+            .iter()
+            .filter(move |q| q.needs(chunk))
             .map(|q| q.id)
-            .collect()
     }
 
     /// Number of *available* chunks for query `q`: resident chunks it still
-    /// needs, including the one it is currently processing.
+    /// needs, including the one it is currently processing.  O(1) — cached
+    /// and maintained by every state transition.
     pub fn available_chunks(&self, q: QueryId) -> u32 {
+        self.query(q).available
+    }
+
+    /// Whether query `q` is starved (fewer than two available chunks).  O(1).
+    pub fn is_starved(&self, q: QueryId) -> bool {
+        self.query(q).available < STARVATION_THRESHOLD
+    }
+
+    /// Whether query `q` is starved or on the border of starvation
+    /// (used by `keepRelevance` to avoid evicting chunks whose loss would
+    /// make a query immediately schedulable again).  O(1).
+    pub fn is_almost_starved(&self, q: QueryId) -> bool {
+        self.query(q).available <= STARVATION_THRESHOLD
+    }
+
+    /// Number of starved queries interested in `chunk`.  O(1) — cached.
+    pub fn num_interested_starved(&self, chunk: ChunkId) -> u32 {
+        self.interested_starved[chunk.as_usize()]
+    }
+
+    /// Number of almost-starved queries interested in `chunk`.  O(1) — cached.
+    pub fn num_interested_almost_starved(&self, chunk: ChunkId) -> u32 {
+        self.interested_almost_starved[chunk.as_usize()]
+    }
+
+    /// Whether `chunk` is needed by at least one starved query — the
+    /// `usefulForStarvedQuery` guard of `findFreeSlot`.  O(1) — cached.
+    pub fn useful_for_starved_query(&self, chunk: ChunkId) -> bool {
+        self.interested_starved[chunk.as_usize()] > 0
+    }
+
+    /// Bitset words of the resident chunks (64 chunks per word), for the
+    /// relevance policy's word-wise chunk argmax.
+    pub(crate) fn resident_words(&self) -> &[u64] {
+        self.resident.words()
+    }
+
+    /// Highest `interested_starved` value of any chunk (0 when no chunk has
+    /// starved interest).  O(1).
+    pub(crate) fn max_interested_starved(&self) -> usize {
+        self.max_starved
+    }
+
+    /// Bitset words of the chunks whose `interested_starved` count equals
+    /// `s`.  Missing buckets read as empty.
+    pub(crate) fn starved_bucket_words(&self, s: usize) -> &[u64] {
+        self.starved_buckets
+            .get(s)
+            .map(|b| b.words())
+            .unwrap_or(&[])
+    }
+
+    /// Whether `chunk` may be evicted right now: resident, not pinned and not
+    /// the target of the in-flight load.
+    pub fn is_evictable(&self, chunk: ChunkId) -> bool {
+        match self.buffered_chunk(chunk) {
+            Some(b) => !b.is_pinned() && self.inflight.map(|(c, _)| c) != Some(chunk),
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Change tracking (consumed by incremental policy caches).
+    // ------------------------------------------------------------------
+
+    /// The current change sequence number.  Bumped whenever a chunk's
+    /// interest counters or residency change.
+    pub fn change_seq(&self) -> u64 {
+        self.change_seq
+    }
+
+    /// Iterates the chunks whose counters or residency changed after the
+    /// caller's snapshot `since` (a previously observed [`Self::change_seq`]).
+    /// Returns `None` when the bounded log no longer reaches back that far —
+    /// the caller must then rescan from scratch.  Chunks may appear multiple
+    /// times.
+    pub fn changes_since(&self, since: u64) -> Option<impl Iterator<Item = ChunkId> + '_> {
+        self.change_log.since(since)
+    }
+
+    /// Records a counter/residency change of `chunk`.
+    fn mark_changed(&mut self, chunk: ChunkId) {
+        self.change_seq += 1;
+        self.change_log.push(self.change_seq, chunk.index());
+    }
+
+    // ------------------------------------------------------------------
+    // Brute-force reference implementations.
+    //
+    // These recompute the cached quantities from first principles (the seed
+    // semantics).  They exist so that (a) debug builds can cross-check every
+    // cached counter after every transition, (b) the property tests can
+    // assert cache/brute equality under arbitrary operation sequences, and
+    // (c) the Figure 8 benchmark can measure the incremental scheduler
+    // against the original cost model.
+    // ------------------------------------------------------------------
+
+    /// [`Self::available_chunks`] recomputed by scanning the buffer.
+    pub fn available_chunks_brute(&self, q: QueryId) -> u32 {
         let query = self.query(q);
         let mut count = 0;
-        // Iterate over whichever side is smaller: the buffer or the query's
-        // remaining chunks.  Buffers are small (tens to hundreds of chunks).
-        for b in self.buffered.values() {
+        for b in self.buffered() {
             if query.needs(b.chunk) && query.columns.is_subset_of(b.columns) {
                 count += 1;
             }
@@ -211,47 +455,197 @@ impl AbmState {
         count
     }
 
-    /// Whether query `q` is starved (fewer than two available chunks).
-    pub fn is_starved(&self, q: QueryId) -> bool {
-        self.available_chunks(q) < STARVATION_THRESHOLD
+    /// [`Self::is_starved`] recomputed from scratch.
+    pub fn is_starved_brute(&self, q: QueryId) -> bool {
+        self.available_chunks_brute(q) < STARVATION_THRESHOLD
     }
 
-    /// Whether query `q` is starved or on the border of starvation
-    /// (used by `keepRelevance` to avoid evicting chunks whose loss would
-    /// make a query immediately schedulable again).
-    pub fn is_almost_starved(&self, q: QueryId) -> bool {
-        self.available_chunks(q) <= STARVATION_THRESHOLD
+    /// [`Self::is_almost_starved`] recomputed from scratch.
+    pub fn is_almost_starved_brute(&self, q: QueryId) -> bool {
+        self.available_chunks_brute(q) <= STARVATION_THRESHOLD
     }
 
-    /// Number of starved queries interested in `chunk`.
-    pub fn num_interested_starved(&self, chunk: ChunkId) -> u32 {
+    /// [`Self::num_interested_starved`] recomputed from scratch.
+    pub fn num_interested_starved_brute(&self, chunk: ChunkId) -> u32 {
         self.queries
-            .values()
-            .filter(|q| q.needs(chunk) && self.is_starved(q.id))
+            .iter()
+            .filter(|q| q.needs(chunk) && self.is_starved_brute(q.id))
             .count() as u32
     }
 
-    /// Number of almost-starved queries interested in `chunk`.
-    pub fn num_interested_almost_starved(&self, chunk: ChunkId) -> u32 {
+    /// [`Self::num_interested_almost_starved`] recomputed from scratch.
+    pub fn num_interested_almost_starved_brute(&self, chunk: ChunkId) -> u32 {
         self.queries
-            .values()
-            .filter(|q| q.needs(chunk) && self.is_almost_starved(q.id))
+            .iter()
+            .filter(|q| q.needs(chunk) && self.is_almost_starved_brute(q.id))
             .count() as u32
     }
 
-    /// Whether `chunk` is needed by at least one starved query — the
-    /// `usefulForStarvedQuery` guard of `findFreeSlot`.
-    pub fn useful_for_starved_query(&self, chunk: ChunkId) -> bool {
-        self.queries.values().any(|q| q.needs(chunk) && self.is_starved(q.id))
+    /// [`Self::num_interested`] recomputed from scratch.
+    pub fn num_interested_brute(&self, chunk: ChunkId) -> u32 {
+        self.queries.iter().filter(|q| q.needs(chunk)).count() as u32
     }
 
-    /// Whether `chunk` may be evicted right now: resident, not pinned and not
-    /// the target of the in-flight load.
-    pub fn is_evictable(&self, chunk: ChunkId) -> bool {
-        match self.buffered.get(&chunk) {
-            Some(b) => !b.is_pinned() && self.inflight.map(|(c, _)| c) != Some(chunk),
-            None => false,
+    /// Asserts that every cached counter equals its brute-force definition.
+    /// O(queries × (buffered + chunks)) — called automatically after every
+    /// mutation in debug builds, and by the property tests.
+    ///
+    /// # Panics
+    /// Panics on any cache/brute mismatch.
+    pub fn validate_counters(&self) {
+        for w in self.queries.windows(2) {
+            assert!(w[0].id < w[1].id, "query vector must stay sorted by id");
         }
+        // Brute availability once per query (not per chunk × query below).
+        let brute_avail: Vec<u32> = self
+            .queries
+            .iter()
+            .map(|q| self.available_chunks_brute(q.id))
+            .collect();
+        for (q, &avail) in self.queries.iter().zip(&brute_avail) {
+            assert_eq!(
+                q.available, avail,
+                "stale availability cache for {:?}",
+                q.id
+            );
+        }
+        assert_eq!(
+            self.num_buffered,
+            self.buffered().count(),
+            "stale buffered-chunk count"
+        );
+        for c in 0..self.model.num_chunks() {
+            let chunk = ChunkId::new(c);
+            let mut interested = 0;
+            let mut starved = 0;
+            let mut almost = 0;
+            for (q, &avail) in self.queries.iter().zip(&brute_avail) {
+                if !q.needs(chunk) {
+                    continue;
+                }
+                interested += 1;
+                if avail < STARVATION_THRESHOLD {
+                    starved += 1;
+                }
+                if avail <= STARVATION_THRESHOLD {
+                    almost += 1;
+                }
+            }
+            assert_eq!(
+                self.interested[c as usize], interested,
+                "stale interest counter for {chunk:?}"
+            );
+            assert_eq!(
+                self.interested_starved[c as usize], starved,
+                "stale starved-interest counter for {chunk:?}"
+            );
+            assert_eq!(
+                self.interested_almost_starved[c as usize], almost,
+                "stale almost-starved-interest counter for {chunk:?}"
+            );
+            assert_eq!(
+                self.resident.contains(c as usize),
+                self.buffered[c as usize].is_some(),
+                "stale residency bit for {chunk:?}"
+            );
+            let s = self.interested_starved[c as usize] as usize;
+            for (b, bucket) in self.starved_buckets.iter().enumerate() {
+                assert_eq!(
+                    bucket.contains(c as usize),
+                    b == s && s > 0,
+                    "stale starved bucket {b} for {chunk:?}"
+                );
+            }
+        }
+        for (b, bucket) in self.starved_buckets.iter().enumerate() {
+            assert!(
+                b <= self.max_starved || bucket.is_empty(),
+                "max_starved hint {} below non-empty bucket {b}",
+                self.max_starved
+            );
+        }
+        if self.max_starved > 0 {
+            assert!(
+                !self.starved_buckets[self.max_starved].is_empty(),
+                "max_starved hint {} points at an empty bucket",
+                self.max_starved
+            );
+        }
+    }
+
+    /// Runs [`Self::validate_counters`] in debug builds only.
+    #[inline]
+    fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        self.validate_counters();
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental index maintenance.
+    // ------------------------------------------------------------------
+
+    /// Sets `interested_starved[c]` to `new`, keeping the bucket bitsets and
+    /// the `max_starved` hint in sync.  O(1) amortized (the shrink loop only
+    /// undoes previous growth).
+    fn set_interested_starved(&mut self, c: usize, new: u32) {
+        let old = self.interested_starved[c];
+        if old == new {
+            return;
+        }
+        self.interested_starved[c] = new;
+        if old > 0 {
+            self.starved_buckets[old as usize].remove(c);
+            if old as usize == self.max_starved && new < old {
+                while self.max_starved > 0 && self.starved_buckets[self.max_starved].is_empty() {
+                    self.max_starved -= 1;
+                }
+            }
+        }
+        if new > 0 {
+            let n = new as usize;
+            if self.starved_buckets.len() <= n {
+                let cap = self.model.num_chunks() as usize;
+                self.starved_buckets
+                    .resize_with(n + 1, || ChunkBitSet::new(cap));
+            }
+            self.starved_buckets[n].insert(c);
+            self.max_starved = self.max_starved.max(n);
+        }
+    }
+
+    /// Updates query `idx`'s cached availability, propagating a starvation
+    /// *level* change to the per-chunk counters of every chunk the query
+    /// still needs.  O(1) when the level is unchanged, O(chunks the query
+    /// needs) when availability crosses the threshold.
+    fn set_available(&mut self, idx: usize, new_available: u32) {
+        let old_available = self.queries[idx].available;
+        if old_available == new_available {
+            return;
+        }
+        self.queries[idx].available = new_available;
+        let old_level = level(old_available);
+        let new_level = level(new_available);
+        if old_level == new_level {
+            return;
+        }
+        let d_starved = i64::from(new_level == 0) - i64::from(old_level == 0);
+        let d_almost = i64::from(new_level <= 1) - i64::from(old_level <= 1);
+        // Copy the chunk list into a reusable scratch so the loop body has
+        // full `&mut self` access for the bucket maintenance.
+        let mut scratch = std::mem::take(&mut self.chunk_scratch);
+        scratch.clear();
+        scratch.extend(self.queries[idx].remaining_chunks().map(|c| c.index()));
+        for &c in &scratch {
+            let ci = c as usize;
+            if d_starved != 0 {
+                let s = (self.interested_starved[ci] as i64 + d_starved) as u32;
+                self.set_interested_starved(ci, s);
+            }
+            self.interested_almost_starved[ci] =
+                (self.interested_almost_starved[ci] as i64 + d_almost) as u32;
+            self.mark_changed(ChunkId::new(c));
+        }
+        self.chunk_scratch = scratch;
     }
 
     // ------------------------------------------------------------------
@@ -259,6 +653,12 @@ impl AbmState {
     // ------------------------------------------------------------------
 
     /// Registers a new query.
+    ///
+    /// # Panics
+    /// Panics if the query is already registered or reads no columns (an
+    /// empty column set would make "all needed columns resident" vacuously
+    /// true and desync the availability cache from its brute-force
+    /// definition).
     pub(crate) fn register_query(
         &mut self,
         id: QueryId,
@@ -267,29 +667,72 @@ impl AbmState {
         columns: ColSet,
         now: SimTime,
     ) {
-        assert!(!self.queries.contains_key(&id), "query {id:?} registered twice");
-        let state = QueryState::new(id, label, ranges, columns, self.model.num_chunks(), now);
+        assert!(!columns.is_empty(), "{id:?} must read at least one column");
+        let pos = match self.queries.binary_search_by_key(&id, |s| s.id) {
+            Ok(_) => panic!("query {id:?} registered twice"),
+            Err(pos) => pos,
+        };
+        let mut state = QueryState::new(id, label, ranges, columns, self.model.num_chunks(), now);
+        // Initial availability: resident chunks the query can already use.
+        let mut available = 0;
         for chunk in state.remaining_chunks() {
-            self.interested[chunk.as_usize()] += 1;
+            if let Some(b) = &self.buffered[chunk.as_usize()] {
+                if columns.is_subset_of(b.columns) {
+                    available += 1;
+                }
+            }
         }
-        self.queries.insert(id, state);
+        state.available = available;
+        let lvl = level(available);
+        let chunks: Vec<ChunkId> = state.remaining_chunks().collect();
+        self.queries.insert(pos, state);
+        for chunk in chunks {
+            let c = chunk.as_usize();
+            self.interested[c] += 1;
+            if lvl == 0 {
+                let s = self.interested_starved[c] + 1;
+                self.set_interested_starved(c, s);
+            }
+            if lvl <= 1 {
+                self.interested_almost_starved[c] += 1;
+            }
+            self.mark_changed(chunk);
+        }
         self.queries_registered += 1;
+        self.debug_validate();
     }
 
     /// Removes a finished (or cancelled) query, dropping its interest counts.
     pub(crate) fn remove_query(&mut self, id: QueryId) -> QueryState {
-        let state = self.queries.remove(&id).unwrap_or_else(|| panic!("unknown query {id:?}"));
+        let idx = self
+            .query_index(id)
+            .unwrap_or_else(|| panic!("unknown query {id:?}"));
+        let state = self.queries.remove(idx);
         // A cancelled query may still have outstanding interest.
+        let lvl = level(state.available);
         for chunk in state.remaining_chunks() {
-            let slot = &mut self.interested[chunk.as_usize()];
-            *slot = slot.saturating_sub(1);
+            let c = chunk.as_usize();
+            self.interested[c] = self.interested[c].saturating_sub(1);
+            if lvl == 0 {
+                let s = self.interested_starved[c].saturating_sub(1);
+                self.set_interested_starved(c, s);
+            }
+            if lvl <= 1 {
+                self.interested_almost_starved[c] =
+                    self.interested_almost_starved[c].saturating_sub(1);
+            }
+            self.mark_changed(chunk);
         }
+        self.debug_validate();
         state
     }
 
     /// Marks the start of a chunk load.
     pub(crate) fn begin_load(&mut self, chunk: ChunkId, cols: ColSet) {
-        debug_assert!(self.inflight.is_none(), "only one outstanding load is supported");
+        debug_assert!(
+            self.inflight.is_none(),
+            "only one outstanding load is supported"
+        );
         self.inflight = Some((chunk, cols));
     }
 
@@ -305,8 +748,14 @@ impl AbmState {
         };
         self.seq += 1;
         let seq = self.seq;
-        let all_columns = if self.model.is_dsm() { cols } else { self.model.all_columns() };
-        match self.buffered.get_mut(&chunk) {
+        let all_columns = if self.model.is_dsm() {
+            cols
+        } else {
+            self.model.all_columns()
+        };
+        let slot = &mut self.buffered[chunk.as_usize()];
+        let old_columns = slot.as_ref().map(|b| b.columns).unwrap_or(ColSet::EMPTY);
+        match slot {
             Some(b) => {
                 b.columns = b.columns.union(all_columns);
                 b.pages += pages;
@@ -314,12 +763,30 @@ impl AbmState {
                 b.last_touch = seq;
             }
             None => {
-                self.buffered.insert(chunk, BufferedChunk::new(chunk, all_columns, pages, seq));
+                *slot = Some(BufferedChunk::new(chunk, all_columns, pages, seq));
+                self.num_buffered += 1;
             }
         }
+        let new_columns = old_columns.union(all_columns);
+        self.resident.insert(chunk.as_usize());
         self.used_pages += pages;
         self.io_requests += 1;
         self.pages_read += pages;
+        self.mark_changed(chunk);
+        // Queries whose column set just became fully resident gained an
+        // available chunk.
+        for idx in 0..self.queries.len() {
+            let q = &self.queries[idx];
+            if !q.needs(chunk) {
+                continue;
+            }
+            let was = q.columns.is_subset_of(old_columns);
+            let now_resident = q.columns.is_subset_of(new_columns);
+            if !was && now_resident {
+                self.set_available(idx, self.queries[idx].available + 1);
+            }
+        }
+        self.debug_validate();
         pages
     }
 
@@ -334,27 +801,42 @@ impl AbmState {
     /// # Panics
     /// Panics if the chunk is pinned or not resident.
     pub(crate) fn evict(&mut self, chunk: ChunkId) -> u64 {
-        let b = self
-            .buffered
-            .remove(&chunk)
+        let b = self.buffered[chunk.as_usize()]
+            .take()
             .unwrap_or_else(|| panic!("evicting non-resident chunk {chunk:?}"));
         assert!(!b.is_pinned(), "evicting pinned chunk {chunk:?}");
+        self.num_buffered -= 1;
+        self.resident.remove(chunk.as_usize());
         self.used_pages -= b.pages;
+        self.mark_changed(chunk);
+        // Queries that could consume this chunk lost an available chunk.
+        for idx in 0..self.queries.len() {
+            let q = &self.queries[idx];
+            if q.needs(chunk) && q.columns.is_subset_of(b.columns) {
+                self.set_available(idx, self.queries[idx].available - 1);
+            }
+        }
+        self.debug_validate();
         b.pages
     }
 
     /// Drops the resident columns of `chunk` that no active query needs
     /// (DSM only).  Returns the pages freed.
+    ///
+    /// Only columns needed by *no* interested query are dropped, so no
+    /// query's availability can change.
     pub(crate) fn drop_dead_columns(&mut self, chunk: ChunkId) -> u64 {
         if !self.model.is_dsm() {
             return 0;
         }
         let needed_cols = self
             .queries
-            .values()
+            .iter()
             .filter(|q| q.needs(chunk))
             .fold(ColSet::empty(), |acc, q| acc.union(q.columns));
-        let Some(b) = self.buffered.get_mut(&chunk) else { return 0 };
+        let Some(b) = self.buffered[chunk.as_usize()].as_mut() else {
+            return 0;
+        };
         if b.is_pinned() {
             return 0;
         }
@@ -365,11 +847,14 @@ impl AbmState {
         let freed = self.model.chunk_pages(chunk, dead);
         b.columns = b.columns.difference(dead);
         b.pages = b.pages.saturating_sub(freed);
-        let now_empty = b.columns.is_empty();
-        if now_empty {
-            self.buffered.remove(&chunk);
+        if b.columns.is_empty() {
+            self.buffered[chunk.as_usize()] = None;
+            self.num_buffered -= 1;
+            self.resident.remove(chunk.as_usize());
         }
         self.used_pages -= freed;
+        self.mark_changed(chunk);
+        self.debug_validate();
         freed
     }
 
@@ -377,11 +862,9 @@ impl AbmState {
     pub(crate) fn start_processing(&mut self, q: QueryId, chunk: ChunkId) {
         self.seq += 1;
         let seq = self.seq;
-        let query = self.queries.get_mut(&q).unwrap_or_else(|| panic!("unknown query {q:?}"));
-        query.start_processing(chunk);
-        let b = self
-            .buffered
-            .get_mut(&chunk)
+        self.query_mut(q).start_processing(chunk);
+        let b = self.buffered[chunk.as_usize()]
+            .as_mut()
             .unwrap_or_else(|| panic!("{q:?} processing non-resident chunk {chunk:?}"));
         b.pin(q);
         b.last_touch = seq;
@@ -389,32 +872,56 @@ impl AbmState {
 
     /// Marks query `q` as done with `chunk` (unpins, interest drops).
     pub(crate) fn finish_processing(&mut self, q: QueryId, chunk: ChunkId) {
-        let query = self.queries.get_mut(&q).unwrap_or_else(|| panic!("unknown query {q:?}"));
-        query.finish_processing(chunk);
-        self.interested[chunk.as_usize()] = self.interested[chunk.as_usize()].saturating_sub(1);
-        if let Some(b) = self.buffered.get_mut(&chunk) {
+        let idx = self
+            .query_index(q)
+            .unwrap_or_else(|| panic!("unknown query {q:?}"));
+        let old_level = level(self.queries[idx].available);
+        self.queries[idx].finish_processing(chunk);
+        // The query's interest in this chunk ends: remove its contribution
+        // from the chunk's counters at its pre-transition level.
+        let c = chunk.as_usize();
+        self.interested[c] = self.interested[c].saturating_sub(1);
+        if old_level == 0 {
+            let s = self.interested_starved[c].saturating_sub(1);
+            self.set_interested_starved(c, s);
+        }
+        if old_level <= 1 {
+            self.interested_almost_starved[c] = self.interested_almost_starved[c].saturating_sub(1);
+        }
+        self.mark_changed(chunk);
+        // The chunk was pinned (hence resident) for the query throughout
+        // processing, so it was counted available; consuming it drops the
+        // availability by one.
+        let available = self.queries[idx].available;
+        debug_assert!(
+            available > 0,
+            "{q:?} consumed {chunk:?} with zero availability"
+        );
+        self.set_available(idx, available - 1);
+        if let Some(b) = self.buffered[c].as_mut() {
             b.unpin(q);
         }
+        self.debug_validate();
     }
 
     /// Marks query `q` as blocked at `now`.
     pub(crate) fn block_query(&mut self, q: QueryId, now: SimTime) {
-        if let Some(query) = self.queries.get_mut(&q) {
-            query.block(now);
+        if let Some(idx) = self.query_index(q) {
+            self.queries[idx].block(now);
         }
     }
 
     /// Marks query `q` as unblocked at `now`.
     pub(crate) fn unblock_query(&mut self, q: QueryId, now: SimTime) {
-        if let Some(query) = self.queries.get_mut(&q) {
-            query.unblock(now);
+        if let Some(idx) = self.query_index(q) {
+            self.queries[idx].unblock(now);
         }
     }
 
     /// Records that a load was triggered on behalf of `q`.
     pub(crate) fn count_triggered_io(&mut self, q: QueryId) {
-        if let Some(query) = self.queries.get_mut(&q) {
-            query.ios_triggered += 1;
+        if let Some(idx) = self.query_index(q) {
+            self.queries[idx].ios_triggered += 1;
         }
     }
 }
@@ -432,7 +939,13 @@ mod tests {
 
     fn register(state: &mut AbmState, id: u64, start: u32, end: u32) {
         let cols = state.model().all_columns();
-        state.register_query(QueryId(id), format!("q{id}"), ScanRanges::single(start, end), cols, SimTime::ZERO);
+        state.register_query(
+            QueryId(id),
+            format!("q{id}"),
+            ScanRanges::single(start, end),
+            cols,
+            SimTime::ZERO,
+        );
     }
 
     #[test]
@@ -444,7 +957,10 @@ mod tests {
         assert_eq!(s.num_interested(ChunkId::new(0)), 1);
         assert_eq!(s.num_interested(ChunkId::new(7)), 2);
         assert_eq!(s.num_interested(ChunkId::new(15)), 0);
-        assert_eq!(s.interested_queries(ChunkId::new(7)), vec![QueryId(1), QueryId(2)]);
+        assert_eq!(
+            s.interested_queries(ChunkId::new(7)).collect::<Vec<_>>(),
+            vec![QueryId(1), QueryId(2)]
+        );
         assert_eq!(s.queries_registered(), 2);
     }
 
@@ -477,10 +993,17 @@ mod tests {
         s.begin_load(ChunkId::new(0), cols);
         s.complete_load();
         s.start_processing(QueryId(1), ChunkId::new(0));
-        assert!(!s.is_evictable(ChunkId::new(0)), "pinned chunk is not evictable");
+        assert!(
+            !s.is_evictable(ChunkId::new(0)),
+            "pinned chunk is not evictable"
+        );
         assert_eq!(s.num_interested(ChunkId::new(0)), 2);
         s.finish_processing(QueryId(1), ChunkId::new(0));
-        assert_eq!(s.num_interested(ChunkId::new(0)), 1, "q1 no longer needs it");
+        assert_eq!(
+            s.num_interested(ChunkId::new(0)),
+            1,
+            "q1 no longer needs it"
+        );
         assert!(s.is_evictable(ChunkId::new(0)));
         assert!(s.query(QueryId(1)).processing.is_none());
         // q2 can still use the chunk.
@@ -513,23 +1036,44 @@ mod tests {
         assert_eq!(s.available_chunks(QueryId(1)), 2);
         assert!(!s.is_starved(QueryId(1)));
         assert!(s.is_almost_starved(QueryId(1)));
-        assert!(s.useful_for_starved_query(ChunkId::new(5)) == false);
+        assert!(!s.useful_for_starved_query(ChunkId::new(5)));
     }
 
     #[test]
     fn dsm_partial_residency() {
         let model = TableModel::dsm_uniform(10, 1000, &[2, 4, 8]);
         let mut s = AbmState::new(model, 1000);
-        let c01 = ColSet::from_columns([cscan_storage::ColumnId::new(0), cscan_storage::ColumnId::new(1)]);
-        let c12 = ColSet::from_columns([cscan_storage::ColumnId::new(1), cscan_storage::ColumnId::new(2)]);
-        s.register_query(QueryId(1), "a", ScanRanges::single(0, 5), c01, SimTime::ZERO);
-        s.register_query(QueryId(2), "b", ScanRanges::single(0, 5), c12, SimTime::ZERO);
+        let c01 = ColSet::from_columns([
+            cscan_storage::ColumnId::new(0),
+            cscan_storage::ColumnId::new(1),
+        ]);
+        let c12 = ColSet::from_columns([
+            cscan_storage::ColumnId::new(1),
+            cscan_storage::ColumnId::new(2),
+        ]);
+        s.register_query(
+            QueryId(1),
+            "a",
+            ScanRanges::single(0, 5),
+            c01,
+            SimTime::ZERO,
+        );
+        s.register_query(
+            QueryId(2),
+            "b",
+            ScanRanges::single(0, 5),
+            c12,
+            SimTime::ZERO,
+        );
         // Load chunk 0 with q1's columns.
         assert_eq!(s.pages_to_load(ChunkId::new(0), c01), 6);
         s.begin_load(ChunkId::new(0), c01);
         assert_eq!(s.complete_load(), 6);
         assert!(s.is_resident_for(QueryId(1), ChunkId::new(0)));
-        assert!(!s.is_resident_for(QueryId(2), ChunkId::new(0)), "column 2 still missing");
+        assert!(
+            !s.is_resident_for(QueryId(2), ChunkId::new(0)),
+            "column 2 still missing"
+        );
         // Loading for q2 only reads the missing column (8 pages).
         assert_eq!(s.pages_to_load(ChunkId::new(0), c12), 8);
         s.begin_load(ChunkId::new(0), c12);
@@ -542,7 +1086,10 @@ mod tests {
         let freed = s.drop_dead_columns(ChunkId::new(0));
         assert_eq!(freed, 2, "column 0 is needed by nobody anymore");
         assert_eq!(s.used_pages(), 12);
-        assert!(s.is_resident_for(QueryId(2), ChunkId::new(0)), "q2's columns survive");
+        assert!(
+            s.is_resident_for(QueryId(2), ChunkId::new(0)),
+            "q2's columns survive"
+        );
     }
 
     #[test]
@@ -554,6 +1101,19 @@ mod tests {
         assert_eq!(st.total_chunks(), 10);
         assert_eq!(s.num_interested(ChunkId::new(4)), 0);
         assert_eq!(s.num_queries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must read at least one column")]
+    fn empty_column_set_rejected() {
+        let mut s = nsm_state(10, 4);
+        s.register_query(
+            QueryId(1),
+            "empty",
+            ScanRanges::single(0, 5),
+            ColSet::empty(),
+            SimTime::ZERO,
+        );
     }
 
     #[test]
@@ -584,8 +1144,78 @@ mod tests {
         assert!(s.query(QueryId(1)).is_blocked());
         s.unblock_query(QueryId(1), SimTime::from_secs(3));
         assert!(!s.query(QueryId(1)).is_blocked());
-        assert_eq!(s.query(QueryId(1)).total_blocked, cscan_simdisk::SimDuration::from_secs(2));
+        assert_eq!(
+            s.query(QueryId(1)).total_blocked,
+            cscan_simdisk::SimDuration::from_secs(2)
+        );
         s.count_triggered_io(QueryId(1));
         assert_eq!(s.query(QueryId(1)).ios_triggered, 1);
+    }
+
+    #[test]
+    fn counters_match_brute_force_through_a_lifecycle() {
+        let mut s = nsm_state(30, 6);
+        let cols = s.model().all_columns();
+        register(&mut s, 1, 0, 20);
+        register(&mut s, 2, 10, 30);
+        register(&mut s, 3, 5, 8);
+        for c in [0u32, 5, 6, 10, 11, 12] {
+            s.begin_load(ChunkId::new(c), cols);
+            s.complete_load();
+            s.validate_counters();
+        }
+        s.start_processing(QueryId(3), ChunkId::new(5));
+        s.finish_processing(QueryId(3), ChunkId::new(5));
+        s.validate_counters();
+        s.evict(ChunkId::new(6));
+        s.validate_counters();
+        s.remove_query(QueryId(2));
+        s.validate_counters();
+        // Cached lookups agree with the reference implementations.
+        for q in [QueryId(1), QueryId(3)] {
+            assert_eq!(s.available_chunks(q), s.available_chunks_brute(q));
+            assert_eq!(s.is_starved(q), s.is_starved_brute(q));
+            assert_eq!(s.is_almost_starved(q), s.is_almost_starved_brute(q));
+        }
+        for c in 0..30 {
+            let chunk = ChunkId::new(c);
+            assert_eq!(s.num_interested(chunk), s.num_interested_brute(chunk));
+            assert_eq!(
+                s.num_interested_starved(chunk),
+                s.num_interested_starved_brute(chunk)
+            );
+            assert_eq!(
+                s.num_interested_almost_starved(chunk),
+                s.num_interested_almost_starved_brute(chunk)
+            );
+        }
+    }
+
+    #[test]
+    fn change_log_reports_dirty_chunks() {
+        let mut s = nsm_state(16, 8);
+        let snapshot = s.change_seq();
+        register(&mut s, 1, 0, 4);
+        let dirty: Vec<u32> = s
+            .changes_since(snapshot)
+            .expect("log covers the gap")
+            .map(|c| c.index())
+            .collect();
+        assert_eq!(dirty, vec![0, 1, 2, 3]);
+        // A reader that is fully caught up sees nothing.
+        let now = s.change_seq();
+        assert_eq!(s.changes_since(now).expect("in range").count(), 0);
+        // Ancient readers are told to rescan once the log wraps.
+        for round in 0..200u32 {
+            let cols = s.model().all_columns();
+            let chunk = ChunkId::new(10 + round % 4);
+            s.begin_load(chunk, cols);
+            s.complete_load();
+            s.evict(chunk);
+        }
+        assert!(
+            s.changes_since(snapshot).is_none(),
+            "log must report truncation"
+        );
     }
 }

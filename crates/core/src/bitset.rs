@@ -1,0 +1,108 @@
+//! A fixed-capacity bitset over chunk indices.
+//!
+//! The incremental scheduling index keeps several per-chunk sets (residency,
+//! per-starved-count buckets, per-query needed sets) as flat `u64` words so
+//! the relevance policy's chunk argmax can intersect them word-wise — 64
+//! chunks per instruction — instead of walking chunks one at a time.
+
+/// A fixed-capacity set of chunk indices backed by `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkBitSet {
+    words: Vec<u64>,
+}
+
+impl ChunkBitSet {
+    /// Creates an empty set with capacity for `n` indices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `idx`.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Removes `idx`.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// Whether `idx` is in the set.  Indices beyond the capacity are absent.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1 << (idx % 64)) != 0)
+    }
+
+    /// Whether the set is empty.  O(words).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.  O(words).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words, 64 indices per word, lowest indices first.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the contained indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors((w != 0).then_some(w), |&rest| {
+                let rest = rest & (rest - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |bits| wi * 64 + bits.trailing_zeros() as usize)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ChunkBitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(!s.contains(10_000), "out-of-capacity indices are absent");
+        assert_eq!(s.len(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iterates_in_order() {
+        let mut s = ChunkBitSet::new(200);
+        for i in [5usize, 64, 65, 127, 128, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = ChunkBitSet::new(0);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -30,7 +30,10 @@ impl ColSet {
     /// # Panics
     /// Panics if `n` exceeds [`Self::MAX_COLUMNS`].
     pub fn first_n(n: u16) -> Self {
-        assert!(n <= Self::MAX_COLUMNS, "ColSet supports at most 64 columns, got {n}");
+        assert!(
+            n <= Self::MAX_COLUMNS,
+            "ColSet supports at most 64 columns, got {n}"
+        );
         if n == 64 {
             ColSet(u64::MAX)
         } else {
@@ -55,7 +58,11 @@ impl ColSet {
     /// # Panics
     /// Panics if the column index is 64 or larger.
     pub fn insert(&mut self, col: ColumnId) {
-        assert!(col.index() < Self::MAX_COLUMNS, "column index {} out of ColSet range", col.index());
+        assert!(
+            col.index() < Self::MAX_COLUMNS,
+            "column index {} out of ColSet range",
+            col.index()
+        );
         self.0 |= 1u64 << col.index();
     }
 
@@ -109,7 +116,9 @@ impl ColSet {
     /// Iterator over the column ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = ColumnId> + '_ {
         let bits = self.0;
-        (0u16..64).filter(move |i| (bits >> i) & 1 == 1).map(ColumnId::new)
+        (0u16..64)
+            .filter(move |i| (bits >> i) & 1 == 1)
+            .map(ColumnId::new)
     }
 
     /// Materializes the set as a vector of column ids in ascending order.

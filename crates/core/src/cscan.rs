@@ -26,7 +26,11 @@ pub struct CScanPlan {
 impl CScanPlan {
     /// A scan over explicit ranges and columns.
     pub fn new(label: impl Into<String>, ranges: ScanRanges, columns: ColSet) -> Self {
-        Self { label: label.into(), ranges, columns }
+        Self {
+            label: label.into(),
+            ranges,
+            columns,
+        }
     }
 
     /// A full-table scan.
@@ -93,7 +97,14 @@ mod tests {
         );
         let plan = CScanPlan::from_zonemap("range", &zm, 12, 25, ColSet::first_n(1));
         assert_eq!(plan.num_chunks(), 2);
-        assert_eq!(plan.ranges.chunks().iter().map(|c| c.index()).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            plan.ranges
+                .chunks()
+                .iter()
+                .map(|c| c.index())
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
         assert!((plan.selectivity(&model) - 0.5).abs() < 1e-9);
         let nothing = CScanPlan::from_zonemap("none", &zm, 1000, 2000, ColSet::first_n(1));
         assert!(nothing.is_empty());

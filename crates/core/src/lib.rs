@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod abm;
+pub mod bitset;
 pub mod colset;
 pub mod cscan;
 pub mod model;
@@ -64,9 +65,7 @@ pub use abm::{Abm, AbmState, BufferedChunk, LoadDecision};
 pub use colset::ColSet;
 pub use cscan::CScanPlan;
 pub use model::{StorageKind, TableModel};
-pub use policy::{
-    AttachPolicy, ElevatorPolicy, NormalPolicy, Policy, PolicyKind, RelevancePolicy,
-};
+pub use policy::{AttachPolicy, ElevatorPolicy, NormalPolicy, Policy, PolicyKind, RelevancePolicy};
 pub use query::{QueryId, QueryState};
 
 // Re-export the identifiers that appear throughout the public API.

@@ -185,7 +185,9 @@ impl TableModel {
             StorageKind::Nsm => self.pages[chunk.as_usize()][0],
             StorageKind::Dsm => {
                 let per_col = &self.pages[chunk.as_usize()];
-                cols.iter().map(|c| per_col.get(c.as_usize()).copied().unwrap_or(0)).sum()
+                cols.iter()
+                    .map(|c| per_col.get(c.as_usize()).copied().unwrap_or(0))
+                    .sum()
             }
         }
     }
@@ -197,7 +199,9 @@ impl TableModel {
 
     /// Pages of the whole table for the given columns.
     pub fn total_pages(&self, cols: ColSet) -> u64 {
-        (0..self.num_chunks()).map(|c| self.chunk_pages(ChunkId::new(c), cols)).sum()
+        (0..self.num_chunks())
+            .map(|c| self.chunk_pages(ChunkId::new(c), cols))
+            .sum()
     }
 
     /// Pages per full chunk when *all* columns are loaded (average over chunks).
@@ -214,7 +218,10 @@ impl TableModel {
         match self.kind {
             StorageKind::Nsm => {
                 let len = self.chunk_bytes(chunk, cols);
-                vec![PhysRegion { offset: self.nsm_offsets[chunk.as_usize()], len }]
+                vec![PhysRegion {
+                    offset: self.nsm_offsets[chunk.as_usize()],
+                    len,
+                }]
             }
             StorageKind::Dsm => {
                 let mut out = Vec::with_capacity(cols.len() as usize);
@@ -306,7 +313,9 @@ mod tests {
     fn from_nsm_layout_matches_layout() {
         let schema = TableSchema::new(
             "t",
-            (0..8).map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64)).collect(),
+            (0..8)
+                .map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64))
+                .collect(),
         );
         let layout = NsmLayout::new(schema, 500_000, 64 * 1024, 4 * 1024 * 1024);
         let m = TableModel::from_nsm(&layout);
@@ -316,7 +325,10 @@ mod tests {
         let all_ids = layout.schema().all_columns();
         for c in 0..m.num_chunks() {
             let chunk = ChunkId::new(c);
-            assert_eq!(m.chunk_pages(chunk, m.all_columns()), layout.chunk_pages(chunk, &all_ids));
+            assert_eq!(
+                m.chunk_pages(chunk, m.all_columns()),
+                layout.chunk_pages(chunk, &all_ids)
+            );
         }
     }
 
@@ -325,7 +337,14 @@ mod tests {
         let schema = TableSchema::new(
             "t",
             vec![
-                ColumnDef::compressed("a", ColumnType::Int64, Compression::PforDelta { bits: 4, exception_rate: 0.0 }),
+                ColumnDef::compressed(
+                    "a",
+                    ColumnType::Int64,
+                    Compression::PforDelta {
+                        bits: 4,
+                        exception_rate: 0.0,
+                    },
+                ),
                 ColumnDef::new("b", ColumnType::Decimal),
                 ColumnDef::new("c", ColumnType::Varchar { avg_len: 16 }),
             ],

@@ -54,9 +54,15 @@ impl AttachPolicy {
 
     /// How much sharing `candidate` offers a newly arriving query: the number
     /// of chunks both still need, weighted (for DSM) by the column overlap.
-    fn overlap_score(state: &AbmState, newcomer: &crate::query::QueryState, candidate: &crate::query::QueryState) -> u64 {
-        let chunk_overlap =
-            candidate.remaining_chunks().filter(|&c| newcomer.needs(c)).count() as u64;
+    fn overlap_score(
+        state: &AbmState,
+        newcomer: &crate::query::QueryState,
+        candidate: &crate::query::QueryState,
+    ) -> u64 {
+        let chunk_overlap = candidate
+            .remaining_chunks()
+            .filter(|&c| newcomer.needs(c))
+            .count() as u64;
         if chunk_overlap == 0 {
             return 0;
         }
@@ -127,14 +133,20 @@ impl Policy for AttachPolicy {
         }
         candidates.sort_unstable();
         let chosen = match self.last_serviced {
-            Some(last) => {
-                candidates.iter().copied().find(|&q| q > last).unwrap_or(candidates[0])
-            }
+            Some(last) => candidates
+                .iter()
+                .copied()
+                .find(|&q| q > last)
+                .unwrap_or(candidates[0]),
             None => candidates[0],
         };
         self.last_serviced = Some(chosen);
         let chunk = self.next_missing(state, chosen)?;
-        Some(LoadDecision { trigger: chosen, chunk, cols: trigger_columns(state, chosen) })
+        Some(LoadDecision {
+            trigger: chosen,
+            chunk,
+            cols: trigger_columns(state, chosen),
+        })
     }
 
     fn next_chunk(&mut self, q: QueryId, state: &AbmState) -> Option<ChunkId> {
@@ -161,12 +173,21 @@ mod tests {
     use cscan_storage::ScanRanges;
 
     fn state(chunks: u32, buffer_chunks: u64) -> AbmState {
-        AbmState::new(TableModel::nsm_uniform(chunks, 1000, 16), buffer_chunks * 16)
+        AbmState::new(
+            TableModel::nsm_uniform(chunks, 1000, 16),
+            buffer_chunks * 16,
+        )
     }
 
     fn register(s: &mut AbmState, id: u64, start: u32, end: u32) -> QueryId {
         let cols = s.model().all_columns();
-        s.register_query(QueryId(id), format!("q{id}"), ScanRanges::single(start, end), cols, SimTime::ZERO);
+        s.register_query(
+            QueryId(id),
+            format!("q{id}"),
+            ScanRanges::single(start, end),
+            cols,
+            SimTime::ZERO,
+        );
         QueryId(id)
     }
 

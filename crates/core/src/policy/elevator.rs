@@ -77,9 +77,13 @@ impl Policy for ElevatorPolicy {
         let (chunk, cols) = self.next_wanted(state)?;
         // Attribute the load to an interested query (the first one) purely
         // for accounting; the elevator itself is query-agnostic.
-        let trigger = state.interested_queries(chunk).first().copied()?;
+        let trigger = state.interested_queries(chunk).next()?;
         self.cursor = (chunk.index() + 1) % state.model().num_chunks();
-        Some(LoadDecision { trigger, chunk, cols })
+        Some(LoadDecision {
+            trigger,
+            chunk,
+            cols,
+        })
     }
 
     fn next_chunk(&mut self, q: QueryId, state: &AbmState) -> Option<ChunkId> {
@@ -116,12 +120,21 @@ mod tests {
     use cscan_storage::ScanRanges;
 
     fn state(chunks: u32, buffer_chunks: u64) -> AbmState {
-        AbmState::new(TableModel::nsm_uniform(chunks, 1000, 16), buffer_chunks * 16)
+        AbmState::new(
+            TableModel::nsm_uniform(chunks, 1000, 16),
+            buffer_chunks * 16,
+        )
     }
 
     fn register(s: &mut AbmState, id: u64, start: u32, end: u32) -> QueryId {
         let cols = s.model().all_columns();
-        s.register_query(QueryId(id), format!("q{id}"), ScanRanges::single(start, end), cols, SimTime::ZERO);
+        s.register_query(
+            QueryId(id),
+            format!("q{id}"),
+            ScanRanges::single(start, end),
+            cols,
+            SimTime::ZERO,
+        );
         QueryId(id)
     }
 
@@ -147,7 +160,10 @@ mod tests {
         })
         .collect();
         assert_eq!(picked, vec![2, 3, 4, 10, 11]);
-        assert!(p.next_load(&s, SimTime::ZERO).is_none(), "everything wanted is resident");
+        assert!(
+            p.next_load(&s, SimTime::ZERO).is_none(),
+            "everything wanted is resident"
+        );
     }
 
     #[test]
@@ -188,7 +204,11 @@ mod tests {
         let mut p = ElevatorPolicy::new();
         load(&mut s, 0);
         load(&mut s, 1);
-        let d = LoadDecision { trigger: q1, chunk: ChunkId::new(2), cols: s.model().all_columns() };
+        let d = LoadDecision {
+            trigger: q1,
+            chunk: ChunkId::new(2),
+            cols: s.model().all_columns(),
+        };
         // Both resident chunks are still needed by q1: nothing may be evicted.
         assert_eq!(p.choose_victim(&s, &d), None);
         // After q1 consumes chunk 0 it becomes evictable.

@@ -39,8 +39,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All policies, in the order the paper's tables list them.
-    pub const ALL: [PolicyKind; 4] =
-        [PolicyKind::Normal, PolicyKind::Attach, PolicyKind::Elevator, PolicyKind::Relevance];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Normal,
+        PolicyKind::Attach,
+        PolicyKind::Elevator,
+        PolicyKind::Relevance,
+    ];
 
     /// The policy's lowercase name as used in the paper.
     pub fn name(self) -> &'static str {
@@ -149,7 +153,10 @@ mod tests {
         }
         assert_eq!(PolicyKind::parse("LRU"), Some(PolicyKind::Normal));
         assert_eq!(PolicyKind::parse("circular"), Some(PolicyKind::Attach));
-        assert_eq!(PolicyKind::parse("cooperative"), Some(PolicyKind::Relevance));
+        assert_eq!(
+            PolicyKind::parse("cooperative"),
+            Some(PolicyKind::Relevance)
+        );
         assert_eq!(PolicyKind::parse("bogus"), None);
     }
 }

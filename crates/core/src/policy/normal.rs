@@ -36,7 +36,10 @@ impl NormalPolicy {
     /// performs for `normal` scans.
     fn next_missing(state: &AbmState, q: QueryId) -> Option<ChunkId> {
         let cols = trigger_columns(state, q);
-        state.query(q).remaining_chunks().find(|&c| state.pages_to_load(c, cols) > 0)
+        state
+            .query(q)
+            .remaining_chunks()
+            .find(|&c| state.pages_to_load(c, cols) > 0)
     }
 }
 
@@ -74,7 +77,11 @@ impl Policy for NormalPolicy {
         };
         self.last_serviced = Some(chosen);
         let chunk = Self::next_missing(state, chosen)?;
-        Some(LoadDecision { trigger: chosen, chunk, cols: trigger_columns(state, chosen) })
+        Some(LoadDecision {
+            trigger: chosen,
+            chunk,
+            cols: trigger_columns(state, chosen),
+        })
     }
 
     fn next_chunk(&mut self, q: QueryId, state: &AbmState) -> Option<ChunkId> {
@@ -101,12 +108,21 @@ mod tests {
     use cscan_storage::ScanRanges;
 
     fn state(chunks: u32, buffer_chunks: u64) -> AbmState {
-        AbmState::new(TableModel::nsm_uniform(chunks, 1000, 16), buffer_chunks * 16)
+        AbmState::new(
+            TableModel::nsm_uniform(chunks, 1000, 16),
+            buffer_chunks * 16,
+        )
     }
 
     fn register(s: &mut AbmState, id: u64, start: u32, end: u32) -> QueryId {
         let cols = s.model().all_columns();
-        s.register_query(QueryId(id), format!("q{id}"), ScanRanges::single(start, end), cols, SimTime::ZERO);
+        s.register_query(
+            QueryId(id),
+            format!("q{id}"),
+            ScanRanges::single(start, end),
+            cols,
+            SimTime::ZERO,
+        );
         QueryId(id)
     }
 
@@ -169,7 +185,10 @@ mod tests {
             load(&mut s, c);
         }
         let mut p = NormalPolicy::new();
-        assert!(p.next_load(&s, SimTime::ZERO).is_none(), "everything needed is already resident");
+        assert!(
+            p.next_load(&s, SimTime::ZERO).is_none(),
+            "everything needed is already resident"
+        );
     }
 
     #[test]
@@ -183,10 +202,17 @@ mod tests {
         s.start_processing(QueryId(1), ChunkId::new(0));
         s.finish_processing(QueryId(1), ChunkId::new(0));
         let mut p = NormalPolicy::new();
-        let decision =
-            LoadDecision { trigger: QueryId(1), chunk: ChunkId::new(3), cols: s.model().all_columns() };
+        let decision = LoadDecision {
+            trigger: QueryId(1),
+            chunk: ChunkId::new(3),
+            cols: s.model().all_columns(),
+        };
         let victim = p.choose_victim(&s, &decision).unwrap();
-        assert_eq!(victim, ChunkId::new(1), "chunk 1 is the least recently touched");
+        assert_eq!(
+            victim,
+            ChunkId::new(1),
+            "chunk 1 is the least recently touched"
+        );
     }
 
     #[test]

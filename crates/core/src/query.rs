@@ -1,5 +1,6 @@
 //! Per-query bookkeeping inside the Active Buffer Manager.
 
+use crate::bitset::ChunkBitSet;
 use crate::colset::ColSet;
 use cscan_simdisk::{SimDuration, SimTime};
 use cscan_storage::{ChunkId, ScanRanges};
@@ -35,13 +36,24 @@ pub struct QueryState {
     pub columns: ColSet,
     /// Registration time.
     pub registered_at: SimTime,
-    /// Per-chunk "still needed" flags, indexed by chunk id.  A chunk is
-    /// needed until the query *finishes* processing it.
-    needed: Vec<bool>,
+    /// Per-chunk "still needed" bits, indexed by chunk id.  A chunk is
+    /// needed until the query *finishes* processing it.  Stored as a bitset
+    /// so the relevance policy's chunk argmax can intersect it word-wise
+    /// with the ABM's residency and starved-interest sets.
+    needed: ChunkBitSet,
+    /// The requested chunks in table order (fixed at registration); iteration
+    /// over the remaining chunks walks this list and filters by `needed`, so
+    /// it costs O(chunks requested), not O(chunks in the table).
+    chunks: Vec<ChunkId>,
     /// Number of chunks still needed (kept in sync with `needed`).
     needed_count: u32,
     /// Total chunks originally requested.
     total: u32,
+    /// Cached number of *available* chunks (resident chunks this query still
+    /// needs, including the one being processed).  Maintained incrementally
+    /// by `AbmState` on every load / evict / processing transition; the
+    /// starvation tests of the relevance policy read it in O(1).
+    pub(crate) available: u32,
     /// The chunk currently being processed, if any.
     pub processing: Option<ChunkId>,
     /// Number of chunks fully processed.
@@ -64,16 +76,18 @@ impl QueryState {
         num_chunks: u32,
         now: SimTime,
     ) -> Self {
-        let mut needed = vec![false; num_chunks as usize];
-        let mut total = 0;
+        let mut needed = ChunkBitSet::new(num_chunks as usize);
+        let mut chunks = Vec::new();
         for c in ranges.iter() {
             if (c.index()) < num_chunks {
-                if !needed[c.as_usize()] {
-                    total += 1;
+                if !needed.contains(c.as_usize()) {
+                    chunks.push(c);
                 }
-                needed[c.as_usize()] = true;
+                needed.insert(c.as_usize());
             }
         }
+        chunks.sort_unstable();
+        let total = chunks.len() as u32;
         Self {
             id,
             label: label.into(),
@@ -81,8 +95,10 @@ impl QueryState {
             columns,
             registered_at: now,
             needed,
+            chunks,
             needed_count: total,
             total,
+            available: 0,
             processing: None,
             processed: 0,
             blocked_since: None,
@@ -104,7 +120,13 @@ impl QueryState {
 
     /// Whether the query still needs `chunk`.
     pub fn needs(&self, chunk: ChunkId) -> bool {
-        self.needed.get(chunk.as_usize()).copied().unwrap_or(false)
+        self.needed.contains(chunk.as_usize())
+    }
+
+    /// The "still needed" set as bitset words (64 chunks per word), for the
+    /// relevance policy's word-wise chunk argmax.
+    pub(crate) fn needed_words(&self) -> &[u64] {
+        self.needed.words()
     }
 
     /// Whether the query still needs `chunk` but is not currently processing it.
@@ -117,13 +139,18 @@ impl QueryState {
         self.needed_count == 0
     }
 
-    /// Iterator over the chunks still needed, in table order.
+    /// Iterator over the chunks still needed, in table order.  Costs
+    /// O(chunks requested) regardless of the table size.
     pub fn remaining_chunks(&self) -> impl Iterator<Item = ChunkId> + '_ {
-        self.needed
+        self.chunks
             .iter()
-            .enumerate()
-            .filter(|(_, &n)| n)
-            .map(|(i, _)| ChunkId::new(i as u32))
+            .copied()
+            .filter(|c| self.needed.contains(c.as_usize()))
+    }
+
+    /// Cached number of available chunks (see [`crate::AbmState::available_chunks`]).
+    pub fn available_chunks(&self) -> u32 {
+        self.available
     }
 
     /// Marks the start of processing of `chunk`.
@@ -131,7 +158,12 @@ impl QueryState {
     /// # Panics
     /// Panics if the query is already processing a chunk or does not need `chunk`.
     pub fn start_processing(&mut self, chunk: ChunkId) {
-        assert!(self.processing.is_none(), "{:?} is already processing {:?}", self.id, self.processing);
+        assert!(
+            self.processing.is_none(),
+            "{:?} is already processing {:?}",
+            self.id,
+            self.processing
+        );
         assert!(self.needs(chunk), "{:?} does not need {chunk:?}", self.id);
         self.processing = Some(chunk);
     }
@@ -141,10 +173,15 @@ impl QueryState {
     /// # Panics
     /// Panics if the query was not processing `chunk`.
     pub fn finish_processing(&mut self, chunk: ChunkId) {
-        assert_eq!(self.processing, Some(chunk), "{:?} was not processing {chunk:?}", self.id);
+        assert_eq!(
+            self.processing,
+            Some(chunk),
+            "{:?} was not processing {chunk:?}",
+            self.id
+        );
         self.processing = None;
-        if self.needed[chunk.as_usize()] {
-            self.needed[chunk.as_usize()] = false;
+        if self.needed.contains(chunk.as_usize()) {
+            self.needed.remove(chunk.as_usize());
             self.needed_count -= 1;
             self.processed += 1;
         }
@@ -192,7 +229,14 @@ mod tests {
     use super::*;
 
     fn make(ranges: ScanRanges) -> QueryState {
-        QueryState::new(QueryId(1), "F-10", ranges, ColSet::first_n(1), 100, SimTime::ZERO)
+        QueryState::new(
+            QueryId(1),
+            "F-10",
+            ranges,
+            ColSet::first_n(1),
+            100,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -248,7 +292,10 @@ mod tests {
         let mut q = make(ScanRanges::single(0, 5));
         q.block(SimTime::from_secs(1));
         assert!(q.is_blocked());
-        assert_eq!(q.waiting_time(SimTime::from_secs(4)), SimDuration::from_secs(3));
+        assert_eq!(
+            q.waiting_time(SimTime::from_secs(4)),
+            SimDuration::from_secs(3)
+        );
         q.unblock(SimTime::from_secs(4));
         assert!(!q.is_blocked());
         assert_eq!(q.total_blocked, SimDuration::from_secs(3));

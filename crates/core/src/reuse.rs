@@ -96,7 +96,9 @@ pub fn figure2_curves(ct: u64, buffer_sizes: &[u64]) -> Vec<ReuseCurve> {
         .iter()
         .map(|&cb| ReuseCurve {
             buffer_chunks: cb,
-            points: (1..=ct).map(|cq| (cq, reuse_probability(ct, cq, cb))).collect(),
+            points: (1..=ct)
+                .map(|cq| (cq, reuse_probability(ct, cq, cb)))
+                .collect(),
         })
         .collect()
 }
@@ -155,7 +157,10 @@ mod tests {
             for cq in [0u64, 1, ct / 2, ct] {
                 for cb in [0u64, 1, ct / 4, ct] {
                     let p = reuse_probability(ct, cq, cb);
-                    assert!((0.0..=1.0).contains(&p), "p={p} for ct={ct} cq={cq} cb={cb}");
+                    assert!(
+                        (0.0..=1.0).contains(&p),
+                        "p={p} for ct={ct} cq={cq} cb={cb}"
+                    );
                 }
             }
         }
@@ -167,7 +172,10 @@ mod tests {
         for &(ct, cq, cb) in &[(100u64, 10u64, 10u64), (100, 30, 5), (50, 5, 25)] {
             let exact = reuse_probability(ct, cq, cb);
             let mc = reuse_probability_monte_carlo(&mut rng, ct, cq, cb, 20_000);
-            assert!((exact - mc).abs() < 0.02, "ct={ct} cq={cq} cb={cb}: exact={exact} mc={mc}");
+            assert!(
+                (exact - mc).abs() < 0.02,
+                "ct={ct} cq={cq} cb={cb}: exact={exact} mc={mc}"
+            );
         }
     }
 

@@ -116,10 +116,17 @@ mod tests {
         let model = TableModel::nsm_uniform(100, 1000, 256); // 25_600 pages total
         let cfg = SimConfig::default();
         assert_eq!(cfg.with_buffer_chunks(10).buffer_pages(&model), 2560);
-        assert_eq!(cfg.with_buffer_bytes(64 * 1024 * 100).buffer_pages(&model), 100.max(256));
+        // 100 pages requested, clamped up to one 256-page chunk.
+        assert_eq!(
+            cfg.with_buffer_bytes(64 * 1024 * 100).buffer_pages(&model),
+            256
+        );
         assert_eq!(cfg.with_buffer_fraction(0.5).buffer_pages(&model), 12_800);
         // Pages spec passes through, but never below one chunk.
-        let tiny = SimConfig { buffer: BufferSpec::Pages(3), ..SimConfig::default() };
+        let tiny = SimConfig {
+            buffer: BufferSpec::Pages(3),
+            ..SimConfig::default()
+        };
         assert_eq!(tiny.buffer_pages(&model), 256);
     }
 

@@ -89,7 +89,10 @@ impl RunResult {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().map(|q| q.latency().as_secs_f64()).sum::<f64>()
+        self.queries
+            .iter()
+            .map(|q| q.latency().as_secs_f64())
+            .sum::<f64>()
             / self.queries.len() as f64
     }
 
@@ -118,7 +121,9 @@ impl RunResult {
     pub fn latency_by_label(&self) -> Vec<(String, Summary)> {
         let mut map: HashMap<&str, Summary> = HashMap::new();
         for q in &self.queries {
-            map.entry(&q.label).or_insert_with(Summary::new).add(q.latency().as_secs_f64());
+            map.entry(&q.label)
+                .or_default()
+                .add(q.latency().as_secs_f64());
         }
         let mut out: Vec<(String, Summary)> =
             map.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
@@ -132,7 +137,8 @@ impl RunResult {
         for q in &self.queries {
             *map.entry(&q.label).or_insert(0) += q.ios_triggered;
         }
-        let mut out: Vec<(String, u64)> = map.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let mut out: Vec<(String, u64)> =
+            map.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -193,7 +199,10 @@ mod tests {
     #[test]
     fn stream_and_latency_aggregates() {
         let r = result();
-        assert_eq!(r.stream_times(), vec![SimDuration::from_secs(30), SimDuration::from_secs(20)]);
+        assert_eq!(
+            r.stream_times(),
+            vec![SimDuration::from_secs(30), SimDuration::from_secs(20)]
+        );
         assert!((r.avg_stream_time() - 25.0).abs() < 1e-9);
         assert!((r.avg_latency() - (10.0 + 20.0 + 20.0) / 3.0).abs() < 1e-9);
         assert_eq!(r.queries[0].latency(), SimDuration::from_secs(10));

@@ -61,7 +61,12 @@ pub struct Simulation {
 impl Simulation {
     /// Creates a simulation of `model` under `policy`.
     pub fn new(model: TableModel, policy: PolicyKind, config: SimConfig) -> Self {
-        Self { model, policy, config, streams: Vec::new() }
+        Self {
+            model,
+            policy,
+            config,
+            streams: Vec::new(),
+        }
     }
 
     /// Adds a stream of queries that will run back-to-back.
@@ -96,7 +101,11 @@ impl Simulation {
         let mut sim = Simulation::new(model.clone(), policy, config);
         sim.submit_stream(vec![query.clone()]);
         let result = sim.run();
-        result.queries.first().map(|q| q.latency().as_secs_f64()).unwrap_or(0.0)
+        result
+            .queries
+            .first()
+            .map(|q| q.latency().as_secs_f64())
+            .unwrap_or(0.0)
     }
 }
 
@@ -118,6 +127,9 @@ struct Runner<'a> {
     outcomes: Vec<QueryOutcome>,
     trace: IoTrace,
     disk_busy_time: SimDuration,
+    /// Reused copy of the ABM's wake-up list, so dispatching woken queries
+    /// does not hold the `complete_load` borrow (and allocates nothing).
+    wake_scratch: Vec<QueryId>,
 }
 
 impl<'a> Runner<'a> {
@@ -147,6 +159,7 @@ impl<'a> Runner<'a> {
             outcomes: Vec::new(),
             trace: IoTrace::new(),
             disk_busy_time: SimDuration::ZERO,
+            wake_scratch: Vec::new(),
         }
     }
 
@@ -157,7 +170,8 @@ impl<'a> Runner<'a> {
             self.stream_starts[i] = start;
             self.stream_ends[i] = start;
             if !stream.is_empty() {
-                self.queue.schedule(start, Event::StreamAdvance { stream: i });
+                self.queue
+                    .schedule(start, Event::StreamAdvance { stream: i });
             }
         }
 
@@ -238,13 +252,22 @@ impl<'a> Runner<'a> {
             return;
         };
         self.stream_cursor[stream] += 1;
-        let ranges =
-            spec.ranges.clone().unwrap_or_else(|| ScanRanges::full(self.model.num_chunks()));
+        let ranges = spec
+            .ranges
+            .clone()
+            .unwrap_or_else(|| ScanRanges::full(self.model.num_chunks()));
         let columns = spec.columns.unwrap_or_else(|| self.model.all_columns());
-        let id = self.abm.register_query(spec.label.clone(), ranges, columns, now);
+        let id = self
+            .abm
+            .register_query(spec.label.clone(), ranges, columns, now);
         self.active.insert(
             id,
-            ActiveQuery { stream, spec_index: index, submitted_at: now, processing: None },
+            ActiveQuery {
+                stream,
+                spec_index: index,
+                submitted_at: now,
+                processing: None,
+            },
         );
         // An empty scan (e.g. a predicate no chunk matches) finishes immediately.
         if self.abm.is_query_finished(id) {
@@ -256,18 +279,24 @@ impl<'a> Runner<'a> {
     }
 
     fn on_disk_done(&mut self, now: SimTime) {
-        let load = self.current_load.take().expect("DiskDone without an outstanding load");
-        let woken = self.abm.complete_load();
+        let load = self
+            .current_load
+            .take()
+            .expect("DiskDone without an outstanding load");
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        woken.clear();
+        woken.extend_from_slice(self.abm.complete_load());
         if self.config.record_trace {
             self.trace.record(now, load.chunk.index(), load.trigger.0);
         }
-        for q in woken {
+        for &q in &woken {
             // A woken query may still find nothing acceptable (e.g. `normal`
             // insists on in-order delivery); it simply stays blocked.
             if self.active.get(&q).is_some_and(|a| a.processing.is_none()) {
                 self.try_dispatch(now, q);
             }
         }
+        self.wake_scratch = woken;
         self.kick_disk(now);
     }
 
@@ -280,8 +309,14 @@ impl<'a> Runner<'a> {
         let Some(active) = self.active.get_mut(&query) else {
             return;
         };
-        let chunk = active.processing.take().expect("CPU completion for an idle query");
-        debug_assert!(self.cpu.is_done(job), "CPU completion fired early for {query:?}");
+        let chunk = active
+            .processing
+            .take()
+            .expect("CPU completion for an idle query");
+        debug_assert!(
+            self.cpu.is_done(job),
+            "CPU completion fired early for {query:?}"
+        );
         let spec = &self.streams[active.stream][active.spec_index];
         let work = SimDuration::from_secs_f64(spec.cpu_seconds_for(self.model.chunk_tuples(chunk)));
         self.cpu.complete_job(now, job, work);
@@ -340,7 +375,13 @@ impl<'a> Runner<'a> {
         self.cpu.advance(now);
         self.cpu_epoch += 1;
         if let Some((at, job)) = self.cpu.next_completion() {
-            self.queue.schedule(at, Event::CpuDone { job, epoch: self.cpu_epoch });
+            self.queue.schedule(
+                at,
+                Event::CpuDone {
+                    job,
+                    epoch: self.cpu_epoch,
+                },
+            );
         }
     }
 
@@ -360,7 +401,12 @@ impl<'a> Runner<'a> {
         });
         self.stream_ends[active.stream] = now;
         if self.stream_cursor[active.stream] < self.streams[active.stream].len() {
-            self.queue.schedule(now, Event::StreamAdvance { stream: active.stream });
+            self.queue.schedule(
+                now,
+                Event::StreamAdvance {
+                    stream: active.stream,
+                },
+            );
         }
     }
 }
@@ -394,7 +440,9 @@ mod tests {
         let mut sim = Simulation::new(
             small_model(),
             policy,
-            SimConfig::default().with_buffer_chunks(buffer_chunks).with_trace(true),
+            SimConfig::default()
+                .with_buffer_chunks(buffer_chunks)
+                .with_trace(true),
         );
         sim.submit_streams(streams);
         sim.run()
@@ -409,7 +457,10 @@ mod tests {
             assert_eq!(r.pages_read, 64 * 256, "{policy}");
             // ~1 GiB at ~205 MiB/s is about 5 seconds.
             let latency = r.queries[0].latency().as_secs_f64();
-            assert!(latency > 3.0 && latency < 12.0, "{policy}: latency {latency}");
+            assert!(
+                latency > 3.0 && latency < 12.0,
+                "{policy}: latency {latency}"
+            );
             assert!(r.trace.len() == 64, "{policy}");
         }
     }
@@ -427,14 +478,22 @@ mod tests {
             assert_eq!(r.queries.len(), 2);
             io.insert(policy, r.io_requests);
         }
-        for policy in [PolicyKind::Attach, PolicyKind::Elevator, PolicyKind::Relevance] {
+        for policy in [
+            PolicyKind::Attach,
+            PolicyKind::Elevator,
+            PolicyKind::Relevance,
+        ] {
             assert!(
                 io[&policy] < io[&PolicyKind::Normal],
                 "{policy}: {} vs normal {}",
                 io[&policy],
                 io[&PolicyKind::Normal]
             );
-            assert!(io[&policy] <= 110, "{policy}: sharing bound, got {}", io[&policy]);
+            assert!(
+                io[&policy] <= 110,
+                "{policy}: sharing bound, got {}",
+                io[&policy]
+            );
         }
         assert!(
             io[&PolicyKind::Normal] >= 115,
@@ -451,8 +510,20 @@ mod tests {
     fn relevance_beats_normal_on_mixed_load() {
         let mix = |i: usize| {
             vec![
-                fast("F-25", Some(ScanRanges::single((i as u32 * 7) % 40, (i as u32 * 7) % 40 + 16))),
-                slow("S-25", Some(ScanRanges::single((i as u32 * 11) % 40, (i as u32 * 11) % 40 + 16))),
+                fast(
+                    "F-25",
+                    Some(ScanRanges::single(
+                        (i as u32 * 7) % 40,
+                        (i as u32 * 7) % 40 + 16,
+                    )),
+                ),
+                slow(
+                    "S-25",
+                    Some(ScanRanges::single(
+                        (i as u32 * 11) % 40,
+                        (i as u32 * 11) % 40 + 16,
+                    )),
+                ),
             ]
         };
         let streams: Vec<Vec<QuerySpec>> = (0..6).map(mix).collect();
@@ -522,15 +593,27 @@ mod tests {
         );
         sim.submit_streams(vec![vec![very_slow.clone()], vec![very_slow]]);
         let r = sim.run();
-        assert!(r.cpu_utilization > 0.7, "cpu_utilization {}", r.cpu_utilization);
-        assert!(r.disk_utilization < 0.5, "disk_utilization {}", r.disk_utilization);
+        assert!(
+            r.cpu_utilization > 0.7,
+            "cpu_utilization {}",
+            r.cpu_utilization
+        );
+        assert!(
+            r.disk_utilization < 0.5,
+            "disk_utilization {}",
+            r.disk_utilization
+        );
         assert!(r.cpu_utilization > r.disk_utilization);
     }
 
     #[test]
     fn empty_scan_completes_immediately() {
         let mut sim = Simulation::new(small_model(), PolicyKind::Relevance, SimConfig::default());
-        sim.submit_stream(vec![QuerySpec::range_scan("empty", ScanRanges::empty(), 1e6)]);
+        sim.submit_stream(vec![QuerySpec::range_scan(
+            "empty",
+            ScanRanges::empty(),
+            1e6,
+        )]);
         let r = sim.run();
         assert_eq!(r.queries.len(), 1);
         assert_eq!(r.queries[0].chunks, 0);
@@ -557,7 +640,9 @@ mod tests {
             PolicyKind::Relevance,
             SimConfig::default().with_buffer_fraction(0.25),
         );
-        sim.submit_stream(vec![QuerySpec::full_scan("narrow", 10_000_000.0).with_columns(narrow)]);
+        sim.submit_stream(vec![
+            QuerySpec::full_scan("narrow", 10_000_000.0).with_columns(narrow)
+        ]);
         let r = sim.run();
         assert_eq!(r.io_requests, 32);
         assert_eq!(r.pages_read, 32 * 8, "only the two narrow columns are read");
@@ -566,7 +651,10 @@ mod tests {
     #[test]
     fn determinism_same_inputs_same_outputs() {
         let streams = vec![
-            vec![fast("F-50", Some(ScanRanges::single(0, 32))), slow("S-25", Some(ScanRanges::single(10, 26)))],
+            vec![
+                fast("F-50", Some(ScanRanges::single(0, 32))),
+                slow("S-25", Some(ScanRanges::single(10, 26))),
+            ],
             vec![slow("S-50", Some(ScanRanges::single(16, 48)))],
         ];
         let a = run(PolicyKind::Relevance, streams.clone(), 8);

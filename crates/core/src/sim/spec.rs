@@ -26,13 +26,23 @@ impl QuerySpec {
     /// A scan over explicit ranges with the given processing speed.
     pub fn range_scan(label: impl Into<String>, ranges: ScanRanges, tuples_per_sec: f64) -> Self {
         assert!(tuples_per_sec > 0.0, "processing speed must be positive");
-        Self { label: label.into(), ranges: Some(ranges), columns: None, tuples_per_sec }
+        Self {
+            label: label.into(),
+            ranges: Some(ranges),
+            columns: None,
+            tuples_per_sec,
+        }
     }
 
     /// A full-table scan with the given processing speed.
     pub fn full_scan(label: impl Into<String>, tuples_per_sec: f64) -> Self {
         assert!(tuples_per_sec > 0.0, "processing speed must be positive");
-        Self { label: label.into(), ranges: None, columns: None, tuples_per_sec }
+        Self {
+            label: label.into(),
+            ranges: None,
+            columns: None,
+            tuples_per_sec,
+        }
     }
 
     /// Restricts the query to a column set (DSM experiments).

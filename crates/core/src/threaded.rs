@@ -89,7 +89,9 @@ impl ScanServerBuilder {
 
     /// Sets the buffer pool size in average-sized chunks.
     pub fn buffer_chunks(mut self, chunks: u64) -> Self {
-        self.buffer_pages = (chunks as f64 * self.model.avg_chunk_pages()).ceil().max(1.0) as u64;
+        self.buffer_pages = (chunks as f64 * self.model.avg_chunk_pages())
+            .ceil()
+            .max(1.0) as u64;
         self
     }
 
@@ -124,7 +126,10 @@ impl ScanServerBuilder {
                 .spawn(move || io_thread_main(shared))
                 .expect("failed to spawn the ABM I/O thread")
         };
-        ScanServer { shared, io_thread: Some(io_thread) }
+        ScanServer {
+            shared,
+            io_thread: Some(io_thread),
+        }
     }
 }
 
@@ -142,7 +147,9 @@ fn io_thread_main(shared: Arc<Shared>) {
                     // blockForNextQuery: sleep until the inputs change.  The
                     // timeout is a belt-and-braces guard against missed
                     // wake-ups; correctness does not depend on it.
-                    shared.scheduler_wakeup.wait_for(&mut abm, Duration::from_millis(50));
+                    shared
+                        .scheduler_wakeup
+                        .wait_for(&mut abm, Duration::from_millis(50));
                     continue;
                 }
             }
@@ -191,10 +198,19 @@ impl ScanServer {
             } else {
                 plan.columns
             };
-            abm.register_query(plan.label.clone(), plan.ranges.clone(), columns, self.shared.now())
+            abm.register_query(
+                plan.label.clone(),
+                plan.ranges.clone(),
+                columns,
+                self.shared.now(),
+            )
         };
         self.shared.scheduler_wakeup.notify_all();
-        CScanHandle { shared: Arc::clone(&self.shared), query: id, finished: AtomicBool::new(false) }
+        CScanHandle {
+            shared: Arc::clone(&self.shared),
+            query: id,
+            finished: AtomicBool::new(false),
+        }
     }
 
     /// Number of chunk loads the I/O thread has completed so far.
@@ -263,7 +279,9 @@ impl CScanHandle {
                         return None;
                     }
                     // waitForChunk, with a timeout as a missed-wakeup guard.
-                    self.shared.data_available.wait_for(&mut abm, Duration::from_millis(50));
+                    self.shared
+                        .data_available
+                        .wait_for(&mut abm, Duration::from_millis(50));
                 }
             }
         }
@@ -271,7 +289,12 @@ impl CScanHandle {
 
     /// Number of chunks this scan still needs.
     pub fn remaining_chunks(&self) -> u32 {
-        self.shared.abm.lock().state().query(self.query).chunks_needed()
+        self.shared
+            .abm
+            .lock()
+            .state()
+            .query(self.query)
+            .chunks_needed()
     }
 
     /// Deregisters the scan from the ABM.  Called automatically on drop.
@@ -348,11 +371,18 @@ mod tests {
     #[test]
     fn single_scan_delivers_every_chunk_exactly_once() {
         let (server, model) = server(PolicyKind::Relevance, 20, 4);
-        let handle =
-            server.cscan(CScanPlan::new("full", ScanRanges::full(20), model.all_columns()));
+        let handle = server.cscan(CScanPlan::new(
+            "full",
+            ScanRanges::full(20),
+            model.all_columns(),
+        ));
         let mut seen = std::collections::HashSet::new();
         while let Some(guard) = handle.next_chunk() {
-            assert!(seen.insert(guard.chunk()), "chunk delivered twice: {:?}", guard.chunk());
+            assert!(
+                seen.insert(guard.chunk()),
+                "chunk delivered twice: {:?}",
+                guard.chunk()
+            );
             guard.complete();
         }
         assert_eq!(seen.len(), 20);
@@ -433,7 +463,11 @@ mod tests {
     #[test]
     fn dropping_a_guard_releases_the_chunk() {
         let (server, model) = server(PolicyKind::Relevance, 5, 2);
-        let handle = server.cscan(CScanPlan::new("g", ScanRanges::full(5), model.all_columns()));
+        let handle = server.cscan(CScanPlan::new(
+            "g",
+            ScanRanges::full(5),
+            model.all_columns(),
+        ));
         let mut count = 0;
         while let Some(guard) = handle.next_chunk() {
             // Drop instead of calling complete(); the Drop impl must release.
@@ -447,8 +481,11 @@ mod tests {
     fn finish_is_idempotent_and_runs_on_drop() {
         let (server, model) = server(PolicyKind::Attach, 4, 2);
         {
-            let handle =
-                server.cscan(CScanPlan::new("partial", ScanRanges::single(0, 2), model.all_columns()));
+            let handle = server.cscan(CScanPlan::new(
+                "partial",
+                ScanRanges::single(0, 2),
+                model.all_columns(),
+            ));
             let guard = handle.next_chunk().unwrap();
             guard.complete();
             handle.finish();
@@ -456,7 +493,11 @@ mod tests {
             // Drop also calls finish(); it must not panic.
         }
         // The server can still serve new scans afterwards.
-        let handle = server.cscan(CScanPlan::new("after", ScanRanges::single(2, 4), model.all_columns()));
+        let handle = server.cscan(CScanPlan::new(
+            "after",
+            ScanRanges::single(2, 4),
+            model.all_columns(),
+        ));
         let mut n = 0;
         while let Some(g) = handle.next_chunk() {
             g.complete();
@@ -468,7 +509,11 @@ mod tests {
     #[test]
     fn empty_plan_returns_no_chunks() {
         let (server, model) = server(PolicyKind::Relevance, 4, 2);
-        let handle = server.cscan(CScanPlan::new("empty", ScanRanges::empty(), model.all_columns()));
+        let handle = server.cscan(CScanPlan::new(
+            "empty",
+            ScanRanges::empty(),
+            model.all_columns(),
+        ));
         assert!(handle.next_chunk().is_none());
     }
 
@@ -480,7 +525,11 @@ mod tests {
             .buffer_chunks(2)
             .io_cost_per_page(Duration::from_micros(10))
             .build();
-        let handle = server.cscan(CScanPlan::new("t", ScanRanges::full(6), model.all_columns()));
+        let handle = server.cscan(CScanPlan::new(
+            "t",
+            ScanRanges::full(6),
+            model.all_columns(),
+        ));
         let mut n = 0;
         while let Some(g) = handle.next_chunk() {
             g.complete();

@@ -62,7 +62,12 @@ impl SharedCpu {
     /// Panics if `cores` is zero.
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "a CPU needs at least one core");
-        Self { cores, jobs: HashMap::new(), last_update: SimTime::ZERO, stats: CpuStats::default() }
+        Self {
+            cores,
+            jobs: HashMap::new(),
+            last_update: SimTime::ZERO,
+            stats: CpuStats::default(),
+        }
     }
 
     /// Number of cores.
@@ -121,14 +126,21 @@ impl SharedCpu {
     /// Panics if the job id is already present.
     pub fn add_job(&mut self, now: SimTime, id: JobId, work: SimDuration) {
         self.advance(now);
-        let prev = self.jobs.insert(id, Job { remaining: work.as_micros() as f64 });
+        let prev = self.jobs.insert(
+            id,
+            Job {
+                remaining: work.as_micros() as f64,
+            },
+        );
         assert!(prev.is_none(), "job {id:?} added twice");
     }
 
     /// Removes a job (whether finished or not), returning its remaining demand.
     pub fn remove_job(&mut self, now: SimTime, id: JobId) -> Option<SimDuration> {
         self.advance(now);
-        self.jobs.remove(&id).map(|j| SimDuration::from_micros(j.remaining.round() as u64))
+        self.jobs
+            .remove(&id)
+            .map(|j| SimDuration::from_micros(j.remaining.round() as u64))
     }
 
     /// True if the job exists and has (almost) no work left.
@@ -142,8 +154,15 @@ impl SharedCpu {
     /// Panics if the job does not exist.
     pub fn complete_job(&mut self, now: SimTime, id: JobId, original_work: SimDuration) {
         self.advance(now);
-        let job = self.jobs.remove(&id).unwrap_or_else(|| panic!("completing unknown job {id:?}"));
-        debug_assert!(job.remaining < 1.0, "job {id:?} completed with {}us left", job.remaining);
+        let job = self
+            .jobs
+            .remove(&id)
+            .unwrap_or_else(|| panic!("completing unknown job {id:?}"));
+        debug_assert!(
+            job.remaining < 1.0,
+            "job {id:?} completed with {}us left",
+            job.remaining
+        );
         self.stats.completed_work += original_work;
         self.stats.jobs_completed += 1;
     }

@@ -30,7 +30,10 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest time (then the
         // lowest sequence number) pops first.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -53,7 +56,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The time of the most recently popped event (the simulation's "now").
@@ -84,7 +91,11 @@ impl<E> EventQueue<E> {
             self.now
         );
         let time = time.max(self.now);
-        self.heap.push(Entry { time, seq: self.seq, event });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 
@@ -138,7 +149,11 @@ mod tests {
         q.pop();
         assert_eq!(q.now(), SimTime::from_secs(4));
         assert!(q.pop().is_none());
-        assert_eq!(q.now(), SimTime::from_secs(4), "now is preserved after drain");
+        assert_eq!(
+            q.now(),
+            SimTime::from_secs(4),
+            "now is preserved after drain"
+        );
     }
 
     #[test]

@@ -42,16 +42,19 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
@@ -98,12 +101,14 @@ impl Expr {
             Expr::Lt(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| (x < y) as Value),
             Expr::Le(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| (x <= y) as Value),
             Expr::Ge(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| (x >= y) as Value),
-            Expr::And(a, b) => {
-                binary(a.eval(chunk), b.eval(chunk), |x, y| ((x != 0) && (y != 0)) as Value)
-            }
-            Expr::Between(e, lo, hi) => {
-                e.eval(chunk).into_iter().map(|v| (v >= *lo && v <= *hi) as Value).collect()
-            }
+            Expr::And(a, b) => binary(a.eval(chunk), b.eval(chunk), |x, y| {
+                ((x != 0) && (y != 0)) as Value
+            }),
+            Expr::Between(e, lo, hi) => e
+                .eval(chunk)
+                .into_iter()
+                .map(|v| (v >= *lo && v <= *hi) as Value)
+                .collect(),
         }
     }
 
@@ -124,13 +129,19 @@ mod tests {
     use cscan_storage::ChunkId;
 
     fn chunk() -> DataChunk {
-        DataChunk::new(ChunkId::new(0), vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]])
+        DataChunk::new(
+            ChunkId::new(0),
+            vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]],
+        )
     }
 
     #[test]
     fn arithmetic() {
         let c = chunk();
-        assert_eq!(Expr::col(0).add(Expr::col(1)).eval(&c), vec![11, 22, 33, 44]);
+        assert_eq!(
+            Expr::col(0).add(Expr::col(1)).eval(&c),
+            vec![11, 22, 33, 44]
+        );
         assert_eq!(Expr::col(1).sub(Expr::lit(5)).eval(&c), vec![5, 15, 25, 35]);
         assert_eq!(Expr::col(0).mul(Expr::lit(3)).eval(&c), vec![3, 6, 9, 12]);
         assert_eq!(Expr::lit(7).eval(&c), vec![7, 7, 7, 7]);
@@ -143,7 +154,9 @@ mod tests {
         assert_eq!(Expr::col(0).le(Expr::lit(3)).eval(&c), vec![1, 1, 1, 0]);
         assert_eq!(Expr::col(0).ge(Expr::lit(3)).eval(&c), vec![0, 0, 1, 1]);
         assert_eq!(Expr::col(0).eq(Expr::lit(2)).eval(&c), vec![0, 1, 0, 0]);
-        let both = Expr::col(0).ge(Expr::lit(2)).and(Expr::col(1).lt(Expr::lit(40)));
+        let both = Expr::col(0)
+            .ge(Expr::lit(2))
+            .and(Expr::col(1).lt(Expr::lit(40)));
         assert_eq!(both.eval(&c), vec![0, 1, 1, 0]);
         assert_eq!(both.eval_mask(&c), vec![false, true, true, false]);
     }

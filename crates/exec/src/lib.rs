@@ -25,8 +25,8 @@ pub mod vector;
 pub use expr::Expr;
 pub use ops::aggregate::{AggFunc, ChunkOrderedAggregate, HashAggregate};
 pub use ops::join::{merge_join, CooperativeMergeJoin};
+pub use ops::project::Project;
 pub use ops::scan::{ChunkSource, Operator};
 pub use ops::select::Filter;
-pub use ops::project::Project;
 pub use table::MemTable;
 pub use vector::{DataChunk, Value};

@@ -36,7 +36,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        Self { sum: 0, count: 0, min: Value::MAX, max: Value::MIN }
+        Self {
+            sum: 0,
+            count: 0,
+            min: Value::MAX,
+            max: Value::MIN,
+        }
     }
 
     fn update(&mut self, v: Value) {
@@ -64,7 +69,10 @@ struct GroupState {
 
 impl GroupState {
     fn new(num_aggs: usize) -> Self {
-        Self { states: vec![AggState::new(); num_aggs], rows: 0 }
+        Self {
+            states: vec![AggState::new(); num_aggs],
+            rows: 0,
+        }
     }
 
     fn update(&mut self, funcs: &[AggFunc], chunk: &DataChunk, row: usize) {
@@ -100,7 +108,11 @@ impl GroupState {
     }
 }
 
-fn emit_groups(groups: BTreeMap<Vec<Value>, GroupState>, funcs: &[AggFunc], key_width: usize) -> DataChunk {
+fn emit_groups(
+    groups: BTreeMap<Vec<Value>, GroupState>,
+    funcs: &[AggFunc],
+    key_width: usize,
+) -> DataChunk {
     let mut columns: Vec<Vec<Value>> = vec![Vec::new(); key_width + funcs.len()];
     for (key, state) in groups {
         for (i, k) in key.iter().enumerate() {
@@ -127,8 +139,16 @@ pub struct HashAggregate<O> {
 impl<O: Operator> HashAggregate<O> {
     /// Creates an aggregation of `funcs` grouped by `key_cols` over `input`.
     pub fn new(input: O, key_cols: Vec<usize>, funcs: Vec<AggFunc>) -> Self {
-        assert!(!funcs.is_empty(), "an aggregation needs at least one aggregate");
-        Self { input, key_cols, funcs, done: false }
+        assert!(
+            !funcs.is_empty(),
+            "an aggregation needs at least one aggregate"
+        );
+        Self {
+            input,
+            key_cols,
+            funcs,
+            done: false,
+        }
     }
 }
 
@@ -141,7 +161,11 @@ impl<O: Operator> Operator for HashAggregate<O> {
         let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
         while let Some(chunk) = self.input.next() {
             for row in 0..chunk.len() {
-                let key: Vec<Value> = self.key_cols.iter().map(|&c| chunk.column(c)[row]).collect();
+                let key: Vec<Value> = self
+                    .key_cols
+                    .iter()
+                    .map(|&c| chunk.column(c)[row])
+                    .collect();
                 groups
                     .entry(key)
                     .or_insert_with(|| GroupState::new(self.funcs.len()))
@@ -174,8 +198,18 @@ pub struct ChunkOrderedAggregate<O> {
 impl<O: Operator> ChunkOrderedAggregate<O> {
     /// Creates the operator; `key_col` is the clustering key column.
     pub fn new(input: O, key_col: usize, funcs: Vec<AggFunc>) -> Self {
-        assert!(!funcs.is_empty(), "an aggregation needs at least one aggregate");
-        Self { input, key_col, funcs, pending: BTreeMap::new(), boundary_merges: 0, flushed: false }
+        assert!(
+            !funcs.is_empty(),
+            "an aggregation needs at least one aggregate"
+        );
+        Self {
+            input,
+            key_col,
+            funcs,
+            pending: BTreeMap::new(),
+            boundary_merges: 0,
+            flushed: false,
+        }
     }
 
     /// Number of border groups currently parked, waiting for neighbours.
@@ -280,8 +314,11 @@ mod tests {
         let flag = t.column_index("l_returnflag").unwrap();
         let qty = t.column_index("l_quantity").unwrap();
         let src = ChunkSource::in_order(&t, vec![flag, qty]);
-        let mut agg =
-            HashAggregate::new(src, vec![0], vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)]);
+        let mut agg = HashAggregate::new(
+            src,
+            vec![0],
+            vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)],
+        );
         let out = agg.next().unwrap();
         assert!(agg.next().is_none());
         // Three return-flag codes.
@@ -306,8 +343,10 @@ mod tests {
             agg.next().unwrap()
         };
         // Out-of-order delivery, as relevance would produce it.
-        let order: Vec<ChunkId> =
-            [5u32, 0, 7, 2, 6, 8, 1, 3, 4].iter().map(|&c| ChunkId::new(c)).collect();
+        let order: Vec<ChunkId> = [5u32, 0, 7, 2, 6, 8, 1, 3, 4]
+            .iter()
+            .map(|&c| ChunkId::new(c))
+            .collect();
         let src = ChunkSource::new(&t, vec![key, price], order);
         let mut agg = ChunkOrderedAggregate::new(src, 0, vec![AggFunc::Count, AggFunc::Sum(1)]);
         let out = collect(&mut agg);
@@ -315,10 +354,15 @@ mod tests {
         // Both are ordered by key within their batches; collect() concatenates
         // interleaved batches, so compare as maps.
         let to_map = |c: &DataChunk| -> std::collections::HashMap<i64, (i64, i64)> {
-            (0..c.len()).map(|i| (c.column(0)[i], (c.column(1)[i], c.column(2)[i]))).collect()
+            (0..c.len())
+                .map(|i| (c.column(0)[i], (c.column(1)[i], c.column(2)[i])))
+                .collect()
         };
         assert_eq!(to_map(&out), to_map(&reference));
-        assert!(agg.boundary_merges() > 0, "orders straddle chunk boundaries in this data");
+        assert!(
+            agg.boundary_merges() > 0,
+            "orders straddle chunk boundaries in this data"
+        );
     }
 
     #[test]
@@ -330,7 +374,10 @@ mod tests {
         // The very first call must already produce interior groups of chunk 0
         // while later chunks have not been read yet.
         let first = agg.next().unwrap();
-        assert!(first.len() > 100, "chunk 0 has ~250 orders, most of them interior");
+        assert!(
+            first.len() > 100,
+            "chunk 0 has ~250 orders, most of them interior"
+        );
         assert!(agg.pending_border_groups() >= 1);
     }
 
@@ -339,7 +386,10 @@ mod tests {
         // A table where each chunk holds exactly one key and consecutive
         // chunks share it: the hardest case for boundary stitching.
         let columns: Vec<(String, crate::table::ColumnGen)> = vec![
-            ("k".into(), std::sync::Arc::new(|row: u64| (row / 2_000) as i64)),
+            (
+                "k".into(),
+                std::sync::Arc::new(|row: u64| (row / 2_000) as i64),
+            ),
             ("v".into(), std::sync::Arc::new(|_| 1i64)),
         ];
         let t = MemTable::new(columns, 8_000, 1_000);

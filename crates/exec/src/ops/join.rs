@@ -24,8 +24,14 @@ pub fn merge_join(
 ) -> DataChunk {
     let lk = left.column(left_key);
     let rk = right.column(right_key);
-    debug_assert!(lk.windows(2).all(|w| w[0] <= w[1]), "left input not sorted on join key");
-    debug_assert!(rk.windows(2).all(|w| w[0] <= w[1]), "right input not sorted on join key");
+    debug_assert!(
+        lk.windows(2).all(|w| w[0] <= w[1]),
+        "left input not sorted on join key"
+    );
+    debug_assert!(
+        rk.windows(2).all(|w| w[0] <= w[1]),
+        "right input not sorted on join key"
+    );
 
     let left_payload: Vec<usize> = (0..left.width()).filter(|&c| c != left_key).collect();
     let right_payload: Vec<usize> = (0..right.width()).filter(|&c| c != right_key).collect();
@@ -98,8 +104,20 @@ impl<'a> CooperativeMergeJoin<'a> {
             inner.num_chunks(),
             "cooperative merge join requires chunk-aligned clustered tables"
         );
-        assert!(outer_key < outer_cols.len() && inner_key < inner_cols.len(), "key index out of range");
-        Self { outer, inner, outer_cols, inner_cols, outer_key, inner_key, order, position: 0 }
+        assert!(
+            outer_key < outer_cols.len() && inner_key < inner_cols.len(),
+            "key index out of range"
+        );
+        Self {
+            outer,
+            inner,
+            outer_cols,
+            inner_cols,
+            outer_key,
+            inner_key,
+            order,
+            position: 0,
+        }
     }
 
     /// Convenience constructor joining in table order.
@@ -112,7 +130,9 @@ impl<'a> CooperativeMergeJoin<'a> {
         inner_key: usize,
     ) -> Self {
         let order = (0..outer.num_chunks()).map(ChunkId::new).collect();
-        Self::new(outer, inner, outer_cols, outer_key, inner_cols, inner_key, order)
+        Self::new(
+            outer, inner, outer_cols, outer_key, inner_cols, inner_key, order,
+        )
     }
 }
 
@@ -177,7 +197,12 @@ mod tests {
         ];
         let reference = {
             let mut join = CooperativeMergeJoin::in_order(
-                &lineitem, &orders, l_cols.clone(), 0, o_cols.clone(), 0,
+                &lineitem,
+                &orders,
+                l_cols.clone(),
+                0,
+                o_cols.clone(),
+                0,
             );
             collect(&mut join)
         };

@@ -16,7 +16,10 @@ impl<O: Operator> Project<O> {
     /// # Panics
     /// Panics if the expression list is empty.
     pub fn new(input: O, exprs: Vec<Expr>) -> Self {
-        assert!(!exprs.is_empty(), "a projection needs at least one expression");
+        assert!(
+            !exprs.is_empty(),
+            "a projection needs at least one expression"
+        );
         Self { input, exprs }
     }
 }

@@ -30,8 +30,16 @@ impl<'a> ChunkSource<'a> {
     /// # Panics
     /// Panics if any column index is out of range.
     pub fn new(table: &'a MemTable, columns: Vec<usize>, order: Vec<ChunkId>) -> Self {
-        assert!(columns.iter().all(|&c| c < table.width()), "column index out of range");
-        Self { table, columns, order, position: 0 }
+        assert!(
+            columns.iter().all(|&c| c < table.width()),
+            "column index out of range"
+        );
+        Self {
+            table,
+            columns,
+            order,
+            position: 0,
+        }
     }
 
     /// A source delivering chunks in table order (like a traditional Scan).
@@ -47,7 +55,11 @@ impl<'a> ChunkSource<'a> {
     pub fn with_names(table: &'a MemTable, names: &[&str], order: Vec<ChunkId>) -> Self {
         let columns = names
             .iter()
-            .map(|n| table.column_index(n).unwrap_or_else(|| panic!("unknown column {n:?}")))
+            .map(|n| {
+                table
+                    .column_index(n)
+                    .unwrap_or_else(|| panic!("unknown column {n:?}"))
+            })
             .collect();
         Self::new(table, columns, order)
     }

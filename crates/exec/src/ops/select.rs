@@ -35,8 +35,8 @@ impl<O: Operator> Operator for Filter<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::scan::ChunkSource;
     use crate::ops::collect;
+    use crate::ops::scan::ChunkSource;
     use crate::table::MemTable;
 
     #[test]

@@ -36,15 +36,19 @@ impl MemTable {
     ///
     /// # Panics
     /// Panics if no columns are given or the geometry is degenerate.
-    pub fn new(
-        columns: Vec<(String, ColumnGen)>,
-        num_tuples: u64,
-        tuples_per_chunk: u64,
-    ) -> Self {
+    pub fn new(columns: Vec<(String, ColumnGen)>, num_tuples: u64, tuples_per_chunk: u64) -> Self {
         assert!(!columns.is_empty(), "a table needs at least one column");
-        assert!(num_tuples > 0 && tuples_per_chunk > 0, "degenerate table geometry");
+        assert!(
+            num_tuples > 0 && tuples_per_chunk > 0,
+            "degenerate table geometry"
+        );
         let (names, generators) = columns.into_iter().unzip();
-        Self { names, generators, tuples_per_chunk, num_tuples }
+        Self {
+            names,
+            generators,
+            tuples_per_chunk,
+            num_tuples,
+        }
     }
 
     /// Column names in declaration order.
@@ -84,7 +88,10 @@ impl MemTable {
     /// # Panics
     /// Panics if the chunk is out of range or a column index is invalid.
     pub fn read_chunk(&self, chunk: ChunkId, columns: &[usize]) -> DataChunk {
-        assert!(chunk.index() < self.num_chunks(), "chunk {chunk:?} out of range");
+        assert!(
+            chunk.index() < self.num_chunks(),
+            "chunk {chunk:?} out of range"
+        );
         let (start, end) = self.chunk_rows(chunk);
         let data = columns
             .iter()
@@ -120,15 +127,30 @@ impl MemTable {
         let columns: Vec<(String, ColumnGen)> = vec![
             // Clustered key: roughly 4 lineitems per order.
             ("l_orderkey".into(), Arc::new(|row| (row / 4) as Value)),
-            ("l_quantity".into(), Arc::new(|row| (mix(row, 1) % 50 + 1) as Value)),
-            ("l_extendedprice".into(), Arc::new(|row| (mix(row, 2) % 100_000 + 1_000) as Value)),
+            (
+                "l_quantity".into(),
+                Arc::new(|row| (mix(row, 1) % 50 + 1) as Value),
+            ),
+            (
+                "l_extendedprice".into(),
+                Arc::new(|row| (mix(row, 2) % 100_000 + 1_000) as Value),
+            ),
             // Discount in hundredths: 0..=10 (i.e. 0.00 to 0.10).
-            ("l_discount".into(), Arc::new(|row| (mix(row, 3) % 11) as Value)),
+            (
+                "l_discount".into(),
+                Arc::new(|row| (mix(row, 3) % 11) as Value),
+            ),
             // Ship date as days since 1992-01-01, spanning ~7 years,
             // correlated with the order key (later orders ship later).
-            ("l_shipdate".into(), Arc::new(move |row| ((row / 4) % 2500 + mix(row, 4) % 60) as Value)),
+            (
+                "l_shipdate".into(),
+                Arc::new(move |row| ((row / 4) % 2500 + mix(row, 4) % 60) as Value),
+            ),
             // Return flag dictionary code: 0=A, 1=N, 2=R.
-            ("l_returnflag".into(), Arc::new(|row| (mix(row, 5) % 3) as Value)),
+            (
+                "l_returnflag".into(),
+                Arc::new(|row| (mix(row, 5) % 3) as Value),
+            ),
         ];
         Self::new(columns, num_tuples, tuples_per_chunk)
     }

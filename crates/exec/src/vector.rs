@@ -39,7 +39,10 @@ impl DataChunk {
 
     /// An empty chunk with `width` columns.
     pub fn empty(chunk: ChunkId, width: usize) -> Self {
-        Self { chunk, columns: vec![Vec::new(); width] }
+        Self {
+            chunk,
+            columns: vec![Vec::new(); width],
+        }
     }
 
     /// Number of rows.
@@ -88,8 +91,12 @@ impl DataChunk {
     /// Panics if the mask length differs from the row count.
     pub fn filter(&self, mask: &[bool]) -> DataChunk {
         assert_eq!(mask.len(), self.len(), "selection mask length mismatch");
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &keep)| keep).map(|(i, _)| i).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &keep)| keep)
+            .map(|(i, _)| i)
+            .collect();
         self.take(&indices)
     }
 }
@@ -99,7 +106,10 @@ mod tests {
     use super::*;
 
     fn chunk() -> DataChunk {
-        DataChunk::new(ChunkId::new(3), vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]])
+        DataChunk::new(
+            ChunkId::new(3),
+            vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]],
+        )
     }
 
     #[test]

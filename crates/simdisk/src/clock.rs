@@ -112,7 +112,10 @@ impl SimDuration {
 
     /// Scales the duration by a non-negative factor, rounding to the nearest microsecond.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        debug_assert!(factor >= 0.0, "durations cannot be scaled by negative factors");
+        debug_assert!(
+            factor >= 0.0,
+            "durations cannot be scaled by negative factors"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -221,7 +224,12 @@ impl VirtualClock {
 
     /// Advances the clock to `t`. `t` must not be earlier than the current time.
     pub fn advance_to(&mut self, t: SimTime) {
-        debug_assert!(t >= self.now, "virtual clock moved backwards: {:?} -> {:?}", self.now, t);
+        debug_assert!(
+            t >= self.now,
+            "virtual clock moved backwards: {:?} -> {:?}",
+            self.now,
+            t
+        );
         if t > self.now {
             self.now = t;
         }

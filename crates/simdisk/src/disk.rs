@@ -36,12 +36,20 @@ pub struct IoRequest {
 impl IoRequest {
     /// Convenience constructor for a chunk-sized read.
     pub fn chunk_read(offset: u64, len: u64) -> Self {
-        Self { offset, len, kind: IoKind::ChunkRead }
+        Self {
+            offset,
+            len,
+            kind: IoKind::ChunkRead,
+        }
     }
 
     /// Convenience constructor for a page-sized read.
     pub fn page_read(offset: u64, len: u64) -> Self {
-        Self { offset, len, kind: IoKind::PageRead }
+        Self {
+            offset,
+            len,
+            kind: IoKind::PageRead,
+        }
     }
 
     /// The first byte past the end of this request.
@@ -108,7 +116,11 @@ impl DiskModel {
     /// Service time for a request, given whether it continues sequentially
     /// from the previous head position.
     pub fn service_time(&self, req: &IoRequest, sequential: bool) -> SimDuration {
-        let positional = if sequential { self.sequential_overhead } else { self.avg_seek };
+        let positional = if sequential {
+            self.sequential_overhead
+        } else {
+            self.avg_seek
+        };
         positional + self.transfer_time(req.len)
     }
 }
@@ -171,7 +183,12 @@ pub struct Disk {
 impl Disk {
     /// Creates a disk with the given model, head parked at offset zero.
     pub fn new(model: DiskModel) -> Self {
-        Self { model, head_pos: 0, free_at: SimTime::ZERO, stats: DiskStats::default() }
+        Self {
+            model,
+            head_pos: 0,
+            free_at: SimTime::ZERO,
+            stats: DiskStats::default(),
+        }
     }
 
     /// The model parameters of this disk.
@@ -229,7 +246,11 @@ impl Disk {
             IoKind::Write => {}
         }
 
-        IoResult { completed_at, service_time: service, seeked: !sequential }
+        IoResult {
+            completed_at,
+            service_time: service,
+            seeked: !sequential,
+        }
     }
 }
 
@@ -277,10 +298,16 @@ mod tests {
         let r1 = d.submit(SimTime::ZERO, IoRequest::chunk_read(0, 100 * MIB));
         assert_eq!(r1.completed_at, SimTime::from_secs(1));
         // Issued while busy: starts only at 1s.
-        let r2 = d.submit(SimTime::from_millis(100), IoRequest::chunk_read(100 * MIB, 100 * MIB));
+        let r2 = d.submit(
+            SimTime::from_millis(100),
+            IoRequest::chunk_read(100 * MIB, 100 * MIB),
+        );
         assert_eq!(r2.completed_at, SimTime::from_secs(2));
         // Issued long after the device went idle: starts immediately.
-        let r3 = d.submit(SimTime::from_secs(10), IoRequest::chunk_read(200 * MIB, 100 * MIB));
+        let r3 = d.submit(
+            SimTime::from_secs(10),
+            IoRequest::chunk_read(200 * MIB, 100 * MIB),
+        );
         assert_eq!(r3.completed_at, SimTime::from_secs(11));
     }
 
@@ -297,8 +324,14 @@ mod tests {
         let page_seq = m.service_time(&IoRequest::page_read(0, page), true);
         let chunk_penalty = chunk_random.as_secs_f64() / chunk_seq.as_secs_f64();
         let page_penalty = page_random.as_secs_f64() / page_seq.as_secs_f64();
-        assert!(chunk_penalty < 1.05, "chunk random I/O should be within 5% of sequential, got {chunk_penalty}");
-        assert!(page_penalty > 3.0, "page random I/O should be dominated by seeks, got {page_penalty}");
+        assert!(
+            chunk_penalty < 1.05,
+            "chunk random I/O should be within 5% of sequential, got {chunk_penalty}"
+        );
+        assert!(
+            page_penalty > 3.0,
+            "page random I/O should be dominated by seeks, got {page_penalty}"
+        );
     }
 
     #[test]
@@ -316,8 +349,18 @@ mod tests {
     fn io_kind_counters() {
         let mut d = Disk::new(model_100mbps());
         d.submit(SimTime::ZERO, IoRequest::chunk_read(0, MIB));
-        d.submit(SimTime::ZERO, IoRequest::page_read(5 * MIB, 64 * crate::KIB));
-        d.submit(SimTime::ZERO, IoRequest { offset: 0, len: MIB, kind: IoKind::Write });
+        d.submit(
+            SimTime::ZERO,
+            IoRequest::page_read(5 * MIB, 64 * crate::KIB),
+        );
+        d.submit(
+            SimTime::ZERO,
+            IoRequest {
+                offset: 0,
+                len: MIB,
+                kind: IoKind::Write,
+            },
+        );
         assert_eq!(d.stats().chunk_reads, 1);
         assert_eq!(d.stats().page_reads, 1);
         assert_eq!(d.stats().requests, 3);

@@ -25,7 +25,11 @@ pub struct RaidConfig {
 
 impl Default for RaidConfig {
     fn default() -> Self {
-        Self { spindles: 4, stripe_unit: 1 * crate::MIB, disk: DiskModel::default() }
+        Self {
+            spindles: 4,
+            stripe_unit: crate::MIB,
+            disk: DiskModel::default(),
+        }
     }
 }
 
@@ -42,9 +46,14 @@ impl RaidArray {
     /// # Panics
     /// Panics if the configuration has zero spindles or a zero stripe unit.
     pub fn new(config: RaidConfig) -> Self {
-        assert!(config.spindles > 0, "a RAID array needs at least one spindle");
+        assert!(
+            config.spindles > 0,
+            "a RAID array needs at least one spindle"
+        );
         assert!(config.stripe_unit > 0, "stripe unit must be positive");
-        let disks = (0..config.spindles).map(|_| Disk::new(config.disk)).collect();
+        let disks = (0..config.spindles)
+            .map(|_| Disk::new(config.disk))
+            .collect();
         Self { config, disks }
     }
 
@@ -76,7 +85,14 @@ impl RaidArray {
             let len = stripe_end.min(end) - offset;
             // Physical position on the spindle: which of "its" stripes this is.
             let physical_offset = (stripe_index / n) * unit + (offset % unit);
-            out.push((spindle, IoRequest { offset: physical_offset, len, kind: req.kind }));
+            out.push((
+                spindle,
+                IoRequest {
+                    offset: physical_offset,
+                    len,
+                    kind: req.kind,
+                },
+            ));
             offset += len;
         }
         out
@@ -94,7 +110,11 @@ impl RaidArray {
             completed_at = completed_at.max(res.completed_at);
             seeked |= res.seeked;
         }
-        IoResult { completed_at, service_time: completed_at - issue_time, seeked }
+        IoResult {
+            completed_at,
+            service_time: completed_at - issue_time,
+            seeked,
+        }
     }
 
     /// Aggregated statistics across all spindles.
@@ -180,10 +200,13 @@ mod tests {
     fn small_read_is_bound_by_one_spindle() {
         let mut raid = RaidArray::new(config());
         // A 64 KiB page hits a single spindle; dominated by that spindle's seek.
-        let res = raid.submit(SimTime::from_secs(1), IoRequest::page_read(10 * MIB + 5, 64 * KIB));
+        let res = raid.submit(
+            SimTime::from_secs(1),
+            IoRequest::page_read(10 * MIB + 5, 64 * KIB),
+        );
         assert!(res.seeked);
         let ms = res.service_time.as_millis_f64();
-        assert!(ms >= 8.0 && ms < 12.0, "expected ~8-10ms, got {ms}ms");
+        assert!((8.0..12.0).contains(&ms), "expected ~8-10ms, got {ms}ms");
         assert_eq!(raid.stats().requests, 1);
     }
 
@@ -191,8 +214,14 @@ mod tests {
     fn sequential_chunk_stream_remains_sequential_per_spindle() {
         let mut raid = RaidArray::new(config());
         raid.submit(SimTime::ZERO, IoRequest::chunk_read(0, 16 * MIB));
-        let r2 = raid.submit(SimTime::from_secs(10), IoRequest::chunk_read(16 * MIB, 16 * MIB));
-        assert!(!r2.seeked, "continuing the stream should not seek on any spindle");
+        let r2 = raid.submit(
+            SimTime::from_secs(10),
+            IoRequest::chunk_read(16 * MIB, 16 * MIB),
+        );
+        assert!(
+            !r2.seeked,
+            "continuing the stream should not seek on any spindle"
+        );
         let stats = raid.stats();
         assert_eq!(stats.seeks, 0);
         assert_eq!(stats.bytes, 32 * MIB);

@@ -74,7 +74,12 @@ impl IoTrace {
         let mut out = String::with_capacity(self.events.len() * 24);
         out.push_str("# time_s\tchunk\tquery\n");
         for e in &self.events {
-            out.push_str(&format!("{:.3}\t{}\t{}\n", e.time.as_secs_f64(), e.chunk, e.query));
+            out.push_str(&format!(
+                "{:.3}\t{}\t{}\n",
+                e.time.as_secs_f64(),
+                e.chunk,
+                e.query
+            ));
         }
         out
     }
@@ -154,7 +159,7 @@ mod tests {
         assert_eq!(lines.len(), 10);
         assert!(lines.iter().all(|l| l.len() == 40));
         let stars: usize = plot.matches('*').count();
-        assert!(stars >= 1 && stars <= 3);
+        assert!((1..=3).contains(&stars));
     }
 
     #[test]

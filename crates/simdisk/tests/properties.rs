@@ -15,7 +15,7 @@ proptest! {
         let mut disk = Disk::new(DiskModel::default());
         let mut now = SimTime::ZERO;
         for i in 0..offsets.len().min(lens.len()).min(gaps.len()) {
-            now = now + SimDuration::from_micros(gaps[i]);
+            now += SimDuration::from_micros(gaps[i]);
             let req = IoRequest::chunk_read(offsets[i], lens[i]);
             let res = disk.submit(now, req);
             prop_assert!(res.completed_at >= now);

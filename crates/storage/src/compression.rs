@@ -12,9 +12,10 @@ use crate::schema::ColumnType;
 use serde::{Deserialize, Serialize};
 
 /// On-disk compression scheme of a column, reduced to its effect on width.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum Compression {
     /// Stored uncompressed at the type's natural width.
+    #[default]
     None,
     /// Dictionary encoding (PDICT): each value stored as a `bits`-wide code.
     Dictionary {
@@ -47,11 +48,16 @@ impl Compression {
         match *self {
             Compression::None => natural_bits,
             Compression::Dictionary { bits } => (bits as u32).min(natural_bits),
-            Compression::Pfor { bits, exception_rate }
-            | Compression::PforDelta { bits, exception_rate } => {
+            Compression::Pfor {
+                bits,
+                exception_rate,
+            }
+            | Compression::PforDelta {
+                bits,
+                exception_rate,
+            } => {
                 let rate = exception_rate.clamp(0.0, 1.0) as f64;
-                let avg =
-                    bits as f64 + rate * natural_bits as f64;
+                let avg = bits as f64 + rate * natural_bits as f64;
                 (avg.ceil() as u32).min(natural_bits)
             }
         }
@@ -71,18 +77,27 @@ impl Compression {
     /// uncompressed string.
     pub fn figure9_examples() -> Vec<(&'static str, Compression)> {
         vec![
-            ("orderkey: PFOR-DELTA 3-bit", Compression::PforDelta { bits: 3, exception_rate: 0.02 }),
-            ("partkey: PFOR 21-bit", Compression::Pfor { bits: 21, exception_rate: 0.02 }),
-            ("returnflag: PDICT 2-bit", Compression::Dictionary { bits: 2 }),
+            (
+                "orderkey: PFOR-DELTA 3-bit",
+                Compression::PforDelta {
+                    bits: 3,
+                    exception_rate: 0.02,
+                },
+            ),
+            (
+                "partkey: PFOR 21-bit",
+                Compression::Pfor {
+                    bits: 21,
+                    exception_rate: 0.02,
+                },
+            ),
+            (
+                "returnflag: PDICT 2-bit",
+                Compression::Dictionary { bits: 2 },
+            ),
             ("extendedprice: none (decimal 64)", Compression::None),
             ("comment: none (str 256-bit)", Compression::None),
         ]
-    }
-}
-
-impl Default for Compression {
-    fn default() -> Self {
-        Compression::None
     }
 }
 
@@ -107,16 +122,25 @@ mod tests {
 
     #[test]
     fn pfor_accounts_for_exceptions() {
-        let no_exc = Compression::Pfor { bits: 21, exception_rate: 0.0 };
+        let no_exc = Compression::Pfor {
+            bits: 21,
+            exception_rate: 0.0,
+        };
         assert_eq!(no_exc.physical_bits(ColumnType::Int64), 21);
-        let with_exc = Compression::Pfor { bits: 21, exception_rate: 0.1 };
+        let with_exc = Compression::Pfor {
+            bits: 21,
+            exception_rate: 0.1,
+        };
         // 21 + 0.1*64 = 27.4 -> 28 bits.
         assert_eq!(with_exc.physical_bits(ColumnType::Int64), 28);
     }
 
     #[test]
     fn compression_never_expands() {
-        let silly = Compression::Pfor { bits: 60, exception_rate: 1.0 };
+        let silly = Compression::Pfor {
+            bits: 60,
+            exception_rate: 1.0,
+        };
         assert_eq!(silly.physical_bits(ColumnType::Int32), 32);
         let dict = Compression::Dictionary { bits: 200 };
         assert_eq!(dict.physical_bits(ColumnType::Char), 8);
@@ -124,9 +148,12 @@ mod tests {
 
     #[test]
     fn pfor_delta_is_typically_tiny() {
-        let c = Compression::PforDelta { bits: 3, exception_rate: 0.02 };
+        let c = Compression::PforDelta {
+            bits: 3,
+            exception_rate: 0.02,
+        };
         let bits = c.physical_bits(ColumnType::Int64);
-        assert!(bits >= 3 && bits <= 6, "got {bits}");
+        assert!((3..=6).contains(&bits), "got {bits}");
     }
 
     #[test]
@@ -135,14 +162,23 @@ mod tests {
         assert_eq!(examples.len(), 5);
         // orderkey compresses dramatically, comment not at all.
         assert!(examples[0].1.ratio(ColumnType::Int64) < 0.1);
-        assert_eq!(examples[4].1.ratio(ColumnType::Varchar { avg_len: 32 }), 1.0);
+        assert_eq!(
+            examples[4].1.ratio(ColumnType::Varchar { avg_len: 32 }),
+            1.0
+        );
     }
 
     #[test]
     fn exception_rate_is_clamped() {
-        let c = Compression::Pfor { bits: 8, exception_rate: 5.0 };
+        let c = Compression::Pfor {
+            bits: 8,
+            exception_rate: 5.0,
+        };
         assert_eq!(c.physical_bits(ColumnType::Int32), 32);
-        let d = Compression::Pfor { bits: 8, exception_rate: -1.0 };
+        let d = Compression::Pfor {
+            bits: 8,
+            exception_rate: -1.0,
+        };
         assert_eq!(d.physical_bits(ColumnType::Int32), 8);
     }
 }

@@ -35,9 +35,17 @@ impl DsmLayout {
     ///
     /// # Panics
     /// Panics if `num_tuples` or `tuples_per_chunk` is zero, or the page size is zero.
-    pub fn new(schema: TableSchema, num_tuples: u64, page_size: u64, tuples_per_chunk: u64) -> Self {
+    pub fn new(
+        schema: TableSchema,
+        num_tuples: u64,
+        page_size: u64,
+        tuples_per_chunk: u64,
+    ) -> Self {
         assert!(num_tuples > 0, "table must contain at least one tuple");
-        assert!(tuples_per_chunk > 0, "chunks must contain at least one tuple");
+        assert!(
+            tuples_per_chunk > 0,
+            "chunks must contain at least one tuple"
+        );
         assert!(page_size > 0, "page size must be positive");
         let num_chunks = num_tuples.div_ceil(tuples_per_chunk) as u32;
         let column_bits: Vec<u32> = schema.columns().iter().map(|c| c.physical_bits()).collect();
@@ -165,7 +173,9 @@ impl Layout for DsmLayout {
     }
 
     fn chunk_pages(&self, chunk: ChunkId, cols: &[ColumnId]) -> u64 {
-        cols.iter().map(|&c| self.chunk_column_pages(chunk, c)).sum()
+        cols.iter()
+            .map(|&c| self.chunk_column_pages(chunk, c))
+            .sum()
     }
 
     fn chunk_bytes(&self, chunk: ChunkId, cols: &[ColumnId]) -> u64 {
@@ -208,12 +218,18 @@ mod tests {
                 ColumnDef::compressed(
                     "orderkey",
                     ColumnType::Int64,
-                    Compression::PforDelta { bits: 3, exception_rate: 0.0 },
+                    Compression::PforDelta {
+                        bits: 3,
+                        exception_rate: 0.0,
+                    },
                 ),
                 ColumnDef::compressed(
                     "partkey",
                     ColumnType::Int64,
-                    Compression::Pfor { bits: 21, exception_rate: 0.0 },
+                    Compression::Pfor {
+                        bits: 21,
+                        exception_rate: 0.0,
+                    },
                 ),
                 ColumnDef::compressed(
                     "returnflag",
@@ -290,7 +306,10 @@ mod tests {
         let comment = l.schema().column_id("comment").unwrap();
         let s1 = l.chunk_column_page_span(ChunkId::new(0), comment).unwrap();
         let s2 = l.chunk_column_page_span(ChunkId::new(1), comment).unwrap();
-        assert!(s2.0 >= s1.1, "chunk 1 starts at or after chunk 0's last page");
+        assert!(
+            s2.0 >= s1.1,
+            "chunk 1 starts at or after chunk 0's last page"
+        );
         assert!(s2.1 > s1.1, "chunk 1 extends beyond chunk 0");
     }
 
@@ -305,7 +324,10 @@ mod tests {
             for b in &regions[i + 1..] {
                 let a_end = a.offset + a.len;
                 let b_end = b.offset + b.len;
-                assert!(a_end <= b.offset || b_end <= a.offset, "regions overlap: {a:?} {b:?}");
+                assert!(
+                    a_end <= b.offset || b_end <= a.offset,
+                    "regions overlap: {a:?} {b:?}"
+                );
             }
         }
     }
@@ -317,9 +339,16 @@ mod tests {
         let l = layout();
         let two = l.schema().resolve(&["orderkey", "returnflag"]);
         let all = l.schema().all_columns();
-        let few_bytes: u64 = (0..l.num_chunks()).map(|c| l.chunk_bytes(ChunkId::new(c), &two)).sum();
-        let all_bytes: u64 = (0..l.num_chunks()).map(|c| l.chunk_bytes(ChunkId::new(c), &all)).sum();
-        assert!(few_bytes * 10 < all_bytes, "few={few_bytes} all={all_bytes}");
+        let few_bytes: u64 = (0..l.num_chunks())
+            .map(|c| l.chunk_bytes(ChunkId::new(c), &two))
+            .sum();
+        let all_bytes: u64 = (0..l.num_chunks())
+            .map(|c| l.chunk_bytes(ChunkId::new(c), &all))
+            .sum();
+        assert!(
+            few_bytes * 10 < all_bytes,
+            "few={few_bytes} all={all_bytes}"
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub trait Layout {
     /// Total size of the table in bytes (all columns).
     fn total_bytes(&self) -> u64 {
         let all: Vec<ColumnId> = (0..self.num_columns()).map(ColumnId::new).collect();
-        (0..self.num_chunks()).map(|c| self.chunk_bytes(ChunkId::new(c), &all)).sum()
+        (0..self.num_chunks())
+            .map(|c| self.chunk_bytes(ChunkId::new(c), &all))
+            .sum()
     }
 
     /// Number of columns in the table.
@@ -94,7 +96,9 @@ pub trait Layout {
 
     /// Total pages occupied by the given columns over the whole table.
     fn total_pages(&self, cols: &[ColumnId]) -> u64 {
-        (0..self.num_chunks()).map(|c| self.chunk_pages(ChunkId::new(c), cols)).sum()
+        (0..self.num_chunks())
+            .map(|c| self.chunk_pages(ChunkId::new(c), cols))
+            .sum()
     }
 }
 
@@ -104,7 +108,10 @@ mod tests {
 
     #[test]
     fn phys_region_to_io_request() {
-        let r = PhysRegion { offset: 4096, len: 1024 };
+        let r = PhysRegion {
+            offset: 4096,
+            len: 1024,
+        };
         let io = r.to_io_request();
         assert_eq!(io.offset, 4096);
         assert_eq!(io.len, 1024);

@@ -33,9 +33,12 @@ impl NsmLayout {
     /// or if a single tuple does not fit in a page, or if `num_tuples` is zero.
     pub fn new(schema: TableSchema, num_tuples: u64, page_size: u64, chunk_size: u64) -> Self {
         assert!(num_tuples > 0, "table must contain at least one tuple");
-        assert!(page_size > 0 && chunk_size > 0, "page and chunk size must be positive");
         assert!(
-            chunk_size % page_size == 0,
+            page_size > 0 && chunk_size > 0,
+            "page and chunk size must be positive"
+        );
+        assert!(
+            chunk_size.is_multiple_of(page_size),
             "chunk size ({chunk_size}) must be a multiple of page size ({page_size})"
         );
         let tuple_width = schema.tuple_width_uncompressed();
@@ -153,7 +156,9 @@ mod tests {
         // 128-byte tuples for easy arithmetic: 16 Int64 columns.
         TableSchema::new(
             "wide",
-            (0..16).map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64)).collect(),
+            (0..16)
+                .map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64))
+                .collect(),
         )
     }
 
@@ -208,7 +213,10 @@ mod tests {
         for &t in &[0u64, 1, 8191, 8192, 49_999] {
             let c = l.chunk_of_tuple(t);
             let (start, end) = l.chunk_tuple_range(c);
-            assert!(t >= start && t < end, "tuple {t} not in chunk {c:?} range {start}..{end}");
+            assert!(
+                t >= start && t < end,
+                "tuple {t} not in chunk {c:?} range {start}..{end}"
+            );
         }
     }
 
@@ -229,10 +237,16 @@ mod tests {
         // scheduling tractable.
         let schema = TableSchema::new(
             "lineitem_like",
-            (0..9).map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64)).collect(),
+            (0..9)
+                .map(|i| ColumnDef::new(format!("c{i}"), ColumnType::Int64))
+                .collect(),
         );
         let l = NsmLayout::with_defaults(schema, 60_000_000);
-        assert!(l.num_chunks() > 100 && l.num_chunks() < 1000, "got {}", l.num_chunks());
+        assert!(
+            l.num_chunks() > 100 && l.num_chunks() < 1000,
+            "got {}",
+            l.num_chunks()
+        );
     }
 
     #[test]

@@ -120,18 +120,17 @@ impl ScanRanges {
     /// Whether the scan needs `chunk`.
     pub fn contains(&self, chunk: ChunkId) -> bool {
         // Ranges are sorted and disjoint: binary search by start.
-        match self.ranges.binary_search_by(|r| {
-            if chunk.index() < r.start {
-                std::cmp::Ordering::Greater
-            } else if chunk.index() >= r.end {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        self.ranges
+            .binary_search_by(|r| {
+                if chunk.index() < r.start {
+                    std::cmp::Ordering::Greater
+                } else if chunk.index() >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// All needed chunk ids, in table order.
@@ -281,7 +280,9 @@ mod tests {
 
     #[test]
     fn collect_from_chunk_ids() {
-        let s: ScanRanges = vec![ChunkId::new(3), ChunkId::new(4), ChunkId::new(9)].into_iter().collect();
+        let s: ScanRanges = vec![ChunkId::new(3), ChunkId::new(4), ChunkId::new(9)]
+            .into_iter()
+            .collect();
         assert_eq!(s.num_chunks(), 3);
         assert_eq!(s.ranges().len(), 2);
     }

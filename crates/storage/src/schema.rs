@@ -55,12 +55,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Creates an uncompressed column.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Self { name: name.into(), ty, compression: Compression::None }
+        Self {
+            name: name.into(),
+            ty,
+            compression: Compression::None,
+        }
     }
 
     /// Creates a compressed column.
     pub fn compressed(name: impl Into<String>, ty: ColumnType, compression: Compression) -> Self {
-        Self { name: name.into(), ty, compression }
+        Self {
+            name: name.into(),
+            ty,
+            compression,
+        }
     }
 
     /// Physical width of one value in *bits* after compression.
@@ -93,7 +101,10 @@ impl TableSchema {
                 assert_ne!(a.name, b.name, "duplicate column name {:?}", a.name);
             }
         }
-        Self { name: name.into(), columns }
+        Self {
+            name: name.into(),
+            columns,
+        }
     }
 
     /// The table name.
@@ -121,7 +132,10 @@ impl TableSchema {
 
     /// Looks up a column id by name.
     pub fn column_id(&self, name: &str) -> Option<ColumnId> {
-        self.columns.iter().position(|c| c.name == name).map(|i| ColumnId::new(i as u16))
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ColumnId::new(i as u16))
     }
 
     /// All column ids, in declaration order.
@@ -131,7 +145,10 @@ impl TableSchema {
 
     /// Sum of uncompressed per-tuple widths, in bytes.
     pub fn tuple_width_uncompressed(&self) -> u64 {
-        self.columns.iter().map(|c| c.ty.uncompressed_width() as u64).sum()
+        self.columns
+            .iter()
+            .map(|c| c.ty.uncompressed_width() as u64)
+            .sum()
     }
 
     /// Sum of physical (compressed) per-tuple widths, in bytes.
@@ -188,7 +205,10 @@ mod tests {
         assert_eq!(s.column_id("c"), Some(ColumnId::new(2)));
         assert_eq!(s.column_id("nope"), None);
         assert_eq!(s.column(ColumnId::new(0)).name, "a");
-        assert_eq!(s.resolve(&["b", "d"]), vec![ColumnId::new(1), ColumnId::new(3)]);
+        assert_eq!(
+            s.resolve(&["b", "d"]),
+            vec![ColumnId::new(1), ColumnId::new(3)]
+        );
         assert_eq!(s.all_columns().len(), 4);
         assert_eq!(s.num_columns(), 4);
         assert_eq!(s.name(), "t");
@@ -205,7 +225,10 @@ mod tests {
     fn duplicate_names_rejected() {
         TableSchema::new(
             "t",
-            vec![ColumnDef::new("a", ColumnType::Int64), ColumnDef::new("a", ColumnType::Int32)],
+            vec![
+                ColumnDef::new("a", ColumnType::Int64),
+                ColumnDef::new("a", ColumnType::Int32),
+            ],
         );
     }
 

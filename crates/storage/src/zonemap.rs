@@ -34,7 +34,12 @@ impl ZoneMap {
     /// Panics if any entry has `min > max`.
     pub fn new(column: ColumnId, entries: Vec<ZoneEntry>) -> Self {
         for (i, e) in entries.iter().enumerate() {
-            assert!(e.min <= e.max, "zonemap entry {i} has min {} > max {}", e.min, e.max);
+            assert!(
+                e.min <= e.max,
+                "zonemap entry {i} has min {} > max {}",
+                e.min,
+                e.max
+            );
         }
         Self { column, entries }
     }
@@ -61,7 +66,10 @@ impl ZoneMap {
                 } else {
                     // An empty chunk can never satisfy a predicate; the inverted
                     // sentinel makes `chunk_may_match` false for all finite ranges.
-                    ZoneEntry { min: i64::MAX, max: i64::MIN }
+                    ZoneEntry {
+                        min: i64::MAX,
+                        max: i64::MIN,
+                    }
                 }
             })
             .collect();
@@ -102,8 +110,9 @@ impl ZoneMap {
         if self.entries.is_empty() {
             return 0.0;
         }
-        let matching =
-            (0..self.num_chunks()).filter(|&c| self.chunk_may_match(ChunkId::new(c), lo, hi)).count();
+        let matching = (0..self.num_chunks())
+            .filter(|&c| self.chunk_may_match(ChunkId::new(c), lo, hi))
+            .count();
         matching as f64 / self.entries.len() as f64
     }
 }
@@ -116,7 +125,12 @@ mod tests {
     fn clustered(chunks: u32) -> ZoneMap {
         ZoneMap::new(
             ColumnId::new(0),
-            (0..chunks as i64).map(|i| ZoneEntry { min: i * 100, max: i * 100 + 99 }).collect(),
+            (0..chunks as i64)
+                .map(|i| ZoneEntry {
+                    min: i * 100,
+                    max: i * 100 + 99,
+                })
+                .collect(),
         )
     }
 
@@ -125,8 +139,15 @@ mod tests {
         let zm = clustered(10);
         let ranges = zm.matching_ranges(250, 449);
         let chunks = ranges.chunks();
-        assert_eq!(chunks, vec![ChunkId::new(2), ChunkId::new(3), ChunkId::new(4)]);
-        assert_eq!(ranges.ranges().len(), 1, "contiguous chunks coalesce into one range");
+        assert_eq!(
+            chunks,
+            vec![ChunkId::new(2), ChunkId::new(3), ChunkId::new(4)]
+        );
+        assert_eq!(
+            ranges.ranges().len(),
+            1,
+            "contiguous chunks coalesce into one range"
+        );
         assert!((zm.selectivity(250, 449) - 0.3).abs() < 1e-9);
     }
 
@@ -150,7 +171,11 @@ mod tests {
             vec![ChunkId::new(0), ChunkId::new(1), ChunkId::new(3)],
             "chunk 2 and 4 are skipped"
         );
-        assert_eq!(ranges.ranges().len(), 2, "non-contiguous matches produce multiple ranges");
+        assert_eq!(
+            ranges.ranges().len(),
+            2,
+            "non-contiguous matches produce multiple ranges"
+        );
     }
 
     #[test]

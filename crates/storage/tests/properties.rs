@@ -35,8 +35,14 @@ fn arb_compressed_schema() -> impl Strategy<Value = TableSchema> {
         prop_oneof![
             Just(Compression::None),
             (1u8..16).prop_map(|bits| Compression::Dictionary { bits }),
-            (1u8..32).prop_map(|bits| Compression::Pfor { bits, exception_rate: 0.02 }),
-            (1u8..8).prop_map(|bits| Compression::PforDelta { bits, exception_rate: 0.01 }),
+            (1u8..32).prop_map(|bits| Compression::Pfor {
+                bits,
+                exception_rate: 0.02
+            }),
+            (1u8..8).prop_map(|bits| Compression::PforDelta {
+                bits,
+                exception_rate: 0.01
+            }),
         ],
         1..10,
     )

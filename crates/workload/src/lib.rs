@@ -21,7 +21,9 @@ pub mod queries;
 pub mod streams;
 pub mod synthetic;
 
-pub use lineitem::{lineitem_dsm_model, lineitem_nsm_model, lineitem_schema, LINEITEM_TUPLES_PER_SF};
+pub use lineitem::{
+    lineitem_dsm_model, lineitem_nsm_model, lineitem_schema, LINEITEM_TUPLES_PER_SF,
+};
 pub use mixes::{MixSize, MixSpeed, QueryMix};
 pub use queries::{QueryClass, QuerySpeed};
 pub use streams::{build_streams, StreamSetup};

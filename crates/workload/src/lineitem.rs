@@ -28,17 +28,26 @@ pub fn lineitem_schema() -> TableSchema {
             ColumnDef::compressed(
                 "l_orderkey",
                 ColumnType::Int64,
-                Compression::PforDelta { bits: 3, exception_rate: 0.02 },
+                Compression::PforDelta {
+                    bits: 3,
+                    exception_rate: 0.02,
+                },
             ),
             ColumnDef::compressed(
                 "l_partkey",
                 ColumnType::Int32,
-                Compression::Pfor { bits: 21, exception_rate: 0.02 },
+                Compression::Pfor {
+                    bits: 21,
+                    exception_rate: 0.02,
+                },
             ),
             ColumnDef::compressed(
                 "l_suppkey",
                 ColumnType::Int32,
-                Compression::Pfor { bits: 14, exception_rate: 0.02 },
+                Compression::Pfor {
+                    bits: 14,
+                    exception_rate: 0.02,
+                },
             ),
             ColumnDef::new("l_linenumber", ColumnType::Int32),
             ColumnDef::new("l_quantity", ColumnType::Int32),
@@ -58,17 +67,26 @@ pub fn lineitem_schema() -> TableSchema {
             ColumnDef::compressed(
                 "l_shipdate",
                 ColumnType::Date,
-                Compression::Pfor { bits: 13, exception_rate: 0.0 },
+                Compression::Pfor {
+                    bits: 13,
+                    exception_rate: 0.0,
+                },
             ),
             ColumnDef::compressed(
                 "l_commitdate",
                 ColumnType::Date,
-                Compression::Pfor { bits: 13, exception_rate: 0.0 },
+                Compression::Pfor {
+                    bits: 13,
+                    exception_rate: 0.0,
+                },
             ),
             ColumnDef::compressed(
                 "l_receiptdate",
                 ColumnType::Date,
-                Compression::Pfor { bits: 13, exception_rate: 0.0 },
+                Compression::Pfor {
+                    bits: 13,
+                    exception_rate: 0.0,
+                },
             ),
             ColumnDef::compressed(
                 "l_shipmode",
@@ -127,7 +145,11 @@ mod tests {
         assert_eq!(s.num_columns(), 15);
         assert_eq!(s.tuple_width_uncompressed(), 72);
         // Compression shrinks the DSM representation substantially.
-        assert!(s.tuple_width_physical() < 50.0, "got {}", s.tuple_width_physical());
+        assert!(
+            s.tuple_width_physical() < 50.0,
+            "got {}",
+            s.tuple_width_physical()
+        );
         assert!(s.column_id("l_shipdate").is_some());
     }
 
@@ -139,7 +161,11 @@ mod tests {
         assert!(bytes > 4 * 1024 * 1024 * 1024, "got {bytes}");
         assert!(bytes < 5 * 1024 * 1024 * 1024, "got {bytes}");
         // A few hundred 16 MiB chunks.
-        assert!((200..400).contains(&layout.num_chunks()), "got {}", layout.num_chunks());
+        assert!(
+            (200..400).contains(&layout.num_chunks()),
+            "got {}",
+            layout.num_chunks()
+        );
         let model = lineitem_nsm_model(10);
         assert_eq!(model.num_chunks(), layout.num_chunks());
         assert!(!model.is_dsm());
@@ -180,6 +206,9 @@ mod tests {
         let m1 = lineitem_nsm_model(1);
         let m10 = lineitem_nsm_model(10);
         let ratio = m10.num_chunks() as f64 / m1.num_chunks() as f64;
-        assert!((ratio - 10.0).abs() < 1.0, "chunk count scales with data: {ratio}");
+        assert!(
+            (ratio - 10.0).abs() < 1.0,
+            "chunk count scales with data: {ratio}"
+        );
     }
 }

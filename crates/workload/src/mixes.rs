@@ -26,7 +26,13 @@ pub enum MixSpeed {
 
 impl MixSpeed {
     /// All speed compositions used in Figure 5.
-    pub const ALL: [MixSpeed; 5] = [MixSpeed::SF, MixSpeed::S, MixSpeed::F, MixSpeed::SSF, MixSpeed::FFS];
+    pub const ALL: [MixSpeed; 5] = [
+        MixSpeed::SF,
+        MixSpeed::S,
+        MixSpeed::F,
+        MixSpeed::SSF,
+        MixSpeed::FFS,
+    ];
 
     /// The speeds in this composition (with multiplicity).
     pub fn speeds(self) -> Vec<QuerySpeed> {
@@ -141,16 +147,31 @@ mod tests {
 
     #[test]
     fn class_composition_reflects_ratios() {
-        let ffs_short = QueryMix { speed: MixSpeed::FFS, size: MixSize::Short };
+        let ffs_short = QueryMix {
+            speed: MixSpeed::FFS,
+            size: MixSize::Short,
+        };
         let classes = ffs_short.classes();
         // 3 speed slots × 5 percentages.
         assert_eq!(classes.len(), 15);
-        let fast = classes.iter().filter(|c| matches!(c.speed, QuerySpeed::Fast)).count();
-        let slow = classes.iter().filter(|c| matches!(c.speed, QuerySpeed::Slow)).count();
+        let fast = classes
+            .iter()
+            .filter(|c| matches!(c.speed, QuerySpeed::Fast))
+            .count();
+        let slow = classes
+            .iter()
+            .filter(|c| matches!(c.speed, QuerySpeed::Slow))
+            .count();
         assert_eq!(fast, 10);
         assert_eq!(slow, 5);
-        let pure_fast = QueryMix { speed: MixSpeed::F, size: MixSize::Long };
-        assert!(pure_fast.classes().iter().all(|c| matches!(c.speed, QuerySpeed::Fast)));
+        let pure_fast = QueryMix {
+            speed: MixSpeed::F,
+            size: MixSize::Long,
+        };
+        assert!(pure_fast
+            .classes()
+            .iter()
+            .all(|c| matches!(c.speed, QuerySpeed::Fast)));
         assert_eq!(pure_fast.classes().len(), 4);
     }
 

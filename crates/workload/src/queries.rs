@@ -64,12 +64,18 @@ pub struct QueryClass {
 impl QueryClass {
     /// A FAST query over `percent` % of the table.
     pub fn fast(percent: u32) -> Self {
-        Self { speed: QuerySpeed::Fast, percent }
+        Self {
+            speed: QuerySpeed::Fast,
+            percent,
+        }
     }
 
     /// A SLOW query over `percent` % of the table.
     pub fn slow(percent: u32) -> Self {
-        Self { speed: QuerySpeed::Slow, percent }
+        Self {
+            speed: QuerySpeed::Slow,
+            percent,
+        }
     }
 
     /// The paper's label for this class, e.g. `"F-10"` or `"S-100"`.
@@ -80,7 +86,9 @@ impl QueryClass {
     /// Number of chunks a scan of this class covers in `model`.
     pub fn chunks_in(&self, model: &TableModel) -> u32 {
         let total = model.num_chunks();
-        ((total as u64 * self.percent as u64 + 99) / 100).clamp(1, total as u64) as u32
+        (total as u64 * self.percent as u64)
+            .div_ceil(100)
+            .clamp(1, total as u64) as u32
     }
 
     /// The chunk ranges of one concrete instance of this class, starting at a
@@ -105,8 +113,7 @@ impl QueryClass {
         rng: &mut R,
     ) -> QuerySpec {
         let ranges = self.ranges(model, rng);
-        let mut spec =
-            QuerySpec::range_scan(self.label(), ranges, self.speed.tuples_per_sec());
+        let mut spec = QuerySpec::range_scan(self.label(), ranges, self.speed.tuples_per_sec());
         if let Some(cols) = columns {
             spec = spec.with_columns(cols);
         }
@@ -152,7 +159,14 @@ mod tests {
         assert_eq!(QueryClass::fast(1).label(), "F-01");
         assert_eq!(QueryClass::fast(100).label(), "F-100");
         assert_eq!(QueryClass::slow(50).label(), "S-50");
-        assert_eq!(QueryClass { speed: QuerySpeed::SlowDsm, percent: 10 }.label(), "S-10");
+        assert_eq!(
+            QueryClass {
+                speed: QuerySpeed::SlowDsm,
+                percent: 10
+            }
+            .label(),
+            "S-10"
+        );
     }
 
     #[test]
@@ -189,7 +203,11 @@ mod tests {
             assert!(last < 200);
             starts.insert(first);
         }
-        assert!(starts.len() > 10, "starting positions should vary, got {}", starts.len());
+        assert!(
+            starts.len() > 10,
+            "starting positions should vary, got {}",
+            starts.len()
+        );
         // Full scans always cover everything.
         let full = QueryClass::fast(100).ranges(&m, &mut rng);
         assert_eq!(full.num_chunks(), 200);

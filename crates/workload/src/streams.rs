@@ -28,7 +28,12 @@ pub struct StreamSetup {
 impl StreamSetup {
     /// The paper's default setup: 16 streams of 4 queries.
     pub fn paper_default(classes: Vec<QueryClass>, seed: u64) -> Self {
-        Self { streams: 16, queries_per_stream: 4, classes, seed }
+        Self {
+            streams: 16,
+            queries_per_stream: 4,
+            classes,
+            seed,
+        }
     }
 
     /// Total number of queries across all streams.
@@ -47,7 +52,10 @@ pub fn build_streams(
     model: &TableModel,
     columns: Option<ColSet>,
 ) -> Vec<Vec<QuerySpec>> {
-    assert!(!setup.classes.is_empty(), "a stream setup needs at least one query class");
+    assert!(
+        !setup.classes.is_empty(),
+        "a stream setup needs at least one query class"
+    );
     let mut rng = StdRng::seed_from_u64(setup.seed);
     (0..setup.streams)
         .map(|_| {
@@ -71,7 +79,9 @@ pub fn uniform_streams(
     seed: u64,
 ) -> Vec<Vec<QuerySpec>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| vec![class.to_spec(model, columns, &mut rng)]).collect()
+    (0..n)
+        .map(|_| vec![class.to_spec(model, columns, &mut rng)])
+        .collect()
 }
 
 #[cfg(test)]
@@ -95,8 +105,13 @@ mod tests {
         // Labels come from the class set.
         let labels: std::collections::HashSet<String> =
             streams.iter().flatten().map(|q| q.label.clone()).collect();
-        assert!(labels.iter().all(|l| l.starts_with('F') || l.starts_with('S')));
-        assert!(labels.len() > 2, "a 64-query draw should hit several classes");
+        assert!(labels
+            .iter()
+            .all(|l| l.starts_with('F') || l.starts_with('S')));
+        assert!(
+            labels.len() > 2,
+            "a 64-query draw should hit several classes"
+        );
     }
 
     #[test]
@@ -127,7 +142,12 @@ mod tests {
     #[test]
     fn columns_are_propagated() {
         let cols = ColSet::first_n(4);
-        let setup = StreamSetup { streams: 2, queries_per_stream: 2, classes: table2_classes(), seed: 1 };
+        let setup = StreamSetup {
+            streams: 2,
+            queries_per_stream: 2,
+            classes: table2_classes(),
+            seed: 1,
+        };
         let streams = build_streams(&setup, &model(), Some(cols));
         assert!(streams.iter().flatten().all(|q| q.columns == Some(cols)));
     }
@@ -135,7 +155,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one query class")]
     fn empty_class_set_rejected() {
-        let setup = StreamSetup { streams: 1, queries_per_stream: 1, classes: vec![], seed: 0 };
+        let setup = StreamSetup {
+            streams: 1,
+            queries_per_stream: 1,
+            classes: vec![],
+            seed: 0,
+        };
         build_streams(&setup, &model(), None);
     }
 }

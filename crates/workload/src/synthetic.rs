@@ -49,13 +49,18 @@ pub fn synthetic_model(tuples: u64) -> TableModel {
 
 /// A 3-adjacent-column window starting at column `start` (e.g. `0` = "ABC").
 pub fn column_window(start: u16) -> ColSet {
-    assert!(start + 3 <= SYNTHETIC_COLUMNS, "window {start} out of range");
+    assert!(
+        start + 3 <= SYNTHETIC_COLUMNS,
+        "window {start} out of range"
+    );
     ColSet::from_columns((start..start + 3).map(ColumnId::new))
 }
 
 /// The paper's window names: `"ABC"`, `"BCD"`, … derived from the start column.
 pub fn window_name(start: u16) -> String {
-    (start..start + 3).map(|i| char::from(b'A' + i as u8)).collect()
+    (start..start + 3)
+        .map(|i| char::from(b'A' + i as u8))
+        .collect()
 }
 
 /// The query-type sets of Table 4, expressed as window start columns.
@@ -64,10 +69,20 @@ pub fn window_name(start: u16) -> String {
 /// (`ABC`, `ABC,DEF`) followed by the partially-overlapping ones
 /// (`ABC,BCD`, `ABC,BCD,CDE`, `ABC,BCD,CDE,DEF`).
 pub fn table4_query_sets() -> Vec<(String, Vec<u16>)> {
-    let sets: Vec<Vec<u16>> = vec![vec![0], vec![0, 3], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]];
+    let sets: Vec<Vec<u16>> = vec![
+        vec![0],
+        vec![0, 3],
+        vec![0, 1],
+        vec![0, 1, 2],
+        vec![0, 1, 2, 3],
+    ];
     sets.into_iter()
         .map(|starts| {
-            let name = starts.iter().map(|&s| window_name(s)).collect::<Vec<_>>().join(",");
+            let name = starts
+                .iter()
+                .map(|&s| window_name(s))
+                .collect::<Vec<_>>()
+                .join(",");
             (name, starts)
         })
         .collect()
@@ -158,7 +173,11 @@ mod tests {
         let all: Vec<&QuerySpec> = streams.iter().flatten().collect();
         assert_eq!(all.len(), 16);
         for q in &all {
-            assert_eq!(q.ranges.as_ref().unwrap().num_chunks(), 16, "40% of 40 chunks");
+            assert_eq!(
+                q.ranges.as_ref().unwrap().num_chunks(),
+                16,
+                "40% of 40 chunks"
+            );
             let cols = q.columns.unwrap();
             assert_eq!(cols.len(), 3);
         }

@@ -53,10 +53,21 @@ fn main() {
     );
 
     // Register all three scans up-front so the ABM can share their reads.
-    let q6_handle = server.cscan(CScanPlan::new("q6", ScanRanges::full(num_chunks), model.all_columns()));
-    let q1_handle = server.cscan(CScanPlan::new("q1", ScanRanges::full(num_chunks), model.all_columns()));
-    let join_handle =
-        server.cscan(CScanPlan::new("join", ScanRanges::single(0, num_chunks / 2), model.all_columns()));
+    let q6_handle = server.cscan(CScanPlan::new(
+        "q6",
+        ScanRanges::full(num_chunks),
+        model.all_columns(),
+    ));
+    let q1_handle = server.cscan(CScanPlan::new(
+        "q1",
+        ScanRanges::full(num_chunks),
+        model.all_columns(),
+    ));
+    let join_handle = server.cscan(CScanPlan::new(
+        "join",
+        ScanRanges::single(0, num_chunks / 2),
+        model.all_columns(),
+    ));
 
     let q6 = {
         let lineitem = Arc::clone(&lineitem);
@@ -77,7 +88,8 @@ fn main() {
                     .and(Expr::col(2).lt(Expr::lit(24))),
             );
             let revenue = Project::new(filtered, vec![Expr::col(3).mul(Expr::col(1))]);
-            let mut agg = HashAggregate::new(revenue, vec![], vec![AggFunc::Sum(0), AggFunc::Count]);
+            let mut agg =
+                HashAggregate::new(revenue, vec![], vec![AggFunc::Sum(0), AggFunc::Count]);
             let out = collect(&mut agg);
             (order, out.column(0)[0], out.column(1)[0])
         })
@@ -123,17 +135,28 @@ fn main() {
     let (q1_order, groups, merges) = q1.join().unwrap();
     let (join_order, joined_rows) = join.join().unwrap();
 
-    println!("ABM policy: {}   chunk loads issued: {}", server.policy_name(), server.io_requests());
+    println!(
+        "ABM policy: {}   chunk loads issued: {}",
+        server.policy_name(),
+        server.io_requests()
+    );
     println!();
     println!("Q6-style revenue query:");
-    println!("  delivered {} chunks, first five in order {:?}", q6_order.len(), &q6_order[..5.min(q6_order.len())]);
+    println!(
+        "  delivered {} chunks, first five in order {:?}",
+        q6_order.len(),
+        &q6_order[..5.min(q6_order.len())]
+    );
     println!("  revenue = {revenue}   from {matching} matching lineitems");
     println!();
     println!("Q1-style ordered aggregation (out-of-order chunks, boundary stitching):");
     println!("  delivered {} chunks, produced {groups} orderkey groups, {merges} groups straddled chunk borders", q1_order.len());
     println!();
     println!("Cooperative merge join lineitem ⋈ orders over the first half of the table:");
-    println!("  delivered {} chunks, joined {joined_rows} rows", join_order.len());
+    println!(
+        "  delivered {} chunks, joined {joined_rows} rows",
+        join_order.len()
+    );
     println!();
     println!(
         "Because all three scans were registered with the ABM before running, the {} chunk \

@@ -34,7 +34,10 @@ fn main() {
         "workload: {} streams x {} queries drawn from {:?}\n",
         setup.streams,
         setup.queries_per_stream,
-        table2_classes().iter().map(|c| c.label()).collect::<Vec<_>>()
+        table2_classes()
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
     );
 
     let base = base_times(&model, &table2_classes(), config);

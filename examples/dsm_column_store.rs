@@ -56,15 +56,25 @@ fn main() {
     let streams = vec![
         vec![QuerySpec::full_scan("Q6", 8_000_000.0).with_columns(q6_cols)],
         vec![QuerySpec::full_scan("Q1", 3_400_000.0).with_columns(q1_cols)],
-        vec![QuerySpec::range_scan("pricing", ScanRanges::single(0, n / 2), 8_000_000.0)
-            .with_columns(pricing_cols)],
+        vec![
+            QuerySpec::range_scan("pricing", ScanRanges::single(0, n / 2), 8_000_000.0)
+                .with_columns(pricing_cols),
+        ],
     ];
 
     let config = SimConfig::default().with_buffer_fraction(0.3);
     println!("three concurrent scans (columns overlap partially):");
     println!("  Q6      -> {} columns", q6_cols.len());
-    println!("  Q1      -> {} columns (shares {} with Q6)", q1_cols.len(), q1_cols.intersect(q6_cols).len());
-    println!("  pricing -> {} columns (shares {} with Q6)\n", pricing_cols.len(), pricing_cols.intersect(q6_cols).len());
+    println!(
+        "  Q1      -> {} columns (shares {} with Q6)",
+        q1_cols.len(),
+        q1_cols.intersect(q6_cols).len()
+    );
+    println!(
+        "  pricing -> {} columns (shares {} with Q6)\n",
+        pricing_cols.len(),
+        pricing_cols.intersect(q6_cols).len()
+    );
 
     println!("policy      | I/O requests | pages read | avg latency (s) | total (s)");
     println!("------------+--------------+------------+-----------------+----------");

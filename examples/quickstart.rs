@@ -39,7 +39,12 @@ fn main() {
         ios.push((policy, result.io_requests));
     }
 
-    let io_of = |p: PolicyKind| ios.iter().find(|(k, _)| *k == p).map(|(_, n)| *n).unwrap_or(0);
+    let io_of = |p: PolicyKind| {
+        ios.iter()
+            .find(|(k, _)| *k == p)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
     println!();
     println!(
         "The table has 100 chunks. `normal` read {} chunks (the late scan re-reads \

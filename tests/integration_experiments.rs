@@ -10,7 +10,10 @@ fn figure2_headline_point() {
     let r = fig2::run(3);
     let curve10 = r.curves.iter().find(|c| c.buffer_chunks == 10).unwrap();
     let p = curve10.points.iter().find(|(cq, _)| *cq == 10).unwrap().1;
-    assert!(p > 0.5, "paper: 'over 50%' for a 10% scan with a 10% buffer, got {p}");
+    assert!(
+        p > 0.5,
+        "paper: 'over 50%' for a 10% scan with a 10% buffer, got {p}"
+    );
 }
 
 #[test]
@@ -35,8 +38,14 @@ fn table2_relevance_wins_both_dimensions() {
 fn figure4_traces_cover_all_policies() {
     let traces = fig4::run(Scale::Quick, 5);
     assert_eq!(traces.len(), 4);
-    let relevance = traces.iter().find(|t| t.policy == PolicyKind::Relevance).unwrap();
-    let normal = traces.iter().find(|t| t.policy == PolicyKind::Normal).unwrap();
+    let relevance = traces
+        .iter()
+        .find(|t| t.policy == PolicyKind::Relevance)
+        .unwrap();
+    let normal = traces
+        .iter()
+        .find(|t| t.policy == PolicyKind::Normal)
+        .unwrap();
     assert!(relevance.trace.len() <= normal.trace.len());
 }
 
@@ -86,5 +95,8 @@ fn table4_sharing_depends_on_column_overlap() {
     let rel_disjoint = r.cell("ABC,DEF", PolicyKind::Relevance).io_requests;
     let norm_disjoint = r.cell("ABC,DEF", PolicyKind::Normal).io_requests;
     assert!(rel_overlapping < rel_disjoint, "less overlap, less sharing");
-    assert!(rel_disjoint < norm_disjoint, "relevance still wins with disjoint columns");
+    assert!(
+        rel_disjoint < norm_disjoint,
+        "relevance still wins with disjoint columns"
+    );
 }

@@ -12,7 +12,12 @@ use cscan_workload::streams::{build_streams, uniform_streams, StreamSetup};
 fn table2_like_run(policy: PolicyKind, seed: u64) -> cscan_core::sim::RunResult {
     let model = lineitem_nsm_model(1);
     let config = SimConfig::default().with_buffer_chunks(7);
-    let setup = StreamSetup { streams: 6, queries_per_stream: 3, classes: table2_classes(), seed };
+    let setup = StreamSetup {
+        streams: 6,
+        queries_per_stream: 3,
+        classes: table2_classes(),
+        seed,
+    };
     let streams = build_streams(&setup, &model, None);
     let mut sim = Simulation::new(model, policy, config);
     sim.submit_streams(streams);
@@ -33,8 +38,15 @@ fn every_policy_completes_the_same_workload() {
     // Every query class appears with the same multiplicity in every run, so
     // the I/O counts are comparable: normal must be the worst or tied.
     let normal = io.iter().find(|(p, _)| *p == PolicyKind::Normal).unwrap().1;
-    let relevance = io.iter().find(|(p, _)| *p == PolicyKind::Relevance).unwrap().1;
-    assert!(relevance < normal, "relevance {relevance} vs normal {normal}");
+    let relevance = io
+        .iter()
+        .find(|(p, _)| *p == PolicyKind::Relevance)
+        .unwrap()
+        .1;
+    assert!(
+        relevance < normal,
+        "relevance {relevance} vs normal {normal}"
+    );
 }
 
 #[test]
@@ -59,7 +71,11 @@ fn elevator_minimizes_io_but_hurts_short_queries() {
         vec![QuerySpec::full_scan("F-100", 8_000_000.0)],
         vec![QuerySpec::full_scan("F-100", 8_000_000.0)],
         vec![QuerySpec::full_scan("F-100", 8_000_000.0)],
-        vec![QuerySpec::range_scan("F-05", ScanRanges::single(0, 4), 8_000_000.0)],
+        vec![QuerySpec::range_scan(
+            "F-05",
+            ScanRanges::single(0, 4),
+            8_000_000.0,
+        )],
     ];
     let run = |policy| {
         let mut sim = Simulation::new(model.clone(), policy, config);
@@ -92,7 +108,9 @@ fn dsm_scans_read_only_their_columns_under_every_policy() {
             policy,
             SimConfig::default().with_buffer_fraction(0.3),
         );
-        sim.submit_stream(vec![QuerySpec::full_scan("narrow", 8_000_000.0).with_columns(narrow)]);
+        sim.submit_stream(vec![
+            QuerySpec::full_scan("narrow", 8_000_000.0).with_columns(narrow)
+        ]);
         let result = sim.run();
         assert_eq!(result.pages_read, narrow_pages, "{policy}");
     }
@@ -130,14 +148,28 @@ fn zonemap_scans_produce_multi_range_cscans() {
         ColumnId::new(10),
         (0..model.num_chunks() as i64).map(|c| vec![c * 30 - 5, c * 30 + 40]),
     );
-    let plan = CScanPlan::from_zonemap("date-range", &zonemap, 100, 400, cscan_core::ColSet::first_n(1));
+    let plan = CScanPlan::from_zonemap(
+        "date-range",
+        &zonemap,
+        100,
+        400,
+        cscan_core::ColSet::first_n(1),
+    );
     assert!(plan.num_chunks() > 0);
     assert!(plan.num_chunks() < model.num_chunks());
     // The plan runs under every policy even though it is a strict subset of
     // the table expressed as (possibly) multiple ranges.
     for policy in PolicyKind::ALL {
-        let mut sim = Simulation::new(model.clone(), policy, SimConfig::default().with_buffer_chunks(7));
-        sim.submit_stream(vec![QuerySpec::range_scan("zm", plan.ranges.clone(), 8_000_000.0)]);
+        let mut sim = Simulation::new(
+            model.clone(),
+            policy,
+            SimConfig::default().with_buffer_chunks(7),
+        );
+        sim.submit_stream(vec![QuerySpec::range_scan(
+            "zm",
+            plan.ranges.clone(),
+            8_000_000.0,
+        )]);
         let r = sim.run();
         assert_eq!(r.io_requests, plan.num_chunks() as u64, "{policy}");
     }

@@ -89,7 +89,10 @@ fn out_of_order_delivery_gives_the_same_answer_as_in_order() {
         .collect();
     for w in workers {
         let result = w.join().unwrap();
-        assert_eq!(result, reference, "answers must not depend on delivery order");
+        assert_eq!(
+            result, reference,
+            "answers must not depend on delivery order"
+        );
     }
     // The two scans shared reads: far fewer than 2x the table.
     assert!(server.io_requests() < (num_chunks as u64 * 2));
@@ -123,7 +126,9 @@ fn ordered_aggregation_over_live_cscan_matches_hash_aggregation() {
     };
     assert_eq!(ordered.len(), reference.len());
     let as_map = |c: &cscan_exec::DataChunk| -> std::collections::HashMap<i64, (i64, i64)> {
-        (0..c.len()).map(|i| (c.column(0)[i], (c.column(1)[i], c.column(2)[i]))).collect()
+        (0..c.len())
+            .map(|i| (c.column(0)[i], (c.column(1)[i], c.column(2)[i])))
+            .collect()
     };
     assert_eq!(as_map(&ordered), as_map(&reference));
 }

@@ -1,0 +1,20 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The workspace only uses serde as `#[derive(Serialize, Deserialize)]`
+//! markers — nothing is ever actually serialized — and the build environment
+//! has no access to crates.io.  The traits are therefore empty markers with
+//! blanket implementations, and the derive macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no-op).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (no-op).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned` (no-op).
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
