@@ -13,6 +13,13 @@
 //! * [`Abm::complete_load`] — `loadChunk` finished; interested blocked
 //!   queries should be signalled;
 //! * [`Abm::finish_query`] — the CScan operator is closed.
+//!
+//! [`Abm::plan_load`] keeps the paper's single-outstanding main loop.  The
+//! asynchronous I/O scheduler ([`crate::iosched`]) instead drives
+//! [`Abm::plan_loads`], which plans a whole burst of loads in one step —
+//! evicting (and thereby reserving) the victims for the entire burst up
+//! front — and [`Abm::complete_load_of`], which retires loads in whatever
+//! order the spindles finish them.
 
 mod buffer;
 #[cfg(test)]
@@ -20,7 +27,7 @@ mod proptests;
 mod state;
 
 pub use buffer::BufferedChunk;
-pub use state::{AbmState, STARVATION_THRESHOLD};
+pub use state::{AbmState, InflightLoad, STARVATION_THRESHOLD};
 
 use crate::colset::ColSet;
 use crate::policy::Policy;
@@ -160,13 +167,47 @@ impl Abm {
     /// evicting as needed to make room.  Returns `None` when there is
     /// nothing useful (or possible) to load right now.
     ///
-    /// At most one load may be outstanding; calling this while a load is in
-    /// flight returns `None`.
+    /// This is the paper's sequential main loop: at most one load may be
+    /// outstanding, and calling it while a load is in flight returns `None`.
+    /// The asynchronous scheduler uses [`Abm::plan_loads`] instead.
     pub fn plan_load(&mut self, now: SimTime) -> Option<LoadPlan> {
-        if self.state.inflight().is_some() {
+        if self.state.num_inflight() > 0 {
             return None;
         }
         let decision = self.policy.next_load(&self.state, now)?;
+        self.admit_decision(decision)
+    }
+
+    /// One *batched* scheduling step: plan up to `max_new` additional loads,
+    /// admitting each one (and reserving its buffer pages and victims)
+    /// before asking the policy for the next, so the whole burst is planned
+    /// against a consistent picture of the pool.  Victims for the entire
+    /// burst are thus chosen up front — no load of the burst can later fail
+    /// to find space, and the burst can never deadlock the pool: a load that
+    /// cannot secure space is simply not admitted.
+    ///
+    /// The first decision of an empty pipeline is taken by the exact
+    /// sequential path of [`Abm::plan_load`] (slot 0 of
+    /// [`Policy::next_load_pipelined`]), so a driver that keeps at most one
+    /// load outstanding behaves bit-identically to the paper's main loop.
+    pub fn plan_loads(&mut self, now: SimTime, max_new: usize, out: &mut Vec<LoadPlan>) {
+        for _ in 0..max_new {
+            let slot = self.state.num_inflight();
+            let Some(decision) = self.policy.next_load_pipelined(&self.state, now, slot) else {
+                break;
+            };
+            match self.admit_decision(decision) {
+                Some(plan) => out.push(plan),
+                None => break,
+            }
+        }
+    }
+
+    /// Admits one scheduling decision: checks that the load is real and can
+    /// fit, evicts victims until it does, reserves its pages and marks it in
+    /// flight.  Returns `None` (without admitting) when the load is empty,
+    /// larger than the pool, or space cannot be freed.
+    fn admit_decision(&mut self, decision: LoadDecision) -> Option<LoadPlan> {
         let pages = self.state.pages_to_load(decision.chunk, decision.cols);
         if pages == 0 {
             // Nothing missing: the policy picked an already-resident chunk;
@@ -178,6 +219,8 @@ impl Abm {
             return None;
         }
         // Make room: ask the policy for victims until the load fits.
+        // `free_pages` discounts the reservations of everything already in
+        // flight, so victims secured here belong to this load alone.
         let mut evicted = Vec::new();
         while self.state.free_pages() < pages {
             match self.policy.choose_victim(&self.state, &decision) {
@@ -190,7 +233,8 @@ impl Abm {
                     evicted.push(victim);
                 }
                 None => {
-                    // Cannot make room now (everything is pinned or protected).
+                    // Cannot make room now (everything is pinned, protected
+                    // or reserved by the in-flight burst).
                     return None;
                 }
             }
@@ -214,8 +258,8 @@ impl Abm {
         })
     }
 
-    /// Completes the outstanding load.  Returns the queries that are
-    /// interested in the loaded chunk and currently blocked — the driver
+    /// Completes the *oldest* outstanding load.  Returns the queries that
+    /// are interested in the loaded chunk and currently blocked — the driver
     /// should wake them (the `signalQuery` of Figure 3).
     ///
     /// The returned slice borrows an internal scratch buffer (reused across
@@ -223,7 +267,18 @@ impl Abm {
     /// must outlive the next `complete_load` call.
     pub fn complete_load(&mut self) -> &[QueryId] {
         let chunk = self.state.inflight().expect("no load in flight").0;
-        self.state.complete_load();
+        self.complete_load_of(chunk)
+    }
+
+    /// Completes the outstanding load of `chunk`.  With several loads in
+    /// flight the spindles finish them in arbitrary order; the I/O scheduler
+    /// retires each by key.  Returns the blocked queries to wake, as in
+    /// [`Abm::complete_load`].
+    ///
+    /// # Panics
+    /// Panics if no load of `chunk` is in flight.
+    pub fn complete_load_of(&mut self, chunk: ChunkId) -> &[QueryId] {
+        self.state.complete_load_of(chunk);
         self.wake_scratch.clear();
         self.wake_scratch.extend(
             self.state

@@ -32,8 +32,16 @@ enum Op {
     Register { start: u32, len: u32, cols: u8 },
     /// Cancel the `i`-th active query (mod the number of active queries).
     Remove { i: u8 },
-    /// Load (the missing columns of) a chunk, if no load is in flight.
+    /// Load (the missing columns of) a chunk synchronously (begin+complete),
+    /// if nothing is in flight for it.
     Load { chunk: u32, cols: u8 },
+    /// Begin an asynchronous load of a chunk without completing it (leaves
+    /// the load in flight, exercising the multi-outstanding state).
+    BeginLoad { chunk: u32, cols: u8 },
+    /// Complete the `i`-th in-flight load (arbitrary completion order).
+    CompleteLoad { i: u8 },
+    /// Abort the `i`-th in-flight load.
+    AbortLoad { i: u8 },
     /// Evict a chunk, if evictable.
     Evict { chunk: u32 },
     /// Have the `i`-th active query fully process its `pick`-th available
@@ -53,6 +61,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
         }),
         (0u8..=255).prop_map(|i| Op::Remove { i }),
         (0..CHUNKS, 1u8..8).prop_map(|(chunk, cols)| Op::Load { chunk, cols }),
+        (0..CHUNKS, 1u8..8).prop_map(|(chunk, cols)| Op::BeginLoad { chunk, cols }),
+        (0u8..=255).prop_map(|i| Op::CompleteLoad { i }),
+        (0u8..=255).prop_map(|i| Op::AbortLoad { i }),
         (0..CHUNKS).prop_map(|chunk| Op::Evict { chunk }),
         (0u8..=255, 0u8..=255).prop_map(|(i, pick)| Op::Process { i, pick }),
         (0u8..=255).prop_map(|i| Op::Block { i }),
@@ -115,9 +126,28 @@ fn check_ops(model: TableModel, ops: &[Op]) -> Result<(), TestCaseError> {
             Op::Load { chunk, cols } => {
                 let chunk = ChunkId::new(chunk % CHUNKS);
                 let cols = col_set(s.model(), cols);
-                if s.inflight().is_none() && s.pages_to_load(chunk, cols) > 0 {
+                if !s.is_inflight(chunk) && s.pages_to_load(chunk, cols) > 0 {
                     s.begin_load(chunk, cols);
-                    s.complete_load();
+                    s.complete_load_of(chunk);
+                }
+            }
+            Op::BeginLoad { chunk, cols } => {
+                let chunk = ChunkId::new(chunk % CHUNKS);
+                let cols = col_set(s.model(), cols);
+                if !s.is_inflight(chunk) && s.pages_to_load(chunk, cols) > 0 {
+                    s.begin_load(chunk, cols);
+                }
+            }
+            Op::CompleteLoad { i } => {
+                if s.num_inflight() > 0 {
+                    let chunk = s.inflight_loads()[i as usize % s.num_inflight()].chunk;
+                    s.complete_load_of(chunk);
+                }
+            }
+            Op::AbortLoad { i } => {
+                if s.num_inflight() > 0 {
+                    let chunk = s.inflight_loads()[i as usize % s.num_inflight()].chunk;
+                    s.abort_load(chunk);
                 }
             }
             Op::Evict { chunk } => {
@@ -165,6 +195,26 @@ fn check_ops(model: TableModel, ops: &[Op]) -> Result<(), TestCaseError> {
             .next_load(&s, now)
             .map(|d| (d.trigger, d.chunk, d.cols));
         prop_assert_eq!(a, b, "incremental and brute-force next_load diverged");
+        // (c) so do the eviction and consumption argmaxes, for every query.
+        if let Some((trigger, chunk, cols)) = a {
+            let load = crate::abm::LoadDecision {
+                trigger,
+                chunk,
+                cols,
+            };
+            prop_assert_eq!(
+                inc.choose_victim(&s, &load),
+                brute.choose_victim(&s, &load),
+                "incremental and brute-force choose_victim diverged"
+            );
+        }
+        for &q in &active {
+            prop_assert_eq!(
+                inc.next_chunk(q, &s),
+                brute.next_chunk(q, &s),
+                "incremental and brute-force next_chunk diverged"
+            );
+        }
     }
     Ok(())
 }

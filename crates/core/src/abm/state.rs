@@ -35,7 +35,13 @@
 //!   in descending relevance order;
 //! * a bounded change log ([`AbmState::changes_since`]) recording which
 //!   chunks had a counter or residency change, so the DSM policy can repair
-//!   a cached argmax heap instead of rescanning every candidate chunk.
+//!   a cached argmax heap instead of rescanning every candidate chunk;
+//! * an in-flight set ([`AbmState::inflight_loads`]): any number of loads
+//!   may be outstanding at once (the `iosched` layer keeps up to K), each
+//!   reserving its buffer pages at [`AbmState::begin_load`] so that
+//!   [`AbmState::free_pages`] — and therefore eviction planning — accounts
+//!   for the whole burst up front.  In-flight chunks are excluded from load
+//!   candidates and from eviction.
 //!
 //! Every cached quantity has a `_brute` twin computing the original
 //! definition; debug builds cross-check them after every mutation
@@ -65,6 +71,18 @@ fn level(available: u32) -> u8 {
     } else {
         2
     }
+}
+
+/// One outstanding chunk load: what is being fetched and the buffer pages
+/// reserved for it up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InflightLoad {
+    /// The chunk being loaded.
+    pub chunk: ChunkId,
+    /// The columns being made resident (all columns for NSM).
+    pub cols: ColSet,
+    /// Pages reserved in the buffer pool for this load.
+    pub pages: u64,
 }
 
 /// Bounded log of chunk-counter changes, newest last.  Entries are
@@ -145,6 +163,10 @@ pub struct AbmState {
     /// candidates in descending `loadRelevance` order word-wise instead of
     /// sweeping the trigger's whole scan range.
     starved_buckets: Vec<ChunkBitSet>,
+    /// Chunks with `interested_starved > 0` (the union of all buckets), kept
+    /// in O(1) per counter change.  Its complement filters the relevance
+    /// policy's strict eviction pass (`usefulForStarvedQuery`) word-wise.
+    starved_any: ChunkBitSet,
     /// Highest non-empty bucket index (0 when all buckets are empty).
     max_starved: usize,
     /// Reused scratch for starvation-level propagation.
@@ -156,8 +178,17 @@ pub struct AbmState {
     change_log: ChangeLog,
     /// Monotonic counter for load sequencing and LRU timestamps.
     seq: u64,
-    /// Chunk currently being loaded (at most one outstanding load).
-    inflight: Option<(ChunkId, ColSet)>,
+    /// Loads currently in flight, oldest first.  The I/O scheduler keeps up
+    /// to K of them outstanding; each reserved its buffer pages at
+    /// [`Self::begin_load`] time so a burst of loads can never over-commit
+    /// the pool.
+    inflight: Vec<InflightLoad>,
+    /// Chunks with an in-flight load, as a bitset (mirrors `inflight`); lets
+    /// the policies' candidate filters and the NSM chunk argmax exclude them
+    /// in O(1) / word-wise.
+    inflight_set: ChunkBitSet,
+    /// Buffer pages reserved by in-flight loads (not yet in `used_pages`).
+    reserved_pages: u64,
     /// Total chunk loads completed.
     io_requests: u64,
     /// Total pages read from disk.
@@ -186,12 +217,15 @@ impl AbmState {
             interested_almost_starved: vec![0; chunks],
             resident: ChunkBitSet::new(chunks),
             starved_buckets: Vec::new(),
+            starved_any: ChunkBitSet::new(chunks),
             max_starved: 0,
             chunk_scratch: Vec::new(),
             change_seq: 0,
             change_log: ChangeLog::new((4 * chunks).max(64)),
             seq: 0,
-            inflight: None,
+            inflight: Vec::new(),
+            inflight_set: ChunkBitSet::new(chunks),
+            reserved_pages: 0,
             io_requests: 0,
             pages_read: 0,
             queries_registered: 0,
@@ -217,9 +251,19 @@ impl AbmState {
         self.used_pages
     }
 
-    /// Pages still free.
+    /// Pages still free: capacity minus occupied pages minus pages reserved
+    /// by in-flight loads.  Eviction planning works against this figure, so
+    /// a burst of outstanding loads can never over-commit the pool.
     pub fn free_pages(&self) -> u64 {
-        self.capacity_pages.saturating_sub(self.used_pages)
+        self.capacity_pages
+            .saturating_sub(self.used_pages)
+            .saturating_sub(self.reserved_pages)
+    }
+
+    /// Pages reserved by in-flight loads (not yet counted in
+    /// [`Self::used_pages`]).
+    pub fn reserved_pages(&self) -> u64 {
+        self.reserved_pages
     }
 
     /// Number of active (registered, unfinished) queries.
@@ -278,9 +322,31 @@ impl AbmState {
         self.buffered.get(chunk.as_usize()).and_then(|b| b.as_ref())
     }
 
-    /// The chunk currently being loaded, if any.
+    /// The *oldest* in-flight load, if any.  Kept for the single-outstanding
+    /// drivers; schedulers that pipeline should use [`Self::inflight_loads`].
     pub fn inflight(&self) -> Option<(ChunkId, ColSet)> {
-        self.inflight
+        self.inflight.first().map(|l| (l.chunk, l.cols))
+    }
+
+    /// All in-flight loads, oldest first.
+    pub fn inflight_loads(&self) -> &[InflightLoad] {
+        &self.inflight
+    }
+
+    /// Number of loads currently in flight.
+    pub fn num_inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether a load of `chunk` is currently in flight.  O(1).
+    pub fn is_inflight(&self, chunk: ChunkId) -> bool {
+        self.inflight_set.contains(chunk.as_usize())
+    }
+
+    /// Bitset words of the in-flight chunks (64 chunks per word), for the
+    /// relevance policy's word-wise chunk argmax.
+    pub(crate) fn inflight_words(&self) -> &[u64] {
+        self.inflight_set.words()
     }
 
     /// Number of chunk loads completed so far.
@@ -398,11 +464,18 @@ impl AbmState {
             .unwrap_or(&[])
     }
 
+    /// Bitset words of the chunks needed by at least one starved query
+    /// (`interested_starved > 0`), for the relevance policy's word-wise
+    /// eviction scan.
+    pub(crate) fn starved_any_words(&self) -> &[u64] {
+        self.starved_any.words()
+    }
+
     /// Whether `chunk` may be evicted right now: resident, not pinned and not
-    /// the target of the in-flight load.
+    /// the target of any in-flight load.
     pub fn is_evictable(&self, chunk: ChunkId) -> bool {
         match self.buffered_chunk(chunk) {
-            Some(b) => !b.is_pinned() && self.inflight.map(|(c, _)| c) != Some(chunk),
+            Some(b) => !b.is_pinned() && !self.is_inflight(chunk),
             None => false,
         }
     }
@@ -556,6 +629,11 @@ impl AbmState {
                     "stale starved bucket {b} for {chunk:?}"
                 );
             }
+            assert_eq!(
+                self.starved_any.contains(c as usize),
+                s > 0,
+                "stale starved-any bit for {chunk:?}"
+            );
         }
         for (b, bucket) in self.starved_buckets.iter().enumerate() {
             assert!(
@@ -571,6 +649,33 @@ impl AbmState {
                 self.max_starved
             );
         }
+        // In-flight bookkeeping: the bitset mirrors the list, no chunk has
+        // two outstanding loads, reservations add up, and reservations plus
+        // occupancy never over-commit the pool.
+        assert_eq!(
+            self.inflight_set.len(),
+            self.inflight.len(),
+            "in-flight bitset out of sync (or duplicate in-flight chunk)"
+        );
+        for l in &self.inflight {
+            assert!(
+                self.inflight_set.contains(l.chunk.as_usize()),
+                "in-flight bitset missing {:?}",
+                l.chunk
+            );
+        }
+        assert_eq!(
+            self.reserved_pages,
+            self.inflight.iter().map(|l| l.pages).sum::<u64>(),
+            "stale reserved-page total"
+        );
+        assert!(
+            self.used_pages + self.reserved_pages <= self.capacity_pages,
+            "used {} + reserved {} pages over-commit the {}-page pool",
+            self.used_pages,
+            self.reserved_pages,
+            self.capacity_pages
+        );
     }
 
     /// Runs [`Self::validate_counters`] in debug builds only.
@@ -595,6 +700,9 @@ impl AbmState {
         self.interested_starved[c] = new;
         if old > 0 {
             self.starved_buckets[old as usize].remove(c);
+            if new == 0 {
+                self.starved_any.remove(c);
+            }
             if old as usize == self.max_starved && new < old {
                 while self.max_starved > 0 && self.starved_buckets[self.max_starved].is_empty() {
                     self.max_starved -= 1;
@@ -602,6 +710,7 @@ impl AbmState {
             }
         }
         if new > 0 {
+            self.starved_any.insert(c);
             let n = new as usize;
             if self.starved_buckets.len() <= n {
                 let cap = self.model.num_chunks() as usize;
@@ -727,25 +836,68 @@ impl AbmState {
         state
     }
 
-    /// Marks the start of a chunk load.
+    /// Marks the start of a chunk load, reserving its buffer pages up front.
+    /// Any number of loads may be in flight, but at most one per chunk.
+    ///
+    /// # Panics
+    /// Panics (debug) if a load of `chunk` is already outstanding.
     pub(crate) fn begin_load(&mut self, chunk: ChunkId, cols: ColSet) {
         debug_assert!(
-            self.inflight.is_none(),
-            "only one outstanding load is supported"
+            !self.is_inflight(chunk),
+            "{chunk:?} already has a load in flight"
         );
-        self.inflight = Some((chunk, cols));
+        let pages = self.pages_to_load(chunk, cols);
+        self.inflight.push(InflightLoad { chunk, cols, pages });
+        self.inflight_set.insert(chunk.as_usize());
+        self.reserved_pages += pages;
+        debug_assert!(
+            self.used_pages + self.reserved_pages <= self.capacity_pages,
+            "in-flight reservations over-commit the buffer pool"
+        );
+        // Becoming in-flight removes the chunk from every policy's load
+        // candidate set; the change log entry lets the DSM candidate heaps
+        // notice (and re-admit it if the load is later aborted).
+        self.mark_changed(chunk);
     }
 
-    /// Completes the in-flight load: the chunk's columns become resident.
-    /// Returns the number of pages added.
+    /// Completes the *oldest* in-flight load.  Convenience for the
+    /// single-outstanding tests; the drivers go through
+    /// [`crate::Abm::complete_load`] / [`Self::complete_load_of`].
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn complete_load(&mut self) -> u64 {
-        let (chunk, cols) = self.inflight.take().expect("no load in flight");
+        let chunk = self.inflight.first().expect("no load in flight").chunk;
+        self.complete_load_of(chunk)
+    }
+
+    /// Completes the in-flight load of `chunk` (loads may complete in any
+    /// order): its columns become resident and the reservation is converted
+    /// into occupied pages.  Returns the number of pages added.
+    ///
+    /// # Panics
+    /// Panics if no load of `chunk` is in flight.
+    pub(crate) fn complete_load_of(&mut self, chunk: ChunkId) -> u64 {
+        let idx = self
+            .inflight
+            .iter()
+            .position(|l| l.chunk == chunk)
+            .unwrap_or_else(|| panic!("no load of {chunk:?} in flight"));
+        let InflightLoad {
+            cols,
+            pages: reserved,
+            ..
+        } = self.inflight.remove(idx);
+        self.inflight_set.remove(chunk.as_usize());
+        self.reserved_pages -= reserved;
         let missing = self.missing_columns(chunk, cols);
         let pages = if self.model.is_dsm() {
             self.model.chunk_pages(chunk, missing)
         } else {
             self.model.chunk_pages(chunk, self.model.all_columns())
         };
+        debug_assert_eq!(
+            pages, reserved,
+            "{chunk:?}: residency changed between begin_load and completion"
+        );
         self.seq += 1;
         let seq = self.seq;
         let all_columns = if self.model.is_dsm() {
@@ -790,10 +942,24 @@ impl AbmState {
         pages
     }
 
-    /// Aborts the in-flight load (used when a query set change makes it moot).
-    #[allow(dead_code)]
-    pub(crate) fn abort_load(&mut self) {
-        self.inflight = None;
+    /// Aborts the in-flight load of `chunk` (used when a query set change
+    /// makes it moot), releasing its page reservation.
+    ///
+    /// # Panics
+    /// Panics if no load of `chunk` is in flight.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn abort_load(&mut self, chunk: ChunkId) {
+        let idx = self
+            .inflight
+            .iter()
+            .position(|l| l.chunk == chunk)
+            .unwrap_or_else(|| panic!("no load of {chunk:?} in flight"));
+        let load = self.inflight.remove(idx);
+        self.inflight_set.remove(chunk.as_usize());
+        self.reserved_pages -= load.pages;
+        // The chunk is a load candidate again; let the caches notice.
+        self.mark_changed(chunk);
+        self.debug_validate();
     }
 
     /// Evicts `chunk` entirely from the buffer.  Returns the pages freed.
@@ -827,6 +993,12 @@ impl AbmState {
     /// query's availability can change.
     pub(crate) fn drop_dead_columns(&mut self, chunk: ChunkId) -> u64 {
         if !self.model.is_dsm() {
+            return 0;
+        }
+        // A chunk with a load in flight keeps its resident columns: the
+        // load's page reservation was computed against them, and the missing
+        // set must not change between begin_load and completion.
+        if self.is_inflight(chunk) {
             return 0;
         }
         let needed_cols = self

@@ -1,0 +1,241 @@
+//! Property tests of the K-outstanding I/O scheduler.
+//!
+//! For arbitrary interleavings of query registration/detachment, chunk
+//! consumption and out-of-order load completions, with arbitrary
+//! outstanding-load budgets:
+//!
+//! * every load the scheduler admits targets a chunk some active query still
+//!   needs (never a "non-interesting" chunk),
+//! * buffer frames are never double-reserved: no chunk has two outstanding
+//!   loads, and occupied plus reserved pages never exceed the pool
+//!   (re-checked from first principles here, on top of
+//!   [`AbmState::validate_counters`]),
+//! * a K=1 scheduler takes decision-for-decision the same loads (and
+//!   evictions) as the sequential [`Abm::plan_load`] main loop.
+
+use super::IoScheduler;
+use crate::abm::{Abm, AbmState, LoadPlan};
+use crate::model::TableModel;
+use crate::policy::PolicyKind;
+use crate::query::QueryId;
+use cscan_simdisk::SimTime;
+use cscan_storage::ScanRanges;
+use proptest::prelude::*;
+
+const CHUNKS: u32 = 24;
+
+/// One step of a random driver workload (interpreted modulo the current
+/// state so every sequence is applicable).
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register a fresh query scanning `len` chunks from `start`.
+    Register { start: u32, len: u32 },
+    /// Detach the `i`-th active query.
+    Detach { i: u8 },
+    /// Complete the `i`-th outstanding load (out-of-order completion).
+    Complete { i: u8 },
+    /// Have the `i`-th active query acquire (policy's pick) and consume one
+    /// available chunk.
+    Process { i: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CHUNKS, 1..=CHUNKS).prop_map(|(start, len)| Op::Register { start, len }),
+        (0u8..=255).prop_map(|i| Op::Detach { i }),
+        (0u8..=255).prop_map(|i| Op::Complete { i }),
+        // Two completion-flavoured arms keep the pipeline churning.
+        (0u8..=255).prop_map(|i| Op::Complete {
+            i: i.wrapping_add(7)
+        }),
+        (0u8..=255).prop_map(|i| Op::Process { i }),
+    ]
+}
+
+fn new_abm(buffer_chunks: u64) -> Abm {
+    let model = TableModel::nsm_uniform(CHUNKS, 1000, 16);
+    Abm::new(
+        AbmState::new(model, buffer_chunks * 16),
+        PolicyKind::Relevance.build(),
+    )
+}
+
+/// Applies one op to an `(abm, active)` pair, using `plans` for the
+/// completion ops.  Returns the chunks completed (so twin executions can be
+/// replayed identically).
+fn apply_op(op: &Op, abm: &mut Abm, active: &mut Vec<QueryId>, next_label: &mut u64, now: SimTime) {
+    match *op {
+        Op::Register { start, len } => {
+            let end = (start + len).min(CHUNKS).max(start + 1);
+            let cols = abm.state().model().all_columns();
+            let id = abm.register_query(
+                format!("q{}", *next_label),
+                ScanRanges::single(start, end),
+                cols,
+                now,
+            );
+            *next_label += 1;
+            active.push(id);
+        }
+        Op::Detach { i } => {
+            if !active.is_empty() {
+                let q = active.remove(i as usize % active.len());
+                abm.finish_query(q);
+            }
+        }
+        Op::Complete { .. } | Op::Process { .. } => unreachable!("handled by the driver"),
+    }
+}
+
+/// Drives `abm` through `ops` with a K-outstanding scheduler, checking the
+/// safety properties after every step.
+fn check_scheduler(k: usize, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut abm = new_abm(4);
+    let mut sched = IoScheduler::new(k);
+    let mut active: Vec<QueryId> = Vec::new();
+    let mut next_label = 0u64;
+    let mut plans: Vec<LoadPlan> = Vec::new();
+    let mut clock = 0u64;
+    for op in ops {
+        clock += 1;
+        let now = SimTime::from_secs(clock);
+        match *op {
+            Op::Complete { i } => {
+                if sched.in_flight() > 0 {
+                    let idx = i as usize % plans.len();
+                    let chunk = plans.swap_remove(idx).decision.chunk;
+                    sched.complete(&mut abm, chunk);
+                }
+            }
+            Op::Process { i } => {
+                if !active.is_empty() {
+                    let q = active[i as usize % active.len()];
+                    if let Some(chunk) = abm.acquire_chunk(q, now) {
+                        abm.release_chunk(q, chunk);
+                        if abm.is_query_finished(q) {
+                            abm.finish_query(q);
+                            active.retain(|&a| a != q);
+                        }
+                    }
+                }
+            }
+            ref op => apply_op(op, &mut abm, &mut active, &mut next_label, now),
+        }
+        // Re-fill the pipeline, as a driver would after every event.
+        let before = plans.len();
+        sched.plan(&mut abm, now, &mut plans);
+        for plan in &plans[before..] {
+            // Never load a chunk nobody wants.
+            prop_assert!(
+                abm.state().num_interested(plan.decision.chunk) > 0,
+                "admitted a load of {:?} which no query needs",
+                plan.decision.chunk
+            );
+            prop_assert!(plan.pages > 0);
+        }
+        // Never more than K in flight, never two loads of one chunk, and
+        // never an over-committed pool (frames double-reserved).
+        prop_assert!(sched.in_flight() <= k);
+        prop_assert_eq!(sched.in_flight(), abm.state().num_inflight());
+        let mut chunks: Vec<_> = abm
+            .state()
+            .inflight_loads()
+            .iter()
+            .map(|l| l.chunk)
+            .collect();
+        chunks.sort_unstable();
+        chunks.dedup();
+        prop_assert_eq!(chunks.len(), abm.state().num_inflight());
+        let reserved: u64 = abm.state().inflight_loads().iter().map(|l| l.pages).sum();
+        prop_assert_eq!(reserved, abm.state().reserved_pages());
+        prop_assert!(
+            abm.state().used_pages() + abm.state().reserved_pages() <= abm.state().capacity_pages()
+        );
+        abm.state().validate_counters();
+    }
+    Ok(())
+}
+
+/// Drives two identical workloads, one through the sequential
+/// [`Abm::plan_load`] loop and one through a K=1 [`IoScheduler`]; their
+/// decision and eviction streams must be identical at every step.
+fn check_k1_degenerates(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut seq = new_abm(4);
+    let mut pipe = new_abm(4);
+    let mut sched = IoScheduler::new(1);
+    let mut seq_active: Vec<QueryId> = Vec::new();
+    let mut pipe_active: Vec<QueryId> = Vec::new();
+    let mut seq_label = 0u64;
+    let mut pipe_label = 0u64;
+    let mut clock = 0u64;
+    for op in ops {
+        clock += 1;
+        let now = SimTime::from_secs(clock);
+        match *op {
+            // In a K=1 pipeline at most one load is outstanding and the
+            // drivers below complete it immediately, so Complete is a no-op.
+            Op::Complete { .. } => continue,
+            Op::Process { i } => {
+                if seq_active.is_empty() {
+                    continue;
+                }
+                let qi = i as usize % seq_active.len();
+                let (qa, qb) = (seq_active[qi], pipe_active[qi]);
+                let ca = seq.acquire_chunk(qa, now);
+                let cb = pipe.acquire_chunk(qb, now);
+                prop_assert_eq!(ca, cb, "twin executions acquired different chunks");
+                let Some(chunk) = ca else { continue };
+                seq.release_chunk(qa, chunk);
+                pipe.release_chunk(qb, chunk);
+                if seq.is_query_finished(qa) {
+                    seq.finish_query(qa);
+                    pipe.finish_query(qb);
+                    seq_active.retain(|&a| a != qa);
+                    pipe_active.retain(|&a| a != qb);
+                }
+            }
+            ref op => {
+                apply_op(op, &mut seq, &mut seq_active, &mut seq_label, now);
+                apply_op(op, &mut pipe, &mut pipe_active, &mut pipe_label, now);
+            }
+        }
+        // One sequential step vs one K=1 scheduler step.
+        let a = seq.plan_load(now);
+        let mut b = Vec::new();
+        sched.plan(&mut pipe, now, &mut b);
+        prop_assert_eq!(
+            a.as_ref().map(|p| p.decision),
+            b.first().map(|p| p.decision),
+            "K=1 scheduler diverged from the sequential path"
+        );
+        prop_assert_eq!(
+            a.as_ref().map(|p| p.evicted.clone()),
+            b.first().map(|p| p.evicted.clone()),
+            "K=1 scheduler evicted differently from the sequential path"
+        );
+        if let Some(plan) = a {
+            seq.complete_load();
+            sched.complete(&mut pipe, plan.decision.chunk);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// K-outstanding execution is safe for arbitrary workloads and budgets.
+    #[test]
+    fn k_outstanding_is_safe(
+        k in 1usize..=6,
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        check_scheduler(k, &ops)?;
+    }
+
+    /// A K=1 scheduler is bit-identical to the sequential main loop.
+    #[test]
+    fn k1_degenerates_to_sequential(ops in prop::collection::vec(arb_op(), 1..60)) {
+        check_k1_degenerates(&ops)?;
+    }
+}

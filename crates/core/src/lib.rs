@@ -23,8 +23,15 @@
 //! * [`sim::Simulation`] — a deterministic discrete-event simulation used to
 //!   regenerate every table and figure of the paper's evaluation;
 //! * [`threaded`] — a real multi-threaded executor (OS threads, condition
-//!   variables, an I/O thread running the ABM main loop of Fig. 3) for live
-//!   use of the API.
+//!   variables, an I/O worker pool running the ABM main loop of Fig. 3) for
+//!   live use of the API.
+//!
+//! Both issue their chunk loads through the asynchronous I/O scheduling
+//! layer ([`iosched`]): up to K loads stay in flight (with batched,
+//! reservation-backed eviction planning), routed to per-spindle submission
+//! queues when the storage is modelled as an explicit RAID array.  K = 1 —
+//! the default everywhere — reproduces the paper's sequential main loop
+//! decision-for-decision.
 //!
 //! ## Quick example
 //!
@@ -54,6 +61,7 @@ pub mod abm;
 pub mod bitset;
 pub mod colset;
 pub mod cscan;
+pub mod iosched;
 pub mod model;
 pub mod policy;
 pub mod query;
@@ -61,9 +69,10 @@ pub mod reuse;
 pub mod sim;
 pub mod threaded;
 
-pub use abm::{Abm, AbmState, BufferedChunk, LoadDecision};
+pub use abm::{Abm, AbmState, BufferedChunk, InflightLoad, LoadDecision};
 pub use colset::ColSet;
 pub use cscan::CScanPlan;
+pub use iosched::{IoSchedStats, IoScheduler, SimIoBackend};
 pub use model::{StorageKind, TableModel};
 pub use policy::{AttachPolicy, ElevatorPolicy, NormalPolicy, Policy, PolicyKind, RelevancePolicy};
 pub use query::{QueryId, QueryState};

@@ -40,7 +40,8 @@ impl AttachPolicy {
     }
 
     /// The next chunk to read for `q`: the first still-needed chunk at or
-    /// after the consumption point (in rotation order) that is missing.
+    /// after the consumption point (in rotation order) that is missing and
+    /// not already being fetched.
     fn next_missing(&self, state: &AbmState, q: QueryId) -> Option<ChunkId> {
         let order = self.orders.get(&q)?;
         let query = state.query(q);
@@ -48,7 +49,7 @@ impl AttachPolicy {
         order
             .iter()
             .copied()
-            .filter(|&c| query.needs(c))
+            .filter(|&c| query.needs(c) && !state.is_inflight(c))
             .find(|&c| state.pages_to_load(c, cols) > 0)
     }
 

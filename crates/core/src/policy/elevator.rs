@@ -46,13 +46,15 @@ impl ElevatorPolicy {
     }
 
     /// Finds the next chunk (starting at the cursor, wrapping once) that some
-    /// query needs and that is missing data for those queries.
+    /// query needs and that is missing data for those queries.  Chunks whose
+    /// load is already in flight are skipped, so with an asynchronous
+    /// scheduler successive decisions read ahead along the sweep.
     fn next_wanted(&self, state: &AbmState) -> Option<(ChunkId, ColSet)> {
         let n = state.model().num_chunks();
         for step in 0..n {
             let idx = (self.cursor + step) % n;
             let chunk = ChunkId::new(idx);
-            if state.num_interested(chunk) == 0 {
+            if state.num_interested(chunk) == 0 || state.is_inflight(chunk) {
                 continue;
             }
             let cols = Self::union_columns(state, chunk);

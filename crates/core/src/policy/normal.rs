@@ -31,14 +31,16 @@ impl NormalPolicy {
     }
 
     /// The next chunk to *read* for query `q`: the first remaining chunk, in
-    /// table order, that is not yet resident.  Reading ahead of the
-    /// consumption point models the sequential prefetching every real system
-    /// performs for `normal` scans.
+    /// table order, that is not yet resident nor already being fetched.
+    /// Reading ahead of the consumption point models the sequential
+    /// prefetching every real system performs for `normal` scans; with the
+    /// async scheduler, successive decisions prefetch ever deeper.
     fn next_missing(state: &AbmState, q: QueryId) -> Option<ChunkId> {
         let cols = trigger_columns(state, q);
         state
             .query(q)
             .remaining_chunks()
+            .filter(|&c| !state.is_inflight(c))
             .find(|&c| state.pages_to_load(c, cols) > 0)
     }
 }

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use cscan_simdisk::{DiskModel, SimDuration};
+use cscan_simdisk::{DiskModel, RaidConfig, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// How the buffer pool size is expressed.
@@ -23,14 +23,24 @@ pub enum BufferSpec {
 pub struct SimConfig {
     /// Number of CPU cores shared by all running queries.
     pub cores: usize,
-    /// Disk model servicing chunk loads.
+    /// Disk model servicing chunk loads (used when `raid` is `None`: the
+    /// array is then modelled as one logical device with the aggregate
+    /// bandwidth, as in the paper's original runs).
     pub disk: DiskModel,
+    /// Explicit multi-spindle array.  When set, every load's regions are
+    /// routed to per-spindle submission queues and `max_outstanding_io`
+    /// decides how many loads can overlap across the arms.
+    pub raid: Option<RaidConfig>,
+    /// Outstanding chunk loads the I/O scheduler keeps in flight (K).  The
+    /// default of 1 reproduces the paper's sequential main loop exactly.
+    pub max_outstanding_io: usize,
     /// Buffer pool size.
     pub buffer: BufferSpec,
     /// Delay between the start of consecutive query streams (3 s in the paper).
     pub stream_stagger: SimDuration,
-    /// Whether to record a chunk-access trace (Figure 4).  Traces cost memory
-    /// proportional to the number of I/Os, so sweeps turn them off.
+    /// Whether to record a chunk-access trace (Figure 4) and, for RAID
+    /// configurations, the per-spindle queue-depth trace.  Traces cost
+    /// memory proportional to the number of I/Os, so sweeps turn them off.
     pub record_trace: bool,
 }
 
@@ -39,6 +49,8 @@ impl Default for SimConfig {
         Self {
             cores: 2,
             disk: DiskModel::paper_raid(),
+            raid: None,
+            max_outstanding_io: 1,
             buffer: BufferSpec::Chunks(64),
             stream_stagger: SimDuration::from_secs(3),
             record_trace: false,
@@ -74,6 +86,20 @@ impl SimConfig {
     /// Sets the disk model.
     pub fn with_disk(mut self, disk: DiskModel) -> Self {
         self.disk = disk;
+        self
+    }
+
+    /// Models the storage as an explicit striped array with per-spindle
+    /// submission queues instead of one aggregate logical device.
+    pub fn with_raid(mut self, raid: RaidConfig) -> Self {
+        self.raid = Some(raid);
+        self
+    }
+
+    /// Sets the number of chunk loads the I/O scheduler keeps outstanding
+    /// (clamped to at least 1).
+    pub fn with_outstanding_io(mut self, k: usize) -> Self {
+        self.max_outstanding_io = k.max(1);
         self
     }
 
@@ -147,5 +173,23 @@ mod tests {
         assert_eq!(cfg.cores, 2, "dual-CPU Opteron");
         assert_eq!(cfg.stream_stagger, SimDuration::from_secs(3));
         assert_eq!(cfg.buffer, BufferSpec::Chunks(64), "1 GB of 16 MB chunks");
+        assert_eq!(cfg.max_outstanding_io, 1, "the paper's sequential loop");
+        assert!(cfg.raid.is_none(), "one aggregate logical device");
+    }
+
+    #[test]
+    fn raid_and_outstanding_builders() {
+        let cfg = SimConfig::default()
+            .with_raid(RaidConfig::default())
+            .with_outstanding_io(8);
+        assert_eq!(cfg.raid.unwrap().spindles, 4);
+        assert_eq!(cfg.max_outstanding_io, 8);
+        assert_eq!(
+            SimConfig::default()
+                .with_outstanding_io(0)
+                .max_outstanding_io,
+            1,
+            "K is clamped to at least one"
+        );
     }
 }

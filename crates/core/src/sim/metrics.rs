@@ -6,7 +6,7 @@
 //! chunk-access trace used for Figure 4.
 
 use cscan_engine::Summary;
-use cscan_simdisk::{IoTrace, SimDuration, SimTime};
+use cscan_simdisk::{IoTrace, QueueDepthTrace, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -53,8 +53,13 @@ pub struct RunResult {
     pub bytes_read: u64,
     /// CPU utilization over the makespan, in `[0, 1]`.
     pub cpu_utilization: f64,
-    /// Fraction of the makespan the disk was busy, in `[0, 1]`.
+    /// Fraction of the makespan the storage was busy, in `[0, 1]`
+    /// (normalized by the number of spindles for RAID configurations).
     pub disk_utilization: f64,
+    /// Most chunk loads ever simultaneously in flight (1 for the paper's
+    /// sequential main loop; up to `max_outstanding_io` with the async
+    /// scheduler).
+    pub peak_outstanding_io: usize,
     /// Per-query outcomes, in completion order.
     pub queries: Vec<QueryOutcome>,
     /// Per-stream start times.
@@ -63,6 +68,9 @@ pub struct RunResult {
     pub stream_ends: Vec<SimTime>,
     /// Chunk-access trace (empty unless tracing was enabled).
     pub trace: IoTrace,
+    /// Per-spindle queue-depth samples at submission times (empty unless
+    /// tracing was enabled).
+    pub depth_trace: QueueDepthTrace,
 }
 
 impl RunResult {
@@ -185,6 +193,7 @@ mod tests {
             bytes_read: 1000 * 65536,
             cpu_utilization: 0.8,
             disk_utilization: 0.5,
+            peak_outstanding_io: 1,
             queries: vec![
                 outcome("F-10", 0, 0, 10),
                 outcome("F-10", 1, 3, 23),
@@ -193,6 +202,7 @@ mod tests {
             stream_starts: vec![SimTime::ZERO, SimTime::from_secs(3)],
             stream_ends: vec![SimTime::from_secs(30), SimTime::from_secs(23)],
             trace: IoTrace::new(),
+            depth_trace: QueueDepthTrace::new(),
         }
     }
 
@@ -247,10 +257,12 @@ mod tests {
             bytes_read: 0,
             cpu_utilization: 0.0,
             disk_utilization: 0.0,
+            peak_outstanding_io: 0,
             queries: vec![],
             stream_starts: vec![],
             stream_ends: vec![],
             trace: IoTrace::new(),
+            depth_trace: QueueDepthTrace::new(),
         };
         assert_eq!(r.avg_stream_time(), 0.0);
         assert_eq!(r.avg_latency(), 0.0);

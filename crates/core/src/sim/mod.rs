@@ -1,12 +1,18 @@
 //! Deterministic discrete-event simulation of concurrent Cooperative Scans.
 //!
 //! The simulation combines the three resources the paper's experiments
-//! exercise: a disk (the [`cscan_simdisk::Disk`] analytic model) serving one
-//! chunk-sized scatter-gather read at a time, a processor-sharing CPU
-//! ([`cscan_engine::SharedCpu`]) on which every running query processes its
-//! current chunk, and the Active Buffer Manager deciding what to read and
-//! evict.  Query streams start with a configurable stagger and run their
-//! queries back-to-back, exactly like the benchmark setup of Section 5.1.
+//! exercise: simulated storage (a single aggregate [`cscan_simdisk::Disk`]
+//! or an explicit [`cscan_simdisk::RaidArray`] with per-spindle submission
+//! queues, behind a [`crate::iosched::SimIoBackend`]), a processor-sharing
+//! CPU ([`cscan_engine::SharedCpu`]) on which every running query processes
+//! its current chunk, and the Active Buffer Manager deciding what to read
+//! and evict.  Chunk loads are issued through the asynchronous
+//! [`crate::iosched::IoScheduler`]: with the default
+//! [`SimConfig::max_outstanding_io`] of 1 it reproduces the paper's
+//! sequential main loop decision-for-decision, while larger budgets keep
+//! several loads in flight and overlap the spindles.  Query streams start
+//! with a configurable stagger and run their queries back-to-back, exactly
+//! like the benchmark setup of Section 5.1.
 //!
 //! Everything runs in virtual time, so a 16-stream TPC-H-scale experiment
 //! takes milliseconds of wall-clock time and two runs with the same inputs
@@ -20,12 +26,13 @@ pub use config::{BufferSpec, SimConfig};
 pub use metrics::{QueryOutcome, RunResult};
 pub use spec::QuerySpec;
 
-use crate::abm::{Abm, AbmState, LoadDecision};
+use crate::abm::{Abm, AbmState, LoadPlan};
+use crate::iosched::{IoScheduler, SimIoBackend};
 use crate::model::TableModel;
 use crate::policy::PolicyKind;
 use crate::query::QueryId;
 use cscan_engine::{EventQueue, JobId, SharedCpu};
-use cscan_simdisk::{Disk, IoTrace, SimDuration, SimTime};
+use cscan_simdisk::{IoTrace, QueueDepthTrace, SimDuration, SimTime};
 use cscan_storage::{ChunkId, ScanRanges};
 use std::collections::HashMap;
 
@@ -34,8 +41,9 @@ use std::collections::HashMap;
 enum Event {
     /// Start the next query of stream `stream`.
     StreamAdvance { stream: usize },
-    /// The outstanding chunk load finished.
-    DiskDone,
+    /// The outstanding load of `chunk` finished (loads may complete in any
+    /// order when several are in flight).
+    DiskDone { chunk: u32 },
     /// A CPU job (query × chunk) predicted to finish; stale epochs are ignored.
     CpuDone { job: JobId, epoch: u64 },
 }
@@ -115,18 +123,20 @@ struct Runner<'a> {
     config: SimConfig,
     streams: &'a [Vec<QuerySpec>],
     abm: Abm,
-    disk: Disk,
+    scheduler: IoScheduler,
+    backend: SimIoBackend,
     cpu: SharedCpu,
     queue: EventQueue<Event>,
     cpu_epoch: u64,
-    current_load: Option<LoadDecision>,
     active: HashMap<QueryId, ActiveQuery>,
     stream_cursor: Vec<usize>,
     stream_starts: Vec<SimTime>,
     stream_ends: Vec<SimTime>,
     outcomes: Vec<QueryOutcome>,
     trace: IoTrace,
-    disk_busy_time: SimDuration,
+    depth_trace: QueueDepthTrace,
+    /// Reused buffer for the plans admitted by one scheduling burst.
+    plan_scratch: Vec<LoadPlan>,
     /// Reused copy of the ABM's wake-up list, so dispatching woken queries
     /// does not hold the `complete_load` borrow (and allocates nothing).
     wake_scratch: Vec<QueryId>,
@@ -147,18 +157,19 @@ impl<'a> Runner<'a> {
             config,
             streams,
             abm,
-            disk: Disk::new(config.disk),
+            scheduler: IoScheduler::new(config.max_outstanding_io),
+            backend: SimIoBackend::new(config.disk, config.raid),
             cpu: SharedCpu::new(config.cores),
             queue: EventQueue::new(),
             cpu_epoch: 0,
-            current_load: None,
             active: HashMap::new(),
             stream_cursor: vec![0; streams.len()],
             stream_starts: vec![SimTime::ZERO; streams.len()],
             stream_ends: vec![SimTime::ZERO; streams.len()],
             outcomes: Vec::new(),
             trace: IoTrace::new(),
-            disk_busy_time: SimDuration::ZERO,
+            depth_trace: QueueDepthTrace::new(),
+            plan_scratch: Vec::new(),
             wake_scratch: Vec::new(),
         }
     }
@@ -179,7 +190,7 @@ impl<'a> Runner<'a> {
             match self.queue.pop() {
                 Some((now, event)) => match event {
                     Event::StreamAdvance { stream } => self.on_stream_advance(now, stream),
-                    Event::DiskDone => self.on_disk_done(now),
+                    Event::DiskDone { chunk } => self.on_disk_done(now, ChunkId::new(chunk)),
                     Event::CpuDone { job, epoch } => self.on_cpu_done(now, job, epoch),
                 },
                 None if self.abm.has_pending_work() => {
@@ -224,7 +235,7 @@ impl<'a> Runner<'a> {
         let disk_utilization = if makespan.is_zero() {
             0.0
         } else {
-            (self.disk_busy_time.as_secs_f64() / makespan.as_secs_f64()).min(1.0)
+            self.backend.utilization(makespan)
         };
         let state = self.abm.state();
         RunResult {
@@ -235,10 +246,12 @@ impl<'a> Runner<'a> {
             bytes_read: state.pages_read() * self.model.page_size(),
             cpu_utilization,
             disk_utilization,
+            peak_outstanding_io: self.scheduler.stats().peak_outstanding,
             queries: self.outcomes,
             stream_starts: self.stream_starts,
             stream_ends: self.stream_ends,
             trace: self.trace,
+            depth_trace: self.depth_trace,
         }
     }
 
@@ -278,16 +291,13 @@ impl<'a> Runner<'a> {
         self.kick_disk(now);
     }
 
-    fn on_disk_done(&mut self, now: SimTime) {
-        let load = self
-            .current_load
-            .take()
-            .expect("DiskDone without an outstanding load");
+    fn on_disk_done(&mut self, now: SimTime, chunk: ChunkId) {
         let mut woken = std::mem::take(&mut self.wake_scratch);
+        let (decision, wake) = self.scheduler.complete(&mut self.abm, chunk);
         woken.clear();
-        woken.extend_from_slice(self.abm.complete_load());
+        woken.extend_from_slice(wake);
         if self.config.record_trace {
-            self.trace.record(now, load.chunk.index(), load.trigger.0);
+            self.trace.record(now, chunk.index(), decision.trigger.0);
         }
         for &q in &woken {
             // A woken query may still find nothing acceptable (e.g. `normal`
@@ -351,23 +361,26 @@ impl<'a> Runner<'a> {
         self.reschedule_cpu(now);
     }
 
-    /// If the disk is idle, ask the ABM what to load next and submit it.
+    /// If the pipeline has room, ask the scheduler for a burst of loads and
+    /// submit each to the storage backend.
     fn kick_disk(&mut self, now: SimTime) {
-        if self.current_load.is_some() {
-            return;
+        let mut plans = std::mem::take(&mut self.plan_scratch);
+        plans.clear();
+        self.scheduler.plan(&mut self.abm, now, &mut plans);
+        for plan in &plans {
+            let completed = self.backend.submit(now, &plan.regions);
+            debug_assert!(completed > now, "a load must take time");
+            self.queue.schedule(
+                completed,
+                Event::DiskDone {
+                    chunk: plan.decision.chunk.index(),
+                },
+            );
         }
-        let Some(plan) = self.abm.plan_load(now) else {
-            return;
-        };
-        let mut completed = now;
-        for region in &plan.regions {
-            let result = self.disk.submit(now, region.to_io_request());
-            completed = completed.max(result.completed_at);
-            self.disk_busy_time += result.service_time;
+        if self.config.record_trace && !plans.is_empty() {
+            self.backend.sample_depths(now, &mut self.depth_trace);
         }
-        debug_assert!(completed > now, "a load must take time");
-        self.current_load = Some(plan.decision);
-        self.queue.schedule(completed, Event::DiskDone);
+        self.plan_scratch = plans;
     }
 
     /// Re-predict the next CPU completion after any change to the job set.
@@ -646,6 +659,112 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.io_requests, 32);
         assert_eq!(r.pages_read, 32 * 8, "only the two narrow columns are read");
+    }
+
+    #[test]
+    fn multi_outstanding_overlaps_arm_bound_loads() {
+        // Chunk-granularity striping: every 16 MiB chunk lives on one arm of
+        // a 4-spindle array, so a single outstanding load (the paper's main
+        // loop) is bound to ~55 MB/s while an 8-deep pipeline spreads across
+        // the arms.  Eight fast scans of the whole 1 GiB table keep the
+        // scheduler supplied with candidates.
+        use cscan_simdisk::{DiskModel, RaidConfig, MIB};
+        let raid = RaidConfig {
+            spindles: 4,
+            stripe_unit: 16 * MIB,
+            disk: DiskModel::default(),
+        };
+        let run_with = |k: usize| {
+            let mut sim = Simulation::new(
+                small_model(),
+                PolicyKind::Relevance,
+                SimConfig::default()
+                    .with_buffer_chunks(16)
+                    .with_raid(raid)
+                    .with_outstanding_io(k)
+                    .with_trace(true)
+                    .with_stagger(SimDuration::from_millis(100)),
+            );
+            sim.submit_streams((0..8).map(|_| vec![fast("F-100", None)]).collect());
+            sim.run()
+        };
+        let k1 = run_with(1);
+        let k8 = run_with(8);
+        assert_eq!(k1.peak_outstanding_io, 1);
+        assert!(
+            k8.peak_outstanding_io > 1,
+            "the pipeline never filled: peak {}",
+            k8.peak_outstanding_io
+        );
+        assert!(k8.depth_trace.max_depth() >= 1, "queue depths were sampled");
+        let t1 = k1.total_time.as_secs_f64();
+        let t8 = k8.total_time.as_secs_f64();
+        assert!(
+            t8 < t1 * 0.75,
+            "8 outstanding loads should clearly beat 1 on a 4-arm array: {t1}s vs {t8}s"
+        );
+        // Both deliver every query's full scan.
+        assert_eq!(k1.queries.len(), 8);
+        assert_eq!(k8.queries.len(), 8);
+    }
+
+    #[test]
+    fn multi_outstanding_runs_are_deterministic() {
+        use cscan_simdisk::{DiskModel, RaidConfig, MIB};
+        let raid = RaidConfig {
+            spindles: 4,
+            stripe_unit: 16 * MIB,
+            disk: DiskModel::default(),
+        };
+        let run_once = || {
+            let mut sim = Simulation::new(
+                small_model(),
+                PolicyKind::Relevance,
+                SimConfig::default()
+                    .with_buffer_chunks(8)
+                    .with_raid(raid)
+                    .with_outstanding_io(4),
+            );
+            sim.submit_streams(vec![
+                vec![fast("F-50", Some(ScanRanges::single(0, 32)))],
+                vec![slow("S-25", Some(ScanRanges::single(10, 26)))],
+                vec![slow("S-50", Some(ScanRanges::single(16, 48)))],
+            ]);
+            sim.run()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.io_requests, b.io_requests);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.peak_outstanding_io, b.peak_outstanding_io);
+        assert_eq!(
+            a.queries.iter().map(|q| q.finished_at).collect::<Vec<_>>(),
+            b.queries.iter().map(|q| q.finished_at).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_policy_completes_with_outstanding_io() {
+        // The pipelining must be safe for all four policies, not just
+        // relevance (the default next_load_pipelined path).
+        for policy in PolicyKind::ALL {
+            let r = {
+                let mut sim = Simulation::new(
+                    small_model(),
+                    policy,
+                    SimConfig::default()
+                        .with_buffer_chunks(16)
+                        .with_outstanding_io(4),
+                );
+                sim.submit_streams(vec![
+                    vec![fast("F-25", Some(ScanRanges::single(0, 16)))],
+                    vec![fast("F-25", Some(ScanRanges::single(8, 24)))],
+                ]);
+                sim.run()
+            };
+            assert_eq!(r.queries.len(), 2, "{policy}");
+            assert!(r.io_requests >= 16, "{policy}");
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! [`RaidArray`] that stripes chunk reads, and an [`IoTrace`] recorder used
 //! to regenerate Figure 4 of the paper (chunk accesses over time).
 //!
+//! Every device accepts **multiple outstanding requests**: submissions made
+//! while an arm is busy queue FIFO behind it (see the queueing model in
+//! [`disk`] and the per-spindle submission queues in [`raid`]).  The
+//! [`trace::QueueDepthTrace`] recorder samples those queues over time for
+//! the multi-outstanding I/O scheduler's diagnostics.
+//!
 //! All times are virtual: nothing in this crate ever consults the wall
 //! clock, which keeps every experiment deterministic and laptop-fast.
 
@@ -21,7 +27,7 @@ pub mod trace;
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use disk::{Disk, DiskModel, DiskStats, IoKind, IoRequest, IoResult};
 pub use raid::{RaidArray, RaidConfig};
-pub use trace::{IoTrace, TraceEvent};
+pub use trace::{DepthEvent, IoTrace, QueueDepthTrace, TraceEvent};
 
 /// Number of bytes in one kibibyte.
 pub const KIB: u64 = 1024;

@@ -5,6 +5,11 @@
 //! (plus which query triggered the load) and can render the data as a
 //! gnuplot-compatible two-column listing or as a coarse ASCII scatter plot
 //! for terminal inspection.
+//!
+//! [`QueueDepthTrace`] complements it for the multi-outstanding I/O
+//! scheduler: it samples how many requests each spindle of a
+//! [`crate::RaidArray`] had queued over time, which shows directly whether a
+//! given outstanding-load budget actually kept the arms busy.
 
 use crate::clock::SimTime;
 use serde::{Deserialize, Serialize};
@@ -109,6 +114,107 @@ impl IoTrace {
     }
 }
 
+/// One sampled per-spindle queue depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepthEvent {
+    /// Virtual time of the sample.
+    pub time: SimTime,
+    /// Spindle index within the array.
+    pub spindle: u32,
+    /// Requests outstanding on that spindle (queued or in service).
+    pub depth: u32,
+}
+
+/// A time-ordered record of per-spindle submission-queue depths.
+///
+/// Drivers sample the depths whenever they submit work (the only points at
+/// which a queue can deepen), so the recorded maxima are exact.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueueDepthTrace {
+    events: Vec<DepthEvent>,
+}
+
+impl QueueDepthTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one per-spindle sample: `depths[i]` is spindle `i`'s depth.
+    pub fn sample(&mut self, time: SimTime, depths: &[usize]) {
+        for (spindle, &depth) in depths.iter().enumerate() {
+            self.events.push(DepthEvent {
+                time,
+                spindle: spindle as u32,
+                depth: depth as u32,
+            });
+        }
+    }
+
+    /// All recorded samples in insertion order.
+    pub fn events(&self) -> &[DepthEvent] {
+        &self.events
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of distinct spindles seen.
+    pub fn num_spindles(&self) -> usize {
+        self.events.iter().map(|e| e.spindle + 1).max().unwrap_or(0) as usize
+    }
+
+    /// The deepest queue observed on `spindle`, if it was ever sampled.
+    pub fn max_depth_of(&self, spindle: u32) -> Option<u32> {
+        self.events
+            .iter()
+            .filter(|e| e.spindle == spindle)
+            .map(|e| e.depth)
+            .max()
+    }
+
+    /// The deepest queue observed on any spindle (0 for an empty trace).
+    pub fn max_depth(&self) -> u32 {
+        self.events.iter().map(|e| e.depth).max().unwrap_or(0)
+    }
+
+    /// Mean sampled depth across all events (0.0 for an empty trace).
+    pub fn mean_depth(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().map(|e| e.depth as f64).sum::<f64>() / self.events.len() as f64
+    }
+
+    /// Renders the samples as whitespace-separated `time_s spindle depth`
+    /// rows, one per line, for gnuplot.
+    pub fn to_gnuplot(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 20);
+        out.push_str("# time_s\tspindle\tdepth\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:.3}\t{}\t{}\n",
+                e.time.as_secs_f64(),
+                e.spindle,
+                e.depth
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +271,28 @@ mod tests {
     #[test]
     fn clear_resets() {
         let mut t = sample();
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn queue_depth_trace_aggregates() {
+        let mut t = QueueDepthTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_depth(), 0);
+        assert_eq!(t.mean_depth(), 0.0);
+        t.sample(SimTime::from_secs(1), &[2, 0, 1, 3]);
+        t.sample(SimTime::from_secs(2), &[1, 4, 0, 0]);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.num_spindles(), 4);
+        assert_eq!(t.max_depth(), 4);
+        assert_eq!(t.max_depth_of(0), Some(2));
+        assert_eq!(t.max_depth_of(1), Some(4));
+        assert_eq!(t.max_depth_of(9), None);
+        assert!((t.mean_depth() - 11.0 / 8.0).abs() < 1e-9);
+        let g = t.to_gnuplot();
+        assert_eq!(g.lines().count(), 9);
+        assert!(g.lines().nth(1).unwrap().starts_with("1.000"));
         t.clear();
         assert!(t.is_empty());
     }
