@@ -1,0 +1,91 @@
+//! Threaded-executor sweep: aggregate delivered-chunk throughput and ABM
+//! lock hold-time histogram at 16/64/128 concurrent scan threads against
+//! the live [`cscan_core::threaded::ScanServer`] (4 I/O workers, 256-chunk
+//! table).  Writes `BENCH_threaded.json` so the perf trajectory of the
+//! decomposed-lock architecture is tracked across PRs.
+
+use cscan_bench::experiments::fig7;
+use cscan_bench::report::TextTable;
+use std::fmt::Write as _;
+
+fn main() {
+    println!(
+        "Threaded-executor sweep — concurrent full scans, relevance policy,\n\
+         4 I/O workers, 256-chunk NSM table, plan/commit + targeted wakeups\n"
+    );
+    let points = fig7::run_thread_sweep();
+
+    let mut table = TextTable::new([
+        "scan threads",
+        "chunks/s",
+        "wall (s)",
+        "chunk loads",
+        "lock acqs",
+        "hold p50 (ns)",
+        "hold p99 (ns)",
+        "hold max (ns)",
+    ]);
+    for p in &points {
+        table.row([
+            p.threads.to_string(),
+            format!("{:.0}", p.chunks_per_sec),
+            format!("{:.3}", p.wall_secs),
+            p.loads.to_string(),
+            p.lock_acquisitions.to_string(),
+            p.lock_p50_ns.to_string(),
+            p.lock_p99_ns.to_string(),
+            p.lock_max_ns.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let (Some(base), Some(wide)) = (
+        points.iter().find(|p| p.threads == 16),
+        points.iter().find(|p| p.threads == 128),
+    ) {
+        println!(
+            "throughput at 128 vs 16 scan threads: {:.2}x (acceptance gate: >= 1.5x)\n",
+            wide.chunks_per_sec / base.chunks_per_sec.max(1e-9)
+        );
+    }
+
+    let json = render_json(&points);
+    let path = "BENCH_threaded.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Renders the sweep as JSON (hand-rolled: the workspace deliberately has
+/// no serde_json dependency).
+fn render_json(points: &[fig7::ThreadSweepPoint]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"fig7_thread_sweep\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {}, \"io_threads\": {}, \"chunks_per_sec\": {:.1}, \
+             \"wall_secs\": {:.4}, \"loads\": {}, \"lock_acquisitions\": {}, \
+             \"lock_hold_p50_ns\": {}, \"lock_hold_p99_ns\": {}, \"lock_hold_max_ns\": {}}}{sep}",
+            p.threads,
+            p.io_threads,
+            p.chunks_per_sec,
+            p.wall_secs,
+            p.loads,
+            p.lock_acquisitions,
+            p.lock_p50_ns,
+            p.lock_p99_ns,
+            p.lock_max_ns
+        );
+    }
+    let speedup = match (
+        points.iter().find(|p| p.threads == 16),
+        points.iter().find(|p| p.threads == 128),
+    ) {
+        (Some(a), Some(b)) if a.chunks_per_sec > 0.0 => b.chunks_per_sec / a.chunks_per_sec,
+        _ => 0.0,
+    };
+    let _ = writeln!(out, "  ],\n  \"t128_vs_t16_speedup\": {speedup:.3}\n}}");
+    out
+}

@@ -20,14 +20,30 @@
 //! evicting (and thereby reserving) the victims for the entire burst up
 //! front — and [`Abm::complete_load_of`], which retires loads in whatever
 //! order the spindles finish them.
+//!
+//! # Plan / commit
+//!
+//! Drivers that perform the disk read outside the ABM lock (the threaded
+//! executor, and the simulation when detaches can race completions) use the
+//! *plan/commit* protocol instead of raw completion: every [`LoadPlan`] is
+//! stamped with a unique ticket and the planning [`AbmState::epoch`], and
+//! [`Abm::commit_load`] revalidates the stamp under the lock before
+//! installing residency — a cancelled or superseded load's completion is
+//! dropped, and a load whose last interested query detached mid-read is
+//! aborted ([`Abm::finish_query`] aborts such loads eagerly; the commit
+//! check is the belt to that suspenders).  With a single worker and K = 1
+//! the protocol is decision-identical to the sequential main loop (proved
+//! by the property tests in [`crate::iosched`]).
 
 mod buffer;
+pub mod index;
 #[cfg(test)]
 mod proptests;
 mod state;
 
 pub use buffer::BufferedChunk;
-pub use state::{AbmState, InflightLoad, STARVATION_THRESHOLD};
+pub use index::ChunkIndex;
+pub use state::{AbmState, CommitCheck, InflightLoad, STARVATION_THRESHOLD};
 
 use crate::colset::ColSet;
 use crate::policy::Policy;
@@ -48,7 +64,7 @@ pub struct LoadDecision {
 }
 
 /// A fully planned load: the decision plus its physical cost, ready to be
-/// submitted to the disk.
+/// submitted to the disk, stamped for commit-time revalidation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadPlan {
     /// The underlying scheduling decision.
@@ -59,6 +75,31 @@ pub struct LoadPlan {
     pub regions: Vec<PhysRegion>,
     /// Chunks that were evicted to make room for this load.
     pub evicted: Vec<ChunkId>,
+    /// Unique identity of this load (see [`InflightLoad::ticket`]).
+    pub ticket: u64,
+    /// The [`AbmState::epoch`] the plan was taken under; [`Abm::commit_load`]
+    /// revalidates against it.
+    pub epoch: u64,
+}
+
+/// What a completion meant once revalidated under the lock
+/// ([`Abm::commit_load`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum CommitOutcome<'a> {
+    /// The load was installed; the listed queries were blocked waiting for
+    /// the chunk and should be woken (the `signalQuery` of Figure 3).  The
+    /// slice borrows the ABM's reusable scratch buffer, like
+    /// [`Abm::complete_load_of`].
+    Committed {
+        /// Blocked queries interested in the arrived chunk.
+        woken: &'a [QueryId],
+    },
+    /// The load had already been aborted (its ticket no longer matches):
+    /// the completion is stale and nothing was installed.
+    Cancelled,
+    /// Revalidation found the chunk no longer interests any query; the load
+    /// was aborted instead of installed.
+    Aborted,
 }
 
 /// The Active Buffer Manager: shared state plus a scheduling policy.
@@ -69,6 +110,9 @@ pub struct Abm {
     /// Reused buffer for the wake-up list returned by [`Abm::complete_load`],
     /// so the per-load hot path performs no allocation.
     wake_scratch: Vec<QueryId>,
+    /// Loads auto-aborted by the most recent [`Abm::finish_query`] (their
+    /// last interested query detached mid-read), as `(chunk, ticket)` pairs.
+    aborted_scratch: Vec<(ChunkId, u64)>,
 }
 
 impl std::fmt::Debug for Abm {
@@ -91,6 +135,7 @@ impl Abm {
             policy,
             next_query_id: 0,
             wake_scratch: Vec::new(),
+            aborted_scratch: Vec::new(),
         }
     }
 
@@ -158,9 +203,37 @@ impl Abm {
     }
 
     /// Closes a query, removing it from the ABM.  Returns its final state.
+    ///
+    /// In-flight loads whose *last* interested query this detach removed are
+    /// aborted immediately (their page reservations are released so other
+    /// loads can use the space); the driver reads the cancelled set from
+    /// [`Abm::aborted_loads`] and drops the corresponding device I/O — a
+    /// completion that still arrives is rejected by [`Abm::commit_load`]'s
+    /// ticket check.
     pub fn finish_query(&mut self, q: QueryId) -> QueryState {
         self.policy.on_query_finished(q, &self.state);
-        self.state.remove_query(q)
+        let final_state = self.state.remove_query(q);
+        let mut aborted = std::mem::take(&mut self.aborted_scratch);
+        aborted.clear();
+        aborted.extend(
+            self.state
+                .inflight_loads()
+                .iter()
+                .filter(|l| self.state.num_interested(l.chunk) == 0)
+                .map(|l| (l.chunk, l.ticket)),
+        );
+        for &(chunk, _) in &aborted {
+            self.state.abort_load(chunk);
+        }
+        self.aborted_scratch = aborted;
+        final_state
+    }
+
+    /// The loads cancelled by the most recent [`Abm::finish_query`] (their
+    /// last interested query detached mid-read), as `(chunk, ticket)` pairs.
+    /// Overwritten by the next `finish_query` call.
+    pub fn aborted_loads(&self) -> &[(ChunkId, u64)] {
+        &self.aborted_scratch
     }
 
     /// One scheduling step of the ABM main loop: choose what to load next,
@@ -248,13 +321,15 @@ impl Abm {
             };
             self.state.model().chunk_regions(decision.chunk, cols)
         };
-        self.state.begin_load(decision.chunk, decision.cols);
+        let ticket = self.state.begin_load(decision.chunk, decision.cols);
         self.state.count_triggered_io(decision.trigger);
         Some(LoadPlan {
             decision,
             pages,
             regions,
             evicted,
+            ticket,
+            epoch: self.state.epoch(),
         })
     }
 
@@ -287,6 +362,30 @@ impl Abm {
                 .map(|q| q.id),
         );
         &self.wake_scratch
+    }
+
+    /// The commit half of the plan/commit protocol: revalidates a stamped
+    /// plan (whose "disk read" ran outside the lock) and installs residency
+    /// only if the load is still current and still interesting.
+    ///
+    /// Unlike [`Abm::complete_load_of`] this never panics on a stale
+    /// completion: a load that was aborted while the read was in progress
+    /// (see [`Abm::finish_query`]) — or superseded by a newer load of the
+    /// same chunk — reports [`CommitOutcome::Cancelled`], and a load whose
+    /// last interested query detached without the driver aborting it is
+    /// aborted here ([`CommitOutcome::Aborted`]), so residency is *never*
+    /// installed for a chunk no active query wants.
+    pub fn commit_load(&mut self, chunk: ChunkId, ticket: u64, epoch: u64) -> CommitOutcome<'_> {
+        match self.state.check_commit(chunk, ticket, epoch) {
+            CommitCheck::Cancelled => CommitOutcome::Cancelled,
+            CommitCheck::Uninteresting => {
+                self.state.abort_load(chunk);
+                CommitOutcome::Aborted
+            }
+            CommitCheck::Valid => CommitOutcome::Committed {
+                woken: self.complete_load_of(chunk),
+            },
+        }
     }
 
     /// Whether any active query still has unprocessed chunks.

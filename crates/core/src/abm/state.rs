@@ -7,55 +7,51 @@
 //! through [`crate::Abm`], which is driven by the simulation or the threaded
 //! executor.
 //!
-//! # Incremental scheduling index
+//! # The shared chunk index
 //!
-//! The relevance policy's decision functions are dominated by three
-//! quantities: per-query availability (how many resident chunks a query can
-//! still consume), the derived starvation level, and per-chunk interest
-//! counters split by starvation level.  Recomputing them from first
-//! principles costs O(queries × buffered chunks) *per lookup*, which made a
-//! single scheduling step O(chunks × queries × buffered) — the cost Figure 8
-//! of the paper worries about.
+//! All per-chunk scheduling data — interest counters split by starvation
+//! level, the residency / in-flight / starved-bucket bitsets and the bounded
+//! change log — lives in a [`ChunkIndex`] that `AbmState` maintains under
+//! every transition and *all four* policies query (see the module docs of
+//! [`crate::abm::index`]).  Transitions cost O(1) per interest-counter
+//! change; a starvation-*level* crossing costs O(chunks the query still
+//! needs).
 //!
-//! This module instead maintains the index incrementally under every state
-//! transition:
+//! # The queueing model
 //!
-//! * `QueryState::available` — cached availability, updated on load
-//!   completion, eviction and chunk consumption (O(interested queries) per
-//!   transition);
-//! * [`AbmState::num_interested`], [`AbmState::num_interested_starved`],
-//!   [`AbmState::num_interested_almost_starved`] — flat `Vec<u32>` counters
-//!   indexed by chunk, adjusted when a query's starvation *level* changes
-//!   (O(chunks the query still needs), which only happens when availability
-//!   crosses the starvation threshold) and when interest is gained/lost
-//!   (O(1) per chunk);
-//! * a residency bitset and per-`interested_starved`-value bucket bitsets
-//!   (maintained in O(1) per counter change), which let the NSM relevance
-//!   policy answer its chunk argmax word-wise — 64 chunks per instruction —
-//!   in descending relevance order;
-//! * a bounded change log ([`AbmState::changes_since`]) recording which
-//!   chunks had a counter or residency change, so the DSM policy can repair
-//!   a cached argmax heap instead of rescanning every candidate chunk;
-//! * an in-flight set ([`AbmState::inflight_loads`]): any number of loads
-//!   may be outstanding at once (the `iosched` layer keeps up to K), each
-//!   reserving its buffer pages at [`AbmState::begin_load`] so that
-//!   [`AbmState::free_pages`] — and therefore eviction planning — accounts
-//!   for the whole burst up front.  In-flight chunks are excluded from load
-//!   candidates and from eviction.
+//! Any number of chunk loads may be outstanding at once (the `iosched`
+//! layer keeps up to K in flight, the threaded executor one per I/O
+//! worker).  Each load reserves its buffer pages at [`AbmState::begin_load`]
+//! so that [`AbmState::free_pages`] — and therefore eviction planning —
+//! accounts for the whole burst up front, and is identified by a unique
+//! *ticket*.  Loads retire in arbitrary completion order by chunk key
+//! ([`AbmState::complete_load_of`]), or are cancelled
+//! ([`AbmState::abort_load`]) when a query-set change makes them moot.
+//!
+//! # Plan / commit validation
+//!
+//! The threaded executor performs the "disk read" of a planned load outside
+//! the ABM lock, so by the time a load completes the world may have moved:
+//! queries detached, the load itself aborted, or a *newer* load of the same
+//! chunk issued.  [`AbmState::epoch`] stamps every plan (it advances on
+//! every query-set change) and [`AbmState::check_commit`] revalidates a
+//! `(chunk, ticket, epoch)` stamp before residency is installed: a stale
+//! ticket means the load was cancelled, and an epoch mismatch forces an
+//! interest re-check so a detached query's load is aborted instead of
+//! polluting the pool (never load a non-interesting chunk).
 //!
 //! Every cached quantity has a `_brute` twin computing the original
 //! definition; debug builds cross-check them after every mutation
 //! ([`AbmState::validate_counters`]), so the incremental index is
-//! behaviourally indistinguishable from the brute-force bookkeeping.
+//! behaviourally indistinguishable from brute-force bookkeeping.
 
 use crate::abm::buffer::BufferedChunk;
-use crate::bitset::ChunkBitSet;
+use crate::abm::index::ChunkIndex;
 use crate::colset::ColSet;
 use crate::model::TableModel;
 use crate::query::{QueryId, QueryState};
 use cscan_simdisk::SimTime;
 use cscan_storage::{ChunkId, ScanRanges};
-use std::collections::VecDeque;
 
 /// A query is *starved* when it has fewer than this many available chunks
 /// (including the one it is currently processing) — Figure 3 of the paper.
@@ -83,54 +79,26 @@ pub struct InflightLoad {
     pub cols: ColSet,
     /// Pages reserved in the buffer pool for this load.
     pub pages: u64,
+    /// Unique identity of this load, assigned by [`AbmState::begin_load`].
+    /// Commits match on it, so a completion for a load that was aborted (and
+    /// possibly re-issued) can never be mistaken for the current one.
+    pub ticket: u64,
 }
 
-/// Bounded log of chunk-counter changes, newest last.  Entries are
-/// `(change sequence number, chunk index)`; the sequence is strictly
-/// increasing.  When the log overflows, the oldest entries are dropped and
-/// readers that far behind must fall back to a full rescan.
-#[derive(Debug, Clone, Default)]
-struct ChangeLog {
-    entries: VecDeque<(u64, u32)>,
-    capacity: usize,
-    /// Sequence number of the oldest change still fully covered by the log:
-    /// a reader that has seen everything up to `since` can catch up iff
-    /// `since + 1 >= floor`.
-    floor: u64,
-}
-
-impl ChangeLog {
-    fn new(capacity: usize) -> Self {
-        Self {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
-            floor: 1,
-        }
-    }
-
-    fn push(&mut self, seq: u64, chunk: u32) {
-        // Collapse immediate duplicates (a burst touching one chunk twice).
-        if self.entries.back().is_some_and(|&(_, c)| c == chunk) {
-            self.entries.back_mut().unwrap().0 = seq;
-            return;
-        }
-        if self.entries.len() == self.capacity {
-            if let Some((dropped_seq, _)) = self.entries.pop_front() {
-                self.floor = dropped_seq + 1;
-            }
-        }
-        self.entries.push_back((seq, chunk));
-    }
-
-    /// Iterates the chunks changed after `since`, or `None` if the log has
-    /// already dropped entries from that range.
-    fn since(&self, since: u64) -> Option<impl Iterator<Item = ChunkId> + '_> {
-        if since + 1 < self.floor {
-            return None;
-        }
-        let start = self.entries.partition_point(|&(seq, _)| seq <= since);
-        Some(self.entries.range(start..).map(|&(_, c)| ChunkId::new(c)))
-    }
+/// Result of revalidating a planned load at commit time
+/// ([`AbmState::check_commit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitCheck {
+    /// The load is still the one that was planned; residency may be
+    /// installed.
+    Valid,
+    /// No load with this ticket is in flight any more: it was aborted (and
+    /// the chunk possibly re-issued under a newer ticket).  Nothing to do.
+    Cancelled,
+    /// The load is still in flight but no active query wants the chunk any
+    /// more (its last interested query detached while the read was in
+    /// progress): the caller must abort it rather than install residency.
+    Uninteresting,
 }
 
 /// The shared state of the Active Buffer Manager.
@@ -146,51 +114,32 @@ pub struct AbmState {
     buffered: Vec<Option<BufferedChunk>>,
     /// Number of `Some` entries in `buffered`.
     num_buffered: usize,
-    /// Per-chunk count of active queries that still need the chunk.
-    interested: Vec<u32>,
-    /// Per-chunk count of interested queries that are starved.
-    interested_starved: Vec<u32>,
-    /// Per-chunk count of interested queries that are starved *or* almost
-    /// starved (`is_almost_starved` includes starved queries).
-    interested_almost_starved: Vec<u32>,
-    /// Chunks with a buffered entry (any columns), as a bitset; the
-    /// complement is the "missing" filter of the NSM chunk argmax.
-    resident: ChunkBitSet,
-    /// Bucket bitsets over `interested_starved`: `starved_buckets[s]` holds
-    /// exactly the chunks whose starved-interest count equals `s` (s ≥ 1;
-    /// chunks with zero starved interest are in no bucket).  Maintained in
-    /// O(1) per counter change, they let the NSM relevance argmax walk
-    /// candidates in descending `loadRelevance` order word-wise instead of
-    /// sweeping the trigger's whole scan range.
-    starved_buckets: Vec<ChunkBitSet>,
-    /// Chunks with `interested_starved > 0` (the union of all buckets), kept
-    /// in O(1) per counter change.  Its complement filters the relevance
-    /// policy's strict eviction pass (`usefulForStarvedQuery`) word-wise.
-    starved_any: ChunkBitSet,
-    /// Highest non-empty bucket index (0 when all buckets are empty).
-    max_starved: usize,
+    /// The shared per-chunk scheduling index (interest counters, residency /
+    /// in-flight / starved-bucket bitsets, change log).
+    index: ChunkIndex,
     /// Reused scratch for starvation-level propagation.
     chunk_scratch: Vec<u32>,
-    /// Strictly increasing counter bumped on every chunk-counter or
-    /// residency change; drives the policies' incremental argmax caches.
-    change_seq: u64,
-    /// Recent changes, newest last (bounded).
-    change_log: ChangeLog,
     /// Monotonic counter for load sequencing and LRU timestamps.
     seq: u64,
+    /// Plan-validation epoch: advances on every query-set change
+    /// (registration or removal).  A load planned at epoch E whose commit
+    /// sees a different epoch must revalidate its interest
+    /// ([`Self::check_commit`]); matching epochs guarantee the plan's
+    /// premises still hold.
+    epoch: u64,
+    /// Ticket assigned to the next [`Self::begin_load`].
+    next_ticket: u64,
     /// Loads currently in flight, oldest first.  The I/O scheduler keeps up
     /// to K of them outstanding; each reserved its buffer pages at
     /// [`Self::begin_load`] time so a burst of loads can never over-commit
     /// the pool.
     inflight: Vec<InflightLoad>,
-    /// Chunks with an in-flight load, as a bitset (mirrors `inflight`); lets
-    /// the policies' candidate filters and the NSM chunk argmax exclude them
-    /// in O(1) / word-wise.
-    inflight_set: ChunkBitSet,
     /// Buffer pages reserved by in-flight loads (not yet in `used_pages`).
     reserved_pages: u64,
     /// Total chunk loads completed.
     io_requests: u64,
+    /// Total chunk loads aborted before completion.
+    loads_aborted: u64,
     /// Total pages read from disk.
     pages_read: u64,
     /// Total queries registered over the lifetime of this ABM.
@@ -212,21 +161,15 @@ impl AbmState {
             queries: Vec::new(),
             buffered: vec![None; chunks],
             num_buffered: 0,
-            interested: vec![0; chunks],
-            interested_starved: vec![0; chunks],
-            interested_almost_starved: vec![0; chunks],
-            resident: ChunkBitSet::new(chunks),
-            starved_buckets: Vec::new(),
-            starved_any: ChunkBitSet::new(chunks),
-            max_starved: 0,
+            index: ChunkIndex::new(chunks),
             chunk_scratch: Vec::new(),
-            change_seq: 0,
-            change_log: ChangeLog::new((4 * chunks).max(64)),
             seq: 0,
+            epoch: 0,
+            next_ticket: 0,
             inflight: Vec::new(),
-            inflight_set: ChunkBitSet::new(chunks),
             reserved_pages: 0,
             io_requests: 0,
+            loads_aborted: 0,
             pages_read: 0,
             queries_registered: 0,
         }
@@ -239,6 +182,14 @@ impl AbmState {
     /// The table model being scheduled.
     pub fn model(&self) -> &TableModel {
         &self.model
+    }
+
+    /// The shared chunk index: per-chunk interest counters, residency /
+    /// in-flight / starved bitsets and the change log, maintained by every
+    /// transition and queried by all four policies.
+    #[inline]
+    pub fn index(&self) -> &ChunkIndex {
+        &self.index
     }
 
     /// Buffer pool capacity in pages.
@@ -322,8 +273,8 @@ impl AbmState {
         self.buffered.get(chunk.as_usize()).and_then(|b| b.as_ref())
     }
 
-    /// The *oldest* in-flight load, if any.  Kept for the single-outstanding
-    /// drivers; schedulers that pipeline should use [`Self::inflight_loads`].
+    /// The *oldest* in-flight load, if any.  Kept for the K=1 tests;
+    /// schedulers that pipeline use [`Self::inflight_loads`].
     pub fn inflight(&self) -> Option<(ChunkId, ColSet)> {
         self.inflight.first().map(|l| (l.chunk, l.cols))
     }
@@ -340,18 +291,69 @@ impl AbmState {
 
     /// Whether a load of `chunk` is currently in flight.  O(1).
     pub fn is_inflight(&self, chunk: ChunkId) -> bool {
-        self.inflight_set.contains(chunk.as_usize())
+        self.index.is_inflight(chunk)
     }
 
-    /// Bitset words of the in-flight chunks (64 chunks per word), for the
-    /// relevance policy's word-wise chunk argmax.
-    pub(crate) fn inflight_words(&self) -> &[u64] {
-        self.inflight_set.words()
+    /// The ticket of the in-flight load of `chunk`, if any.
+    pub fn inflight_ticket(&self, chunk: ChunkId) -> Option<u64> {
+        if !self.is_inflight(chunk) {
+            return None;
+        }
+        self.inflight
+            .iter()
+            .find(|l| l.chunk == chunk)
+            .map(|l| l.ticket)
+    }
+
+    /// The current plan-validation epoch.  Advances on every query-set
+    /// change; plans are stamped with it and commits revalidate against it
+    /// (see [`Self::check_commit`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Revalidates a planned load at commit time.  The caller planned a
+    /// load of `chunk` that was assigned `ticket` at an epoch of
+    /// `planned_epoch`, performed the read outside the lock, and must now
+    /// decide what the completion means:
+    ///
+    /// * [`CommitCheck::Cancelled`] — the ticket no longer matches: the load
+    ///   was aborted (and possibly superseded by a newer load of the same
+    ///   chunk).  The completion must be dropped.
+    /// * [`CommitCheck::Uninteresting`] — the load is still in flight but a
+    ///   query-set change since planning left the chunk with no interested
+    ///   query.  The caller must [`Self::abort_load`] it.
+    /// * [`CommitCheck::Valid`] — install residency
+    ///   ([`Self::complete_load_of`]).
+    ///
+    /// When `planned_epoch` still matches [`Self::epoch`], no query
+    /// registered or detached since planning; interest cannot have dropped
+    /// to zero (a non-resident chunk can only lose interest through query
+    /// removal — its trigger cannot consume it before it arrives), so the
+    /// re-check is skipped.
+    pub fn check_commit(&self, chunk: ChunkId, ticket: u64, planned_epoch: u64) -> CommitCheck {
+        match self.inflight_ticket(chunk) {
+            None => CommitCheck::Cancelled,
+            Some(t) if t != ticket => CommitCheck::Cancelled,
+            Some(_) => {
+                if planned_epoch != self.epoch && self.index.interested(chunk) == 0 {
+                    CommitCheck::Uninteresting
+                } else {
+                    CommitCheck::Valid
+                }
+            }
+        }
     }
 
     /// Number of chunk loads completed so far.
     pub fn io_requests(&self) -> u64 {
         self.io_requests
+    }
+
+    /// Number of chunk loads aborted before completion (their last
+    /// interested query detached mid-read).
+    pub fn loads_aborted(&self) -> u64 {
+        self.loads_aborted
     }
 
     /// Number of pages read from disk so far.
@@ -397,7 +399,7 @@ impl AbmState {
 
     /// Number of active queries that still need `chunk`.  O(1).
     pub fn num_interested(&self, chunk: ChunkId) -> u32 {
-        self.interested[chunk.as_usize()]
+        self.index.interested(chunk)
     }
 
     /// The active queries that still need `chunk`, in id order.
@@ -429,46 +431,18 @@ impl AbmState {
 
     /// Number of starved queries interested in `chunk`.  O(1) — cached.
     pub fn num_interested_starved(&self, chunk: ChunkId) -> u32 {
-        self.interested_starved[chunk.as_usize()]
+        self.index.interested_starved(chunk)
     }
 
     /// Number of almost-starved queries interested in `chunk`.  O(1) — cached.
     pub fn num_interested_almost_starved(&self, chunk: ChunkId) -> u32 {
-        self.interested_almost_starved[chunk.as_usize()]
+        self.index.interested_almost_starved(chunk)
     }
 
     /// Whether `chunk` is needed by at least one starved query — the
     /// `usefulForStarvedQuery` guard of `findFreeSlot`.  O(1) — cached.
     pub fn useful_for_starved_query(&self, chunk: ChunkId) -> bool {
-        self.interested_starved[chunk.as_usize()] > 0
-    }
-
-    /// Bitset words of the resident chunks (64 chunks per word), for the
-    /// relevance policy's word-wise chunk argmax.
-    pub(crate) fn resident_words(&self) -> &[u64] {
-        self.resident.words()
-    }
-
-    /// Highest `interested_starved` value of any chunk (0 when no chunk has
-    /// starved interest).  O(1).
-    pub(crate) fn max_interested_starved(&self) -> usize {
-        self.max_starved
-    }
-
-    /// Bitset words of the chunks whose `interested_starved` count equals
-    /// `s`.  Missing buckets read as empty.
-    pub(crate) fn starved_bucket_words(&self, s: usize) -> &[u64] {
-        self.starved_buckets
-            .get(s)
-            .map(|b| b.words())
-            .unwrap_or(&[])
-    }
-
-    /// Bitset words of the chunks needed by at least one starved query
-    /// (`interested_starved > 0`), for the relevance policy's word-wise
-    /// eviction scan.
-    pub(crate) fn starved_any_words(&self) -> &[u64] {
-        self.starved_any.words()
+        self.index.interested_starved(chunk) > 0
     }
 
     /// Whether `chunk` may be evicted right now: resident, not pinned and not
@@ -487,7 +461,7 @@ impl AbmState {
     /// The current change sequence number.  Bumped whenever a chunk's
     /// interest counters or residency change.
     pub fn change_seq(&self) -> u64 {
-        self.change_seq
+        self.index.change_seq()
     }
 
     /// Iterates the chunks whose counters or residency changed after the
@@ -496,13 +470,7 @@ impl AbmState {
     /// the caller must then rescan from scratch.  Chunks may appear multiple
     /// times.
     pub fn changes_since(&self, since: u64) -> Option<impl Iterator<Item = ChunkId> + '_> {
-        self.change_log.since(since)
-    }
-
-    /// Records a counter/residency change of `chunk`.
-    fn mark_changed(&mut self, chunk: ChunkId) {
-        self.change_seq += 1;
-        self.change_log.push(self.change_seq, chunk.index());
+        self.index.changes_since(since)
     }
 
     // ------------------------------------------------------------------
@@ -605,63 +573,47 @@ impl AbmState {
                 }
             }
             assert_eq!(
-                self.interested[c as usize], interested,
+                self.index.interested(chunk),
+                interested,
                 "stale interest counter for {chunk:?}"
             );
             assert_eq!(
-                self.interested_starved[c as usize], starved,
+                self.index.interested_starved(chunk),
+                starved,
                 "stale starved-interest counter for {chunk:?}"
             );
             assert_eq!(
-                self.interested_almost_starved[c as usize], almost,
+                self.index.interested_almost_starved(chunk),
+                almost,
                 "stale almost-starved-interest counter for {chunk:?}"
             );
             assert_eq!(
-                self.resident.contains(c as usize),
+                self.index.is_resident(chunk),
                 self.buffered[c as usize].is_some(),
                 "stale residency bit for {chunk:?}"
             );
-            let s = self.interested_starved[c as usize] as usize;
-            for (b, bucket) in self.starved_buckets.iter().enumerate() {
-                assert_eq!(
-                    bucket.contains(c as usize),
-                    b == s && s > 0,
-                    "stale starved bucket {b} for {chunk:?}"
-                );
-            }
-            assert_eq!(
-                self.starved_any.contains(c as usize),
-                s > 0,
-                "stale starved-any bit for {chunk:?}"
-            );
         }
-        for (b, bucket) in self.starved_buckets.iter().enumerate() {
-            assert!(
-                b <= self.max_starved || bucket.is_empty(),
-                "max_starved hint {} below non-empty bucket {b}",
-                self.max_starved
-            );
-        }
-        if self.max_starved > 0 {
-            assert!(
-                !self.starved_buckets[self.max_starved].is_empty(),
-                "max_starved hint {} points at an empty bucket",
-                self.max_starved
-            );
-        }
+        // Derived sets (interested-any, starved buckets, starved-any,
+        // max-starved hint) against the now-validated flat counters.
+        self.index.validate_derived_sets();
         // In-flight bookkeeping: the bitset mirrors the list, no chunk has
-        // two outstanding loads, reservations add up, and reservations plus
-        // occupancy never over-commit the pool.
+        // two outstanding loads, tickets are unique, reservations add up,
+        // and reservations plus occupancy never over-commit the pool.
         assert_eq!(
-            self.inflight_set.len(),
+            self.index.inflight_len(),
             self.inflight.len(),
             "in-flight bitset out of sync (or duplicate in-flight chunk)"
         );
-        for l in &self.inflight {
+        for (i, l) in self.inflight.iter().enumerate() {
             assert!(
-                self.inflight_set.contains(l.chunk.as_usize()),
+                self.index.is_inflight(l.chunk),
                 "in-flight bitset missing {:?}",
                 l.chunk
+            );
+            assert!(
+                self.inflight[i + 1..].iter().all(|m| m.ticket != l.ticket),
+                "duplicate in-flight ticket {}",
+                l.ticket
             );
         }
         assert_eq!(
@@ -689,39 +641,6 @@ impl AbmState {
     // Incremental index maintenance.
     // ------------------------------------------------------------------
 
-    /// Sets `interested_starved[c]` to `new`, keeping the bucket bitsets and
-    /// the `max_starved` hint in sync.  O(1) amortized (the shrink loop only
-    /// undoes previous growth).
-    fn set_interested_starved(&mut self, c: usize, new: u32) {
-        let old = self.interested_starved[c];
-        if old == new {
-            return;
-        }
-        self.interested_starved[c] = new;
-        if old > 0 {
-            self.starved_buckets[old as usize].remove(c);
-            if new == 0 {
-                self.starved_any.remove(c);
-            }
-            if old as usize == self.max_starved && new < old {
-                while self.max_starved > 0 && self.starved_buckets[self.max_starved].is_empty() {
-                    self.max_starved -= 1;
-                }
-            }
-        }
-        if new > 0 {
-            self.starved_any.insert(c);
-            let n = new as usize;
-            if self.starved_buckets.len() <= n {
-                let cap = self.model.num_chunks() as usize;
-                self.starved_buckets
-                    .resize_with(n + 1, || ChunkBitSet::new(cap));
-            }
-            self.starved_buckets[n].insert(c);
-            self.max_starved = self.max_starved.max(n);
-        }
-    }
-
     /// Updates query `idx`'s cached availability, propagating a starvation
     /// *level* change to the per-chunk counters of every chunk the query
     /// still needs.  O(1) when the level is unchanged, O(chunks the query
@@ -745,14 +664,8 @@ impl AbmState {
         scratch.clear();
         scratch.extend(self.queries[idx].remaining_chunks().map(|c| c.index()));
         for &c in &scratch {
-            let ci = c as usize;
-            if d_starved != 0 {
-                let s = (self.interested_starved[ci] as i64 + d_starved) as u32;
-                self.set_interested_starved(ci, s);
-            }
-            self.interested_almost_starved[ci] =
-                (self.interested_almost_starved[ci] as i64 + d_almost) as u32;
-            self.mark_changed(ChunkId::new(c));
+            self.index
+                .shift_starvation(ChunkId::new(c), d_starved, d_almost);
         }
         self.chunk_scratch = scratch;
     }
@@ -796,18 +709,10 @@ impl AbmState {
         let chunks: Vec<ChunkId> = state.remaining_chunks().collect();
         self.queries.insert(pos, state);
         for chunk in chunks {
-            let c = chunk.as_usize();
-            self.interested[c] += 1;
-            if lvl == 0 {
-                let s = self.interested_starved[c] + 1;
-                self.set_interested_starved(c, s);
-            }
-            if lvl <= 1 {
-                self.interested_almost_starved[c] += 1;
-            }
-            self.mark_changed(chunk);
+            self.index.add_interest(chunk, lvl);
         }
         self.queries_registered += 1;
+        self.epoch += 1;
         self.debug_validate();
     }
 
@@ -820,35 +725,33 @@ impl AbmState {
         // A cancelled query may still have outstanding interest.
         let lvl = level(state.available);
         for chunk in state.remaining_chunks() {
-            let c = chunk.as_usize();
-            self.interested[c] = self.interested[c].saturating_sub(1);
-            if lvl == 0 {
-                let s = self.interested_starved[c].saturating_sub(1);
-                self.set_interested_starved(c, s);
-            }
-            if lvl <= 1 {
-                self.interested_almost_starved[c] =
-                    self.interested_almost_starved[c].saturating_sub(1);
-            }
-            self.mark_changed(chunk);
+            self.index.remove_interest(chunk, lvl);
         }
+        self.epoch += 1;
         self.debug_validate();
         state
     }
 
-    /// Marks the start of a chunk load, reserving its buffer pages up front.
-    /// Any number of loads may be in flight, but at most one per chunk.
+    /// Marks the start of a chunk load, reserving its buffer pages up front
+    /// and assigning the load's unique ticket.  Any number of loads may be
+    /// in flight, but at most one per chunk.
     ///
     /// # Panics
     /// Panics (debug) if a load of `chunk` is already outstanding.
-    pub(crate) fn begin_load(&mut self, chunk: ChunkId, cols: ColSet) {
+    pub(crate) fn begin_load(&mut self, chunk: ChunkId, cols: ColSet) -> u64 {
         debug_assert!(
             !self.is_inflight(chunk),
             "{chunk:?} already has a load in flight"
         );
         let pages = self.pages_to_load(chunk, cols);
-        self.inflight.push(InflightLoad { chunk, cols, pages });
-        self.inflight_set.insert(chunk.as_usize());
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.inflight.push(InflightLoad {
+            chunk,
+            cols,
+            pages,
+            ticket,
+        });
         self.reserved_pages += pages;
         debug_assert!(
             self.used_pages + self.reserved_pages <= self.capacity_pages,
@@ -857,13 +760,14 @@ impl AbmState {
         // Becoming in-flight removes the chunk from every policy's load
         // candidate set; the change log entry lets the DSM candidate heaps
         // notice (and re-admit it if the load is later aborted).
-        self.mark_changed(chunk);
+        self.index.set_inflight(chunk, true);
+        ticket
     }
 
     /// Completes the *oldest* in-flight load.  Convenience for the
     /// single-outstanding tests; the drivers go through
-    /// [`crate::Abm::complete_load`] / [`Self::complete_load_of`].
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// [`crate::Abm::commit_load`] / [`Self::complete_load_of`].
+    #[cfg(test)]
     pub(crate) fn complete_load(&mut self) -> u64 {
         let chunk = self.inflight.first().expect("no load in flight").chunk;
         self.complete_load_of(chunk)
@@ -886,7 +790,7 @@ impl AbmState {
             pages: reserved,
             ..
         } = self.inflight.remove(idx);
-        self.inflight_set.remove(chunk.as_usize());
+        self.index.set_inflight(chunk, false);
         self.reserved_pages -= reserved;
         let missing = self.missing_columns(chunk, cols);
         let pages = if self.model.is_dsm() {
@@ -920,11 +824,10 @@ impl AbmState {
             }
         }
         let new_columns = old_columns.union(all_columns);
-        self.resident.insert(chunk.as_usize());
+        self.index.set_resident(chunk, true);
         self.used_pages += pages;
         self.io_requests += 1;
         self.pages_read += pages;
-        self.mark_changed(chunk);
         // Queries whose column set just became fully resident gained an
         // available chunk.
         for idx in 0..self.queries.len() {
@@ -942,12 +845,12 @@ impl AbmState {
         pages
     }
 
-    /// Aborts the in-flight load of `chunk` (used when a query set change
-    /// makes it moot), releasing its page reservation.
+    /// Aborts the in-flight load of `chunk` (its last interested query
+    /// detached mid-read, or a query-set change otherwise made it moot),
+    /// releasing its page reservation.
     ///
     /// # Panics
     /// Panics if no load of `chunk` is in flight.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn abort_load(&mut self, chunk: ChunkId) {
         let idx = self
             .inflight
@@ -955,10 +858,10 @@ impl AbmState {
             .position(|l| l.chunk == chunk)
             .unwrap_or_else(|| panic!("no load of {chunk:?} in flight"));
         let load = self.inflight.remove(idx);
-        self.inflight_set.remove(chunk.as_usize());
         self.reserved_pages -= load.pages;
+        self.loads_aborted += 1;
         // The chunk is a load candidate again; let the caches notice.
-        self.mark_changed(chunk);
+        self.index.set_inflight(chunk, false);
         self.debug_validate();
     }
 
@@ -972,9 +875,8 @@ impl AbmState {
             .unwrap_or_else(|| panic!("evicting non-resident chunk {chunk:?}"));
         assert!(!b.is_pinned(), "evicting pinned chunk {chunk:?}");
         self.num_buffered -= 1;
-        self.resident.remove(chunk.as_usize());
+        self.index.set_resident(chunk, false);
         self.used_pages -= b.pages;
-        self.mark_changed(chunk);
         // Queries that could consume this chunk lost an available chunk.
         for idx in 0..self.queries.len() {
             let q = &self.queries[idx];
@@ -1022,10 +924,11 @@ impl AbmState {
         if b.columns.is_empty() {
             self.buffered[chunk.as_usize()] = None;
             self.num_buffered -= 1;
-            self.resident.remove(chunk.as_usize());
+            self.index.set_resident(chunk, false);
+        } else {
+            self.index.mark_changed(chunk);
         }
         self.used_pages -= freed;
-        self.mark_changed(chunk);
         self.debug_validate();
         freed
     }
@@ -1051,16 +954,7 @@ impl AbmState {
         self.queries[idx].finish_processing(chunk);
         // The query's interest in this chunk ends: remove its contribution
         // from the chunk's counters at its pre-transition level.
-        let c = chunk.as_usize();
-        self.interested[c] = self.interested[c].saturating_sub(1);
-        if old_level == 0 {
-            let s = self.interested_starved[c].saturating_sub(1);
-            self.set_interested_starved(c, s);
-        }
-        if old_level <= 1 {
-            self.interested_almost_starved[c] = self.interested_almost_starved[c].saturating_sub(1);
-        }
-        self.mark_changed(chunk);
+        self.index.remove_interest(chunk, old_level);
         // The chunk was pinned (hence resident) for the query throughout
         // processing, so it was counted available; consuming it drops the
         // availability by one.
@@ -1070,7 +964,7 @@ impl AbmState {
             "{q:?} consumed {chunk:?} with zero availability"
         );
         self.set_available(idx, available - 1);
-        if let Some(b) = self.buffered[c].as_mut() {
+        if let Some(b) = self.buffered[chunk.as_usize()].as_mut() {
             b.unpin(q);
         }
         self.debug_validate();
@@ -1388,6 +1282,56 @@ mod tests {
         assert!(
             s.changes_since(snapshot).is_none(),
             "log must report truncation"
+        );
+    }
+
+    #[test]
+    fn tickets_and_epoch_drive_commit_validation() {
+        let mut s = nsm_state(10, 4);
+        register(&mut s, 1, 0, 5);
+        let cols = s.model().all_columns();
+        let epoch = s.epoch();
+        let ticket = s.begin_load(ChunkId::new(0), cols);
+        assert_eq!(s.inflight_ticket(ChunkId::new(0)), Some(ticket));
+        assert_eq!(s.inflight_ticket(ChunkId::new(1)), None);
+        // Nothing changed: the commit is valid.
+        assert_eq!(
+            s.check_commit(ChunkId::new(0), ticket, epoch),
+            CommitCheck::Valid
+        );
+        // A registration moves the epoch but the chunk stays interesting.
+        register(&mut s, 2, 0, 5);
+        assert_ne!(s.epoch(), epoch);
+        assert_eq!(
+            s.check_commit(ChunkId::new(0), ticket, epoch),
+            CommitCheck::Valid
+        );
+        // Every interested query detaches mid-read: the load must be aborted.
+        s.remove_query(QueryId(1));
+        s.remove_query(QueryId(2));
+        assert_eq!(
+            s.check_commit(ChunkId::new(0), ticket, epoch),
+            CommitCheck::Uninteresting
+        );
+        s.abort_load(ChunkId::new(0));
+        assert_eq!(s.loads_aborted(), 1);
+        assert_eq!(s.reserved_pages(), 0);
+        // The stale completion now reads as cancelled...
+        assert_eq!(
+            s.check_commit(ChunkId::new(0), ticket, epoch),
+            CommitCheck::Cancelled
+        );
+        // ...even if a newer load of the same chunk is issued meanwhile.
+        register(&mut s, 3, 0, 5);
+        let newer = s.begin_load(ChunkId::new(0), cols);
+        assert_ne!(newer, ticket);
+        assert_eq!(
+            s.check_commit(ChunkId::new(0), ticket, epoch),
+            CommitCheck::Cancelled
+        );
+        assert_eq!(
+            s.check_commit(ChunkId::new(0), newer, s.epoch()),
+            CommitCheck::Valid
         );
     }
 }

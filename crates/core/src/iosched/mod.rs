@@ -29,9 +29,12 @@
 //!   small reads stay arm-bound), and per-spindle queue depths are sampled
 //!   into a [`cscan_simdisk::QueueDepthTrace`].
 //! * Loads complete in whatever order the spindles finish;
-//!   [`IoScheduler::complete`] retires them by chunk key
-//!   ([`crate::Abm::complete_load_of`]) and hands back the blocked queries
-//!   to wake.
+//!   [`IoScheduler::commit`] retires them by `(chunk, ticket)` through the
+//!   plan/commit revalidation of [`crate::Abm::commit_load`] — stale
+//!   completions of aborted loads are dropped, not installed — and hands
+//!   back the blocked queries to wake.  Loads whose last interested query
+//!   detaches mid-read are cancelled ([`IoScheduler::cancel`], or lazily by
+//!   the reconcile pass at the top of [`IoScheduler::plan`]).
 //!
 //! With `K = 1` the scheduler degenerates *bit-identically* to the
 //! sequential main loop: slot 0 of `next_load_pipelined` is required to take
@@ -56,7 +59,7 @@ mod proptests;
 
 pub use backend::SimIoBackend;
 
-use crate::abm::{Abm, LoadDecision, LoadPlan};
+use crate::abm::{Abm, CommitOutcome, LoadDecision, LoadPlan};
 use crate::query::QueryId;
 use cscan_simdisk::SimTime;
 use cscan_storage::ChunkId;
@@ -68,12 +71,24 @@ pub struct IoSchedStats {
     pub loads_issued: u64,
     /// Chunk loads completed.
     pub loads_completed: u64,
+    /// Chunk loads cancelled before their device I/O finished (their last
+    /// interested query detached mid-read).
+    pub loads_cancelled: u64,
     /// Most loads ever simultaneously in flight.
     pub peak_outstanding: usize,
     /// Planning bursts that admitted at least one load.
     pub bursts: u64,
     /// Chunks evicted while admitting loads.
     pub evictions: u64,
+}
+
+/// One load the scheduler has submitted to the device: the decision plus
+/// the plan/commit stamp it must be retired with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outstanding {
+    decision: LoadDecision,
+    ticket: u64,
+    epoch: u64,
 }
 
 /// Keeps up to `max_outstanding` chunk loads in flight against one [`Abm`].
@@ -85,9 +100,9 @@ pub struct IoSchedStats {
 #[derive(Debug)]
 pub struct IoScheduler {
     max_outstanding: usize,
-    /// Decisions currently on the device, in begin order (each is keyed by
-    /// its own `chunk` field; loads are unique per chunk).
-    outstanding: Vec<LoadDecision>,
+    /// Loads currently on the device, in begin order (each is keyed by its
+    /// decision's `chunk` field; loads are unique per chunk).
+    outstanding: Vec<Outstanding>,
     stats: IoSchedStats,
 }
 
@@ -122,6 +137,14 @@ impl IoScheduler {
     /// plans to `out` for the driver to submit.  Victims for the whole burst
     /// are evicted during planning, before any of its I/O completes.
     pub fn plan(&mut self, abm: &mut Abm, now: SimTime, out: &mut Vec<LoadPlan>) {
+        // Reconcile: drop loads the ABM aborted since the last plan (a
+        // detach cancelled them mid-read; see [`Abm::finish_query`]).  Their
+        // device completions, if still pending, are rejected by
+        // [`IoScheduler::commit`]'s ticket lookup.
+        let before = self.outstanding.len();
+        self.outstanding
+            .retain(|o| abm.state().inflight_ticket(o.decision.chunk) == Some(o.ticket));
+        self.stats.loads_cancelled += (before - self.outstanding.len()) as u64;
         debug_assert_eq!(
             abm.state().num_inflight(),
             self.outstanding.len(),
@@ -137,7 +160,11 @@ impl IoScheduler {
             return;
         }
         for plan in &out[first_new..] {
-            self.outstanding.push(plan.decision);
+            self.outstanding.push(Outstanding {
+                decision: plan.decision,
+                ticket: plan.ticket,
+                epoch: plan.epoch,
+            });
             self.stats.loads_issued += 1;
             self.stats.evictions += plan.evicted.len() as u64;
         }
@@ -159,12 +186,60 @@ impl IoScheduler {
         let idx = self
             .outstanding
             .iter()
-            .position(|d| d.chunk == chunk)
+            .position(|o| o.decision.chunk == chunk)
             .unwrap_or_else(|| panic!("no outstanding load of {chunk:?}"));
-        let decision = self.outstanding.remove(idx);
+        let outstanding = self.outstanding.remove(idx);
         self.stats.loads_completed += 1;
         let woken = abm.complete_load_of(chunk);
-        (decision, woken)
+        (outstanding.decision, woken)
+    }
+
+    /// The commit half of the plan/commit protocol: retires the completion
+    /// `(chunk, ticket)` through [`Abm::commit_load`]'s revalidation.
+    /// Returns `None` when the completion is stale — the load was cancelled
+    /// (see [`IoScheduler::cancel`]) or aborted at commit time — and the
+    /// committed decision plus `signalQuery` list otherwise.
+    ///
+    /// Unlike [`IoScheduler::complete`] this never panics: device
+    /// completions for cancelled loads are expected and simply dropped.
+    pub fn commit<'a>(
+        &mut self,
+        abm: &'a mut Abm,
+        chunk: ChunkId,
+        ticket: u64,
+    ) -> Option<(LoadDecision, &'a [QueryId])> {
+        let idx = self
+            .outstanding
+            .iter()
+            .position(|o| o.decision.chunk == chunk && o.ticket == ticket)?;
+        let outstanding = self.outstanding.remove(idx);
+        match abm.commit_load(chunk, ticket, outstanding.epoch) {
+            CommitOutcome::Committed { woken } => {
+                self.stats.loads_completed += 1;
+                Some((outstanding.decision, woken))
+            }
+            CommitOutcome::Cancelled | CommitOutcome::Aborted => {
+                self.stats.loads_cancelled += 1;
+                None
+            }
+        }
+    }
+
+    /// Forgets the outstanding load of `chunk` after the ABM aborted it
+    /// (see [`Abm::aborted_loads`]).  The device read may still be under
+    /// way; its eventual completion is rejected by [`IoScheduler::commit`]'s
+    /// ticket lookup.  Returns whether an entry was dropped.
+    pub fn cancel(&mut self, chunk: ChunkId, ticket: u64) -> bool {
+        let Some(idx) = self
+            .outstanding
+            .iter()
+            .position(|o| o.decision.chunk == chunk && o.ticket == ticket)
+        else {
+            return false;
+        };
+        self.outstanding.remove(idx);
+        self.stats.loads_cancelled += 1;
+        true
     }
 }
 

@@ -1,17 +1,21 @@
-//! Property tests of the K-outstanding I/O scheduler.
+//! Property tests of the K-outstanding I/O scheduler and the plan/commit
+//! protocol.
 //!
 //! For arbitrary interleavings of query registration/detachment, chunk
 //! consumption and out-of-order load completions, with arbitrary
 //! outstanding-load budgets:
 //!
 //! * every load the scheduler admits targets a chunk some active query still
-//!   needs (never a "non-interesting" chunk),
-//! * buffer frames are never double-reserved: no chunk has two outstanding
-//!   loads, and occupied plus reserved pages never exceed the pool
-//!   (re-checked from first principles here, on top of
+//!   needs, and a commit *never installs residency* for a chunk no active
+//!   query wants — a detach mid-read leads to an abort or a cancelled
+//!   completion, not a dead chunk in the pool,
+//! * buffer frames are never double-used: no chunk has two outstanding
+//!   loads, tickets are unique, and occupied plus reserved pages never
+//!   exceed the pool (re-checked from first principles here, on top of
 //!   [`AbmState::validate_counters`]),
-//! * a K=1 scheduler takes decision-for-decision the same loads (and
-//!   evictions) as the sequential [`Abm::plan_load`] main loop.
+//! * driven by a single worker, a K=1 plan/commit scheduler takes
+//!   decision-for-decision the same loads (and evictions) as the sequential
+//!   [`Abm::plan_load`] main loop.
 
 use super::IoScheduler;
 use crate::abm::{Abm, AbmState, LoadPlan};
@@ -101,10 +105,24 @@ fn check_scheduler(k: usize, ops: &[Op]) -> Result<(), TestCaseError> {
         let now = SimTime::from_secs(clock);
         match *op {
             Op::Complete { i } => {
-                if sched.in_flight() > 0 {
+                // `plans` may hold loads whose last interested query has
+                // detached since (the ABM auto-aborted them): committing
+                // their stale completion must be a harmless no-op, and a
+                // commit that *does* install residency must land on a chunk
+                // some query still wants.
+                if !plans.is_empty() {
                     let idx = i as usize % plans.len();
-                    let chunk = plans.swap_remove(idx).decision.chunk;
-                    sched.complete(&mut abm, chunk);
+                    let plan = plans.swap_remove(idx);
+                    let committed = sched
+                        .commit(&mut abm, plan.decision.chunk, plan.ticket)
+                        .is_some();
+                    if committed {
+                        prop_assert!(
+                            abm.state().num_interested(plan.decision.chunk) > 0,
+                            "committed a load of {:?} which no query needs",
+                            plan.decision.chunk
+                        );
+                    }
                 }
             }
             Op::Process { i } => {
@@ -213,9 +231,16 @@ fn check_k1_degenerates(ops: &[Op]) -> Result<(), TestCaseError> {
             b.first().map(|p| p.evicted.clone()),
             "K=1 scheduler evicted differently from the sequential path"
         );
-        if let Some(plan) = a {
+        if a.is_some() {
+            let stamped = b.first().expect("decision streams matched");
+            let (chunk, ticket) = (stamped.decision.chunk, stamped.ticket);
             seq.complete_load();
-            sched.complete(&mut pipe, plan.decision.chunk);
+            // Retire through the plan/commit path: with one worker and K=1
+            // nothing can race the read, so the commit always installs.
+            prop_assert!(
+                sched.commit(&mut pipe, chunk, ticket).is_some(),
+                "a K=1 single-worker commit must never be stale"
+            );
         }
     }
     Ok(())

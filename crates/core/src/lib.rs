@@ -22,16 +22,22 @@
 //!
 //! * [`sim::Simulation`] — a deterministic discrete-event simulation used to
 //!   regenerate every table and figure of the paper's evaluation;
-//! * [`threaded`] — a real multi-threaded executor (OS threads, condition
-//!   variables, an I/O worker pool running the ABM main loop of Fig. 3) for
+//! * [`threaded`] — a real multi-threaded executor (OS threads, an I/O
+//!   worker pool running the ABM main loop of Fig. 3, per-query wait slots
+//!   and per-worker doorbells instead of global condition variables) for
 //!   live use of the API.
 //!
 //! Both issue their chunk loads through the asynchronous I/O scheduling
 //! layer ([`iosched`]): up to K loads stay in flight (with batched,
 //! reservation-backed eviction planning), routed to per-spindle submission
-//! queues when the storage is modelled as an explicit RAID array.  K = 1 —
-//! the default everywhere — reproduces the paper's sequential main loop
-//! decision-for-decision.
+//! queues when the storage is modelled as an explicit RAID array, and
+//! retired through the plan/commit protocol — every plan carries a
+//! `(ticket, epoch)` stamp that the commit revalidates, so loads whose
+//! queries detach mid-read are aborted rather than installed.  K = 1 — the
+//! default everywhere — reproduces the paper's sequential main loop
+//! decision-for-decision.  `ARCHITECTURE.md` diagrams the three layers
+//! (shared [`abm::ChunkIndex`] / plan-commit / targeted wakeups) and the
+//! lock-ordering rules.
 //!
 //! ## Quick example
 //!

@@ -7,6 +7,17 @@
 //! contribution).  Policies are pure decision logic: they read the
 //! [`AbmState`] and never mutate it, which lets the same implementations be
 //! driven by the deterministic simulation and by the threaded executor.
+//!
+//! All four answer their decision points from the shared
+//! [`crate::abm::ChunkIndex`]: the relevance argmaxes walk its starved
+//! buckets and residency words, the elevator sweep and its eviction filter
+//! walk the interested-any set, and the traditional policies' [`lru_victim`]
+//! walks the residency words — none of them sweeps the buffer or the scan
+//! range chunk-by-chunk.  Because the asynchronous scheduler keeps several
+//! loads outstanding, every policy also excludes in-flight chunks
+//! ([`AbmState::is_inflight`]) from its load candidates; decisions are taken
+//! against a state that routinely contains a whole burst of pending reads,
+//! not the paper's single outstanding load.
 
 mod attach;
 mod elevator;
@@ -147,7 +158,36 @@ pub trait Policy: Send {
 /// Shared helper: the least-recently-touched evictable chunk, excluding the
 /// chunk being loaded.  This is the eviction rule of the traditional
 /// policies (`normal`, `attach`); `elevator` and `relevance` use their own.
+///
+/// Walks the [`crate::abm::ChunkIndex`] residency words instead of the
+/// buffer slot map, so empty table regions cost 1/64th of a comparison each;
+/// ties on `last_touch` break towards the lowest chunk id, exactly like the
+/// original buffer sweep (which it is debug-asserted against).
 pub(crate) fn lru_victim(state: &AbmState, protect: ChunkId) -> Option<ChunkId> {
+    let mut best: Option<(u64, ChunkId)> = None;
+    for chunk in state.index().resident_chunks() {
+        if chunk == protect || !state.is_evictable(chunk) {
+            continue;
+        }
+        let touch = state
+            .buffered_chunk(chunk)
+            .map(|b| b.last_touch)
+            .unwrap_or(u64::MAX);
+        if best.is_none_or(|(t, _)| touch < t) {
+            best = Some((touch, chunk));
+        }
+    }
+    let victim = best.map(|(_, c)| c);
+    debug_assert_eq!(
+        victim,
+        lru_victim_brute(state, protect),
+        "index-backed LRU victim diverged from the buffer sweep"
+    );
+    victim
+}
+
+/// The original buffer-sweep LRU victim (reference for [`lru_victim`]).
+pub(crate) fn lru_victim_brute(state: &AbmState, protect: ChunkId) -> Option<ChunkId> {
     state
         .buffered()
         .filter(|b| b.chunk != protect && state.is_evictable(b.chunk))

@@ -23,7 +23,8 @@ pub struct QueryOutcome {
     pub submitted_at: SimTime,
     /// Time the query finished processing its last chunk.
     pub finished_at: SimTime,
-    /// Number of chunks the query requested.
+    /// Number of chunks the query processed (equals the request size unless
+    /// a chunk limit terminated the query early).
     pub chunks: u32,
     /// Number of chunk loads issued with this query as the trigger.
     pub ios_triggered: u64,
@@ -47,6 +48,9 @@ pub struct RunResult {
     pub total_time: SimDuration,
     /// Number of chunk-granularity I/O requests issued.
     pub io_requests: u64,
+    /// Chunk loads cancelled mid-read because their last interested query
+    /// detached (LIMIT-terminated scans exercise this).
+    pub loads_aborted: u64,
     /// Pages read from disk.
     pub pages_read: u64,
     /// Bytes read from disk.
@@ -189,6 +193,7 @@ mod tests {
             policy: "relevance".into(),
             total_time: SimDuration::from_secs(30),
             io_requests: 100,
+            loads_aborted: 0,
             pages_read: 1000,
             bytes_read: 1000 * 65536,
             cpu_utilization: 0.8,
@@ -253,6 +258,7 @@ mod tests {
             policy: "normal".into(),
             total_time: SimDuration::ZERO,
             io_requests: 0,
+            loads_aborted: 0,
             pages_read: 0,
             bytes_read: 0,
             cpu_utilization: 0.0,

@@ -41,9 +41,11 @@ use std::collections::HashMap;
 enum Event {
     /// Start the next query of stream `stream`.
     StreamAdvance { stream: usize },
-    /// The outstanding load of `chunk` finished (loads may complete in any
-    /// order when several are in flight).
-    DiskDone { chunk: u32 },
+    /// The load of `chunk` issued under `ticket` finished (loads may
+    /// complete in any order when several are in flight).  The ticket lets
+    /// the commit reject completions of loads that were aborted — and
+    /// possibly re-issued — while the event sat in the queue.
+    DiskDone { chunk: u32, ticket: u64 },
     /// A CPU job (query × chunk) predicted to finish; stale epochs are ignored.
     CpuDone { job: JobId, epoch: u64 },
 }
@@ -190,7 +192,9 @@ impl<'a> Runner<'a> {
             match self.queue.pop() {
                 Some((now, event)) => match event {
                     Event::StreamAdvance { stream } => self.on_stream_advance(now, stream),
-                    Event::DiskDone { chunk } => self.on_disk_done(now, ChunkId::new(chunk)),
+                    Event::DiskDone { chunk, ticket } => {
+                        self.on_disk_done(now, ChunkId::new(chunk), ticket)
+                    }
                     Event::CpuDone { job, epoch } => self.on_cpu_done(now, job, epoch),
                 },
                 None if self.abm.has_pending_work() => {
@@ -242,6 +246,7 @@ impl<'a> Runner<'a> {
             policy: self.abm.policy_name().to_string(),
             total_time: makespan,
             io_requests: state.io_requests(),
+            loads_aborted: state.loads_aborted(),
             pages_read: state.pages_read(),
             bytes_read: state.pages_read() * self.model.page_size(),
             cpu_utilization,
@@ -291,13 +296,23 @@ impl<'a> Runner<'a> {
         self.kick_disk(now);
     }
 
-    fn on_disk_done(&mut self, now: SimTime, chunk: ChunkId) {
+    fn on_disk_done(&mut self, now: SimTime, chunk: ChunkId, ticket: u64) {
+        // Commit through the plan/commit protocol: a completion whose load
+        // was aborted mid-read (its last interested query detached) is
+        // stale and must be dropped, not installed.
         let mut woken = std::mem::take(&mut self.wake_scratch);
-        let (decision, wake) = self.scheduler.complete(&mut self.abm, chunk);
         woken.clear();
-        woken.extend_from_slice(wake);
+        let decision = match self.scheduler.commit(&mut self.abm, chunk, ticket) {
+            Some((decision, wake)) => {
+                woken.extend_from_slice(wake);
+                Some(decision)
+            }
+            None => None,
+        };
         if self.config.record_trace {
-            self.trace.record(now, chunk.index(), decision.trigger.0);
+            if let Some(decision) = decision {
+                self.trace.record(now, chunk.index(), decision.trigger.0);
+            }
         }
         for &q in &woken {
             // A woken query may still find nothing acceptable (e.g. `normal`
@@ -332,7 +347,13 @@ impl<'a> Runner<'a> {
         self.cpu.complete_job(now, job, work);
         self.abm.release_chunk(query, chunk);
 
-        if self.abm.is_query_finished(query) {
+        // LIMIT-style early termination: a query that has processed its
+        // chunk budget detaches mid-scan (cancelling any load it was the
+        // last interested consumer of — see `finish_query`).
+        let limit_hit = spec
+            .limit_chunks
+            .is_some_and(|limit| self.abm.state().query(query).processed >= limit);
+        if limit_hit || self.abm.is_query_finished(query) {
             self.finish_query(now, query);
         } else {
             self.try_dispatch(now, query);
@@ -374,6 +395,7 @@ impl<'a> Runner<'a> {
                 completed,
                 Event::DiskDone {
                     chunk: plan.decision.chunk.index(),
+                    ticket: plan.ticket,
                 },
             );
         }
@@ -398,17 +420,24 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Record the outcome of a finished query and start its stream's next one.
+    /// Record the outcome of a finished (or limit-terminated) query and
+    /// start its stream's next one.
     fn finish_query(&mut self, now: SimTime, q: QueryId) {
         let active = self.active.remove(&q).expect("finishing unknown query");
         let state = self.abm.finish_query(q);
+        // The detach may have cancelled in-flight loads this query was the
+        // last interested consumer of; forget them in the scheduler so their
+        // pending DiskDone events are recognized as stale.
+        for &(chunk, ticket) in self.abm.aborted_loads() {
+            self.scheduler.cancel(chunk, ticket);
+        }
         self.outcomes.push(QueryOutcome {
             label: state.label.clone(),
             stream: active.stream,
             query_id: q.0,
             submitted_at: active.submitted_at,
             finished_at: now,
-            chunks: state.total_chunks(),
+            chunks: state.processed,
             ios_triggered: state.ios_triggered,
             blocked: state.total_blocked,
         });
@@ -617,6 +646,78 @@ mod tests {
             r.disk_utilization
         );
         assert!(r.cpu_utilization > r.disk_utilization);
+    }
+
+    /// Regression test for the ROADMAP's load-aborting item, simulation
+    /// side: a LIMIT-style query that detaches mid-scan cancels the
+    /// prefetched loads in flight on its behalf; their stale `DiskDone`
+    /// events are dropped by the ticket check instead of installing dead
+    /// chunks (or panicking the scheduler).
+    #[test]
+    fn chunk_limited_query_aborts_inflight_loads() {
+        let mut sim = Simulation::new(
+            small_model(),
+            PolicyKind::Relevance,
+            SimConfig::default()
+                .with_buffer_chunks(16)
+                .with_outstanding_io(8),
+        );
+        sim.submit_stream(vec![
+            QuerySpec::full_scan("L-2", 20_000_000.0).with_chunk_limit(2)
+        ]);
+        let r = sim.run();
+        assert_eq!(r.queries.len(), 1);
+        assert_eq!(r.queries[0].chunks, 2, "the limit stops the scan early");
+        assert!(
+            r.loads_aborted > 0,
+            "the 8-deep pipeline had prefetches in flight to cancel"
+        );
+        assert!(
+            r.io_requests < 16,
+            "an aborted scan must not read on: {} loads",
+            r.io_requests
+        );
+        // A follow-up run on the same config still works with mixed streams.
+        let mut sim = Simulation::new(
+            small_model(),
+            PolicyKind::Relevance,
+            SimConfig::default()
+                .with_buffer_chunks(16)
+                .with_outstanding_io(4),
+        );
+        sim.submit_streams(vec![
+            vec![QuerySpec::full_scan("L-3", 20_000_000.0).with_chunk_limit(3)],
+            vec![fast("F-100", None)],
+        ]);
+        let r = sim.run();
+        assert_eq!(r.queries.len(), 2);
+        let limited = r.queries.iter().find(|q| q.label == "L-3").unwrap();
+        assert_eq!(limited.chunks, 3);
+        let full = r.queries.iter().find(|q| q.label == "F-100").unwrap();
+        assert_eq!(full.chunks, 64, "the surviving scan still reads everything");
+    }
+
+    #[test]
+    fn limited_runs_are_deterministic() {
+        let run_once = || {
+            let mut sim = Simulation::new(
+                small_model(),
+                PolicyKind::Relevance,
+                SimConfig::default()
+                    .with_buffer_chunks(8)
+                    .with_outstanding_io(4),
+            );
+            sim.submit_streams(vec![
+                vec![QuerySpec::full_scan("L-5", 5_000_000.0).with_chunk_limit(5)],
+                vec![slow("S-50", Some(ScanRanges::single(16, 48)))],
+            ]);
+            sim.run()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.io_requests, b.io_requests);
+        assert_eq!(a.loads_aborted, b.loads_aborted);
+        assert_eq!(a.total_time, b.total_time);
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct QuerySpec {
     pub columns: Option<ColSet>,
     /// Processing speed in tuples per second of dedicated-core CPU time.
     pub tuples_per_sec: f64,
+    /// Stop after processing this many chunks (a `LIMIT`-style early
+    /// termination); `None` runs the scan to completion.  A limited query
+    /// detaches mid-scan, which exercises the ABM's load-abort path: loads
+    /// in flight solely on its behalf are cancelled.
+    pub limit_chunks: Option<u32>,
 }
 
 impl QuerySpec {
@@ -31,6 +36,7 @@ impl QuerySpec {
             ranges: Some(ranges),
             columns: None,
             tuples_per_sec,
+            limit_chunks: None,
         }
     }
 
@@ -42,12 +48,20 @@ impl QuerySpec {
             ranges: None,
             columns: None,
             tuples_per_sec,
+            limit_chunks: None,
         }
     }
 
     /// Restricts the query to a column set (DSM experiments).
     pub fn with_columns(mut self, columns: ColSet) -> Self {
         self.columns = Some(columns);
+        self
+    }
+
+    /// Stops the query after it has processed `chunks` chunks (LIMIT-style
+    /// early termination; the query detaches mid-scan).
+    pub fn with_chunk_limit(mut self, chunks: u32) -> Self {
+        self.limit_chunks = Some(chunks);
         self
     }
 
@@ -80,6 +94,13 @@ mod tests {
         assert_eq!(r.label, "renamed");
         assert_eq!(r.ranges.as_ref().unwrap().num_chunks(), 10);
         assert_eq!(r.columns.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn chunk_limit_builder() {
+        let q = QuerySpec::full_scan("L-2", 1e6).with_chunk_limit(2);
+        assert_eq!(q.limit_chunks, Some(2));
+        assert_eq!(QuerySpec::full_scan("F", 1e6).limit_chunks, None);
     }
 
     #[test]
