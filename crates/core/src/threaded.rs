@@ -2,20 +2,55 @@
 //!
 //! This is the "live" front-end of the library: real OS threads, a real ABM
 //! main loop (Figure 3) running on an I/O thread pool, and [`CScanHandle`]s
-//! that block on a condition variable exactly like the paper's `waitForChunk`.
-//! The disk is simulated by sleeping proportionally to the number of pages
-//! read (configurable down to zero for tests); everything else — chunk
+//! that block exactly like the paper's `waitForChunk`.  The disk is
+//! simulated by sleeping proportionally to the number of pages read
+//! (configurable down to zero for tests); everything else — chunk
 //! bookkeeping, policies, eviction — is the same code the deterministic
 //! simulation uses.
 //!
-//! The executor issues loads through the asynchronous scheduling layer of
-//! [`crate::iosched`]: each of the [`ScanServerBuilder::io_threads`] workers
-//! plans its load with [`crate::Abm::plan_loads`] (which reserves buffer
-//! pages and victims before the read starts) and holds at most one load
-//! outstanding, so a pool of `k` workers keeps up to `k` chunk loads in
-//! flight against the shared ABM — the threaded analogue of the simulator's
-//! `max_outstanding_io`.  The default of one worker reproduces the paper's
-//! sequential main loop.
+//! # Concurrency architecture
+//!
+//! The executor is built from the three layers described in
+//! `ARCHITECTURE.md`:
+//!
+//! * **Plan/commit critical sections.**  One mutex protects the [`Hub`]
+//!   (the [`Abm`] plus the wakeup registry).  An I/O worker holds it only
+//!   to *plan* a load (policy decision + eviction + page reservation, all
+//!   answered by the shared [`crate::abm::ChunkIndex`]) and again to
+//!   *commit* the completed read; the simulated disk read itself — the part
+//!   that takes milliseconds — runs with the lock released.  Because the
+//!   world can change mid-read, every plan carries a `(ticket, epoch)`
+//!   stamp and [`Abm::commit_load`] revalidates it: a load whose last
+//!   interested query detached mid-read is aborted, never installed.  Lock
+//!   hold times are recorded into [`LockHoldHistogram`]
+//!   ([`ScanServer::lock_hold_histogram`]).
+//!
+//! * **Targeted wakeups.**  There are no global condition variables.  Every
+//!   registered CScan owns a *wait slot* (a condvar in the hub's registry):
+//!   a commit wakes exactly the queries that were blocked on the arrived
+//!   chunk — the `signalQuery` list of Figure 3 — so a `DiskDone` for chunk
+//!   `c` never stampedes the other 127 scans.  Every I/O worker owns a
+//!   *doorbell*: workers with nothing to plan park on their own doorbell
+//!   and events that change the scheduling inputs (query registered or
+//!   finished, chunk consumed) ring exactly one parked worker.  A worker
+//!   that plans successfully rings the next parked worker before it starts
+//!   its read ("wake chaining"), so a burst of plannable loads fans the
+//!   pool out one worker at a time and stops precisely when a plan comes
+//!   back empty.  Both waits keep a 50 ms timeout purely as a
+//!   belt-and-braces guard; correctness never depends on it.
+//!
+//! * **Lock ordering.**  There is exactly one lock.  The wait-slot registry
+//!   and the doorbell list live *inside* the hub, so there is no second
+//!   mutex to order against; condvars are notified after the hub guard is
+//!   dropped (or, on rarely-taken paths, while holding it, which is safe —
+//!   waiters re-check their condition under the lock).  Nothing is ever
+//!   awaited while holding the hub.
+//!
+//! Each of the [`ScanServerBuilder::io_threads`] workers holds at most one
+//! load outstanding, so a pool of `k` workers keeps up to `k` chunk loads
+//! in flight against the shared ABM — the threaded analogue of the
+//! simulator's `max_outstanding_io`.  The default of one worker reproduces
+//! the paper's sequential main loop.
 //!
 //! ```
 //! use cscan_core::model::TableModel;
@@ -41,37 +76,189 @@
 //! handle.finish();
 //! ```
 
-use crate::abm::{Abm, AbmState};
+use crate::abm::{Abm, AbmState, CommitOutcome};
 use crate::cscan::CScanPlan;
 use crate::model::TableModel;
 use crate::policy::PolicyKind;
 use crate::query::QueryId;
 use cscan_simdisk::SimTime;
 use cscan_storage::ChunkId;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Shared state between the I/O thread and all CScan handles.
+/// Number of power-of-two buckets in the lock hold-time histogram
+/// (bucket `i` counts holds in `[2^i, 2^{i+1})` nanoseconds; the last
+/// bucket absorbs everything longer, ~134 ms and up).
+const HOLD_BUCKETS: usize = 28;
+
+/// A lock-free histogram of how long the hub mutex was held, in
+/// power-of-two nanosecond buckets.  Every critical section of the executor
+/// records into it, so the fig7 thread sweep can report contention directly
+/// instead of inferring it from throughput.
+#[derive(Debug)]
+pub struct LockHoldHistogram {
+    buckets: [AtomicU64; HOLD_BUCKETS],
+}
+
+impl LockHoldHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, held: Duration) {
+        let ns = (held.as_nanos() as u64).max(1);
+        let bucket = (63 - ns.leading_zeros() as usize).min(HOLD_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> LockHoldSnapshot {
+        LockHoldSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A copied-out [`LockHoldHistogram`]: bucket `i` counts lock holds of
+/// `[2^i, 2^{i+1})` nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LockHoldSnapshot {
+    counts: Vec<u64>,
+}
+
+impl LockHoldSnapshot {
+    /// The per-bucket counts (bucket `i` covers `[2^i, 2^{i+1})` ns).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of critical sections recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile hold time
+    /// (`q` in `[0, 1]`); 0 when nothing was recorded.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << self.counts.len()
+    }
+
+    /// Upper bound (ns) of the longest recorded hold; 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => 1u64 << (i + 1),
+            None => 0,
+        }
+    }
+}
+
+/// Everything the hub mutex protects: the ABM plus the wakeup registry.
+struct Hub {
+    abm: Abm,
+    /// Per-query wait slots.  A blocked [`CScanHandle::next_chunk`] waits on
+    /// its own slot; commits notify exactly the slots of the queries the
+    /// arrived chunk unblocks.
+    slots: HashMap<QueryId, Arc<Condvar>>,
+    /// One doorbell per I/O worker, indexed by worker id.
+    doorbells: Vec<Arc<Condvar>>,
+    /// Ids of workers currently parked on their doorbell, most recently
+    /// parked last (rings pop the most recent — warm caches first).
+    parked: Vec<usize>,
+}
+
+impl Hub {
+    /// Takes one parked worker's doorbell, if any worker is parked.  The
+    /// caller should notify it *after* dropping the hub guard.
+    fn pop_doorbell(&mut self) -> Option<Arc<Condvar>> {
+        let id = self.parked.pop()?;
+        Some(Arc::clone(&self.doorbells[id]))
+    }
+}
+
+/// Shared state between the I/O workers and all CScan handles.
 struct Shared {
-    abm: Mutex<Abm>,
-    /// Signalled when a chunk load completes (or on shutdown): blocked
-    /// CScan handles re-check for available chunks.
-    data_available: Condvar,
-    /// Signalled when the scheduling inputs change (new query, chunk
-    /// consumed, query finished): the I/O thread re-plans.
-    scheduler_wakeup: Condvar,
+    hub: Mutex<Hub>,
     shutdown: AtomicBool,
     started: Instant,
     io_cost_per_page_nanos: u64,
     loads_completed: AtomicU64,
+    loads_cancelled: AtomicU64,
+    lock_held: LockHoldHistogram,
 }
 
 impl Shared {
     fn now(&self) -> SimTime {
         SimTime::from_micros(self.started.elapsed().as_micros() as u64)
+    }
+
+    /// Locks the hub, instrumenting how long the guard is held.
+    fn lock(&self) -> HubGuard<'_> {
+        HubGuard {
+            guard: self.hub.lock(),
+            acquired: Instant::now(),
+            histogram: &self.lock_held,
+        }
+    }
+}
+
+/// An instrumented hub guard: records the lock hold time into the
+/// histogram on drop, and splits the measurement around condvar waits (the
+/// lock is released while waiting, so waiting time is not hold time).
+struct HubGuard<'a> {
+    guard: MutexGuard<'a, Hub>,
+    acquired: Instant,
+    histogram: &'a LockHoldHistogram,
+}
+
+impl HubGuard<'_> {
+    /// Waits on `cv` (releasing the hub), closing the current hold-time
+    /// measurement and starting a fresh one when the wait returns.
+    fn wait_on(&mut self, cv: &Condvar, timeout: Duration) {
+        self.histogram.record(self.acquired.elapsed());
+        cv.wait_for(&mut self.guard, timeout);
+        self.acquired = Instant::now();
+    }
+}
+
+impl Deref for HubGuard<'_> {
+    type Target = Hub;
+    fn deref(&self) -> &Hub {
+        &self.guard
+    }
+}
+
+impl DerefMut for HubGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Hub {
+        &mut self.guard
+    }
+}
+
+impl Drop for HubGuard<'_> {
+    fn drop(&mut self) {
+        self.histogram.record(self.acquired.elapsed());
     }
 }
 
@@ -128,21 +315,27 @@ impl ScanServerBuilder {
             .max(1);
         let state = AbmState::new(self.model, capacity);
         let abm = Abm::new(state, self.policy.build());
+        let workers = self.io_threads;
         let shared = Arc::new(Shared {
-            abm: Mutex::new(abm),
-            data_available: Condvar::new(),
-            scheduler_wakeup: Condvar::new(),
+            hub: Mutex::new(Hub {
+                abm,
+                slots: HashMap::new(),
+                doorbells: (0..workers).map(|_| Arc::new(Condvar::new())).collect(),
+                parked: Vec::with_capacity(workers),
+            }),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             io_cost_per_page_nanos: self.io_cost_per_page.as_nanos() as u64,
             loads_completed: AtomicU64::new(0),
+            loads_cancelled: AtomicU64::new(0),
+            lock_held: LockHoldHistogram::new(),
         });
-        let io_threads = (0..self.io_threads)
+        let io_threads = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("cscan-abm-io-{i}"))
-                    .spawn(move || io_thread_main(shared))
+                    .spawn(move || io_worker_main(shared, i))
                     .expect("failed to spawn an ABM I/O worker")
             })
             .collect();
@@ -152,52 +345,75 @@ impl ScanServerBuilder {
 
 /// The ABM main loop (`main()` in Figure 3), run on every I/O worker.
 ///
-/// Each worker plans through the batched entry point (one load per worker,
-/// so a pool of `k` workers keeps up to `k` loads in flight), sleeps for the
-/// simulated read *without* holding the ABM lock, then retires its load by
-/// chunk key — completions land in whatever order the "reads" finish.
-fn io_thread_main(shared: Arc<Shared>) {
+/// Plan under the lock, ring the next parked worker if the plan succeeded
+/// (wake chaining), perform the simulated read with the lock released, then
+/// commit under the lock — revalidating the plan's `(ticket, epoch)` stamp,
+/// so a load whose queries detached mid-read is aborted — and wake exactly
+/// the wait slots of the queries the arrived chunk unblocks.
+fn io_worker_main(shared: Arc<Shared>, id: usize) {
     let mut plans = Vec::with_capacity(1);
+    let mut wake: Vec<Arc<Condvar>> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let plan = {
-            let mut abm = shared.abm.lock();
-            plans.clear();
-            abm.plan_loads(shared.now(), 1, &mut plans);
-            match plans.pop() {
-                Some(plan) => plan,
-                None => {
-                    // blockForNextQuery: sleep until the inputs change.  The
-                    // timeout is a belt-and-braces guard against missed
-                    // wake-ups; correctness does not depend on it.
-                    shared
-                        .scheduler_wakeup
-                        .wait_for(&mut abm, Duration::from_millis(50));
-                    continue;
-                }
+        let mut hub = shared.lock();
+        plans.clear();
+        let now = shared.now();
+        hub.abm.plan_loads(now, 1, &mut plans);
+        let Some(plan) = plans.pop() else {
+            // blockForNextQuery: park on this worker's own doorbell until a
+            // scheduling input changes.  The timeout is a belt-and-braces
+            // guard against missed rings; correctness does not depend on it.
+            hub.parked.push(id);
+            let bell = Arc::clone(&hub.doorbells[id]);
+            hub.wait_on(&bell, Duration::from_millis(50));
+            // A ring pops the id; a timeout leaves it behind — deregister.
+            if let Some(pos) = hub.parked.iter().position(|&w| w == id) {
+                hub.parked.swap_remove(pos);
             }
+            continue;
         };
+        // Wake chaining: if more loads are plannable, the next parked worker
+        // will find one (and chain onwards); if not, it re-parks.  This fans
+        // a burst out across the pool without a notify_all stampede.
+        let chain = hub.pop_doorbell();
+        drop(hub);
+        if let Some(bell) = chain {
+            bell.notify_one();
+        }
         // Perform the "disk read" without holding the lock so queries keep
-        // consuming already-resident chunks (and other workers keep loading)
-        // meanwhile.
+        // consuming already-resident chunks (and other workers keep planning
+        // and committing) meanwhile.
         let nanos = plan.pages.saturating_mul(shared.io_cost_per_page_nanos);
         if nanos > 0 {
             std::thread::sleep(Duration::from_nanos(nanos));
         }
-        {
-            let mut abm = shared.abm.lock();
-            let _woken = abm.complete_load_of(plan.decision.chunk);
-            shared.loads_completed.fetch_add(1, Ordering::Relaxed);
+        let mut hub = shared.lock();
+        wake.clear();
+        // Split the borrow: the commit outcome borrows the ABM's wake
+        // scratch while the slot registry is read beside it.
+        let Hub { abm, slots, .. } = &mut *hub;
+        match abm.commit_load(plan.decision.chunk, plan.ticket, plan.epoch) {
+            CommitOutcome::Committed { woken } => {
+                // signalQuery: wake exactly the scans the chunk unblocks.
+                wake.extend(woken.iter().filter_map(|q| slots.get(q)).map(Arc::clone));
+                shared.loads_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            CommitOutcome::Cancelled | CommitOutcome::Aborted => {
+                // The last interested query detached mid-read; the pages
+                // were (or are now) released and nothing was installed.
+                shared.loads_cancelled.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        // signalQuery: wake every waiting CScan; they re-check availability.
-        shared.data_available.notify_all();
-        // A completion also changes the *scheduling* inputs (the chunk is no
-        // longer in flight, so it is evictable and its queries less starved):
-        // wake idle pool workers whose last plan attempt found nothing, or
-        // they would stall until the condvar timeout and drain the pipeline.
-        shared.scheduler_wakeup.notify_all();
+        drop(hub);
+        for slot in &wake {
+            slot.notify_all();
+        }
+        // The worker loops straight back into planning: a completion changes
+        // the scheduling inputs (the chunk is evictable, its queries less
+        // starved), and if that enables further loads the chain above keeps
+        // the rest of the pool fed.
     }
 }
 
@@ -228,21 +444,22 @@ impl ScanServer {
 
     /// Registers a CScan and returns a handle that delivers its chunks.
     pub fn cscan(&self, plan: CScanPlan) -> CScanHandle {
-        let id = {
-            let mut abm = self.shared.abm.lock();
-            let columns = if plan.columns.is_empty() {
-                abm.state().model().all_columns()
-            } else {
-                plan.columns
-            };
-            abm.register_query(
-                plan.label.clone(),
-                plan.ranges.clone(),
-                columns,
-                self.shared.now(),
-            )
+        let mut hub = self.shared.lock();
+        let columns = if plan.columns.is_empty() {
+            hub.abm.state().model().all_columns()
+        } else {
+            plan.columns
         };
-        self.shared.scheduler_wakeup.notify_all();
+        let id = hub
+            .abm
+            .register_query(plan.label, plan.ranges, columns, self.shared.now());
+        hub.slots.insert(id, Arc::new(Condvar::new()));
+        // A new query changes the scheduling inputs: ring one parked worker.
+        let bell = hub.pop_doorbell();
+        drop(hub);
+        if let Some(bell) = bell {
+            bell.notify_one();
+        }
         CScanHandle {
             shared: Arc::clone(&self.shared),
             query: id,
@@ -250,27 +467,46 @@ impl ScanServer {
         }
     }
 
-    /// Number of chunk loads the I/O thread has completed so far.
+    /// Number of chunk loads the I/O workers have committed so far.
     pub fn loads_completed(&self) -> u64 {
         self.shared.loads_completed.load(Ordering::Relaxed)
     }
 
-    /// Total chunk-granularity I/O requests issued by the ABM.
+    /// Number of loads whose read was cancelled mid-flight (their last
+    /// interested query detached before the commit).
+    pub fn loads_cancelled(&self) -> u64 {
+        self.shared.loads_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Total chunk-granularity I/O requests committed by the ABM.
     pub fn io_requests(&self) -> u64 {
-        self.shared.abm.lock().state().io_requests()
+        self.shared.lock().abm.state().io_requests()
     }
 
     /// The scheduling policy in use.
     pub fn policy_name(&self) -> &'static str {
-        self.shared.abm.lock().policy_name()
+        self.shared.lock().abm.policy_name()
+    }
+
+    /// A snapshot of the hub-lock hold-time histogram (every critical
+    /// section of the executor since start-up).
+    pub fn lock_hold_histogram(&self) -> LockHoldSnapshot {
+        self.shared.lock_held.snapshot()
     }
 }
 
 impl Drop for ScanServer {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.scheduler_wakeup.notify_all();
-        self.shared.data_available.notify_all();
+        {
+            let hub = self.shared.lock();
+            for bell in &hub.doorbells {
+                bell.notify_all();
+            }
+            for slot in hub.slots.values() {
+                slot.notify_all();
+            }
+        }
         for handle in self.io_threads.drain(..) {
             let _ = handle.join();
         }
@@ -295,12 +531,14 @@ impl CScanHandle {
     /// or `None` when the scan has delivered everything (or the server shut
     /// down).  This is `selectChunk` of Figure 3.
     pub fn next_chunk(&self) -> Option<ChunkGuard> {
-        let mut abm = self.shared.abm.lock();
+        let mut hub = self.shared.lock();
         loop {
-            if abm.is_query_finished(self.query) {
-                return None;
+            match hub.abm.state().try_query(self.query) {
+                Some(q) if !q.is_finished() => {}
+                // Finished, or already detached by `finish`.
+                _ => return None,
             }
-            match abm.acquire_chunk(self.query, self.shared.now()) {
+            match hub.abm.acquire_chunk(self.query, self.shared.now()) {
                 Some(chunk) => {
                     return Some(ChunkGuard {
                         shared: Arc::clone(&self.shared),
@@ -310,15 +548,19 @@ impl CScanHandle {
                     });
                 }
                 None => {
-                    // The scheduler may now see this query as starved.
-                    self.shared.scheduler_wakeup.notify_all();
+                    // The scheduler may now see this query as starved: ring
+                    // one parked worker.  (Notifying while holding the hub
+                    // is safe — the worker re-checks under the lock.)
+                    if let Some(bell) = hub.pop_doorbell() {
+                        bell.notify_one();
+                    }
                     if self.shared.shutdown.load(Ordering::Acquire) {
                         return None;
                     }
-                    // waitForChunk, with a timeout as a missed-wakeup guard.
-                    self.shared
-                        .data_available
-                        .wait_for(&mut abm, Duration::from_millis(50));
+                    // waitForChunk on this query's own slot: only a commit
+                    // that makes a chunk available to *this* query rings it.
+                    let slot = hub.slots.get(&self.query).map(Arc::clone)?;
+                    hub.wait_on(&slot, Duration::from_millis(50));
                 }
             }
         }
@@ -327,22 +569,39 @@ impl CScanHandle {
     /// Number of chunks this scan still needs.
     pub fn remaining_chunks(&self) -> u32 {
         self.shared
-            .abm
             .lock()
+            .abm
             .state()
             .query(self.query)
             .chunks_needed()
     }
 
     /// Deregisters the scan from the ABM.  Called automatically on drop.
+    ///
+    /// Detaching mid-scan cancels any in-flight load this query was the
+    /// last interested consumer of (see [`Abm::finish_query`]): the pages
+    /// are released immediately, and the read's eventual completion is
+    /// rejected by the commit's ticket check.
     pub fn finish(&self) {
         if self.finished.swap(true, Ordering::AcqRel) {
             return;
         }
-        let mut abm = self.shared.abm.lock();
-        abm.finish_query(self.query);
-        drop(abm);
-        self.shared.scheduler_wakeup.notify_all();
+        let mut hub = self.shared.lock();
+        hub.abm.finish_query(self.query);
+        let slot = hub.slots.remove(&self.query);
+        // Aborted loads release buffer pages, and one consumer fewer changes
+        // the relevance picture: ring one parked worker.
+        let bell = hub.pop_doorbell();
+        drop(hub);
+        // A consumer of a shared handle may be blocked in `next_chunk` on
+        // this slot; wake it so it observes the detach immediately instead
+        // of via the belt-and-braces timeout.
+        if let Some(slot) = slot {
+            slot.notify_all();
+        }
+        if let Some(bell) = bell {
+            bell.notify_one();
+        }
     }
 }
 
@@ -377,10 +636,15 @@ impl ChunkGuard {
             return;
         }
         self.completed = true;
-        let mut abm = self.shared.abm.lock();
-        abm.release_chunk(self.query, self.chunk);
-        drop(abm);
-        self.shared.scheduler_wakeup.notify_all();
+        let mut hub = self.shared.lock();
+        hub.abm.release_chunk(self.query, self.chunk);
+        // Consumption changes starvation and eviction candidates: ring one
+        // parked worker.
+        let bell = hub.pop_doorbell();
+        drop(hub);
+        if let Some(bell) = bell {
+            bell.notify_one();
+        }
     }
 }
 
@@ -603,6 +867,10 @@ mod tests {
             (24..96).contains(&ios),
             "four overlapping scans over a 4-deep pipeline should share: {ios}"
         );
+        // Every critical section was measured.
+        let holds = server.lock_hold_histogram();
+        assert!(holds.total() > 0);
+        assert!(holds.max_ns() >= holds.quantile_ns(0.5));
     }
 
     #[test]
@@ -625,5 +893,158 @@ mod tests {
         }
         assert_eq!(n, 6);
         assert!(server.loads_completed() >= 6);
+    }
+
+    /// Regression test for the ROADMAP's load-aborting item: a scan that
+    /// detaches while its load is mid-read must cancel that load — the
+    /// reservation is released, nothing is installed, and the completion is
+    /// dropped at commit time.
+    #[test]
+    fn detaching_mid_read_aborts_the_inflight_load() {
+        let model = TableModel::nsm_uniform(8, 1_000, 16);
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(4)
+            // 16 pages × 2 ms = a 32 ms read: plenty of time to detach.
+            .io_cost_per_page(Duration::from_millis(2))
+            .build();
+        let handle = server.cscan(CScanPlan::new(
+            "doomed",
+            ScanRanges::full(8),
+            model.all_columns(),
+        ));
+        // Wait until the worker has a load in flight for the scan.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if server.shared.lock().abm.state().num_inflight() > 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no load ever started");
+            std::thread::yield_now();
+        }
+        // Detach mid-read: the ABM aborts the load eagerly.
+        handle.finish();
+        {
+            let hub = server.shared.lock();
+            assert_eq!(hub.abm.state().num_inflight(), 0, "abort was not eager");
+            assert_eq!(hub.abm.state().reserved_pages(), 0, "reservation leaked");
+            assert!(hub.abm.state().loads_aborted() >= 1);
+        }
+        // The worker's commit must reject the stale completion.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.loads_cancelled() == 0 {
+            assert!(Instant::now() < deadline, "stale completion never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let hub = server.shared.lock();
+        assert_eq!(
+            hub.abm.state().io_requests(),
+            0,
+            "a cancelled load must not install residency"
+        );
+        assert_eq!(hub.abm.state().num_buffered(), 0);
+    }
+
+    /// Attach/detach storm: queries register and detach (some mid-scan)
+    /// from many threads while a 4-worker pool drains loads.  No wakeup may
+    /// be lost (every surviving scan finishes), and no frame reservation may
+    /// leak (the pool drains back to zero reserved pages).
+    #[test]
+    fn attach_detach_storm_leaks_nothing() {
+        let model = TableModel::nsm_uniform(32, 1_000, 16);
+        let server = Arc::new(
+            ScanServer::builder(model.clone())
+                .policy(PolicyKind::Relevance)
+                .buffer_chunks(8)
+                .io_cost_per_page(Duration::from_micros(20))
+                .io_threads(4)
+                .build(),
+        );
+        let workers: Vec<_> = (0..8)
+            .map(|t: u32| {
+                let server = Arc::clone(&server);
+                let model = model.clone();
+                std::thread::spawn(move || {
+                    for round in 0..5u32 {
+                        let start = (t * 3 + round * 7) % 24;
+                        let handle = server.cscan(CScanPlan::new(
+                            format!("storm-{t}-{round}"),
+                            ScanRanges::single(start, start + 8),
+                            model.all_columns(),
+                        ));
+                        if (t + round).is_multiple_of(3) {
+                            // Cancel mid-scan after at most two chunks.
+                            for _ in 0..2 {
+                                match handle.next_chunk() {
+                                    Some(g) => g.complete(),
+                                    None => break,
+                                }
+                            }
+                            handle.finish();
+                        } else {
+                            // Run to completion: a lost wakeup would hang
+                            // here (bounded only by the test harness).
+                            let mut n = 0;
+                            while let Some(g) = handle.next_chunk() {
+                                g.complete();
+                                n += 1;
+                            }
+                            assert_eq!(n, 8, "scan storm-{t}-{round} lost chunks");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // Let the pool drain any still-flying cancelled reads, then check
+        // for leaks: no queries, no slots, no reservations, no in-flight.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let hub = server.shared.lock();
+                let state = hub.abm.state();
+                if state.num_inflight() == 0 {
+                    assert_eq!(state.num_queries(), 0);
+                    assert!(hub.slots.is_empty(), "leaked wait slots");
+                    assert_eq!(state.reserved_pages(), 0, "leaked reservations");
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "in-flight loads never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The server still works after the storm (no worker died parked).
+        let handle = server.cscan(CScanPlan::new(
+            "after-storm",
+            ScanRanges::single(0, 4),
+            model.all_columns(),
+        ));
+        let mut n = 0;
+        while let Some(g) = handle.next_chunk() {
+            g.complete();
+            n += 1;
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn lock_histogram_quantiles_are_ordered() {
+        let (server, model) = server(PolicyKind::Relevance, 10, 4);
+        let handle = server.cscan(CScanPlan::new(
+            "h",
+            ScanRanges::full(10),
+            model.all_columns(),
+        ));
+        while let Some(g) = handle.next_chunk() {
+            g.complete();
+        }
+        let snap = server.lock_hold_histogram();
+        assert!(snap.total() > 0);
+        let p50 = snap.quantile_ns(0.5);
+        let p99 = snap.quantile_ns(0.99);
+        assert!(p50 <= p99 && p99 <= snap.max_ns());
+        assert_eq!(snap.counts().len(), HOLD_BUCKETS);
     }
 }
