@@ -197,7 +197,8 @@ pub struct ThreadSweepPoint {
 }
 
 /// Runs one threaded measurement: `threads` concurrent full scans of a
-/// `chunks`-chunk NSM table through a live [`ScanServer`], returning the
+/// `chunks`-chunk NSM table through a live
+/// [`ScanServer`](cscan_core::threaded::ScanServer), returning the
 /// aggregate delivered-chunk throughput and the lock hold-time histogram.
 ///
 /// All scans are registered before any consumer starts, so the sharing

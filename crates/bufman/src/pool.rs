@@ -8,6 +8,7 @@
 
 use crate::frame::{Frame, FrameId, PageKey};
 use crate::policy::ReplacementPolicy;
+use cscan_storage::ChunkPayload;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -35,7 +36,7 @@ impl FetchOutcome {
     }
 }
 
-/// Hit/miss/eviction counters.
+/// Hit/miss/eviction/pin counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolStats {
     /// Number of fetches satisfied from the pool.
@@ -44,6 +45,10 @@ pub struct PoolStats {
     pub misses: u64,
     /// Number of pages evicted to make room.
     pub evictions: u64,
+    /// Number of pin operations (fetches and explicit pins).
+    pub pins: u64,
+    /// Number of unpin operations.
+    pub unpins: u64,
 }
 
 impl PoolStats {
@@ -59,12 +64,21 @@ impl PoolStats {
 }
 
 /// A fixed-capacity page buffer pool.
+///
+/// Frames track page identity, pin counts and dirty flags; a frame may
+/// additionally carry the *data* of its page ([`BufferPool::install_payload`])
+/// when the pool is used at chunk granularity as the data plane of the
+/// Active Buffer Manager (one "page" per logical chunk, the payload being
+/// the chunk's materialized columns).
 pub struct BufferPool {
     frames: Vec<Frame>,
     page_table: HashMap<PageKey, FrameId>,
     free: Vec<FrameId>,
     policy: Box<dyn ReplacementPolicy>,
     stats: PoolStats,
+    /// Materialized data of resident pages, where the caller chose to attach
+    /// some (cloning a payload is a refcount bump, never a data copy).
+    payloads: HashMap<PageKey, ChunkPayload>,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -91,6 +105,7 @@ impl BufferPool {
             free: (0..capacity).rev().map(FrameId).collect(),
             policy,
             stats: PoolStats::default(),
+            payloads: HashMap::new(),
         }
     }
 
@@ -129,6 +144,45 @@ impl BufferPool {
         self.lookup(key).map(|f| self.frames[f.0].pin_count())
     }
 
+    /// Number of frames currently pinned by at least one user.
+    pub fn pinned_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_pinned()).count()
+    }
+
+    /// Pins `key` if (and only if) it is already resident — unlike
+    /// [`BufferPool::fetch_and_pin`] this never installs a mapping on a
+    /// miss.  Returns whether the page was pinned.
+    pub fn pin(&mut self, key: PageKey) -> bool {
+        match self.page_table.get(&key) {
+            Some(&frame) => {
+                self.frames[frame.0].pin();
+                self.policy.on_access(frame);
+                self.stats.pins += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attaches the materialized data of a resident page to its frame.
+    /// Subsequent [`BufferPool::payload`] calls return it until the page is
+    /// evicted; installing again replaces the previous payload.
+    ///
+    /// # Panics
+    /// Panics if the page is not resident.
+    pub fn install_payload(&mut self, key: PageKey, payload: ChunkPayload) {
+        assert!(
+            self.page_table.contains_key(&key),
+            "payload install for non-resident page {key}"
+        );
+        self.payloads.insert(key, payload);
+    }
+
+    /// The materialized data of `key`, if resident and installed.
+    pub fn payload(&self, key: PageKey) -> Option<&ChunkPayload> {
+        self.payloads.get(&key)
+    }
+
     /// Fetches `key`, pinning the resulting frame.
     ///
     /// On a miss the page is installed into a free or victimized frame; the
@@ -139,6 +193,7 @@ impl BufferPool {
             self.frames[frame.0].pin();
             self.policy.on_access(frame);
             self.stats.hits += 1;
+            self.stats.pins += 1;
             return Some(FetchOutcome::Hit(frame));
         }
         let frame = self.obtain_frame()?;
@@ -147,6 +202,7 @@ impl BufferPool {
         self.page_table.insert(key, frame);
         self.policy.on_install(frame);
         self.stats.misses += 1;
+        self.stats.pins += 1;
         Some(FetchOutcome::Miss(frame))
     }
 
@@ -160,6 +216,7 @@ impl BufferPool {
             .get(&key)
             .unwrap_or_else(|| panic!("unpin of non-resident page {key}"));
         self.frames[frame.0].unpin(dirty);
+        self.stats.unpins += 1;
     }
 
     /// Fetches and immediately unpins every page in `keys`, reporting how
@@ -184,6 +241,7 @@ impl BufferPool {
             Some(&frame) if !self.frames[frame.0].is_pinned() => {
                 self.frames[frame.0].evict();
                 self.page_table.remove(&key);
+                self.payloads.remove(&key);
                 self.policy.on_evict(frame);
                 self.free.push(frame);
                 self.stats.evictions += 1;
@@ -207,6 +265,7 @@ impl BufferPool {
             .evict()
             .expect("victim frame must hold a page");
         self.page_table.remove(&old_key);
+        self.payloads.remove(&old_key);
         self.policy.on_evict(victim);
         self.stats.evictions += 1;
         Some(victim)
@@ -347,6 +406,54 @@ mod tests {
     fn unpin_unknown_page_panics() {
         let mut pool = lru_pool(2);
         pool.unpin(key(9), false);
+    }
+
+    #[test]
+    fn pin_without_install_and_pin_stats() {
+        let mut pool = lru_pool(2);
+        // pin() never installs: a miss is a no-op.
+        assert!(!pool.pin(key(5)));
+        assert_eq!(pool.stats().pins, 0);
+        pool.fetch_and_pin(key(5)).unwrap();
+        assert!(pool.pin(key(5)), "resident pages can be pinned");
+        assert_eq!(pool.pin_count(key(5)), Some(2));
+        assert_eq!(pool.pinned_frames(), 1);
+        pool.unpin(key(5), false);
+        pool.unpin(key(5), false);
+        assert_eq!(pool.pinned_frames(), 0);
+        let s = pool.stats();
+        assert_eq!((s.pins, s.unpins), (2, 2));
+    }
+
+    #[test]
+    fn payload_lives_and_dies_with_residency() {
+        use cscan_storage::chunkdata::NsmChunkData;
+        use cscan_storage::ChunkPayload;
+        use std::sync::Arc;
+        let mut pool = lru_pool(1);
+        pool.fetch_and_pin(key(1)).unwrap();
+        let payload = ChunkPayload::Nsm(Arc::new(NsmChunkData::new(vec![Arc::new(vec![1, 2, 3])])));
+        pool.install_payload(key(1), payload.clone());
+        assert_eq!(pool.payload(key(1)), Some(&payload));
+        assert_eq!(pool.payload(key(2)), None);
+        pool.unpin(key(1), false);
+        // Explicit eviction drops the payload.
+        assert!(pool.evict_page(key(1)));
+        assert_eq!(pool.payload(key(1)), None);
+        // Victim eviction drops it too.
+        pool.fetch_and_pin(key(1)).unwrap();
+        pool.install_payload(key(1), payload.clone());
+        pool.unpin(key(1), false);
+        pool.fetch_and_pin(key(2)).unwrap();
+        assert!(!pool.contains(key(1)), "page 1 was victimized");
+        assert_eq!(pool.payload(key(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload install for non-resident page")]
+    fn payload_install_requires_residency() {
+        let mut pool = lru_pool(1);
+        pool.install_payload(key(9), cscan_storage::ChunkPayload::Missing);
     }
 
     #[test]

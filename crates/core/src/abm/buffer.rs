@@ -34,7 +34,10 @@ impl BufferedChunk {
             pages,
             loaded_seq: seq,
             last_touch: seq,
-            pinned_by: Vec::new(),
+            // Pre-sized so the common pin (one or two concurrent readers)
+            // never allocates on the consumer's hot path — the entry itself
+            // is built at load-commit time, off the consume path.
+            pinned_by: Vec::with_capacity(2),
         }
     }
 
@@ -58,11 +61,21 @@ impl BufferedChunk {
     /// # Panics
     /// Panics if `q` did not hold a pin.
     pub fn unpin(&mut self, q: QueryId) {
+        assert!(
+            self.unpin_if_held(q),
+            "{q:?} released {:?} without holding a pin",
+            self.chunk
+        );
+    }
+
+    /// Releases `q`'s pin if it holds one; returns whether it did.
+    pub fn unpin_if_held(&mut self, q: QueryId) -> bool {
         match self.pinned_by.iter().position(|&p| p == q) {
             Some(i) => {
                 self.pinned_by.swap_remove(i);
+                true
             }
-            None => panic!("{q:?} released {:?} without holding a pin", self.chunk),
+            None => false,
         }
     }
 }

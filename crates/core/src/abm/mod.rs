@@ -236,6 +236,38 @@ impl Abm {
         &self.aborted_scratch
     }
 
+    /// Returns the processing pin a since-removed query still held on
+    /// `chunk`, if any.
+    ///
+    /// [`Abm::finish_query`] deliberately leaves the pins of chunks the
+    /// query was processing in place — they are what keeps eviction away
+    /// from a frame a `PinnedChunk` is still reading.  When such a pin is
+    /// finally dropped (after the detach), the driver returns it here
+    /// instead of through [`Abm::release_chunk`], which would panic on the
+    /// unknown query.  No interest or availability bookkeeping changes: the
+    /// query's interest was already dropped at removal.
+    pub fn release_detached_pin(&mut self, q: QueryId, chunk: ChunkId) {
+        self.state.release_pin(q, chunk);
+    }
+
+    /// Returns a delivered chunk's pin, whatever happened to the query in
+    /// the meantime: the consumption path for a still-active query
+    /// ([`Abm::release_chunk`]), or the orphan-pin path
+    /// ([`Abm::release_detached_pin`]) when the query detached while the
+    /// pin was outstanding.  Both session front-ends funnel every
+    /// `PinnedChunk` drop through this single protocol.
+    pub fn release_delivered(&mut self, q: QueryId, chunk: ChunkId) {
+        let active = self
+            .state
+            .try_query(q)
+            .is_some_and(|query| query.processing == Some(chunk));
+        if active {
+            self.release_chunk(q, chunk);
+        } else {
+            self.release_detached_pin(q, chunk);
+        }
+    }
+
     /// One scheduling step of the ABM main loop: choose what to load next,
     /// evicting as needed to make room.  Returns `None` when there is
     /// nothing useful (or possible) to load right now.

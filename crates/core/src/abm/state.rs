@@ -79,7 +79,7 @@ pub struct InflightLoad {
     pub cols: ColSet,
     /// Pages reserved in the buffer pool for this load.
     pub pages: u64,
-    /// Unique identity of this load, assigned by [`AbmState::begin_load`].
+    /// Unique identity of this load, assigned by `AbmState::begin_load`.
     /// Commits match on it, so a completion for a load that was aborted (and
     /// possibly re-issued) can never be mistaken for the current one.
     pub ticket: u64,
@@ -162,7 +162,10 @@ impl AbmState {
             buffered: vec![None; chunks],
             num_buffered: 0,
             index: ChunkIndex::new(chunks),
-            chunk_scratch: Vec::new(),
+            // Pre-sized to its bound (a query never needs more than the
+            // table's chunks), so starvation-level propagation — which runs
+            // on the consumer's hot release path — never allocates.
+            chunk_scratch: Vec::with_capacity(chunks),
             seq: 0,
             epoch: 0,
             next_ticket: 0,
@@ -322,9 +325,8 @@ impl AbmState {
     ///   chunk).  The completion must be dropped.
     /// * [`CommitCheck::Uninteresting`] — the load is still in flight but a
     ///   query-set change since planning left the chunk with no interested
-    ///   query.  The caller must [`Self::abort_load`] it.
-    /// * [`CommitCheck::Valid`] — install residency
-    ///   ([`Self::complete_load_of`]).
+    ///   query.  The caller must `abort_load` it.
+    /// * [`CommitCheck::Valid`] — install residency (`complete_load_of`).
     ///
     /// When `planned_epoch` still matches [`Self::epoch`], no query
     /// registered or detached since planning; interest cannot have dropped
@@ -717,6 +719,11 @@ impl AbmState {
     }
 
     /// Removes a finished (or cancelled) query, dropping its interest counts.
+    ///
+    /// If the query was still processing a chunk (a `PinnedChunk` is
+    /// outstanding), that chunk's pin is deliberately *left in place* so the
+    /// frame cannot be evicted under the reader; the driver returns it later
+    /// through [`Self::release_pin`].
     pub(crate) fn remove_query(&mut self, id: QueryId) -> QueryState {
         let idx = self
             .query_index(id)
@@ -968,6 +975,15 @@ impl AbmState {
             b.unpin(q);
         }
         self.debug_validate();
+    }
+
+    /// Releases the processing pin a since-removed query still held on
+    /// `chunk` (see [`Self::remove_query`]).  A no-op if the chunk is gone
+    /// or the query held no pin.
+    pub(crate) fn release_pin(&mut self, q: QueryId, chunk: ChunkId) {
+        if let Some(b) = self.buffered[chunk.as_usize()].as_mut() {
+            b.unpin_if_held(q);
+        }
     }
 
     /// Marks query `q` as blocked at `now`.

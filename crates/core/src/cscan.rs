@@ -21,6 +21,11 @@ pub struct CScanPlan {
     pub ranges: ScanRanges,
     /// The columns to read (ignored for NSM storage).
     pub columns: ColSet,
+    /// Stop after consuming this many chunks (a `LIMIT`-style early
+    /// termination); `None` runs the scan to completion.  A limited session
+    /// detaches mid-scan, which aborts loads in flight solely on its behalf
+    /// and releases its frame pins.
+    pub limit_chunks: Option<u32>,
 }
 
 impl CScanPlan {
@@ -30,7 +35,15 @@ impl CScanPlan {
             label: label.into(),
             ranges,
             columns,
+            limit_chunks: None,
         }
+    }
+
+    /// Stops the scan after `chunks` delivered chunks (LIMIT-style early
+    /// termination; the session detaches mid-scan).
+    pub fn with_chunk_limit(mut self, chunks: u32) -> Self {
+        self.limit_chunks = Some(chunks);
+        self
     }
 
     /// A full-table scan.

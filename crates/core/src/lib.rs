@@ -27,6 +27,14 @@
 //!   and per-worker doorbells instead of global condition variables) for
 //!   live use of the API.
 //!
+//! Queries talk to either front-end through one surface, the
+//! [`session::ScanSession`] trait (attach → `next_chunk()` → detach): the
+//! threaded server delivers [`session::PinnedChunk`]s carrying *real
+//! payloads* (materialized by a [`cscan_storage::ChunkStore`], pinned in a
+//! `cscan_bufman` frame so eviction can never reclaim data a query is
+//! reading), while [`session::SimScanServer`] is the deterministic
+//! metadata-only implementation for reproducible tests.
+//!
 //! Both issue their chunk loads through the asynchronous I/O scheduling
 //! layer ([`iosched`]): up to K loads stay in flight (with batched,
 //! reservation-backed eviction planning), routed to per-spindle submission
@@ -72,6 +80,7 @@ pub mod model;
 pub mod policy;
 pub mod query;
 pub mod reuse;
+pub mod session;
 pub mod sim;
 pub mod threaded;
 
@@ -82,6 +91,7 @@ pub use iosched::{IoSchedStats, IoScheduler, SimIoBackend};
 pub use model::{StorageKind, TableModel};
 pub use policy::{AttachPolicy, ElevatorPolicy, NormalPolicy, Policy, PolicyKind, RelevancePolicy};
 pub use query::{QueryId, QueryState};
+pub use session::{ChunkRelease, PinnedChunk, ScanSession, SimScanServer, SimScanSession};
 
 // Re-export the identifiers that appear throughout the public API.
 pub use cscan_storage::{ChunkId, ColumnId, ScanRanges};

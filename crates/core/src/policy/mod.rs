@@ -11,7 +11,7 @@
 //! All four answer their decision points from the shared
 //! [`crate::abm::ChunkIndex`]: the relevance argmaxes walk its starved
 //! buckets and residency words, the elevator sweep and its eviction filter
-//! walk the interested-any set, and the traditional policies' [`lru_victim`]
+//! walk the interested-any set, and the traditional policies' `lru_victim`
 //! walks the residency words — none of them sweeps the buffer or the scan
 //! range chunk-by-chunk.  Because the asynchronous scheduler keeps several
 //! loads outstanding, every policy also excludes in-flight chunks

@@ -1,0 +1,541 @@
+//! The query-facing scan API: [`ScanSession`] and [`PinnedChunk`].
+//!
+//! A CScan is a *session* against the Active Buffer Manager: the query
+//! attaches (announcing its ranges and columns up-front), repeatedly asks
+//! for the next chunk — which arrives in whatever order the ABM finds
+//! convenient — and detaches when done.  This module defines that contract
+//! once, so the execution layer (the `cscan_exec` operator tree) can
+//! consume either front-end through the same trait:
+//!
+//! * the threaded executor ([`crate::threaded::ScanServer`]) — blocking
+//!   sessions over real OS threads, delivering *real pinned payloads*
+//!   materialized by a [`cscan_storage::ChunkStore`];
+//! * the deterministic shim ([`SimScanServer`]) — a synchronous,
+//!   metadata-only implementation over the same [`Abm`] scheduling code,
+//!   for tests and experiments that need reproducible delivery orders
+//!   without threads.
+//!
+//! # Pin lifecycle
+//!
+//! A [`PinnedChunk`] is the unit of delivery.  While it is alive the chunk
+//! is pinned — in the ABM (the chunk is `pinned_by` the query, so no
+//! eviction plan may choose it) and, in the threaded executor, in the
+//! backing [`cscan_bufman::BufferPool`] frame (a refcount), so the payload
+//! a query is reading can never be reclaimed under it.  Dropping the pin
+//! releases both and tells the scheduler the chunk was consumed.
+//!
+//! Prefer [`PinnedChunk::complete`] over letting the pin fall out of scope:
+//! a plain drop still releases everything (so early returns and `?` are
+//! safe), but it is counted as an *unconsumed drop* by the owning server —
+//! tests assert the counter stays zero, which catches pipelines that
+//! silently discard delivered data.
+
+use crate::abm::Abm;
+use crate::cscan::CScanPlan;
+use crate::policy::PolicyKind;
+use crate::query::QueryId;
+use crate::AbmState;
+use crate::TableModel;
+use cscan_simdisk::{SimDuration, SimTime};
+use cscan_storage::{ChunkId, ChunkPayload, ColumnId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The backend half of a [`PinnedChunk`]: how the pin is returned to the
+/// owning server.  One releaser is created per session and shared by all
+/// its pins (an `Arc` clone per delivery — no per-chunk allocation).
+pub trait ChunkRelease: Send + Sync {
+    /// Releases the pin `query` holds on `chunk`.  `consumed` is false when
+    /// the pin was dropped without [`PinnedChunk::complete`].
+    fn release(&self, query: QueryId, chunk: ChunkId, consumed: bool);
+}
+
+/// A chunk delivered to a query, pinned for the lifetime of this value.
+///
+/// Carries the chunk's payload (real column data, or
+/// [`ChunkPayload::Missing`] for metadata-only front-ends) decoded
+/// zero-copy: [`PinnedChunk::column`] returns views into the pinned frame,
+/// shared — not copied — out of the buffer manager.
+#[must_use = "dropping a PinnedChunk counts as consuming the chunk; call complete() when done"]
+pub struct PinnedChunk {
+    query: QueryId,
+    chunk: ChunkId,
+    payload: ChunkPayload,
+    releaser: Option<Arc<dyn ChunkRelease>>,
+    consumed: bool,
+}
+
+impl std::fmt::Debug for PinnedChunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedChunk")
+            .field("query", &self.query)
+            .field("chunk", &self.chunk)
+            .field("rows", &self.payload.rows())
+            .finish()
+    }
+}
+
+impl PinnedChunk {
+    /// Creates a pin.  Front-ends construct these; queries only consume them.
+    pub(crate) fn new(
+        query: QueryId,
+        chunk: ChunkId,
+        payload: ChunkPayload,
+        releaser: Arc<dyn ChunkRelease>,
+    ) -> Self {
+        Self {
+            query,
+            chunk,
+            payload,
+            releaser: Some(releaser),
+            consumed: false,
+        }
+    }
+
+    /// The delivered chunk's identity.
+    pub fn chunk(&self) -> ChunkId {
+        self.chunk
+    }
+
+    /// The query this chunk was delivered to.
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+
+    /// The chunk's payload (metadata-only front-ends deliver
+    /// [`ChunkPayload::Missing`]).
+    pub fn payload(&self) -> &ChunkPayload {
+        &self.payload
+    }
+
+    /// Zero-copy view of one column's values, if the payload carries it.
+    pub fn column(&self, col: ColumnId) -> Option<&[i64]> {
+        self.payload.column(col)
+    }
+
+    /// Number of rows in the payload (0 for metadata-only delivery).
+    pub fn rows(&self) -> usize {
+        self.payload.rows()
+    }
+
+    /// Marks the chunk as fully consumed and releases the pin.
+    pub fn complete(mut self) {
+        self.consumed = true;
+        // Drop runs next and performs the release.
+    }
+}
+
+impl Drop for PinnedChunk {
+    fn drop(&mut self) {
+        if let Some(releaser) = self.releaser.take() {
+            releaser.release(self.query, self.chunk, self.consumed);
+        }
+    }
+}
+
+/// A live CScan: attach → [`ScanSession::next_chunk`] until `None` →
+/// [`ScanSession::detach`].
+///
+/// This is the *only* way queries talk to the ABM; both front-ends
+/// implement it, and `cscan_exec`-style operator trees consume it.
+/// Detaching mid-scan (or dropping the session) is always legal: the ABM
+/// releases the query's interest, aborts loads that were in flight solely
+/// on its behalf, and frees its frame pins as outstanding [`PinnedChunk`]s
+/// drop.
+pub trait ScanSession {
+    /// Delivers the next chunk in ABM-chosen order, or `None` when the scan
+    /// has delivered everything (or was detached).  The threaded
+    /// implementation blocks; the sim shim synchronously advances virtual
+    /// time.
+    fn next_chunk(&mut self) -> Option<PinnedChunk>;
+
+    /// Number of chunks the scan still needs (0 once finished or detached).
+    fn remaining_chunks(&self) -> u32;
+
+    /// Deregisters the scan from the ABM.  Idempotent; also runs on drop.
+    fn detach(&mut self);
+}
+
+// ----------------------------------------------------------------------
+// The deterministic, metadata-only front-end.
+// ----------------------------------------------------------------------
+
+/// Shared state of a [`SimScanServer`]: the ABM plus a virtual clock.
+struct SimHub {
+    abm: Abm,
+    now: SimTime,
+    io_cost_per_page: SimDuration,
+    unconsumed_drops: u64,
+}
+
+/// The deterministic session front-end: the same ABM scheduling code as the
+/// threaded executor, driven synchronously in virtual time with
+/// metadata-only delivery ([`ChunkPayload::Missing`]).
+///
+/// [`SimScanSession::next_chunk`] performs any "disk reads" inline (one
+/// [`Abm::plan_load`] / commit step at a time, exactly the paper's
+/// sequential main loop), so two runs with the same attach/consume
+/// interleaving produce byte-identical delivery orders — the property the
+/// exec-layer tests use to pin down out-of-order delivery.
+pub struct SimScanServer {
+    hub: Arc<Mutex<SimHub>>,
+}
+
+impl SimScanServer {
+    /// Creates a server for `model` under `policy` with a buffer pool of
+    /// `buffer_pages` pages (clamped to at least one average chunk).
+    pub fn new(model: TableModel, policy: PolicyKind, buffer_pages: u64) -> Self {
+        let capacity = buffer_pages
+            .max(model.avg_chunk_pages().ceil() as u64)
+            .max(1);
+        let state = AbmState::new(model, capacity);
+        let abm = Abm::new(state, policy.build());
+        Self {
+            hub: Arc::new(Mutex::new(SimHub {
+                abm,
+                now: SimTime::ZERO,
+                io_cost_per_page: SimDuration::from_micros(50),
+                unconsumed_drops: 0,
+            })),
+        }
+    }
+
+    /// Attaches a scan, returning its session.
+    pub fn attach(&self, plan: CScanPlan) -> SimScanSession {
+        let mut hub = self.hub.lock();
+        let columns = if plan.columns.is_empty() {
+            hub.abm.state().model().all_columns()
+        } else {
+            plan.columns
+        };
+        let now = hub.now;
+        let query = hub
+            .abm
+            .register_query(plan.label, plan.ranges, columns, now);
+        SimScanSession {
+            hub: Arc::clone(&self.hub),
+            releaser: Arc::new(SimRelease {
+                hub: Arc::clone(&self.hub),
+            }),
+            query,
+            limit: plan.limit_chunks,
+            delivered: 0,
+            detached: false,
+        }
+    }
+
+    /// Chunk loads completed so far.
+    pub fn io_requests(&self) -> u64 {
+        self.hub.lock().abm.state().io_requests()
+    }
+
+    /// Loads aborted because their last interested session detached.
+    pub fn loads_aborted(&self) -> u64 {
+        self.hub.lock().abm.state().loads_aborted()
+    }
+
+    /// Pins that were dropped without [`PinnedChunk::complete`].
+    pub fn unconsumed_drops(&self) -> u64 {
+        self.hub.lock().unconsumed_drops
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.hub.lock().now
+    }
+}
+
+/// Releaser for sim-delivered pins.
+struct SimRelease {
+    hub: Arc<Mutex<SimHub>>,
+}
+
+impl ChunkRelease for SimRelease {
+    fn release(&self, query: QueryId, chunk: ChunkId, consumed: bool) {
+        let mut hub = self.hub.lock();
+        if !consumed {
+            hub.unconsumed_drops += 1;
+        }
+        hub.abm.release_delivered(query, chunk);
+    }
+}
+
+/// One attached scan of a [`SimScanServer`].
+#[must_use = "an attached session holds ABM interest until detached or dropped"]
+pub struct SimScanSession {
+    hub: Arc<Mutex<SimHub>>,
+    releaser: Arc<SimRelease>,
+    query: QueryId,
+    limit: Option<u32>,
+    delivered: u32,
+    detached: bool,
+}
+
+impl SimScanSession {
+    /// The ABM-assigned query id.
+    pub fn query_id(&self) -> QueryId {
+        self.query
+    }
+}
+
+impl ScanSession for SimScanSession {
+    fn next_chunk(&mut self) -> Option<PinnedChunk> {
+        if self.detached {
+            return None;
+        }
+        if self.limit.is_some_and(|l| self.delivered >= l) {
+            // LIMIT-style early termination: detach mid-scan, aborting any
+            // load this query was the last interested consumer of.
+            self.detach();
+            return None;
+        }
+        let mut finished = false;
+        let pinned = {
+            let mut hub = self.hub.lock();
+            loop {
+                if hub.abm.is_query_finished(self.query) {
+                    finished = true;
+                    break None;
+                }
+                let now = hub.now;
+                if let Some(chunk) = hub.abm.acquire_chunk(self.query, now) {
+                    self.delivered += 1;
+                    break Some(PinnedChunk::new(
+                        self.query,
+                        chunk,
+                        ChunkPayload::Missing,
+                        Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
+                    ));
+                }
+                // Drive the "disk" one sequential main-loop step: plan a
+                // load, advance the virtual clock by its read time, commit.
+                match hub.abm.plan_load(now) {
+                    Some(plan) => {
+                        let cost = hub.io_cost_per_page.mul_f64(plan.pages as f64);
+                        hub.now = now + cost;
+                        let (chunk, ticket, epoch) = (plan.decision.chunk, plan.ticket, plan.epoch);
+                        let _ = hub.abm.commit_load(chunk, ticket, epoch);
+                    }
+                    None => {
+                        // Nothing plannable while we still need data: the
+                        // buffer is full of chunks other sessions hold or
+                        // that no longer fit.  Force the least interesting
+                        // one out and retry; a wedged pool is a caller bug
+                        // (every pin outstanding), so fail loudly.
+                        assert!(
+                            hub.abm.force_evict_one().is_some(),
+                            "SimScanSession {:?} is wedged: nothing to load and nothing evictable \
+                             (all frames pinned by outstanding PinnedChunks?)",
+                            self.query
+                        );
+                    }
+                }
+            }
+        };
+        if finished {
+            self.detach();
+        }
+        pinned
+    }
+
+    fn remaining_chunks(&self) -> u32 {
+        if self.detached {
+            return 0;
+        }
+        self.hub
+            .lock()
+            .abm
+            .state()
+            .try_query(self.query)
+            .map(|q| q.chunks_needed())
+            .unwrap_or(0)
+    }
+
+    fn detach(&mut self) {
+        if self.detached {
+            return;
+        }
+        self.detached = true;
+        self.hub.lock().abm.finish_query(self.query);
+    }
+}
+
+impl Drop for SimScanSession {
+    fn drop(&mut self) {
+        self.detach();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscan_storage::ScanRanges;
+
+    fn server(policy: PolicyKind, chunks: u32, buffer_chunks: u64) -> (SimScanServer, TableModel) {
+        let model = TableModel::nsm_uniform(chunks, 1_000, 16);
+        let server = SimScanServer::new(model.clone(), policy, buffer_chunks * 16);
+        (server, model)
+    }
+
+    fn drain(session: &mut SimScanSession) -> Vec<ChunkId> {
+        let mut order = Vec::new();
+        while let Some(pin) = session.next_chunk() {
+            order.push(pin.chunk());
+            pin.complete();
+        }
+        order
+    }
+
+    #[test]
+    fn single_session_delivers_everything_once() {
+        for policy in PolicyKind::ALL {
+            let (server, model) = server(policy, 12, 4);
+            let mut s = server.attach(CScanPlan::new(
+                "full",
+                ScanRanges::full(12),
+                model.all_columns(),
+            ));
+            assert_eq!(s.remaining_chunks(), 12);
+            let order = drain(&mut s);
+            let mut sorted: Vec<ChunkId> = order.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 12, "{policy}: every chunk exactly once");
+            assert_eq!(s.remaining_chunks(), 0);
+            assert!(s.next_chunk().is_none(), "{policy}: sessions stay drained");
+            assert_eq!(server.unconsumed_drops(), 0);
+        }
+    }
+
+    #[test]
+    fn delivery_is_deterministic() {
+        let run = || {
+            let (server, model) = server(PolicyKind::Relevance, 16, 4);
+            let mut a = server.attach(CScanPlan::new(
+                "a",
+                ScanRanges::full(16),
+                model.all_columns(),
+            ));
+            // Interleave a second session mid-way through the first.
+            let mut order = Vec::new();
+            for _ in 0..6 {
+                let pin = a.next_chunk().unwrap();
+                order.push(("a", pin.chunk()));
+                pin.complete();
+            }
+            let mut b = server.attach(CScanPlan::new(
+                "b",
+                ScanRanges::full(16),
+                model.all_columns(),
+            ));
+            while let Some(pin) = b.next_chunk() {
+                order.push(("b", pin.chunk()));
+                pin.complete();
+            }
+            order.extend(drain(&mut a).into_iter().map(|c| ("a", c)));
+            order
+        };
+        assert_eq!(run(), run(), "same interleaving, same delivery order");
+    }
+
+    #[test]
+    fn second_session_joins_out_of_scan_order() {
+        // After the first session has consumed half the table through a
+        // small buffer, a newly attached overlapping scan is served from
+        // the shared position first — its delivery starts past chunk 0.
+        let (server, model) = server(PolicyKind::Attach, 16, 4);
+        let mut a = server.attach(CScanPlan::new(
+            "a",
+            ScanRanges::full(16),
+            model.all_columns(),
+        ));
+        for _ in 0..8 {
+            a.next_chunk().unwrap().complete();
+        }
+        let mut b = server.attach(CScanPlan::new(
+            "b",
+            ScanRanges::full(16),
+            model.all_columns(),
+        ));
+        let order = drain(&mut b);
+        assert_eq!(order.len(), 16);
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "b still sees every chunk exactly once");
+        let mut in_order = order.clone();
+        in_order.sort();
+        assert_ne!(order, in_order, "attach must deliver out of scan order");
+        drain(&mut a);
+    }
+
+    #[test]
+    fn chunk_limit_detaches_mid_scan() {
+        let (server, model) = server(PolicyKind::Relevance, 10, 4);
+        let mut s = server.attach(
+            CScanPlan::new("limited", ScanRanges::full(10), model.all_columns())
+                .with_chunk_limit(3),
+        );
+        let order = drain(&mut s);
+        assert_eq!(order.len(), 3, "the limit stops the scan early");
+        assert_eq!(s.remaining_chunks(), 0);
+        // The server is reusable afterwards.
+        let mut s2 = server.attach(CScanPlan::new(
+            "after",
+            ScanRanges::single(0, 4),
+            model.all_columns(),
+        ));
+        assert_eq!(drain(&mut s2).len(), 4);
+    }
+
+    #[test]
+    fn unconsumed_drops_are_traced() {
+        let (server, model) = server(PolicyKind::Relevance, 4, 4);
+        let mut s = server.attach(CScanPlan::new(
+            "sloppy",
+            ScanRanges::full(4),
+            model.all_columns(),
+        ));
+        let pin = s.next_chunk().unwrap();
+        drop(pin); // silently dropped, not completed
+        assert_eq!(server.unconsumed_drops(), 1);
+        let pin = s.next_chunk().unwrap();
+        pin.complete();
+        assert_eq!(server.unconsumed_drops(), 1, "complete() is not counted");
+        drain(&mut s);
+    }
+
+    #[test]
+    fn detach_with_outstanding_pin_releases_cleanly() {
+        let (server, model) = server(PolicyKind::Relevance, 6, 3);
+        let mut s = server.attach(CScanPlan::new(
+            "early",
+            ScanRanges::full(6),
+            model.all_columns(),
+        ));
+        let pin = s.next_chunk().unwrap();
+        s.detach();
+        // The pin outlives the session's registration; dropping it must not
+        // panic and must leave the chunk evictable.
+        let chunk = pin.chunk();
+        drop(pin);
+        let hub = server.hub.lock();
+        assert!(
+            hub.abm.state().is_evictable(chunk),
+            "the orphaned pin must be returned"
+        );
+        assert_eq!(hub.abm.state().num_queries(), 0);
+    }
+
+    #[test]
+    fn empty_plan_yields_no_chunks() {
+        let (server, model) = server(PolicyKind::Relevance, 4, 2);
+        let mut s = server.attach(CScanPlan::new(
+            "empty",
+            ScanRanges::empty(),
+            model.all_columns(),
+        ));
+        assert!(s.next_chunk().is_none());
+        assert_eq!(s.remaining_chunks(), 0);
+    }
+}

@@ -2,18 +2,39 @@
 //!
 //! This is the "live" front-end of the library: real OS threads, a real ABM
 //! main loop (Figure 3) running on an I/O thread pool, and [`CScanHandle`]s
-//! that block exactly like the paper's `waitForChunk`.  The disk is
+//! — the threaded implementation of [`ScanSession`] — that block exactly
+//! like the paper's `waitForChunk`.  The disk seek/transfer time is
 //! simulated by sleeping proportionally to the number of pages read
 //! (configurable down to zero for tests); everything else — chunk
 //! bookkeeping, policies, eviction — is the same code the deterministic
 //! simulation uses.
+//!
+//! # The data plane
+//!
+//! With a [`ScanServerBuilder::store`] configured, delivery carries *data*,
+//! not just chunk ids: each committed load's payload (materialized by the
+//! [`ChunkStore`] on the I/O worker, **outside** the hub lock) is installed
+//! into a chunk-granularity [`cscan_bufman::BufferPool`] frame, and every
+//! [`PinnedChunk`] a query receives holds both the ABM-side processing pin
+//! and a frame pin (a refcount on the pool frame), so eviction can never
+//! reclaim a chunk a query is still reading.  NSM and DSM payloads live
+//! behind [`ChunkPayload`]; [`PinnedChunk::column`] decodes them zero-copy
+//! — the hot consume path (acquire → read views → release) performs no
+//! per-chunk heap allocation and no data copies.  Without a store the
+//! server delivers [`ChunkPayload::Missing`] and behaves exactly like the
+//! historical id-only executor.
+//!
+//! The frame pool is deliberately sized at one frame per logical chunk:
+//! buffer *capacity* is governed by the ABM's page accounting (which plans
+//! every eviction), so the pool itself never has to pick victims — it is
+//! the page table, the pin ledger and the payload store of the data plane.
 //!
 //! # Concurrency architecture
 //!
 //! The executor is built from the three layers described in
 //! `ARCHITECTURE.md`:
 //!
-//! * **Plan/commit critical sections.**  One mutex protects the [`Hub`]
+//! * **Plan/commit critical sections.**  One mutex protects the hub
 //!   (the [`Abm`] plus the wakeup registry).  An I/O worker holds it only
 //!   to *plan* a load (policy decision + eviction + page reservation, all
 //!   answered by the shared [`crate::abm::ChunkIndex`]) and again to
@@ -39,12 +60,15 @@
 //!   back empty.  Both waits keep a 50 ms timeout purely as a
 //!   belt-and-braces guard; correctness never depends on it.
 //!
-//! * **Lock ordering.**  There is exactly one lock.  The wait-slot registry
-//!   and the doorbell list live *inside* the hub, so there is no second
-//!   mutex to order against; condvars are notified after the hub guard is
-//!   dropped (or, on rarely-taken paths, while holding it, which is safe —
-//!   waiters re-check their condition under the lock).  Nothing is ever
-//!   awaited while holding the hub.
+//! * **Lock ordering.**  There is exactly one lock.  The wait-slot registry,
+//!   the doorbell list and the frame pool live *inside* the hub, so there is
+//!   no second mutex to order against; condvars are notified after the hub
+//!   guard is dropped (or, on rarely-taken paths, while holding it, which is
+//!   safe — waiters re-check their condition under the lock).  Nothing is
+//!   ever awaited while holding the hub, and no payload is ever
+//!   *materialized or decoded* under it: workers fill payloads before
+//!   re-locking for the commit, and queries read their column views from
+//!   the [`PinnedChunk`] after `next_chunk` has returned.
 //!
 //! Each of the [`ScanServerBuilder::io_threads`] workers holds at most one
 //! load outstanding, so a pool of `k` workers keeps up to `k` chunk loads
@@ -81,15 +105,23 @@ use crate::cscan::CScanPlan;
 use crate::model::TableModel;
 use crate::policy::PolicyKind;
 use crate::query::QueryId;
+use crate::session::{ChunkRelease, PinnedChunk, ScanSession};
+use cscan_bufman::{BufferPool, LruPolicy, PageKey, PoolStats};
 use cscan_simdisk::SimTime;
-use cscan_storage::ChunkId;
+use cscan_storage::{ChunkId, ChunkPayload, ChunkStore, ColumnId};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The frame-pool key of a logical chunk (the pool runs at chunk
+/// granularity: one "page" per chunk).
+fn frame_key(chunk: ChunkId) -> PageKey {
+    PageKey::new(0, chunk.index() as u64)
+}
 
 /// Number of power-of-two buckets in the lock hold-time histogram
 /// (bucket `i` counts holds in `[2^i, 2^{i+1})` nanoseconds; the last
@@ -175,9 +207,15 @@ impl LockHoldSnapshot {
     }
 }
 
-/// Everything the hub mutex protects: the ABM plus the wakeup registry.
+/// Everything the hub mutex protects: the ABM, the frame pool and the
+/// wakeup registry.
 struct Hub {
     abm: Abm,
+    /// The data plane's frame pool: page table, pin ledger and payload
+    /// store, at chunk granularity (one frame per logical chunk, so the
+    /// pool never victimizes on its own — the ABM plans every eviction
+    /// against its page accounting and this pool mirrors the outcome).
+    pool: BufferPool,
     /// Per-query wait slots.  A blocked [`CScanHandle::next_chunk`] waits on
     /// its own slot; commits notify exactly the slots of the queries the
     /// arrived chunk unblocks.
@@ -201,11 +239,22 @@ impl Hub {
 /// Shared state between the I/O workers and all CScan handles.
 struct Shared {
     hub: Mutex<Hub>,
+    /// Source of chunk payloads; `None` delivers metadata-only chunks.
+    store: Option<Arc<dyn ChunkStore>>,
+    /// Whether the table model is DSM (cached so workers can prepare the
+    /// column list for materialization without an extra lock round).
+    is_dsm: bool,
     shutdown: AtomicBool,
     started: Instant,
     io_cost_per_page_nanos: u64,
     loads_completed: AtomicU64,
     loads_cancelled: AtomicU64,
+    /// Total time consumers spent blocked in `next_chunk` waiting for a
+    /// deliverable chunk (the data plane's "pin-wait" time).
+    pin_wait_nanos: AtomicU64,
+    /// Pins dropped without [`PinnedChunk::complete`] — the silent-drop
+    /// footgun, surfaced as a counter so tests can assert it stays zero.
+    unconsumed_drops: AtomicU64,
     lock_held: LockHoldHistogram,
 }
 
@@ -269,12 +318,22 @@ pub struct ScanServerBuilder {
     buffer_pages: u64,
     io_cost_per_page: Duration,
     io_threads: usize,
+    store: Option<Arc<dyn ChunkStore>>,
 }
 
 impl ScanServerBuilder {
     /// Selects the scheduling policy (default: relevance).
     pub fn policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Attaches the data plane: chunk payloads materialized by `store` (on
+    /// the I/O workers, outside the hub lock) travel with every delivered
+    /// [`PinnedChunk`].  Without a store the server delivers
+    /// [`ChunkPayload::Missing`] — the historical id-only behaviour.
+    pub fn store(mut self, store: Arc<dyn ChunkStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -313,21 +372,30 @@ impl ScanServerBuilder {
             .buffer_pages
             .max(self.model.avg_chunk_pages().ceil() as u64)
             .max(1);
+        let is_dsm = self.model.is_dsm();
+        // One frame per logical chunk: capacity is governed by the ABM's
+        // page accounting, so the pool never needs to pick its own victims.
+        let pool = BufferPool::new(self.model.num_chunks() as usize, Box::new(LruPolicy::new()));
         let state = AbmState::new(self.model, capacity);
         let abm = Abm::new(state, self.policy.build());
         let workers = self.io_threads;
         let shared = Arc::new(Shared {
             hub: Mutex::new(Hub {
                 abm,
+                pool,
                 slots: HashMap::new(),
                 doorbells: (0..workers).map(|_| Arc::new(Condvar::new())).collect(),
                 parked: Vec::with_capacity(workers),
             }),
+            store: self.store,
+            is_dsm,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             io_cost_per_page_nanos: self.io_cost_per_page.as_nanos() as u64,
             loads_completed: AtomicU64::new(0),
             loads_cancelled: AtomicU64::new(0),
+            pin_wait_nanos: AtomicU64::new(0),
+            unconsumed_drops: AtomicU64::new(0),
             lock_held: LockHoldHistogram::new(),
         });
         let io_threads = (0..workers)
@@ -345,10 +413,12 @@ impl ScanServerBuilder {
 
 /// The ABM main loop (`main()` in Figure 3), run on every I/O worker.
 ///
-/// Plan under the lock, ring the next parked worker if the plan succeeded
-/// (wake chaining), perform the simulated read with the lock released, then
-/// commit under the lock — revalidating the plan's `(ticket, epoch)` stamp,
-/// so a load whose queries detached mid-read is aborted — and wake exactly
+/// Plan under the lock (mirroring the plan's evictions into the frame
+/// pool), ring the next parked worker if the plan succeeded (wake
+/// chaining), materialize the payload and perform the simulated read with
+/// the lock released, then commit under the lock — revalidating the plan's
+/// `(ticket, epoch)` stamp, so a load whose queries detached mid-read is
+/// aborted — install the payload into the chunk's frame, and wake exactly
 /// the wait slots of the queries the arrived chunk unblocks.
 fn io_worker_main(shared: Arc<Shared>, id: usize) {
     let mut plans = Vec::with_capacity(1);
@@ -374,6 +444,24 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
             }
             continue;
         };
+        // The plan's evictions already happened inside the ABM; mirror them
+        // into the frame pool (dropping the evicted payloads) while still
+        // under the same critical section.  The ABM never evicts a pinned
+        // chunk, and frame pins shadow ABM pins one-for-one, so the frame
+        // release cannot fail.
+        for &victim in &plan.evicted {
+            let freed = hub.pool.evict_page(frame_key(victim));
+            debug_assert!(freed, "ABM evicted {victim:?} but its frame was held");
+        }
+        // The columns to materialize: everything for NSM (all-or-nothing),
+        // exactly the missing columns for DSM (what this load adds).
+        let dsm_cols: Option<Vec<ColumnId>> = shared.is_dsm.then(|| {
+            hub.abm
+                .state()
+                .missing_columns(plan.decision.chunk, plan.decision.cols)
+                .iter()
+                .collect()
+        });
         // Wake chaining: if more loads are plannable, the next parked worker
         // will find one (and chain onwards); if not, it re-parks.  This fans
         // a burst out across the pool without a notify_all stampede.
@@ -384,7 +472,12 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         }
         // Perform the "disk read" without holding the lock so queries keep
         // consuming already-resident chunks (and other workers keep planning
-        // and committing) meanwhile.
+        // and committing) meanwhile.  Materializing the payload *is* the
+        // read; the sleep models seek/transfer time.
+        let payload = match &shared.store {
+            Some(store) => store.materialize(plan.decision.chunk, dsm_cols.as_deref()),
+            None => ChunkPayload::Missing,
+        };
         let nanos = plan.pages.saturating_mul(shared.io_cost_per_page_nanos);
         if nanos > 0 {
             std::thread::sleep(Duration::from_nanos(nanos));
@@ -394,17 +487,35 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         // Split the borrow: the commit outcome borrows the ABM's wake
         // scratch while the slot registry is read beside it.
         let Hub { abm, slots, .. } = &mut *hub;
-        match abm.commit_load(plan.decision.chunk, plan.ticket, plan.epoch) {
+        let committed = match abm.commit_load(plan.decision.chunk, plan.ticket, plan.epoch) {
             CommitOutcome::Committed { woken } => {
                 // signalQuery: wake exactly the scans the chunk unblocks.
                 wake.extend(woken.iter().filter_map(|q| slots.get(q)).map(Arc::clone));
                 shared.loads_completed.fetch_add(1, Ordering::Relaxed);
+                true
             }
             CommitOutcome::Cancelled | CommitOutcome::Aborted => {
                 // The last interested query detached mid-read; the pages
-                // were (or are now) released and nothing was installed.
+                // were (or are now) released, nothing was installed, and the
+                // materialized payload is simply dropped.
                 shared.loads_cancelled.fetch_add(1, Ordering::Relaxed);
+                false
             }
+        };
+        if committed {
+            // Install the payload into the chunk's frame.  For DSM a chunk
+            // may already be partially resident: union the column sets
+            // (sharing the existing vectors — no copy).
+            let key = frame_key(plan.decision.chunk);
+            hub.pool
+                .fetch_and_pin(key)
+                .expect("the chunk-granular frame pool can never run out of frames");
+            let merged = match hub.pool.payload(key) {
+                Some(existing) => existing.merged_with(&payload),
+                None => payload,
+            };
+            hub.pool.install_payload(key, merged);
+            hub.pool.unpin(key, false);
         }
         drop(hub);
         for slot in &wake {
@@ -434,6 +545,7 @@ impl ScanServer {
             buffer_pages: default_pages.max(1),
             io_cost_per_page: Duration::from_micros(50),
             io_threads: 1,
+            store: None,
         }
     }
 
@@ -462,7 +574,12 @@ impl ScanServer {
         }
         CScanHandle {
             shared: Arc::clone(&self.shared),
+            releaser: Arc::new(HandleRelease {
+                shared: Arc::clone(&self.shared),
+            }),
             query: id,
+            limit: plan.limit_chunks,
+            delivered: AtomicU32::new(0),
             finished: AtomicBool::new(false),
         }
     }
@@ -493,6 +610,30 @@ impl ScanServer {
     pub fn lock_hold_histogram(&self) -> LockHoldSnapshot {
         self.shared.lock_held.snapshot()
     }
+
+    /// Total time consumers spent blocked in `next_chunk` waiting for a
+    /// deliverable chunk (the data plane's "pin-wait" time, summed over all
+    /// sessions).
+    pub fn pin_wait(&self) -> Duration {
+        Duration::from_nanos(self.shared.pin_wait_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of [`PinnedChunk`]s that were dropped without
+    /// [`PinnedChunk::complete`].  A well-behaved pipeline keeps this at
+    /// zero; tests assert it.
+    pub fn unconsumed_drops(&self) -> u64 {
+        self.shared.unconsumed_drops.load(Ordering::Relaxed)
+    }
+
+    /// Counters of the data plane's frame pool (fetches, pins, evictions).
+    pub fn frame_pool_stats(&self) -> PoolStats {
+        self.shared.lock().pool.stats()
+    }
+
+    /// Number of frames currently pinned by outstanding [`PinnedChunk`]s.
+    pub fn pinned_frames(&self) -> usize {
+        self.shared.lock().pool.pinned_frames()
+    }
 }
 
 impl Drop for ScanServer {
@@ -513,11 +654,20 @@ impl Drop for ScanServer {
     }
 }
 
-/// A handle to one registered CScan.  Call [`CScanHandle::next_chunk`] until
-/// it returns `None`, then [`CScanHandle::finish`].
+/// A handle to one registered CScan — the threaded implementation of
+/// [`ScanSession`].  Call [`CScanHandle::next_chunk`] until it returns
+/// `None`, then [`CScanHandle::finish`] (or just drop the handle).
+#[must_use = "an attached scan holds ABM interest until finished or dropped"]
 pub struct CScanHandle {
     shared: Arc<Shared>,
+    /// Shared by every pin this handle delivers (an `Arc` clone per
+    /// delivery — no per-chunk allocation).
+    releaser: Arc<HandleRelease>,
     query: QueryId,
+    /// LIMIT-style chunk budget from [`CScanPlan::with_chunk_limit`].
+    limit: Option<u32>,
+    /// Chunks delivered so far (compared against `limit`).
+    delivered: AtomicU32,
     finished: AtomicBool,
 }
 
@@ -527,12 +677,27 @@ impl CScanHandle {
         self.query
     }
 
-    /// Blocks until the next chunk is available and returns a guard for it,
-    /// or `None` when the scan has delivered everything (or the server shut
-    /// down).  This is `selectChunk` of Figure 3.
-    pub fn next_chunk(&self) -> Option<ChunkGuard> {
+    /// Blocks until the next chunk is available and returns it pinned — the
+    /// payload views stay valid (and the frame unevictable) until the pin
+    /// is dropped — or `None` when the scan has delivered everything, hit
+    /// its chunk limit, or the server shut down.  This is `selectChunk` of
+    /// Figure 3.
+    pub fn next_chunk(&self) -> Option<PinnedChunk> {
         let mut hub = self.shared.lock();
         loop {
+            // The chunk-limit check and the delivery count bump both happen
+            // under the hub lock, so consumers sharing a handle serialize
+            // here and a LIMIT-n scan delivers exactly n chunks.
+            if let Some(limit) = self.limit {
+                if self.delivered.load(Ordering::Relaxed) >= limit {
+                    // LIMIT-style early termination: detach mid-scan,
+                    // aborting loads in flight solely on this query's
+                    // behalf.
+                    drop(hub);
+                    self.finish();
+                    return None;
+                }
+            }
             match hub.abm.state().try_query(self.query) {
                 Some(q) if !q.is_finished() => {}
                 // Finished, or already detached by `finish`.
@@ -540,12 +705,23 @@ impl CScanHandle {
             }
             match hub.abm.acquire_chunk(self.query, self.shared.now()) {
                 Some(chunk) => {
-                    return Some(ChunkGuard {
-                        shared: Arc::clone(&self.shared),
-                        query: self.query,
+                    // Pin the chunk's frame and carry its payload out of the
+                    // lock (payload clones are refcount bumps; decoding
+                    // happens on the consumer's side, never under the hub).
+                    let key = frame_key(chunk);
+                    let pinned = hub.pool.pin(key);
+                    assert!(pinned, "delivered {chunk:?} has no resident frame");
+                    let payload = match hub.pool.payload(key) {
+                        Some(p) => p.clone(),
+                        None => ChunkPayload::Missing,
+                    };
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    return Some(PinnedChunk::new(
+                        self.query,
                         chunk,
-                        completed: false,
-                    });
+                        payload,
+                        Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
+                    ));
                 }
                 None => {
                     // The scheduler may now see this query as starved: ring
@@ -560,20 +736,25 @@ impl CScanHandle {
                     // waitForChunk on this query's own slot: only a commit
                     // that makes a chunk available to *this* query rings it.
                     let slot = hub.slots.get(&self.query).map(Arc::clone)?;
+                    let waited = Instant::now();
                     hub.wait_on(&slot, Duration::from_millis(50));
+                    self.shared
+                        .pin_wait_nanos
+                        .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
             }
         }
     }
 
-    /// Number of chunks this scan still needs.
+    /// Number of chunks this scan still needs (0 once finished/detached).
     pub fn remaining_chunks(&self) -> u32 {
         self.shared
             .lock()
             .abm
             .state()
-            .query(self.query)
-            .chunks_needed()
+            .try_query(self.query)
+            .map(|q| q.chunks_needed())
+            .unwrap_or(0)
     }
 
     /// Deregisters the scan from the ABM.  Called automatically on drop.
@@ -581,7 +762,8 @@ impl CScanHandle {
     /// Detaching mid-scan cancels any in-flight load this query was the
     /// last interested consumer of (see [`Abm::finish_query`]): the pages
     /// are released immediately, and the read's eventual completion is
-    /// rejected by the commit's ticket check.
+    /// rejected by the commit's ticket check.  Outstanding [`PinnedChunk`]s
+    /// stay valid — their frames remain pinned until each pin drops.
     pub fn finish(&self) {
         if self.finished.swap(true, Ordering::AcqRel) {
             return;
@@ -605,39 +787,82 @@ impl CScanHandle {
     }
 }
 
+impl ScanSession for CScanHandle {
+    fn next_chunk(&mut self) -> Option<PinnedChunk> {
+        CScanHandle::next_chunk(self)
+    }
+
+    fn remaining_chunks(&self) -> u32 {
+        CScanHandle::remaining_chunks(self)
+    }
+
+    fn detach(&mut self) {
+        self.finish();
+    }
+}
+
 impl Drop for CScanHandle {
     fn drop(&mut self) {
         self.finish();
     }
 }
 
-/// A chunk handed to a query for processing.  Dropping the guard (or calling
-/// [`ChunkGuard::complete`]) tells the ABM the query is done with the chunk.
-pub struct ChunkGuard {
+/// The delivered-chunk unit of the threaded executor.
+///
+/// Historical name: before the [`ScanSession`] redesign the threaded
+/// executor had its own id-only guard type; today it delivers the shared
+/// [`PinnedChunk`] (with a real payload when the server has a
+/// [`ScanServerBuilder::store`]).
+pub type ChunkGuard = PinnedChunk;
+
+/// Returns pins to the server: releases the ABM processing pin and the
+/// frame pin, keeps the frame pool in sync with DSM column drops, and
+/// counts silent (unconsumed) drops.
+struct HandleRelease {
     shared: Arc<Shared>,
-    query: QueryId,
-    chunk: ChunkId,
-    completed: bool,
 }
 
-impl ChunkGuard {
-    /// The chunk being processed.
-    pub fn chunk(&self) -> ChunkId {
-        self.chunk
-    }
-
-    /// Marks the chunk as fully consumed.
-    pub fn complete(mut self) {
-        self.release();
-    }
-
-    fn release(&mut self) {
-        if self.completed {
-            return;
+impl ChunkRelease for HandleRelease {
+    fn release(&self, query: QueryId, chunk: ChunkId, consumed: bool) {
+        if !consumed {
+            // The silent-drop footgun: dropping a pin still counts as
+            // consumption (the scheduler must make progress), but it is
+            // traced so tests can assert pipelines consume deliberately.
+            self.shared.unconsumed_drops.fetch_add(1, Ordering::Relaxed);
         }
-        self.completed = true;
         let mut hub = self.shared.lock();
-        hub.abm.release_chunk(self.query, self.chunk);
+        let key = frame_key(chunk);
+        let Hub { abm, pool, .. } = &mut *hub;
+        abm.release_delivered(query, chunk);
+        pool.unpin(key, false);
+        // Keep the frame pool in sync with the ABM's residency: releasing
+        // the last consumer may have dropped dead DSM columns (or the whole
+        // chunk).
+        match abm.state().buffered_chunk(chunk) {
+            None => {
+                pool.evict_page(key);
+            }
+            Some(b) if self.shared.is_dsm => {
+                let shrunk = match pool.payload(key) {
+                    Some(ChunkPayload::Dsm(data))
+                        if data.resident_columns().any(|c| !b.columns.contains(c)) =>
+                    {
+                        Some(data.retained(|c| b.columns.contains(c)))
+                    }
+                    _ => None,
+                };
+                match shrunk {
+                    Some(Some(kept)) => {
+                        pool.install_payload(key, ChunkPayload::Dsm(Arc::new(kept)));
+                    }
+                    Some(None) => {
+                        pool.evict_page(key);
+                    }
+                    None => {}
+                }
+            }
+            _ => {}
+        }
         // Consumption changes starvation and eviction candidates: ring one
         // parked worker.
         let bell = hub.pop_doorbell();
@@ -645,12 +870,6 @@ impl ChunkGuard {
         if let Some(bell) = bell {
             bell.notify_one();
         }
-    }
-}
-
-impl Drop for ChunkGuard {
-    fn drop(&mut self) {
-        self.release();
     }
 }
 
@@ -762,7 +981,7 @@ mod tests {
     }
 
     #[test]
-    fn dropping_a_guard_releases_the_chunk() {
+    fn dropping_a_guard_releases_the_chunk_but_is_traced() {
         let (server, model) = server(PolicyKind::Relevance, 5, 2);
         let handle = server.cscan(CScanPlan::new(
             "g",
@@ -771,11 +990,17 @@ mod tests {
         ));
         let mut count = 0;
         while let Some(guard) = handle.next_chunk() {
-            // Drop instead of calling complete(); the Drop impl must release.
+            // Drop instead of calling complete(); the Drop impl must release
+            // (the scan makes progress) but the silent drop is counted.
             drop(guard);
             count += 1;
         }
         assert_eq!(count, 5);
+        assert_eq!(
+            server.unconsumed_drops(),
+            5,
+            "every silent drop must be traced"
+        );
     }
 
     #[test]
@@ -1027,6 +1252,314 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Data-plane tests: real payloads, frame pins, session semantics.
+    // ------------------------------------------------------------------
+
+    use crate::session::ScanSession;
+    use cscan_storage::{ColumnId, SeededStore};
+
+    fn data_server(
+        policy: PolicyKind,
+        chunks: u32,
+        buffer_chunks: u64,
+        columns: u16,
+    ) -> (ScanServer, TableModel, SeededStore) {
+        let model = TableModel::nsm_uniform(chunks, 100, 16);
+        let store = SeededStore::new(100, columns, 7);
+        let server = ScanServer::builder(model.clone())
+            .policy(policy)
+            .buffer_chunks(buffer_chunks)
+            .io_cost_per_page(Duration::ZERO)
+            .store(Arc::new(store.clone()))
+            .build();
+        (server, model, store)
+    }
+
+    #[test]
+    fn delivered_payloads_match_the_store() {
+        let (server, model, store) = data_server(PolicyKind::Relevance, 8, 3, 2);
+        let handle = server.cscan(CScanPlan::new(
+            "data",
+            ScanRanges::full(8),
+            model.all_columns(),
+        ));
+        let mut seen = 0;
+        while let Some(pin) = handle.next_chunk() {
+            assert_eq!(pin.rows(), 100);
+            for col in 0..2u16 {
+                let values = pin.column(ColumnId::new(col)).expect("column present");
+                for (row, &v) in values.iter().enumerate() {
+                    assert_eq!(
+                        v,
+                        store.value(pin.chunk(), row as u64, ColumnId::new(col)),
+                        "chunk {:?} col {col} row {row}",
+                        pin.chunk()
+                    );
+                }
+            }
+            pin.complete();
+            seen += 1;
+        }
+        assert_eq!(seen, 8);
+        assert_eq!(server.unconsumed_drops(), 0);
+        assert_eq!(server.pinned_frames(), 0, "all frame pins returned");
+    }
+
+    /// The acceptance criterion: a frame pinned by a `PinnedChunk` is never
+    /// evicted.  A consumer holds one pin while a second scan churns the
+    /// tiny buffer through many evictions; the pinned payload must stay
+    /// resident, readable, and bit-identical throughout.
+    #[test]
+    fn pinned_frame_survives_eviction_pressure() {
+        let (server, model, _store) = data_server(PolicyKind::Relevance, 16, 2, 1);
+        let holder = server.cscan(CScanPlan::new(
+            "holder",
+            ScanRanges::full(16),
+            model.all_columns(),
+        ));
+        let pin = holder.next_chunk().expect("first chunk");
+        let held_chunk = pin.chunk();
+        let before: Vec<i64> = pin.column(ColumnId::new(0)).unwrap().to_vec();
+        // Churn: a full scan through a 2-chunk buffer must evict constantly.
+        let churn = server.cscan(CScanPlan::new(
+            "churn",
+            ScanRanges::full(16),
+            model.all_columns(),
+        ));
+        let mut churned = 0;
+        while let Some(g) = churn.next_chunk() {
+            g.complete();
+            churned += 1;
+        }
+        assert_eq!(churned, 16);
+        assert!(
+            server.frame_pool_stats().evictions > 0,
+            "the churn scan must have caused evictions"
+        );
+        // The held frame was never reclaimed: still pinned, same bytes.
+        {
+            let hub = server.shared.lock();
+            let key = super::frame_key(held_chunk);
+            assert!(
+                hub.pool.pin_count(key).unwrap_or(0) >= 1,
+                "the pinned frame must stay pinned"
+            );
+            assert!(
+                hub.abm.state().buffered_chunk(held_chunk).is_some(),
+                "the ABM may not evict a pinned chunk"
+            );
+        }
+        assert_eq!(pin.column(ColumnId::new(0)).unwrap(), &before[..]);
+        pin.complete();
+        holder.finish();
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    /// Satellite regression: a `CScanPlan::from_zonemap` + `with_chunk_limit`
+    /// scan that detaches mid-pipeline must release its frame pins and abort
+    /// its in-flight loads — the PR 3 abort path extended to the data plane.
+    #[test]
+    fn zonemap_limit_detach_releases_pins_and_aborts_loads() {
+        use cscan_storage::zonemap::ZoneEntry;
+        use cscan_storage::ZoneMap;
+        let model = TableModel::nsm_uniform(16, 100, 16);
+        let store = SeededStore::new(100, 1, 3);
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(6)
+            // Slow reads so the detach happens with loads in flight.
+            .io_cost_per_page(Duration::from_millis(1))
+            .io_threads(4)
+            .store(Arc::new(store))
+            .build();
+        // A zonemap whose entries put chunks 2..14 in range.
+        let zm = ZoneMap::new(
+            ColumnId::new(0),
+            (0..16).map(|c| ZoneEntry { min: c, max: c }).collect(),
+        );
+        let plan =
+            CScanPlan::from_zonemap("limited", &zm, 2, 13, model.all_columns()).with_chunk_limit(2);
+        assert_eq!(plan.num_chunks(), 12);
+        let handle = server.cscan(plan);
+        // Consume up to the limit while the 4-deep pipeline prefetches.
+        let first = handle.next_chunk().expect("chunk 1");
+        first.complete();
+        let second = handle.next_chunk().expect("chunk 2");
+        second.complete();
+        // The limit trips here: the session detaches mid-scan.
+        assert!(handle.next_chunk().is_none());
+        {
+            let hub = server.shared.lock();
+            let state = hub.abm.state();
+            assert_eq!(state.num_queries(), 0, "the limited scan detached");
+            assert_eq!(state.reserved_pages(), 0, "reservations released");
+            assert_eq!(
+                state.num_inflight(),
+                0,
+                "in-flight loads aborted eagerly at detach"
+            );
+        }
+        assert_eq!(server.pinned_frames(), 0, "frame pins released");
+        // The prefetches racing the detach drain as cancelled commits (the
+        // ticket check) or were aborted before their read finished.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let aborted = {
+                let hub = server.shared.lock();
+                hub.abm.state().loads_aborted()
+            };
+            if aborted > 0 || server.loads_cancelled() > 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "a 4-deep pipeline limited to 2 chunks must abort prefetches"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    /// Regression: the chunk-limit check and the delivery count are updated
+    /// under the same hub critical section, so consumers racing on a shared
+    /// handle can never deliver more than `limit_chunks` chunks.
+    #[test]
+    fn shared_handle_never_exceeds_its_chunk_limit() {
+        for _ in 0..20 {
+            let (server, model, _store) = data_server(PolicyKind::Relevance, 8, 8, 1);
+            let handle = Arc::new(
+                server.cscan(
+                    CScanPlan::new("shared-limit", ScanRanges::full(8), model.all_columns())
+                        .with_chunk_limit(1),
+                ),
+            );
+            let delivered = Arc::new(AtomicU64::new(0));
+            let racers: Vec<_> = (0..2)
+                .map(|_| {
+                    let handle = Arc::clone(&handle);
+                    let delivered = Arc::clone(&delivered);
+                    std::thread::spawn(move || {
+                        while let Some(pin) = handle.next_chunk() {
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                            pin.complete();
+                        }
+                    })
+                })
+                .collect();
+            for r in racers {
+                r.join().unwrap();
+            }
+            assert_eq!(
+                delivered.load(Ordering::Relaxed),
+                1,
+                "a LIMIT-1 scan delivered more than one chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn handle_is_a_scan_session_object() {
+        let (server, model, _) = data_server(PolicyKind::Elevator, 6, 3, 1);
+        let mut session: Box<dyn ScanSession> = Box::new(server.cscan(CScanPlan::new(
+            "dyn",
+            ScanRanges::full(6),
+            model.all_columns(),
+        )));
+        assert_eq!(session.remaining_chunks(), 6);
+        let mut rows = 0usize;
+        while let Some(pin) = session.next_chunk() {
+            rows += pin.rows();
+            pin.complete();
+        }
+        assert_eq!(rows, 600);
+        session.detach();
+        assert_eq!(session.remaining_chunks(), 0);
+    }
+
+    /// The storm test, data-plane edition: payload-carrying scans attach,
+    /// detach mid-scan (some while holding pins) and complete from many
+    /// threads.  Nothing may leak: no frame pins, no reservations, no
+    /// queries, and the pool's pin ledger drains to zero.
+    #[test]
+    fn payload_storm_leaks_no_pins() {
+        let model = TableModel::nsm_uniform(32, 100, 16);
+        let store = SeededStore::new(100, 2, 11);
+        let server = Arc::new(
+            ScanServer::builder(model.clone())
+                .policy(PolicyKind::Relevance)
+                .buffer_chunks(8)
+                .io_cost_per_page(Duration::from_micros(20))
+                .io_threads(4)
+                .store(Arc::new(store.clone()))
+                .build(),
+        );
+        let workers: Vec<_> = (0..8)
+            .map(|t: u32| {
+                let server = Arc::clone(&server);
+                let model = model.clone();
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for round in 0..4u32 {
+                        let start = (t * 5 + round * 9) % 24;
+                        let handle = server.cscan(CScanPlan::new(
+                            format!("storm-{t}-{round}"),
+                            ScanRanges::single(start, start + 8),
+                            model.all_columns(),
+                        ));
+                        if (t + round).is_multiple_of(3) {
+                            // Detach *while holding a pin*: the pin outlives
+                            // the registration and must release cleanly.
+                            if let Some(pin) = handle.next_chunk() {
+                                handle.finish();
+                                assert_eq!(pin.rows(), 100);
+                                pin.complete();
+                            }
+                        } else {
+                            let mut n = 0;
+                            while let Some(pin) = handle.next_chunk() {
+                                let c = pin.chunk();
+                                let v = pin.column(ColumnId::new(1)).unwrap()[0];
+                                assert_eq!(v, store.value(c, 0, ColumnId::new(1)));
+                                pin.complete();
+                                n += 1;
+                            }
+                            assert_eq!(n, 8, "scan storm-{t}-{round} lost chunks");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let hub = server.shared.lock();
+                let state = hub.abm.state();
+                if state.num_inflight() == 0 {
+                    assert_eq!(state.num_queries(), 0);
+                    assert_eq!(state.reserved_pages(), 0, "leaked reservations");
+                    assert_eq!(hub.pool.pinned_frames(), 0, "leaked frame pins");
+                    // Pool and ABM agree on residency chunk-for-chunk.
+                    for c in 0..32u32 {
+                        let chunk = cscan_storage::ChunkId::new(c);
+                        assert_eq!(
+                            hub.pool.contains(super::frame_key(chunk)),
+                            state.buffered_chunk(chunk).is_some(),
+                            "pool/ABM residency diverged for {chunk:?}"
+                        );
+                    }
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "in-flight loads never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(server.unconsumed_drops(), 0);
     }
 
     #[test]

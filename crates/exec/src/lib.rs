@@ -8,12 +8,17 @@
 //! * [`vector::DataChunk`] — a batch of column vectors tagged with the chunk
 //!   number it came from (the "virtual column" of Section 7.2);
 //! * [`table::MemTable`] — an in-memory chunked table with deterministic
-//!   generators, standing in for the TPC-H data;
+//!   generators, standing in for the TPC-H data; it doubles as a
+//!   [`cscan_storage::ChunkStore`], so the same table feeds a live threaded
+//!   `ScanServer` *and* serves as the baseline the differential tests
+//!   compare against;
 //! * [`expr::Expr`] — scalar expressions and predicates;
-//! * [`ops`] — operators: chunk sources, filter, project, hash aggregation,
-//!   and the order-aware operators of Section 7: chunk-ordered aggregation
-//!   with boundary stitching and the (cooperative) merge join over
-//!   multi-table clustering.
+//! * [`ops`] — operators: chunk sources (including [`ops::SessionSource`],
+//!   which turns any [`cscan_core::session::ScanSession`] into a leaf of
+//!   the operator tree), filter, project, hash aggregation, and the
+//!   order-aware operators of Section 7: chunk-ordered aggregation with
+//!   boundary stitching and the (cooperative) merge join over multi-table
+//!   clustering.
 
 #![warn(missing_docs)]
 
@@ -26,7 +31,7 @@ pub use expr::Expr;
 pub use ops::aggregate::{AggFunc, ChunkOrderedAggregate, HashAggregate};
 pub use ops::join::{merge_join, CooperativeMergeJoin};
 pub use ops::project::Project;
-pub use ops::scan::{ChunkSource, Operator};
+pub use ops::scan::{ChunkSource, Operator, SessionSource};
 pub use ops::select::Filter;
 pub use table::MemTable;
 pub use vector::{DataChunk, Value};

@@ -16,7 +16,7 @@ pub mod select;
 pub use aggregate::{AggFunc, ChunkOrderedAggregate, HashAggregate};
 pub use join::{merge_join, CooperativeMergeJoin};
 pub use project::Project;
-pub use scan::{ChunkSource, Operator};
+pub use scan::{ChunkSource, Operator, SessionSource};
 pub use select::Filter;
 
 use crate::vector::DataChunk;

@@ -1,13 +1,93 @@
 //! Chunk sources: the leaf operators.
+//!
+//! Two leaves feed the operator tree:
+//!
+//! * [`SessionSource`] — the *live* leaf: any [`ScanSession`] (a threaded
+//!   `ScanServer` handle with real pinned payloads, or the deterministic
+//!   sim shim) is a chunk source.  Chunks arrive in ABM-chosen order with
+//!   their data pinned; the leaf decodes the payload's zero-copy column
+//!   views into an owned [`DataChunk`] and releases the pin — the only
+//!   copy in the pipeline, and the moment eviction becomes legal again.
+//! * [`ChunkSource`] — the in-memory baseline: replays a [`MemTable`] in an
+//!   explicit delivery order.  The differential tests drive both leaves
+//!   through identical operator trees and require bit-identical results.
 
 use crate::table::MemTable;
 use crate::vector::DataChunk;
-use cscan_storage::ChunkId;
+use cscan_core::session::ScanSession;
+use cscan_storage::{ChunkId, ColumnId};
 
 /// A pull-based operator producing data chunks.
 pub trait Operator {
     /// Returns the next batch, or `None` when exhausted.
     fn next(&mut self) -> Option<DataChunk>;
+}
+
+/// The live leaf operator: adapts any [`ScanSession`] into an [`Operator`],
+/// so a scan → filter → aggregate pipeline runs end-to-end over a live
+/// `ScanServer` (or the sim shim) in whatever order the ABM delivers.
+///
+/// `columns` selects (and orders) the payload columns that become the
+/// output [`DataChunk`]'s columns: output column `i` is table column
+/// `columns[i]`.
+pub struct SessionSource<S> {
+    session: S,
+    columns: Vec<ColumnId>,
+    /// Delivery order observed so far (chunk ids in arrival order).
+    delivered: Vec<ChunkId>,
+}
+
+impl<S: ScanSession> SessionSource<S> {
+    /// Creates a source reading `columns` from `session`'s deliveries.
+    ///
+    /// # Panics
+    /// Panics if `columns` is empty.
+    pub fn new(session: S, columns: Vec<ColumnId>) -> Self {
+        assert!(!columns.is_empty(), "a session source needs columns");
+        Self {
+            session,
+            columns,
+            delivered: Vec::new(),
+        }
+    }
+
+    /// The chunk ids delivered so far, in arrival order (the ABM's choice —
+    /// generally *not* table order).
+    pub fn delivery_order(&self) -> &[ChunkId] {
+        &self.delivered
+    }
+
+    /// Detaches the underlying session (mid-pipeline cancellation: frees
+    /// frame pins and aborts loads in flight solely for this scan).
+    pub fn detach(&mut self) {
+        self.session.detach();
+    }
+}
+
+impl<S: ScanSession> Operator for SessionSource<S> {
+    fn next(&mut self) -> Option<DataChunk> {
+        let pinned = self.session.next_chunk()?;
+        self.delivered.push(pinned.chunk());
+        let columns = self
+            .columns
+            .iter()
+            .map(|&c| {
+                pinned
+                    .column(c)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "delivered {:?} carries no data for column {c:?} — \
+                             was the server built with a store covering the scan's columns?",
+                            pinned.chunk()
+                        )
+                    })
+                    .to_vec()
+            })
+            .collect();
+        let out = DataChunk::new(pinned.chunk(), columns);
+        pinned.complete();
+        Some(out)
+    }
 }
 
 /// A leaf operator that materializes table chunks in a given delivery order.

@@ -6,7 +6,8 @@
 //! given a delivered chunk id, hand me that chunk's data.
 
 use crate::vector::{DataChunk, Value};
-use cscan_storage::ChunkId;
+use cscan_storage::chunkdata::{ChunkPayload, ChunkStore, DsmChunkData, NsmChunkData};
+use cscan_storage::{ChunkId, ColumnId};
 use std::sync::Arc;
 
 /// A generator producing the values of one column for a given range of row ids.
@@ -155,6 +156,13 @@ impl MemTable {
         Self::new(columns, num_tuples, tuples_per_chunk)
     }
 
+    /// Generates one column of `chunk` as a shareable vector.
+    fn column_data(&self, chunk: ChunkId, col: usize) -> Arc<Vec<Value>> {
+        let (start, end) = self.chunk_rows(chunk);
+        let gen = &self.generators[col];
+        Arc::new((start..end).map(|row| gen(row)).collect())
+    }
+
     /// A small `orders`-flavoured table clustered on `o_orderkey`, aligned
     /// with [`MemTable::lineitem_demo`] through the shared key (used by the
     /// cooperative merge join example).
@@ -165,6 +173,34 @@ impl MemTable {
             ("o_orderdate".into(), Arc::new(|row| (row % 2500) as Value)),
         ];
         Self::new(columns, num_orders, orders_per_chunk)
+    }
+}
+
+/// A [`MemTable`] is a [`ChunkStore`]: the threaded `ScanServer`'s I/O
+/// workers call [`ChunkStore::materialize`] (outside the ABM lock) to fill
+/// delivered chunks with this table's deterministic data — which makes the
+/// table both the live data source *and* the differential-test baseline.
+impl ChunkStore for MemTable {
+    fn materialize(&self, chunk: ChunkId, cols: Option<&[ColumnId]>) -> ChunkPayload {
+        assert!(
+            chunk.index() < self.num_chunks(),
+            "chunk {chunk:?} out of range"
+        );
+        match cols {
+            None => ChunkPayload::Nsm(Arc::new(NsmChunkData::new(
+                (0..self.width())
+                    .map(|c| self.column_data(chunk, c))
+                    .collect(),
+            ))),
+            Some(cols) => ChunkPayload::Dsm(Arc::new(DsmChunkData::new(
+                cols.iter()
+                    .map(|&c| {
+                        assert!(c.as_usize() < self.width(), "column {c:?} out of range");
+                        (c, self.column_data(chunk, c.as_usize()))
+                    })
+                    .collect(),
+            ))),
+        }
     }
 }
 

@@ -1,0 +1,271 @@
+//! Differential tests: every exec pipeline over the *live* threaded
+//! `ScanServer` (real pinned payloads, ABM-chosen delivery order) must
+//! produce results identical to the same pipeline over the in-process
+//! `MemTable` baseline — across all four scheduling policies and both
+//! storage layouts (NSM and DSM).
+
+use cscan_core::policy::PolicyKind;
+use cscan_core::threaded::{CScanHandle, ScanServer};
+use cscan_core::{CScanPlan, ColSet, TableModel};
+use cscan_exec::ops::collect;
+use cscan_exec::{
+    merge_join, AggFunc, ChunkOrderedAggregate, ChunkSource, CooperativeMergeJoin, DataChunk, Expr,
+    Filter, HashAggregate, MemTable, Operator, Project, SessionSource,
+};
+use cscan_storage::{ChunkId, ColumnId, ScanRanges};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CHUNKS: u32 = 12;
+const ROWS_PER_CHUNK: u64 = 1_000;
+
+fn lineitem() -> MemTable {
+    MemTable::lineitem_demo(CHUNKS as u64 * ROWS_PER_CHUNK, ROWS_PER_CHUNK)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Layout {
+    Nsm,
+    Dsm,
+}
+
+/// A live server whose store is the `MemTable` itself: what the pipeline
+/// reads through the session API is exactly what the baseline reads
+/// directly.
+fn live_server(table: &MemTable, policy: PolicyKind, layout: Layout) -> ScanServer {
+    let model = match layout {
+        Layout::Nsm => TableModel::nsm_uniform(CHUNKS, ROWS_PER_CHUNK, 16),
+        Layout::Dsm => TableModel::dsm_uniform(CHUNKS, ROWS_PER_CHUNK, &vec![1; table.width()]),
+    };
+    ScanServer::builder(model)
+        .policy(policy)
+        .buffer_chunks(5)
+        .io_cost_per_page(Duration::ZERO)
+        .io_threads(2)
+        .store(Arc::new(table.clone()))
+        .build()
+}
+
+/// Resolves column names to ids and opens a live session source over them.
+fn live_source(
+    server: &ScanServer,
+    table: &MemTable,
+    names: &[&str],
+    layout: Layout,
+    label: &str,
+) -> SessionSource<CScanHandle> {
+    let cols: Vec<ColumnId> = names
+        .iter()
+        .map(|n| ColumnId::new(table.column_index(n).unwrap() as u16))
+        .collect();
+    // NSM chunks are all-or-nothing: the plan's (cost-model) column set is
+    // the model's single logical column, while the payload carries every
+    // table column.  DSM announces — and materializes — exactly the subset.
+    let colset = match layout {
+        Layout::Nsm => ColSet::empty(),
+        Layout::Dsm => ColSet::from_columns(cols.iter().copied()),
+    };
+    let handle = server.cscan(CScanPlan::new(label, ScanRanges::full(CHUNKS), colset));
+    SessionSource::new(handle, cols)
+}
+
+/// The baseline leaf: the same columns straight out of the table, in order.
+fn baseline_source<'a>(table: &'a MemTable, names: &[&str]) -> ChunkSource<'a> {
+    let order = (0..table.num_chunks()).map(ChunkId::new).collect();
+    ChunkSource::with_names(table, names, order)
+}
+
+/// Rows of a chunk as a sorted multiset (delivery order differs between the
+/// live pipeline and the baseline, so order-sensitive comparisons sort).
+fn sorted_rows(chunk: &DataChunk) -> Vec<Vec<i64>> {
+    let mut rows: Vec<Vec<i64>> = (0..chunk.len()).map(|i| chunk.row(i)).collect();
+    rows.sort();
+    rows
+}
+
+fn all_cases() -> Vec<(PolicyKind, Layout)> {
+    let mut cases = Vec::new();
+    for policy in PolicyKind::ALL {
+        for layout in [Layout::Nsm, Layout::Dsm] {
+            cases.push((policy, layout));
+        }
+    }
+    cases
+}
+
+#[test]
+fn filter_pipeline_matches_baseline() {
+    let table = lineitem();
+    let predicate = || Expr::col(0).le(Expr::lit(5));
+    let reference = collect(&mut Filter::new(
+        baseline_source(&table, &["l_quantity"]),
+        predicate(),
+    ));
+    assert!(!reference.is_empty());
+    for (policy, layout) in all_cases() {
+        let server = live_server(&table, policy, layout);
+        let src = live_source(&server, &table, &["l_quantity"], layout, "filter");
+        let live = collect(&mut Filter::new(src, predicate()));
+        assert_eq!(
+            sorted_rows(&live),
+            sorted_rows(&reference),
+            "{policy}/{layout:?}: filter results diverged"
+        );
+        assert_eq!(server.unconsumed_drops(), 0, "{policy}/{layout:?}");
+    }
+}
+
+#[test]
+fn project_pipeline_matches_baseline() {
+    let table = lineitem();
+    let exprs = || vec![Expr::col(0).mul(Expr::col(1)), Expr::col(0)];
+    let names = ["l_extendedprice", "l_discount"];
+    let reference = collect(&mut Project::new(baseline_source(&table, &names), exprs()));
+    for (policy, layout) in all_cases() {
+        let server = live_server(&table, policy, layout);
+        let src = live_source(&server, &table, &names, layout, "project");
+        let live = collect(&mut Project::new(src, exprs()));
+        assert_eq!(live.len(), reference.len());
+        assert_eq!(
+            sorted_rows(&live),
+            sorted_rows(&reference),
+            "{policy}/{layout:?}: projection results diverged"
+        );
+    }
+}
+
+#[test]
+fn hash_aggregate_pipeline_is_bit_identical() {
+    let table = lineitem();
+    let names = ["l_returnflag", "l_quantity"];
+    let aggs = || vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)];
+    let reference = {
+        let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
+        agg.next().unwrap()
+    };
+    for (policy, layout) in all_cases() {
+        let server = live_server(&table, policy, layout);
+        let src = live_source(&server, &table, &names, layout, "q1");
+        let mut agg = HashAggregate::new(src, vec![0], aggs());
+        let live = agg.next().unwrap();
+        assert!(agg.next().is_none());
+        // Group-by output is key-ordered, so this is bit-identical equality
+        // regardless of delivery order.
+        assert_eq!(live, reference, "{policy}/{layout:?}: aggregate diverged");
+    }
+}
+
+#[test]
+fn chunk_ordered_aggregate_pipeline_matches_hash_baseline() {
+    let table = lineitem();
+    let names = ["l_orderkey", "l_extendedprice"];
+    let aggs = || vec![AggFunc::Count, AggFunc::Sum(1)];
+    let reference = {
+        let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
+        agg.next().unwrap()
+    };
+    let to_map = |c: &DataChunk| -> std::collections::HashMap<i64, (i64, i64)> {
+        (0..c.len())
+            .map(|i| (c.column(0)[i], (c.column(1)[i], c.column(2)[i])))
+            .collect()
+    };
+    for (policy, layout) in all_cases() {
+        let server = live_server(&table, policy, layout);
+        let src = live_source(&server, &table, &names, layout, "ordered-agg");
+        let mut agg = ChunkOrderedAggregate::new(src, 0, aggs());
+        let live = collect(&mut agg);
+        assert_eq!(
+            to_map(&live),
+            to_map(&reference),
+            "{policy}/{layout:?}: chunk-ordered aggregation diverged"
+        );
+    }
+}
+
+#[test]
+fn merge_join_pipeline_matches_baseline() {
+    let lineitem = lineitem();
+    // 4 lineitems per order, chunk-aligned: 3000 orders over 12 chunks.
+    let orders = MemTable::orders_demo(3_000, 250);
+    let l_names = ["l_orderkey", "l_extendedprice"];
+    let o_cols = vec![
+        orders.column_index("o_orderkey").unwrap(),
+        orders.column_index("o_orderdate").unwrap(),
+    ];
+    let reference = {
+        let l_cols = vec![
+            lineitem.column_index("l_orderkey").unwrap(),
+            lineitem.column_index("l_extendedprice").unwrap(),
+        ];
+        let mut join =
+            CooperativeMergeJoin::in_order(&lineitem, &orders, l_cols, 0, o_cols.clone(), 0);
+        collect(&mut join)
+    };
+    assert_eq!(reference.len(), 12_000, "every lineitem finds its order");
+    for (policy, layout) in all_cases() {
+        let server = live_server(&lineitem, policy, layout);
+        let mut src = live_source(&server, &lineitem, &l_names, layout, "join");
+        // The cooperative join over the live scan: whatever chunk the ABM
+        // delivers, joining it against the chunk-aligned inner is complete
+        // on its own (multi-table clustering, Section 7.2).
+        let mut out: Vec<Vec<i64>> = Vec::new();
+        while let Some(outer) = src.next() {
+            let inner = orders.read_chunk(outer.chunk, &o_cols);
+            let joined = merge_join(&outer, 0, &inner, 0);
+            out.extend(sorted_rows(&joined));
+        }
+        out.sort();
+        assert_eq!(
+            out,
+            sorted_rows(&reference),
+            "{policy}/{layout:?}: cooperative merge join diverged"
+        );
+    }
+}
+
+/// The acceptance criterion's order clause: an end-to-end pipeline over the
+/// live server returns bit-identical results *with chunks delivered out of
+/// scan order*.  A first scan drags the attach-group's cursor to the middle
+/// of the table, so the pipeline's scan joins there and wraps around.
+#[test]
+fn pipeline_is_correct_under_out_of_order_delivery() {
+    let table = lineitem();
+    let names = ["l_returnflag", "l_quantity"];
+    let aggs = || vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)];
+    let reference = {
+        let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
+        agg.next().unwrap()
+    };
+    for layout in [Layout::Nsm, Layout::Dsm] {
+        let server = live_server(&table, PolicyKind::Attach, layout);
+        // Drag the scan-group cursor past the table's start.
+        let mut dragger = live_source(&server, &table, &["l_orderkey"], layout, "dragger");
+        for _ in 0..5 {
+            dragger.next().expect("dragger chunk");
+        }
+        // The pipeline under test attaches mid-scan.
+        let src = live_source(&server, &table, &names, layout, "oo-q1");
+        let mut agg = HashAggregate::new(src, vec![0], aggs());
+        let live = agg.next().unwrap();
+        assert_eq!(
+            live, reference,
+            "{layout:?}: out-of-order aggregation diverged"
+        );
+        // `agg` owns the source; delivery order was recorded before the agg
+        // drained it — reach it through the operator?  The source is moved,
+        // so re-run a bare session to assert the order shape instead.
+        let mut probe = live_source(&server, &table, &["l_orderkey"], layout, "probe");
+        let mut order = Vec::new();
+        while probe.next().is_some() {}
+        order.extend_from_slice(probe.delivery_order());
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len() as u32, CHUNKS, "{layout:?}: every chunk once");
+        assert_ne!(
+            order, sorted,
+            "{layout:?}: attach must deliver out of scan order"
+        );
+        drop(dragger);
+    }
+}

@@ -1,0 +1,398 @@
+//! Chunk materialization: the *data plane* of a Cooperative Scan.
+//!
+//! The scheduling layers only ever talk about chunk *identities* and page
+//! *counts*; this module supplies the bytes.  A [`ChunkStore`] is anything
+//! that can materialize the column values of a logical chunk — the
+//! reproduction's stores generate values deterministically instead of
+//! reading a real table file, which is exactly what the layer above needs:
+//! given a delivered chunk id, hand me that chunk's data.
+//!
+//! The two physical layouts of the paper produce two payload shapes:
+//!
+//! * **NSM/PAX** ([`NsmChunkData`]): a chunk is all-or-nothing and carries
+//!   *every* column.  Within the chunk the values are held as per-column
+//!   mini-columns (the PAX arrangement MonetDB/X100 uses inside NSM pages),
+//!   so consumers get contiguous `&[i64]` column views without a gather.
+//! * **DSM** ([`DsmChunkData`]): a chunk may be *partially* resident — only
+//!   the loaded column subset is present, and later loads merge further
+//!   columns in ([`ChunkPayload::merged_with`]).
+//!
+//! Both live behind the [`ChunkPayload`] enum.  Payload column vectors are
+//! individually reference-counted, so cloning a payload (handing it to a
+//! pinned chunk) and merging partial DSM payloads are refcount bumps — the
+//! hot consume path of a scan performs no per-chunk heap allocation and no
+//! data copies.
+
+use crate::ids::{ChunkId, ColumnId};
+use std::sync::Arc;
+
+/// A single materialized column of one chunk: contiguous values,
+/// individually reference-counted so payload clones and DSM merges never
+/// copy data.
+pub type ColumnData = Arc<Vec<i64>>;
+
+/// The materialized data of one NSM/PAX chunk: every column of the table,
+/// as per-chunk mini-columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsmChunkData {
+    rows: usize,
+    /// One vector per column, indexed by [`ColumnId`].
+    columns: Vec<ColumnData>,
+}
+
+impl NsmChunkData {
+    /// Builds the payload from one vector per column (index = column id).
+    ///
+    /// # Panics
+    /// Panics if the chunk has no columns or the columns have unequal
+    /// lengths.
+    pub fn new(columns: Vec<ColumnData>) -> Self {
+        let rows = columns
+            .first()
+            .map(|c| c.len())
+            .expect("an NSM chunk needs at least one column");
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "all mini-columns of an NSM chunk must have the same length"
+        );
+        Self { rows, columns }
+    }
+
+    /// Number of rows in the chunk.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (always the full table width).
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Zero-copy view of one column.
+    pub fn column(&self, col: ColumnId) -> Option<&[i64]> {
+        self.columns.get(col.as_usize()).map(|c| c.as_slice())
+    }
+}
+
+/// The materialized data of the *resident column subset* of one DSM chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsmChunkData {
+    rows: usize,
+    /// `(column, values)` pairs, sorted by column id.
+    columns: Vec<(ColumnId, ColumnData)>,
+}
+
+impl DsmChunkData {
+    /// Builds the payload from `(column, values)` pairs (any order).
+    ///
+    /// # Panics
+    /// Panics if no columns are given, lengths differ, or a column repeats.
+    pub fn new(mut columns: Vec<(ColumnId, ColumnData)>) -> Self {
+        let rows = columns
+            .first()
+            .map(|(_, c)| c.len())
+            .expect("a DSM chunk payload needs at least one column");
+        assert!(
+            columns.iter().all(|(_, c)| c.len() == rows),
+            "all columns of a DSM chunk must have the same length"
+        );
+        columns.sort_by_key(|(id, _)| *id);
+        assert!(
+            columns.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate column in DSM chunk payload"
+        );
+        Self { rows, columns }
+    }
+
+    /// Number of rows in the chunk.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The resident columns, in ascending column-id order.
+    pub fn resident_columns(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        self.columns.iter().map(|(id, _)| *id)
+    }
+
+    /// Zero-copy view of one column, if resident.
+    pub fn column(&self, col: ColumnId) -> Option<&[i64]> {
+        self.columns
+            .binary_search_by_key(&col, |(id, _)| *id)
+            .ok()
+            .map(|i| self.columns[i].1.as_slice())
+    }
+
+    /// A new payload with `other`'s columns merged in (later loads win on
+    /// overlap, which cannot happen in practice: the ABM only loads missing
+    /// columns).  Column vectors are shared, not copied.
+    pub fn merged_with(&self, other: &DsmChunkData) -> DsmChunkData {
+        assert_eq!(
+            self.rows, other.rows,
+            "cannot merge DSM payloads with different row counts"
+        );
+        let mut columns = other.columns.clone();
+        for (id, data) in &self.columns {
+            if other.column(*id).is_none() {
+                columns.push((*id, Arc::clone(data)));
+            }
+        }
+        DsmChunkData::new(columns)
+    }
+
+    /// A new payload keeping only the columns for which `keep` returns true
+    /// (used when the ABM drops dead columns of a partially shared chunk).
+    /// Returns `None` if nothing survives.
+    pub fn retained(&self, mut keep: impl FnMut(ColumnId) -> bool) -> Option<DsmChunkData> {
+        let columns: Vec<(ColumnId, ColumnData)> = self
+            .columns
+            .iter()
+            .filter(|(id, _)| keep(*id))
+            .map(|(id, data)| (*id, Arc::clone(data)))
+            .collect();
+        if columns.is_empty() {
+            None
+        } else {
+            Some(DsmChunkData::new(columns))
+        }
+    }
+}
+
+/// The payload travelling with a delivered chunk.
+///
+/// Cloning a payload is a refcount bump — the inner data is shared, never
+/// copied — so a pinned chunk can carry its payload out of the buffer
+/// manager's lock without per-chunk allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ChunkPayload {
+    /// No data travels with the chunk (metadata-only delivery: the
+    /// deterministic simulation, or a threaded server without a store).
+    #[default]
+    Missing,
+    /// An NSM/PAX chunk: every column, as per-chunk mini-columns.
+    Nsm(Arc<NsmChunkData>),
+    /// A DSM chunk: the resident column subset.
+    Dsm(Arc<DsmChunkData>),
+}
+
+impl ChunkPayload {
+    /// Whether the chunk carries no data.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, ChunkPayload::Missing)
+    }
+
+    /// Number of rows, or 0 for a metadata-only payload.
+    pub fn rows(&self) -> usize {
+        match self {
+            ChunkPayload::Missing => 0,
+            ChunkPayload::Nsm(d) => d.rows(),
+            ChunkPayload::Dsm(d) => d.rows(),
+        }
+    }
+
+    /// Zero-copy view of one column's values, if present in the payload.
+    pub fn column(&self, col: ColumnId) -> Option<&[i64]> {
+        match self {
+            ChunkPayload::Missing => None,
+            ChunkPayload::Nsm(d) => d.column(col),
+            ChunkPayload::Dsm(d) => d.column(col),
+        }
+    }
+
+    /// Merges a newly loaded payload into this one.  For DSM this unions
+    /// the resident column sets (sharing the vectors); for NSM or
+    /// metadata-only payloads the newer payload simply wins.
+    pub fn merged_with(&self, newer: &ChunkPayload) -> ChunkPayload {
+        match (self, newer) {
+            (ChunkPayload::Dsm(old), ChunkPayload::Dsm(new)) => {
+                ChunkPayload::Dsm(Arc::new(old.merged_with(new)))
+            }
+            (_, n) => n.clone(),
+        }
+    }
+}
+
+/// A source of chunk data: the "table file" of the data plane.
+///
+/// `cols` selects what to materialize: `None` means the whole chunk in its
+/// native NSM form (all columns — NSM chunks are all-or-nothing), while
+/// `Some(subset)` asks for a DSM payload holding exactly those columns.
+/// Implementations must be deterministic (two reads of the same chunk
+/// agree) and thread-safe: the threaded executor calls `materialize` from
+/// its I/O workers *outside* the ABM lock.
+pub trait ChunkStore: Send + Sync {
+    /// Materializes the given columns of `chunk`.
+    fn materialize(&self, chunk: ChunkId, cols: Option<&[ColumnId]>) -> ChunkPayload;
+}
+
+/// A deterministic synthetic store: value = mix(chunk, row, column, seed).
+///
+/// Used by the core-crate tests and benches, which cannot depend on the
+/// executor's richer table generators.
+#[derive(Debug, Clone)]
+pub struct SeededStore {
+    rows_per_chunk: u64,
+    num_columns: u16,
+    seed: u64,
+}
+
+impl SeededStore {
+    /// A store producing `rows_per_chunk` rows and `num_columns` columns per
+    /// chunk.
+    ///
+    /// # Panics
+    /// Panics on a degenerate geometry.
+    pub fn new(rows_per_chunk: u64, num_columns: u16, seed: u64) -> Self {
+        assert!(
+            rows_per_chunk > 0 && num_columns > 0,
+            "degenerate store geometry"
+        );
+        Self {
+            rows_per_chunk,
+            num_columns,
+            seed,
+        }
+    }
+
+    /// The deterministic value of `(chunk, row, col)` under this seed.
+    pub fn value(&self, chunk: ChunkId, row: u64, col: ColumnId) -> i64 {
+        // SplitMix64 over the coordinates: cheap, deterministic, and
+        // different per (chunk, row, column, seed).
+        let mut z = (chunk.index() as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(row.wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add((col.index() as u64).wrapping_mul(0x94D049BB133111EB))
+            .wrapping_add(self.seed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as i64
+    }
+
+    fn column_values(&self, chunk: ChunkId, col: ColumnId) -> ColumnData {
+        Arc::new(
+            (0..self.rows_per_chunk)
+                .map(|row| self.value(chunk, row, col))
+                .collect(),
+        )
+    }
+}
+
+impl ChunkStore for SeededStore {
+    fn materialize(&self, chunk: ChunkId, cols: Option<&[ColumnId]>) -> ChunkPayload {
+        match cols {
+            None => ChunkPayload::Nsm(Arc::new(NsmChunkData::new(
+                (0..self.num_columns)
+                    .map(|c| self.column_values(chunk, ColumnId::new(c)))
+                    .collect(),
+            ))),
+            Some(cols) => ChunkPayload::Dsm(Arc::new(DsmChunkData::new(
+                cols.iter()
+                    .map(|&c| (c, self.column_values(chunk, c)))
+                    .collect(),
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(i: u16) -> ColumnId {
+        ColumnId::new(i)
+    }
+
+    #[test]
+    fn nsm_payload_views_every_column() {
+        let data = NsmChunkData::new(vec![Arc::new(vec![1, 2, 3]), Arc::new(vec![10, 20, 30])]);
+        assert_eq!(data.rows(), 3);
+        assert_eq!(data.width(), 2);
+        assert_eq!(data.column(col(1)), Some(&[10, 20, 30][..]));
+        assert_eq!(data.column(col(2)), None);
+        let payload = ChunkPayload::Nsm(Arc::new(data));
+        assert!(!payload.is_missing());
+        assert_eq!(payload.rows(), 3);
+        assert_eq!(payload.column(col(0)), Some(&[1, 2, 3][..]));
+    }
+
+    #[test]
+    fn dsm_payload_merges_column_subsets() {
+        let a = DsmChunkData::new(vec![
+            (col(2), Arc::new(vec![5, 6])),
+            (col(0), Arc::new(vec![1, 2])),
+        ]);
+        assert_eq!(
+            a.resident_columns().collect::<Vec<_>>(),
+            vec![col(0), col(2)]
+        );
+        assert_eq!(a.column(col(2)), Some(&[5, 6][..]));
+        assert_eq!(a.column(col(1)), None);
+        let b = DsmChunkData::new(vec![(col(1), Arc::new(vec![8, 9]))]);
+        let merged = a.merged_with(&b);
+        assert_eq!(
+            merged.resident_columns().collect::<Vec<_>>(),
+            vec![col(0), col(1), col(2)]
+        );
+        assert_eq!(merged.column(col(0)), Some(&[1, 2][..]));
+        assert_eq!(merged.column(col(1)), Some(&[8, 9][..]));
+        // Via the payload enum, merging shares the vectors.
+        let pa = ChunkPayload::Dsm(Arc::new(a));
+        let pb = ChunkPayload::Dsm(Arc::new(b));
+        let pm = pa.merged_with(&pb);
+        assert_eq!(pm.column(col(2)), Some(&[5, 6][..]));
+    }
+
+    #[test]
+    fn dsm_retained_drops_dead_columns() {
+        let d = DsmChunkData::new(vec![
+            (col(0), Arc::new(vec![1])),
+            (col(1), Arc::new(vec![2])),
+        ]);
+        let kept = d.retained(|c| c == col(1)).expect("one column survives");
+        assert_eq!(kept.resident_columns().collect::<Vec<_>>(), vec![col(1)]);
+        assert!(d.retained(|_| false).is_none());
+    }
+
+    #[test]
+    fn missing_payload_is_inert() {
+        let p = ChunkPayload::Missing;
+        assert!(p.is_missing());
+        assert_eq!(p.rows(), 0);
+        assert_eq!(p.column(col(0)), None);
+        // A load of real data over a metadata placeholder wins.
+        let n = ChunkPayload::Nsm(Arc::new(NsmChunkData::new(vec![Arc::new(vec![7])])));
+        assert_eq!(p.merged_with(&n), n);
+    }
+
+    #[test]
+    fn seeded_store_is_deterministic_and_shape_correct() {
+        let store = SeededStore::new(100, 3, 42);
+        let chunk = ChunkId::new(5);
+        let a = store.materialize(chunk, None);
+        let b = store.materialize(chunk, None);
+        assert_eq!(a, b, "two reads of the same chunk agree");
+        assert_eq!(a.rows(), 100);
+        assert!(a.column(col(2)).is_some());
+        // The DSM subset matches the full materialization column-for-column.
+        let subset = store.materialize(chunk, Some(&[col(1)]));
+        assert_eq!(subset.column(col(1)), a.column(col(1)));
+        assert_eq!(subset.column(col(0)), None);
+        // Different seeds produce different data.
+        let other = SeededStore::new(100, 3, 43).materialize(chunk, None);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_nsm_rejected() {
+        NsmChunkData::new(vec![Arc::new(vec![1]), Arc::new(vec![1, 2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_dsm_column_rejected() {
+        DsmChunkData::new(vec![
+            (col(0), Arc::new(vec![1])),
+            (col(0), Arc::new(vec![2])),
+        ]);
+    }
+}

@@ -16,9 +16,15 @@
 //! [`zonemap::ZoneMap`] implements the "small materialized aggregates" /
 //! min-max metadata of Section 2, which turns range predicates on correlated
 //! columns into multi-range scan plans ([`scan::ScanRanges`]).
+//!
+//! [`chunkdata`] is the data plane: [`chunkdata::ChunkStore`] materializes
+//! the actual column values of a chunk as a [`chunkdata::ChunkPayload`]
+//! (PAX mini-columns for NSM, a mergeable column subset for DSM), which is
+//! what a pinned chunk hands to the query operators.
 
 #![warn(missing_docs)]
 
+pub mod chunkdata;
 pub mod compression;
 pub mod dsm;
 pub mod ids;
@@ -27,6 +33,7 @@ pub mod scan;
 pub mod schema;
 pub mod zonemap;
 
+pub use chunkdata::{ChunkPayload, ChunkStore, DsmChunkData, NsmChunkData, SeededStore};
 pub use compression::Compression;
 pub use dsm::DsmLayout;
 pub use ids::{ChunkId, ColumnId, PageId};
