@@ -1,0 +1,110 @@
+//! Tiny jq-style schema check for the tracked `BENCH_*.json` artifacts.
+//!
+//! CI regenerates every benchmark JSON and then runs this binary: each
+//! file must exist, be non-empty, and contain its required keys — a
+//! regenerated artifact that silently lost a field (e.g. a bench refactor
+//! that dropped a metric) fails the job instead of shipping a hollow
+//! trajectory file.  The workspace deliberately has no serde_json
+//! dependency, so the check is substring-based on the `"key":` spellings
+//! the hand-rolled writers emit.
+//!
+//! Usage: `check_bench_json [file ...]` — with no arguments, checks every
+//! known artifact in the current directory.
+
+use std::process::ExitCode;
+
+/// Required keys per artifact.  Keys are matched as `"name"` substrings.
+const SCHEMAS: &[(&str, &[&str])] = &[
+    (
+        "BENCH_scheduling.json",
+        &["experiment", "points", "chunks", "scheduling_ms"],
+    ),
+    (
+        "BENCH_io.json",
+        &[
+            "experiment",
+            "points",
+            "outstanding",
+            "throughput_mib_s",
+            "io_requests",
+        ],
+    ),
+    (
+        "BENCH_threaded.json",
+        &[
+            "experiment",
+            "points",
+            "chunks_per_sec",
+            "lock_hold_p99_ns",
+            "t128_vs_t16_speedup",
+        ],
+    ),
+    (
+        "BENCH_exec.json",
+        &[
+            "experiment",
+            "points",
+            "policy",
+            "delivered_mib_s",
+            "pin_wait_secs",
+            "unconsumed_drops",
+        ],
+    ),
+    (
+        "BENCH_compression.json",
+        &[
+            "experiment",
+            "points",
+            "codec",
+            "compression_ratio",
+            "decode_gib_s",
+            "io_volume_ratio",
+            "values_decoded",
+        ],
+    ),
+];
+
+fn check(path: &str) -> Result<(), String> {
+    let Some((_, keys)) = SCHEMAS.iter().find(|(name, _)| *name == path) else {
+        return Err(format!("{path}: no schema registered for this artifact"));
+    };
+    let contents =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    if contents.trim().is_empty() {
+        return Err(format!("{path}: empty artifact"));
+    }
+    let missing: Vec<&str> = keys
+        .iter()
+        .copied()
+        .filter(|k| !contents.contains(&format!("\"{k}\"")))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{path}: missing required keys: {missing:?}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<String> = if args.is_empty() {
+        SCHEMAS.iter().map(|(name, _)| name.to_string()).collect()
+    } else {
+        args
+    };
+    let mut failed = false;
+    for file in &files {
+        match check(file) {
+            Ok(()) => println!("ok: {file}"),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -9,6 +9,7 @@
 //! | [`fig6`]   | Figure 6 — sweep over buffer-pool capacity |
 //! | [`fig7`]   | Figure 7 — sweep over the number of concurrent queries |
 //! | [`fig8`]   | Figure 8 — scheduling cost of the relevance policy |
+//! | [`fig9`]   | Figure 9 — compression: decode GiB/s and I/O volume |
 //! | [`table3`] | Table 3 — DSM policy comparison |
 //! | [`table4`] | Table 4 — DSM column-overlap study |
 //!
@@ -22,6 +23,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig9;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -17,4 +17,4 @@ pub mod pool;
 
 pub use frame::{Frame, FrameId, PageKey};
 pub use policy::{ClockPolicy, LruPolicy, MruPolicy, ReplacementPolicy};
-pub use pool::{BufferPool, FetchOutcome, PoolStats};
+pub use pool::{BufferPool, FetchOutcome, PayloadState, PoolStats};

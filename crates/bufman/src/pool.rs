@@ -36,6 +36,21 @@ impl FetchOutcome {
     }
 }
 
+/// Decode state of a resident frame's payload — the two-state lifecycle of
+/// a compressed chunk (installed as encoded bytes at commit, decoded in
+/// place by the first pin, dropped wholesale at eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadState {
+    /// The frame carries no payload data (metadata-only delivery).
+    Missing,
+    /// At least one mini-column is still encoded: the next pin that reads
+    /// it pays the decode.
+    Compressed,
+    /// Every mini-column is readable without a decode (plain, or already
+    /// decoded by an earlier pin).
+    Decoded,
+}
+
 /// Hit/miss/eviction/pin counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolStats {
@@ -181,6 +196,30 @@ impl BufferPool {
     /// The materialized data of `key`, if resident and installed.
     pub fn payload(&self, key: PageKey) -> Option<&ChunkPayload> {
         self.payloads.get(&key)
+    }
+
+    /// The decode state of `key`'s installed payload, if any: whether the
+    /// frame still holds encoded bytes awaiting their first pin, or fully
+    /// decoded (or plain) column data.
+    pub fn payload_state(&self, key: PageKey) -> Option<PayloadState> {
+        self.payloads.get(&key).map(|p| {
+            if p.is_missing() {
+                PayloadState::Missing
+            } else if p.is_fully_decoded() {
+                PayloadState::Decoded
+            } else {
+                PayloadState::Compressed
+            }
+        })
+    }
+
+    /// Number of resident frames whose payload still holds encoded
+    /// (not-yet-decoded) mini-columns.
+    pub fn compressed_frames(&self) -> usize {
+        self.payloads
+            .values()
+            .filter(|p| !p.is_fully_decoded())
+            .count()
     }
 
     /// Fetches `key`, pinning the resulting frame.
@@ -447,6 +486,46 @@ mod tests {
         pool.fetch_and_pin(key(2)).unwrap();
         assert!(!pool.contains(key(1)), "page 1 was victimized");
         assert_eq!(pool.payload(key(1)), None);
+    }
+
+    #[test]
+    fn payload_state_tracks_the_compressed_to_decoded_lifecycle() {
+        use cscan_storage::chunkdata::{ColumnChunk, NsmChunkData};
+        use cscan_storage::{ChunkPayload, Compression};
+        use std::sync::Arc;
+        let mut pool = lru_pool(2);
+        assert_eq!(pool.payload_state(key(1)), None, "nothing installed yet");
+        pool.fetch_and_pin(key(1)).unwrap();
+        // Install *compressed* bytes (what an I/O worker commits).
+        let values: Vec<i64> = (0..256).map(|i| i % 5).collect();
+        let payload = ChunkPayload::Nsm(Arc::new(NsmChunkData::from_parts(vec![
+            ColumnChunk::encode(&values, Compression::Dictionary { bits: 3 }),
+        ])));
+        pool.install_payload(key(1), payload.clone());
+        assert_eq!(pool.payload_state(key(1)), Some(PayloadState::Compressed));
+        assert_eq!(pool.compressed_frames(), 1);
+        // The first pin's decode flips the shared state to Decoded — the
+        // pool sees it without re-installation because payload clones share
+        // the column cache.
+        assert!(payload.decode_all() > 0);
+        assert_eq!(pool.payload_state(key(1)), Some(PayloadState::Decoded));
+        assert_eq!(pool.compressed_frames(), 0);
+        // Eviction drops both states; a fresh install is compressed again.
+        pool.unpin(key(1), false);
+        assert!(pool.evict_page(key(1)));
+        assert_eq!(pool.payload_state(key(1)), None);
+        pool.fetch_and_pin(key(1)).unwrap();
+        pool.install_payload(
+            key(1),
+            ChunkPayload::Nsm(Arc::new(NsmChunkData::from_parts(vec![
+                ColumnChunk::encode(&values, Compression::Dictionary { bits: 3 }),
+            ]))),
+        );
+        assert_eq!(pool.payload_state(key(1)), Some(PayloadState::Compressed));
+        // A metadata-only install reports Missing.
+        pool.fetch_and_pin(key(2)).unwrap();
+        pool.install_payload(key(2), ChunkPayload::Missing);
+        assert_eq!(pool.payload_state(key(2)), Some(PayloadState::Missing));
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! a query is reading can never be reclaimed under it.  Dropping the pin
 //! releases both and tells the scheduler the chunk was consumed.
 //!
+//! A payload may arrive *compressed* (encoded PDICT/PFOR/PFOR-DELTA
+//! mini-columns): the delivering front-end decodes it once, on first pin,
+//! after releasing its internal lock — so by the time a consumer holds a
+//! [`PinnedChunk`], its [`PinnedChunk::column`] views are plain decoded
+//! slices shared with the buffer frame.
+//!
 //! Prefer [`PinnedChunk::complete`] over letting the pin fall out of scope:
 //! a plain drop still releases everything (so early returns and `?` are
 //! safe), but it is counted as an *unconsumed drop* by the owning server —

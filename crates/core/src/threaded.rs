@@ -24,6 +24,16 @@
 //! server delivers [`ChunkPayload::Missing`] and behaves exactly like the
 //! historical id-only executor.
 //!
+//! Payloads may arrive *compressed* (a
+//! [`cscan_storage::CompressingStore`] encodes mini-columns as PDICT /
+//! PFOR / PFOR-DELTA bytes on the I/O worker): the commit installs the
+//! encoded bytes, and the **first pin** pays the once-only decompression —
+//! after `next_chunk` has released the hub lock (the codec debug-asserts
+//! this) — flipping the frame to its decoded state for every later pin.
+//! Eviction drops both states; a re-load re-installs fresh encoded bytes.
+//! Decode time is accounted as pin-wait and surfaced separately
+//! ([`ScanServer::decode_time`], [`ScanServer::values_decoded`]).
+//!
 //! The frame pool is deliberately sized at one frame per logical chunk:
 //! buffer *capacity* is governed by the ABM's page accounting (which plans
 //! every eviction), so the pool itself never has to pick victims — it is
@@ -250,8 +260,15 @@ struct Shared {
     loads_completed: AtomicU64,
     loads_cancelled: AtomicU64,
     /// Total time consumers spent blocked in `next_chunk` waiting for a
-    /// deliverable chunk (the data plane's "pin-wait" time).
+    /// deliverable chunk (the data plane's "pin-wait" time).  Includes
+    /// first-pin decompression: decoding delays the consumer exactly like
+    /// waiting for the disk would.
     pin_wait_nanos: AtomicU64,
+    /// Portion of the pin-wait spent decompressing payloads (first-pin
+    /// decodes, always outside the hub lock).
+    decode_nanos: AtomicU64,
+    /// Number of column values decompressed by first-pin decodes.
+    values_decoded: AtomicU64,
     /// Pins dropped without [`PinnedChunk::complete`] — the silent-drop
     /// footgun, surfaced as a counter so tests can assert it stays zero.
     unconsumed_drops: AtomicU64,
@@ -269,6 +286,7 @@ impl Shared {
             guard: self.hub.lock(),
             acquired: Instant::now(),
             histogram: &self.lock_held,
+            _no_decode: cscan_storage::codec::forbid_decode(),
         }
     }
 }
@@ -276,10 +294,17 @@ impl Shared {
 /// An instrumented hub guard: records the lock hold time into the
 /// histogram on drop, and splits the measurement around condvar waits (the
 /// lock is released while waiting, so waiting time is not hold time).
+///
+/// The guard also carries a [`cscan_storage::codec::DecodeForbidden`]
+/// token: any payload decode attempted while a hub guard is alive on the
+/// current thread trips a debug assertion — the runtime proof of the
+/// "never decode under the hub lock" invariant.
 struct HubGuard<'a> {
     guard: MutexGuard<'a, Hub>,
     acquired: Instant,
     histogram: &'a LockHoldHistogram,
+    /// Forbids payload decoding on this thread while the guard is alive.
+    _no_decode: cscan_storage::codec::DecodeForbidden,
 }
 
 impl HubGuard<'_> {
@@ -395,6 +420,8 @@ impl ScanServerBuilder {
             loads_completed: AtomicU64::new(0),
             loads_cancelled: AtomicU64::new(0),
             pin_wait_nanos: AtomicU64::new(0),
+            decode_nanos: AtomicU64::new(0),
+            values_decoded: AtomicU64::new(0),
             unconsumed_drops: AtomicU64::new(0),
             lock_held: LockHoldHistogram::new(),
         });
@@ -618,6 +645,24 @@ impl ScanServer {
         Duration::from_nanos(self.shared.pin_wait_nanos.load(Ordering::Relaxed))
     }
 
+    /// Total time first-pin payload decompression took (a subset of
+    /// [`ScanServer::pin_wait`]; always spent outside the hub lock).
+    pub fn decode_time(&self) -> Duration {
+        Duration::from_nanos(self.shared.decode_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of column values decompressed by first-pin decodes (0 when
+    /// the store delivers plain payloads).
+    pub fn values_decoded(&self) -> u64 {
+        self.shared.values_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident frames whose payload is still encoded bytes
+    /// (committed but not yet pinned by any consumer).
+    pub fn compressed_frames(&self) -> usize {
+        self.shared.lock().pool.compressed_frames()
+    }
+
     /// Number of [`PinnedChunk`]s that were dropped without
     /// [`PinnedChunk::complete`].  A well-behaved pipeline keeps this at
     /// zero; tests assert it.
@@ -682,9 +727,14 @@ impl CScanHandle {
     /// is dropped — or `None` when the scan has delivered everything, hit
     /// its chunk limit, or the server shut down.  This is `selectChunk` of
     /// Figure 3.
+    ///
+    /// If the chunk's payload arrived compressed and no earlier pin decoded
+    /// it, this call performs the once-only decode — *after* releasing the
+    /// hub lock — before returning; the decompression time is accounted as
+    /// pin-wait (and separately as [`ScanServer::decode_time`]).
     pub fn next_chunk(&self) -> Option<PinnedChunk> {
         let mut hub = self.shared.lock();
-        loop {
+        let (chunk, payload) = loop {
             // The chunk-limit check and the delivery count bump both happen
             // under the hub lock, so consumers sharing a handle serialize
             // here and a LIMIT-n scan delivers exactly n chunks.
@@ -716,12 +766,7 @@ impl CScanHandle {
                         None => ChunkPayload::Missing,
                     };
                     self.delivered.fetch_add(1, Ordering::Relaxed);
-                    return Some(PinnedChunk::new(
-                        self.query,
-                        chunk,
-                        payload,
-                        Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
-                    ));
+                    break (chunk, payload);
                 }
                 None => {
                     // The scheduler may now see this query as starved: ring
@@ -743,7 +788,36 @@ impl CScanHandle {
                         .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
             }
+        };
+        drop(hub);
+        // Decode-on-first-pin: if the committed payload is still encoded
+        // bytes, pay the decompression CPU cost here — outside the hub lock
+        // (the codec debug-asserts that), shared via the column cache so
+        // later pins of the same buffered chunk skip straight past this.
+        if !payload.is_fully_decoded() {
+            let started = Instant::now();
+            let decoded = payload.decode_all();
+            let nanos = started.elapsed().as_nanos() as u64;
+            // The consumer stalled for `nanos` either way: as the decoding
+            // winner, or blocked on another pin's in-flight decode of the
+            // same columns (decode_all returns 0 for the loser).  Both are
+            // pin-wait; only the winner's work counts as decode output.
+            self.shared
+                .pin_wait_nanos
+                .fetch_add(nanos, Ordering::Relaxed);
+            if decoded > 0 {
+                self.shared.decode_nanos.fetch_add(nanos, Ordering::Relaxed);
+                self.shared
+                    .values_decoded
+                    .fetch_add(decoded as u64, Ordering::Relaxed);
+            }
         }
+        Some(PinnedChunk::new(
+            self.query,
+            chunk,
+            payload,
+            Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
+        ))
     }
 
     /// Number of chunks this scan still needs (0 once finished/detached).
@@ -1560,6 +1634,120 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Compressed payloads: decode-on-first-pin lifecycle.
+    // ------------------------------------------------------------------
+
+    use cscan_storage::{CompressingStore, Compression};
+
+    fn pfor21() -> Compression {
+        Compression::Pfor {
+            bits: 21,
+            exception_rate: 0.02,
+        }
+    }
+
+    /// First pin decodes once; every later pin of the buffered chunk hits
+    /// the decoded state, and the delivered values are bit-identical to the
+    /// uncompressed store.
+    #[test]
+    fn compressed_payloads_decode_on_first_pin_only() {
+        const CHUNKS: u32 = 8;
+        const ROWS: u64 = 256;
+        let model = TableModel::nsm_uniform(CHUNKS, ROWS, 16);
+        let inner = SeededStore::new(ROWS, 2, 13);
+        let store = CompressingStore::new(inner.clone(), vec![pfor21(), pfor21()]);
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(CHUNKS as u64) // everything stays resident
+            .io_cost_per_page(Duration::ZERO)
+            .store(Arc::new(store))
+            .build();
+        let scan = |label: &str| {
+            let handle = server.cscan(CScanPlan::new(
+                label.to_string(),
+                ScanRanges::full(CHUNKS),
+                model.all_columns(),
+            ));
+            let mut seen = 0;
+            while let Some(pin) = handle.next_chunk() {
+                for c in 0..2u16 {
+                    let col = ColumnId::new(c);
+                    let values = pin.column(col).expect("column present");
+                    for (row, &v) in values.iter().enumerate() {
+                        assert_eq!(v, inner.value(pin.chunk(), row as u64, col));
+                    }
+                }
+                pin.complete();
+                seen += 1;
+            }
+            handle.finish();
+            assert_eq!(seen, CHUNKS);
+        };
+        scan("first");
+        let decoded_once = server.values_decoded();
+        assert_eq!(
+            decoded_once,
+            CHUNKS as u64 * ROWS * 2,
+            "the first scan decodes every mini-column exactly once"
+        );
+        assert_eq!(
+            server.compressed_frames(),
+            0,
+            "after the first scan every resident frame is decoded"
+        );
+        // A second scan over the fully resident table re-pins the decoded
+        // frames: no further decodes, no extra loads.
+        scan("second");
+        assert_eq!(
+            server.values_decoded(),
+            decoded_once,
+            "re-pins must hit the decoded state"
+        );
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    /// Eviction drops the decoded state with the frame: a re-loaded chunk
+    /// arrives as fresh encoded bytes and its first pin decodes again.
+    #[test]
+    fn eviction_drops_decoded_state_and_reload_redecodes() {
+        const CHUNKS: u32 = 8;
+        const ROWS: u64 = 128;
+        let model = TableModel::nsm_uniform(CHUNKS, ROWS, 16);
+        let store = CompressingStore::new(SeededStore::new(ROWS, 1, 29), vec![pfor21()]);
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(2) // a tiny pool: scans churn through evictions
+            .io_cost_per_page(Duration::ZERO)
+            .store(Arc::new(store))
+            .build();
+        for round in 0..2 {
+            let handle = server.cscan(CScanPlan::new(
+                format!("round-{round}"),
+                ScanRanges::full(CHUNKS),
+                model.all_columns(),
+            ));
+            while let Some(pin) = handle.next_chunk() {
+                assert!(pin.column(ColumnId::new(0)).is_some());
+                pin.complete();
+            }
+            handle.finish();
+        }
+        assert!(
+            server.frame_pool_stats().evictions > 0,
+            "the tiny pool must have evicted"
+        );
+        assert!(
+            server.values_decoded() > CHUNKS as u64 * ROWS,
+            "re-loaded chunks must decode again after eviction: {} values",
+            server.values_decoded()
+        );
+        assert!(
+            server.decode_time() <= server.pin_wait(),
+            "decode time is accounted inside pin-wait"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::vector::{DataChunk, Value};
 use cscan_storage::chunkdata::{ChunkPayload, ChunkStore, DsmChunkData, NsmChunkData};
-use cscan_storage::{ChunkId, ColumnId};
+use cscan_storage::{ChunkId, ColumnId, Compression};
 use std::sync::Arc;
 
 /// A generator producing the values of one column for a given range of row ids.
@@ -154,6 +154,33 @@ impl MemTable {
             ),
         ];
         Self::new(columns, num_tuples, tuples_per_chunk)
+    }
+
+    /// Per-column [`Compression`] schemes matched to the
+    /// [`MemTable::lineitem_demo`] data — the Figure 9 configuration: the
+    /// clustered `l_orderkey` under PFOR-DELTA, the small-domain columns
+    /// (`l_quantity`, `l_discount`, `l_returnflag`) under PDICT, and the
+    /// wider numeric columns under PFOR.  Wrap the table in a
+    /// [`cscan_storage::CompressingStore`] with these schemes to serve its
+    /// chunks compressed.
+    pub fn lineitem_demo_schemes() -> Vec<Compression> {
+        vec![
+            Compression::PforDelta {
+                bits: 3,
+                exception_rate: 0.02,
+            },
+            Compression::Dictionary { bits: 6 },
+            Compression::Pfor {
+                bits: 17,
+                exception_rate: 0.02,
+            },
+            Compression::Dictionary { bits: 4 },
+            Compression::Pfor {
+                bits: 12,
+                exception_rate: 0.02,
+            },
+            Compression::Dictionary { bits: 2 },
+        ]
     }
 
     /// Generates one column of `chunk` as a shareable vector.

@@ -12,7 +12,7 @@ use cscan_exec::{
     merge_join, AggFunc, ChunkOrderedAggregate, ChunkSource, CooperativeMergeJoin, DataChunk, Expr,
     Filter, HashAggregate, MemTable, Operator, Project, SessionSource,
 };
-use cscan_storage::{ChunkId, ColumnId, ScanRanges};
+use cscan_storage::{ChunkId, ColumnId, CompressingStore, ScanRanges};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,17 +33,40 @@ enum Layout {
 /// reads through the session API is exactly what the baseline reads
 /// directly.
 fn live_server(table: &MemTable, policy: PolicyKind, layout: Layout) -> ScanServer {
+    live_server_with(table, policy, layout, false)
+}
+
+/// The compressed variant: chunks travel as PFOR/PFOR-DELTA/PDICT bytes
+/// (per-column schemes matched to the lineitem demo data) and decode on
+/// first pin — the results must stay bit-identical to the plain baseline.
+fn live_server_compressed(table: &MemTable, policy: PolicyKind, layout: Layout) -> ScanServer {
+    live_server_with(table, policy, layout, true)
+}
+
+fn live_server_with(
+    table: &MemTable,
+    policy: PolicyKind,
+    layout: Layout,
+    compressed: bool,
+) -> ScanServer {
     let model = match layout {
         Layout::Nsm => TableModel::nsm_uniform(CHUNKS, ROWS_PER_CHUNK, 16),
         Layout::Dsm => TableModel::dsm_uniform(CHUNKS, ROWS_PER_CHUNK, &vec![1; table.width()]),
     };
-    ScanServer::builder(model)
+    let builder = ScanServer::builder(model)
         .policy(policy)
         .buffer_chunks(5)
         .io_cost_per_page(Duration::ZERO)
-        .io_threads(2)
-        .store(Arc::new(table.clone()))
-        .build()
+        .io_threads(2);
+    let builder = if compressed {
+        builder.store(Arc::new(CompressingStore::new(
+            table.clone(),
+            MemTable::lineitem_demo_schemes(),
+        )))
+    } else {
+        builder.store(Arc::new(table.clone()))
+    };
+    builder.build()
 }
 
 /// Resolves column names to ids and opens a live session source over them.
@@ -220,6 +243,53 @@ fn merge_join_pipeline_matches_baseline() {
             sorted_rows(&reference),
             "{policy}/{layout:?}: cooperative merge join diverged"
         );
+    }
+}
+
+/// The tentpole acceptance criterion: every pipeline result stays
+/// bit-identical when chunk payloads travel *compressed* (PFOR /
+/// PFOR-DELTA / PDICT mini-columns, decoded on first pin) — across all
+/// four policies and both layouts.
+#[test]
+fn compressed_payload_pipelines_are_bit_identical() {
+    let table = lineitem();
+    let names = ["l_returnflag", "l_quantity"];
+    let aggs = || vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)];
+    let agg_reference = {
+        let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
+        agg.next().unwrap()
+    };
+    let filter_names = ["l_orderkey", "l_shipdate"];
+    let predicate = || Expr::col(1).le(Expr::lit(400));
+    let filter_reference = collect(&mut Filter::new(
+        baseline_source(&table, &filter_names),
+        predicate(),
+    ));
+    assert!(!filter_reference.is_empty());
+    for (policy, layout) in all_cases() {
+        let server = live_server_compressed(&table, policy, layout);
+        // Aggregate pipeline: group-by output is key-ordered, so equality
+        // here is bit-identical regardless of delivery order.
+        let src = live_source(&server, &table, &names, layout, "z-agg");
+        let mut agg = HashAggregate::new(src, vec![0], aggs());
+        let live = agg.next().unwrap();
+        assert_eq!(
+            live, agg_reference,
+            "{policy}/{layout:?}: compressed aggregate diverged"
+        );
+        // Filter pipeline over PFOR-DELTA'd keys and PFOR'd dates.
+        let src = live_source(&server, &table, &filter_names, layout, "z-filter");
+        let live = collect(&mut Filter::new(src, predicate()));
+        assert_eq!(
+            sorted_rows(&live),
+            sorted_rows(&filter_reference),
+            "{policy}/{layout:?}: compressed filter diverged"
+        );
+        assert!(
+            server.values_decoded() > 0,
+            "{policy}/{layout:?}: the compressed path must actually decode"
+        );
+        assert_eq!(server.unconsumed_drops(), 0, "{policy}/{layout:?}");
     }
 }
 

@@ -20,11 +20,16 @@
 //! [`chunkdata`] is the data plane: [`chunkdata::ChunkStore`] materializes
 //! the actual column values of a chunk as a [`chunkdata::ChunkPayload`]
 //! (PAX mini-columns for NSM, a mergeable column subset for DSM), which is
-//! what a pinned chunk hands to the query operators.
+//! what a pinned chunk hands to the query operators.  Mini-columns may be
+//! stored *compressed*: [`codec`] implements the real PDICT / PFOR /
+//! PFOR-DELTA encoders ([`compression`] keeps the width model they are
+//! validated against), and [`chunkdata::CompressingStore`] wraps any store
+//! so its payloads travel as encoded bytes that decode lazily on first pin.
 
 #![warn(missing_docs)]
 
 pub mod chunkdata;
+pub mod codec;
 pub mod compression;
 pub mod dsm;
 pub mod ids;
@@ -33,7 +38,11 @@ pub mod scan;
 pub mod schema;
 pub mod zonemap;
 
-pub use chunkdata::{ChunkPayload, ChunkStore, DsmChunkData, NsmChunkData, SeededStore};
+pub use chunkdata::{
+    ChunkPayload, ChunkStore, ColumnChunk, CompressingStore, DsmChunkData, LazyColumn,
+    NsmChunkData, SeededStore,
+};
+pub use codec::EncodedColumn;
 pub use compression::Compression;
 pub use dsm::DsmLayout;
 pub use ids::{ChunkId, ColumnId, PageId};
