@@ -52,7 +52,7 @@ fn bench_aggregation(c: &mut Criterion) {
         b.iter(|| {
             let src = ChunkSource::new(&table, vec![key, price], order.clone());
             let mut agg = HashAggregate::new(src, vec![0], vec![AggFunc::Sum(1), AggFunc::Count]);
-            agg.next().map(|c| c.len())
+            agg.next().unwrap().map(|c| c.len())
         })
     });
     group.bench_function("chunk_ordered_aggregate_out_of_order", |b| {
@@ -89,7 +89,7 @@ fn bench_cooperative_merge_join(c: &mut Criterion) {
                 0,
             );
             let mut rows = 0usize;
-            while let Some(batch) = join.next() {
+            while let Some(batch) = join.next().expect("in-memory join cannot fail") {
                 rows += batch.len();
             }
             rows

@@ -56,7 +56,7 @@ fn bench_threaded_executor(c: &mut Criterion) {
                 model.all_columns(),
             ));
             let mut n = 0;
-            while let Some(guard) = handle.next_chunk() {
+            while let Some(guard) = handle.next_chunk().expect("fault-free scan") {
                 guard.complete();
                 n += 1;
             }

@@ -62,6 +62,20 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "values_decoded",
         ],
     ),
+    (
+        "BENCH_faults.json",
+        &[
+            "experiment",
+            "points",
+            "fault_rate",
+            "goodput_mib_s",
+            "load_faults",
+            "load_retries",
+            "checksum_failures",
+            "chunks_quarantined",
+            "checksum_overhead_frac",
+        ],
+    ),
 ];
 
 fn check(path: &str) -> Result<(), String> {

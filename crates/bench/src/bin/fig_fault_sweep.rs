@@ -1,0 +1,93 @@
+//! Fault sweep — goodput, retry counts and checksum overhead of the data
+//! plane under injected I/O failures.  Writes `BENCH_faults.json` so the
+//! robustness trajectory is tracked across PRs.
+
+use cscan_bench::experiments::faults;
+use cscan_bench::report::TextTable;
+use std::fmt::Write as _;
+
+/// Geometry of the sweep: a compressed lineitem table scanned end-to-end
+/// through the threaded executor at each fault rate.
+const CHUNKS: u32 = 64;
+const ROWS_PER_CHUNK: u64 = 2_000;
+/// Per-attempt transient fault rates (0.0 is the fault-free baseline).
+const RATES: &[f64] = &[0.0, 0.05, 0.10, 0.20, 0.40];
+
+fn main() {
+    println!(
+        "Fault sweep — injected I/O failures through the threaded executor\n\
+         ({CHUNKS} chunks x {ROWS_PER_CHUNK} rows, compressed payloads, retry/backoff enabled)\n"
+    );
+
+    let points = faults::run_fault_sweep(CHUNKS, ROWS_PER_CHUNK, RATES);
+    let mut table = TextTable::new([
+        "fault rate",
+        "rows",
+        "wall (s)",
+        "goodput (MiB/s)",
+        "faults",
+        "retries",
+        "checksum fails",
+        "quarantined",
+    ]);
+    for p in &points {
+        table.row([
+            format!("{:.2}", p.fault_rate),
+            p.rows.to_string(),
+            format!("{:.3}", p.wall_secs),
+            format!("{:.1}", p.goodput_mib_s),
+            p.load_faults.to_string(),
+            p.load_retries.to_string(),
+            p.checksum_failures.to_string(),
+            p.chunks_quarantined.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let overhead = faults::run_checksum_overhead(CHUNKS, ROWS_PER_CHUNK);
+    println!(
+        "checksum overhead on the clean path: {:.2}% of materialize+decode \
+         ({:.4}s verify vs {:.4}s baseline; acceptance gate: <= 5%)\n",
+        overhead.overhead_frac * 100.0,
+        overhead.verify_secs,
+        overhead.baseline_secs
+    );
+
+    let json = render_json(&points, &overhead);
+    let path = "BENCH_faults.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Renders the measurements as JSON (hand-rolled: the workspace
+/// deliberately has no serde_json dependency).
+fn render_json(points: &[faults::FaultSweepPoint], overhead: &faults::ChecksumOverhead) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"fault_sweep\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"fault_rate\": {:.3}, \"corruption_rate\": {:.3}, \"rows\": {}, \
+             \"wall_secs\": {:.4}, \"goodput_mib_s\": {:.3}, \"load_faults\": {}, \
+             \"load_retries\": {}, \"checksum_failures\": {}, \"chunks_quarantined\": {}}}{sep}",
+            p.fault_rate,
+            p.corruption_rate,
+            p.rows,
+            p.wall_secs,
+            p.goodput_mib_s,
+            p.load_faults,
+            p.load_retries,
+            p.checksum_failures,
+            p.chunks_quarantined
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ],\n  \"checksum_overhead\": {{\"chunks\": {}, \"baseline_secs\": {:.5}, \
+         \"verify_secs\": {:.5}, \"checksum_overhead_frac\": {:.5}}}\n}}",
+        overhead.chunks, overhead.baseline_secs, overhead.verify_secs, overhead.overhead_frac
+    );
+    out
+}

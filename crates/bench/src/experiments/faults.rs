@@ -1,0 +1,185 @@
+//! Fault sweep — the data plane under injected I/O failures: goodput and
+//! retry counts as the transient fault rate rises, and the clean-path cost
+//! of payload checksumming.
+//!
+//! Every point drives a real threaded [`ScanServer`] over a
+//! [`FaultInjectingStore`] wrapping compressed lineitem chunks: transient
+//! read failures are retried with backoff by the I/O workers, corrupted
+//! payloads are caught by the install-time checksum and retried, and the
+//! delivered rows are counted against wall-clock time.  The checksum
+//! overhead measurement times [`verify_checksums`] against the
+//! materialize-and-decode work it rides on, which is the quantity the
+//! release fault gate bounds at 5%.
+//!
+//! [`verify_checksums`]: cscan_storage::ChunkPayload::verify_checksums
+
+use cscan_core::iosched::RetryPolicy;
+use cscan_core::policy::PolicyKind;
+use cscan_core::threaded::ScanServer;
+use cscan_core::{CScanPlan, ColSet, TableModel};
+use cscan_exec::MemTable;
+use cscan_storage::{
+    ChunkId, ChunkStore, CompressingStore, FaultConfig, FaultInjectingStore, ScanRanges,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One point of the fault-rate sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSweepPoint {
+    /// Per-attempt transient fault probability injected into the store.
+    pub fault_rate: f64,
+    /// Per-attempt payload corruption probability (caught by checksums).
+    pub corruption_rate: f64,
+    /// Rows delivered to the consumer.
+    pub rows: u64,
+    /// Wall-clock seconds for the full scan.
+    pub wall_secs: f64,
+    /// Logical MiB delivered per wall second (goodput).
+    pub goodput_mib_s: f64,
+    /// Failed read attempts observed by the I/O workers.
+    pub load_faults: u64,
+    /// Retries scheduled for those failures.
+    pub load_retries: u64,
+    /// Corruptions caught by the install-time checksum.
+    pub checksum_failures: u64,
+    /// Chunks given up on (must be 0 in a transient-only sweep).
+    pub chunks_quarantined: u64,
+}
+
+/// Scans `chunks` compressed lineitem chunks end-to-end at each transient
+/// `rate`, returning one goodput/retry point per rate.  Rate 0.0 is the
+/// fault-free baseline the other points are read against.
+pub fn run_fault_sweep(chunks: u32, rows_per_chunk: u64, rates: &[f64]) -> Vec<FaultSweepPoint> {
+    let table = MemTable::lineitem_demo(chunks as u64 * rows_per_chunk, rows_per_chunk);
+    let width = table.width() as u64;
+    rates
+        .iter()
+        .map(|&rate| {
+            let config = FaultConfig {
+                corruption_rate: rate / 2.0,
+                ..FaultConfig::transient_only(0xFA11_5EED ^ rate.to_bits(), rate)
+            };
+            let corruption_rate = config.corruption_rate;
+            let store = FaultInjectingStore::new(
+                CompressingStore::new(table.clone(), MemTable::lineitem_demo_schemes()),
+                config,
+            );
+            let model = TableModel::nsm_uniform(chunks, rows_per_chunk, 16);
+            let server = ScanServer::builder(model)
+                .policy(PolicyKind::Relevance)
+                .buffer_chunks(chunks as u64 / 4 + 1)
+                .io_cost_per_page(Duration::ZERO)
+                .io_threads(2)
+                .retry_policy(RetryPolicy {
+                    backoff_base: Duration::from_micros(50),
+                    backoff_cap: Duration::from_micros(500),
+                    ..RetryPolicy::default()
+                })
+                .store(Arc::new(store))
+                .build();
+            let started = Instant::now();
+            let handle = server.cscan(CScanPlan::new(
+                "fault-sweep",
+                ScanRanges::full(chunks),
+                ColSet::empty(),
+            ));
+            let mut rows = 0u64;
+            while let Some(pin) = handle
+                .next_chunk()
+                .expect("transient-only sweep must not quarantine")
+            {
+                rows += pin.rows() as u64;
+                pin.complete();
+            }
+            let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+            let logical_mib = (rows * width * 8) as f64 / (1 << 20) as f64;
+            FaultSweepPoint {
+                fault_rate: rate,
+                corruption_rate,
+                rows,
+                wall_secs,
+                goodput_mib_s: logical_mib / wall_secs,
+                load_faults: server.load_faults(),
+                load_retries: server.load_retries(),
+                checksum_failures: server.checksum_failures(),
+                chunks_quarantined: server.chunks_quarantined(),
+            }
+        })
+        .collect()
+}
+
+/// The clean-path cost of payload checksumming.
+#[derive(Debug, Clone, Copy)]
+pub struct ChecksumOverhead {
+    /// Chunks measured.
+    pub chunks: u32,
+    /// Seconds spent materializing + decoding the payloads (the work the
+    /// consume path would do with checksums compiled out).
+    pub baseline_secs: f64,
+    /// Seconds spent verifying the same payloads' checksums (the
+    /// install-time verification the I/O worker adds).
+    pub verify_secs: f64,
+    /// `verify_secs / baseline_secs` — the fractional slowdown checksums
+    /// add to a fault-free consume path.
+    pub overhead_frac: f64,
+}
+
+/// Times checksum verification against the materialize-and-decode work of
+/// `chunks` compressed lineitem chunks.  The release fault gate requires
+/// `overhead_frac <= 0.05`.
+pub fn run_checksum_overhead(chunks: u32, rows_per_chunk: u64) -> ChecksumOverhead {
+    let table = MemTable::lineitem_demo(chunks as u64 * rows_per_chunk, rows_per_chunk);
+    let store = CompressingStore::new(table, MemTable::lineitem_demo_schemes());
+    let (mut baseline, mut verify) = (Duration::ZERO, Duration::ZERO);
+    let mut decoded = 0usize;
+    for c in 0..chunks {
+        let t0 = Instant::now();
+        let payload = store
+            .materialize(ChunkId::new(c), None)
+            .expect("in-memory store cannot fail");
+        let t1 = Instant::now();
+        payload.verify_checksums().expect("clean payloads verify");
+        let t2 = Instant::now();
+        decoded += payload.try_decode_all().expect("clean payloads decode");
+        let t3 = Instant::now();
+        baseline += (t1 - t0) + (t3 - t2);
+        verify += t2 - t1;
+    }
+    assert!(decoded > 0, "the overhead run must decode real data");
+    let baseline_secs = baseline.as_secs_f64().max(1e-9);
+    let verify_secs = verify.as_secs_f64();
+    ChecksumOverhead {
+        chunks,
+        baseline_secs,
+        verify_secs,
+        overhead_frac: verify_secs / baseline_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_monotone_fault_counts() {
+        let points = run_fault_sweep(8, 200, &[0.0, 0.3]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].load_faults, 0, "rate 0 injects nothing");
+        assert_eq!(points[0].rows, 8 * 200);
+        assert!(points[1].load_faults > 0, "rate 0.3 must inject faults");
+        assert_eq!(points[1].rows, 8 * 200, "faults never lose rows");
+        assert_eq!(points[1].chunks_quarantined, 0);
+    }
+
+    #[test]
+    fn checksum_overhead_is_measurable() {
+        let o = run_checksum_overhead(8, 500);
+        assert!(o.verify_secs >= 0.0);
+        assert!(o.baseline_secs > 0.0);
+        assert!(
+            o.overhead_frac < 1.0,
+            "verify cannot dominate the consume path"
+        );
+    }
+}

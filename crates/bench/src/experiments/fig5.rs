@@ -141,7 +141,10 @@ pub fn run_live(streams: usize, chunks: u32, rows_per_chunk: u64) -> Vec<LivePoi
                         vec![0],
                         vec![AggFunc::Count, AggFunc::Sum(1)],
                     );
-                    let out = agg.next().expect("aggregate output");
+                    let out = agg
+                        .next()
+                        .expect("fault-free scan")
+                        .expect("aggregate output");
                     // Rows that entered the aggregate (count per group).
                     out.column(1).iter().sum::<i64>() as u64
                 })

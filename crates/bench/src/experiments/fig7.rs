@@ -247,7 +247,7 @@ pub fn run_threaded_once(
             std::thread::spawn(move || {
                 barrier.wait();
                 let mut n = 0u64;
-                while let Some(guard) = handle.next_chunk() {
+                while let Some(guard) = handle.next_chunk().expect("fault-free scan") {
                     guard.complete();
                     n += 1;
                 }

@@ -141,7 +141,9 @@ pub fn run_mix_volume(chunks: u32, rows_per_chunk: u64) -> MixVolume {
     let store = CompressingStore::new(table, MemTable::lineitem_demo_schemes());
     let (mut physical, mut logical) = (0usize, 0usize);
     for c in 0..chunks {
-        let payload = store.materialize(ChunkId::new(c), None);
+        let payload = store
+            .materialize(ChunkId::new(c), None)
+            .expect("in-memory store cannot fail");
         physical += payload.physical_bytes();
         logical += payload.logical_bytes();
     }
@@ -194,7 +196,7 @@ pub fn run_live_compressed(chunks: u32, rows_per_chunk: u64) -> LiveCompressedPo
     ));
     let mut rows = 0u64;
     let mut checksum = 0i64;
-    while let Some(pin) = handle.next_chunk() {
+    while let Some(pin) = handle.next_chunk().expect("fault-free scan") {
         rows += pin.rows() as u64;
         // Touch a column so the read is real.
         if let Some(v) = pin.column(ColumnId::new(0)) {

@@ -12,11 +12,13 @@
 //! | [`fig9`]   | Figure 9 — compression: decode GiB/s and I/O volume |
 //! | [`table3`] | Table 3 — DSM policy comparison |
 //! | [`table4`] | Table 4 — DSM column-overlap study |
+//! | [`faults`] | Fault sweep — goodput/retries under injected I/O failures |
 //!
 //! Table 1 of the paper is published TPC-H price/performance data (used as
 //! motivation), not an experiment, and is therefore only discussed in
 //! `EXPERIMENTS.md`.
 
+pub mod faults;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

@@ -81,7 +81,7 @@ fn consume_path_performs_zero_per_chunk_allocations() {
         model.all_columns(),
     ));
     let mut warm_chunks = 0;
-    while let Some(pin) = warmup.next_chunk() {
+    while let Some(pin) = warmup.next_chunk().expect("fault-free scan") {
         pin.complete();
         warm_chunks += 1;
     }
@@ -100,7 +100,7 @@ fn consume_path_performs_zero_per_chunk_allocations() {
     let mut consumed = 0u32;
     let mut checksum = 0i64;
     let before = thread_allocs();
-    while let Some(pin) = handle.next_chunk() {
+    while let Some(pin) = handle.next_chunk().expect("fault-free scan") {
         let values = pin.column(col).expect("payload column view");
         checksum = values.iter().fold(checksum, |acc, &v| acc.wrapping_add(v));
         pin.complete();

@@ -1,0 +1,47 @@
+//! Release-only acceptance gate for the fault-tolerant data plane (wired
+//! into CI's `speedup-acceptance` job): payload checksumming must cost the
+//! fault-free consume path at most [`MAX_OVERHEAD_FRAC`] of its
+//! materialize-and-decode work — integrity is not allowed to tax the happy
+//! path by more than 5%.
+
+use cscan_bench::experiments::faults;
+
+/// The documented ceiling on the clean-path checksum overhead.
+const MAX_OVERHEAD_FRAC: f64 = 0.05;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "checksum overhead is measured in release builds only"
+)]
+fn checksum_overhead_stays_under_five_percent() {
+    // Warm-up pass so neither measurement pays first-touch costs, then
+    // take the best of three to shake off scheduler noise on shared CI
+    // runners.
+    let _ = faults::run_checksum_overhead(16, 2_000);
+    let best = (0..3)
+        .map(|_| faults::run_checksum_overhead(64, 2_000))
+        .min_by(|a, b| a.overhead_frac.total_cmp(&b.overhead_frac))
+        .expect("three runs");
+    assert!(
+        best.overhead_frac <= MAX_OVERHEAD_FRAC,
+        "checksumming taxes the clean consume path too much: {:.2}% > {:.0}% \
+         ({:.4}s verify vs {:.4}s materialize+decode over {} chunks)",
+        best.overhead_frac * 100.0,
+        MAX_OVERHEAD_FRAC * 100.0,
+        best.verify_secs,
+        best.baseline_secs,
+        best.chunks
+    );
+}
+
+/// The correctness half of the gate: a transient fault storm at a 20%
+/// per-attempt failure rate must deliver every row (goodput degrades,
+/// results do not).  Deterministic in outcome, so it runs in every build.
+#[test]
+fn fault_sweep_loses_no_rows() {
+    let points = faults::run_fault_sweep(16, 500, &[0.0, 0.2]);
+    assert_eq!(points[0].rows, points[1].rows, "faults must not lose rows");
+    assert!(points[1].load_faults > 0, "the sweep must inject faults");
+    assert_eq!(points[1].chunks_quarantined, 0, "transient-only sweep");
+}

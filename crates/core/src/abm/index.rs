@@ -65,9 +65,11 @@ impl ChangeLog {
 
     fn push(&mut self, seq: u64, chunk: u32) {
         // Collapse immediate duplicates (a burst touching one chunk twice).
-        if self.entries.back().is_some_and(|&(_, c)| c == chunk) {
-            self.entries.back_mut().unwrap().0 = seq;
-            return;
+        if let Some(last) = self.entries.back_mut() {
+            if last.1 == chunk {
+                last.0 = seq;
+                return;
+            }
         }
         if self.entries.len() == self.capacity {
             if let Some((dropped_seq, _)) = self.entries.pop_front() {

@@ -202,7 +202,10 @@ impl Abm {
         self.state.query(q).is_finished()
     }
 
-    /// Closes a query, removing it from the ABM.  Returns its final state.
+    /// Closes a query, removing it from the ABM.  Returns its final state,
+    /// or `None` if the query was already removed — the failure path may
+    /// close an erred query from the I/O side before its handle detaches,
+    /// so closing is idempotent rather than a panic.
     ///
     /// In-flight loads whose *last* interested query this detach removed are
     /// aborted immediately (their page reservations are released so other
@@ -210,7 +213,8 @@ impl Abm {
     /// [`Abm::aborted_loads`] and drops the corresponding device I/O — a
     /// completion that still arrives is rejected by [`Abm::commit_load`]'s
     /// ticket check.
-    pub fn finish_query(&mut self, q: QueryId) -> QueryState {
+    pub fn finish_query(&mut self, q: QueryId) -> Option<QueryState> {
+        self.state.try_query(q)?;
         self.policy.on_query_finished(q, &self.state);
         let final_state = self.state.remove_query(q);
         let mut aborted = std::mem::take(&mut self.aborted_scratch);
@@ -226,7 +230,48 @@ impl Abm {
             self.state.abort_load(chunk);
         }
         self.aborted_scratch = aborted;
-        final_state
+        Some(final_state)
+    }
+
+    /// Records that the in-flight load of `chunk` *failed* (the store read
+    /// erred, the payload failed checksum verification, or the worker
+    /// panicked).  If `ticket` still names the current load, it is aborted:
+    /// the page reservation returns to the pool and the chunk becomes
+    /// plannable again, so a retry is simply the next plan.  Returns `false`
+    /// when the load was already aborted or superseded (e.g. the last
+    /// interested query detached during the failed read) — the failure is
+    /// then moot and the caller should not retry.
+    pub fn fail_load(&mut self, chunk: ChunkId, ticket: u64) -> bool {
+        if self.state.inflight_ticket(chunk) != Some(ticket) {
+            return false;
+        }
+        self.state.abort_load(chunk);
+        true
+    }
+
+    /// Rejects a *delivered* chunk whose payload turned out to be unusable
+    /// (checksum mismatch at decode time): `q`'s processing pin is abandoned
+    /// without consuming the chunk — it stays needed and will be delivered
+    /// again — and the damaged residency is evicted when no other pin holds
+    /// it, so the next plan re-loads fresh bytes.  Returns whether the chunk
+    /// was evicted (the driver must mirror the eviction into its frame
+    /// pool).
+    pub fn reject_delivered(&mut self, q: QueryId, chunk: ChunkId) -> bool {
+        let active = self
+            .state
+            .try_query(q)
+            .is_some_and(|query| query.processing == Some(chunk));
+        if active {
+            self.state.abandon_processing(q, chunk);
+        } else {
+            self.state.release_pin(q, chunk);
+        }
+        if self.state.is_evictable(chunk) {
+            self.state.evict(chunk);
+            true
+        } else {
+            false
+        }
     }
 
     /// The loads cancelled by the most recent [`Abm::finish_query`] (their
@@ -483,7 +528,7 @@ mod tests {
         }
         assert_eq!(processed, 10);
         assert_eq!(abm.state().io_requests(), 10);
-        let final_state = abm.finish_query(q);
+        let final_state = abm.finish_query(q).expect("query is registered");
         assert!(final_state.is_finished());
         assert!(!abm.has_pending_work());
     }

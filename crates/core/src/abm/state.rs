@@ -977,6 +977,18 @@ impl AbmState {
         self.debug_validate();
     }
 
+    /// Un-starts `q`'s processing of `chunk` *without* consuming it: the
+    /// pin returns but interest and availability stay untouched, so the
+    /// chunk will be chosen for `q` again.  Used when a delivered payload
+    /// fails checksum verification and must be re-loaded.
+    pub(crate) fn abandon_processing(&mut self, q: QueryId, chunk: ChunkId) {
+        self.query_mut(q).abandon_processing(chunk);
+        if let Some(b) = self.buffered[chunk.as_usize()].as_mut() {
+            b.unpin(q);
+        }
+        self.debug_validate();
+    }
+
     /// Releases the processing pin a since-removed query still held on
     /// `chunk` (see [`Self::remove_query`]).  A no-op if the chunk is gone
     /// or the query held no pin.

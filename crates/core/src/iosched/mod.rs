@@ -62,7 +62,76 @@ pub use backend::SimIoBackend;
 use crate::abm::{Abm, CommitOutcome, LoadDecision, LoadPlan};
 use crate::query::QueryId;
 use cscan_simdisk::SimTime;
-use cscan_storage::ChunkId;
+use cscan_storage::{ChunkId, StoreError};
+use std::time::Duration;
+
+/// Bounded-retry policy for failed chunk reads.
+///
+/// Retryable [`StoreError`]s (transient, timeout, corrupted) are retried up
+/// to `max_attempts` times with exponential backoff; a permanent error — or
+/// exhausting the attempt budget — quarantines the chunk.  The backoff is
+/// expressed as a wall-clock [`Duration`]: the threaded executor sleeps it
+/// for real, the simulation advances virtual time by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total read attempts allowed per load (including the first).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(5),
+        }
+    }
+}
+
+/// What the retry policy decided about a failed read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Read the chunk again after sleeping `delay`.
+    Retry {
+        /// Backoff to wait before the retry (virtual in sim, real in the
+        /// threaded executor).
+        delay: Duration,
+    },
+    /// Give up on the chunk: quarantine it and err its interested queries.
+    Quarantine,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every failure quarantines).
+    pub fn no_retries() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The exponential backoff after `failed_attempts` failures (≥ 1).
+    pub fn backoff(&self, failed_attempts: u32) -> Duration {
+        let factor = 1u32 << failed_attempts.saturating_sub(1).min(16);
+        (self.backoff_base * factor).min(self.backoff_cap)
+    }
+
+    /// Decides what to do after a read of a chunk failed with `error` for
+    /// the `failed_attempts`-th time (1-based).
+    pub fn on_failure(&self, error: StoreError, failed_attempts: u32) -> FailureAction {
+        if !error.is_retryable() || failed_attempts >= self.max_attempts {
+            FailureAction::Quarantine
+        } else {
+            FailureAction::Retry {
+                delay: self.backoff(failed_attempts),
+            }
+        }
+    }
+}
 
 /// Aggregate counters of one scheduler's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,6 +149,10 @@ pub struct IoSchedStats {
     pub bursts: u64,
     /// Chunks evicted while admitting loads.
     pub evictions: u64,
+    /// Failed reads the retry policy sent back to the device.
+    pub load_retries: u64,
+    /// Loads given up on (permanent error or retry budget exhausted).
+    pub loads_failed: u64,
 }
 
 /// One load the scheduler has submitted to the device: the decision plus
@@ -89,6 +162,9 @@ struct Outstanding {
     decision: LoadDecision,
     ticket: u64,
     epoch: u64,
+    /// Device reads of this load that have failed so far (retries keep the
+    /// load — and its page reservation — in flight).
+    failed_attempts: u32,
 }
 
 /// Keeps up to `max_outstanding` chunk loads in flight against one [`Abm`].
@@ -164,6 +240,7 @@ impl IoScheduler {
                 decision: plan.decision,
                 ticket: plan.ticket,
                 epoch: plan.epoch,
+                failed_attempts: 0,
             });
             self.stats.loads_issued += 1;
             self.stats.evictions += plan.evicted.len() as u64;
@@ -223,6 +300,47 @@ impl IoScheduler {
                 None
             }
         }
+    }
+
+    /// Reports that the device read of `(chunk, ticket)` failed with
+    /// `error`, and decides — under `retry` — whether to read it again.
+    ///
+    /// On [`FailureAction::Retry`] the load (and its page reservation)
+    /// stays in flight: the driver sleeps the returned backoff and
+    /// resubmits the same plan; the attempt counter advances so the budget
+    /// is bounded.  On [`FailureAction::Quarantine`] the load is aborted in
+    /// the ABM (reservation released, chunk plannable again) and dropped
+    /// from the in-flight set; the caller quarantines the chunk and errs
+    /// its interested queries.  A stale `(chunk, ticket)` — the load was
+    /// cancelled while its read was failing — reports `Quarantine` without
+    /// touching anything, like [`IoScheduler::commit`] dropping a stale
+    /// completion.
+    pub fn fail(
+        &mut self,
+        abm: &mut Abm,
+        chunk: ChunkId,
+        ticket: u64,
+        error: StoreError,
+        retry: &RetryPolicy,
+    ) -> FailureAction {
+        let Some(idx) = self
+            .outstanding
+            .iter()
+            .position(|o| o.decision.chunk == chunk && o.ticket == ticket)
+        else {
+            return FailureAction::Quarantine;
+        };
+        self.outstanding[idx].failed_attempts += 1;
+        let action = retry.on_failure(error, self.outstanding[idx].failed_attempts);
+        match action {
+            FailureAction::Retry { .. } => self.stats.load_retries += 1,
+            FailureAction::Quarantine => {
+                self.outstanding.remove(idx);
+                abm.fail_load(chunk, ticket);
+                self.stats.loads_failed += 1;
+            }
+        }
+        action
     }
 
     /// Forgets the outstanding load of `chunk` after the ABM aborted it
@@ -317,6 +435,61 @@ mod tests {
             seq.complete_load();
             sched.complete(&mut pipe, plan.decision.chunk);
         }
+    }
+
+    #[test]
+    fn failed_reads_retry_then_quarantine() {
+        let mut abm = abm(8, 4);
+        let cols = abm.state().model().all_columns();
+        abm.register_query("q", ScanRanges::full(8), cols, SimTime::ZERO);
+        let mut sched = IoScheduler::new(1);
+        let mut plans = Vec::new();
+        sched.plan(&mut abm, SimTime::ZERO, &mut plans);
+        let (chunk, ticket) = (plans[0].decision.chunk, plans[0].ticket);
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        // Two transient failures retry (with growing backoff), keeping the
+        // load and its reservation in flight...
+        let FailureAction::Retry { delay: d1 } =
+            sched.fail(&mut abm, chunk, ticket, StoreError::Transient, &retry)
+        else {
+            panic!("first failure must retry")
+        };
+        let FailureAction::Retry { delay: d2 } =
+            sched.fail(&mut abm, chunk, ticket, StoreError::TimedOut, &retry)
+        else {
+            panic!("second failure must retry")
+        };
+        assert!(d2 >= d1, "backoff must not shrink");
+        assert_eq!(sched.in_flight(), 1);
+        assert_eq!(abm.state().num_inflight(), 1);
+        // ...the third failure exhausts the budget: the load is aborted and
+        // its pages return to the pool.
+        assert_eq!(
+            sched.fail(&mut abm, chunk, ticket, StoreError::Transient, &retry),
+            FailureAction::Quarantine
+        );
+        assert_eq!(sched.in_flight(), 0);
+        assert_eq!(abm.state().num_inflight(), 0);
+        assert_eq!(abm.state().reserved_pages(), 0);
+        assert_eq!(sched.stats().load_retries, 2);
+        assert_eq!(sched.stats().loads_failed, 1);
+        // A permanent error quarantines immediately, no budget consulted.
+        let mut more = Vec::new();
+        sched.plan(&mut abm, SimTime::ZERO, &mut more);
+        let (c2, t2) = (more[0].decision.chunk, more[0].ticket);
+        assert_eq!(
+            sched.fail(&mut abm, c2, t2, StoreError::Permanent, &retry),
+            FailureAction::Quarantine
+        );
+        // A stale (chunk, ticket) is ignored.
+        assert_eq!(
+            sched.fail(&mut abm, c2, t2, StoreError::Transient, &retry),
+            FailureAction::Quarantine
+        );
+        assert_eq!(sched.stats().loads_failed, 2);
     }
 
     #[test]

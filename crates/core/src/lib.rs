@@ -70,6 +70,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// The data plane has a real failure path now: faults are values
+// (`StoreError` / `ScanError`), not panics.  Non-test code must not
+// unwrap — propagate, quarantine, or document the invariant via expect.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod abm;
 pub mod bitset;
@@ -87,11 +91,13 @@ pub mod threaded;
 pub use abm::{Abm, AbmState, BufferedChunk, InflightLoad, LoadDecision};
 pub use colset::ColSet;
 pub use cscan::CScanPlan;
-pub use iosched::{IoSchedStats, IoScheduler, SimIoBackend};
+pub use iosched::{FailureAction, IoSchedStats, IoScheduler, RetryPolicy, SimIoBackend};
 pub use model::{StorageKind, TableModel};
 pub use policy::{AttachPolicy, ElevatorPolicy, NormalPolicy, Policy, PolicyKind, RelevancePolicy};
 pub use query::{QueryId, QueryState};
-pub use session::{ChunkRelease, PinnedChunk, ScanSession, SimScanServer, SimScanSession};
+pub use session::{
+    ChunkRelease, PinnedChunk, ScanError, ScanSession, SimScanServer, SimScanSession,
+};
 
 // Re-export the identifiers that appear throughout the public API.
 pub use cscan_storage::{ChunkId, ColumnId, ScanRanges};

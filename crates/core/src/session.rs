@@ -36,16 +36,44 @@
 //! tests assert the counter stays zero, which catches pipelines that
 //! silently discard delivered data.
 
-use crate::abm::Abm;
+use crate::abm::{Abm, LoadPlan};
 use crate::cscan::CScanPlan;
+use crate::iosched::{FailureAction, RetryPolicy};
 use crate::policy::PolicyKind;
 use crate::query::QueryId;
 use crate::AbmState;
 use crate::TableModel;
 use cscan_simdisk::{SimDuration, SimTime};
-use cscan_storage::{ChunkId, ChunkPayload, ColumnId};
+use cscan_storage::{ChunkId, ChunkPayload, ColumnId, FaultConfig, FaultOutcome, StoreError};
 use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Why a scan cannot continue: a chunk the query needs failed for good.
+///
+/// Delivered when a chunk's load exhausted its retry budget or failed
+/// permanently — the chunk is quarantined, the query's registration is
+/// closed, and every further [`ScanSession::next_chunk`] call reports this
+/// error.  Queries not interested in the failed chunk are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanError {
+    /// The chunk that could not be delivered.
+    pub chunk: ChunkId,
+    /// The final storage error (after retries, if it was retryable).
+    pub cause: StoreError,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scan failed: {:?} is unreadable ({})",
+            self.chunk, self.cause
+        )
+    }
+}
+
+impl std::error::Error for ScanError {}
 
 /// The backend half of a [`PinnedChunk`]: how the pin is returned to the
 /// owning server.  One releaser is created per session and shared by all
@@ -149,11 +177,14 @@ impl Drop for PinnedChunk {
 /// on its behalf, and frees its frame pins as outstanding [`PinnedChunk`]s
 /// drop.
 pub trait ScanSession {
-    /// Delivers the next chunk in ABM-chosen order, or `None` when the scan
-    /// has delivered everything (or was detached).  The threaded
+    /// Delivers the next chunk in ABM-chosen order, `Ok(None)` when the
+    /// scan has delivered everything (or was detached), or `Err` when a
+    /// chunk this query needs failed permanently (quarantined after retries
+    /// or a non-retryable storage error).  After an error the session is
+    /// closed: further calls keep returning the same error.  The threaded
     /// implementation blocks; the sim shim synchronously advances virtual
     /// time.
-    fn next_chunk(&mut self) -> Option<PinnedChunk>;
+    fn next_chunk(&mut self) -> Result<Option<PinnedChunk>, ScanError>;
 
     /// Number of chunks the scan still needs (0 once finished or detached).
     fn remaining_chunks(&self) -> u32;
@@ -166,12 +197,106 @@ pub trait ScanSession {
 // The deterministic, metadata-only front-end.
 // ----------------------------------------------------------------------
 
+/// Fault-injection state of a [`SimScanServer`], present only when enabled
+/// via [`SimScanServer::with_fault_injection`].
+struct SimFaultState {
+    config: FaultConfig,
+    retry: RetryPolicy,
+    /// Per-chunk read-attempt counters: retries reroll the fault dice.
+    attempts: HashMap<ChunkId, u64>,
+    /// Chunks that failed for good; the planner never selects them again
+    /// because every interested query is closed when they enter.
+    quarantined: HashSet<ChunkId>,
+    /// Pending per-query errors, delivered on the next `next_chunk` call.
+    errors: HashMap<QueryId, ScanError>,
+    load_retries: u64,
+    load_faults: u64,
+    chunks_quarantined: u64,
+    queries_erred: u64,
+}
+
 /// Shared state of a [`SimScanServer`]: the ABM plus a virtual clock.
 struct SimHub {
     abm: Abm,
     now: SimTime,
     io_cost_per_page: SimDuration,
     unconsumed_drops: u64,
+    faults: Option<SimFaultState>,
+}
+
+impl SimHub {
+    /// Removes and returns the pending error for `q`, if any.
+    fn take_error(&mut self, q: QueryId) -> Option<ScanError> {
+        self.faults.as_mut()?.errors.remove(&q)
+    }
+
+    /// Executes one planned load against the (possibly faulty) virtual
+    /// disk: advances the clock by the read cost per attempt, retries
+    /// transient faults with virtual-time backoff, and quarantines the
+    /// chunk — failing every interested query — once the retry budget is
+    /// spent or the fault is permanent.
+    fn drive_load(&mut self, plan: LoadPlan) {
+        let cost = self.io_cost_per_page.mul_f64(plan.pages as f64);
+        let (chunk, ticket, epoch) = (plan.decision.chunk, plan.ticket, plan.epoch);
+        let Some(faults) = self.faults.as_ref() else {
+            self.now += cost;
+            let _ = self.abm.commit_load(chunk, ticket, epoch);
+            return;
+        };
+        let config = faults.config.clone();
+        let retry = faults.retry;
+        let mut failed_attempts = 0u32;
+        let fatal = loop {
+            self.now += cost;
+            let faults = self.faults.as_mut().expect("fault state checked above");
+            let counter = faults.attempts.entry(chunk).or_insert(0);
+            let attempt = *counter;
+            *counter += 1;
+            match config.outcome(chunk, attempt) {
+                // The sim is metadata-only — there are no payload bytes to
+                // flip — so a Corrupt outcome reads clean here.  (The
+                // threaded front-end is where corruption breaks checksums.)
+                FaultOutcome::Success | FaultOutcome::Corrupt => {
+                    let _ = self.abm.commit_load(chunk, ticket, epoch);
+                    return;
+                }
+                FaultOutcome::Fail(error) => {
+                    failed_attempts += 1;
+                    faults.load_faults += 1;
+                    match retry.on_failure(error, failed_attempts) {
+                        FailureAction::Retry { delay } => {
+                            faults.load_retries += 1;
+                            self.now += SimDuration::from_micros(delay.as_micros() as u64);
+                        }
+                        FailureAction::Quarantine => break error,
+                    }
+                }
+            }
+        };
+        // Out of retries (or the fault was permanent): abort the load so
+        // its reservation is released, quarantine the chunk, and close
+        // every query that still needs it with a pending error.  Removing
+        // their interest is what stops the planner from selecting the
+        // chunk again — unaffected queries keep running normally.
+        self.abm.fail_load(chunk, ticket);
+        let victims: Vec<QueryId> = self.abm.state().interested_queries(chunk).collect();
+        let faults = self.faults.as_mut().expect("fault state checked above");
+        faults.quarantined.insert(chunk);
+        faults.chunks_quarantined += 1;
+        for q in &victims {
+            faults.errors.insert(
+                *q,
+                ScanError {
+                    chunk,
+                    cause: fatal,
+                },
+            );
+            faults.queries_erred += 1;
+        }
+        for q in victims {
+            self.abm.finish_query(q);
+        }
+    }
 }
 
 /// The deterministic session front-end: the same ABM scheduling code as the
@@ -202,8 +327,61 @@ impl SimScanServer {
                 now: SimTime::ZERO,
                 io_cost_per_page: SimDuration::from_micros(50),
                 unconsumed_drops: 0,
+                faults: None,
             })),
         }
+    }
+
+    /// Enables deterministic fault injection on the virtual disk: every
+    /// chunk read rolls `config`'s seeded dice, transient failures are
+    /// retried per `retry` (backoff advances virtual time), and exhausted
+    /// chunks are quarantined, erring the queries that need them.
+    pub fn with_fault_injection(self, config: FaultConfig, retry: RetryPolicy) -> Self {
+        self.hub.lock().faults = Some(SimFaultState {
+            config,
+            retry,
+            attempts: HashMap::new(),
+            quarantined: HashSet::new(),
+            errors: HashMap::new(),
+            load_retries: 0,
+            load_faults: 0,
+            chunks_quarantined: 0,
+            queries_erred: 0,
+        });
+        self
+    }
+
+    /// Injected read failures that were retried.
+    pub fn load_retries(&self) -> u64 {
+        self.hub
+            .lock()
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.load_retries)
+    }
+
+    /// Injected read failures observed (retried or fatal).
+    pub fn load_faults(&self) -> u64 {
+        self.hub.lock().faults.as_ref().map_or(0, |f| f.load_faults)
+    }
+
+    /// Chunks quarantined after exhausting their retry budget.
+    pub fn chunks_quarantined(&self) -> u64 {
+        self.hub
+            .lock()
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.chunks_quarantined)
+    }
+
+    /// Queries closed with a [`ScanError`] because a needed chunk was
+    /// quarantined.
+    pub fn queries_erred(&self) -> u64 {
+        self.hub
+            .lock()
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.queries_erred)
     }
 
     /// Attaches a scan, returning its session.
@@ -227,6 +405,7 @@ impl SimScanServer {
             limit: plan.limit_chunks,
             delivered: 0,
             detached: false,
+            error: None,
         }
     }
 
@@ -275,6 +454,7 @@ pub struct SimScanSession {
     limit: Option<u32>,
     delivered: u32,
     detached: bool,
+    error: Option<ScanError>,
 }
 
 impl SimScanSession {
@@ -285,43 +465,48 @@ impl SimScanSession {
 }
 
 impl ScanSession for SimScanSession {
-    fn next_chunk(&mut self) -> Option<PinnedChunk> {
+    fn next_chunk(&mut self) -> Result<Option<PinnedChunk>, ScanError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
         if self.detached {
-            return None;
+            return Ok(None);
         }
         if self.limit.is_some_and(|l| self.delivered >= l) {
             // LIMIT-style early termination: detach mid-scan, aborting any
             // load this query was the last interested consumer of.
             self.detach();
-            return None;
+            return Ok(None);
         }
         let mut finished = false;
-        let pinned = {
+        let outcome = {
             let mut hub = self.hub.lock();
             loop {
+                // The error check must come first: a quarantined chunk has
+                // already *closed* this query's ABM registration, so the
+                // finished/acquire calls below would panic on it.
+                if let Some(error) = hub.take_error(self.query) {
+                    break Err(error);
+                }
                 if hub.abm.is_query_finished(self.query) {
                     finished = true;
-                    break None;
+                    break Ok(None);
                 }
                 let now = hub.now;
                 if let Some(chunk) = hub.abm.acquire_chunk(self.query, now) {
                     self.delivered += 1;
-                    break Some(PinnedChunk::new(
+                    break Ok(Some(PinnedChunk::new(
                         self.query,
                         chunk,
                         ChunkPayload::Missing,
                         Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
-                    ));
+                    )));
                 }
                 // Drive the "disk" one sequential main-loop step: plan a
-                // load, advance the virtual clock by its read time, commit.
+                // load, advance the virtual clock by its read time (plus
+                // any injected retries/backoff), commit or quarantine.
                 match hub.abm.plan_load(now) {
-                    Some(plan) => {
-                        let cost = hub.io_cost_per_page.mul_f64(plan.pages as f64);
-                        hub.now = now + cost;
-                        let (chunk, ticket, epoch) = (plan.decision.chunk, plan.ticket, plan.epoch);
-                        let _ = hub.abm.commit_load(chunk, ticket, epoch);
-                    }
+                    Some(plan) => hub.drive_load(plan),
                     None => {
                         // Nothing plannable while we still need data: the
                         // buffer is full of chunks other sessions hold or
@@ -338,10 +523,22 @@ impl ScanSession for SimScanSession {
                 }
             }
         };
-        if finished {
-            self.detach();
+        match outcome {
+            Ok(pinned) => {
+                if finished {
+                    self.detach();
+                }
+                Ok(pinned)
+            }
+            Err(error) => {
+                // The hub already closed the query's registration when it
+                // quarantined the chunk; just mark the session closed and
+                // keep the error sticky for repeat calls.
+                self.error = Some(error);
+                self.detached = true;
+                Err(error)
+            }
         }
-        pinned
     }
 
     fn remaining_chunks(&self) -> u32 {
@@ -385,7 +582,7 @@ mod tests {
 
     fn drain(session: &mut SimScanSession) -> Vec<ChunkId> {
         let mut order = Vec::new();
-        while let Some(pin) = session.next_chunk() {
+        while let Some(pin) = session.next_chunk().expect("fault-free scan") {
             order.push(pin.chunk());
             pin.complete();
         }
@@ -408,7 +605,10 @@ mod tests {
             sorted.dedup();
             assert_eq!(sorted.len(), 12, "{policy}: every chunk exactly once");
             assert_eq!(s.remaining_chunks(), 0);
-            assert!(s.next_chunk().is_none(), "{policy}: sessions stay drained");
+            assert!(
+                s.next_chunk().expect("fault-free scan").is_none(),
+                "{policy}: sessions stay drained"
+            );
             assert_eq!(server.unconsumed_drops(), 0);
         }
     }
@@ -425,7 +625,7 @@ mod tests {
             // Interleave a second session mid-way through the first.
             let mut order = Vec::new();
             for _ in 0..6 {
-                let pin = a.next_chunk().unwrap();
+                let pin = a.next_chunk().unwrap().unwrap();
                 order.push(("a", pin.chunk()));
                 pin.complete();
             }
@@ -434,7 +634,7 @@ mod tests {
                 ScanRanges::full(16),
                 model.all_columns(),
             ));
-            while let Some(pin) = b.next_chunk() {
+            while let Some(pin) = b.next_chunk().unwrap() {
                 order.push(("b", pin.chunk()));
                 pin.complete();
             }
@@ -456,7 +656,7 @@ mod tests {
             model.all_columns(),
         ));
         for _ in 0..8 {
-            a.next_chunk().unwrap().complete();
+            a.next_chunk().unwrap().unwrap().complete();
         }
         let mut b = server.attach(CScanPlan::new(
             "b",
@@ -502,10 +702,10 @@ mod tests {
             ScanRanges::full(4),
             model.all_columns(),
         ));
-        let pin = s.next_chunk().unwrap();
+        let pin = s.next_chunk().unwrap().unwrap();
         drop(pin); // silently dropped, not completed
         assert_eq!(server.unconsumed_drops(), 1);
-        let pin = s.next_chunk().unwrap();
+        let pin = s.next_chunk().unwrap().unwrap();
         pin.complete();
         assert_eq!(server.unconsumed_drops(), 1, "complete() is not counted");
         drain(&mut s);
@@ -519,7 +719,7 @@ mod tests {
             ScanRanges::full(6),
             model.all_columns(),
         ));
-        let pin = s.next_chunk().unwrap();
+        let pin = s.next_chunk().unwrap().unwrap();
         s.detach();
         // The pin outlives the session's registration; dropping it must not
         // panic and must leave the chunk evictable.
@@ -541,7 +741,150 @@ mod tests {
             ScanRanges::empty(),
             model.all_columns(),
         ));
-        assert!(s.next_chunk().is_none());
+        assert!(s.next_chunk().unwrap().is_none());
         assert_eq!(s.remaining_chunks(), 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_completion() {
+        // A 20% transient fault rate with the default retry budget: every
+        // chunk is still delivered, and the order is unchanged versus the
+        // fault-free run (retries are invisible to scheduling decisions).
+        let clean = {
+            let (server, model) = server(PolicyKind::Relevance, 16, 4);
+            let mut s = server.attach(CScanPlan::new(
+                "clean",
+                ScanRanges::full(16),
+                model.all_columns(),
+            ));
+            drain(&mut s)
+        };
+        for policy in PolicyKind::ALL {
+            let model = TableModel::nsm_uniform(16, 1_000, 16);
+            let server = SimScanServer::new(model.clone(), policy, 4 * 16).with_fault_injection(
+                FaultConfig::transient_only(0xD15C_FA11, 0.20),
+                RetryPolicy::default(),
+            );
+            let mut s = server.attach(CScanPlan::new(
+                "faulty",
+                ScanRanges::full(16),
+                model.all_columns(),
+            ));
+            let order = drain(&mut s);
+            assert_eq!(order.len(), 16, "{policy}: every chunk still delivered");
+            assert!(server.load_retries() > 0, "{policy}: faults were injected");
+            assert_eq!(server.chunks_quarantined(), 0);
+            assert_eq!(server.queries_erred(), 0);
+            if policy == PolicyKind::Relevance {
+                assert_eq!(order, clean, "retries must not change delivery order");
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_fault_errs_interested_query_only() {
+        // Chunk 3 always fails permanently.  A query that needs it gets a
+        // ScanError naming the chunk; a disjoint query finishes normally.
+        let model = TableModel::nsm_uniform(12, 1_000, 16);
+        let config = FaultConfig {
+            permanent_chunks: vec![3],
+            ..FaultConfig::default()
+        };
+        let server = SimScanServer::new(model.clone(), PolicyKind::Relevance, 4 * 16)
+            .with_fault_injection(config, RetryPolicy::default());
+        let mut doomed = server.attach(CScanPlan::new(
+            "doomed",
+            ScanRanges::single(0, 6),
+            model.all_columns(),
+        ));
+        let mut healthy = server.attach(CScanPlan::new(
+            "healthy",
+            ScanRanges::single(6, 12),
+            model.all_columns(),
+        ));
+        let error = loop {
+            match doomed.next_chunk() {
+                Ok(Some(pin)) => pin.complete(),
+                Ok(None) => panic!("the doomed query must err, not finish"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(error.chunk, ChunkId::new(3));
+        assert_eq!(error.cause, StoreError::Permanent);
+        assert_eq!(
+            doomed.next_chunk().unwrap_err(),
+            error,
+            "the error is sticky on repeat calls"
+        );
+        assert_eq!(
+            drain(&mut healthy).len(),
+            6,
+            "disjoint scans are unaffected"
+        );
+        assert_eq!(server.chunks_quarantined(), 1);
+        assert_eq!(server.queries_erred(), 1);
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = || {
+            let model = TableModel::nsm_uniform(24, 1_000, 16);
+            let server = SimScanServer::new(model.clone(), PolicyKind::Elevator, 6 * 16)
+                .with_fault_injection(
+                    FaultConfig::transient_only(42, 0.30),
+                    RetryPolicy::default(),
+                );
+            let mut s = server.attach(CScanPlan::new(
+                "det",
+                ScanRanges::full(24),
+                model.all_columns(),
+            ));
+            let order = drain(&mut s);
+            (order, server.load_retries(), server.now())
+        };
+        assert_eq!(run(), run(), "same seed, same retries, same virtual time");
+    }
+
+    #[test]
+    fn quarantine_shared_chunk_errs_every_interested_query() {
+        // Two overlapping scans both need chunk 2; when it is quarantined
+        // both receive the error, and the buffer pool is left clean.
+        let model = TableModel::nsm_uniform(8, 1_000, 16);
+        let config = FaultConfig {
+            permanent_chunks: vec![2],
+            ..FaultConfig::default()
+        };
+        let server = SimScanServer::new(model.clone(), PolicyKind::Attach, 4 * 16)
+            .with_fault_injection(config, RetryPolicy::no_retries());
+        let mut a = server.attach(CScanPlan::new(
+            "a",
+            ScanRanges::full(8),
+            model.all_columns(),
+        ));
+        let mut b = server.attach(CScanPlan::new(
+            "b",
+            ScanRanges::full(8),
+            model.all_columns(),
+        ));
+        let mut errs = 0;
+        for s in [&mut a, &mut b] {
+            loop {
+                match s.next_chunk() {
+                    Ok(Some(pin)) => pin.complete(),
+                    Ok(None) => break,
+                    Err(e) => {
+                        assert_eq!(e.chunk, ChunkId::new(2));
+                        errs += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(errs, 2, "both interested queries observe the failure");
+        assert_eq!(server.queries_erred(), 2);
+        assert_eq!(server.chunks_quarantined(), 1);
+        let hub = server.hub.lock();
+        assert_eq!(hub.abm.state().num_queries(), 0, "no query state leaks");
     }
 }

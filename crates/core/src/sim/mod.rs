@@ -424,7 +424,10 @@ impl<'a> Runner<'a> {
     /// start its stream's next one.
     fn finish_query(&mut self, now: SimTime, q: QueryId) {
         let active = self.active.remove(&q).expect("finishing unknown query");
-        let state = self.abm.finish_query(q);
+        let state = self
+            .abm
+            .finish_query(q)
+            .expect("the sim closes each query exactly once");
         // The detach may have cancelled in-flight loads this query was the
         // last interested consumer of; forget them in the scheduler so their
         // pending DiskDone events are recognized as stale.

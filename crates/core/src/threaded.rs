@@ -101,7 +101,7 @@
 //!     .build();
 //! let handle = server.cscan(CScanPlan::new("example", ScanRanges::full(16), model.all_columns()));
 //! let mut chunks = 0;
-//! while let Some(guard) = handle.next_chunk() {
+//! while let Some(guard) = handle.next_chunk().expect("no faults injected") {
 //!     // ... process guard.chunk() here ...
 //!     guard.complete();
 //!     chunks += 1;
@@ -112,13 +112,14 @@
 
 use crate::abm::{Abm, AbmState, CommitOutcome};
 use crate::cscan::CScanPlan;
+use crate::iosched::{FailureAction, RetryPolicy};
 use crate::model::TableModel;
 use crate::policy::PolicyKind;
 use crate::query::QueryId;
-use crate::session::{ChunkRelease, PinnedChunk, ScanSession};
+use crate::session::{ChunkRelease, PinnedChunk, ScanError, ScanSession};
 use cscan_bufman::{BufferPool, LruPolicy, PageKey, PoolStats};
 use cscan_simdisk::SimTime;
-use cscan_storage::{ChunkId, ChunkPayload, ChunkStore, ColumnId};
+use cscan_storage::{ChunkId, ChunkPayload, ChunkStore, ColumnId, StoreError};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
@@ -235,6 +236,14 @@ struct Hub {
     /// Ids of workers currently parked on their doorbell, most recently
     /// parked last (rings pop the most recent — warm caches first).
     parked: Vec<usize>,
+    /// Chunks whose loads failed for good (retry budget exhausted or a
+    /// permanent fault), with the final error.  The planner never keeps
+    /// selecting them: entering quarantine closes every interested query,
+    /// and later registrations are failed at plan time by the workers.
+    quarantined: HashMap<ChunkId, StoreError>,
+    /// Pending per-query errors, delivered by the next `next_chunk` call
+    /// of the query's handle.
+    errors: HashMap<QueryId, ScanError>,
 }
 
 impl Hub {
@@ -272,6 +281,22 @@ struct Shared {
     /// Pins dropped without [`PinnedChunk::complete`] — the silent-drop
     /// footgun, surfaced as a counter so tests can assert it stays zero.
     unconsumed_drops: AtomicU64,
+    /// Bounded-retry policy for failed chunk reads.
+    retry: RetryPolicy,
+    /// Read failures observed by the I/O workers (before retry).
+    load_faults: AtomicU64,
+    /// Failed reads that were retried (a subset of `load_faults`).
+    load_retries: AtomicU64,
+    /// Payloads rejected by checksum verification — at install on the
+    /// worker, or at decode-on-first-pin on the consumer.
+    checksum_failures: AtomicU64,
+    /// Panics caught unwinding out of payload work (materialize or decode);
+    /// each became a failed load instead of a dead thread.
+    worker_panics: AtomicU64,
+    /// Chunks moved into quarantine.
+    chunks_quarantined: AtomicU64,
+    /// Queries closed with a [`ScanError`].
+    queries_erred: AtomicU64,
     lock_held: LockHoldHistogram,
 }
 
@@ -344,6 +369,7 @@ pub struct ScanServerBuilder {
     io_cost_per_page: Duration,
     io_threads: usize,
     store: Option<Arc<dyn ChunkStore>>,
+    retry: RetryPolicy,
 }
 
 impl ScanServerBuilder {
@@ -391,6 +417,14 @@ impl ScanServerBuilder {
         self
     }
 
+    /// Sets the bounded-retry policy for failed chunk reads (default:
+    /// [`RetryPolicy::default`] — 8 attempts with exponential backoff).
+    /// Retries sleep real time on the I/O worker, with the hub unlocked.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Starts the I/O worker pool and returns the running server.
     pub fn build(self) -> ScanServer {
         let capacity = self
@@ -411,6 +445,8 @@ impl ScanServerBuilder {
                 slots: HashMap::new(),
                 doorbells: (0..workers).map(|_| Arc::new(Condvar::new())).collect(),
                 parked: Vec::with_capacity(workers),
+                quarantined: HashMap::new(),
+                errors: HashMap::new(),
             }),
             store: self.store,
             is_dsm,
@@ -423,6 +459,13 @@ impl ScanServerBuilder {
             decode_nanos: AtomicU64::new(0),
             values_decoded: AtomicU64::new(0),
             unconsumed_drops: AtomicU64::new(0),
+            retry: self.retry,
+            load_faults: AtomicU64::new(0),
+            load_retries: AtomicU64::new(0),
+            checksum_failures: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            chunks_quarantined: AtomicU64::new(0),
+            queries_erred: AtomicU64::new(0),
             lock_held: LockHoldHistogram::new(),
         });
         let io_threads = (0..workers)
@@ -489,6 +532,10 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
                 .iter()
                 .collect()
         });
+        // A quarantined chunk can still be planned when a query registers
+        // *after* the chunk failed for good; remember that so the store is
+        // never touched for it again.
+        let already_quarantined = hub.quarantined.get(&plan.decision.chunk).copied();
         // Wake chaining: if more loads are plannable, the next parked worker
         // will find one (and chain onwards); if not, it re-parks.  This fans
         // a burst out across the pool without a notify_all stampede.
@@ -497,18 +544,63 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         if let Some(bell) = chain {
             bell.notify_one();
         }
+        if let Some(cause) = already_quarantined {
+            quarantine_chunk(&shared, plan.decision.chunk, plan.ticket, cause);
+            continue;
+        }
         // Perform the "disk read" without holding the lock so queries keep
         // consuming already-resident chunks (and other workers keep planning
         // and committing) meanwhile.  Materializing the payload *is* the
-        // read; the sleep models seek/transfer time.
-        let payload = match &shared.store {
-            Some(store) => store.materialize(plan.decision.chunk, dsm_cols.as_deref()),
-            None => ChunkPayload::Missing,
+        // read; the sleep models seek/transfer time.  Failed reads are
+        // retried in place — the worker keeps the plan's ticket and
+        // reservation across attempts, sleeping the backoff with the hub
+        // unlocked — and a spent retry budget (or a permanent fault)
+        // quarantines the chunk instead of ever panicking.
+        let mut failed_attempts = 0u32;
+        let payload = loop {
+            let result = read_payload(&shared, plan.decision.chunk, dsm_cols.as_deref());
+            let nanos = plan.pages.saturating_mul(shared.io_cost_per_page_nanos);
+            if nanos > 0 {
+                std::thread::sleep(Duration::from_nanos(nanos));
+            }
+            match result {
+                Ok(payload) => break Some(payload),
+                Err(error) => {
+                    shared.load_faults.fetch_add(1, Ordering::Relaxed);
+                    failed_attempts += 1;
+                    match shared.retry.on_failure(error, failed_attempts) {
+                        FailureAction::Retry { delay } => {
+                            shared.load_retries.fetch_add(1, Ordering::Relaxed);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            // The world may have moved on mid-retry: if the
+                            // last interested query detached, the load was
+                            // already aborted — stop retrying a dead ticket.
+                            let live = shared
+                                .lock()
+                                .abm
+                                .state()
+                                .inflight_ticket(plan.decision.chunk)
+                                == Some(plan.ticket);
+                            if !live {
+                                shared.loads_cancelled.fetch_add(1, Ordering::Relaxed);
+                                break None;
+                            }
+                        }
+                        FailureAction::Quarantine => {
+                            quarantine_chunk(&shared, plan.decision.chunk, plan.ticket, error);
+                            break None;
+                        }
+                    }
+                }
+            }
         };
-        let nanos = plan.pages.saturating_mul(shared.io_cost_per_page_nanos);
-        if nanos > 0 {
-            std::thread::sleep(Duration::from_nanos(nanos));
-        }
+        let Some(payload) = payload else {
+            // The failure was fully handled (quarantine or cancelled load);
+            // go straight back to planning.
+            continue;
+        };
         let mut hub = shared.lock();
         wake.clear();
         // Split the borrow: the commit outcome borrows the ABM's wake
@@ -532,17 +624,21 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         if committed {
             // Install the payload into the chunk's frame.  For DSM a chunk
             // may already be partially resident: union the column sets
-            // (sharing the existing vectors — no copy).
+            // (sharing the existing vectors — no copy).  The chunk-granular
+            // pool has a frame per chunk, so fetch_and_pin cannot fail; if
+            // the impossible happens anyway, skip the install (consumers see
+            // a Missing payload) rather than panicking under the hub lock.
             let key = frame_key(plan.decision.chunk);
-            hub.pool
-                .fetch_and_pin(key)
-                .expect("the chunk-granular frame pool can never run out of frames");
-            let merged = match hub.pool.payload(key) {
-                Some(existing) => existing.merged_with(&payload),
-                None => payload,
-            };
-            hub.pool.install_payload(key, merged);
-            hub.pool.unpin(key, false);
+            if hub.pool.fetch_and_pin(key).is_some() {
+                let merged = match hub.pool.payload(key) {
+                    Some(existing) => existing.merged_with(&payload),
+                    None => payload,
+                };
+                hub.pool.install_payload(key, merged);
+                hub.pool.unpin(key, false);
+            } else {
+                debug_assert!(false, "the chunk-granular frame pool ran out of frames");
+            }
         }
         drop(hub);
         for slot in &wake {
@@ -552,6 +648,80 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         // the scheduling inputs (the chunk is evictable, its queries less
         // starved), and if that enables further loads the chain above keeps
         // the rest of the pool fed.
+    }
+}
+
+/// One read attempt: materialize the chunk's payload and verify its
+/// checksums (the install-time integrity point — torn bytes never enter the
+/// buffer pool).  All payload work runs under `catch_unwind`, so a
+/// panicking store or codec becomes a failed read on a healthy worker,
+/// never a dead thread — and since the hub lock is not held here, a panic
+/// can never wedge it either.
+fn read_payload(
+    shared: &Shared,
+    chunk: ChunkId,
+    cols: Option<&[ColumnId]>,
+) -> Result<ChunkPayload, StoreError> {
+    let Some(store) = &shared.store else {
+        return Ok(ChunkPayload::Missing);
+    };
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let payload = store.materialize(chunk, cols)?;
+        payload.verify_checksums()?;
+        Ok(payload)
+    }));
+    match attempt {
+        Ok(result) => {
+            if matches!(result, Err(StoreError::Corrupted)) {
+                shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            result
+        }
+        Err(_panic) => {
+            shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+            // Without knowing what broke, retrying a panicking data plane
+            // is gambling; fail permanently so the chunk quarantines and
+            // its queries get a clean error instead of repeated panics.
+            Err(StoreError::Permanent)
+        }
+    }
+}
+
+/// Moves `chunk` into quarantine: aborts the failed load (releasing its
+/// page reservation), records the final error for every query that still
+/// needs the chunk, closes those queries' registrations — which is what
+/// stops the planner from selecting the chunk again — and wakes their
+/// blocked consumers so they observe the error immediately.  Queries not
+/// interested in the chunk are untouched.
+fn quarantine_chunk(shared: &Shared, chunk: ChunkId, ticket: u64, cause: StoreError) {
+    let mut wake: Vec<Arc<Condvar>> = Vec::new();
+    let mut hub = shared.lock();
+    if !hub.abm.fail_load(chunk, ticket) {
+        // The plan went stale mid-read: its last interested query detached
+        // and the load was already aborted.  Nothing to fail.
+        shared.loads_cancelled.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if hub.quarantined.insert(chunk, cause).is_none() {
+        shared.chunks_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+    let error = ScanError { chunk, cause };
+    let victims: Vec<QueryId> = hub.abm.state().interested_queries(chunk).collect();
+    for q in victims {
+        hub.errors.insert(q, error);
+        shared.queries_erred.fetch_add(1, Ordering::Relaxed);
+        hub.abm.finish_query(q);
+        if let Some(slot) = hub.slots.remove(&q) {
+            wake.push(slot);
+        }
+    }
+    let bell = hub.pop_doorbell();
+    drop(hub);
+    for slot in wake {
+        slot.notify_all();
+    }
+    if let Some(bell) = bell {
+        bell.notify_one();
     }
 }
 
@@ -573,6 +743,7 @@ impl ScanServer {
             io_cost_per_page: Duration::from_micros(50),
             io_threads: 1,
             store: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -608,6 +779,7 @@ impl ScanServer {
             limit: plan.limit_chunks,
             delivered: AtomicU32::new(0),
             finished: AtomicBool::new(false),
+            error: Mutex::new(None),
         }
     }
 
@@ -670,6 +842,40 @@ impl ScanServer {
         self.shared.unconsumed_drops.load(Ordering::Relaxed)
     }
 
+    /// Read failures observed by the I/O workers (before retry).
+    pub fn load_faults(&self) -> u64 {
+        self.shared.load_faults.load(Ordering::Relaxed)
+    }
+
+    /// Failed reads that were retried (a subset of [`ScanServer::load_faults`]).
+    pub fn load_retries(&self) -> u64 {
+        self.shared.load_retries.load(Ordering::Relaxed)
+    }
+
+    /// Payloads rejected by checksum verification (at install or at
+    /// decode-on-first-pin).
+    pub fn checksum_failures(&self) -> u64 {
+        self.shared.checksum_failures.load(Ordering::Relaxed)
+    }
+
+    /// Panics caught unwinding out of payload work; each became a failed
+    /// load instead of a dead worker.
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Chunks quarantined after exhausting their retry budget (or failing
+    /// permanently).
+    pub fn chunks_quarantined(&self) -> u64 {
+        self.shared.chunks_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Queries closed with a [`ScanError`] because a needed chunk was
+    /// quarantined.
+    pub fn queries_erred(&self) -> u64 {
+        self.shared.queries_erred.load(Ordering::Relaxed)
+    }
+
     /// Counters of the data plane's frame pool (fetches, pins, evictions).
     pub fn frame_pool_stats(&self) -> PoolStats {
         self.shared.lock().pool.stats()
@@ -714,6 +920,9 @@ pub struct CScanHandle {
     /// Chunks delivered so far (compared against `limit`).
     delivered: AtomicU32,
     finished: AtomicBool,
+    /// Sticky scan failure: once a needed chunk is quarantined, every
+    /// further `next_chunk` call returns this same error.
+    error: Mutex<Option<ScanError>>,
 }
 
 impl CScanHandle {
@@ -724,100 +933,183 @@ impl CScanHandle {
 
     /// Blocks until the next chunk is available and returns it pinned — the
     /// payload views stay valid (and the frame unevictable) until the pin
-    /// is dropped — or `None` when the scan has delivered everything, hit
-    /// its chunk limit, or the server shut down.  This is `selectChunk` of
-    /// Figure 3.
+    /// is dropped — `Ok(None)` when the scan has delivered everything, hit
+    /// its chunk limit, or the server shut down, or `Err` when a chunk this
+    /// query needs failed for good (quarantined after bounded retries).
+    /// The error is sticky: further calls keep returning it.  This is
+    /// `selectChunk` of Figure 3.
     ///
     /// If the chunk's payload arrived compressed and no earlier pin decoded
     /// it, this call performs the once-only decode — *after* releasing the
     /// hub lock — before returning; the decompression time is accounted as
-    /// pin-wait (and separately as [`ScanServer::decode_time`]).
-    pub fn next_chunk(&self) -> Option<PinnedChunk> {
-        let mut hub = self.shared.lock();
-        let (chunk, payload) = loop {
-            // The chunk-limit check and the delivery count bump both happen
-            // under the hub lock, so consumers sharing a handle serialize
-            // here and a LIMIT-n scan delivers exactly n chunks.
-            if let Some(limit) = self.limit {
-                if self.delivered.load(Ordering::Relaxed) >= limit {
-                    // LIMIT-style early termination: detach mid-scan,
-                    // aborting loads in flight solely on this query's
-                    // behalf.
-                    drop(hub);
-                    self.finish();
-                    return None;
-                }
-            }
-            match hub.abm.state().try_query(self.query) {
-                Some(q) if !q.is_finished() => {}
-                // Finished, or already detached by `finish`.
-                _ => return None,
-            }
-            match hub.abm.acquire_chunk(self.query, self.shared.now()) {
-                Some(chunk) => {
-                    // Pin the chunk's frame and carry its payload out of the
-                    // lock (payload clones are refcount bumps; decoding
-                    // happens on the consumer's side, never under the hub).
-                    let key = frame_key(chunk);
-                    let pinned = hub.pool.pin(key);
-                    assert!(pinned, "delivered {chunk:?} has no resident frame");
-                    let payload = match hub.pool.payload(key) {
-                        Some(p) => p.clone(),
-                        None => ChunkPayload::Missing,
-                    };
-                    self.delivered.fetch_add(1, Ordering::Relaxed);
-                    break (chunk, payload);
-                }
-                None => {
-                    // The scheduler may now see this query as starved: ring
-                    // one parked worker.  (Notifying while holding the hub
-                    // is safe — the worker re-checks under the lock.)
-                    if let Some(bell) = hub.pop_doorbell() {
-                        bell.notify_one();
-                    }
-                    if self.shared.shutdown.load(Ordering::Acquire) {
-                        return None;
-                    }
-                    // waitForChunk on this query's own slot: only a commit
-                    // that makes a chunk available to *this* query rings it.
-                    let slot = hub.slots.get(&self.query).map(Arc::clone)?;
-                    let waited = Instant::now();
-                    hub.wait_on(&slot, Duration::from_millis(50));
-                    self.shared
-                        .pin_wait_nanos
-                        .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                }
-            }
-        };
-        drop(hub);
-        // Decode-on-first-pin: if the committed payload is still encoded
-        // bytes, pay the decompression CPU cost here — outside the hub lock
-        // (the codec debug-asserts that), shared via the column cache so
-        // later pins of the same buffered chunk skip straight past this.
-        if !payload.is_fully_decoded() {
-            let started = Instant::now();
-            let decoded = payload.decode_all();
-            let nanos = started.elapsed().as_nanos() as u64;
-            // The consumer stalled for `nanos` either way: as the decoding
-            // winner, or blocked on another pin's in-flight decode of the
-            // same columns (decode_all returns 0 for the loser).  Both are
-            // pin-wait; only the winner's work counts as decode output.
-            self.shared
-                .pin_wait_nanos
-                .fetch_add(nanos, Ordering::Relaxed);
-            if decoded > 0 {
-                self.shared.decode_nanos.fetch_add(nanos, Ordering::Relaxed);
-                self.shared
-                    .values_decoded
-                    .fetch_add(decoded as u64, Ordering::Relaxed);
-            }
+    /// pin-wait (and separately as [`ScanServer::decode_time`]).  A decode
+    /// that fails checksum verification rejects the delivery: the torn
+    /// frame is dropped and the chunk re-fetched from the store.
+    pub fn next_chunk(&self) -> Result<Option<PinnedChunk>, ScanError> {
+        if let Some(error) = *self.error.lock() {
+            return Err(error);
         }
-        Some(PinnedChunk::new(
-            self.query,
-            chunk,
-            payload,
-            Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
-        ))
+        let mut decode_failures = 0u32;
+        'deliver: loop {
+            let mut hub = self.shared.lock();
+            let (chunk, payload) = loop {
+                // A quarantined chunk closed this query's registration and
+                // parked its error here; deliver it before the registration
+                // lookups below (which would report a finished scan).
+                if let Some(error) = hub.errors.remove(&self.query) {
+                    drop(hub);
+                    return Err(self.fail(error));
+                }
+                // The chunk-limit check and the delivery count bump both
+                // happen under the hub lock, so consumers sharing a handle
+                // serialize here and a LIMIT-n scan delivers exactly n.
+                if let Some(limit) = self.limit {
+                    if self.delivered.load(Ordering::Relaxed) >= limit {
+                        // LIMIT-style early termination: detach mid-scan,
+                        // aborting loads in flight solely on this query's
+                        // behalf.
+                        drop(hub);
+                        self.finish();
+                        return Ok(None);
+                    }
+                }
+                match hub.abm.state().try_query(self.query) {
+                    Some(q) if !q.is_finished() => {}
+                    // Finished, or already detached by `finish`.
+                    _ => return Ok(None),
+                }
+                match hub.abm.acquire_chunk(self.query, self.shared.now()) {
+                    Some(chunk) => {
+                        // Pin the chunk's frame and carry its payload out of
+                        // the lock (payload clones are refcount bumps;
+                        // decoding happens on the consumer's side, never
+                        // under the hub).
+                        let key = frame_key(chunk);
+                        if !hub.pool.pin(key) {
+                            // Invariant breach: a delivered chunk always has
+                            // a resident frame.  Panicking here — while
+                            // holding the hub — would wedge every session
+                            // behind the lock; degrade to a per-query error
+                            // instead and hand the chunk back.
+                            debug_assert!(false, "delivered {chunk:?} has no resident frame");
+                            hub.abm.reject_delivered(self.query, chunk);
+                            drop(hub);
+                            return Err(self.fail(ScanError {
+                                chunk,
+                                cause: StoreError::Permanent,
+                            }));
+                        }
+                        let payload = match hub.pool.payload(key) {
+                            Some(p) => p.clone(),
+                            None => ChunkPayload::Missing,
+                        };
+                        self.delivered.fetch_add(1, Ordering::Relaxed);
+                        break (chunk, payload);
+                    }
+                    None => {
+                        // The scheduler may now see this query as starved:
+                        // ring one parked worker.  (Notifying while holding
+                        // the hub is safe — the worker re-checks under the
+                        // lock.)
+                        if let Some(bell) = hub.pop_doorbell() {
+                            bell.notify_one();
+                        }
+                        if self.shared.shutdown.load(Ordering::Acquire) {
+                            return Ok(None);
+                        }
+                        // waitForChunk on this query's own slot: only a
+                        // commit that makes a chunk available to *this*
+                        // query rings it.
+                        let Some(slot) = hub.slots.get(&self.query).map(Arc::clone) else {
+                            return Ok(None);
+                        };
+                        let waited = Instant::now();
+                        hub.wait_on(&slot, Duration::from_millis(50));
+                        self.shared
+                            .pin_wait_nanos
+                            .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
+                }
+            };
+            drop(hub);
+            // Decode-on-first-pin: if the committed payload is still encoded
+            // bytes, pay the decompression CPU cost here — outside the hub
+            // lock (the codec debug-asserts that), shared via the column
+            // cache so later pins of the same buffered chunk skip straight
+            // past this.  The decode re-verifies checksums (the second
+            // integrity point), and runs under catch_unwind so a panicking
+            // codec is contained as a rejected delivery, not an unwinding
+            // consumer.
+            if !payload.is_fully_decoded() {
+                let started = Instant::now();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    payload.try_decode_all()
+                }))
+                .unwrap_or_else(|_panic| {
+                    self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    Err(StoreError::Corrupted)
+                });
+                let nanos = started.elapsed().as_nanos() as u64;
+                // The consumer stalled for `nanos` either way: as the
+                // decoding winner, or blocked on another pin's in-flight
+                // decode of the same columns (0 values for the loser).
+                // Both are pin-wait; only the winner's work counts as
+                // decode output.
+                self.shared
+                    .pin_wait_nanos
+                    .fetch_add(nanos, Ordering::Relaxed);
+                match outcome {
+                    Ok(decoded) => {
+                        if decoded > 0 {
+                            self.shared.decode_nanos.fetch_add(nanos, Ordering::Relaxed);
+                            self.shared
+                                .values_decoded
+                                .fetch_add(decoded as u64, Ordering::Relaxed);
+                        }
+                    }
+                    Err(cause) => {
+                        // The installed bytes are torn (or the codec
+                        // panicked on them): reject the delivery *without*
+                        // consuming — the chunk stays needed — evict the
+                        // poisoned frame, and loop back so a fresh load
+                        // fetches clean bytes.
+                        self.shared
+                            .checksum_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut hub = self.shared.lock();
+                        let key = frame_key(chunk);
+                        hub.pool.unpin(key, false);
+                        if hub.abm.reject_delivered(self.query, chunk) {
+                            hub.pool.evict_page(key);
+                        }
+                        self.delivered.fetch_sub(1, Ordering::Relaxed);
+                        let bell = hub.pop_doorbell();
+                        drop(hub);
+                        if let Some(bell) = bell {
+                            bell.notify_one();
+                        }
+                        decode_failures += 1;
+                        if decode_failures >= self.shared.retry.max_attempts.max(1) {
+                            return Err(self.fail(ScanError { chunk, cause }));
+                        }
+                        continue 'deliver;
+                    }
+                }
+            }
+            return Ok(Some(PinnedChunk::new(
+                self.query,
+                chunk,
+                payload,
+                Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
+            )));
+        }
+    }
+
+    /// Makes `error` the handle's sticky failure and deregisters the scan.
+    fn fail(&self, error: ScanError) -> ScanError {
+        *self.error.lock() = Some(error);
+        self.finish();
+        error
     }
 
     /// Number of chunks this scan still needs (0 once finished/detached).
@@ -845,6 +1137,8 @@ impl CScanHandle {
         let mut hub = self.shared.lock();
         hub.abm.finish_query(self.query);
         let slot = hub.slots.remove(&self.query);
+        // A pending error nobody will read must not leak in the hub map.
+        hub.errors.remove(&self.query);
         // Aborted loads release buffer pages, and one consumer fewer changes
         // the relevance picture: ring one parked worker.
         let bell = hub.pop_doorbell();
@@ -862,7 +1156,7 @@ impl CScanHandle {
 }
 
 impl ScanSession for CScanHandle {
-    fn next_chunk(&mut self) -> Option<PinnedChunk> {
+    fn next_chunk(&mut self) -> Result<Option<PinnedChunk>, ScanError> {
         CScanHandle::next_chunk(self)
     }
 
@@ -971,7 +1265,7 @@ mod tests {
             model.all_columns(),
         ));
         let mut seen = std::collections::HashSet::new();
-        while let Some(guard) = handle.next_chunk() {
+        while let Some(guard) = handle.next_chunk().unwrap() {
             assert!(
                 seen.insert(guard.chunk()),
                 "chunk delivered twice: {:?}",
@@ -1003,7 +1297,7 @@ mod tests {
             .map(|handle| {
                 std::thread::spawn(move || {
                     let mut count = 0;
-                    while let Some(guard) = handle.next_chunk() {
+                    while let Some(guard) = handle.next_chunk().unwrap() {
                         count += 1;
                         guard.complete();
                     }
@@ -1039,7 +1333,7 @@ mod tests {
                         model.all_columns(),
                     ));
                     let mut count = 0;
-                    while let Some(guard) = handle.next_chunk() {
+                    while let Some(guard) = handle.next_chunk().unwrap() {
                         count += 1;
                         guard.complete();
                     }
@@ -1063,7 +1357,7 @@ mod tests {
             model.all_columns(),
         ));
         let mut count = 0;
-        while let Some(guard) = handle.next_chunk() {
+        while let Some(guard) = handle.next_chunk().unwrap() {
             // Drop instead of calling complete(); the Drop impl must release
             // (the scan makes progress) but the silent drop is counted.
             drop(guard);
@@ -1086,7 +1380,7 @@ mod tests {
                 ScanRanges::single(0, 2),
                 model.all_columns(),
             ));
-            let guard = handle.next_chunk().unwrap();
+            let guard = handle.next_chunk().unwrap().unwrap();
             guard.complete();
             handle.finish();
             handle.finish();
@@ -1099,7 +1393,7 @@ mod tests {
             model.all_columns(),
         ));
         let mut n = 0;
-        while let Some(g) = handle.next_chunk() {
+        while let Some(g) = handle.next_chunk().unwrap() {
             g.complete();
             n += 1;
         }
@@ -1114,7 +1408,7 @@ mod tests {
             ScanRanges::empty(),
             model.all_columns(),
         ));
-        assert!(handle.next_chunk().is_none());
+        assert!(handle.next_chunk().unwrap().is_none());
     }
 
     #[test]
@@ -1144,7 +1438,7 @@ mod tests {
             .map(|handle| {
                 std::thread::spawn(move || {
                     let mut seen = std::collections::HashSet::new();
-                    while let Some(guard) = handle.next_chunk() {
+                    while let Some(guard) = handle.next_chunk().unwrap() {
                         assert!(seen.insert(guard.chunk()), "duplicate delivery");
                         guard.complete();
                     }
@@ -1186,7 +1480,7 @@ mod tests {
             model.all_columns(),
         ));
         let mut n = 0;
-        while let Some(g) = handle.next_chunk() {
+        while let Some(g) = handle.next_chunk().unwrap() {
             g.complete();
             n += 1;
         }
@@ -1274,7 +1568,7 @@ mod tests {
                         if (t + round).is_multiple_of(3) {
                             // Cancel mid-scan after at most two chunks.
                             for _ in 0..2 {
-                                match handle.next_chunk() {
+                                match handle.next_chunk().unwrap() {
                                     Some(g) => g.complete(),
                                     None => break,
                                 }
@@ -1284,7 +1578,7 @@ mod tests {
                             // Run to completion: a lost wakeup would hang
                             // here (bounded only by the test harness).
                             let mut n = 0;
-                            while let Some(g) = handle.next_chunk() {
+                            while let Some(g) = handle.next_chunk().unwrap() {
                                 g.complete();
                                 n += 1;
                             }
@@ -1321,7 +1615,7 @@ mod tests {
             model.all_columns(),
         ));
         let mut n = 0;
-        while let Some(g) = handle.next_chunk() {
+        while let Some(g) = handle.next_chunk().unwrap() {
             g.complete();
             n += 1;
         }
@@ -1361,7 +1655,7 @@ mod tests {
             model.all_columns(),
         ));
         let mut seen = 0;
-        while let Some(pin) = handle.next_chunk() {
+        while let Some(pin) = handle.next_chunk().unwrap() {
             assert_eq!(pin.rows(), 100);
             for col in 0..2u16 {
                 let values = pin.column(ColumnId::new(col)).expect("column present");
@@ -1394,7 +1688,7 @@ mod tests {
             ScanRanges::full(16),
             model.all_columns(),
         ));
-        let pin = holder.next_chunk().expect("first chunk");
+        let pin = holder.next_chunk().unwrap().expect("first chunk");
         let held_chunk = pin.chunk();
         let before: Vec<i64> = pin.column(ColumnId::new(0)).unwrap().to_vec();
         // Churn: a full scan through a 2-chunk buffer must evict constantly.
@@ -1404,7 +1698,7 @@ mod tests {
             model.all_columns(),
         ));
         let mut churned = 0;
-        while let Some(g) = churn.next_chunk() {
+        while let Some(g) = churn.next_chunk().unwrap() {
             g.complete();
             churned += 1;
         }
@@ -1459,12 +1753,12 @@ mod tests {
         assert_eq!(plan.num_chunks(), 12);
         let handle = server.cscan(plan);
         // Consume up to the limit while the 4-deep pipeline prefetches.
-        let first = handle.next_chunk().expect("chunk 1");
+        let first = handle.next_chunk().unwrap().expect("chunk 1");
         first.complete();
-        let second = handle.next_chunk().expect("chunk 2");
+        let second = handle.next_chunk().unwrap().expect("chunk 2");
         second.complete();
         // The limit trips here: the session detaches mid-scan.
-        assert!(handle.next_chunk().is_none());
+        assert!(handle.next_chunk().unwrap().is_none());
         {
             let hub = server.shared.lock();
             let state = hub.abm.state();
@@ -1516,7 +1810,7 @@ mod tests {
                     let handle = Arc::clone(&handle);
                     let delivered = Arc::clone(&delivered);
                     std::thread::spawn(move || {
-                        while let Some(pin) = handle.next_chunk() {
+                        while let Some(pin) = handle.next_chunk().unwrap() {
                             delivered.fetch_add(1, Ordering::Relaxed);
                             pin.complete();
                         }
@@ -1544,7 +1838,7 @@ mod tests {
         )));
         assert_eq!(session.remaining_chunks(), 6);
         let mut rows = 0usize;
-        while let Some(pin) = session.next_chunk() {
+        while let Some(pin) = session.next_chunk().unwrap() {
             rows += pin.rows();
             pin.complete();
         }
@@ -1586,14 +1880,14 @@ mod tests {
                         if (t + round).is_multiple_of(3) {
                             // Detach *while holding a pin*: the pin outlives
                             // the registration and must release cleanly.
-                            if let Some(pin) = handle.next_chunk() {
+                            if let Some(pin) = handle.next_chunk().unwrap() {
                                 handle.finish();
                                 assert_eq!(pin.rows(), 100);
                                 pin.complete();
                             }
                         } else {
                             let mut n = 0;
-                            while let Some(pin) = handle.next_chunk() {
+                            while let Some(pin) = handle.next_chunk().unwrap() {
                                 let c = pin.chunk();
                                 let v = pin.column(ColumnId::new(1)).unwrap()[0];
                                 assert_eq!(v, store.value(c, 0, ColumnId::new(1)));
@@ -1672,7 +1966,7 @@ mod tests {
                 model.all_columns(),
             ));
             let mut seen = 0;
-            while let Some(pin) = handle.next_chunk() {
+            while let Some(pin) = handle.next_chunk().unwrap() {
                 for c in 0..2u16 {
                     let col = ColumnId::new(c);
                     let values = pin.column(col).expect("column present");
@@ -1729,7 +2023,7 @@ mod tests {
                 ScanRanges::full(CHUNKS),
                 model.all_columns(),
             ));
-            while let Some(pin) = handle.next_chunk() {
+            while let Some(pin) = handle.next_chunk().unwrap() {
                 assert!(pin.column(ColumnId::new(0)).is_some());
                 pin.complete();
             }
@@ -1750,6 +2044,408 @@ mod tests {
         );
     }
 
+    // ------------------------------------------------------------------
+    // Fault tolerance: injected failures, retries, quarantine, panics.
+    // ------------------------------------------------------------------
+
+    use cscan_storage::{FaultConfig, FaultInjectingStore, StoreError};
+
+    #[test]
+    fn transient_faults_retry_to_completion() {
+        let model = TableModel::nsm_uniform(20, 100, 16);
+        let inner = SeededStore::new(100, 2, 7);
+        let store =
+            FaultInjectingStore::new(inner.clone(), FaultConfig::transient_only(0xBAD5, 0.25));
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(5)
+            .io_cost_per_page(Duration::ZERO)
+            .retry_policy(RetryPolicy {
+                backoff_base: Duration::from_micros(10),
+                ..RetryPolicy::default()
+            })
+            .store(Arc::new(store))
+            .build();
+        let handle = server.cscan(CScanPlan::new(
+            "flaky",
+            ScanRanges::full(20),
+            model.all_columns(),
+        ));
+        let mut seen = 0;
+        while let Some(pin) = handle
+            .next_chunk()
+            .expect("transient faults must be retried away")
+        {
+            let values = pin.column(ColumnId::new(0)).expect("column present");
+            assert_eq!(values[0], inner.value(pin.chunk(), 0, ColumnId::new(0)));
+            pin.complete();
+            seen += 1;
+        }
+        assert_eq!(seen, 20, "every chunk delivered despite the fault rate");
+        assert!(server.load_faults() > 0, "the fault stream fired");
+        assert_eq!(server.load_faults(), server.load_retries());
+        assert_eq!(server.chunks_quarantined(), 0);
+        assert_eq!(server.queries_erred(), 0);
+        assert_eq!(server.pinned_frames(), 0);
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    #[test]
+    fn permanent_chunk_quarantines_and_errs_interested_queries_only() {
+        let model = TableModel::nsm_uniform(12, 100, 16);
+        let inner = SeededStore::new(100, 1, 5);
+        let config = FaultConfig {
+            permanent_chunks: vec![3],
+            ..FaultConfig::default()
+        };
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(4)
+            .io_cost_per_page(Duration::ZERO)
+            .store(Arc::new(FaultInjectingStore::new(inner, config)))
+            .build();
+        let doomed = server.cscan(CScanPlan::new(
+            "doomed",
+            ScanRanges::single(0, 6),
+            model.all_columns(),
+        ));
+        let healthy = server.cscan(CScanPlan::new(
+            "healthy",
+            ScanRanges::single(6, 12),
+            model.all_columns(),
+        ));
+        let error = loop {
+            match doomed.next_chunk() {
+                Ok(Some(pin)) => pin.complete(),
+                Ok(None) => panic!("the doomed query must err, not finish"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(error.chunk, cscan_storage::ChunkId::new(3));
+        assert_eq!(error.cause, StoreError::Permanent);
+        assert_eq!(
+            doomed.next_chunk().unwrap_err(),
+            error,
+            "the error is sticky"
+        );
+        // The disjoint scan is untouched by the quarantine.
+        let mut n = 0;
+        while let Some(pin) = healthy.next_chunk().expect("disjoint scan unaffected") {
+            pin.complete();
+            n += 1;
+        }
+        assert_eq!(n, 6);
+        assert_eq!(server.chunks_quarantined(), 1);
+        assert_eq!(server.queries_erred(), 1);
+        // A query registered *after* the quarantine gets the error too — the
+        // plan-time short-circuit, without ever touching the store again.
+        let late = server.cscan(CScanPlan::new(
+            "late",
+            ScanRanges::single(3, 4),
+            model.all_columns(),
+        ));
+        let late_err = loop {
+            match late.next_chunk() {
+                Ok(Some(pin)) => pin.complete(),
+                Ok(None) => panic!("the late query must err"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(late_err, error);
+        // No leaks after the dust settles.
+        let hub = server.shared.lock();
+        assert_eq!(hub.abm.state().reserved_pages(), 0);
+        assert_eq!(hub.pool.pinned_frames(), 0);
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_install_checksums_and_retry_clean() {
+        const ROWS: u64 = 128;
+        let model = TableModel::nsm_uniform(16, ROWS, 16);
+        let inner = SeededStore::new(ROWS, 2, 17);
+        let compressed = CompressingStore::new(inner.clone(), vec![pfor21(), pfor21()]);
+        let config = FaultConfig {
+            seed: 0xC0FFEE,
+            corruption_rate: 0.4,
+            ..FaultConfig::default()
+        };
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(4)
+            .io_cost_per_page(Duration::ZERO)
+            .retry_policy(RetryPolicy {
+                backoff_base: Duration::from_micros(10),
+                ..RetryPolicy::default()
+            })
+            .store(Arc::new(FaultInjectingStore::new(compressed, config)))
+            .build();
+        let handle = server.cscan(CScanPlan::new(
+            "torn",
+            ScanRanges::full(16),
+            model.all_columns(),
+        ));
+        let mut seen = 0;
+        while let Some(pin) = handle
+            .next_chunk()
+            .expect("corruption must be retried away")
+        {
+            // Every delivered value survived two checksum points bit-exact.
+            for c in 0..2u16 {
+                let col = ColumnId::new(c);
+                let values = pin.column(col).expect("column present");
+                for (row, &v) in values.iter().enumerate() {
+                    assert_eq!(v, inner.value(pin.chunk(), row as u64, col));
+                }
+            }
+            pin.complete();
+            seen += 1;
+        }
+        assert_eq!(seen, 16);
+        assert!(
+            server.checksum_failures() > 0,
+            "install-time verification must catch flipped bytes"
+        );
+        assert_eq!(server.chunks_quarantined(), 0);
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    /// Satellite: the full torn-frame lifecycle — a resident chunk's
+    /// payload fails checksum at decode-on-first-pin, the delivery is
+    /// rejected without consuming, the poisoned frame is evicted, and the
+    /// re-load re-installs and re-decodes clean bytes.
+    #[test]
+    fn torn_frame_is_rejected_re_loaded_and_re_decoded() {
+        use cscan_storage::{ColumnChunk, LazyColumn, NsmChunkData};
+        const ROWS: u64 = 128;
+        let model = TableModel::nsm_uniform(1, ROWS, 16);
+        let inner = SeededStore::new(ROWS, 1, 23);
+        let store = CompressingStore::new(inner.clone(), vec![pfor21()]);
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(1)
+            .io_cost_per_page(Duration::ZERO)
+            .store(Arc::new(store))
+            .build();
+        let handle = server.cscan(CScanPlan::new(
+            "lifecycle",
+            ScanRanges::full(1),
+            model.all_columns(),
+        ));
+        // Wait for the worker to install the (encoded) payload, then tear it
+        // in place — flipped byte, recorded checksum kept — before the first
+        // pin ever decodes it.
+        let key = super::frame_key(cscan_storage::ChunkId::new(0));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let mut hub = server.shared.lock();
+                let torn = match hub.pool.payload(key) {
+                    Some(ChunkPayload::Nsm(data)) => {
+                        let parts: Vec<ColumnChunk> = data
+                            .parts()
+                            .iter()
+                            .map(|part| match part {
+                                ColumnChunk::Compressed(lazy) => ColumnChunk::Compressed(Arc::new(
+                                    LazyColumn::new(lazy.encoded().with_flipped_byte(99)),
+                                )),
+                                plain => plain.clone(),
+                            })
+                            .collect();
+                        Some(ChunkPayload::Nsm(Arc::new(NsmChunkData::from_parts(parts))))
+                    }
+                    _ => None,
+                };
+                if let Some(torn) = torn {
+                    hub.pool.install_payload(key, torn);
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "the load never installed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The pin decodes, fails verification, rejects the delivery, and the
+        // retry delivers the re-loaded clean payload — all inside one call.
+        let pin = handle
+            .next_chunk()
+            .expect("the torn frame must be recovered, not fatal")
+            .expect("the chunk is still needed");
+        let values = pin.column(ColumnId::new(0)).expect("decoded after re-load");
+        for (row, &v) in values.iter().enumerate() {
+            assert_eq!(v, inner.value(pin.chunk(), row as u64, ColumnId::new(0)));
+        }
+        pin.complete();
+        assert!(handle.next_chunk().unwrap().is_none());
+        assert!(
+            server.checksum_failures() >= 1,
+            "the decode-time verification must have fired"
+        );
+        assert!(
+            server.io_requests() >= 2,
+            "recovery requires a fresh load of the chunk"
+        );
+        assert_eq!(server.chunks_quarantined(), 0);
+        assert_eq!(server.pinned_frames(), 0);
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    /// A store that panics on one chunk: the worker must contain the panic
+    /// (no dead threads, no wedged hub), quarantine the chunk, and err only
+    /// the queries that need it.
+    #[test]
+    fn panicking_store_is_contained_as_a_quarantine() {
+        struct PanickingStore {
+            inner: SeededStore,
+            bad: u32,
+        }
+        impl ChunkStore for PanickingStore {
+            fn materialize(
+                &self,
+                chunk: cscan_storage::ChunkId,
+                cols: Option<&[ColumnId]>,
+            ) -> Result<ChunkPayload, StoreError> {
+                assert!(chunk.index() != self.bad, "injected panic for {chunk:?}");
+                self.inner.materialize(chunk, cols)
+            }
+        }
+        let model = TableModel::nsm_uniform(8, 100, 16);
+        let store = PanickingStore {
+            inner: SeededStore::new(100, 1, 31),
+            bad: 5,
+        };
+        let server = ScanServer::builder(model.clone())
+            .policy(PolicyKind::Relevance)
+            .buffer_chunks(4)
+            .io_cost_per_page(Duration::ZERO)
+            .store(Arc::new(store))
+            .build();
+        let doomed = server.cscan(CScanPlan::new(
+            "doomed",
+            ScanRanges::full(8),
+            model.all_columns(),
+        ));
+        let error = loop {
+            match doomed.next_chunk() {
+                Ok(Some(pin)) => pin.complete(),
+                Ok(None) => panic!("the scan must err on the panicking chunk"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(error.chunk, cscan_storage::ChunkId::new(5));
+        assert!(server.worker_panics() >= 1, "the panic was caught");
+        // The server survived: a scan avoiding the bad chunk runs clean.
+        let ok = server.cscan(CScanPlan::new(
+            "ok",
+            ScanRanges::single(0, 4),
+            model.all_columns(),
+        ));
+        let mut n = 0;
+        while let Some(pin) = ok.next_chunk().expect("healthy range unaffected") {
+            pin.complete();
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
+    /// Satellite: the attach/detach storm under an injected fault stream —
+    /// transient failures and corrupted payloads on a compressed store, with
+    /// scans cancelling mid-flight.  Nothing may leak and nothing may wedge.
+    #[test]
+    fn fault_storm_leaks_nothing() {
+        const ROWS: u64 = 64;
+        let model = TableModel::nsm_uniform(32, ROWS, 16);
+        let inner = SeededStore::new(ROWS, 1, 41);
+        let compressed = CompressingStore::new(inner.clone(), vec![pfor21()]);
+        let config = FaultConfig {
+            seed: 0x57AB1E,
+            fault_rate: 0.15,
+            corruption_rate: 0.05,
+            latency_spike_rate: 0.02,
+            latency_spike: Duration::from_micros(200),
+            ..FaultConfig::default()
+        };
+        let server = Arc::new(
+            ScanServer::builder(model.clone())
+                .policy(PolicyKind::Relevance)
+                .buffer_chunks(8)
+                .io_cost_per_page(Duration::from_micros(10))
+                .io_threads(4)
+                .retry_policy(RetryPolicy {
+                    backoff_base: Duration::from_micros(20),
+                    ..RetryPolicy::default()
+                })
+                .store(Arc::new(FaultInjectingStore::new(compressed, config)))
+                .build(),
+        );
+        let workers: Vec<_> = (0..8)
+            .map(|t: u32| {
+                let server = Arc::clone(&server);
+                let model = model.clone();
+                let inner = inner.clone();
+                std::thread::spawn(move || {
+                    for round in 0..4u32 {
+                        let start = (t * 5 + round * 9) % 24;
+                        let handle = server.cscan(CScanPlan::new(
+                            format!("storm-{t}-{round}"),
+                            ScanRanges::single(start, start + 8),
+                            model.all_columns(),
+                        ));
+                        if (t + round).is_multiple_of(3) {
+                            for _ in 0..2 {
+                                match handle.next_chunk() {
+                                    Ok(Some(pin)) => pin.complete(),
+                                    Ok(None) | Err(_) => break,
+                                }
+                            }
+                            handle.finish();
+                        } else {
+                            let mut n = 0;
+                            loop {
+                                match handle.next_chunk() {
+                                    Ok(Some(pin)) => {
+                                        let v = pin.column(ColumnId::new(0)).unwrap()[0];
+                                        assert_eq!(
+                                            v,
+                                            inner.value(pin.chunk(), 0, ColumnId::new(0))
+                                        );
+                                        pin.complete();
+                                        n += 1;
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => panic!("transient-only stream quarantined: {e}"),
+                                }
+                            }
+                            assert_eq!(n, 8, "scan storm-{t}-{round} lost chunks");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(server.load_faults() > 0, "the fault stream fired");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            {
+                let hub = server.shared.lock();
+                let state = hub.abm.state();
+                if state.num_inflight() == 0 {
+                    assert_eq!(state.num_queries(), 0);
+                    assert!(hub.slots.is_empty(), "leaked wait slots");
+                    assert_eq!(state.reserved_pages(), 0, "leaked reservations");
+                    assert_eq!(hub.pool.pinned_frames(), 0, "leaked frame pins");
+                    assert!(hub.errors.is_empty(), "leaked pending errors");
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "in-flight loads never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(server.unconsumed_drops(), 0);
+    }
+
     #[test]
     fn lock_histogram_quantiles_are_ordered() {
         let (server, model) = server(PolicyKind::Relevance, 10, 4);
@@ -1758,7 +2454,7 @@ mod tests {
             ScanRanges::full(10),
             model.all_columns(),
         ));
-        while let Some(g) = handle.next_chunk() {
+        while let Some(g) = handle.next_chunk().unwrap() {
             g.complete();
         }
         let snap = server.lock_hold_histogram();

@@ -9,6 +9,7 @@
 
 use crate::ops::scan::Operator;
 use crate::vector::{DataChunk, Value};
+use cscan_core::session::ScanError;
 use cscan_storage::ChunkId;
 use std::collections::BTreeMap;
 
@@ -153,13 +154,13 @@ impl<O: Operator> HashAggregate<O> {
 }
 
 impl<O: Operator> Operator for HashAggregate<O> {
-    fn next(&mut self) -> Option<DataChunk> {
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError> {
         if self.done {
-            return None;
+            return Ok(None);
         }
         self.done = true;
         let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
-        while let Some(chunk) = self.input.next() {
+        while let Some(chunk) = self.input.next()? {
             for row in 0..chunk.len() {
                 let key: Vec<Value> = self
                     .key_cols
@@ -172,7 +173,7 @@ impl<O: Operator> Operator for HashAggregate<O> {
                     .update(&self.funcs, &chunk, row);
             }
         }
-        Some(emit_groups(groups, &self.funcs, self.key_cols.len()))
+        Ok(Some(emit_groups(groups, &self.funcs, self.key_cols.len())))
     }
 }
 
@@ -238,9 +239,9 @@ impl<O: Operator> ChunkOrderedAggregate<O> {
 }
 
 impl<O: Operator> Operator for ChunkOrderedAggregate<O> {
-    fn next(&mut self) -> Option<DataChunk> {
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError> {
         // Process input chunks until one yields interior groups to emit.
-        while let Some(chunk) = self.input.next() {
+        while let Some(chunk) = self.input.next()? {
             if chunk.is_empty() {
                 continue;
             }
@@ -279,7 +280,7 @@ impl<O: Operator> Operator for ChunkOrderedAggregate<O> {
             let interior: BTreeMap<Vec<Value>, GroupState> =
                 iter.map(|(k, s)| (vec![k], s)).collect();
             if !interior.is_empty() {
-                return Some(emit_groups(interior, &self.funcs, 1));
+                return Ok(Some(emit_groups(interior, &self.funcs, 1)));
             }
         }
         // Input exhausted: flush the stitched border groups once.
@@ -289,10 +290,10 @@ impl<O: Operator> Operator for ChunkOrderedAggregate<O> {
                 let pending = std::mem::take(&mut self.pending);
                 let groups: BTreeMap<Vec<Value>, GroupState> =
                     pending.into_iter().map(|(k, s)| (vec![k], s)).collect();
-                return Some(emit_groups(groups, &self.funcs, 1));
+                return Ok(Some(emit_groups(groups, &self.funcs, 1)));
             }
         }
-        None
+        Ok(None)
     }
 }
 
@@ -319,8 +320,8 @@ mod tests {
             vec![0],
             vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)],
         );
-        let out = agg.next().unwrap();
-        assert!(agg.next().is_none());
+        let out = agg.next().unwrap().unwrap();
+        assert!(agg.next().unwrap().is_none());
         // Three return-flag codes.
         assert_eq!(out.len(), 3);
         assert_eq!(out.width(), 4);
@@ -340,7 +341,7 @@ mod tests {
         let reference = {
             let src = ChunkSource::in_order(&t, vec![key, price]);
             let mut agg = HashAggregate::new(src, vec![0], vec![AggFunc::Count, AggFunc::Sum(1)]);
-            agg.next().unwrap()
+            agg.next().unwrap().unwrap()
         };
         // Out-of-order delivery, as relevance would produce it.
         let order: Vec<ChunkId> = [5u32, 0, 7, 2, 6, 8, 1, 3, 4]
@@ -373,7 +374,7 @@ mod tests {
         let mut agg = ChunkOrderedAggregate::new(src, 0, vec![AggFunc::Count]);
         // The very first call must already produce interior groups of chunk 0
         // while later chunks have not been read yet.
-        let first = agg.next().unwrap();
+        let first = agg.next().unwrap().unwrap();
         assert!(
             first.len() > 100,
             "chunk 0 has ~250 orders, most of them interior"

@@ -11,6 +11,7 @@
 use crate::ops::scan::Operator;
 use crate::table::MemTable;
 use crate::vector::{DataChunk, Value};
+use cscan_core::session::ScanError;
 use cscan_storage::ChunkId;
 
 /// Joins two key-sorted batches on equality, producing
@@ -137,15 +138,17 @@ impl<'a> CooperativeMergeJoin<'a> {
 }
 
 impl Operator for CooperativeMergeJoin<'_> {
-    fn next(&mut self) -> Option<DataChunk> {
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError> {
         loop {
-            let chunk = *self.order.get(self.position)?;
+            let Some(&chunk) = self.order.get(self.position) else {
+                return Ok(None);
+            };
             self.position += 1;
             let outer = self.outer.read_chunk(chunk, &self.outer_cols);
             let inner = self.inner.read_chunk(chunk, &self.inner_cols);
             let joined = merge_join(&outer, self.outer_key, &inner, self.inner_key);
             if !joined.is_empty() {
-                return Some(joined);
+                return Ok(Some(joined));
             }
         }
     }

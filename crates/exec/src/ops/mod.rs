@@ -1,7 +1,8 @@
 //! Query operators.
 //!
 //! Operators follow a simple Volcano-style pull model over [`DataChunk`]s:
-//! [`scan::Operator::next`] returns the next batch or `None`.  Because the
+//! [`scan::Operator::next`] returns the next batch, `Ok(None)` at the end,
+//! or the [`cscan_core::ScanError`] that killed the scan.  Because the
 //! CScan underneath may deliver chunks in any order, every operator here is
 //! either order-agnostic (filter, project, hash aggregation) or explicitly
 //! order-aware with chunk-boundary handling (chunk-ordered aggregation, the
@@ -20,12 +21,23 @@ pub use scan::{ChunkSource, Operator, SessionSource};
 pub use select::Filter;
 
 use crate::vector::DataChunk;
+use cscan_core::session::ScanError;
 
 /// Drains an operator, concatenating all its output rows into one chunk
 /// (convenience for tests and small results).
+///
+/// # Panics
+/// Panics if the pipeline fails with a [`ScanError`]; use [`try_collect`]
+/// to handle scan failures.
 pub fn collect(op: &mut dyn Operator) -> DataChunk {
+    try_collect(op).expect("pipeline failed")
+}
+
+/// Drains an operator, concatenating all its output rows into one chunk,
+/// propagating any scan failure.
+pub fn try_collect(op: &mut dyn Operator) -> Result<DataChunk, ScanError> {
     let mut out: Option<DataChunk> = None;
-    while let Some(batch) = op.next() {
+    while let Some(batch) = op.next()? {
         match &mut out {
             None => out = Some(batch),
             Some(acc) => {
@@ -35,5 +47,5 @@ pub fn collect(op: &mut dyn Operator) -> DataChunk {
             }
         }
     }
-    out.unwrap_or_else(|| DataChunk::empty(cscan_storage::ChunkId::new(0), 0))
+    Ok(out.unwrap_or_else(|| DataChunk::empty(cscan_storage::ChunkId::new(0), 0)))
 }

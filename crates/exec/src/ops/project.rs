@@ -3,6 +3,7 @@
 use crate::expr::Expr;
 use crate::ops::scan::Operator;
 use crate::vector::DataChunk;
+use cscan_core::session::ScanError;
 
 /// Computes a list of expressions over every input batch.
 pub struct Project<O> {
@@ -25,10 +26,12 @@ impl<O: Operator> Project<O> {
 }
 
 impl<O: Operator> Operator for Project<O> {
-    fn next(&mut self) -> Option<DataChunk> {
-        let chunk = self.input.next()?;
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError> {
+        let Some(chunk) = self.input.next()? else {
+            return Ok(None);
+        };
         let columns = self.exprs.iter().map(|e| e.eval(&chunk)).collect();
-        Some(DataChunk::new(chunk.chunk, columns))
+        Ok(Some(DataChunk::new(chunk.chunk, columns)))
     }
 }
 

@@ -14,13 +14,19 @@
 
 use crate::table::MemTable;
 use crate::vector::DataChunk;
-use cscan_core::session::ScanSession;
+use cscan_core::session::{ScanError, ScanSession};
 use cscan_storage::{ChunkId, ColumnId};
 
 /// A pull-based operator producing data chunks.
+///
+/// `Err` means the underlying scan failed permanently (a chunk became
+/// unreadable and was quarantined): the error propagates up the operator
+/// tree unchanged, and the tree must not be pulled again afterwards.
+/// Purely in-memory operators never fail.
 pub trait Operator {
-    /// Returns the next batch, or `None` when exhausted.
-    fn next(&mut self) -> Option<DataChunk>;
+    /// Returns the next batch, `Ok(None)` when exhausted, or the scan
+    /// error that killed the pipeline.
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError>;
 }
 
 /// The live leaf operator: adapts any [`ScanSession`] into an [`Operator`],
@@ -65,8 +71,10 @@ impl<S: ScanSession> SessionSource<S> {
 }
 
 impl<S: ScanSession> Operator for SessionSource<S> {
-    fn next(&mut self) -> Option<DataChunk> {
-        let pinned = self.session.next_chunk()?;
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError> {
+        let Some(pinned) = self.session.next_chunk()? else {
+            return Ok(None);
+        };
         self.delivered.push(pinned.chunk());
         let columns = self
             .columns
@@ -86,7 +94,7 @@ impl<S: ScanSession> Operator for SessionSource<S> {
             .collect();
         let out = DataChunk::new(pinned.chunk(), columns);
         pinned.complete();
-        Some(out)
+        Ok(Some(out))
     }
 }
 
@@ -151,10 +159,12 @@ impl<'a> ChunkSource<'a> {
 }
 
 impl Operator for ChunkSource<'_> {
-    fn next(&mut self) -> Option<DataChunk> {
-        let chunk = *self.order.get(self.position)?;
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError> {
+        let Some(&chunk) = self.order.get(self.position) else {
+            return Ok(None);
+        };
         self.position += 1;
-        Some(self.table.read_chunk(chunk, &self.columns))
+        Ok(Some(self.table.read_chunk(chunk, &self.columns)))
     }
 }
 
@@ -169,7 +179,7 @@ mod tests {
         assert_eq!(src.num_chunks(), 4);
         let mut rows = 0;
         let mut seen = Vec::new();
-        while let Some(c) = src.next() {
+        while let Some(c) = src.next().unwrap() {
             rows += c.len();
             seen.push(c.chunk.index());
             assert_eq!(c.width(), 2);
@@ -184,7 +194,7 @@ mod tests {
         let order = vec![ChunkId::new(2), ChunkId::new(0), ChunkId::new(3)];
         let mut src = ChunkSource::with_names(&t, &["l_orderkey"], order);
         let delivered: Vec<u32> =
-            std::iter::from_fn(|| src.next().map(|c| c.chunk.index())).collect();
+            std::iter::from_fn(|| src.next().unwrap().map(|c| c.chunk.index())).collect();
         assert_eq!(delivered, vec![2, 0, 3]);
     }
 

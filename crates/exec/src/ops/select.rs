@@ -3,6 +3,7 @@
 use crate::expr::Expr;
 use crate::ops::scan::Operator;
 use crate::vector::DataChunk;
+use cscan_core::session::ScanError;
 
 /// Keeps only the rows for which a predicate evaluates to true.
 pub struct Filter<O> {
@@ -18,15 +19,17 @@ impl<O: Operator> Filter<O> {
 }
 
 impl<O: Operator> Operator for Filter<O> {
-    fn next(&mut self) -> Option<DataChunk> {
+    fn next(&mut self) -> Result<Option<DataChunk>, ScanError> {
         // Skip over batches that filter down to nothing so callers see a
         // steady stream of useful data (but preserve operator termination).
         loop {
-            let chunk = self.input.next()?;
+            let Some(chunk) = self.input.next()? else {
+                return Ok(None);
+            };
             let mask = self.predicate.eval_mask(&chunk);
             let filtered = chunk.filter(&mask);
             if !filtered.is_empty() {
-                return Some(filtered);
+                return Ok(Some(filtered));
             }
         }
     }
@@ -59,6 +62,6 @@ mod tests {
         let t = MemTable::lineitem_demo(1_000, 500);
         let src = ChunkSource::in_order(&t, vec![1]);
         let mut filter = Filter::new(src, Expr::col(0).lt(Expr::lit(0)));
-        assert!(filter.next().is_none());
+        assert!(filter.next().unwrap().is_none());
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::vector::{DataChunk, Value};
 use cscan_storage::chunkdata::{ChunkPayload, ChunkStore, DsmChunkData, NsmChunkData};
-use cscan_storage::{ChunkId, ColumnId, Compression};
+use cscan_storage::{ChunkId, ColumnId, Compression, StoreError};
 use std::sync::Arc;
 
 /// A generator producing the values of one column for a given range of row ids.
@@ -208,12 +208,16 @@ impl MemTable {
 /// delivered chunks with this table's deterministic data — which makes the
 /// table both the live data source *and* the differential-test baseline.
 impl ChunkStore for MemTable {
-    fn materialize(&self, chunk: ChunkId, cols: Option<&[ColumnId]>) -> ChunkPayload {
+    fn materialize(
+        &self,
+        chunk: ChunkId,
+        cols: Option<&[ColumnId]>,
+    ) -> Result<ChunkPayload, StoreError> {
         assert!(
             chunk.index() < self.num_chunks(),
             "chunk {chunk:?} out of range"
         );
-        match cols {
+        Ok(match cols {
             None => ChunkPayload::Nsm(Arc::new(NsmChunkData::new(
                 (0..self.width())
                     .map(|c| self.column_data(chunk, c))
@@ -227,7 +231,7 @@ impl ChunkStore for MemTable {
                     })
                     .collect(),
             ))),
-        }
+        })
     }
 }
 

@@ -164,14 +164,14 @@ fn hash_aggregate_pipeline_is_bit_identical() {
     let aggs = || vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)];
     let reference = {
         let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
-        agg.next().unwrap()
+        agg.next().unwrap().unwrap()
     };
     for (policy, layout) in all_cases() {
         let server = live_server(&table, policy, layout);
         let src = live_source(&server, &table, &names, layout, "q1");
         let mut agg = HashAggregate::new(src, vec![0], aggs());
-        let live = agg.next().unwrap();
-        assert!(agg.next().is_none());
+        let live = agg.next().unwrap().unwrap();
+        assert!(agg.next().unwrap().is_none());
         // Group-by output is key-ordered, so this is bit-identical equality
         // regardless of delivery order.
         assert_eq!(live, reference, "{policy}/{layout:?}: aggregate diverged");
@@ -185,7 +185,7 @@ fn chunk_ordered_aggregate_pipeline_matches_hash_baseline() {
     let aggs = || vec![AggFunc::Count, AggFunc::Sum(1)];
     let reference = {
         let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
-        agg.next().unwrap()
+        agg.next().unwrap().unwrap()
     };
     let to_map = |c: &DataChunk| -> std::collections::HashMap<i64, (i64, i64)> {
         (0..c.len())
@@ -232,7 +232,7 @@ fn merge_join_pipeline_matches_baseline() {
         // delivers, joining it against the chunk-aligned inner is complete
         // on its own (multi-table clustering, Section 7.2).
         let mut out: Vec<Vec<i64>> = Vec::new();
-        while let Some(outer) = src.next() {
+        while let Some(outer) = src.next().unwrap() {
             let inner = orders.read_chunk(outer.chunk, &o_cols);
             let joined = merge_join(&outer, 0, &inner, 0);
             out.extend(sorted_rows(&joined));
@@ -257,7 +257,7 @@ fn compressed_payload_pipelines_are_bit_identical() {
     let aggs = || vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)];
     let agg_reference = {
         let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
-        agg.next().unwrap()
+        agg.next().unwrap().unwrap()
     };
     let filter_names = ["l_orderkey", "l_shipdate"];
     let predicate = || Expr::col(1).le(Expr::lit(400));
@@ -272,7 +272,7 @@ fn compressed_payload_pipelines_are_bit_identical() {
         // here is bit-identical regardless of delivery order.
         let src = live_source(&server, &table, &names, layout, "z-agg");
         let mut agg = HashAggregate::new(src, vec![0], aggs());
-        let live = agg.next().unwrap();
+        let live = agg.next().unwrap().unwrap();
         assert_eq!(
             live, agg_reference,
             "{policy}/{layout:?}: compressed aggregate diverged"
@@ -304,19 +304,19 @@ fn pipeline_is_correct_under_out_of_order_delivery() {
     let aggs = || vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)];
     let reference = {
         let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
-        agg.next().unwrap()
+        agg.next().unwrap().unwrap()
     };
     for layout in [Layout::Nsm, Layout::Dsm] {
         let server = live_server(&table, PolicyKind::Attach, layout);
         // Drag the scan-group cursor past the table's start.
         let mut dragger = live_source(&server, &table, &["l_orderkey"], layout, "dragger");
         for _ in 0..5 {
-            dragger.next().expect("dragger chunk");
+            dragger.next().unwrap().expect("dragger chunk");
         }
         // The pipeline under test attaches mid-scan.
         let src = live_source(&server, &table, &names, layout, "oo-q1");
         let mut agg = HashAggregate::new(src, vec![0], aggs());
-        let live = agg.next().unwrap();
+        let live = agg.next().unwrap().unwrap();
         assert_eq!(
             live, reference,
             "{layout:?}: out-of-order aggregation diverged"
@@ -326,7 +326,7 @@ fn pipeline_is_correct_under_out_of_order_delivery() {
         // so re-run a bare session to assert the order shape instead.
         let mut probe = live_source(&server, &table, &["l_orderkey"], layout, "probe");
         let mut order = Vec::new();
-        while probe.next().is_some() {}
+        while probe.next().unwrap().is_some() {}
         order.extend_from_slice(probe.delivery_order());
         let mut sorted = order.clone();
         sorted.sort();

@@ -39,6 +39,7 @@
 
 use crate::codec::EncodedColumn;
 use crate::compression::Compression;
+use crate::fault::StoreError;
 use crate::ids::{ChunkId, ColumnId};
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -78,6 +79,30 @@ impl LazyColumn {
     /// Encoded size in bytes — the column's physical I/O volume.
     pub fn encoded_bytes(&self) -> usize {
         self.encoded.encoded_bytes()
+    }
+
+    /// The encoded form itself (state-preserving access; used by the fault
+    /// injector to produce torn copies).
+    pub fn encoded(&self) -> &EncodedColumn {
+        &self.encoded
+    }
+
+    /// Verifies the encoded bytes against the checksum recorded at encode
+    /// time.  An already-decoded column verified once and is trusted.
+    pub fn verify_checksum(&self) -> Result<(), StoreError> {
+        if self.is_decoded() || self.encoded.verify_checksum() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupted)
+        }
+    }
+
+    /// Checksum-verified decode: like [`LazyColumn::ensure_decoded`] but a
+    /// damaged column surfaces as [`StoreError::Corrupted`] instead of a
+    /// decoder panic.
+    pub fn try_ensure_decoded(&self) -> Result<usize, StoreError> {
+        self.verify_checksum()?;
+        Ok(self.ensure_decoded())
     }
 
     /// Whether the decode has already happened.
@@ -167,6 +192,24 @@ impl ColumnChunk {
         match self {
             ColumnChunk::Plain(_) => 0,
             ColumnChunk::Compressed(l) => l.ensure_decoded(),
+        }
+    }
+
+    /// Verifies the column's integrity checksum (plain columns have no
+    /// checksum and always verify).
+    pub fn verify_checksum(&self) -> Result<(), StoreError> {
+        match self {
+            ColumnChunk::Plain(_) => Ok(()),
+            ColumnChunk::Compressed(l) => l.verify_checksum(),
+        }
+    }
+
+    /// Checksum-verified decode; a damaged column surfaces as
+    /// [`StoreError::Corrupted`] instead of a decoder panic.
+    pub fn try_ensure_decoded(&self) -> Result<usize, StoreError> {
+        match self {
+            ColumnChunk::Plain(_) => Ok(0),
+            ColumnChunk::Compressed(l) => l.try_ensure_decoded(),
         }
     }
 
@@ -425,6 +468,38 @@ impl ChunkPayload {
         }
     }
 
+    /// Verifies every compressed column's integrity checksum without
+    /// decoding anything.  This is the *install-time* verification point:
+    /// the I/O worker calls it before committing a load, so torn reads are
+    /// retried as transient faults instead of reaching a consumer.
+    pub fn verify_checksums(&self) -> Result<(), StoreError> {
+        match self {
+            ChunkPayload::Missing => Ok(()),
+            ChunkPayload::Nsm(d) => d.parts().iter().try_for_each(|c| c.verify_checksum()),
+            ChunkPayload::Dsm(d) => d.parts().iter().try_for_each(|(_, c)| c.verify_checksum()),
+        }
+    }
+
+    /// Checksum-verified [`ChunkPayload::decode_all`]: the *decode-time*
+    /// verification point (first pin).  A mismatch surfaces as
+    /// [`StoreError::Corrupted`] — a retryable fault, never a decoder
+    /// panic.
+    pub fn try_decode_all(&self) -> Result<usize, StoreError> {
+        match self {
+            ChunkPayload::Missing => Ok(0),
+            ChunkPayload::Nsm(d) => d
+                .parts()
+                .iter()
+                .map(|c| c.try_ensure_decoded())
+                .sum::<Result<usize, StoreError>>(),
+            ChunkPayload::Dsm(d) => d
+                .parts()
+                .iter()
+                .map(|(_, c)| c.try_ensure_decoded())
+                .sum::<Result<usize, StoreError>>(),
+        }
+    }
+
     /// Whether every present column is readable without a decode.
     pub fn is_fully_decoded(&self) -> bool {
         match self {
@@ -475,9 +550,17 @@ impl ChunkPayload {
 /// Implementations must be deterministic (two reads of the same chunk
 /// agree) and thread-safe: the threaded executor calls `materialize` from
 /// its I/O workers *outside* the hub lock.
+///
+/// A read can fail: the [`StoreError`] taxonomy distinguishes retryable
+/// faults (transient, timeout, corrupted) from permanent ones, and the
+/// I/O scheduler above retries or quarantines accordingly.
 pub trait ChunkStore: Send + Sync {
     /// Materializes the given columns of `chunk`.
-    fn materialize(&self, chunk: ChunkId, cols: Option<&[ColumnId]>) -> ChunkPayload;
+    fn materialize(
+        &self,
+        chunk: ChunkId,
+        cols: Option<&[ColumnId]>,
+    ) -> Result<ChunkPayload, StoreError>;
 }
 
 /// A [`ChunkStore`] adapter that stores its inner store's chunks
@@ -515,8 +598,12 @@ impl<S: ChunkStore> CompressingStore<S> {
 }
 
 impl<S: ChunkStore> ChunkStore for CompressingStore<S> {
-    fn materialize(&self, chunk: ChunkId, cols: Option<&[ColumnId]>) -> ChunkPayload {
-        match self.inner.materialize(chunk, cols) {
+    fn materialize(
+        &self,
+        chunk: ChunkId,
+        cols: Option<&[ColumnId]>,
+    ) -> Result<ChunkPayload, StoreError> {
+        Ok(match self.inner.materialize(chunk, cols)? {
             ChunkPayload::Missing => ChunkPayload::Missing,
             ChunkPayload::Nsm(data) => {
                 let parts = data
@@ -535,7 +622,7 @@ impl<S: ChunkStore> ChunkStore for CompressingStore<S> {
                     .collect();
                 ChunkPayload::Dsm(Arc::new(DsmChunkData::from_parts(parts)))
             }
-        }
+        })
     }
 }
 
@@ -592,8 +679,12 @@ impl SeededStore {
 }
 
 impl ChunkStore for SeededStore {
-    fn materialize(&self, chunk: ChunkId, cols: Option<&[ColumnId]>) -> ChunkPayload {
-        match cols {
+    fn materialize(
+        &self,
+        chunk: ChunkId,
+        cols: Option<&[ColumnId]>,
+    ) -> Result<ChunkPayload, StoreError> {
+        Ok(match cols {
             None => ChunkPayload::Nsm(Arc::new(NsmChunkData::new(
                 (0..self.num_columns)
                     .map(|c| self.column_values(chunk, ColumnId::new(c)))
@@ -604,7 +695,7 @@ impl ChunkStore for SeededStore {
                     .map(|&c| (c, self.column_values(chunk, c)))
                     .collect(),
             ))),
-        }
+        })
     }
 }
 
@@ -686,17 +777,19 @@ mod tests {
     fn seeded_store_is_deterministic_and_shape_correct() {
         let store = SeededStore::new(100, 3, 42);
         let chunk = ChunkId::new(5);
-        let a = store.materialize(chunk, None);
-        let b = store.materialize(chunk, None);
+        let a = store.materialize(chunk, None).unwrap();
+        let b = store.materialize(chunk, None).unwrap();
         assert_eq!(a, b, "two reads of the same chunk agree");
         assert_eq!(a.rows(), 100);
         assert!(a.column(col(2)).is_some());
         // The DSM subset matches the full materialization column-for-column.
-        let subset = store.materialize(chunk, Some(&[col(1)]));
+        let subset = store.materialize(chunk, Some(&[col(1)])).unwrap();
         assert_eq!(subset.column(col(1)), a.column(col(1)));
         assert_eq!(subset.column(col(0)), None);
         // Different seeds produce different data.
-        let other = SeededStore::new(100, 3, 43).materialize(chunk, None);
+        let other = SeededStore::new(100, 3, 43)
+            .materialize(chunk, None)
+            .unwrap();
         assert_ne!(a, other);
     }
 
@@ -770,14 +863,19 @@ mod tests {
         // all exceptions, which is the lossless worst case.
         let store = CompressingStore::new(inner.clone(), vec![Compression::None, pfor21()]);
         let chunk = ChunkId::new(3);
-        let plain = inner.materialize(chunk, None);
-        let compressed = store.materialize(chunk, None);
+        let plain = inner.materialize(chunk, None).unwrap();
+        let compressed = store.materialize(chunk, None).unwrap();
         assert!(!compressed.is_fully_decoded());
-        assert_eq!(compressed.decode_all(), 256, "one compressed column");
+        assert!(compressed.verify_checksums().is_ok());
+        assert_eq!(
+            compressed.try_decode_all(),
+            Ok(256),
+            "one compressed column"
+        );
         assert_eq!(compressed.decode_all(), 0, "second pass is free");
         assert_eq!(compressed, plain, "lossless through the store");
         // DSM subsets keep per-column schemes.
-        let subset = store.materialize(chunk, Some(&[col(1)]));
+        let subset = store.materialize(chunk, Some(&[col(1)])).unwrap();
         assert!(!subset.is_fully_decoded());
         assert_eq!(subset.column(col(1)), plain.column(col(1)));
     }
@@ -788,14 +886,18 @@ mod tests {
         #[derive(Clone)]
         struct SmallValues;
         impl ChunkStore for SmallValues {
-            fn materialize(&self, _chunk: ChunkId, _cols: Option<&[ColumnId]>) -> ChunkPayload {
-                ChunkPayload::Nsm(Arc::new(NsmChunkData::new(vec![Arc::new(
-                    (0..4096).map(|i| i % 3).collect(),
-                )])))
+            fn materialize(
+                &self,
+                _chunk: ChunkId,
+                _cols: Option<&[ColumnId]>,
+            ) -> Result<ChunkPayload, StoreError> {
+                Ok(ChunkPayload::Nsm(Arc::new(NsmChunkData::new(vec![
+                    Arc::new((0..4096).map(|i| i % 3).collect()),
+                ]))))
             }
         }
         let store = CompressingStore::new(SmallValues, vec![Compression::Dictionary { bits: 2 }]);
-        let p = store.materialize(ChunkId::new(0), None);
+        let p = store.materialize(ChunkId::new(0), None).unwrap();
         assert!(
             p.physical_bytes() * 4 < p.logical_bytes(),
             "2-bit codes over 64-bit values must shrink >=4x: {} vs {}",

@@ -32,6 +32,7 @@ pub mod chunkdata;
 pub mod codec;
 pub mod compression;
 pub mod dsm;
+pub mod fault;
 pub mod ids;
 pub mod nsm;
 pub mod scan;
@@ -42,9 +43,10 @@ pub use chunkdata::{
     ChunkPayload, ChunkStore, ColumnChunk, CompressingStore, DsmChunkData, LazyColumn,
     NsmChunkData, SeededStore,
 };
-pub use codec::EncodedColumn;
+pub use codec::{checksum64, EncodedColumn};
 pub use compression::Compression;
 pub use dsm::DsmLayout;
+pub use fault::{FaultConfig, FaultInjectingStore, FaultOutcome, StoreError};
 pub use ids::{ChunkId, ColumnId, PageId};
 pub use nsm::NsmLayout;
 pub use scan::{ChunkRange, ScanRanges};

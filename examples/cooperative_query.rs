@@ -29,7 +29,7 @@ const TUPLES_PER_CHUNK: u64 = 10_000;
 /// Drains a CScan handle, returning the chunk ids in delivery order.
 fn delivery_order(handle: &cscan_core::threaded::CScanHandle) -> Vec<ChunkId> {
     let mut order = Vec::new();
-    while let Some(guard) = handle.next_chunk() {
+    while let Some(guard) = handle.next_chunk().expect("fault-free scan") {
         order.push(guard.chunk());
         guard.complete();
     }
@@ -124,7 +124,7 @@ fn main() {
             let mut join =
                 CooperativeMergeJoin::new(&lineitem, &orders, l_cols, 0, o_cols, 0, order.clone());
             let mut rows = 0usize;
-            while let Some(batch) = join.next() {
+            while let Some(batch) = join.next().expect("in-memory join cannot fail") {
                 rows += batch.len();
             }
             (order, rows)

@@ -79,7 +79,7 @@ fn out_of_order_delivery_gives_the_same_answer_as_in_order() {
             let table = Arc::clone(&table);
             std::thread::spawn(move || {
                 let mut order = Vec::new();
-                while let Some(guard) = handle.next_chunk() {
+                while let Some(guard) = handle.next_chunk().expect("fault-free scan") {
                     order.push(guard.chunk());
                     guard.complete();
                 }
@@ -107,7 +107,7 @@ fn ordered_aggregation_over_live_cscan_matches_hash_aggregation() {
         cscan_core::ColSet::first_n(1),
     ));
     let mut order = Vec::new();
-    while let Some(guard) = handle.next_chunk() {
+    while let Some(guard) = handle.next_chunk().expect("fault-free scan") {
         order.push(guard.chunk());
         guard.complete();
     }
@@ -117,7 +117,7 @@ fn ordered_aggregation_over_live_cscan_matches_hash_aggregation() {
     let reference = {
         let src = ChunkSource::in_order(&table, vec![key, qty]);
         let mut agg = HashAggregate::new(src, vec![0], vec![AggFunc::Sum(1), AggFunc::Count]);
-        agg.next().unwrap()
+        agg.next().unwrap().unwrap()
     };
     let ordered = {
         let src = ChunkSource::new(&table, vec![key, qty], order);
@@ -145,7 +145,7 @@ fn range_scans_only_touch_their_ranges_under_every_policy() {
             cscan_core::ColSet::first_n(1),
         ));
         let mut chunks = Vec::new();
-        while let Some(guard) = handle.next_chunk() {
+        while let Some(guard) = handle.next_chunk().expect("fault-free scan") {
             chunks.push(guard.chunk().index());
             guard.complete();
         }
