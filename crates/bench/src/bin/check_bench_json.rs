@@ -48,6 +48,8 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "delivered_mib_s",
             "pin_wait_secs",
             "unconsumed_drops",
+            "ttfc_p99_ns",
+            "pin_wait_p99_ns",
         ],
     ),
     (
@@ -73,6 +75,8 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "load_retries",
             "checksum_failures",
             "chunks_quarantined",
+            "faults_injected",
+            "pin_wait_p99_ns",
             "checksum_overhead_frac",
         ],
     ),

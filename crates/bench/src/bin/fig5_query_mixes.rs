@@ -84,6 +84,8 @@ fn run_live() {
         "delivered (MiB/s)",
         "wall (s)",
         "pin-wait (s)",
+        "ttfc p99 (ms)",
+        "pin-wait p99 (ms)",
         "rows",
         "chunk loads",
     ]);
@@ -93,6 +95,8 @@ fn run_live() {
             format!("{:.1}", p.mib_per_sec),
             format!("{:.3}", p.wall_secs),
             format!("{:.3}", p.pin_wait_secs),
+            format!("{:.3}", p.ttfc_p99_ns as f64 / 1e6),
+            format!("{:.3}", p.pin_wait_p99_ns as f64 / 1e6),
             p.rows.to_string(),
             p.loads.to_string(),
         ]);
@@ -117,7 +121,8 @@ fn render_live_json(points: &[fig5::LivePoint]) -> String {
             out,
             "    {{\"policy\": \"{}\", \"streams\": {}, \"delivered_mib_s\": {:.3}, \
              \"wall_secs\": {:.3}, \"pin_wait_secs\": {:.3}, \"rows\": {}, \
-             \"delivered_mib\": {:.3}, \"chunk_loads\": {}, \"unconsumed_drops\": {}}}{sep}",
+             \"delivered_mib\": {:.3}, \"chunk_loads\": {}, \"unconsumed_drops\": {}, \
+             \"ttfc_p99_ns\": {}, \"pin_wait_p99_ns\": {}}}{sep}",
             p.policy.name(),
             p.streams,
             p.mib_per_sec,
@@ -126,7 +131,9 @@ fn render_live_json(points: &[fig5::LivePoint]) -> String {
             p.rows,
             p.delivered_mib,
             p.loads,
-            p.unconsumed_drops
+            p.unconsumed_drops,
+            p.ttfc_p99_ns,
+            p.pin_wait_p99_ns
         );
     }
     out.push_str("  ]\n}\n");

@@ -29,6 +29,7 @@ fn main() {
         "retries",
         "checksum fails",
         "quarantined",
+        "pin-wait p99 (ms)",
     ]);
     for p in &points {
         table.row([
@@ -40,6 +41,7 @@ fn main() {
             p.load_retries.to_string(),
             p.checksum_failures.to_string(),
             p.chunks_quarantined.to_string(),
+            format!("{:.3}", p.pin_wait_p99_ns as f64 / 1e6),
         ]);
     }
     println!("{}", table.render());
@@ -71,7 +73,8 @@ fn render_json(points: &[faults::FaultSweepPoint], overhead: &faults::ChecksumOv
             out,
             "    {{\"fault_rate\": {:.3}, \"corruption_rate\": {:.3}, \"rows\": {}, \
              \"wall_secs\": {:.4}, \"goodput_mib_s\": {:.3}, \"load_faults\": {}, \
-             \"load_retries\": {}, \"checksum_failures\": {}, \"chunks_quarantined\": {}}}{sep}",
+             \"load_retries\": {}, \"checksum_failures\": {}, \"chunks_quarantined\": {}, \
+             \"faults_injected\": {}, \"pin_wait_p99_ns\": {}}}{sep}",
             p.fault_rate,
             p.corruption_rate,
             p.rows,
@@ -80,7 +83,9 @@ fn render_json(points: &[faults::FaultSweepPoint], overhead: &faults::ChecksumOv
             p.load_faults,
             p.load_retries,
             p.checksum_failures,
-            p.chunks_quarantined
+            p.chunks_quarantined,
+            p.faults_injected,
+            p.pin_wait_p99_ns
         );
     }
     let _ = writeln!(

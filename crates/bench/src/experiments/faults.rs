@@ -18,6 +18,7 @@ use cscan_core::policy::PolicyKind;
 use cscan_core::threaded::ScanServer;
 use cscan_core::{CScanPlan, ColSet, TableModel};
 use cscan_exec::MemTable;
+use cscan_obs::Registry;
 use cscan_storage::{
     ChunkId, ChunkStore, CompressingStore, FaultConfig, FaultInjectingStore, ScanRanges,
 };
@@ -45,14 +46,28 @@ pub struct FaultSweepPoint {
     pub checksum_failures: u64,
     /// Chunks given up on (must be 0 in a transient-only sweep).
     pub chunks_quarantined: u64,
+    /// Transient read failures the store *injected* (mirrored by the fault
+    /// injector).  Differs from worker-observed `load_faults` in both
+    /// directions: lower when a failed attempt belonged to a load cancelled
+    /// concurrently, higher-looking `load_faults` when corruptions (counted
+    /// separately as `checksum_failures`) also fail the install.
+    pub faults_injected: u64,
+    /// p99 single pin-wait episode, in nanoseconds (log2-bucket upper
+    /// bound) — shows how injected faults stretch consumer stalls.
+    pub pin_wait_p99_ns: u64,
 }
 
 /// Scans `chunks` compressed lineitem chunks end-to-end at each transient
 /// `rate`, returning one goodput/retry point per rate.  Rate 0.0 is the
 /// fault-free baseline the other points are read against.
+///
+/// All points share one observability [`Registry`]; each point reads its
+/// counters from [`Registry::snapshot_and_reset`], so a point reports only
+/// its own window and nothing accumulates across rates.
 pub fn run_fault_sweep(chunks: u32, rows_per_chunk: u64, rates: &[f64]) -> Vec<FaultSweepPoint> {
     let table = MemTable::lineitem_demo(chunks as u64 * rows_per_chunk, rows_per_chunk);
     let width = table.width() as u64;
+    let registry = Arc::new(Registry::new());
     rates
         .iter()
         .map(|&rate| {
@@ -64,7 +79,8 @@ pub fn run_fault_sweep(chunks: u32, rows_per_chunk: u64, rates: &[f64]) -> Vec<F
             let store = FaultInjectingStore::new(
                 CompressingStore::new(table.clone(), MemTable::lineitem_demo_schemes()),
                 config,
-            );
+            )
+            .with_observability(Arc::clone(&registry));
             let model = TableModel::nsm_uniform(chunks, rows_per_chunk, 16);
             let server = ScanServer::builder(model)
                 .policy(PolicyKind::Relevance)
@@ -76,6 +92,7 @@ pub fn run_fault_sweep(chunks: u32, rows_per_chunk: u64, rates: &[f64]) -> Vec<F
                     backoff_cap: Duration::from_micros(500),
                     ..RetryPolicy::default()
                 })
+                .observability(Arc::clone(&registry))
                 .store(Arc::new(store))
                 .build();
             let started = Instant::now();
@@ -94,16 +111,19 @@ pub fn run_fault_sweep(chunks: u32, rows_per_chunk: u64, rates: &[f64]) -> Vec<F
             }
             let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
             let logical_mib = (rows * width * 8) as f64 / (1 << 20) as f64;
+            let snap = registry.snapshot_and_reset();
             FaultSweepPoint {
                 fault_rate: rate,
                 corruption_rate,
                 rows,
                 wall_secs,
                 goodput_mib_s: logical_mib / wall_secs,
-                load_faults: server.load_faults(),
-                load_retries: server.load_retries(),
-                checksum_failures: server.checksum_failures(),
-                chunks_quarantined: server.chunks_quarantined(),
+                load_faults: snap.counter("load_faults"),
+                load_retries: snap.counter("load_retries"),
+                checksum_failures: snap.counter("checksum_failures"),
+                chunks_quarantined: snap.counter("chunks_quarantined"),
+                faults_injected: snap.counter("faults_injected"),
+                pin_wait_p99_ns: snap.pin_wait.p99(),
             }
         })
         .collect()
@@ -170,6 +190,30 @@ mod tests {
         assert!(points[1].load_faults > 0, "rate 0.3 must inject faults");
         assert_eq!(points[1].rows, 8 * 200, "faults never lose rows");
         assert_eq!(points[1].chunks_quarantined, 0);
+        // Worker-observed faults are injected transients plus corruptions
+        // caught at install time (checksum failures retry like faults).
+        assert!(
+            points[1].faults_injected + points[1].checksum_failures >= points[1].load_faults,
+            "injected {} + checksum {} < observed {}",
+            points[1].faults_injected,
+            points[1].checksum_failures,
+            points[1].load_faults
+        );
+        assert!(points[1].faults_injected > 0);
+    }
+
+    #[test]
+    fn sweep_points_report_their_own_window_only() {
+        // snapshot_and_reset between points: a rate-0 point run *after* a
+        // faulty one must still read zero faults, not the faulty residue.
+        let points = run_fault_sweep(8, 200, &[0.3, 0.0]);
+        assert!(points[0].load_faults > 0);
+        assert_eq!(
+            points[1].load_faults, 0,
+            "counters must not leak across sweep points"
+        );
+        assert_eq!(points[1].faults_injected, 0);
+        assert_eq!(points[1].checksum_failures, 0);
     }
 
     #[test]

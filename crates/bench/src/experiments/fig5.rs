@@ -88,6 +88,11 @@ pub struct LivePoint {
     pub loads: u64,
     /// Pins dropped without `complete()` — must stay zero.
     pub unconsumed_drops: u64,
+    /// p99 time to first chunk across the run's queries, in nanoseconds
+    /// (log2-bucket upper bound, from the server's metrics snapshot).
+    pub ttfc_p99_ns: u64,
+    /// p99 single pin-wait episode, in nanoseconds (log2-bucket upper bound).
+    pub pin_wait_p99_ns: u64,
 }
 
 /// Geometry of the tracked live run.
@@ -134,7 +139,8 @@ pub fn run_live(streams: usize, chunks: u32, rows_per_chunk: u64) -> Vec<LivePoi
                         ScanRanges::full(chunks),
                         ColSet::empty(),
                     ));
-                    let src = SessionSource::new(handle, vec![flag, qty]);
+                    let src = SessionSource::new(handle, vec![flag, qty])
+                        .with_observability(server.metrics());
                     let filtered = Filter::new(src, Expr::col(1).le(Expr::lit(45)));
                     let mut agg = HashAggregate::new(
                         filtered,
@@ -154,6 +160,7 @@ pub fn run_live(streams: usize, chunks: u32, rows_per_chunk: u64) -> Vec<LivePoi
         let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
         let delivered_chunks = streams as u64 * chunks as u64;
         let delivered_mib = (delivered_chunks * payload_bytes_per_chunk) as f64 / (1024.0 * 1024.0);
+        let snap = server.metrics().snapshot();
         points.push(LivePoint {
             policy,
             streams,
@@ -164,6 +171,8 @@ pub fn run_live(streams: usize, chunks: u32, rows_per_chunk: u64) -> Vec<LivePoi
             pin_wait_secs: server.pin_wait().as_secs_f64(),
             loads: server.loads_completed(),
             unconsumed_drops: server.unconsumed_drops(),
+            ttfc_p99_ns: snap.ttfc.p99(),
+            pin_wait_p99_ns: snap.pin_wait.p99(),
         });
     }
     points
@@ -226,6 +235,11 @@ mod tests {
             assert!(p.mib_per_sec > 0.0, "{}", p.policy);
             assert!(p.loads >= 8, "{}: every chunk read at least once", p.policy);
             assert_eq!(p.unconsumed_drops, 0, "{}", p.policy);
+            assert!(
+                p.ttfc_p99_ns > 0,
+                "{}: every query records a time to first chunk",
+                p.policy
+            );
             assert_eq!(
                 p.rows, expected_rows,
                 "{}: every policy aggregates the same rows",

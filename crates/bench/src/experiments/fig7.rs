@@ -270,10 +270,10 @@ pub fn run_threaded_once(
         wall_secs,
         chunks_per_sec: total as f64 / wall_secs,
         loads: server.loads_completed(),
-        lock_acquisitions: holds.total(),
-        lock_p50_ns: holds.quantile_ns(0.5),
-        lock_p99_ns: holds.quantile_ns(0.99),
-        lock_max_ns: holds.max_ns(),
+        lock_acquisitions: holds.count(),
+        lock_p50_ns: holds.p50(),
+        lock_p99_ns: holds.p99(),
+        lock_max_ns: holds.max_value(),
     }
 }
 

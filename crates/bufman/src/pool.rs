@@ -8,9 +8,11 @@
 
 use crate::frame::{Frame, FrameId, PageKey};
 use crate::policy::ReplacementPolicy;
+use cscan_obs::{Counter, Gauge, Registry};
 use cscan_storage::ChunkPayload;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of a fetch: whether the page was already resident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +96,13 @@ pub struct BufferPool {
     /// Materialized data of resident pages, where the caller chose to attach
     /// some (cloning a payload is a refcount bump, never a data copy).
     payloads: HashMap<PageKey, ChunkPayload>,
+    /// Optional metrics registry the pool mirrors its counters into
+    /// ([`BufferPool::set_observability`]); `PoolStats` stays the local
+    /// source of truth either way.
+    obs: Option<Arc<Registry>>,
+    /// Frames currently pinned by at least one user, maintained
+    /// incrementally so the gauge update is O(1).
+    pinned: usize,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -121,6 +130,32 @@ impl BufferPool {
             policy,
             stats: PoolStats::default(),
             payloads: HashMap::new(),
+            obs: None,
+            pinned: 0,
+        }
+    }
+
+    /// Mirrors the pool's counters (pins, unpins, evictions, hits, misses)
+    /// and residency gauges into `obs` from now on.  [`BufferPool::stats`]
+    /// keeps accumulating locally either way.
+    pub fn set_observability(&mut self, obs: Arc<Registry>) {
+        self.obs = Some(obs);
+    }
+
+    /// Bumps a mirrored counter, if a registry is attached.
+    #[inline]
+    fn obs_inc(&self, counter: Counter) {
+        if let Some(obs) = &self.obs {
+            obs.inc(counter);
+        }
+    }
+
+    /// Refreshes the pinned/resident gauges, if a registry is attached.
+    #[inline]
+    fn obs_gauges(&self) {
+        if let Some(obs) = &self.obs {
+            obs.gauge_set(Gauge::PinnedFrames, self.pinned as u64);
+            obs.gauge_set(Gauge::ResidentFrames, self.page_table.len() as u64);
         }
     }
 
@@ -161,7 +196,11 @@ impl BufferPool {
 
     /// Number of frames currently pinned by at least one user.
     pub fn pinned_frames(&self) -> usize {
-        self.frames.iter().filter(|f| f.is_pinned()).count()
+        debug_assert_eq!(
+            self.pinned,
+            self.frames.iter().filter(|f| f.is_pinned()).count()
+        );
+        self.pinned
     }
 
     /// Pins `key` if (and only if) it is already resident — unlike
@@ -170,9 +209,14 @@ impl BufferPool {
     pub fn pin(&mut self, key: PageKey) -> bool {
         match self.page_table.get(&key) {
             Some(&frame) => {
+                if !self.frames[frame.0].is_pinned() {
+                    self.pinned += 1;
+                }
                 self.frames[frame.0].pin();
                 self.policy.on_access(frame);
                 self.stats.pins += 1;
+                self.obs_inc(Counter::FramePins);
+                self.obs_gauges();
                 true
             }
             None => false,
@@ -229,19 +273,29 @@ impl BufferPool {
     /// pool is completely pinned and nothing can be evicted.
     pub fn fetch_and_pin(&mut self, key: PageKey) -> Option<FetchOutcome> {
         if let Some(&frame) = self.page_table.get(&key) {
+            if !self.frames[frame.0].is_pinned() {
+                self.pinned += 1;
+            }
             self.frames[frame.0].pin();
             self.policy.on_access(frame);
             self.stats.hits += 1;
             self.stats.pins += 1;
+            self.obs_inc(Counter::FrameHits);
+            self.obs_inc(Counter::FramePins);
+            self.obs_gauges();
             return Some(FetchOutcome::Hit(frame));
         }
         let frame = self.obtain_frame()?;
         self.frames[frame.0].install(key);
         self.frames[frame.0].pin();
+        self.pinned += 1;
         self.page_table.insert(key, frame);
         self.policy.on_install(frame);
         self.stats.misses += 1;
         self.stats.pins += 1;
+        self.obs_inc(Counter::FrameMisses);
+        self.obs_inc(Counter::FramePins);
+        self.obs_gauges();
         Some(FetchOutcome::Miss(frame))
     }
 
@@ -255,7 +309,12 @@ impl BufferPool {
             .get(&key)
             .unwrap_or_else(|| panic!("unpin of non-resident page {key}"));
         self.frames[frame.0].unpin(dirty);
+        if !self.frames[frame.0].is_pinned() {
+            self.pinned -= 1;
+        }
         self.stats.unpins += 1;
+        self.obs_inc(Counter::FrameUnpins);
+        self.obs_gauges();
     }
 
     /// Fetches and immediately unpins every page in `keys`, reporting how
@@ -284,6 +343,8 @@ impl BufferPool {
                 self.policy.on_evict(frame);
                 self.free.push(frame);
                 self.stats.evictions += 1;
+                self.obs_inc(Counter::FrameEvictions);
+                self.obs_gauges();
                 true
             }
             _ => false,
@@ -307,6 +368,7 @@ impl BufferPool {
         self.payloads.remove(&old_key);
         self.policy.on_evict(victim);
         self.stats.evictions += 1;
+        self.obs_inc(Counter::FrameEvictions);
         Some(victim)
     }
 }

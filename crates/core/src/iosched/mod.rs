@@ -61,8 +61,10 @@ pub use backend::SimIoBackend;
 
 use crate::abm::{Abm, CommitOutcome, LoadDecision, LoadPlan};
 use crate::query::QueryId;
+use cscan_obs::{Counter, Registry};
 use cscan_simdisk::SimTime;
 use cscan_storage::{ChunkId, StoreError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Bounded-retry policy for failed chunk reads.
@@ -180,6 +182,9 @@ pub struct IoScheduler {
     /// decision's `chunk` field; loads are unique per chunk).
     outstanding: Vec<Outstanding>,
     stats: IoSchedStats,
+    /// Observability mirror of [`IoSchedStats`]; disabled (a no-op) unless
+    /// [`IoScheduler::set_observability`] installed a live registry.
+    obs: Arc<Registry>,
 }
 
 impl IoScheduler {
@@ -190,7 +195,16 @@ impl IoScheduler {
             max_outstanding: max_outstanding.max(1),
             outstanding: Vec::new(),
             stats: IoSchedStats::default(),
+            obs: Arc::new(Registry::disabled()),
         }
+    }
+
+    /// Mirrors every stats increment into `obs` (`io_loads_issued`,
+    /// `io_bursts`, `loads_completed`, `loads_cancelled`, `load_faults`,
+    /// `load_retries`, `frame_evictions`) so scheduler activity lands in the
+    /// same snapshot as the rest of the engine.
+    pub fn set_observability(&mut self, obs: Arc<Registry>) {
+        self.obs = obs;
     }
 
     /// The outstanding-load budget.
@@ -220,7 +234,9 @@ impl IoScheduler {
         let before = self.outstanding.len();
         self.outstanding
             .retain(|o| abm.state().inflight_ticket(o.decision.chunk) == Some(o.ticket));
-        self.stats.loads_cancelled += (before - self.outstanding.len()) as u64;
+        let reconciled = (before - self.outstanding.len()) as u64;
+        self.stats.loads_cancelled += reconciled;
+        self.obs.add(Counter::LoadsCancelled, reconciled);
         debug_assert_eq!(
             abm.state().num_inflight(),
             self.outstanding.len(),
@@ -244,8 +260,12 @@ impl IoScheduler {
             });
             self.stats.loads_issued += 1;
             self.stats.evictions += plan.evicted.len() as u64;
+            self.obs.inc(Counter::IoLoadsIssued);
+            self.obs
+                .add(Counter::FrameEvictions, plan.evicted.len() as u64);
         }
         self.stats.bursts += 1;
+        self.obs.inc(Counter::IoBursts);
         self.stats.peak_outstanding = self.stats.peak_outstanding.max(self.outstanding.len());
     }
 
@@ -267,6 +287,7 @@ impl IoScheduler {
             .unwrap_or_else(|| panic!("no outstanding load of {chunk:?}"));
         let outstanding = self.outstanding.remove(idx);
         self.stats.loads_completed += 1;
+        self.obs.inc(Counter::LoadsCompleted);
         let woken = abm.complete_load_of(chunk);
         (outstanding.decision, woken)
     }
@@ -293,10 +314,12 @@ impl IoScheduler {
         match abm.commit_load(chunk, ticket, outstanding.epoch) {
             CommitOutcome::Committed { woken } => {
                 self.stats.loads_completed += 1;
+                self.obs.inc(Counter::LoadsCompleted);
                 Some((outstanding.decision, woken))
             }
             CommitOutcome::Cancelled | CommitOutcome::Aborted => {
                 self.stats.loads_cancelled += 1;
+                self.obs.inc(Counter::LoadsCancelled);
                 None
             }
         }
@@ -331,9 +354,13 @@ impl IoScheduler {
             return FailureAction::Quarantine;
         };
         self.outstanding[idx].failed_attempts += 1;
+        self.obs.inc(Counter::LoadFaults);
         let action = retry.on_failure(error, self.outstanding[idx].failed_attempts);
         match action {
-            FailureAction::Retry { .. } => self.stats.load_retries += 1,
+            FailureAction::Retry { .. } => {
+                self.stats.load_retries += 1;
+                self.obs.inc(Counter::LoadRetries);
+            }
             FailureAction::Quarantine => {
                 self.outstanding.remove(idx);
                 abm.fail_load(chunk, ticket);
@@ -357,6 +384,7 @@ impl IoScheduler {
         };
         self.outstanding.remove(idx);
         self.stats.loads_cancelled += 1;
+        self.obs.inc(Counter::LoadsCancelled);
         true
     }
 }

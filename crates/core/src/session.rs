@@ -43,6 +43,7 @@ use crate::policy::PolicyKind;
 use crate::query::QueryId;
 use crate::AbmState;
 use crate::TableModel;
+use cscan_obs::{Counter, EventKind, QueryCounter, QueryScope, Registry, SpanKind};
 use cscan_simdisk::{SimDuration, SimTime};
 use cscan_storage::{ChunkId, ChunkPayload, ColumnId, FaultConfig, FaultOutcome, StoreError};
 use parking_lot::Mutex;
@@ -209,10 +210,6 @@ struct SimFaultState {
     quarantined: HashSet<ChunkId>,
     /// Pending per-query errors, delivered on the next `next_chunk` call.
     errors: HashMap<QueryId, ScanError>,
-    load_retries: u64,
-    load_faults: u64,
-    chunks_quarantined: u64,
-    queries_erred: u64,
 }
 
 /// Shared state of a [`SimScanServer`]: the ABM plus a virtual clock.
@@ -220,11 +217,18 @@ struct SimHub {
     abm: Abm,
     now: SimTime,
     io_cost_per_page: SimDuration,
-    unconsumed_drops: u64,
+    /// The observability registry; flight events are stamped with *virtual*
+    /// nanoseconds so seeded chaos runs dump byte-identical recordings.
+    obs: Arc<Registry>,
     faults: Option<SimFaultState>,
 }
 
 impl SimHub {
+    /// The current virtual time, as flight-recorder nanoseconds.
+    fn now_ns(&self) -> u64 {
+        self.now.as_micros().saturating_mul(1_000)
+    }
+
     /// Removes and returns the pending error for `q`, if any.
     fn take_error(&mut self, q: QueryId) -> Option<ScanError> {
         self.faults.as_mut()?.errors.remove(&q)
@@ -237,10 +241,29 @@ impl SimHub {
     /// spent or the fault is permanent.
     fn drive_load(&mut self, plan: LoadPlan) {
         let cost = self.io_cost_per_page.mul_f64(plan.pages as f64);
+        let cost_ns = cost.as_micros().saturating_mul(1_000);
         let (chunk, ticket, epoch) = (plan.decision.chunk, plan.ticket, plan.epoch);
+        let chunk_idx = chunk.index();
+        self.obs.event_at(
+            self.now_ns(),
+            EventKind::LoadPlanned,
+            chunk_idx,
+            cscan_obs::NO_QUERY,
+            plan.pages,
+        );
         let Some(faults) = self.faults.as_ref() else {
             self.now += cost;
+            self.obs
+                .record_span_ns(SpanKind::Materialize, cost_ns.max(1));
             let _ = self.abm.commit_load(chunk, ticket, epoch);
+            self.obs.inc(Counter::LoadsCompleted);
+            self.obs.event_at(
+                self.now_ns(),
+                EventKind::LoadCommitted,
+                chunk_idx,
+                cscan_obs::NO_QUERY,
+                0,
+            );
             return;
         };
         let config = faults.config.clone();
@@ -248,6 +271,8 @@ impl SimHub {
         let mut failed_attempts = 0u32;
         let fatal = loop {
             self.now += cost;
+            self.obs
+                .record_span_ns(SpanKind::Materialize, cost_ns.max(1));
             let faults = self.faults.as_mut().expect("fault state checked above");
             let counter = faults.attempts.entry(chunk).or_insert(0);
             let attempt = *counter;
@@ -258,15 +283,42 @@ impl SimHub {
                 // threaded front-end is where corruption breaks checksums.)
                 FaultOutcome::Success | FaultOutcome::Corrupt => {
                     let _ = self.abm.commit_load(chunk, ticket, epoch);
+                    self.obs.inc(Counter::LoadsCompleted);
+                    self.obs.event_at(
+                        self.now_ns(),
+                        EventKind::LoadCommitted,
+                        chunk_idx,
+                        cscan_obs::NO_QUERY,
+                        failed_attempts as u64,
+                    );
                     return;
                 }
                 FaultOutcome::Fail(error) => {
                     failed_attempts += 1;
-                    faults.load_faults += 1;
+                    self.obs.inc(Counter::LoadFaults);
+                    self.obs.event_at(
+                        self.now_ns(),
+                        EventKind::LoadFault,
+                        chunk_idx,
+                        cscan_obs::NO_QUERY,
+                        failed_attempts as u64,
+                    );
                     match retry.on_failure(error, failed_attempts) {
                         FailureAction::Retry { delay } => {
-                            faults.load_retries += 1;
-                            self.now += SimDuration::from_micros(delay.as_micros() as u64);
+                            let backoff = SimDuration::from_micros(delay.as_micros() as u64);
+                            self.obs.inc(Counter::LoadRetries);
+                            self.obs.record_span_ns(
+                                SpanKind::Backoff,
+                                backoff.as_micros().saturating_mul(1_000).max(1),
+                            );
+                            self.now += backoff;
+                            self.obs.event_at(
+                                self.now_ns(),
+                                EventKind::LoadRetry,
+                                chunk_idx,
+                                cscan_obs::NO_QUERY,
+                                failed_attempts as u64,
+                            );
                         }
                         FailureAction::Quarantine => break error,
                     }
@@ -282,7 +334,7 @@ impl SimHub {
         let victims: Vec<QueryId> = self.abm.state().interested_queries(chunk).collect();
         let faults = self.faults.as_mut().expect("fault state checked above");
         faults.quarantined.insert(chunk);
-        faults.chunks_quarantined += 1;
+        self.obs.inc(Counter::ChunksQuarantined);
         for q in &victims {
             faults.errors.insert(
                 *q,
@@ -291,11 +343,26 @@ impl SimHub {
                     cause: fatal,
                 },
             );
-            faults.queries_erred += 1;
+            self.obs.inc(Counter::QueriesErred);
+        }
+        let now_ns = self.now_ns();
+        self.obs.event_at(
+            now_ns,
+            EventKind::ChunkQuarantined,
+            chunk_idx,
+            cscan_obs::NO_QUERY,
+            victims.len() as u64,
+        );
+        for q in &victims {
+            self.obs
+                .event_at(now_ns, EventKind::QueryErred, chunk_idx, q.0, 0);
         }
         for q in victims {
             self.abm.finish_query(q);
         }
+        // The dump is stamped in virtual nanoseconds, so a seeded chaos run
+        // produces the same recording on every execution.
+        self.obs.dump_flight("chunk quarantined");
     }
 }
 
@@ -326,10 +393,24 @@ impl SimScanServer {
                 abm,
                 now: SimTime::ZERO,
                 io_cost_per_page: SimDuration::from_micros(50),
-                unconsumed_drops: 0,
+                obs: Arc::new(Registry::new()),
                 faults: None,
             })),
         }
+    }
+
+    /// Replaces the server's observability registry — e.g. a shared one so
+    /// several servers aggregate into a single snapshot, or
+    /// [`Registry::disabled`] to measure the no-observability baseline.
+    pub fn with_observability(self, obs: Arc<Registry>) -> Self {
+        self.hub.lock().obs = obs;
+        self
+    }
+
+    /// The observability registry: counters, spans, per-query scopes and
+    /// the flight recorder, all stamped in virtual time.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.hub.lock().obs)
     }
 
     /// Enables deterministic fault injection on the virtual disk: every
@@ -343,45 +424,29 @@ impl SimScanServer {
             attempts: HashMap::new(),
             quarantined: HashSet::new(),
             errors: HashMap::new(),
-            load_retries: 0,
-            load_faults: 0,
-            chunks_quarantined: 0,
-            queries_erred: 0,
         });
         self
     }
 
     /// Injected read failures that were retried.
     pub fn load_retries(&self) -> u64 {
-        self.hub
-            .lock()
-            .faults
-            .as_ref()
-            .map_or(0, |f| f.load_retries)
+        self.hub.lock().obs.counter(Counter::LoadRetries)
     }
 
     /// Injected read failures observed (retried or fatal).
     pub fn load_faults(&self) -> u64 {
-        self.hub.lock().faults.as_ref().map_or(0, |f| f.load_faults)
+        self.hub.lock().obs.counter(Counter::LoadFaults)
     }
 
     /// Chunks quarantined after exhausting their retry budget.
     pub fn chunks_quarantined(&self) -> u64 {
-        self.hub
-            .lock()
-            .faults
-            .as_ref()
-            .map_or(0, |f| f.chunks_quarantined)
+        self.hub.lock().obs.counter(Counter::ChunksQuarantined)
     }
 
     /// Queries closed with a [`ScanError`] because a needed chunk was
     /// quarantined.
     pub fn queries_erred(&self) -> u64 {
-        self.hub
-            .lock()
-            .faults
-            .as_ref()
-            .map_or(0, |f| f.queries_erred)
+        self.hub.lock().obs.counter(Counter::QueriesErred)
     }
 
     /// Attaches a scan, returning its session.
@@ -393,15 +458,26 @@ impl SimScanServer {
             plan.columns
         };
         let now = hub.now;
+        let label = plan.label.clone();
         let query = hub
             .abm
             .register_query(plan.label, plan.ranges, columns, now);
+        let scope = hub.obs.attach_query(label, "sim");
+        hub.obs.event_at(
+            hub.now_ns(),
+            EventKind::QueryAttached,
+            cscan_obs::NO_CHUNK,
+            query.0,
+            0,
+        );
         SimScanSession {
             hub: Arc::clone(&self.hub),
             releaser: Arc::new(SimRelease {
                 hub: Arc::clone(&self.hub),
             }),
             query,
+            scope,
+            attached_at: now,
             limit: plan.limit_chunks,
             delivered: 0,
             detached: false,
@@ -421,7 +497,7 @@ impl SimScanServer {
 
     /// Pins that were dropped without [`PinnedChunk::complete`].
     pub fn unconsumed_drops(&self) -> u64 {
-        self.hub.lock().unconsumed_drops
+        self.hub.lock().obs.counter(Counter::UnconsumedDrops)
     }
 
     /// The current virtual time.
@@ -439,7 +515,7 @@ impl ChunkRelease for SimRelease {
     fn release(&self, query: QueryId, chunk: ChunkId, consumed: bool) {
         let mut hub = self.hub.lock();
         if !consumed {
-            hub.unconsumed_drops += 1;
+            hub.obs.inc(Counter::UnconsumedDrops);
         }
         hub.abm.release_delivered(query, chunk);
     }
@@ -451,6 +527,11 @@ pub struct SimScanSession {
     hub: Arc<Mutex<SimHub>>,
     releaser: Arc<SimRelease>,
     query: QueryId,
+    /// The session's per-query metric scope (chunks delivered, pin waits,
+    /// time to first chunk — all in virtual time).
+    scope: Arc<QueryScope>,
+    /// Virtual attach time, the zero point for time-to-first-chunk.
+    attached_at: SimTime,
     limit: Option<u32>,
     delivered: u32,
     detached: bool,
@@ -481,6 +562,7 @@ impl ScanSession for SimScanSession {
         let mut finished = false;
         let outcome = {
             let mut hub = self.hub.lock();
+            let wait_started = hub.now;
             loop {
                 // The error check must come first: a quarantined chunk has
                 // already *closed* this query's ABM registration, so the
@@ -495,6 +577,17 @@ impl ScanSession for SimScanSession {
                 let now = hub.now;
                 if let Some(chunk) = hub.abm.acquire_chunk(self.query, now) {
                     self.delivered += 1;
+                    // Virtual time spent driving loads before this delivery
+                    // is the sim's pin wait; the threaded front-end records
+                    // the analogous wall-clock blocking time.
+                    let waited_ns = (now - wait_started).as_micros().saturating_mul(1_000);
+                    if waited_ns > 0 {
+                        self.scope.record_pin_wait(waited_ns);
+                        hub.obs.record_span_ns(SpanKind::PinWait, waited_ns);
+                    }
+                    let ttfc = (now - self.attached_at).as_micros().saturating_mul(1_000);
+                    self.scope.record_first_chunk(ttfc);
+                    self.scope.add(QueryCounter::ChunksDelivered, 1);
                     break Ok(Some(PinnedChunk::new(
                         self.query,
                         chunk,
@@ -536,6 +629,15 @@ impl ScanSession for SimScanSession {
                 // keep the error sticky for repeat calls.
                 self.error = Some(error);
                 self.detached = true;
+                let hub = self.hub.lock();
+                hub.obs.detach_query(&self.scope);
+                hub.obs.event_at(
+                    hub.now_ns(),
+                    EventKind::QueryDetached,
+                    cscan_obs::NO_CHUNK,
+                    self.query.0,
+                    0,
+                );
                 Err(error)
             }
         }
@@ -559,7 +661,16 @@ impl ScanSession for SimScanSession {
             return;
         }
         self.detached = true;
-        self.hub.lock().abm.finish_query(self.query);
+        let mut hub = self.hub.lock();
+        hub.abm.finish_query(self.query);
+        hub.obs.detach_query(&self.scope);
+        hub.obs.event_at(
+            hub.now_ns(),
+            EventKind::QueryDetached,
+            cscan_obs::NO_CHUNK,
+            self.query.0,
+            0,
+        );
     }
 }
 
@@ -886,5 +997,66 @@ mod tests {
         assert_eq!(server.chunks_quarantined(), 1);
         let hub = server.hub.lock();
         assert_eq!(hub.abm.state().num_queries(), 0, "no query state leaks");
+    }
+
+    #[test]
+    fn quarantine_dump_is_deterministic_in_virtual_time() {
+        // The flight recorder is stamped with virtual nanoseconds, so two
+        // identically seeded chaos runs dump byte-identical recordings.
+        let run = || {
+            let model = TableModel::nsm_uniform(8, 1_000, 16);
+            let config = FaultConfig {
+                permanent_chunks: vec![2],
+                ..FaultConfig::default()
+            };
+            let server = SimScanServer::new(model.clone(), PolicyKind::Relevance, 4 * 16)
+                .with_fault_injection(config, RetryPolicy::no_retries());
+            let mut s = server.attach(CScanPlan::new(
+                "chaos",
+                ScanRanges::full(8),
+                model.all_columns(),
+            ));
+            while let Ok(Some(pin)) = s.next_chunk() {
+                pin.complete();
+            }
+            server
+                .metrics()
+                .last_flight_dump()
+                .expect("quarantine must dump the flight recorder")
+        };
+        let dump = run();
+        assert_eq!(dump, run(), "same seed, same virtual time, same dump");
+        assert!(dump.contains("chunk_quarantined"), "dump: {dump}");
+        assert!(dump.contains("query_erred"), "dump: {dump}");
+    }
+
+    #[test]
+    fn sim_metrics_cover_per_query_dimensions() {
+        let (server, model) = server(PolicyKind::Relevance, 8, 4);
+        let mut s = server.attach(CScanPlan::new(
+            "observed",
+            ScanRanges::full(8),
+            model.all_columns(),
+        ));
+        drain(&mut s);
+        let snap = server.metrics().snapshot();
+        assert!(snap.is_consistent(), "scope sums must match query totals");
+        assert_eq!(snap.query_counter_sum("chunks_delivered"), 8);
+        let q = snap
+            .queries
+            .iter()
+            .find(|q| q.label == "observed")
+            .expect("the scan's scope is in the snapshot");
+        assert_eq!(q.table, "sim");
+        assert!(q.detached, "drained sessions detach their scope");
+        assert!(
+            q.ttfc_ns.is_some(),
+            "time to first chunk is recorded in virtual time"
+        );
+        assert_eq!(snap.counter("loads_completed"), server.io_requests());
+        assert!(
+            snap.span("materialize").count() >= 8,
+            "every driven load records a materialize span"
+        );
     }
 }

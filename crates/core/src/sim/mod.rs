@@ -66,6 +66,7 @@ pub struct Simulation {
     policy: PolicyKind,
     config: SimConfig,
     streams: Vec<Vec<QuerySpec>>,
+    obs: Option<std::sync::Arc<cscan_obs::Registry>>,
 }
 
 impl Simulation {
@@ -76,7 +77,15 @@ impl Simulation {
             policy,
             config,
             streams: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Installs an observability registry: the I/O scheduler mirrors its
+    /// counters (`io_loads_issued`, `io_bursts`, completions, cancellations,
+    /// retries, evictions) into it during [`Simulation::run`].
+    pub fn set_observability(&mut self, obs: std::sync::Arc<cscan_obs::Registry>) {
+        self.obs = Some(obs);
     }
 
     /// Adds a stream of queries that will run back-to-back.
@@ -96,7 +105,13 @@ impl Simulation {
 
     /// Runs the simulation to completion and returns the collected metrics.
     pub fn run(&mut self) -> RunResult {
-        Runner::new(&self.model, self.policy, self.config, &self.streams).run()
+        let mut runner = Runner::new(&self.model, self.policy, self.config, &self.streams);
+        if let Some(obs) = &self.obs {
+            runner
+                .scheduler
+                .set_observability(std::sync::Arc::clone(obs));
+        }
+        runner.run()
     }
 
     /// Convenience: run a single query by itself against a cold buffer and

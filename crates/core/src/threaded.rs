@@ -53,8 +53,8 @@
 //!   world can change mid-read, every plan carries a `(ticket, epoch)`
 //!   stamp and [`Abm::commit_load`] revalidates it: a load whose last
 //!   interested query detached mid-read is aborted, never installed.  Lock
-//!   hold times are recorded into [`LockHoldHistogram`]
-//!   ([`ScanServer::lock_hold_histogram`]).
+//!   hold times are recorded into the observability registry's `lock_hold`
+//!   span histogram ([`ScanServer::lock_hold_histogram`]; see `cscan_obs`).
 //!
 //! * **Targeted wakeups.**  There are no global condition variables.  Every
 //!   registered CScan owns a *wait slot* (a condvar in the hub's registry):
@@ -118,12 +118,15 @@ use crate::policy::PolicyKind;
 use crate::query::QueryId;
 use crate::session::{ChunkRelease, PinnedChunk, ScanError, ScanSession};
 use cscan_bufman::{BufferPool, LruPolicy, PageKey, PoolStats};
+use cscan_obs::{
+    Counter, EventKind, HistogramSnapshot, QueryCounter, QueryScope, Registry, SpanKind, NO_QUERY,
+};
 use cscan_simdisk::SimTime;
 use cscan_storage::{ChunkId, ChunkPayload, ChunkStore, ColumnId, StoreError};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -132,90 +135,6 @@ use std::time::{Duration, Instant};
 /// granularity: one "page" per chunk).
 fn frame_key(chunk: ChunkId) -> PageKey {
     PageKey::new(0, chunk.index() as u64)
-}
-
-/// Number of power-of-two buckets in the lock hold-time histogram
-/// (bucket `i` counts holds in `[2^i, 2^{i+1})` nanoseconds; the last
-/// bucket absorbs everything longer, ~134 ms and up).
-const HOLD_BUCKETS: usize = 28;
-
-/// A lock-free histogram of how long the hub mutex was held, in
-/// power-of-two nanosecond buckets.  Every critical section of the executor
-/// records into it, so the fig7 thread sweep can report contention directly
-/// instead of inferring it from throughput.
-#[derive(Debug)]
-pub struct LockHoldHistogram {
-    buckets: [AtomicU64; HOLD_BUCKETS],
-}
-
-impl LockHoldHistogram {
-    fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    fn record(&self, held: Duration) {
-        let ns = (held.as_nanos() as u64).max(1);
-        let bucket = (63 - ns.leading_zeros() as usize).min(HOLD_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy of the bucket counts.
-    pub fn snapshot(&self) -> LockHoldSnapshot {
-        LockHoldSnapshot {
-            counts: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-        }
-    }
-}
-
-/// A copied-out [`LockHoldHistogram`]: bucket `i` counts lock holds of
-/// `[2^i, 2^{i+1})` nanoseconds.
-#[derive(Debug, Clone)]
-pub struct LockHoldSnapshot {
-    counts: Vec<u64>,
-}
-
-impl LockHoldSnapshot {
-    /// The per-bucket counts (bucket `i` covers `[2^i, 2^{i+1})` ns).
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
-    }
-
-    /// Total number of critical sections recorded.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// Upper bound (ns) of the bucket containing the `q`-quantile hold time
-    /// (`q` in `[0, 1]`); 0 when nothing was recorded.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.total();
-        if total == 0 {
-            return 0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << self.counts.len()
-    }
-
-    /// Upper bound (ns) of the longest recorded hold; 0 when empty.
-    pub fn max_ns(&self) -> u64 {
-        match self.counts.iter().rposition(|&c| c > 0) {
-            Some(i) => 1u64 << (i + 1),
-            None => 0,
-        }
-    }
 }
 
 /// Everything the hub mutex protects: the ABM, the frame pool and the
@@ -266,38 +185,14 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     io_cost_per_page_nanos: u64,
-    loads_completed: AtomicU64,
-    loads_cancelled: AtomicU64,
-    /// Total time consumers spent blocked in `next_chunk` waiting for a
-    /// deliverable chunk (the data plane's "pin-wait" time).  Includes
-    /// first-pin decompression: decoding delays the consumer exactly like
-    /// waiting for the disk would.
-    pin_wait_nanos: AtomicU64,
-    /// Portion of the pin-wait spent decompressing payloads (first-pin
-    /// decodes, always outside the hub lock).
-    decode_nanos: AtomicU64,
-    /// Number of column values decompressed by first-pin decodes.
-    values_decoded: AtomicU64,
-    /// Pins dropped without [`PinnedChunk::complete`] — the silent-drop
-    /// footgun, surfaced as a counter so tests can assert it stays zero.
-    unconsumed_drops: AtomicU64,
     /// Bounded-retry policy for failed chunk reads.
     retry: RetryPolicy,
-    /// Read failures observed by the I/O workers (before retry).
-    load_faults: AtomicU64,
-    /// Failed reads that were retried (a subset of `load_faults`).
-    load_retries: AtomicU64,
-    /// Payloads rejected by checksum verification — at install on the
-    /// worker, or at decode-on-first-pin on the consumer.
-    checksum_failures: AtomicU64,
-    /// Panics caught unwinding out of payload work (materialize or decode);
-    /// each became a failed load instead of a dead thread.
-    worker_panics: AtomicU64,
-    /// Chunks moved into quarantine.
-    chunks_quarantined: AtomicU64,
-    /// Queries closed with a [`ScanError`].
-    queries_erred: AtomicU64,
-    lock_held: LockHoldHistogram,
+    /// The unified observability plane: every counter, histogram, span and
+    /// flight event of this server lands here.  All recording paths are
+    /// lock-free and allocation-free (see `cscan_obs`).
+    obs: Arc<Registry>,
+    /// Table label attached to per-query metric scopes.
+    table_label: String,
 }
 
 impl Shared {
@@ -310,7 +205,7 @@ impl Shared {
         HubGuard {
             guard: self.hub.lock(),
             acquired: Instant::now(),
-            histogram: &self.lock_held,
+            obs: &self.obs,
             _no_decode: cscan_storage::codec::forbid_decode(),
         }
     }
@@ -327,7 +222,7 @@ impl Shared {
 struct HubGuard<'a> {
     guard: MutexGuard<'a, Hub>,
     acquired: Instant,
-    histogram: &'a LockHoldHistogram,
+    obs: &'a Registry,
     /// Forbids payload decoding on this thread while the guard is alive.
     _no_decode: cscan_storage::codec::DecodeForbidden,
 }
@@ -336,7 +231,10 @@ impl HubGuard<'_> {
     /// Waits on `cv` (releasing the hub), closing the current hold-time
     /// measurement and starting a fresh one when the wait returns.
     fn wait_on(&mut self, cv: &Condvar, timeout: Duration) {
-        self.histogram.record(self.acquired.elapsed());
+        self.obs.record_span_ns(
+            SpanKind::LockHold,
+            (self.acquired.elapsed().as_nanos() as u64).max(1),
+        );
         cv.wait_for(&mut self.guard, timeout);
         self.acquired = Instant::now();
     }
@@ -357,7 +255,10 @@ impl DerefMut for HubGuard<'_> {
 
 impl Drop for HubGuard<'_> {
     fn drop(&mut self) {
-        self.histogram.record(self.acquired.elapsed());
+        self.obs.record_span_ns(
+            SpanKind::LockHold,
+            (self.acquired.elapsed().as_nanos() as u64).max(1),
+        );
     }
 }
 
@@ -370,6 +271,8 @@ pub struct ScanServerBuilder {
     io_threads: usize,
     store: Option<Arc<dyn ChunkStore>>,
     retry: RetryPolicy,
+    obs: Option<Arc<Registry>>,
+    table_label: String,
 }
 
 impl ScanServerBuilder {
@@ -425,6 +328,22 @@ impl ScanServerBuilder {
         self
     }
 
+    /// Shares a metrics registry with the server (default: the server
+    /// creates its own [`Registry`]).  Benches pass one registry across a
+    /// whole sweep and call [`Registry::snapshot_and_reset`] between
+    /// points; pass [`Registry::disabled`] for a no-observability baseline.
+    pub fn observability(mut self, obs: Arc<Registry>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Sets the table label attached to per-query metrics (default
+    /// `"table"`; the server serves exactly one table model).
+    pub fn table_label(mut self, label: impl Into<String>) -> Self {
+        self.table_label = label.into();
+        self
+    }
+
     /// Starts the I/O worker pool and returns the running server.
     pub fn build(self) -> ScanServer {
         let capacity = self
@@ -438,6 +357,11 @@ impl ScanServerBuilder {
         let state = AbmState::new(self.model, capacity);
         let abm = Abm::new(state, self.policy.build());
         let workers = self.io_threads;
+        let obs = self.obs.unwrap_or_else(|| Arc::new(Registry::new()));
+        // The frame pool mirrors its pin/eviction counters and residency
+        // gauges into the same registry.
+        let mut pool = pool;
+        pool.set_observability(Arc::clone(&obs));
         let shared = Arc::new(Shared {
             hub: Mutex::new(Hub {
                 abm,
@@ -453,20 +377,9 @@ impl ScanServerBuilder {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             io_cost_per_page_nanos: self.io_cost_per_page.as_nanos() as u64,
-            loads_completed: AtomicU64::new(0),
-            loads_cancelled: AtomicU64::new(0),
-            pin_wait_nanos: AtomicU64::new(0),
-            decode_nanos: AtomicU64::new(0),
-            values_decoded: AtomicU64::new(0),
-            unconsumed_drops: AtomicU64::new(0),
             retry: self.retry,
-            load_faults: AtomicU64::new(0),
-            load_retries: AtomicU64::new(0),
-            checksum_failures: AtomicU64::new(0),
-            worker_panics: AtomicU64::new(0),
-            chunks_quarantined: AtomicU64::new(0),
-            queries_erred: AtomicU64::new(0),
-            lock_held: LockHoldHistogram::new(),
+            obs,
+            table_label: self.table_label,
         });
         let io_threads = (0..workers)
             .map(|i| {
@@ -500,7 +413,11 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         let mut hub = shared.lock();
         plans.clear();
         let now = shared.now();
+        let plan_started = Instant::now();
         hub.abm.plan_loads(now, 1, &mut plans);
+        shared
+            .obs
+            .record_span_ns(SpanKind::Plan, plan_started.elapsed().as_nanos() as u64);
         let Some(plan) = plans.pop() else {
             // blockForNextQuery: park on this worker's own doorbell until a
             // scheduling input changes.  The timeout is a belt-and-braces
@@ -541,6 +458,20 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         // a burst out across the pool without a notify_all stampede.
         let chain = hub.pop_doorbell();
         drop(hub);
+        // Flight events are recorded after the hub guard dropped: the
+        // recorder has its own (uncontended) mutex and control-plane events
+        // must not stretch the hub's critical sections.
+        for &victim in &plan.evicted {
+            shared
+                .obs
+                .event(EventKind::FrameEvicted, victim.index(), NO_QUERY, 0);
+        }
+        shared.obs.event(
+            EventKind::LoadPlanned,
+            plan.decision.chunk.index(),
+            NO_QUERY,
+            plan.pages,
+        );
         if let Some(bell) = chain {
             bell.notify_one();
         }
@@ -557,22 +488,42 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         // unlocked — and a spent retry budget (or a permanent fault)
         // quarantines the chunk instead of ever panicking.
         let mut failed_attempts = 0u32;
+        let chunk_idx = plan.decision.chunk.index();
         let payload = loop {
+            let read_started = Instant::now();
             let result = read_payload(&shared, plan.decision.chunk, dsm_cols.as_deref());
             let nanos = plan.pages.saturating_mul(shared.io_cost_per_page_nanos);
             if nanos > 0 {
                 std::thread::sleep(Duration::from_nanos(nanos));
             }
+            shared.obs.record_span_ns(
+                SpanKind::Materialize,
+                read_started.elapsed().as_nanos() as u64,
+            );
             match result {
                 Ok(payload) => break Some(payload),
                 Err(error) => {
-                    shared.load_faults.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.inc(Counter::LoadFaults);
                     failed_attempts += 1;
+                    shared.obs.event(
+                        EventKind::LoadFault,
+                        chunk_idx,
+                        NO_QUERY,
+                        failed_attempts as u64,
+                    );
                     match shared.retry.on_failure(error, failed_attempts) {
                         FailureAction::Retry { delay } => {
-                            shared.load_retries.fetch_add(1, Ordering::Relaxed);
+                            shared.obs.inc(Counter::LoadRetries);
+                            shared.obs.event(
+                                EventKind::LoadRetry,
+                                chunk_idx,
+                                NO_QUERY,
+                                delay.as_nanos() as u64,
+                            );
                             if !delay.is_zero() {
+                                let backoff = shared.obs.time(SpanKind::Backoff);
                                 std::thread::sleep(delay);
+                                drop(backoff);
                             }
                             // The world may have moved on mid-retry: if the
                             // last interested query detached, the load was
@@ -584,7 +535,10 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
                                 .inflight_ticket(plan.decision.chunk)
                                 == Some(plan.ticket);
                             if !live {
-                                shared.loads_cancelled.fetch_add(1, Ordering::Relaxed);
+                                shared.obs.inc(Counter::LoadsCancelled);
+                                shared
+                                    .obs
+                                    .event(EventKind::LoadCancelled, chunk_idx, NO_QUERY, 0);
                                 break None;
                             }
                         }
@@ -603,6 +557,7 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         };
         let mut hub = shared.lock();
         wake.clear();
+        let commit_started = Instant::now();
         // Split the borrow: the commit outcome borrows the ABM's wake
         // scratch while the slot registry is read beside it.
         let Hub { abm, slots, .. } = &mut *hub;
@@ -610,14 +565,14 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
             CommitOutcome::Committed { woken } => {
                 // signalQuery: wake exactly the scans the chunk unblocks.
                 wake.extend(woken.iter().filter_map(|q| slots.get(q)).map(Arc::clone));
-                shared.loads_completed.fetch_add(1, Ordering::Relaxed);
+                shared.obs.inc(Counter::LoadsCompleted);
                 true
             }
             CommitOutcome::Cancelled | CommitOutcome::Aborted => {
                 // The last interested query detached mid-read; the pages
                 // were (or are now) released, nothing was installed, and the
                 // materialized payload is simply dropped.
-                shared.loads_cancelled.fetch_add(1, Ordering::Relaxed);
+                shared.obs.inc(Counter::LoadsCancelled);
                 false
             }
         };
@@ -640,7 +595,20 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
                 debug_assert!(false, "the chunk-granular frame pool ran out of frames");
             }
         }
+        shared
+            .obs
+            .record_span_ns(SpanKind::Commit, commit_started.elapsed().as_nanos() as u64);
         drop(hub);
+        shared.obs.event(
+            if committed {
+                EventKind::LoadCommitted
+            } else {
+                EventKind::LoadCancelled
+            },
+            chunk_idx,
+            NO_QUERY,
+            wake.len() as u64,
+        );
         for slot in &wake {
             slot.notify_all();
         }
@@ -673,12 +641,19 @@ fn read_payload(
     match attempt {
         Ok(result) => {
             if matches!(result, Err(StoreError::Corrupted)) {
-                shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                shared.obs.inc(Counter::ChecksumFailures);
+                shared
+                    .obs
+                    .event(EventKind::ChecksumFailure, chunk.index(), NO_QUERY, 0);
             }
             result
         }
         Err(_panic) => {
-            shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+            shared.obs.inc(Counter::WorkerPanics);
+            shared
+                .obs
+                .event(EventKind::WorkerPanic, chunk.index(), NO_QUERY, 0);
+            shared.obs.dump_flight("worker panic");
             // Without knowing what broke, retrying a panicking data plane
             // is gambling; fail permanently so the chunk quarantines and
             // its queries get a clean error instead of repeated panics.
@@ -699,17 +674,19 @@ fn quarantine_chunk(shared: &Shared, chunk: ChunkId, ticket: u64, cause: StoreEr
     if !hub.abm.fail_load(chunk, ticket) {
         // The plan went stale mid-read: its last interested query detached
         // and the load was already aborted.  Nothing to fail.
-        shared.loads_cancelled.fetch_add(1, Ordering::Relaxed);
+        drop(hub);
+        shared.obs.inc(Counter::LoadsCancelled);
+        shared
+            .obs
+            .event(EventKind::LoadCancelled, chunk.index(), NO_QUERY, 0);
         return;
     }
-    if hub.quarantined.insert(chunk, cause).is_none() {
-        shared.chunks_quarantined.fetch_add(1, Ordering::Relaxed);
-    }
+    let newly_quarantined = hub.quarantined.insert(chunk, cause).is_none();
     let error = ScanError { chunk, cause };
     let victims: Vec<QueryId> = hub.abm.state().interested_queries(chunk).collect();
-    for q in victims {
+    for &q in &victims {
         hub.errors.insert(q, error);
-        shared.queries_erred.fetch_add(1, Ordering::Relaxed);
+        shared.obs.inc(Counter::QueriesErred);
         hub.abm.finish_query(q);
         if let Some(slot) = hub.slots.remove(&q) {
             wake.push(slot);
@@ -717,6 +694,23 @@ fn quarantine_chunk(shared: &Shared, chunk: ChunkId, ticket: u64, cause: StoreEr
     }
     let bell = hub.pop_doorbell();
     drop(hub);
+    if newly_quarantined {
+        shared.obs.inc(Counter::ChunksQuarantined);
+    }
+    shared.obs.event(
+        EventKind::ChunkQuarantined,
+        chunk.index(),
+        NO_QUERY,
+        victims.len() as u64,
+    );
+    for &q in &victims {
+        shared
+            .obs
+            .event(EventKind::QueryErred, chunk.index(), q.0, 0);
+    }
+    // Quarantine is the failure the flight recorder exists for: dump the
+    // run-up automatically so the evidence survives the ring's wraparound.
+    shared.obs.dump_flight("chunk quarantined");
     for slot in wake {
         slot.notify_all();
     }
@@ -744,6 +738,8 @@ impl ScanServer {
             io_threads: 1,
             store: None,
             retry: RetryPolicy::default(),
+            obs: None,
+            table_label: String::from("table"),
         }
     }
 
@@ -754,6 +750,7 @@ impl ScanServer {
 
     /// Registers a CScan and returns a handle that delivers its chunks.
     pub fn cscan(&self, plan: CScanPlan) -> CScanHandle {
+        let label = plan.label.clone();
         let mut hub = self.shared.lock();
         let columns = if plan.columns.is_empty() {
             hub.abm.state().model().all_columns()
@@ -767,6 +764,13 @@ impl ScanServer {
         // A new query changes the scheduling inputs: ring one parked worker.
         let bell = hub.pop_doorbell();
         drop(hub);
+        let scope = self
+            .shared
+            .obs
+            .attach_query(label, self.shared.table_label.clone());
+        self.shared
+            .obs
+            .event(EventKind::QueryAttached, cscan_obs::NO_CHUNK, id.0, 0);
         if let Some(bell) = bell {
             bell.notify_one();
         }
@@ -776,6 +780,8 @@ impl ScanServer {
                 shared: Arc::clone(&self.shared),
             }),
             query: id,
+            scope,
+            attached: Instant::now(),
             limit: plan.limit_chunks,
             delivered: AtomicU32::new(0),
             finished: AtomicBool::new(false),
@@ -783,15 +789,23 @@ impl ScanServer {
         }
     }
 
+    /// The server's metrics registry: the unified observability plane every
+    /// counter, span histogram and flight event of this server lands in.
+    /// Snapshot it ([`Registry::snapshot`]) for JSON/Prometheus export, or
+    /// share it across servers via [`ScanServerBuilder::observability`].
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.obs)
+    }
+
     /// Number of chunk loads the I/O workers have committed so far.
     pub fn loads_completed(&self) -> u64 {
-        self.shared.loads_completed.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::LoadsCompleted)
     }
 
     /// Number of loads whose read was cancelled mid-flight (their last
     /// interested query detached before the commit).
     pub fn loads_cancelled(&self) -> u64 {
-        self.shared.loads_cancelled.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::LoadsCancelled)
     }
 
     /// Total chunk-granularity I/O requests committed by the ABM.
@@ -805,28 +819,28 @@ impl ScanServer {
     }
 
     /// A snapshot of the hub-lock hold-time histogram (every critical
-    /// section of the executor since start-up).
-    pub fn lock_hold_histogram(&self) -> LockHoldSnapshot {
-        self.shared.lock_held.snapshot()
+    /// section of the executor since start-up), in nanoseconds.
+    pub fn lock_hold_histogram(&self) -> HistogramSnapshot {
+        self.shared.obs.span_hist(SpanKind::LockHold).snapshot()
     }
 
     /// Total time consumers spent blocked in `next_chunk` waiting for a
     /// deliverable chunk (the data plane's "pin-wait" time, summed over all
     /// sessions).
     pub fn pin_wait(&self) -> Duration {
-        Duration::from_nanos(self.shared.pin_wait_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.shared.obs.query_total(QueryCounter::PinWaitNanos))
     }
 
     /// Total time first-pin payload decompression took (a subset of
     /// [`ScanServer::pin_wait`]; always spent outside the hub lock).
     pub fn decode_time(&self) -> Duration {
-        Duration::from_nanos(self.shared.decode_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.shared.obs.counter(Counter::DecodeNanos))
     }
 
     /// Number of column values decompressed by first-pin decodes (0 when
     /// the store delivers plain payloads).
     pub fn values_decoded(&self) -> u64 {
-        self.shared.values_decoded.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::ValuesDecoded)
     }
 
     /// Number of resident frames whose payload is still encoded bytes
@@ -839,41 +853,41 @@ impl ScanServer {
     /// [`PinnedChunk::complete`].  A well-behaved pipeline keeps this at
     /// zero; tests assert it.
     pub fn unconsumed_drops(&self) -> u64 {
-        self.shared.unconsumed_drops.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::UnconsumedDrops)
     }
 
     /// Read failures observed by the I/O workers (before retry).
     pub fn load_faults(&self) -> u64 {
-        self.shared.load_faults.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::LoadFaults)
     }
 
     /// Failed reads that were retried (a subset of [`ScanServer::load_faults`]).
     pub fn load_retries(&self) -> u64 {
-        self.shared.load_retries.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::LoadRetries)
     }
 
     /// Payloads rejected by checksum verification (at install or at
     /// decode-on-first-pin).
     pub fn checksum_failures(&self) -> u64 {
-        self.shared.checksum_failures.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::ChecksumFailures)
     }
 
     /// Panics caught unwinding out of payload work; each became a failed
     /// load instead of a dead worker.
     pub fn worker_panics(&self) -> u64 {
-        self.shared.worker_panics.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::WorkerPanics)
     }
 
     /// Chunks quarantined after exhausting their retry budget (or failing
     /// permanently).
     pub fn chunks_quarantined(&self) -> u64 {
-        self.shared.chunks_quarantined.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::ChunksQuarantined)
     }
 
     /// Queries closed with a [`ScanError`] because a needed chunk was
     /// quarantined.
     pub fn queries_erred(&self) -> u64 {
-        self.shared.queries_erred.load(Ordering::Relaxed)
+        self.shared.obs.counter(Counter::QueriesErred)
     }
 
     /// Counters of the data plane's frame pool (fetches, pins, evictions).
@@ -915,6 +929,11 @@ pub struct CScanHandle {
     /// delivery — no per-chunk allocation).
     releaser: Arc<HandleRelease>,
     query: QueryId,
+    /// This scan's metric scope: chunk/row deliveries, pin-wait episodes
+    /// and time-to-first-chunk, labelled `{query, table}`.
+    scope: Arc<QueryScope>,
+    /// When the scan registered (the time-to-first-chunk origin).
+    attached: Instant,
     /// LIMIT-style chunk budget from [`CScanPlan::with_chunk_limit`].
     limit: Option<u32>,
     /// Chunks delivered so far (compared against `limit`).
@@ -1025,9 +1044,9 @@ impl CScanHandle {
                         };
                         let waited = Instant::now();
                         hub.wait_on(&slot, Duration::from_millis(50));
-                        self.shared
-                            .pin_wait_nanos
-                            .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let ns = waited.elapsed().as_nanos() as u64;
+                        self.scope.record_pin_wait(ns);
+                        self.shared.obs.record_span_ns(SpanKind::PinWait, ns);
                     }
                 }
             };
@@ -1046,7 +1065,11 @@ impl CScanHandle {
                     payload.try_decode_all()
                 }))
                 .unwrap_or_else(|_panic| {
-                    self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    self.shared.obs.inc(Counter::WorkerPanics);
+                    self.shared
+                        .obs
+                        .event(EventKind::WorkerPanic, chunk.index(), self.query.0, 0);
+                    self.shared.obs.dump_flight("worker panic");
                     Err(StoreError::Corrupted)
                 });
                 let nanos = started.elapsed().as_nanos() as u64;
@@ -1055,16 +1078,13 @@ impl CScanHandle {
                 // decode of the same columns (0 values for the loser).
                 // Both are pin-wait; only the winner's work counts as
                 // decode output.
-                self.shared
-                    .pin_wait_nanos
-                    .fetch_add(nanos, Ordering::Relaxed);
+                self.scope.record_pin_wait(nanos);
                 match outcome {
                     Ok(decoded) => {
                         if decoded > 0 {
-                            self.shared.decode_nanos.fetch_add(nanos, Ordering::Relaxed);
-                            self.shared
-                                .values_decoded
-                                .fetch_add(decoded as u64, Ordering::Relaxed);
+                            self.shared.obs.record_span_ns(SpanKind::Decode, nanos);
+                            self.shared.obs.add(Counter::DecodeNanos, nanos);
+                            self.shared.obs.add(Counter::ValuesDecoded, decoded as u64);
                         }
                     }
                     Err(cause) => {
@@ -1073,9 +1093,13 @@ impl CScanHandle {
                         // consuming — the chunk stays needed — evict the
                         // poisoned frame, and loop back so a fresh load
                         // fetches clean bytes.
-                        self.shared
-                            .checksum_failures
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.obs.inc(Counter::ChecksumFailures);
+                        self.shared.obs.event(
+                            EventKind::ChecksumFailure,
+                            chunk.index(),
+                            self.query.0,
+                            0,
+                        );
                         let mut hub = self.shared.lock();
                         let key = frame_key(chunk);
                         hub.pool.unpin(key, false);
@@ -1096,6 +1120,11 @@ impl CScanHandle {
                     }
                 }
             }
+            self.scope
+                .record_first_chunk(self.attached.elapsed().as_nanos() as u64);
+            self.scope.add(QueryCounter::ChunksDelivered, 1);
+            self.scope
+                .add(QueryCounter::RowsDelivered, payload.rows() as u64);
             return Ok(Some(PinnedChunk::new(
                 self.query,
                 chunk,
@@ -1108,6 +1137,12 @@ impl CScanHandle {
     /// Makes `error` the handle's sticky failure and deregisters the scan.
     fn fail(&self, error: ScanError) -> ScanError {
         *self.error.lock() = Some(error);
+        self.shared
+            .obs
+            .event(EventKind::QueryErred, error.chunk.index(), self.query.0, 0);
+        // A surfaced ScanError is one of the flight recorder's automatic
+        // dump triggers: capture the run-up before the ring moves on.
+        self.shared.obs.dump_flight("scan error");
         self.finish();
         error
     }
@@ -1134,6 +1169,13 @@ impl CScanHandle {
         if self.finished.swap(true, Ordering::AcqRel) {
             return;
         }
+        self.shared.obs.detach_query(&self.scope);
+        self.shared.obs.event(
+            EventKind::QueryDetached,
+            cscan_obs::NO_CHUNK,
+            self.query.0,
+            0,
+        );
         let mut hub = self.shared.lock();
         hub.abm.finish_query(self.query);
         let slot = hub.slots.remove(&self.query);
@@ -1196,7 +1238,7 @@ impl ChunkRelease for HandleRelease {
             // The silent-drop footgun: dropping a pin still counts as
             // consumption (the scheduler must make progress), but it is
             // traced so tests can assert pipelines consume deliberately.
-            self.shared.unconsumed_drops.fetch_add(1, Ordering::Relaxed);
+            self.shared.obs.inc(Counter::UnconsumedDrops);
         }
         let mut hub = self.shared.lock();
         let key = frame_key(chunk);
@@ -1462,8 +1504,8 @@ mod tests {
         );
         // Every critical section was measured.
         let holds = server.lock_hold_histogram();
-        assert!(holds.total() > 0);
-        assert!(holds.max_ns() >= holds.quantile_ns(0.5));
+        assert!(holds.count() > 0);
+        assert!(holds.max_value() >= holds.quantile_upper(0.5));
     }
 
     #[test]
@@ -1804,7 +1846,7 @@ mod tests {
                         .with_chunk_limit(1),
                 ),
             );
-            let delivered = Arc::new(AtomicU64::new(0));
+            let delivered = Arc::new(std::sync::atomic::AtomicU64::new(0));
             let racers: Vec<_> = (0..2)
                 .map(|_| {
                     let handle = Arc::clone(&handle);
@@ -2458,10 +2500,10 @@ mod tests {
             g.complete();
         }
         let snap = server.lock_hold_histogram();
-        assert!(snap.total() > 0);
-        let p50 = snap.quantile_ns(0.5);
-        let p99 = snap.quantile_ns(0.99);
-        assert!(p50 <= p99 && p99 <= snap.max_ns());
-        assert_eq!(snap.counts().len(), HOLD_BUCKETS);
+        assert!(snap.count() > 0);
+        let p50 = snap.quantile_upper(0.5);
+        let p99 = snap.quantile_upper(0.99);
+        assert!(p50 <= p99 && p99 <= snap.max_value());
+        assert_eq!(snap.counts().len(), cscan_obs::HISTOGRAM_BUCKETS);
     }
 }

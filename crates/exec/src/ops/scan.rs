@@ -15,7 +15,9 @@
 use crate::table::MemTable;
 use crate::vector::DataChunk;
 use cscan_core::session::{ScanError, ScanSession};
+use cscan_obs::{Counter, Registry};
 use cscan_storage::{ChunkId, ColumnId};
+use std::sync::Arc;
 
 /// A pull-based operator producing data chunks.
 ///
@@ -41,6 +43,9 @@ pub struct SessionSource<S> {
     columns: Vec<ColumnId>,
     /// Delivery order observed so far (chunk ids in arrival order).
     delivered: Vec<ChunkId>,
+    /// Observability mirror (`exec_batches`, `exec_rows`); disabled (a
+    /// no-op) unless installed via [`SessionSource::with_observability`].
+    obs: Arc<Registry>,
 }
 
 impl<S: ScanSession> SessionSource<S> {
@@ -54,7 +59,16 @@ impl<S: ScanSession> SessionSource<S> {
             session,
             columns,
             delivered: Vec::new(),
+            obs: Arc::new(Registry::disabled()),
         }
+    }
+
+    /// Counts every produced batch and its rows (`exec_batches`,
+    /// `exec_rows`) in `obs` — typically the owning server's registry, so
+    /// operator output lands in the same snapshot as the scan metrics.
+    pub fn with_observability(mut self, obs: Arc<Registry>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The chunk ids delivered so far, in arrival order (the ABM's choice —
@@ -94,6 +108,8 @@ impl<S: ScanSession> Operator for SessionSource<S> {
             .collect();
         let out = DataChunk::new(pinned.chunk(), columns);
         pinned.complete();
+        self.obs.inc(Counter::ExecBatches);
+        self.obs.add(Counter::ExecRows, out.len() as u64);
         Ok(Some(out))
     }
 }

@@ -1,0 +1,304 @@
+//! The shared log2 histogram.
+//!
+//! One histogram implementation serves every distribution the engine
+//! tracks — lock hold times, pin-wait times, span durations, time to first
+//! chunk, queue depths — replacing the three hand-rolled variants that grew
+//! in `threaded.rs`, the queue-depth trace and the bench reports.  Buckets
+//! are powers of two ([`Log2Histogram`] bucket `i` counts values in
+//! `[2^i, 2^{i+1})`, with 0 folded into bucket 0), recording is a single
+//! relaxed `fetch_add`, and quantile queries answer with the containing
+//! bucket's upper bound — an at-most-2× overestimate, which the crate's
+//! brute-twin tests pin down against exact sorted-vector percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: bucket `i` covers `[2^i, 2^{i+1})`, so
+/// 64 buckets cover the full `u64` range and nothing ever saturates.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free power-of-two histogram of `u64` samples.
+///
+/// Recording is wait-free (one relaxed `fetch_add` on the sample's bucket,
+/// one on the running sum) and performs no heap allocation, so it is cheap
+/// enough for the zero-alloc consume path.  Read sides copy the buckets out
+/// into a [`HistogramSnapshot`] for quantile queries.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Sum of every recorded sample (for means).
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in (`floor(log2(max(value, 1)))`).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        63 - (value | 1).leading_zeros() as usize
+    }
+
+    /// Records one sample.  Wait-free, allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every bucket and the running sum.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// Atomically takes the bucket counts and sum, leaving the histogram
+    /// empty.  Unlike [`Log2Histogram::snapshot`] followed by
+    /// [`Log2Histogram::reset`], a concurrent [`Log2Histogram::record`]
+    /// lands in exactly one window — either this drain's snapshot or the
+    /// next — never in both and never in neither.
+    pub fn drain(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.swap(0, Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copied-out [`Log2Histogram`]: bucket `i` counts samples in
+/// `[2^i, 2^{i+1})` (0 folds into bucket 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (all buckets zero).
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// The per-bucket counts (bucket `i` covers `[2^i, 2^{i+1})`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of every recorded sample.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample (`q` in
+    /// `[0, 1]`); 0 when nothing was recorded.  The true quantile lies in
+    /// `(upper/2, upper]`, so the answer overestimates by at most 2×.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median bucket upper bound ([`HistogramSnapshot::quantile_upper`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper(0.5)
+    }
+
+    /// 99th-percentile bucket upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper(0.99)
+    }
+
+    /// Upper bound of the highest non-empty bucket; 0 when empty.
+    pub fn max_value(&self) -> u64 {
+        match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => upper_bound(i),
+            None => 0,
+        }
+    }
+
+    /// Adds another snapshot's buckets into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// The exclusive upper bound of bucket `i`, saturating at `u64::MAX` for
+/// the last bucket.
+fn upper_bound(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact quantile of a sorted sample set (nearest-rank method, the
+    /// same rank arithmetic the histogram uses).
+    fn brute_quantile(sorted: &[u64], q: f64) -> u64 {
+        assert!(!sorted.is_empty());
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn bucket_mapping() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 0);
+        assert_eq!(Log2Histogram::bucket_of(2), 1);
+        assert_eq!(Log2Histogram::bucket_of(3), 1);
+        assert_eq!(Log2Histogram::bucket_of(4), 2);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bound_the_brute_twin() {
+        // Deterministic pseudo-random samples spanning many magnitudes.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut samples = Vec::new();
+        let h = Log2Histogram::new();
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Spread over ~13 orders of magnitude, capped below 2^44 so a
+            // 10k-sample sum stays far from u64 overflow.
+            let v = (x >> 20) >> (x % 40);
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 10_000);
+        for &q in &[0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = brute_quantile(&samples, q);
+            let approx = snap.quantile_upper(q);
+            assert!(
+                approx >= exact,
+                "q={q}: bucket upper bound {approx} below exact {exact}"
+            );
+            // The bound is the containing bucket's upper edge: less than 2x
+            // the exact value (values >= 1; 0 maps to bucket 0, bound 2).
+            assert!(
+                approx <= exact.saturating_mul(2).max(2),
+                "q={q}: bucket upper bound {approx} too loose for exact {exact}"
+            );
+        }
+        assert!(snap.max_value() >= *samples.last().unwrap());
+        assert_eq!(snap.sum(), samples.iter().sum::<u64>());
+        let exact_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((snap.mean() - exact_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_ordered() {
+        let h = Log2Histogram::new();
+        for v in [1u64, 5, 9, 100, 4096, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.p99());
+        assert!(s.p99() <= s.max_value());
+        assert_eq!(s.quantile_upper(0.0), s.quantile_upper(0.001));
+    }
+
+    #[test]
+    fn empty_reset_and_merge() {
+        let h = Log2Histogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max_value(), 0);
+        assert_eq!(s.mean(), 0.0);
+
+        h.record(7);
+        assert_eq!(h.snapshot().count(), 1);
+        h.reset();
+        assert!(h.snapshot().is_empty());
+
+        let a = Log2Histogram::new();
+        let b = Log2Histogram::new();
+        a.record(3);
+        b.record(300);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.sum(), 303);
+        assert!(merged.max_value() >= 300);
+    }
+}

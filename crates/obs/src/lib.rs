@@ -1,0 +1,39 @@
+//! # cscan_obs — the unified observability plane
+//!
+//! One crate owns every piece of telemetry the cooperative-scan engine
+//! emits:
+//!
+//! * a lock-free **metrics registry** ([`Registry`]) of atomic counters,
+//!   gauges and power-of-two histograms, cheap enough for the zero-alloc
+//!   consume path (one relaxed `fetch_add` per sample, no heap traffic);
+//! * **span timers** ([`SpanTimer`], [`SpanKind`]) for the engine's
+//!   phases — plan/commit under the hub lock, payload materialize,
+//!   decode-on-first-pin, pin-wait, retry backoff;
+//! * per-query **label dimensions** ([`QueryScope`]) so fairness and
+//!   tail-latency metrics (time-to-first-chunk, per-query pin-wait) exist
+//!   per scan, with a per-table roll-up derived at snapshot time;
+//! * a bounded ring-buffer **flight recorder** ([`FlightRecorder`]) of
+//!   recent control-plane events, dumped automatically on quarantine,
+//!   scan error, or worker panic;
+//! * two snapshot sinks: [`MetricsSnapshot::render_json`] for the bench
+//!   harness and [`MetricsSnapshot::render_prometheus`] for text
+//!   exposition.
+//!
+//! Both engine front-ends share the crate: the threaded `ScanServer`
+//! stamps real elapsed time, the deterministic simulation stamps *virtual*
+//! time (via [`Registry::event_at`] and [`Registry::record_span_ns`]), so
+//! seeded chaos runs keep producing byte-identical flight dumps.
+//!
+//! The crate is a dependency leaf: it knows nothing about chunks, queries
+//! or policies beyond opaque `u32`/`u64` identifiers, so every other crate
+//! in the workspace can depend on it.
+
+mod hist;
+mod recorder;
+mod registry;
+mod snapshot;
+
+pub use hist::{HistogramSnapshot, Log2Histogram, HISTOGRAM_BUCKETS};
+pub use recorder::{EventKind, FlightEvent, FlightRecorder, NO_CHUNK, NO_QUERY};
+pub use registry::{Counter, Gauge, QueryCounter, QueryScope, Registry, SpanKind, SpanTimer};
+pub use snapshot::{MetricsSnapshot, QuerySnapshot};

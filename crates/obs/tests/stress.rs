@@ -1,0 +1,244 @@
+//! Multi-threaded registry stress tests: no lost increments and snapshot
+//! consistency under attach/detach storms.
+
+use cscan_obs::{Counter, Gauge, QueryCounter, Registry, SpanKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn no_lost_increments_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let r = Arc::new(Registry::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let r = Arc::clone(&r);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                r.inc(Counter::LoadsCompleted);
+                r.add(Counter::ValuesDecoded, 3);
+                r.record_span_ns(SpanKind::Plan, (t as u64) * 1_000 + i % 977);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(r.counter(Counter::LoadsCompleted), total);
+    assert_eq!(r.counter(Counter::ValuesDecoded), 3 * total);
+    assert_eq!(r.snapshot().span("plan").count(), total);
+}
+
+#[test]
+fn snapshot_consistent_under_attach_detach_storm() {
+    const WRITERS: usize = 6;
+    const QUERIES_PER_WRITER: usize = 40;
+    const CHUNKS_PER_QUERY: u64 = 250;
+    let r = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // A reader thread hammers snapshot() concurrently; its snapshots may be
+    // transiently skewed (scopes and totals are read at different instants)
+    // but must never panic or see impossible values (sum > total+slack is
+    // impossible because scope increments happen before total increments).
+    let reader = {
+        let r = Arc::clone(&r);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut snaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = r.snapshot();
+                let sum = snap.query_counter_sum("chunks_delivered");
+                let total = snap.query_total("chunks_delivered");
+                // Scope bumps before total bumps, so a racing snapshot can
+                // see sum ahead of total, never more than in-flight writers.
+                assert!(
+                    sum <= total + WRITERS as u64,
+                    "sum {sum} impossibly far ahead of total {total}"
+                );
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    let mut writers = Vec::new();
+    for w in 0..WRITERS {
+        let r = Arc::clone(&r);
+        writers.push(thread::spawn(move || {
+            for q in 0..QUERIES_PER_WRITER {
+                let scope = r.attach_query(format!("w{w}-q{q}"), format!("table{}", q % 3));
+                for c in 0..CHUNKS_PER_QUERY {
+                    scope.add(QueryCounter::ChunksDelivered, 1);
+                    scope.add(QueryCounter::RowsDelivered, 100);
+                    scope.record_pin_wait(c + 1);
+                    if c == 0 {
+                        scope.record_first_chunk(w as u64 * 1_000 + q as u64 + 1);
+                    }
+                }
+                r.detach_query(&scope);
+            }
+        }));
+    }
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snaps = reader.join().unwrap();
+    assert!(snaps > 0, "reader never snapshotted");
+
+    // Quiesced: the invariant must hold exactly.
+    let snap = r.snapshot();
+    assert!(snap.is_consistent(), "per-query sums diverge from totals");
+    let queries = (WRITERS * QUERIES_PER_WRITER) as u64;
+    assert_eq!(
+        snap.query_total("chunks_delivered"),
+        queries * CHUNKS_PER_QUERY
+    );
+    assert_eq!(
+        snap.query_total("rows_delivered"),
+        queries * CHUNKS_PER_QUERY * 100
+    );
+    assert_eq!(snap.pin_wait.count(), queries * CHUNKS_PER_QUERY);
+    assert_eq!(snap.ttfc.count(), queries, "one ttfc sample per query");
+    assert_eq!(snap.queries.len(), queries as usize);
+    assert_eq!(snap.gauge("active_queries"), 0);
+
+    // Per-table roll-up covers every chunk exactly once.
+    let tables = snap.per_table("chunks_delivered");
+    assert_eq!(tables.values().sum::<u64>(), queries * CHUNKS_PER_QUERY);
+    assert_eq!(tables.len(), 3);
+
+    // And a reset drops the detached scopes and zeroes the totals.
+    r.snapshot_and_reset();
+    let snap = r.snapshot();
+    assert!(snap.queries.is_empty());
+    assert_eq!(snap.query_total("chunks_delivered"), 0);
+    assert!(snap.ttfc.is_empty());
+    assert!(snap.is_consistent());
+}
+
+#[test]
+fn concurrent_resets_never_lose_whole_windows() {
+    // Writers bump one counter; a sweeper snapshots-and-resets repeatedly.
+    // Every increment must land in exactly one window: the sum of all
+    // windows plus the final residue equals the number of increments.
+    // (This caught a real bug: a read-then-zero reset wipes every
+    // increment that lands while the sweeper is descheduled in between —
+    // the reset must swap values out atomically.)
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+    let r = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweeper = {
+        let r = Arc::clone(&r);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut harvested = 0u64;
+            let mut windows = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                harvested += r.snapshot_and_reset().counter("loads_completed");
+                windows += 1;
+            }
+            (harvested, windows)
+        })
+    };
+    let mut writers = Vec::new();
+    for _ in 0..WRITERS {
+        let r = Arc::clone(&r);
+        writers.push(thread::spawn(move || {
+            for _ in 0..PER_WRITER {
+                r.inc(Counter::LoadsCompleted);
+            }
+        }));
+    }
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (harvested, windows) = sweeper.join().unwrap();
+    let residue = r.snapshot_and_reset().counter("loads_completed");
+    assert_eq!(
+        harvested + residue,
+        WRITERS as u64 * PER_WRITER,
+        "increments lost or double-counted across {windows} reset windows \
+         (harvested {harvested}, residue {residue})"
+    );
+}
+
+#[test]
+fn resets_conserve_histogram_samples_and_scope_counts() {
+    // Same conservation law for the histogram-backed metrics: pin-wait
+    // samples recorded through a live scope must land in exactly one
+    // window, with the reset sweeping concurrently.
+    const SAMPLES: u64 = 30_000;
+    let r = Arc::new(Registry::new());
+    let scope = r.attach_query("windowed", "t");
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweeper = {
+        let r = Arc::clone(&r);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut count = 0u64;
+            let mut delivered = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = r.snapshot_and_reset();
+                count += snap.pin_wait.count();
+                delivered += snap.query_total("chunks_delivered");
+            }
+            (count, delivered)
+        })
+    };
+    let writer = {
+        let scope = Arc::clone(&scope);
+        thread::spawn(move || {
+            for i in 0..SAMPLES {
+                scope.record_pin_wait(i % 4_096 + 1);
+                scope.add(QueryCounter::ChunksDelivered, 1);
+            }
+        })
+    };
+    writer.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let (mut count, mut delivered) = sweeper.join().unwrap();
+    let last = r.snapshot_and_reset();
+    count += last.pin_wait.count();
+    delivered += last.query_total("chunks_delivered");
+    assert_eq!(count, SAMPLES, "pin-wait samples lost across reset windows");
+    assert_eq!(
+        delivered, SAMPLES,
+        "per-query totals lost across reset windows"
+    );
+    r.detach_query(&scope);
+}
+
+#[test]
+fn gauges_and_flight_under_contention() {
+    let r = Arc::new(Registry::with_flight_capacity(64));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let r = Arc::clone(&r);
+        handles.push(thread::spawn(move || {
+            for i in 0..1_000u64 {
+                r.gauge_set(Gauge::PinnedFrames, i);
+                r.event_at(
+                    t * 10_000 + i,
+                    cscan_obs::EventKind::LoadCommitted,
+                    i as u32,
+                    t,
+                    0,
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = r.flight().events();
+    assert_eq!(events.len(), 64, "ring stays bounded");
+    assert_eq!(r.flight().dropped(), 4 * 1_000 - 64);
+    let dump = r.dump_flight("stress");
+    assert!(dump.contains("64 events"));
+}

@@ -198,6 +198,16 @@ impl QueueDepthTrace {
         self.events.iter().map(|e| e.depth as f64).sum::<f64>() / self.events.len() as f64
     }
 
+    /// The sampled depths as a shared log2 histogram snapshot, for p50/p99
+    /// queries and for merging into an engine-wide metrics report.
+    pub fn depth_histogram(&self) -> cscan_obs::HistogramSnapshot {
+        let h = cscan_obs::Log2Histogram::new();
+        for e in &self.events {
+            h.record(e.depth as u64);
+        }
+        h.snapshot()
+    }
+
     /// Renders the samples as whitespace-separated `time_s spindle depth`
     /// rows, one per line, for gnuplot.
     pub fn to_gnuplot(&self) -> String {
@@ -290,6 +300,10 @@ mod tests {
         assert_eq!(t.max_depth_of(1), Some(4));
         assert_eq!(t.max_depth_of(9), None);
         assert!((t.mean_depth() - 11.0 / 8.0).abs() < 1e-9);
+        let h = t.depth_histogram();
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 11);
+        assert!(h.max_value() >= 4);
         let g = t.to_gnuplot();
         assert_eq!(g.lines().count(), 9);
         assert!(g.lines().nth(1).unwrap().starts_with("1.000"));

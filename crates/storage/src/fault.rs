@@ -187,6 +187,9 @@ pub struct FaultInjectingStore<S> {
     faults_injected: AtomicU64,
     corruptions_injected: AtomicU64,
     spikes_injected: AtomicU64,
+    /// Observability mirror of the three injection counters; disabled (a
+    /// no-op) unless installed via [`FaultInjectingStore::with_observability`].
+    obs: Arc<cscan_obs::Registry>,
 }
 
 impl<S: ChunkStore> FaultInjectingStore<S> {
@@ -199,7 +202,17 @@ impl<S: ChunkStore> FaultInjectingStore<S> {
             faults_injected: AtomicU64::new(0),
             corruptions_injected: AtomicU64::new(0),
             spikes_injected: AtomicU64::new(0),
+            obs: Arc::new(cscan_obs::Registry::disabled()),
         }
+    }
+
+    /// Mirrors the injection counters (`faults_injected`,
+    /// `corruptions_injected`, `latency_spikes_injected`) into `obs`, so a
+    /// chaos run's snapshot shows how much damage was *injected* alongside
+    /// how much the engine *observed*.
+    pub fn with_observability(mut self, obs: Arc<cscan_obs::Registry>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The fault model in force.
@@ -289,11 +302,13 @@ impl<S: ChunkStore> ChunkStore for FaultInjectingStore<S> {
         let attempt = self.next_attempt(chunk);
         if self.config.spikes(chunk, attempt) {
             self.spikes_injected.fetch_add(1, Ordering::Relaxed);
+            self.obs.inc(cscan_obs::Counter::LatencySpikesInjected);
             std::thread::sleep(self.config.latency_spike);
         }
         match self.config.outcome(chunk, attempt) {
             FaultOutcome::Fail(e) => {
                 self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                self.obs.inc(cscan_obs::Counter::FaultsInjected);
                 Err(e)
             }
             FaultOutcome::Success => self.inner.materialize(chunk, cols),
@@ -303,6 +318,7 @@ impl<S: ChunkStore> ChunkStore for FaultInjectingStore<S> {
                 let (payload, hit) = self.corrupt_payload(payload, selector);
                 if hit {
                     self.corruptions_injected.fetch_add(1, Ordering::Relaxed);
+                    self.obs.inc(cscan_obs::Counter::CorruptionsInjected);
                 }
                 Ok(payload)
             }

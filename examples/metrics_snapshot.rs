@@ -1,0 +1,66 @@
+//! Observability tour: drive the deterministic scan front-end with fault
+//! injection, then print what the metrics plane saw — the Prometheus text
+//! exposition of the full registry snapshot, followed by the flight
+//! recorder dump the quarantine triggered.
+//!
+//! Everything below runs in virtual time, so the output (counters, spans
+//! and the flight dump's nanosecond stamps) is identical on every run.
+//!
+//! Run with: `cargo run --example metrics_snapshot`
+
+use cscan_core::iosched::RetryPolicy;
+use cscan_core::model::TableModel;
+use cscan_core::policy::PolicyKind;
+use cscan_core::session::SimScanServer;
+use cscan_core::{CScanPlan, ScanSession};
+use cscan_storage::{FaultConfig, ScanRanges};
+
+fn main() {
+    // An 8-chunk table behind a 4-chunk buffer pool, with chunk 2 failing
+    // permanently: the retry budget drains, the chunk is quarantined, and
+    // the quarantine dumps the flight recorder.
+    let model = TableModel::nsm_uniform(8, 1_000, 16);
+    let config = FaultConfig {
+        permanent_chunks: vec![2],
+        ..FaultConfig::default()
+    };
+    let server = SimScanServer::new(model.clone(), PolicyKind::Relevance, 4 * 16)
+        .with_fault_injection(config, RetryPolicy::no_retries());
+
+    // A clean scan over the healthy prefix completes and detaches; the
+    // full-table scan hits the quarantined chunk and errors out.
+    let mut healthy = server.attach(CScanPlan::new(
+        "healthy-prefix",
+        ScanRanges::single(0, 2),
+        model.all_columns(),
+    ));
+    while let Ok(Some(pin)) = healthy.next_chunk() {
+        pin.complete();
+    }
+
+    let mut doomed = server.attach(CScanPlan::new(
+        "doomed-full-scan",
+        ScanRanges::full(8),
+        model.all_columns(),
+    ));
+    let err = loop {
+        match doomed.next_chunk() {
+            Ok(Some(pin)) => pin.complete(),
+            Ok(None) => unreachable!("the scan must hit the quarantined chunk"),
+            Err(e) => break e,
+        }
+    };
+    println!("scan failed as arranged: {err}\n");
+
+    let registry = server.metrics();
+    println!("==== Prometheus exposition (Registry::snapshot) ====\n");
+    print!("{}", registry.snapshot().render_prometheus());
+
+    println!("\n==== Flight recorder dump (stored on quarantine) ====\n");
+    print!(
+        "{}",
+        registry
+            .last_flight_dump()
+            .expect("quarantine stores a flight dump")
+    );
+}
