@@ -36,7 +36,13 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "points",
             "chunks_per_sec",
             "lock_hold_p99_ns",
-            "t128_vs_t16_speedup",
+            "pool_shards",
+            "shard_lock_acquisitions",
+            "shard_lock_hold_p50_ns",
+            "shard_lock_hold_p99_ns",
+            "shard_lock_hold_max_ns",
+            "hub_shard_conflicts",
+            "t256_vs_t16_speedup",
         ],
     ),
     (

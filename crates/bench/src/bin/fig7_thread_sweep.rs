@@ -1,8 +1,9 @@
-//! Threaded-executor sweep: aggregate delivered-chunk throughput and ABM
-//! lock hold-time histogram at 16/64/128 concurrent scan threads against
-//! the live [`cscan_core::threaded::ScanServer`] (4 I/O workers, 256-chunk
-//! table).  Writes `BENCH_threaded.json` so the perf trajectory of the
-//! decomposed-lock architecture is tracked across PRs.
+//! Threaded-executor sweep: aggregate delivered-chunk throughput plus the
+//! scheduler-lock and shard-lock hold-time histograms at 16/64/128/256
+//! concurrent scan threads against the live
+//! [`cscan_core::threaded::ScanServer`] (4 I/O workers, 256-chunk table).
+//! Writes `BENCH_threaded.json` so the perf trajectory of the sharded-hub
+//! architecture is tracked across PRs.
 
 use cscan_bench::experiments::fig7;
 use cscan_bench::report::TextTable;
@@ -11,7 +12,8 @@ use std::fmt::Write as _;
 fn main() {
     println!(
         "Threaded-executor sweep — concurrent full scans, relevance policy,\n\
-         4 I/O workers, 256-chunk NSM table, plan/commit + targeted wakeups\n"
+         4 I/O workers, 256-chunk NSM table, sharded pin ledger + grant\n\
+         mailboxes + narrow scheduler lock\n"
     );
     let points = fig7::run_thread_sweep();
 
@@ -20,10 +22,13 @@ fn main() {
         "chunks/s",
         "wall (s)",
         "chunk loads",
-        "lock acqs",
-        "hold p50 (ns)",
-        "hold p99 (ns)",
-        "hold max (ns)",
+        "sched acqs",
+        "sched p99 (ns)",
+        "shard acqs",
+        "shard p50 (ns)",
+        "shard p99 (ns)",
+        "shard max (ns)",
+        "conflicts",
     ]);
     for p in &points {
         table.row([
@@ -32,19 +37,22 @@ fn main() {
             format!("{:.3}", p.wall_secs),
             p.loads.to_string(),
             p.lock_acquisitions.to_string(),
-            p.lock_p50_ns.to_string(),
             p.lock_p99_ns.to_string(),
-            p.lock_max_ns.to_string(),
+            p.shard_lock_acquisitions.to_string(),
+            p.shard_lock_p50_ns.to_string(),
+            p.shard_lock_p99_ns.to_string(),
+            p.shard_lock_max_ns.to_string(),
+            p.hub_shard_conflicts.to_string(),
         ]);
     }
     println!("{}", table.render());
 
     if let (Some(base), Some(wide)) = (
         points.iter().find(|p| p.threads == 16),
-        points.iter().find(|p| p.threads == 128),
+        points.iter().find(|p| p.threads == 256),
     ) {
         println!(
-            "throughput at 128 vs 16 scan threads: {:.2}x (acceptance gate: >= 1.5x)\n",
+            "throughput at 256 vs 16 scan threads: {:.2}x (acceptance gate: >= 2.5x)\n",
             wide.chunks_per_sec / base.chunks_per_sec.max(1e-9)
         );
     }
@@ -67,7 +75,10 @@ fn render_json(points: &[fig7::ThreadSweepPoint]) -> String {
             out,
             "    {{\"threads\": {}, \"io_threads\": {}, \"chunks_per_sec\": {:.1}, \
              \"wall_secs\": {:.4}, \"loads\": {}, \"lock_acquisitions\": {}, \
-             \"lock_hold_p50_ns\": {}, \"lock_hold_p99_ns\": {}, \"lock_hold_max_ns\": {}}}{sep}",
+             \"lock_hold_p50_ns\": {}, \"lock_hold_p99_ns\": {}, \"lock_hold_max_ns\": {}, \
+             \"pool_shards\": {}, \"shard_lock_acquisitions\": {}, \
+             \"shard_lock_hold_p50_ns\": {}, \"shard_lock_hold_p99_ns\": {}, \
+             \"shard_lock_hold_max_ns\": {}, \"hub_shard_conflicts\": {}}}{sep}",
             p.threads,
             p.io_threads,
             p.chunks_per_sec,
@@ -76,16 +87,22 @@ fn render_json(points: &[fig7::ThreadSweepPoint]) -> String {
             p.lock_acquisitions,
             p.lock_p50_ns,
             p.lock_p99_ns,
-            p.lock_max_ns
+            p.lock_max_ns,
+            p.pool_shards,
+            p.shard_lock_acquisitions,
+            p.shard_lock_p50_ns,
+            p.shard_lock_p99_ns,
+            p.shard_lock_max_ns,
+            p.hub_shard_conflicts
         );
     }
     let speedup = match (
         points.iter().find(|p| p.threads == 16),
-        points.iter().find(|p| p.threads == 128),
+        points.iter().find(|p| p.threads == 256),
     ) {
         (Some(a), Some(b)) if a.chunks_per_sec > 0.0 => b.chunks_per_sec / a.chunks_per_sec,
         _ => 0.0,
     };
-    let _ = writeln!(out, "  ],\n  \"t128_vs_t16_speedup\": {speedup:.3}\n}}");
+    let _ = writeln!(out, "  ],\n  \"t256_vs_t16_speedup\": {speedup:.3}\n}}");
     out
 }

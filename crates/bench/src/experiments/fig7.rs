@@ -3,8 +3,9 @@
 //! outstanding-I/O sweep of the asynchronous scheduler (how simulated scan
 //! throughput scales with the number of in-flight chunk loads on an
 //! explicit 4-spindle array), plus the *threaded* sweep: real OS threads
-//! against the live executor, measuring how delivered-chunk throughput and
-//! ABM lock hold times scale from 16 to 128 concurrent scan threads.
+//! against the live executor, measuring how delivered-chunk throughput,
+//! scheduler-lock and shard-lock hold times scale from 16 to 256
+//! concurrent scan threads.
 
 use crate::harness::Scale;
 use cscan_core::model::TableModel;
@@ -169,7 +170,7 @@ pub fn run_io_sweep(scale: Scale, queries: usize, seed: u64) -> Vec<IoSweepPoint
 // ----------------------------------------------------------------------
 
 /// The concurrent scan-thread counts swept by the threaded benchmark.
-pub const THREAD_SWEEP: [usize; 3] = [16, 64, 128];
+pub const THREAD_SWEEP: [usize; 4] = [16, 64, 128, 256];
 
 /// One measurement of the threaded sweep.
 #[derive(Debug, Clone)]
@@ -186,14 +187,30 @@ pub struct ThreadSweepPoint {
     /// Chunk loads the ABM committed (sharing makes this far smaller than
     /// threads × chunks).
     pub loads: u64,
-    /// Hub-lock critical sections recorded during the run.
+    /// Scheduler-lock critical sections recorded during the run.
     pub lock_acquisitions: u64,
-    /// Median lock hold time (bucket upper bound), nanoseconds.
+    /// Median scheduler-lock hold time (bucket upper bound), nanoseconds.
     pub lock_p50_ns: u64,
-    /// 99th-percentile lock hold time (bucket upper bound), nanoseconds.
+    /// 99th-percentile scheduler-lock hold time (bucket upper bound),
+    /// nanoseconds.
     pub lock_p99_ns: u64,
-    /// Longest lock hold (bucket upper bound), nanoseconds.
+    /// Longest scheduler-lock hold (bucket upper bound), nanoseconds.
     pub lock_max_ns: u64,
+    /// Buffer-pool shards the pin ledger was striped into.
+    pub pool_shards: usize,
+    /// Shard-lock critical sections recorded during the run (the hot
+    /// pin/release path plus scheduler-driven residency transitions).
+    pub shard_lock_acquisitions: u64,
+    /// Median shard-lock hold time (bucket upper bound), nanoseconds.
+    pub shard_lock_p50_ns: u64,
+    /// 99th-percentile shard-lock hold time (bucket upper bound),
+    /// nanoseconds.
+    pub shard_lock_p99_ns: u64,
+    /// Longest shard-lock hold (bucket upper bound), nanoseconds.
+    pub shard_lock_max_ns: u64,
+    /// Releases whose deferred bookkeeping found the scheduler lock busy
+    /// and was left in the inbox for the next lock holder.
+    pub hub_shard_conflicts: u64,
 }
 
 /// Runs one threaded measurement: `threads` concurrent full scans of a
@@ -264,6 +281,7 @@ pub fn run_threaded_once(
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
     let total = delivered.load(Ordering::Relaxed);
     let holds = server.lock_hold_histogram();
+    let shard_holds = server.shard_lock_hold_histogram();
     ThreadSweepPoint {
         threads,
         io_threads,
@@ -274,11 +292,17 @@ pub fn run_threaded_once(
         lock_p50_ns: holds.p50(),
         lock_p99_ns: holds.p99(),
         lock_max_ns: holds.max_value(),
+        pool_shards: server.num_pool_shards(),
+        shard_lock_acquisitions: shard_holds.count(),
+        shard_lock_p50_ns: shard_holds.p50(),
+        shard_lock_p99_ns: shard_holds.p99(),
+        shard_lock_max_ns: shard_holds.max_value(),
+        hub_shard_conflicts: server.hub_shard_conflicts(),
     }
 }
 
-/// Runs the tracked threaded sweep: 16/64/128 concurrent full scans of a
-/// 256-chunk table over a 4-worker I/O pool.  The per-page cost (50 µs,
+/// Runs the tracked threaded sweep: 16/64/128/256 concurrent full scans of
+/// a 256-chunk table over a 4-worker I/O pool.  The per-page cost (50 µs,
 /// i.e. 800 µs per 16-page chunk read) keeps the 16-thread baseline
 /// I/O-bound — the fig7 regime — so the sweep measures how much consumer
 /// parallelism the executor can feed from the same shared loads before the
@@ -362,14 +386,28 @@ mod tests {
         assert!(p.loads >= 16, "every chunk must be read at least once");
         assert!(p.lock_acquisitions > 0);
         assert!(p.lock_p50_ns <= p.lock_p99_ns && p.lock_p99_ns <= p.lock_max_ns);
+        assert_eq!(p.pool_shards, 16);
+        assert!(
+            p.shard_lock_acquisitions > 0,
+            "shard holds must be recorded"
+        );
+        assert!(
+            p.shard_lock_p50_ns <= p.shard_lock_p99_ns
+                && p.shard_lock_p99_ns <= p.shard_lock_max_ns
+        );
     }
 
-    /// The PR's acceptance criterion: 128 concurrent scan threads must
-    /// deliver at least 1.5× the aggregate chunk throughput of 16 threads —
-    /// the shared loads feed 8× the consumers, so decomposed locking and
-    /// targeted wakeups have lots of headroom, while a serialize-everything
-    /// executor (or a notify_all stampede) eats the gain.  Release builds
-    /// only: under `debug_assertions` every scheduling decision re-runs its
+    /// The PR's acceptance criterion: 256 concurrent scan threads must
+    /// deliver at least 2.5× the aggregate chunk throughput of 16 threads —
+    /// the shared loads feed 16× the consumers, so the sharded pin ledger,
+    /// grant mailboxes and targeted wakeups have lots of headroom, while a
+    /// serialize-everything executor (or a notify_all stampede) eats the
+    /// gain.  (History: before the hub was sharded the gate was 1.5× at
+    /// 128 threads — the single `Mutex<Hub>` topped out well under the
+    /// current ratio.)  The shard-lock p99 is gated too: the hot
+    /// pin/release path must stay in the tens-of-microseconds range even
+    /// with every consumer hammering the ledger.  Release builds only:
+    /// under `debug_assertions` every scheduling decision re-runs its
     /// brute-force twin, which distorts lock hold times.
     #[test]
     #[cfg_attr(
@@ -385,14 +423,25 @@ mod tests {
                 .expect("missing point")
         };
         let base = at(16);
-        let wide = at(128);
+        let wide = at(256);
         assert!(
-            wide.chunks_per_sec >= 1.5 * base.chunks_per_sec,
-            "expected >= 1.5x delivered-chunk throughput at 128 threads: \
-             {:.0} chunks/s (16) vs {:.0} chunks/s (128, {:.2}x)",
+            wide.chunks_per_sec >= 2.5 * base.chunks_per_sec,
+            "expected >= 2.5x delivered-chunk throughput at 256 threads: \
+             {:.0} chunks/s (16) vs {:.0} chunks/s (256, {:.2}x)",
             base.chunks_per_sec,
             wide.chunks_per_sec,
             wide.chunks_per_sec / base.chunks_per_sec
+        );
+        // Shard-lock holds are a handful of HashMap operations; 64 µs of
+        // p99 is an order of magnitude of slack.  Only the p99 is gated —
+        // the recorded *max* can be an arbitrary preemption artifact on a
+        // loaded (or single-core) CI box, where a thread can lose the CPU
+        // while holding a shard lock.
+        assert!(
+            wide.shard_lock_p99_ns <= 64_000,
+            "shard-lock p99 too high at 256 threads: {} ns (max {} ns)",
+            wide.shard_lock_p99_ns,
+            wide.shard_lock_max_ns
         );
     }
 

@@ -14,7 +14,9 @@
 pub mod frame;
 pub mod policy;
 pub mod pool;
+pub mod sharded;
 
 pub use frame::{Frame, FrameId, PageKey};
 pub use policy::{ClockPolicy, LruPolicy, MruPolicy, ReplacementPolicy};
-pub use pool::{BufferPool, FetchOutcome, PayloadState, PoolStats};
+pub use pool::{BufferPool, FetchOutcome, PayloadState, PoolGaugeHub, PoolStats};
+pub use sharded::{ShardGuard, ShardedPool, MAX_SHARDS};

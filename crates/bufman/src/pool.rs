@@ -80,6 +80,29 @@ impl PoolStats {
     }
 }
 
+impl std::ops::AddAssign for PoolStats {
+    fn add_assign(&mut self, rhs: PoolStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+        self.pins += rhs.pins;
+        self.unpins += rhs.unpins;
+    }
+}
+
+/// Shared gauge aggregation for a pool striped into shards.
+///
+/// Registry gauges are *set*, not accumulated, so a shard writing its local
+/// pinned/resident count would clobber every other shard's contribution.
+/// Shards that share a hub instead publish only their *delta* into these
+/// atomics and set the gauge from the aggregate (see
+/// [`BufferPool::set_gauge_hub`]).
+#[derive(Debug, Default)]
+pub struct PoolGaugeHub {
+    pinned: std::sync::atomic::AtomicI64,
+    resident: std::sync::atomic::AtomicI64,
+}
+
 /// A fixed-capacity page buffer pool.
 ///
 /// Frames track page identity, pin counts and dirty flags; a frame may
@@ -103,6 +126,12 @@ pub struct BufferPool {
     /// Frames currently pinned by at least one user, maintained
     /// incrementally so the gauge update is O(1).
     pinned: usize,
+    /// Cross-shard gauge aggregation ([`BufferPool::set_gauge_hub`]); a
+    /// standalone pool (`None`) sets gauges from its local values directly.
+    hub: Option<Arc<PoolGaugeHub>>,
+    /// The pinned/resident values last published into the hub, so each
+    /// gauge refresh contributes only this pool's delta.
+    published: (i64, i64),
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -132,6 +161,8 @@ impl BufferPool {
             payloads: HashMap::new(),
             obs: None,
             pinned: 0,
+            hub: None,
+            published: (0, 0),
         }
     }
 
@@ -140,6 +171,14 @@ impl BufferPool {
     /// keeps accumulating locally either way.
     pub fn set_observability(&mut self, obs: Arc<Registry>) {
         self.obs = Some(obs);
+    }
+
+    /// Joins a shared [`PoolGaugeHub`]: gauge refreshes publish this pool's
+    /// pinned/resident *delta* into the hub and set the registry gauges
+    /// from the aggregate, so shards of one logical pool never clobber each
+    /// other's contribution.
+    pub fn set_gauge_hub(&mut self, hub: Arc<PoolGaugeHub>) {
+        self.hub = Some(hub);
     }
 
     /// Bumps a mirrored counter, if a registry is attached.
@@ -151,11 +190,28 @@ impl BufferPool {
     }
 
     /// Refreshes the pinned/resident gauges, if a registry is attached.
+    /// With a gauge hub the pool contributes its delta and publishes the
+    /// cross-shard aggregate; standalone it publishes its local values.
     #[inline]
-    fn obs_gauges(&self) {
-        if let Some(obs) = &self.obs {
-            obs.gauge_set(Gauge::PinnedFrames, self.pinned as u64);
-            obs.gauge_set(Gauge::ResidentFrames, self.page_table.len() as u64);
+    fn obs_gauges(&mut self) {
+        use std::sync::atomic::Ordering;
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let (pinned, resident) = (self.pinned as i64, self.page_table.len() as i64);
+        match &self.hub {
+            Some(hub) => {
+                let (dp, dr) = (pinned - self.published.0, resident - self.published.1);
+                self.published = (pinned, resident);
+                let p = hub.pinned.fetch_add(dp, Ordering::AcqRel) + dp;
+                let r = hub.resident.fetch_add(dr, Ordering::AcqRel) + dr;
+                obs.gauge_set(Gauge::PinnedFrames, p.max(0) as u64);
+                obs.gauge_set(Gauge::ResidentFrames, r.max(0) as u64);
+            }
+            None => {
+                obs.gauge_set(Gauge::PinnedFrames, pinned as u64);
+                obs.gauge_set(Gauge::ResidentFrames, resident as u64);
+            }
         }
     }
 

@@ -1,0 +1,299 @@
+//! A chunk-striped buffer pool: the data plane's pin ledger without a
+//! global lock.
+//!
+//! [`ShardedPool`] splits one logical chunk-granularity [`BufferPool`] into
+//! a power-of-two number of independently locked shards, keyed by
+//! `chunk_id & mask`.  The hot consume path of the threaded executor —
+//! pinning a delivered frame's payload and unpinning it on release — takes
+//! exactly one shard lock, never a lock shared with the scheduler;
+//! residency *transitions* (install at commit, evict at plan/release time)
+//! are still driven by the scheduler, which nests the shard lock inside
+//! its own critical section (lock order: scheduler → shard, never the
+//! reverse).
+//!
+//! Two pieces of cross-shard bookkeeping need care:
+//!
+//! * **Gauges.**  Every shard mirrors its counters into the shared
+//!   [`Registry`], but a *gauge* set from one shard's local value would
+//!   clobber the others'.  The shards therefore share a [`PoolGaugeHub`]:
+//!   each shard publishes only its delta into the hub's atomics and writes
+//!   the aggregate to the registry gauge.
+//!
+//! * **Generations.**  Each frame carries a generation counter, bumped on
+//!   every payload install and eviction.  Release-path bookkeeping that is
+//!   applied *deferred* (through the scheduler's release inbox) records
+//!   the generation it observed at unpin time, and the apply side
+//!   debug-asserts the frame has not been recycled underneath it — the
+//!   cross-shard analogue of the ABM's plan/commit epoch check.
+//!
+//! Shard-lock hold times are recorded into the registry's
+//! `shard_lock_hold` span histogram by the [`ShardGuard`] returned from
+//! [`ShardedPool::shard`], so contention on the striped fast path is
+//! observable next to the scheduler's `lock_hold`.
+
+use crate::frame::PageKey;
+use crate::policy::ReplacementPolicy;
+use crate::pool::{BufferPool, PoolGaugeHub, PoolStats};
+use cscan_obs::{Registry, SpanKind};
+use parking_lot::{Mutex, MutexGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The largest shard count a pool will stripe into.  Shards beyond the
+/// chunk count (or beyond what a lock per 16-way stripe buys) only add
+/// footprint, so the count is `min(num_chunks.next_power_of_two(), 16)`.
+pub const MAX_SHARDS: usize = 16;
+
+/// A power-of-two set of independently locked [`BufferPool`] shards,
+/// striped by chunk id.  See the module docs for the locking discipline.
+pub struct ShardedPool {
+    shards: Box<[Mutex<BufferPool>]>,
+    mask: u64,
+    /// Per-chunk frame generations (install/evict each bump by one),
+    /// indexed by the key's page number.  Atomic so debug cross-checks can
+    /// read them without a lock.
+    generations: Box<[AtomicU64]>,
+    /// Registry for shard-lock hold-time spans (`None` until
+    /// [`ShardedPool::set_observability`]).
+    obs: Option<Arc<Registry>>,
+}
+
+impl ShardedPool {
+    /// Creates a pool with one frame per logical chunk, striped over
+    /// `min(num_chunks.next_power_of_two(), MAX_SHARDS)` shards.
+    ///
+    /// # Panics
+    /// Panics if `num_chunks` is zero.
+    pub fn new(num_chunks: usize, policy: impl Fn() -> Box<dyn ReplacementPolicy>) -> Self {
+        assert!(num_chunks > 0, "sharded pool needs at least one chunk");
+        let shards = num_chunks.next_power_of_two().clamp(1, MAX_SHARDS);
+        // Chunk i lives in shard i & mask; every shard gets a frame for
+        // each chunk that maps to it (ceil covers the uneven tail).
+        let per_shard = num_chunks.div_ceil(shards).max(1);
+        let hub = Arc::new(PoolGaugeHub::default());
+        let shards: Box<[Mutex<BufferPool>]> = (0..shards)
+            .map(|_| {
+                let mut pool = BufferPool::new(per_shard, policy());
+                pool.set_gauge_hub(Arc::clone(&hub));
+                Mutex::new(pool)
+            })
+            .collect();
+        Self {
+            mask: (shards.len() - 1) as u64,
+            shards,
+            generations: (0..num_chunks).map(|_| AtomicU64::new(0)).collect(),
+            obs: None,
+        }
+    }
+
+    /// Mirrors every shard's counters and the aggregated gauges into `obs`,
+    /// and records shard-lock hold times into its `shard_lock_hold` span.
+    pub fn set_observability(&mut self, obs: Arc<Registry>) {
+        for shard in self.shards.iter() {
+            shard.lock().set_observability(Arc::clone(&obs));
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Number of shards the pool is striped into (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Locks the shard owning `key` and returns an instrumented guard; the
+    /// hold time lands in the `shard_lock_hold` histogram on drop.
+    pub fn shard(&self, key: PageKey) -> ShardGuard<'_> {
+        let guard = self.shards[(key.page.index() & self.mask) as usize].lock();
+        ShardGuard {
+            guard,
+            acquired: Instant::now(),
+            obs: self.obs.as_deref(),
+        }
+    }
+
+    /// The current generation of `key`'s frame (bumped by every payload
+    /// install and eviction).
+    pub fn generation(&self, key: PageKey) -> u64 {
+        self.generations
+            .get(key.page.index() as usize)
+            .map(|g| g.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Advances `key`'s frame generation; call on every payload install and
+    /// eviction (while holding the shard lock, so readers under the same
+    /// lock see a stable value).
+    pub fn bump_generation(&self, key: PageKey) {
+        if let Some(g) = self.generations.get(key.page.index() as usize) {
+            g.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Counters summed over every shard.
+    pub fn stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for shard in self.shards.iter() {
+            total += shard.lock().stats();
+        }
+        total
+    }
+
+    /// Frames currently pinned, summed over every shard.
+    pub fn pinned_frames(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().pinned_frames()).sum()
+    }
+
+    /// Resident frames still holding encoded payloads, summed over shards.
+    pub fn compressed_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().compressed_frames())
+            .sum()
+    }
+
+    /// Pages currently resident, summed over every shard.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().resident()).sum()
+    }
+
+    /// Whether `key` is currently resident (takes its shard lock).
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.shard(key).contains(key)
+    }
+
+    /// Pin count of `key`, if resident (takes its shard lock).
+    pub fn pin_count(&self, key: PageKey) -> Option<u32> {
+        self.shard(key).pin_count(key)
+    }
+}
+
+impl std::fmt::Debug for ShardedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPool")
+            .field("shards", &self.shards.len())
+            .field("resident", &self.resident())
+            .finish()
+    }
+}
+
+/// An instrumented shard guard: derefs to the shard's [`BufferPool`] and
+/// records the lock hold time on drop.
+pub struct ShardGuard<'a> {
+    guard: MutexGuard<'a, BufferPool>,
+    acquired: Instant,
+    obs: Option<&'a Registry>,
+}
+
+impl Deref for ShardGuard<'_> {
+    type Target = BufferPool;
+    fn deref(&self) -> &BufferPool {
+        &self.guard
+    }
+}
+
+impl DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut BufferPool {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(obs) = self.obs {
+            obs.record_span_ns(
+                SpanKind::ShardLockHold,
+                (self.acquired.elapsed().as_nanos() as u64).max(1),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LruPolicy;
+    use cscan_obs::Gauge;
+
+    fn pool(chunks: usize) -> ShardedPool {
+        ShardedPool::new(chunks, || Box::new(LruPolicy::new()))
+    }
+
+    fn key(c: u64) -> PageKey {
+        PageKey::new(0, c)
+    }
+
+    #[test]
+    fn shard_count_is_a_clamped_power_of_two() {
+        assert_eq!(pool(1).num_shards(), 1);
+        assert_eq!(pool(5).num_shards(), 8);
+        assert_eq!(pool(256).num_shards(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn every_chunk_finds_a_frame_in_its_shard() {
+        let p = pool(37);
+        for c in 0..37u64 {
+            let mut shard = p.shard(key(c));
+            assert!(shard.fetch_and_pin(key(c)).is_some(), "chunk {c}");
+            shard.unpin(key(c), false);
+        }
+        assert_eq!(p.resident(), 37);
+        assert_eq!(p.pinned_frames(), 0);
+        assert_eq!(p.stats().misses, 37);
+    }
+
+    #[test]
+    fn generations_bump_on_install_and_evict() {
+        let p = pool(8);
+        let k = key(3);
+        assert_eq!(p.generation(k), 0);
+        {
+            let mut shard = p.shard(k);
+            shard.fetch_and_pin(k).unwrap();
+            shard.install_payload(k, cscan_storage::ChunkPayload::Missing);
+            p.bump_generation(k);
+            shard.unpin(k, false);
+        }
+        assert_eq!(p.generation(k), 1);
+        {
+            let mut shard = p.shard(k);
+            assert!(shard.evict_page(k));
+            p.bump_generation(k);
+        }
+        assert_eq!(p.generation(k), 2);
+    }
+
+    #[test]
+    fn gauges_aggregate_across_shards_instead_of_clobbering() {
+        let obs = Arc::new(Registry::new());
+        let mut p = pool(64);
+        p.set_observability(Arc::clone(&obs));
+        // Pin chunks that land in different shards; a per-shard gauge_set
+        // of the local value would report 1, not the aggregate.
+        for c in [0u64, 1, 2, 3, 17, 33] {
+            p.shard(key(c)).fetch_and_pin(key(c)).unwrap();
+        }
+        assert_eq!(obs.gauge(Gauge::PinnedFrames), 6);
+        assert_eq!(obs.gauge(Gauge::ResidentFrames), 6);
+        for c in [0u64, 1, 2, 3] {
+            p.shard(key(c)).unpin(key(c), false);
+        }
+        assert_eq!(obs.gauge(Gauge::PinnedFrames), 2);
+        assert_eq!(obs.gauge(Gauge::ResidentFrames), 6);
+    }
+
+    #[test]
+    fn shard_lock_holds_are_recorded() {
+        let obs = Arc::new(Registry::new());
+        let mut p = pool(16);
+        p.set_observability(Arc::clone(&obs));
+        for c in 0..16u64 {
+            let mut shard = p.shard(key(c));
+            shard.fetch_and_pin(key(c)).unwrap();
+            shard.unpin(key(c), false);
+        }
+        assert!(obs.span_hist(SpanKind::ShardLockHold).snapshot().count() >= 16);
+    }
+}

@@ -13,26 +13,27 @@
 //!
 //! With a [`ScanServerBuilder::store`] configured, delivery carries *data*,
 //! not just chunk ids: each committed load's payload (materialized by the
-//! [`ChunkStore`] on the I/O worker, **outside** the hub lock) is installed
-//! into a chunk-granularity [`cscan_bufman::BufferPool`] frame, and every
-//! [`PinnedChunk`] a query receives holds both the ABM-side processing pin
-//! and a frame pin (a refcount on the pool frame), so eviction can never
-//! reclaim a chunk a query is still reading.  NSM and DSM payloads live
-//! behind [`ChunkPayload`]; [`PinnedChunk::column`] decodes them zero-copy
-//! — the hot consume path (acquire → read views → release) performs no
-//! per-chunk heap allocation and no data copies.  Without a store the
-//! server delivers [`ChunkPayload::Missing`] and behaves exactly like the
+//! [`ChunkStore`] on the I/O worker, **outside** the scheduler lock) is
+//! installed into a chunk-granularity frame of the sharded
+//! [`cscan_bufman::ShardedPool`], and every [`PinnedChunk`] a query
+//! receives holds both the ABM-side processing pin and a frame pin (a
+//! refcount on the pool frame), so eviction can never reclaim a chunk a
+//! query is still reading.  NSM and DSM payloads live behind
+//! [`ChunkPayload`]; [`PinnedChunk::column`] decodes them zero-copy — the
+//! hot consume path (acquire → read views → release) performs no per-chunk
+//! heap allocation and no data copies.  Without a store the server
+//! delivers [`ChunkPayload::Missing`] and behaves exactly like the
 //! historical id-only executor.
 //!
 //! Payloads may arrive *compressed* (a
 //! [`cscan_storage::CompressingStore`] encodes mini-columns as PDICT /
 //! PFOR / PFOR-DELTA bytes on the I/O worker): the commit installs the
 //! encoded bytes, and the **first pin** pays the once-only decompression —
-//! after `next_chunk` has released the hub lock (the codec debug-asserts
-//! this) — flipping the frame to its decoded state for every later pin.
-//! Eviction drops both states; a re-load re-installs fresh encoded bytes.
-//! Decode time is accounted as pin-wait and surfaced separately
-//! ([`ScanServer::decode_time`], [`ScanServer::values_decoded`]).
+//! after `next_chunk` has released every executor lock (the codec
+//! debug-asserts this) — flipping the frame to its decoded state for every
+//! later pin.  Eviction drops both states; a re-load re-installs fresh
+//! encoded bytes.  Decode time is accounted as pin-wait and surfaced
+//! separately ([`ScanServer::decode_time`], [`ScanServer::values_decoded`]).
 //!
 //! The frame pool is deliberately sized at one frame per logical chunk:
 //! buffer *capacity* is governed by the ABM's page accounting (which plans
@@ -41,44 +42,73 @@
 //!
 //! # Concurrency architecture
 //!
-//! The executor is built from the three layers described in
-//! `ARCHITECTURE.md`:
+//! The executor is split into a **sharded fast path** and a **narrow
+//! scheduler lock** (see `ARCHITECTURE.md` for the full diagram):
 //!
-//! * **Plan/commit critical sections.**  One mutex protects the hub
-//!   (the [`Abm`] plus the wakeup registry).  An I/O worker holds it only
-//!   to *plan* a load (policy decision + eviction + page reservation, all
-//!   answered by the shared [`crate::abm::ChunkIndex`]) and again to
-//!   *commit* the completed read; the simulated disk read itself — the part
-//!   that takes milliseconds — runs with the lock released.  Because the
-//!   world can change mid-read, every plan carries a `(ticket, epoch)`
-//!   stamp and [`Abm::commit_load`] revalidates it: a load whose last
-//!   interested query detached mid-read is aborted, never installed.  Lock
-//!   hold times are recorded into the observability registry's `lock_hold`
-//!   span histogram ([`ScanServer::lock_hold_histogram`]; see `cscan_obs`).
+//! * **The scheduler lock** (one mutex around `Sched`) protects only the
+//!   *decisions*: the [`Abm`] (plan / commit / policy choice / query
+//!   registry), the per-query grant slots' registry, and the quarantine
+//!   set.  An I/O worker holds it to *plan* a load (policy decision +
+//!   eviction + page reservation) and again to *commit* the completed read;
+//!   the simulated disk read itself — the part that takes milliseconds —
+//!   runs with the lock released.  Because the world can change mid-read,
+//!   every plan carries a `(ticket, epoch)` stamp and [`Abm::commit_load`]
+//!   revalidates it: a load whose last interested query detached mid-read
+//!   is aborted, never installed.  Scheduler-lock hold times land in the
+//!   `lock_hold` span histogram ([`ScanServer::lock_hold_histogram`]).
 //!
-//! * **Targeted wakeups.**  There are no global condition variables.  Every
-//!   registered CScan owns a *wait slot* (a condvar in the hub's registry):
-//!   a commit wakes exactly the queries that were blocked on the arrived
-//!   chunk — the `signalQuery` list of Figure 3 — so a `DiskDone` for chunk
-//!   `c` never stampedes the other 127 scans.  Every I/O worker owns a
-//!   *doorbell*: workers with nothing to plan park on their own doorbell
-//!   and events that change the scheduling inputs (query registered or
-//!   finished, chunk consumed) ring exactly one parked worker.  A worker
-//!   that plans successfully rings the next parked worker before it starts
-//!   its read ("wake chaining"), so a burst of plannable loads fans the
-//!   pool out one worker at a time and stops precisely when a plan comes
-//!   back empty.  Both waits keep a 50 ms timeout purely as a
-//!   belt-and-braces guard; correctness never depends on it.
+//! * **The sharded frame pool** ([`ShardedPool`]) is the consume fast
+//!   path: pinning a delivered frame and unpinning it on release take one
+//!   per-shard mutex (striped by chunk id), never the scheduler lock.
+//!   Shard-lock hold times land in the `shard_lock_hold` histogram
+//!   ([`ScanServer::shard_lock_hold_histogram`]).  Residency *transitions*
+//!   (install at commit, evict at plan time) are driven by the scheduler,
+//!   which nests the shard lock inside its critical section; every install
+//!   and eviction bumps the frame's *generation*, the cross-shard analogue
+//!   of the plan/commit epoch, so deferred release bookkeeping can
+//!   revalidate (in debug builds) that the frame it unpinned was not
+//!   recycled underneath it.
 //!
-//! * **Lock ordering.**  There is exactly one lock.  The wait-slot registry,
-//!   the doorbell list and the frame pool live *inside* the hub, so there is
-//!   no second mutex to order against; condvars are notified after the hub
-//!   guard is dropped (or, on rarely-taken paths, while holding it, which is
-//!   safe — waiters re-check their condition under the lock).  Nothing is
-//!   ever awaited while holding the hub, and no payload is ever
-//!   *materialized or decoded* under it: workers fill payloads before
-//!   re-locking for the commit, and queries read their column views from
-//!   the [`PinnedChunk`] after `next_chunk` has returned.
+//! * **Grant mailboxes.**  Consumers never run the policy themselves.
+//!   The scheduler — at registration, at every commit (for the queries the
+//!   arrived chunk unblocks, Figure 3's `signalQuery` list) and when a
+//!   release drains — calls [`Abm::acquire_chunk`] *for* the query and
+//!   deposits the chosen chunk, its payload handle and a frame pin into
+//!   the query's `QuerySlot` mailbox.  `next_chunk` takes the grant
+//!   under the slot's own mutex (shared-handle racers serialize there) and
+//!   waits on the slot's condvar otherwise.  Because the matcher calls the
+//!   identical `acquire_chunk`, the policy decisions are the same ones the
+//!   single-lock executor made.
+//!
+//! * **Deferred releases.**  Returning a pin pushes a small record into a
+//!   per-shard *release inbox* (pre-allocated; pushing never blocks on the
+//!   scheduler) after unpinning the frame in its shard.  The releaser then
+//!   *try-locks* the scheduler: if free, it drains every inbox inline
+//!   (flat combining); if contended it increments `hub_shard_conflicts`
+//!   and rings a parked I/O worker instead — every scheduler entry drains
+//!   the inboxes first, so a release is applied at most one scheduling
+//!   round later.  The ABM keeps the processing pin until the drain, so
+//!   the planner can never evict a frame whose release is still in
+//!   flight.  The consume path therefore never *blocks* on the scheduler
+//!   lock: it touches its shard, its slot, and atomics.
+//!
+//! * **Wakeups.**  Grant deposits notify the query's own slot condvar —
+//!   a `DiskDone` for chunk `c` never stampedes the other 127 scans.
+//!   Each I/O worker parks on its own `WorkerPark` slot; events that
+//!   change the scheduling inputs ring exactly one parked worker, and a
+//!   worker that plans successfully rings the next one before starting its
+//!   read ("wake chaining").  All waits keep a 50 ms timeout purely as a
+//!   belt-and-braces guard; correctness never depends on it — grants are
+//!   *state* in the mailbox, not transient signals, so a timed-out waiter
+//!   re-checks and proceeds.
+//!
+//! * **Lock ordering.**  `scheduler → { shard, slot, inbox, park }`, and
+//!   the four leaf locks are never nested with each other.  Nothing is
+//!   ever awaited while holding the scheduler, and no payload is ever
+//!   *materialized or decoded* under it (or under a shard lock): workers
+//!   fill payloads before re-locking for the commit, and queries read
+//!   their column views from the [`PinnedChunk`] after `next_chunk` has
+//!   returned.
 //!
 //! Each of the [`ScanServerBuilder::io_threads`] workers holds at most one
 //! load outstanding, so a pool of `k` workers keeps up to `k` chunk loads
@@ -117,16 +147,17 @@ use crate::model::TableModel;
 use crate::policy::PolicyKind;
 use crate::query::QueryId;
 use crate::session::{ChunkRelease, PinnedChunk, ScanError, ScanSession};
-use cscan_bufman::{BufferPool, LruPolicy, PageKey, PoolStats};
+use cscan_bufman::{LruPolicy, PageKey, PoolStats, ShardedPool};
 use cscan_obs::{
-    Counter, EventKind, HistogramSnapshot, QueryCounter, QueryScope, Registry, SpanKind, NO_QUERY,
+    Counter, EventKind, Gauge, HistogramSnapshot, QueryCounter, QueryScope, Registry, SpanKind,
+    NO_QUERY,
 };
 use cscan_simdisk::SimTime;
 use cscan_storage::{ChunkId, ChunkPayload, ChunkStore, ColumnId, StoreError};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -137,46 +168,165 @@ fn frame_key(chunk: ChunkId) -> PageKey {
     PageKey::new(0, chunk.index() as u64)
 }
 
-/// Everything the hub mutex protects: the ABM, the frame pool and the
-/// wakeup registry.
-struct Hub {
+/// A delivered-but-not-yet-consumed chunk sitting in a query's mailbox:
+/// the scheduler already ran the policy ([`Abm::acquire_chunk`]) and pinned
+/// the chunk's frame; `next_chunk` only has to take it.
+struct Grant {
+    chunk: ChunkId,
+    /// The frame generation observed while pinning, carried through to the
+    /// deferred release for the debug-build recycling check.
+    generation: u64,
+}
+
+/// What the per-query slot mutex protects.
+#[derive(Default)]
+struct SlotState {
+    /// At most one outstanding grant (a query processes one chunk at a
+    /// time; [`crate::query::QueryState::start_processing`] enforces it).
+    grant: Option<Grant>,
+    /// Sticky per-query failure, deposited by quarantine; read (not taken)
+    /// so every consumer of a shared handle observes it.
+    error: Option<ScanError>,
+    /// Set when the query finished naturally, detached, or erred; waiters
+    /// return `Ok(None)` (or the error above).
+    closed: bool,
+}
+
+/// A query's grant mailbox: consumers wait here, the scheduler deposits
+/// here.  Lives outside the scheduler lock — the consume path touches only
+/// this mutex (plus its frame shard).
+#[derive(Default)]
+struct QuerySlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+/// A pin returned by a consumer, recorded in a release inbox and applied
+/// under the scheduler lock at the next drain.
+#[derive(Clone, Copy)]
+struct Release {
+    query: QueryId,
+    chunk: ChunkId,
+    /// Frame generation observed at unpin time (debug revalidation).
+    generation: u64,
+}
+
+/// One I/O worker's parking spot: a flag under a mutex plus a condvar.
+/// The flag makes rings *state*: a ring delivered while the worker is
+/// mid-loop is consumed by its next park instead of being lost.
+#[derive(Default)]
+struct ParkSlot {
+    rung: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The I/O workers' parking lot.  `mask` tracks which workers (the first
+/// 64) are currently parked, so `ring_one` can pick a victim with a CAS
+/// instead of a lock; workers beyond 64 rely on the 50 ms belt-and-braces
+/// timeout alone.
+struct WorkerPark {
+    mask: AtomicU64,
+    slots: Box<[ParkSlot]>,
+}
+
+impl WorkerPark {
+    fn new(workers: usize) -> Self {
+        Self {
+            mask: AtomicU64::new(0),
+            slots: (0..workers).map(|_| ParkSlot::default()).collect(),
+        }
+    }
+
+    /// Parks worker `id` until rung or `timeout` elapses.
+    fn park(&self, id: usize, timeout: Duration) {
+        let slot = &self.slots[id];
+        if id < 64 {
+            self.mask.fetch_or(1 << id, Ordering::AcqRel);
+        }
+        let mut rung = slot.rung.lock();
+        if !*rung {
+            slot.cv.wait_for(&mut rung, timeout);
+        }
+        *rung = false;
+        drop(rung);
+        if id < 64 {
+            self.mask.fetch_and(!(1 << id), Ordering::AcqRel);
+        }
+    }
+
+    /// Rings exactly one parked worker, if any (CAS-claims its mask bit so
+    /// concurrent ringers pick distinct victims).
+    fn ring_one(&self) {
+        loop {
+            let mask = self.mask.load(Ordering::Acquire);
+            if mask == 0 {
+                return;
+            }
+            let id = mask.trailing_zeros() as usize;
+            if self
+                .mask
+                .compare_exchange(mask, mask & !(1 << id), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let slot = &self.slots[id];
+                let mut rung = slot.rung.lock();
+                *rung = true;
+                slot.cv.notify_one();
+                return;
+            }
+        }
+    }
+
+    /// Rings every worker (shutdown).
+    fn ring_all(&self) {
+        for slot in self.slots.iter() {
+            let mut rung = slot.rung.lock();
+            *rung = true;
+            slot.cv.notify_all();
+        }
+    }
+}
+
+/// Everything the (narrow) scheduler lock protects: the decisions, not the
+/// data plane.
+struct Sched {
     abm: Abm,
-    /// The data plane's frame pool: page table, pin ledger and payload
-    /// store, at chunk granularity (one frame per logical chunk, so the
-    /// pool never victimizes on its own — the ABM plans every eviction
-    /// against its page accounting and this pool mirrors the outcome).
-    pool: BufferPool,
-    /// Per-query wait slots.  A blocked [`CScanHandle::next_chunk`] waits on
-    /// its own slot; commits notify exactly the slots of the queries the
-    /// arrived chunk unblocks.
-    slots: HashMap<QueryId, Arc<Condvar>>,
-    /// One doorbell per I/O worker, indexed by worker id.
-    doorbells: Vec<Arc<Condvar>>,
-    /// Ids of workers currently parked on their doorbell, most recently
-    /// parked last (rings pop the most recent — warm caches first).
-    parked: Vec<usize>,
+    /// Per-query grant mailboxes, by id.  The slot itself lives outside
+    /// this lock (handles hold their own `Arc`); the map is how the
+    /// scheduler finds a query's mailbox to deposit into.
+    slots: HashMap<QueryId, Arc<QuerySlot>>,
     /// Chunks whose loads failed for good (retry budget exhausted or a
     /// permanent fault), with the final error.  The planner never keeps
     /// selecting them: entering quarantine closes every interested query,
     /// and later registrations are failed at plan time by the workers.
     quarantined: HashMap<ChunkId, StoreError>,
-    /// Pending per-query errors, delivered by the next `next_chunk` call
-    /// of the query's handle.
-    errors: HashMap<QueryId, ScanError>,
+    /// Reusable drain buffer for the release inboxes, pre-sized to their
+    /// summed capacity so `service` never allocates (the drain may run
+    /// inline on a consumer thread).
+    scratch: Vec<Release>,
 }
 
-impl Hub {
-    /// Takes one parked worker's doorbell, if any worker is parked.  The
-    /// caller should notify it *after* dropping the hub guard.
-    fn pop_doorbell(&mut self) -> Option<Arc<Condvar>> {
-        let id = self.parked.pop()?;
-        Some(Arc::clone(&self.doorbells[id]))
-    }
-}
+/// Per-inbox capacity.  A release beyond this falls back to applying
+/// inline under the scheduler lock (a blocking, but correct, slow path);
+/// sized so that never happens in practice — pending releases are bounded
+/// by in-flight pins, one per active query.
+const INBOX_CAPACITY: usize = 1024;
 
 /// Shared state between the I/O workers and all CScan handles.
 struct Shared {
-    hub: Mutex<Hub>,
+    /// The narrow scheduler lock: plan, commit, policy, registry,
+    /// quarantine.  Never held across I/O, decode, or any wait.
+    sched: Mutex<Sched>,
+    /// The data plane's sharded frame pool: page table, pin ledger and
+    /// payload store, at chunk granularity.  Pin/unpin on the consume path
+    /// take only the owning shard's lock.
+    pool: ShardedPool,
+    /// Per-shard release inboxes (indexed like the pool's shards); pushes
+    /// are bounded by `INBOX_CAPACITY` so they never allocate.
+    inboxes: Box<[Mutex<Vec<Release>>]>,
+    inbox_mask: u64,
+    /// The I/O workers' parking lot.
+    park: WorkerPark,
     /// Source of chunk payloads; `None` delivers metadata-only chunks.
     store: Option<Arc<dyn ChunkStore>>,
     /// Whether the table model is DSM (cached so workers can prepare the
@@ -193,6 +343,8 @@ struct Shared {
     obs: Arc<Registry>,
     /// Table label attached to per-query metric scopes.
     table_label: String,
+    /// The policy's name, cached at build so the accessor needs no lock.
+    policy_label: &'static str,
 }
 
 impl Shared {
@@ -200,60 +352,240 @@ impl Shared {
         SimTime::from_micros(self.started.elapsed().as_micros() as u64)
     }
 
-    /// Locks the hub, instrumenting how long the guard is held.
-    fn lock(&self) -> HubGuard<'_> {
-        HubGuard {
-            guard: self.hub.lock(),
+    /// Locks the scheduler, instrumenting how long the guard is held.
+    fn lock_sched(&self) -> SchedGuard<'_> {
+        SchedGuard {
+            guard: self.sched.lock(),
             acquired: Instant::now(),
             obs: &self.obs,
             _no_decode: cscan_storage::codec::forbid_decode(),
         }
     }
+
+    /// The release inbox owning `chunk`.
+    fn inbox(&self, chunk: ChunkId) -> &Mutex<Vec<Release>> {
+        &self.inboxes[(chunk.index() as u64 & self.inbox_mask) as usize]
+    }
+
+    /// Scheduler-entry housekeeping: drains every release inbox, applies
+    /// the releases to the ABM (and the residency consequences to the
+    /// pool), re-runs the grant matcher for each releasing query, and
+    /// mirrors the free-page gauge.  Called first at **every** scheduler
+    /// entry, so a deferred release is applied at most one scheduling
+    /// round after it was pushed.
+    fn service(&self, sched: &mut Sched) {
+        debug_assert!(sched.scratch.is_empty());
+        for inbox in self.inboxes.iter() {
+            let mut pending = inbox.lock();
+            sched.scratch.append(&mut pending);
+        }
+        while let Some(release) = sched.scratch.pop() {
+            self.apply_release(sched, release);
+            self.try_grant(sched, release.query);
+        }
+        self.obs
+            .gauge_set(Gauge::FreePages, sched.abm.state().free_pages());
+    }
+
+    /// Applies one returned pin: ABM release bookkeeping plus the residency
+    /// consequences (dead-DSM-column shrink, or frame eviction when the
+    /// ABM dropped the chunk).  The frame itself was unpinned in its shard
+    /// before the release was recorded; the caller must not hold a shard
+    /// guard.
+    fn apply_release(&self, sched: &mut Sched, release: Release) {
+        let key = frame_key(release.chunk);
+        // The epoch-revalidation rule, deferred-release edition: the ABM
+        // held this query's processing pin from unpin until now, so the
+        // frame cannot have been evicted — it must still be resident, at a
+        // generation no older than the one stamped at unpin time.
+        debug_assert!(
+            sched.abm.state().buffered_chunk(release.chunk).is_none()
+                || (self.pool.contains(key) && self.pool.generation(key) >= release.generation),
+            "frame for {:?} was recycled under a pending release",
+            release.chunk
+        );
+        sched.abm.release_delivered(release.query, release.chunk);
+        match sched.abm.state().buffered_chunk(release.chunk) {
+            None => {
+                let mut shard = self.pool.shard(key);
+                if shard.evict_page(key) {
+                    self.pool.bump_generation(key);
+                }
+            }
+            Some(b) if self.is_dsm => {
+                let mut shard = self.pool.shard(key);
+                let shrunk = match shard.payload(key) {
+                    Some(ChunkPayload::Dsm(data))
+                        if data.resident_columns().any(|c| !b.columns.contains(c)) =>
+                    {
+                        Some(data.retained(|c| b.columns.contains(c)))
+                    }
+                    _ => None,
+                };
+                match shrunk {
+                    Some(Some(kept)) => {
+                        shard.install_payload(key, ChunkPayload::Dsm(Arc::new(kept)));
+                        self.pool.bump_generation(key);
+                    }
+                    Some(None) if shard.evict_page(key) => {
+                        self.pool.bump_generation(key);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The grant matcher: if query `q` is hungry (registered, not finished,
+    /// not already processing or holding a grant), runs the policy via the
+    /// *same* [`Abm::acquire_chunk`] the single-lock executor used, pins
+    /// the chosen frame in its shard, and deposits the grant into the
+    /// query's mailbox.  A finished query's slot is closed instead.  Called
+    /// under the scheduler lock at every point the query's availability can
+    /// improve: registration, a commit that lists it as woken, and the
+    /// drain of one of its releases.
+    fn try_grant(&self, sched: &mut Sched, q: QueryId) {
+        let Some(slot) = sched.slots.get(&q).map(Arc::clone) else {
+            return;
+        };
+        {
+            let st = slot.state.lock();
+            if st.closed || st.error.is_some() || st.grant.is_some() {
+                return;
+            }
+        }
+        let Some(query) = sched.abm.state().try_query(q) else {
+            return;
+        };
+        if query.processing.is_some() {
+            // The previous grant was taken and its pin is still out; the
+            // release drain re-matches when it comes back.
+            return;
+        }
+        if query.is_finished() {
+            let mut st = slot.state.lock();
+            st.closed = true;
+            drop(st);
+            slot.cv.notify_all();
+            return;
+        }
+        let Some(chunk) = sched.abm.acquire_chunk(q, self.now()) else {
+            // Nothing resident the policy would give this query; the ABM
+            // marked it blocked, so the arriving chunk's commit will list
+            // it as woken and re-enter here.
+            return;
+        };
+        let key = frame_key(chunk);
+        let mut shard = self.pool.shard(key);
+        if !shard.pin(key) {
+            // Invariant breach: a delivered chunk always has a resident
+            // frame.  Degrade to a per-query error instead of panicking
+            // under the scheduler lock.
+            debug_assert!(false, "delivered {chunk:?} has no resident frame");
+            drop(shard);
+            sched.abm.reject_delivered(q, chunk);
+            let mut st = slot.state.lock();
+            st.error = Some(ScanError {
+                chunk,
+                cause: StoreError::Permanent,
+            });
+            drop(st);
+            slot.cv.notify_all();
+            return;
+        }
+        let generation = self.pool.generation(key);
+        drop(shard);
+        let mut st = slot.state.lock();
+        debug_assert!(st.grant.is_none(), "double grant for {q:?}");
+        st.grant = Some(Grant { chunk, generation });
+        drop(st);
+        slot.cv.notify_all();
+    }
+
+    /// Closes `q`'s slot (removing it from the registry), depositing
+    /// `error` if given, and reclaims an unconsumed grant — returning its
+    /// frame pin and applying its release inline.  Caller still owns
+    /// waking/`finish_query` semantics.  Returns the slot so the caller
+    /// can notify after dropping the scheduler lock.
+    fn close_slot(
+        &self,
+        sched: &mut Sched,
+        q: QueryId,
+        error: Option<ScanError>,
+    ) -> Option<Arc<QuerySlot>> {
+        let slot = sched.slots.remove(&q)?;
+        let reclaimed = {
+            let mut st = slot.state.lock();
+            if let Some(error) = error {
+                st.error = Some(error);
+            }
+            st.closed = true;
+            st.grant.take()
+        };
+        if let Some(grant) = reclaimed {
+            // An eagerly granted chunk nobody consumed: return the frame
+            // pin and apply the release (the query is finished or being
+            // finished, so this routes through the detached-pin path).
+            let key = frame_key(grant.chunk);
+            self.pool.shard(key).unpin(key, false);
+            self.apply_release(
+                sched,
+                Release {
+                    query: q,
+                    chunk: grant.chunk,
+                    generation: grant.generation,
+                },
+            );
+        }
+        Some(slot)
+    }
 }
 
-/// An instrumented hub guard: records the lock hold time into the
-/// histogram on drop, and splits the measurement around condvar waits (the
-/// lock is released while waiting, so waiting time is not hold time).
+/// An instrumented scheduler guard: records the lock hold time into the
+/// `lock_hold` histogram on drop.
 ///
 /// The guard also carries a [`cscan_storage::codec::DecodeForbidden`]
-/// token: any payload decode attempted while a hub guard is alive on the
-/// current thread trips a debug assertion — the runtime proof of the
-/// "never decode under the hub lock" invariant.
-struct HubGuard<'a> {
-    guard: MutexGuard<'a, Hub>,
+/// token: any payload decode attempted while a scheduler guard is alive on
+/// the current thread trips a debug assertion — the runtime proof of the
+/// "never decode under the scheduler lock" invariant.  Nothing is ever
+/// awaited while holding this guard (consumers wait on their slot condvar,
+/// workers park in the [`WorkerPark`] — both outside the scheduler).
+struct SchedGuard<'a> {
+    guard: MutexGuard<'a, Sched>,
     acquired: Instant,
     obs: &'a Registry,
     /// Forbids payload decoding on this thread while the guard is alive.
     _no_decode: cscan_storage::codec::DecodeForbidden,
 }
 
-impl HubGuard<'_> {
-    /// Waits on `cv` (releasing the hub), closing the current hold-time
-    /// measurement and starting a fresh one when the wait returns.
-    fn wait_on(&mut self, cv: &Condvar, timeout: Duration) {
-        self.obs.record_span_ns(
-            SpanKind::LockHold,
-            (self.acquired.elapsed().as_nanos() as u64).max(1),
-        );
-        cv.wait_for(&mut self.guard, timeout);
-        self.acquired = Instant::now();
+impl SchedGuard<'_> {
+    /// Wraps an already-acquired scheduler mutex guard (the `try_lock`
+    /// drain path) in the same instrumentation.
+    fn adopt<'a>(guard: MutexGuard<'a, Sched>, obs: &'a Registry) -> SchedGuard<'a> {
+        SchedGuard {
+            guard,
+            acquired: Instant::now(),
+            obs,
+            _no_decode: cscan_storage::codec::forbid_decode(),
+        }
     }
 }
 
-impl Deref for HubGuard<'_> {
-    type Target = Hub;
-    fn deref(&self) -> &Hub {
+impl Deref for SchedGuard<'_> {
+    type Target = Sched;
+    fn deref(&self) -> &Sched {
         &self.guard
     }
 }
 
-impl DerefMut for HubGuard<'_> {
-    fn deref_mut(&mut self) -> &mut Hub {
+impl DerefMut for SchedGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Sched {
         &mut self.guard
     }
 }
 
-impl Drop for HubGuard<'_> {
+impl Drop for SchedGuard<'_> {
     fn drop(&mut self) {
         self.obs.record_span_ns(
             SpanKind::LockHold,
@@ -283,8 +615,8 @@ impl ScanServerBuilder {
     }
 
     /// Attaches the data plane: chunk payloads materialized by `store` (on
-    /// the I/O workers, outside the hub lock) travel with every delivered
-    /// [`PinnedChunk`].  Without a store the server delivers
+    /// the I/O workers, outside every executor lock) travel with every
+    /// delivered [`PinnedChunk`].  Without a store the server delivers
     /// [`ChunkPayload::Missing`] — the historical id-only behaviour.
     pub fn store(mut self, store: Arc<dyn ChunkStore>) -> Self {
         self.store = Some(store);
@@ -322,7 +654,7 @@ impl ScanServerBuilder {
 
     /// Sets the bounded-retry policy for failed chunk reads (default:
     /// [`RetryPolicy::default`] — 8 attempts with exponential backoff).
-    /// Retries sleep real time on the I/O worker, with the hub unlocked.
+    /// Retries sleep real time on the I/O worker, with no lock held.
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
@@ -351,27 +683,33 @@ impl ScanServerBuilder {
             .max(self.model.avg_chunk_pages().ceil() as u64)
             .max(1);
         let is_dsm = self.model.is_dsm();
+        let num_chunks = self.model.num_chunks() as usize;
         // One frame per logical chunk: capacity is governed by the ABM's
         // page accounting, so the pool never needs to pick its own victims.
-        let pool = BufferPool::new(self.model.num_chunks() as usize, Box::new(LruPolicy::new()));
+        let mut pool = ShardedPool::new(num_chunks.max(1), || Box::new(LruPolicy::new()));
         let state = AbmState::new(self.model, capacity);
         let abm = Abm::new(state, self.policy.build());
+        let policy_label = abm.policy_name();
         let workers = self.io_threads;
         let obs = self.obs.unwrap_or_else(|| Arc::new(Registry::new()));
-        // The frame pool mirrors its pin/eviction counters and residency
-        // gauges into the same registry.
-        let mut pool = pool;
+        // The frame pool mirrors its pin/eviction counters and aggregated
+        // residency gauges into the same registry, and its shard-lock hold
+        // times into the `shard_lock_hold` histogram.
         pool.set_observability(Arc::clone(&obs));
+        let num_shards = pool.num_shards();
         let shared = Arc::new(Shared {
-            hub: Mutex::new(Hub {
+            sched: Mutex::new(Sched {
                 abm,
-                pool,
                 slots: HashMap::new(),
-                doorbells: (0..workers).map(|_| Arc::new(Condvar::new())).collect(),
-                parked: Vec::with_capacity(workers),
                 quarantined: HashMap::new(),
-                errors: HashMap::new(),
+                scratch: Vec::with_capacity(num_shards * INBOX_CAPACITY),
             }),
+            pool,
+            inboxes: (0..num_shards)
+                .map(|_| Mutex::new(Vec::with_capacity(INBOX_CAPACITY)))
+                .collect(),
+            inbox_mask: (num_shards - 1) as u64,
+            park: WorkerPark::new(workers),
             store: self.store,
             is_dsm,
             shutdown: AtomicBool::new(false),
@@ -380,6 +718,7 @@ impl ScanServerBuilder {
             retry: self.retry,
             obs,
             table_label: self.table_label,
+            policy_label,
         });
         let io_threads = (0..workers)
             .map(|i| {
@@ -396,54 +735,57 @@ impl ScanServerBuilder {
 
 /// The ABM main loop (`main()` in Figure 3), run on every I/O worker.
 ///
-/// Plan under the lock (mirroring the plan's evictions into the frame
-/// pool), ring the next parked worker if the plan succeeded (wake
-/// chaining), materialize the payload and perform the simulated read with
-/// the lock released, then commit under the lock — revalidating the plan's
-/// `(ticket, epoch)` stamp, so a load whose queries detached mid-read is
-/// aborted — install the payload into the chunk's frame, and wake exactly
-/// the wait slots of the queries the arrived chunk unblocks.
+/// Drain the release inboxes and plan under the scheduler lock (mirroring
+/// the plan's evictions into the frame shards), ring the next parked
+/// worker if the plan succeeded (wake chaining), materialize the payload
+/// and perform the simulated read with no lock held, then commit under the
+/// scheduler lock — revalidating the plan's `(ticket, epoch)` stamp, so a
+/// load whose queries detached mid-read is aborted — install the payload
+/// into the chunk's frame shard, and deposit grants into the mailboxes of
+/// exactly the queries the arrived chunk unblocks.
 fn io_worker_main(shared: Arc<Shared>, id: usize) {
     let mut plans = Vec::with_capacity(1);
-    let mut wake: Vec<Arc<Condvar>> = Vec::new();
+    let mut woken: Vec<QueryId> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let mut hub = shared.lock();
+        let mut sched = shared.lock_sched();
+        shared.service(&mut sched);
         plans.clear();
         let now = shared.now();
         let plan_started = Instant::now();
-        hub.abm.plan_loads(now, 1, &mut plans);
+        sched.abm.plan_loads(now, 1, &mut plans);
         shared
             .obs
             .record_span_ns(SpanKind::Plan, plan_started.elapsed().as_nanos() as u64);
         let Some(plan) = plans.pop() else {
-            // blockForNextQuery: park on this worker's own doorbell until a
-            // scheduling input changes.  The timeout is a belt-and-braces
-            // guard against missed rings; correctness does not depend on it.
-            hub.parked.push(id);
-            let bell = Arc::clone(&hub.doorbells[id]);
-            hub.wait_on(&bell, Duration::from_millis(50));
-            // A ring pops the id; a timeout leaves it behind — deregister.
-            if let Some(pos) = hub.parked.iter().position(|&w| w == id) {
-                hub.parked.swap_remove(pos);
-            }
+            // blockForNextQuery: park until a scheduling input changes.
+            // The timeout is a belt-and-braces guard against missed rings;
+            // correctness does not depend on it.
+            drop(sched);
+            shared.park.park(id, Duration::from_millis(50));
             continue;
         };
         // The plan's evictions already happened inside the ABM; mirror them
-        // into the frame pool (dropping the evicted payloads) while still
-        // under the same critical section.  The ABM never evicts a pinned
-        // chunk, and frame pins shadow ABM pins one-for-one, so the frame
-        // release cannot fail.
+        // into the frame shards (dropping the evicted payloads) while still
+        // inside the same scheduler critical section.  The ABM never evicts
+        // a pinned chunk, and frame pins shadow ABM pins one-for-one, so
+        // the frame release cannot fail.
         for &victim in &plan.evicted {
-            let freed = hub.pool.evict_page(frame_key(victim));
+            let key = frame_key(victim);
+            let mut shard = shared.pool.shard(key);
+            let freed = shard.evict_page(key);
             debug_assert!(freed, "ABM evicted {victim:?} but its frame was held");
+            if freed {
+                shared.pool.bump_generation(key);
+            }
         }
         // The columns to materialize: everything for NSM (all-or-nothing),
         // exactly the missing columns for DSM (what this load adds).
         let dsm_cols: Option<Vec<ColumnId>> = shared.is_dsm.then(|| {
-            hub.abm
+            sched
+                .abm
                 .state()
                 .missing_columns(plan.decision.chunk, plan.decision.cols)
                 .iter()
@@ -452,15 +794,15 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
         // A quarantined chunk can still be planned when a query registers
         // *after* the chunk failed for good; remember that so the store is
         // never touched for it again.
-        let already_quarantined = hub.quarantined.get(&plan.decision.chunk).copied();
+        let already_quarantined = sched.quarantined.get(&plan.decision.chunk).copied();
+        drop(sched);
         // Wake chaining: if more loads are plannable, the next parked worker
         // will find one (and chain onwards); if not, it re-parks.  This fans
         // a burst out across the pool without a notify_all stampede.
-        let chain = hub.pop_doorbell();
-        drop(hub);
-        // Flight events are recorded after the hub guard dropped: the
+        shared.park.ring_one();
+        // Flight events are recorded after the scheduler guard dropped: the
         // recorder has its own (uncontended) mutex and control-plane events
-        // must not stretch the hub's critical sections.
+        // must not stretch the scheduler's critical sections.
         for &victim in &plan.evicted {
             shared
                 .obs
@@ -472,20 +814,17 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
             NO_QUERY,
             plan.pages,
         );
-        if let Some(bell) = chain {
-            bell.notify_one();
-        }
         if let Some(cause) = already_quarantined {
             quarantine_chunk(&shared, plan.decision.chunk, plan.ticket, cause);
             continue;
         }
-        // Perform the "disk read" without holding the lock so queries keep
+        // Perform the "disk read" without holding any lock so queries keep
         // consuming already-resident chunks (and other workers keep planning
         // and committing) meanwhile.  Materializing the payload *is* the
         // read; the sleep models seek/transfer time.  Failed reads are
         // retried in place — the worker keeps the plan's ticket and
-        // reservation across attempts, sleeping the backoff with the hub
-        // unlocked — and a spent retry budget (or a permanent fault)
+        // reservation across attempts, sleeping the backoff with no lock
+        // held — and a spent retry budget (or a permanent fault)
         // quarantines the chunk instead of ever panicking.
         let mut failed_attempts = 0u32;
         let chunk_idx = plan.decision.chunk.index();
@@ -528,12 +867,12 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
                             // The world may have moved on mid-retry: if the
                             // last interested query detached, the load was
                             // already aborted — stop retrying a dead ticket.
-                            let live = shared
-                                .lock()
-                                .abm
-                                .state()
-                                .inflight_ticket(plan.decision.chunk)
-                                == Some(plan.ticket);
+                            let live = {
+                                let mut sched = shared.lock_sched();
+                                shared.service(&mut sched);
+                                sched.abm.state().inflight_ticket(plan.decision.chunk)
+                                    == Some(plan.ticket)
+                            };
                             if !live {
                                 shared.obs.inc(Counter::LoadsCancelled);
                                 shared
@@ -555,16 +894,18 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
             // go straight back to planning.
             continue;
         };
-        let mut hub = shared.lock();
-        wake.clear();
+        let mut sched = shared.lock_sched();
+        shared.service(&mut sched);
         let commit_started = Instant::now();
-        // Split the borrow: the commit outcome borrows the ABM's wake
-        // scratch while the slot registry is read beside it.
-        let Hub { abm, slots, .. } = &mut *hub;
-        let committed = match abm.commit_load(plan.decision.chunk, plan.ticket, plan.epoch) {
-            CommitOutcome::Committed { woken } => {
-                // signalQuery: wake exactly the scans the chunk unblocks.
-                wake.extend(woken.iter().filter_map(|q| slots.get(q)).map(Arc::clone));
+        woken.clear();
+        let committed = match sched
+            .abm
+            .commit_load(plan.decision.chunk, plan.ticket, plan.epoch)
+        {
+            CommitOutcome::Committed { woken: w } => {
+                // signalQuery: the scans the chunk unblocks.  Copied out of
+                // the ABM's scratch so the borrow ends before granting.
+                woken.extend_from_slice(w);
                 shared.obs.inc(Counter::LoadsCompleted);
                 true
             }
@@ -576,29 +917,40 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
                 false
             }
         };
+        let signalled = woken.len() as u64;
         if committed {
-            // Install the payload into the chunk's frame.  For DSM a chunk
-            // may already be partially resident: union the column sets
-            // (sharing the existing vectors — no copy).  The chunk-granular
-            // pool has a frame per chunk, so fetch_and_pin cannot fail; if
-            // the impossible happens anyway, skip the install (consumers see
-            // a Missing payload) rather than panicking under the hub lock.
+            // Install the payload into the chunk's frame shard.  For DSM a
+            // chunk may already be partially resident: union the column
+            // sets (sharing the existing vectors — no copy).  The
+            // chunk-granular pool has a frame per chunk, so fetch_and_pin
+            // cannot fail; if the impossible happens anyway, skip the
+            // install (consumers see a Missing payload) rather than
+            // panicking under the scheduler lock.
             let key = frame_key(plan.decision.chunk);
-            if hub.pool.fetch_and_pin(key).is_some() {
-                let merged = match hub.pool.payload(key) {
-                    Some(existing) => existing.merged_with(&payload),
-                    None => payload,
-                };
-                hub.pool.install_payload(key, merged);
-                hub.pool.unpin(key, false);
-            } else {
-                debug_assert!(false, "the chunk-granular frame pool ran out of frames");
+            {
+                let mut shard = shared.pool.shard(key);
+                if shard.fetch_and_pin(key).is_some() {
+                    let merged = match shard.payload(key) {
+                        Some(existing) => existing.merged_with(&payload),
+                        None => payload,
+                    };
+                    shard.install_payload(key, merged);
+                    shared.pool.bump_generation(key);
+                    shard.unpin(key, false);
+                } else {
+                    debug_assert!(false, "the chunk-granular frame pool ran out of frames");
+                }
+            }
+            // Deposit a grant into each woken query's mailbox — the same
+            // acquire_chunk decision the consumer would have made itself.
+            for q in woken.drain(..) {
+                shared.try_grant(&mut sched, q);
             }
         }
         shared
             .obs
             .record_span_ns(SpanKind::Commit, commit_started.elapsed().as_nanos() as u64);
-        drop(hub);
+        drop(sched);
         shared.obs.event(
             if committed {
                 EventKind::LoadCommitted
@@ -607,11 +959,8 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
             },
             chunk_idx,
             NO_QUERY,
-            wake.len() as u64,
+            signalled,
         );
-        for slot in &wake {
-            slot.notify_all();
-        }
         // The worker loops straight back into planning: a completion changes
         // the scheduling inputs (the chunk is evictable, its queries less
         // starved), and if that enables further loads the chain above keeps
@@ -623,8 +972,8 @@ fn io_worker_main(shared: Arc<Shared>, id: usize) {
 /// checksums (the install-time integrity point — torn bytes never enter the
 /// buffer pool).  All payload work runs under `catch_unwind`, so a
 /// panicking store or codec becomes a failed read on a healthy worker,
-/// never a dead thread — and since the hub lock is not held here, a panic
-/// can never wedge it either.
+/// never a dead thread — and since no lock is held here, a panic can never
+/// wedge the scheduler either.
 fn read_payload(
     shared: &Shared,
     chunk: ChunkId,
@@ -663,37 +1012,36 @@ fn read_payload(
 }
 
 /// Moves `chunk` into quarantine: aborts the failed load (releasing its
-/// page reservation), records the final error for every query that still
-/// needs the chunk, closes those queries' registrations — which is what
-/// stops the planner from selecting the chunk again — and wakes their
-/// blocked consumers so they observe the error immediately.  Queries not
-/// interested in the chunk are untouched.
+/// page reservation), deposits the final error into the slot of every
+/// query that still needs the chunk, closes those queries' registrations —
+/// which is what stops the planner from selecting the chunk again — and
+/// wakes their blocked consumers so they observe the error immediately.
+/// Queries not interested in the chunk are untouched.
 fn quarantine_chunk(shared: &Shared, chunk: ChunkId, ticket: u64, cause: StoreError) {
-    let mut wake: Vec<Arc<Condvar>> = Vec::new();
-    let mut hub = shared.lock();
-    if !hub.abm.fail_load(chunk, ticket) {
+    let mut wake: Vec<Arc<QuerySlot>> = Vec::new();
+    let mut sched = shared.lock_sched();
+    shared.service(&mut sched);
+    if !sched.abm.fail_load(chunk, ticket) {
         // The plan went stale mid-read: its last interested query detached
         // and the load was already aborted.  Nothing to fail.
-        drop(hub);
+        drop(sched);
         shared.obs.inc(Counter::LoadsCancelled);
         shared
             .obs
             .event(EventKind::LoadCancelled, chunk.index(), NO_QUERY, 0);
         return;
     }
-    let newly_quarantined = hub.quarantined.insert(chunk, cause).is_none();
+    let newly_quarantined = sched.quarantined.insert(chunk, cause).is_none();
     let error = ScanError { chunk, cause };
-    let victims: Vec<QueryId> = hub.abm.state().interested_queries(chunk).collect();
+    let victims: Vec<QueryId> = sched.abm.state().interested_queries(chunk).collect();
     for &q in &victims {
-        hub.errors.insert(q, error);
         shared.obs.inc(Counter::QueriesErred);
-        hub.abm.finish_query(q);
-        if let Some(slot) = hub.slots.remove(&q) {
+        sched.abm.finish_query(q);
+        if let Some(slot) = shared.close_slot(&mut sched, q, Some(error)) {
             wake.push(slot);
         }
     }
-    let bell = hub.pop_doorbell();
-    drop(hub);
+    drop(sched);
     if newly_quarantined {
         shared.obs.inc(Counter::ChunksQuarantined);
     }
@@ -712,11 +1060,9 @@ fn quarantine_chunk(shared: &Shared, chunk: ChunkId, ticket: u64, cause: StoreEr
     // run-up automatically so the evidence survives the ring's wraparound.
     shared.obs.dump_flight("chunk quarantined");
     for slot in wake {
-        slot.notify_all();
+        slot.cv.notify_all();
     }
-    if let Some(bell) = bell {
-        bell.notify_one();
-    }
+    shared.park.ring_one();
 }
 
 /// A running Cooperative Scans server: an Active Buffer Manager plus its I/O
@@ -751,19 +1097,23 @@ impl ScanServer {
     /// Registers a CScan and returns a handle that delivers its chunks.
     pub fn cscan(&self, plan: CScanPlan) -> CScanHandle {
         let label = plan.label.clone();
-        let mut hub = self.shared.lock();
+        let slot = Arc::new(QuerySlot::default());
+        let mut sched = self.shared.lock_sched();
+        self.shared.service(&mut sched);
         let columns = if plan.columns.is_empty() {
-            hub.abm.state().model().all_columns()
+            sched.abm.state().model().all_columns()
         } else {
             plan.columns
         };
-        let id = hub
+        let id = sched
             .abm
             .register_query(plan.label, plan.ranges, columns, self.shared.now());
-        hub.slots.insert(id, Arc::new(Condvar::new()));
-        // A new query changes the scheduling inputs: ring one parked worker.
-        let bell = hub.pop_doorbell();
-        drop(hub);
+        sched.slots.insert(id, Arc::clone(&slot));
+        // Grant eagerly if something the query wants is already resident
+        // (or close the slot straight away for an empty scan); otherwise
+        // this marks the query blocked so the next commit wakes it.
+        self.shared.try_grant(&mut sched, id);
+        drop(sched);
         let scope = self
             .shared
             .obs
@@ -771,11 +1121,11 @@ impl ScanServer {
         self.shared
             .obs
             .event(EventKind::QueryAttached, cscan_obs::NO_CHUNK, id.0, 0);
-        if let Some(bell) = bell {
-            bell.notify_one();
-        }
+        // A new query changes the scheduling inputs: ring one parked worker.
+        self.shared.park.ring_one();
         CScanHandle {
             shared: Arc::clone(&self.shared),
+            slot,
             releaser: Arc::new(HandleRelease {
                 shared: Arc::clone(&self.shared),
             }),
@@ -810,18 +1160,40 @@ impl ScanServer {
 
     /// Total chunk-granularity I/O requests committed by the ABM.
     pub fn io_requests(&self) -> u64 {
-        self.shared.lock().abm.state().io_requests()
+        self.shared.lock_sched().abm.state().io_requests()
     }
 
-    /// The scheduling policy in use.
+    /// The scheduling policy in use (cached at build; no lock taken).
     pub fn policy_name(&self) -> &'static str {
-        self.shared.lock().abm.policy_name()
+        self.shared.policy_label
     }
 
-    /// A snapshot of the hub-lock hold-time histogram (every critical
-    /// section of the executor since start-up), in nanoseconds.
+    /// A snapshot of the scheduler-lock hold-time histogram (every
+    /// plan/commit/registry critical section since start-up), in
+    /// nanoseconds.
     pub fn lock_hold_histogram(&self) -> HistogramSnapshot {
         self.shared.obs.span_hist(SpanKind::LockHold).snapshot()
+    }
+
+    /// A snapshot of the per-shard lock hold-time histogram (the consume
+    /// fast path: frame pin/unpin and release-inbox pushes), in
+    /// nanoseconds.
+    pub fn shard_lock_hold_histogram(&self) -> HistogramSnapshot {
+        self.shared
+            .obs
+            .span_hist(SpanKind::ShardLockHold)
+            .snapshot()
+    }
+
+    /// Times a release found the scheduler lock contended and deferred its
+    /// bookkeeping to the inbox instead of draining inline.
+    pub fn hub_shard_conflicts(&self) -> u64 {
+        self.shared.obs.counter(Counter::HubShardConflicts)
+    }
+
+    /// Number of shards the frame pool is striped into.
+    pub fn num_pool_shards(&self) -> usize {
+        self.shared.pool.num_shards()
     }
 
     /// Total time consumers spent blocked in `next_chunk` waiting for a
@@ -832,7 +1204,7 @@ impl ScanServer {
     }
 
     /// Total time first-pin payload decompression took (a subset of
-    /// [`ScanServer::pin_wait`]; always spent outside the hub lock).
+    /// [`ScanServer::pin_wait`]; always spent outside every executor lock).
     pub fn decode_time(&self) -> Duration {
         Duration::from_nanos(self.shared.obs.counter(Counter::DecodeNanos))
     }
@@ -846,7 +1218,7 @@ impl ScanServer {
     /// Number of resident frames whose payload is still encoded bytes
     /// (committed but not yet pinned by any consumer).
     pub fn compressed_frames(&self) -> usize {
-        self.shared.lock().pool.compressed_frames()
+        self.shared.pool.compressed_frames()
     }
 
     /// Number of [`PinnedChunk`]s that were dropped without
@@ -890,27 +1262,27 @@ impl ScanServer {
         self.shared.obs.counter(Counter::QueriesErred)
     }
 
-    /// Counters of the data plane's frame pool (fetches, pins, evictions).
+    /// Counters of the data plane's frame pool (fetches, pins, evictions),
+    /// summed over every shard.
     pub fn frame_pool_stats(&self) -> PoolStats {
-        self.shared.lock().pool.stats()
+        self.shared.pool.stats()
     }
 
     /// Number of frames currently pinned by outstanding [`PinnedChunk`]s.
     pub fn pinned_frames(&self) -> usize {
-        self.shared.lock().pool.pinned_frames()
+        self.shared.pool.pinned_frames()
     }
 }
 
 impl Drop for ScanServer {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.park.ring_all();
         {
-            let hub = self.shared.lock();
-            for bell in &hub.doorbells {
-                bell.notify_all();
-            }
-            for slot in hub.slots.values() {
-                slot.notify_all();
+            let sched = self.shared.lock_sched();
+            for slot in sched.slots.values() {
+                let _st = slot.state.lock();
+                slot.cv.notify_all();
             }
         }
         for handle in self.io_threads.drain(..) {
@@ -925,6 +1297,9 @@ impl Drop for ScanServer {
 #[must_use = "an attached scan holds ABM interest until finished or dropped"]
 pub struct CScanHandle {
     shared: Arc<Shared>,
+    /// This query's grant mailbox (also registered in the scheduler's slot
+    /// map until `finish`).
+    slot: Arc<QuerySlot>,
     /// Shared by every pin this handle delivers (an `Arc` clone per
     /// delivery — no per-chunk allocation).
     releaser: Arc<HandleRelease>,
@@ -958,9 +1333,16 @@ impl CScanHandle {
     /// The error is sticky: further calls keep returning it.  This is
     /// `selectChunk` of Figure 3.
     ///
+    /// The fast path touches only this query's slot mutex: the scheduler
+    /// deposited the grant (chunk + payload + frame pin) in advance.  Only
+    /// when the mailbox stays empty past a wait timeout does the consumer
+    /// fall back to a self-match under the scheduler lock (the
+    /// belt-and-braces guard the single-lock executor kept in its wait
+    /// loop).
+    ///
     /// If the chunk's payload arrived compressed and no earlier pin decoded
-    /// it, this call performs the once-only decode — *after* releasing the
-    /// hub lock — before returning; the decompression time is accounted as
+    /// it, this call performs the once-only decode — with no executor lock
+    /// held — before returning; the decompression time is accounted as
     /// pin-wait (and separately as [`ScanServer::decode_time`]).  A decode
     /// that fails checksum verification rejects the delivery: the torn
     /// frame is dropped and the chunk re-fetched from the store.
@@ -970,95 +1352,92 @@ impl CScanHandle {
         }
         let mut decode_failures = 0u32;
         'deliver: loop {
-            let mut hub = self.shared.lock();
-            let (chunk, payload) = loop {
-                // A quarantined chunk closed this query's registration and
-                // parked its error here; deliver it before the registration
-                // lookups below (which would report a finished scan).
-                if let Some(error) = hub.errors.remove(&self.query) {
-                    drop(hub);
-                    return Err(self.fail(error));
-                }
-                // The chunk-limit check and the delivery count bump both
-                // happen under the hub lock, so consumers sharing a handle
-                // serialize here and a LIMIT-n scan delivers exactly n.
-                if let Some(limit) = self.limit {
-                    if self.delivered.load(Ordering::Relaxed) >= limit {
-                        // LIMIT-style early termination: detach mid-scan,
-                        // aborting loads in flight solely on this query's
-                        // behalf.
-                        drop(hub);
-                        self.finish();
+            let grant = {
+                let mut st = self.slot.state.lock();
+                loop {
+                    // A quarantined chunk closed this query's registration
+                    // and parked its error here; read (don't take) so every
+                    // consumer of a shared handle observes it.
+                    if let Some(error) = st.error {
+                        drop(st);
+                        return Err(self.fail(error));
+                    }
+                    // The chunk-limit check and the grant take share the
+                    // slot critical section, so consumers racing on a
+                    // shared handle serialize here and a LIMIT-n scan
+                    // delivers exactly n.
+                    if let Some(limit) = self.limit {
+                        if self.delivered.load(Ordering::Relaxed) >= limit {
+                            // LIMIT-style early termination: detach
+                            // mid-scan, aborting loads in flight solely on
+                            // this query's behalf.
+                            drop(st);
+                            self.finish();
+                            return Ok(None);
+                        }
+                    }
+                    if let Some(grant) = st.grant.take() {
+                        self.delivered.fetch_add(1, Ordering::Relaxed);
+                        break grant;
+                    }
+                    if st.closed
+                        || self.finished.load(Ordering::Acquire)
+                        || self.shared.shutdown.load(Ordering::Acquire)
+                    {
                         return Ok(None);
                     }
-                }
-                match hub.abm.state().try_query(self.query) {
-                    Some(q) if !q.is_finished() => {}
-                    // Finished, or already detached by `finish`.
-                    _ => return Ok(None),
-                }
-                match hub.abm.acquire_chunk(self.query, self.shared.now()) {
-                    Some(chunk) => {
-                        // Pin the chunk's frame and carry its payload out of
-                        // the lock (payload clones are refcount bumps;
-                        // decoding happens on the consumer's side, never
-                        // under the hub).
-                        let key = frame_key(chunk);
-                        if !hub.pool.pin(key) {
-                            // Invariant breach: a delivered chunk always has
-                            // a resident frame.  Panicking here — while
-                            // holding the hub — would wedge every session
-                            // behind the lock; degrade to a per-query error
-                            // instead and hand the chunk back.
-                            debug_assert!(false, "delivered {chunk:?} has no resident frame");
-                            hub.abm.reject_delivered(self.query, chunk);
-                            drop(hub);
-                            return Err(self.fail(ScanError {
-                                chunk,
-                                cause: StoreError::Permanent,
-                            }));
+                    // Nothing deliverable yet: kick a worker (planning may
+                    // be what this query is waiting for) and wait on the
+                    // mailbox.  waitForChunk of Figure 3 — only a grant for
+                    // *this* query rings the slot.
+                    self.shared.park.ring_one();
+                    let waited = Instant::now();
+                    let timed_out = self
+                        .slot
+                        .cv
+                        .wait_for(&mut st, Duration::from_millis(50))
+                        .timed_out();
+                    let ns = waited.elapsed().as_nanos() as u64;
+                    self.scope.record_pin_wait(ns);
+                    self.shared.obs.record_span_ns(SpanKind::PinWait, ns);
+                    if timed_out {
+                        // Belt-and-braces: nothing granted within the
+                        // timeout — re-run the matcher ourselves, exactly
+                        // the acquire loop the single-lock executor polled
+                        // with.  This is the only place the consume path
+                        // can touch the scheduler lock, and only after a
+                        // 50 ms stall (never on the hot path).
+                        drop(st);
+                        {
+                            let mut sched = self.shared.lock_sched();
+                            self.shared.service(&mut sched);
+                            self.shared.try_grant(&mut sched, self.query);
                         }
-                        let payload = match hub.pool.payload(key) {
-                            Some(p) => p.clone(),
-                            None => ChunkPayload::Missing,
-                        };
-                        self.delivered.fetch_add(1, Ordering::Relaxed);
-                        break (chunk, payload);
-                    }
-                    None => {
-                        // The scheduler may now see this query as starved:
-                        // ring one parked worker.  (Notifying while holding
-                        // the hub is safe — the worker re-checks under the
-                        // lock.)
-                        if let Some(bell) = hub.pop_doorbell() {
-                            bell.notify_one();
-                        }
-                        if self.shared.shutdown.load(Ordering::Acquire) {
-                            return Ok(None);
-                        }
-                        // waitForChunk on this query's own slot: only a
-                        // commit that makes a chunk available to *this*
-                        // query rings it.
-                        let Some(slot) = hub.slots.get(&self.query).map(Arc::clone) else {
-                            return Ok(None);
-                        };
-                        let waited = Instant::now();
-                        hub.wait_on(&slot, Duration::from_millis(50));
-                        let ns = waited.elapsed().as_nanos() as u64;
-                        self.scope.record_pin_wait(ns);
-                        self.shared.obs.record_span_ns(SpanKind::PinWait, ns);
+                        st = self.slot.state.lock();
                     }
                 }
             };
-            drop(hub);
+            let chunk = grant.chunk;
+            // The grant carries the frame *pin*, not the payload: read the
+            // payload from the shard at consume time, so an install that
+            // raced the delivery (e.g. a torn frame replaced in place) is
+            // what this pin actually decodes and verifies.
+            let payload = {
+                let key = frame_key(chunk);
+                let shard = self.shared.pool.shard(key);
+                match shard.payload(key) {
+                    Some(p) => p.clone(),
+                    None => ChunkPayload::Missing,
+                }
+            };
             // Decode-on-first-pin: if the committed payload is still encoded
-            // bytes, pay the decompression CPU cost here — outside the hub
-            // lock (the codec debug-asserts that), shared via the column
-            // cache so later pins of the same buffered chunk skip straight
-            // past this.  The decode re-verifies checksums (the second
-            // integrity point), and runs under catch_unwind so a panicking
-            // codec is contained as a rejected delivery, not an unwinding
-            // consumer.
+            // bytes, pay the decompression CPU cost here — outside every
+            // executor lock (the codec debug-asserts that), shared via the
+            // column cache so later pins of the same buffered chunk skip
+            // straight past this.  The decode re-verifies checksums (the
+            // second integrity point), and runs under catch_unwind so a
+            // panicking codec is contained as a rejected delivery, not an
+            // unwinding consumer.
             if !payload.is_fully_decoded() {
                 let started = Instant::now();
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1092,7 +1471,8 @@ impl CScanHandle {
                         // panicked on them): reject the delivery *without*
                         // consuming — the chunk stays needed — evict the
                         // poisoned frame, and loop back so a fresh load
-                        // fetches clean bytes.
+                        // fetches clean bytes.  This is the rare recovery
+                        // path, so taking the scheduler lock here is fine.
                         self.shared.obs.inc(Counter::ChecksumFailures);
                         self.shared.obs.event(
                             EventKind::ChecksumFailure,
@@ -1100,18 +1480,23 @@ impl CScanHandle {
                             self.query.0,
                             0,
                         );
-                        let mut hub = self.shared.lock();
-                        let key = frame_key(chunk);
-                        hub.pool.unpin(key, false);
-                        if hub.abm.reject_delivered(self.query, chunk) {
-                            hub.pool.evict_page(key);
+                        {
+                            let mut sched = self.shared.lock_sched();
+                            self.shared.service(&mut sched);
+                            let key = frame_key(chunk);
+                            self.shared.pool.shard(key).unpin(key, false);
+                            if sched.abm.reject_delivered(self.query, chunk) {
+                                let mut shard = self.shared.pool.shard(key);
+                                if shard.evict_page(key) {
+                                    self.shared.pool.bump_generation(key);
+                                }
+                            }
+                            self.delivered.fetch_sub(1, Ordering::Relaxed);
+                            // Re-match so the query registers as blocked and
+                            // the re-load's commit wakes it.
+                            self.shared.try_grant(&mut sched, self.query);
                         }
-                        self.delivered.fetch_sub(1, Ordering::Relaxed);
-                        let bell = hub.pop_doorbell();
-                        drop(hub);
-                        if let Some(bell) = bell {
-                            bell.notify_one();
-                        }
+                        self.shared.park.ring_one();
                         decode_failures += 1;
                         if decode_failures >= self.shared.retry.max_attempts.max(1) {
                             return Err(self.fail(ScanError { chunk, cause }));
@@ -1149,8 +1534,11 @@ impl CScanHandle {
 
     /// Number of chunks this scan still needs (0 once finished/detached).
     pub fn remaining_chunks(&self) -> u32 {
-        self.shared
-            .lock()
+        let mut sched = self.shared.lock_sched();
+        // Drain pending releases first so the count reflects completions
+        // the consumer already made.
+        self.shared.service(&mut sched);
+        sched
             .abm
             .state()
             .try_query(self.query)
@@ -1164,7 +1552,8 @@ impl CScanHandle {
     /// last interested consumer of (see [`Abm::finish_query`]): the pages
     /// are released immediately, and the read's eventual completion is
     /// rejected by the commit's ticket check.  Outstanding [`PinnedChunk`]s
-    /// stay valid — their frames remain pinned until each pin drops.
+    /// stay valid — their frames remain pinned until each pin drops.  An
+    /// unconsumed grant still sitting in the mailbox is reclaimed here.
     pub fn finish(&self) {
         if self.finished.swap(true, Ordering::AcqRel) {
             return;
@@ -1176,24 +1565,20 @@ impl CScanHandle {
             self.query.0,
             0,
         );
-        let mut hub = self.shared.lock();
-        hub.abm.finish_query(self.query);
-        let slot = hub.slots.remove(&self.query);
-        // A pending error nobody will read must not leak in the hub map.
-        hub.errors.remove(&self.query);
+        let mut sched = self.shared.lock_sched();
+        self.shared.service(&mut sched);
+        sched.abm.finish_query(self.query);
+        let slot = self.shared.close_slot(&mut sched, self.query, None);
         // Aborted loads release buffer pages, and one consumer fewer changes
         // the relevance picture: ring one parked worker.
-        let bell = hub.pop_doorbell();
-        drop(hub);
+        drop(sched);
         // A consumer of a shared handle may be blocked in `next_chunk` on
         // this slot; wake it so it observes the detach immediately instead
         // of via the belt-and-braces timeout.
         if let Some(slot) = slot {
-            slot.notify_all();
+            slot.cv.notify_all();
         }
-        if let Some(bell) = bell {
-            bell.notify_one();
-        }
+        self.shared.park.ring_one();
     }
 }
 
@@ -1225,9 +1610,14 @@ impl Drop for CScanHandle {
 /// [`ScanServerBuilder::store`]).
 pub type ChunkGuard = PinnedChunk;
 
-/// Returns pins to the server: releases the ABM processing pin and the
-/// frame pin, keeps the frame pool in sync with DSM column drops, and
-/// counts silent (unconsumed) drops.
+/// Returns pins to the server — the release half of the consume fast path.
+///
+/// Unpins the frame in its shard, records the release in the shard's
+/// inbox (both bounded, never blocking on the scheduler), then
+/// opportunistically *try-locks* the scheduler to drain inline (flat
+/// combining).  If the scheduler is contended, the release stays in the
+/// inbox — counted as a `hub_shard_conflicts` — and a parked worker is
+/// rung to drain it; every scheduler entry services the inboxes first.
 struct HandleRelease {
     shared: Arc<Shared>,
 }
@@ -1240,49 +1630,52 @@ impl ChunkRelease for HandleRelease {
             // traced so tests can assert pipelines consume deliberately.
             self.shared.obs.inc(Counter::UnconsumedDrops);
         }
-        let mut hub = self.shared.lock();
         let key = frame_key(chunk);
-        let Hub { abm, pool, .. } = &mut *hub;
-        abm.release_delivered(query, chunk);
-        pool.unpin(key, false);
-        // Keep the frame pool in sync with the ABM's residency: releasing
-        // the last consumer may have dropped dead DSM columns (or the whole
-        // chunk).
-        match abm.state().buffered_chunk(chunk) {
+        {
+            let mut shard = self.shared.pool.shard(key);
+            shard.unpin(key, false);
+        }
+        let entry = Release {
+            query,
+            chunk,
+            generation: self.shared.pool.generation(key),
+        };
+        let overflowed = {
+            let mut inbox = self.shared.inbox(chunk).lock();
+            if inbox.len() < INBOX_CAPACITY {
+                inbox.push(entry);
+                false
+            } else {
+                true
+            }
+        };
+        if overflowed {
+            // Safety valve (never hit at sane pin counts): apply inline
+            // under the scheduler lock, blocking if contended.
+            let mut sched = self.shared.lock_sched();
+            self.shared.service(&mut sched);
+            self.shared.apply_release(&mut sched, entry);
+            self.shared.try_grant(&mut sched, query);
+            return;
+        }
+        // Flat combining: drain inline if the scheduler is free; otherwise
+        // count the conflict and let a worker (or the next scheduler entry)
+        // pick the release up from the inbox.
+        match self.shared.sched.try_lock() {
+            Some(guard) => {
+                let mut sched = SchedGuard::adopt(guard, &self.shared.obs);
+                self.shared.service(&mut sched);
+            }
             None => {
-                pool.evict_page(key);
+                self.shared.obs.inc(Counter::HubShardConflicts);
             }
-            Some(b) if self.shared.is_dsm => {
-                let shrunk = match pool.payload(key) {
-                    Some(ChunkPayload::Dsm(data))
-                        if data.resident_columns().any(|c| !b.columns.contains(c)) =>
-                    {
-                        Some(data.retained(|c| b.columns.contains(c)))
-                    }
-                    _ => None,
-                };
-                match shrunk {
-                    Some(Some(kept)) => {
-                        pool.install_payload(key, ChunkPayload::Dsm(Arc::new(kept)));
-                    }
-                    Some(None) => {
-                        pool.evict_page(key);
-                    }
-                    None => {}
-                }
-            }
-            _ => {}
         }
-        // Consumption changes starvation and eviction candidates: ring one
-        // parked worker.
-        let bell = hub.pop_doorbell();
-        drop(hub);
-        if let Some(bell) = bell {
-            bell.notify_one();
-        }
+        // Either way a consumption changed the scheduling inputs — the
+        // released chunk may now be evictable, unfreezing a buffer-full
+        // planner — so ring a parked worker.
+        self.shared.park.ring_one();
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1551,7 +1944,7 @@ mod tests {
         // Wait until the worker has a load in flight for the scan.
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            if server.shared.lock().abm.state().num_inflight() > 0 {
+            if server.shared.lock_sched().abm.state().num_inflight() > 0 {
                 break;
             }
             assert!(Instant::now() < deadline, "no load ever started");
@@ -1560,10 +1953,10 @@ mod tests {
         // Detach mid-read: the ABM aborts the load eagerly.
         handle.finish();
         {
-            let hub = server.shared.lock();
-            assert_eq!(hub.abm.state().num_inflight(), 0, "abort was not eager");
-            assert_eq!(hub.abm.state().reserved_pages(), 0, "reservation leaked");
-            assert!(hub.abm.state().loads_aborted() >= 1);
+            let sched = server.shared.lock_sched();
+            assert_eq!(sched.abm.state().num_inflight(), 0, "abort was not eager");
+            assert_eq!(sched.abm.state().reserved_pages(), 0, "reservation leaked");
+            assert!(sched.abm.state().loads_aborted() >= 1);
         }
         // The worker's commit must reject the stale completion.
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -1571,13 +1964,13 @@ mod tests {
             assert!(Instant::now() < deadline, "stale completion never drained");
             std::thread::sleep(Duration::from_millis(1));
         }
-        let hub = server.shared.lock();
+        let sched = server.shared.lock_sched();
         assert_eq!(
-            hub.abm.state().io_requests(),
+            sched.abm.state().io_requests(),
             0,
             "a cancelled load must not install residency"
         );
-        assert_eq!(hub.abm.state().num_buffered(), 0);
+        assert_eq!(sched.abm.state().num_buffered(), 0);
     }
 
     /// Attach/detach storm: queries register and detach (some mid-scan)
@@ -1638,11 +2031,12 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             {
-                let hub = server.shared.lock();
-                let state = hub.abm.state();
+                let mut sched = server.shared.lock_sched();
+                server.shared.service(&mut sched);
+                let state = sched.abm.state();
                 if state.num_inflight() == 0 {
                     assert_eq!(state.num_queries(), 0);
-                    assert!(hub.slots.is_empty(), "leaked wait slots");
+                    assert!(sched.slots.is_empty(), "leaked grant slots");
                     assert_eq!(state.reserved_pages(), 0, "leaked reservations");
                     break;
                 }
@@ -1751,14 +2145,14 @@ mod tests {
         );
         // The held frame was never reclaimed: still pinned, same bytes.
         {
-            let hub = server.shared.lock();
+            let sched = server.shared.lock_sched();
             let key = super::frame_key(held_chunk);
             assert!(
-                hub.pool.pin_count(key).unwrap_or(0) >= 1,
+                server.shared.pool.pin_count(key).unwrap_or(0) >= 1,
                 "the pinned frame must stay pinned"
             );
             assert!(
-                hub.abm.state().buffered_chunk(held_chunk).is_some(),
+                sched.abm.state().buffered_chunk(held_chunk).is_some(),
                 "the ABM may not evict a pinned chunk"
             );
         }
@@ -1779,7 +2173,10 @@ mod tests {
         let store = SeededStore::new(100, 1, 3);
         let server = ScanServer::builder(model.clone())
             .policy(PolicyKind::Relevance)
-            .buffer_chunks(6)
+            // Two frames: the prefetcher can only run ahead by evicting what
+            // the consumer just released, so a release always triggers a
+            // fresh (slow) load for the detach below to abort.
+            .buffer_chunks(2)
             // Slow reads so the detach happens with loads in flight.
             .io_cost_per_page(Duration::from_millis(1))
             .io_threads(4)
@@ -1797,13 +2194,24 @@ mod tests {
         // Consume up to the limit while the 4-deep pipeline prefetches.
         let first = handle.next_chunk().unwrap().expect("chunk 1");
         first.complete();
+        // Releasing chunk 1 frees the only evictable frame, so the pipeline
+        // plans the next prefetch; wait until it is actually in flight
+        // before tripping the limit (with eager grants the consumer can
+        // otherwise race through its whole budget while every worker is
+        // parked).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.shared.lock_sched().abm.state().num_inflight() == 0 {
+            assert!(Instant::now() < deadline, "no prefetch ever started");
+            std::thread::yield_now();
+        }
         let second = handle.next_chunk().unwrap().expect("chunk 2");
         second.complete();
         // The limit trips here: the session detaches mid-scan.
         assert!(handle.next_chunk().unwrap().is_none());
         {
-            let hub = server.shared.lock();
-            let state = hub.abm.state();
+            let mut sched = server.shared.lock_sched();
+            server.shared.service(&mut sched);
+            let state = sched.abm.state();
             assert_eq!(state.num_queries(), 0, "the limited scan detached");
             assert_eq!(state.reserved_pages(), 0, "reservations released");
             assert_eq!(
@@ -1818,8 +2226,8 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let aborted = {
-                let hub = server.shared.lock();
-                hub.abm.state().loads_aborted()
+                let sched = server.shared.lock_sched();
+                sched.abm.state().loads_aborted()
             };
             if aborted > 0 || server.loads_cancelled() > 0 {
                 break;
@@ -1948,17 +2356,18 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             {
-                let hub = server.shared.lock();
-                let state = hub.abm.state();
+                let mut sched = server.shared.lock_sched();
+                server.shared.service(&mut sched);
+                let state = sched.abm.state();
                 if state.num_inflight() == 0 {
                     assert_eq!(state.num_queries(), 0);
                     assert_eq!(state.reserved_pages(), 0, "leaked reservations");
-                    assert_eq!(hub.pool.pinned_frames(), 0, "leaked frame pins");
+                    assert_eq!(server.shared.pool.pinned_frames(), 0, "leaked frame pins");
                     // Pool and ABM agree on residency chunk-for-chunk.
                     for c in 0..32u32 {
                         let chunk = cscan_storage::ChunkId::new(c);
                         assert_eq!(
-                            hub.pool.contains(super::frame_key(chunk)),
+                            server.shared.pool.contains(super::frame_key(chunk)),
                             state.buffered_chunk(chunk).is_some(),
                             "pool/ABM residency diverged for {chunk:?}"
                         );
@@ -2195,9 +2604,11 @@ mod tests {
         };
         assert_eq!(late_err, error);
         // No leaks after the dust settles.
-        let hub = server.shared.lock();
-        assert_eq!(hub.abm.state().reserved_pages(), 0);
-        assert_eq!(hub.pool.pinned_frames(), 0);
+        let mut sched = server.shared.lock_sched();
+        server.shared.service(&mut sched);
+        assert_eq!(sched.abm.state().reserved_pages(), 0);
+        drop(sched);
+        assert_eq!(server.shared.pool.pinned_frames(), 0);
         assert_eq!(server.unconsumed_drops(), 0);
     }
 
@@ -2281,8 +2692,8 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             {
-                let mut hub = server.shared.lock();
-                let torn = match hub.pool.payload(key) {
+                let mut shard = server.shared.pool.shard(key);
+                let torn = match shard.payload(key) {
                     Some(ChunkPayload::Nsm(data)) => {
                         let parts: Vec<ColumnChunk> = data
                             .parts()
@@ -2299,7 +2710,9 @@ mod tests {
                     _ => None,
                 };
                 if let Some(torn) = torn {
-                    hub.pool.install_payload(key, torn);
+                    shard.install_payload(key, torn);
+                    drop(shard);
+                    server.shared.pool.bump_generation(key);
                     break;
                 }
             }
@@ -2471,14 +2884,14 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
             {
-                let hub = server.shared.lock();
-                let state = hub.abm.state();
+                let mut sched = server.shared.lock_sched();
+                server.shared.service(&mut sched);
+                let state = sched.abm.state();
                 if state.num_inflight() == 0 {
                     assert_eq!(state.num_queries(), 0);
-                    assert!(hub.slots.is_empty(), "leaked wait slots");
+                    assert!(sched.slots.is_empty(), "leaked grant slots");
                     assert_eq!(state.reserved_pages(), 0, "leaked reservations");
-                    assert_eq!(hub.pool.pinned_frames(), 0, "leaked frame pins");
-                    assert!(hub.errors.is_empty(), "leaked pending errors");
+                    assert_eq!(server.shared.pool.pinned_frames(), 0, "leaked frame pins");
                     break;
                 }
             }

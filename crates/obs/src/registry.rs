@@ -83,11 +83,14 @@ pub enum Counter {
     ExecBatches,
     /// Rows delivered through exec-layer session sources.
     ExecRows,
+    /// Release fast-path attempts that found the scheduler lock busy and
+    /// deferred their bookkeeping to the sharded release inbox.
+    HubShardConflicts,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 24] = [
         Counter::LoadsCompleted,
         Counter::LoadsCancelled,
         Counter::LoadFaults,
@@ -111,6 +114,7 @@ impl Counter {
         Counter::LatencySpikesInjected,
         Counter::ExecBatches,
         Counter::ExecRows,
+        Counter::HubShardConflicts,
     ];
 
     /// The counter's stable metric name (snake case, no prefix).
@@ -139,6 +143,7 @@ impl Counter {
             Counter::LatencySpikesInjected => "latency_spikes_injected",
             Counter::ExecBatches => "exec_batches",
             Counter::ExecRows => "exec_rows",
+            Counter::HubShardConflicts => "hub_shard_conflicts",
         }
     }
 }
@@ -184,14 +189,17 @@ pub enum Gauge {
     ResidentFrames,
     /// Queries currently attached.
     ActiveQueries,
+    /// Unreserved buffer pages available to the load planner.
+    FreePages,
 }
 
 impl Gauge {
     /// Every gauge, in index order.
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::PinnedFrames,
         Gauge::ResidentFrames,
         Gauge::ActiveQueries,
+        Gauge::FreePages,
     ];
 
     /// The gauge's stable metric name.
@@ -200,6 +208,7 @@ impl Gauge {
             Gauge::PinnedFrames => "pinned_frames",
             Gauge::ResidentFrames => "resident_frames",
             Gauge::ActiveQueries => "active_queries",
+            Gauge::FreePages => "free_pages",
         }
     }
 }
@@ -221,13 +230,16 @@ pub enum SpanKind {
     PinWait,
     /// Retry backoff sleeps after failed reads.
     Backoff,
-    /// Hub-lock critical sections (hold time, not wait time).
+    /// Scheduler-lock critical sections (hold time, not wait time).
     LockHold,
+    /// Per-shard lock critical sections on the consume fast path (frame
+    /// pin/unpin and release-inbox pushes; hold time, not wait time).
+    ShardLockHold,
 }
 
 impl SpanKind {
     /// Every span kind, in index order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::Plan,
         SpanKind::Commit,
         SpanKind::Materialize,
@@ -235,6 +247,7 @@ impl SpanKind {
         SpanKind::PinWait,
         SpanKind::Backoff,
         SpanKind::LockHold,
+        SpanKind::ShardLockHold,
     ];
 
     /// The span's stable metric name.
@@ -247,6 +260,7 @@ impl SpanKind {
             SpanKind::PinWait => "pin_wait",
             SpanKind::Backoff => "backoff",
             SpanKind::LockHold => "lock_hold",
+            SpanKind::ShardLockHold => "shard_lock_hold",
         }
     }
 }
