@@ -71,6 +71,21 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "BENCH_file.json",
+        &[
+            "experiment",
+            "points",
+            "mode",
+            "policy",
+            "io_threads",
+            "delivered_mib_s",
+            "file_read_calls",
+            "file_bytes_read_mib",
+            "io_volume_ratio",
+            "crossover_observed",
+        ],
+    ),
+    (
         "BENCH_faults.json",
         &[
             "experiment",

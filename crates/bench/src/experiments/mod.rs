@@ -10,6 +10,7 @@
 //! | [`fig7`]   | Figure 7 — sweep over the number of concurrent queries |
 //! | [`fig8`]   | Figure 8 — scheduling cost of the relevance policy |
 //! | [`fig9`]   | Figure 9 — compression: decode GiB/s and I/O volume |
+//! | [`fig9_file`] | Figure 9 end-to-end — real segment files through `FileStore` |
 //! | [`table3`] | Table 3 — DSM policy comparison |
 //! | [`table4`] | Table 4 — DSM column-overlap study |
 //! | [`faults`] | Fault sweep — goodput/retries under injected I/O failures |
@@ -26,6 +27,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig9_file;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -86,11 +86,15 @@ pub enum Counter {
     /// Release fast-path attempts that found the scheduler lock busy and
     /// deferred their bookkeeping to the sharded release inbox.
     HubShardConflicts,
+    /// Positioned reads issued against segment files (one per extent).
+    FileReadCalls,
+    /// Bytes read from segment files on disk (physical I/O volume).
+    FileBytesRead,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 26] = [
         Counter::LoadsCompleted,
         Counter::LoadsCancelled,
         Counter::LoadFaults,
@@ -115,6 +119,8 @@ impl Counter {
         Counter::ExecBatches,
         Counter::ExecRows,
         Counter::HubShardConflicts,
+        Counter::FileReadCalls,
+        Counter::FileBytesRead,
     ];
 
     /// The counter's stable metric name (snake case, no prefix).
@@ -144,6 +150,8 @@ impl Counter {
             Counter::ExecBatches => "exec_batches",
             Counter::ExecRows => "exec_rows",
             Counter::HubShardConflicts => "hub_shard_conflicts",
+            Counter::FileReadCalls => "file_read_calls",
+            Counter::FileBytesRead => "file_bytes_read",
         }
     }
 }
@@ -235,11 +243,13 @@ pub enum SpanKind {
     /// Per-shard lock critical sections on the consume fast path (frame
     /// pin/unpin and release-inbox pushes; hold time, not wait time).
     ShardLockHold,
+    /// One positioned read against a segment file (syscall latency).
+    FileRead,
 }
 
 impl SpanKind {
     /// Every span kind, in index order.
-    pub const ALL: [SpanKind; 8] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::Plan,
         SpanKind::Commit,
         SpanKind::Materialize,
@@ -248,6 +258,7 @@ impl SpanKind {
         SpanKind::Backoff,
         SpanKind::LockHold,
         SpanKind::ShardLockHold,
+        SpanKind::FileRead,
     ];
 
     /// The span's stable metric name.
@@ -261,6 +272,7 @@ impl SpanKind {
             SpanKind::Backoff => "backoff",
             SpanKind::LockHold => "lock_hold",
             SpanKind::ShardLockHold => "shard_lock_hold",
+            SpanKind::FileRead => "file_read",
         }
     }
 }

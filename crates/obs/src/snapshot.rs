@@ -102,16 +102,22 @@ impl MetricsSnapshot {
 
     /// The registry's internal consistency invariant: for every per-query
     /// counter, the sum over [`MetricsSnapshot::queries`] equals the
-    /// registry-wide mirrored total.  The multi-threaded stress tests assert
-    /// this holds under attach/detach storms.
+    /// registry-wide mirrored total, and the file-I/O metrics agree with
+    /// each other — every positioned segment read records exactly one
+    /// `file_read` span, so the `file_read_calls` counter must equal the
+    /// span histogram's sample count (a reader that bumped one but not the
+    /// other would silently skew the Figure 9 I/O accounting).
     ///
     /// Note: a concurrent writer between the scope reads and the total
     /// reads can skew a *live* snapshot; call this on quiesced registries
     /// (as the tests do after joining their writers).
     pub fn is_consistent(&self) -> bool {
-        self.query_totals
+        let queries_agree = self
+            .query_totals
             .iter()
-            .all(|(name, total)| self.query_counter_sum(name) == *total)
+            .all(|(name, total)| self.query_counter_sum(name) == *total);
+        let file_reads_agree = self.counter("file_read_calls") == self.span("file_read").count();
+        queries_agree && file_reads_agree
     }
 
     /// Renders the snapshot as a Prometheus text-exposition document.

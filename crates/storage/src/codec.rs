@@ -343,6 +343,39 @@ impl EncodedColumn {
         }
     }
 
+    /// Reassembles a column from stored parts — the segment-file read path.
+    ///
+    /// `checksum` is the integrity checksum *recorded at encode time* (a
+    /// segment footer carries it alongside the extent), not one recomputed
+    /// from `bytes`: a byte damaged on disk or in flight must make
+    /// [`EncodedColumn::verify_checksum`] fail at payload install, exactly
+    /// as it does for a torn in-memory read.  Returns `None` when the bytes
+    /// cannot possibly be an encoded column (empty, or an unknown leading
+    /// wire-codec tag) so a reader can map that to a corruption error
+    /// instead of panicking inside the decoder.
+    pub fn from_parts(rows: usize, bytes: Vec<u8>, checksum: u64) -> Option<EncodedColumn> {
+        match bytes.first() {
+            Some(&tag) if tag <= WireCodec::PforDelta.tag() => Some(EncodedColumn {
+                rows,
+                bytes,
+                checksum,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The encoded byte stream (leading wire-codec tag included) — what a
+    /// segment writer persists verbatim.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The wire-codec tag byte (the first encoded byte), for directory
+    /// metadata that wants to name the codec without decoding.
+    pub fn wire_tag(&self) -> u8 {
+        self.bytes[0]
+    }
+
     /// Number of values in the column (known without decoding).
     pub fn rows(&self) -> usize {
         self.rows

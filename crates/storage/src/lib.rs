@@ -37,6 +37,7 @@ pub mod ids;
 pub mod nsm;
 pub mod scan;
 pub mod schema;
+pub mod segment;
 pub mod zonemap;
 
 pub use chunkdata::{
@@ -51,6 +52,7 @@ pub use ids::{ChunkId, ColumnId, PageId};
 pub use nsm::NsmLayout;
 pub use scan::{ChunkRange, ScanRanges};
 pub use schema::{ColumnDef, ColumnType, TableSchema};
+pub use segment::{FileStore, PreadFile, SegmentIo, SegmentSummary, SegmentWriter};
 pub use zonemap::ZoneMap;
 
 use cscan_simdisk::IoRequest;

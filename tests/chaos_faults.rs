@@ -8,6 +8,12 @@
 //! reservations); a 100%-permanent chunk must surface as a `ScanError` to
 //! exactly the queries that need it while unaffected queries finish
 //! normally.
+//!
+//! The file-backed tests at the bottom run the same machinery over *real*
+//! segment files: a `FaultInjectingStore` wrapping a `FileStore` (in-flight
+//! faults heal on retry because the bytes on disk are clean), and a
+//! genuine on-disk bit flip that must quarantine exactly the damaged chunk
+//! through the install-time checksum.
 
 use cscan_core::iosched::RetryPolicy;
 use cscan_core::policy::PolicyKind;
@@ -18,8 +24,10 @@ use cscan_exec::{
     AggFunc, ChunkSource, DataChunk, Expr, Filter, HashAggregate, MemTable, Operator, SessionSource,
 };
 use cscan_storage::{
-    ChunkId, ColumnId, CompressingStore, FaultConfig, FaultInjectingStore, ScanRanges, StoreError,
+    ChunkId, ColumnId, CompressingStore, Compression, FaultConfig, FaultInjectingStore, FileStore,
+    ScanRanges, SegmentWriter, StoreError,
 };
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -342,4 +350,215 @@ fn concurrent_chaos_mixes_errors_and_successes_without_leaks() {
     assert!(server.load_faults() > 0);
     assert_eq!(server.pinned_frames(), 0, "leaked pins");
     assert_eq!(server.unconsumed_drops(), 0, "leaked deliveries");
+}
+
+// ----------------------------------------------------------------------
+// File-backed chaos: real segment files under the same fault machinery.
+// ----------------------------------------------------------------------
+
+/// Writes the chaos lineitem table as a segment file and returns its path.
+fn write_segment(tag: &str, compressed: bool) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "cscan_chaos_{tag}_{}_{}.seg",
+        if compressed { "comp" } else { "plain" },
+        std::process::id()
+    ));
+    let table = lineitem();
+    let schemes = if compressed {
+        MemTable::lineitem_demo_schemes()
+    } else {
+        vec![Compression::None; table.width()]
+    };
+    let mut w = SegmentWriter::create(&path, schemes).unwrap();
+    for c in 0..table.num_chunks() {
+        let data = table.read_chunk_all(ChunkId::new(c));
+        let cols: Vec<&[i64]> = (0..table.width()).map(|i| data.column(i)).collect();
+        w.append_chunk(&cols).unwrap();
+    }
+    w.finish().unwrap();
+    path
+}
+
+/// A threaded server over `FaultInjectingStore(FileStore)`: real positioned
+/// reads underneath, injected faults and payload corruption in flight.
+fn file_backed_server(
+    path: &Path,
+    policy: PolicyKind,
+    layout: Layout,
+    config: FaultConfig,
+) -> ScanServer {
+    let table = lineitem();
+    let model = match layout {
+        Layout::Nsm => TableModel::nsm_uniform(CHUNKS, ROWS_PER_CHUNK, 16),
+        Layout::Dsm => TableModel::dsm_uniform(CHUNKS, ROWS_PER_CHUNK, &vec![1; table.width()]),
+    };
+    let store = FileStore::open(path).expect("segment must open");
+    ScanServer::builder(model)
+        .policy(policy)
+        .buffer_chunks(5)
+        .io_cost_per_page(Duration::ZERO)
+        .io_threads(2)
+        .retry_policy(fast_retry())
+        .store(Arc::new(FaultInjectingStore::new(store, config)))
+        .build()
+}
+
+/// File-backed transient sweep: in-flight faults and corrupted payloads
+/// over a real segment file must heal on retry (the bytes on disk are
+/// clean), leaving results bit-identical to the in-memory baseline across
+/// 4 policies × 2 layouts × 2 encodings.
+#[test]
+fn file_backed_transient_faults_recover_bit_identically() {
+    let table = lineitem();
+    let names = ["l_returnflag", "l_quantity"];
+    let aggs = || vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Max(1)];
+    let reference = {
+        let mut agg = HashAggregate::new(baseline_source(&table, &names), vec![0], aggs());
+        agg.next().unwrap().unwrap()
+    };
+    let paths = [
+        write_segment("transient", false),
+        write_segment("transient", true),
+    ];
+    let mut total_faults = 0u64;
+    let mut total_retries = 0u64;
+    let mut total_checksum_failures = 0u64;
+    for (case, (policy, layout, compressed)) in all_cases().into_iter().enumerate() {
+        let config = FaultConfig {
+            corruption_rate: if compressed { 0.10 } else { 0.0 },
+            ..FaultConfig::transient_only(0xF11E_5EED ^ case as u64, 0.15)
+        };
+        let server = file_backed_server(&paths[compressed as usize], policy, layout, config);
+        let src = live_source(
+            &server,
+            &table,
+            &names,
+            layout,
+            ScanRanges::full(CHUNKS),
+            "file-chaos-q1",
+        );
+        let mut agg = HashAggregate::new(src, vec![0], aggs());
+        let live = agg
+            .next()
+            .unwrap_or_else(|e| {
+                panic!("{policy}/{layout:?}/compressed={compressed}: file-backed transient stream erred: {e}")
+            })
+            .unwrap();
+        assert_eq!(
+            live, reference,
+            "{policy}/{layout:?}/compressed={compressed}: file-backed results diverged"
+        );
+        assert_eq!(server.chunks_quarantined(), 0, "{policy}/{layout:?}");
+        assert_eq!(server.queries_erred(), 0, "{policy}/{layout:?}");
+        assert_eq!(
+            server.pinned_frames(),
+            0,
+            "{policy}/{layout:?}: leaked pins"
+        );
+        assert_eq!(server.unconsumed_drops(), 0, "{policy}/{layout:?}");
+        total_faults += server.load_faults();
+        total_retries += server.load_retries();
+        total_checksum_failures += server.checksum_failures();
+    }
+    assert!(
+        total_faults > 20,
+        "the file-backed sweep must actually inject faults (saw {total_faults})"
+    );
+    assert_eq!(total_faults, total_retries, "every fault retried");
+    assert!(
+        total_checksum_failures > 0,
+        "corrupted compressed payloads must trip the install-time checksum"
+    );
+    for p in paths {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+/// The targeted bit-flip: damage one byte of one compressed extent *on
+/// disk*.  Every read attempt re-reads the same damaged bytes, so the
+/// install-time checksum fails deterministically, the retry budget
+/// exhausts, and exactly that chunk is quarantined with a `Corrupted`
+/// cause — while scans avoiding the chunk stay bit-identical to the
+/// baseline, under every policy.
+#[test]
+fn on_disk_bit_flip_quarantines_only_the_damaged_chunk() {
+    const BAD: u32 = 5;
+    let table = lineitem();
+    let names = ["l_orderkey", "l_quantity"];
+    let path = write_segment("bitflip", true);
+    // Locate the l_quantity extent of the bad chunk via the footer
+    // directory and flip a mid-extent byte on disk.
+    let qty = ColumnId::new(table.column_index("l_quantity").unwrap() as u16);
+    let extent = {
+        let store = FileStore::open(&path).unwrap();
+        *store.directory().extent(ChunkId::new(BAD), qty).unwrap()
+    };
+    let flip_at = (extent.offset + extent.len / 2) as usize;
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[flip_at] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let healthy_reference = {
+        let order = (0..BAD).map(ChunkId::new).collect();
+        collect(&mut ChunkSource::with_names(&table, &names, order))
+    };
+    for policy in PolicyKind::ALL {
+        // No injected faults: the only fault is the real damage on disk.
+        let server = file_backed_server(&path, policy, Layout::Nsm, FaultConfig::default());
+        let mut doomed = HashAggregate::new(
+            live_source(
+                &server,
+                &table,
+                &names,
+                Layout::Nsm,
+                ScanRanges::full(CHUNKS),
+                "doomed",
+            ),
+            vec![0],
+            vec![AggFunc::Count],
+        );
+        let error = doomed
+            .next()
+            .expect_err("a scan covering the flipped chunk must err");
+        assert_eq!(
+            error,
+            ScanError {
+                chunk: ChunkId::new(BAD),
+                cause: StoreError::Corrupted,
+            },
+            "{policy}: on-disk damage must surface as Corrupted on the damaged chunk"
+        );
+        let mut healthy = live_source(
+            &server,
+            &table,
+            &names,
+            Layout::Nsm,
+            ScanRanges::single(0, BAD),
+            "healthy",
+        );
+        let lived = try_collect(&mut healthy)
+            .unwrap_or_else(|e| panic!("{policy}: the undamaged range must not err: {e}"));
+        // Policies deliver chunks in different orders; compare as row sets.
+        let sort = |c: &DataChunk| {
+            let mut rows: Vec<Vec<i64>> = (0..c.len()).map(|i| c.row(i)).collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(
+            sort(&lived),
+            sort(&healthy_reference),
+            "{policy}: healthy rows diverged"
+        );
+        assert!(
+            server.chunks_quarantined() >= 1,
+            "{policy}: the damaged chunk must be quarantined"
+        );
+        assert!(
+            server.checksum_failures() > 0,
+            "{policy}: the damage must be caught by the checksum, not a decoder panic"
+        );
+        assert_eq!(server.pinned_frames(), 0, "{policy}: leaked pins");
+        assert_eq!(server.unconsumed_drops(), 0, "{policy}");
+    }
+    std::fs::remove_file(path).unwrap();
 }
