@@ -86,6 +86,25 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "BENCH_server.json",
+        &[
+            "experiment",
+            "points",
+            "clients",
+            "tables",
+            "scans_completed",
+            "scans_killed",
+            "sustained_mib_s",
+            "ttfb_p50_ms",
+            "ttfb_p99_ms",
+            "admitted",
+            "queued",
+            "shed",
+            "peak_admitted",
+            "pinned_frames_after",
+        ],
+    ),
+    (
         "BENCH_faults.json",
         &[
             "experiment",

@@ -1,0 +1,166 @@
+//! The served-scan figure: ≥32 concurrent remote clients streaming two
+//! tables through the network service over loopback TCP, with the
+//! admission cap set below the offered load (so excess scans queue or are
+//! shed, both counted in the metrics plane) and every Nth scan killed
+//! mid-stream by dropping its connection.  Writes `BENCH_server.json` so
+//! the served trajectory — sustained aggregate MiB/s and p99
+//! time-to-first-batch under open-loop load — is tracked across PRs.
+//!
+//! The run hard-fails (exit 1) if the acceptance invariants don't hold:
+//! the cap must actually bite (queued + shed > 0, peak admitted within
+//! the caps) and no buffer frame may stay pinned once every client has
+//! disconnected, mid-scan kills included.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use cscan_bench::experiments::serve::{run_serve_sweep, ServeResult, ServeSweepConfig};
+use cscan_bench::report::TextTable;
+use std::fmt::Write as _;
+
+const CLIENTS: usize = 40;
+const SCANS_PER_CLIENT: usize = 4;
+const CHUNKS: u32 = 64;
+const ROWS_PER_CHUNK: u64 = 2_000;
+const MAX_ATTACHED: usize = 12;
+const MAX_QUEUED: usize = 6;
+const KILL_EVERY: usize = 8;
+
+fn main() {
+    println!(
+        "Served scans — {CLIENTS} concurrent remote clients over 2 tables\n\
+         (lineitem {CHUNKS} chunks x {ROWS_PER_CHUNK} rows, orders half that; \
+         admission cap {MAX_ATTACHED}/table, queue {MAX_QUEUED}, \
+         every {KILL_EVERY}th scan killed mid-stream)\n"
+    );
+
+    let cfg = ServeSweepConfig {
+        clients: CLIENTS,
+        scans_per_client: SCANS_PER_CLIENT,
+        chunks: CHUNKS,
+        rows_per_chunk: ROWS_PER_CHUNK,
+        max_attached: MAX_ATTACHED,
+        max_queued: MAX_QUEUED,
+        kill_every: KILL_EVERY,
+    };
+    let r = run_serve_sweep(&cfg);
+
+    let mut table = TextTable::new(["metric", "value"]);
+    table.row(["clients".into(), r.clients.to_string()]);
+    table.row(["tables".into(), r.tables.to_string()]);
+    table.row(["scans completed".into(), r.scans_completed.to_string()]);
+    table.row(["scans killed mid-stream".into(), r.scans_killed.to_string()]);
+    table.row(["shed retries by clients".into(), r.retries.to_string()]);
+    table.row(["wall (s)".into(), format!("{:.2}", r.wall_secs)]);
+    table.row([
+        "sustained MiB/s".into(),
+        format!("{:.1}", r.sustained_mib_s),
+    ]);
+    table.row(["ttfb p50 (ms)".into(), format!("{:.2}", ms(&r, false))]);
+    table.row(["ttfb p99 (ms)".into(), format!("{:.2}", ms(&r, true))]);
+    table.row(["admitted".into(), r.admitted.to_string()]);
+    table.row(["queued at the gate".into(), r.queued.to_string()]);
+    table.row(["shed at the gate".into(), r.shed.to_string()]);
+    table.row(["peak admitted (gauge)".into(), r.peak_admitted.to_string()]);
+    table.row(["batches served".into(), r.batches_served.to_string()]);
+    table.row([
+        "bytes served (MiB)".into(),
+        format!("{:.1}", r.bytes_served as f64 / (1024.0 * 1024.0)),
+    ]);
+    table.row(["connections shed".into(), r.connections_shed.to_string()]);
+    table.row(["pinned frames after".into(), r.pinned_after.to_string()]);
+    println!("{}", table.render());
+
+    let json = render_json(&r, &cfg);
+    let path = "BENCH_server.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // Acceptance invariants — fail the run loudly, not just the gate test.
+    let mut bad = false;
+    if r.scans_completed + r.scans_killed != (CLIENTS * SCANS_PER_CLIENT) as u64 {
+        eprintln!(
+            "FAIL: {} completed + {} killed != {} scheduled scans",
+            r.scans_completed,
+            r.scans_killed,
+            CLIENTS * SCANS_PER_CLIENT
+        );
+        bad = true;
+    }
+    if r.queued + r.shed == 0 {
+        eprintln!("FAIL: admission cap never bit — no scan was queued or shed");
+        bad = true;
+    }
+    if r.peak_admitted > (2 * MAX_ATTACHED) as u64 {
+        eprintln!(
+            "FAIL: peak admitted {} exceeds the caps ({} per table x 2 tables)",
+            r.peak_admitted, MAX_ATTACHED
+        );
+        bad = true;
+    }
+    if r.pinned_after != 0 {
+        eprintln!(
+            "FAIL: {} buffer frames still pinned after every disconnect",
+            r.pinned_after
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!(
+        "\nadmission cap enforced (peak {} <= {} across both gates), \
+         {} scans queued / {} shed at the gate, zero pins leaked",
+        r.peak_admitted,
+        2 * MAX_ATTACHED,
+        r.queued,
+        r.shed
+    );
+}
+
+fn ms(r: &ServeResult, p99: bool) -> f64 {
+    let d = if p99 { r.ttfb_p99 } else { r.ttfb_p50 };
+    d.as_secs_f64() * 1e3
+}
+
+/// Renders the measurements as JSON (hand-rolled: the workspace
+/// deliberately has no serde_json dependency).
+fn render_json(r: &ServeResult, cfg: &ServeSweepConfig) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"fig_serve\",\n  \"points\": [\n");
+    let _ = writeln!(
+        out,
+        "    {{\"clients\": {}, \"tables\": {}, \"scans_per_client\": {}, \
+         \"max_attached\": {}, \"max_queued\": {}, \"kill_every\": {}, \
+         \"scans_completed\": {}, \"scans_killed\": {}, \"retries\": {}, \
+         \"wall_secs\": {:.4}, \"sustained_mib_s\": {:.3}, \
+         \"ttfb_p50_ms\": {:.4}, \"ttfb_p99_ms\": {:.4}, \
+         \"admitted\": {}, \"queued\": {}, \"shed\": {}, \
+         \"peak_admitted\": {}, \"batches_served\": {}, \
+         \"bytes_served_mib\": {:.3}, \"connections_shed\": {}, \
+         \"pinned_frames_after\": {}}}",
+        r.clients,
+        r.tables,
+        cfg.scans_per_client,
+        cfg.max_attached,
+        cfg.max_queued,
+        cfg.kill_every,
+        r.scans_completed,
+        r.scans_killed,
+        r.retries,
+        r.wall_secs,
+        r.sustained_mib_s,
+        ms(r, false),
+        ms(r, true),
+        r.admitted,
+        r.queued,
+        r.shed,
+        r.peak_admitted,
+        r.batches_served,
+        r.bytes_served as f64 / (1024.0 * 1024.0),
+        r.connections_shed,
+        r.pinned_after
+    );
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -14,6 +14,7 @@
 //! | [`table3`] | Table 3 — DSM policy comparison |
 //! | [`table4`] | Table 4 — DSM column-overlap study |
 //! | [`faults`] | Fault sweep — goodput/retries under injected I/O failures |
+//! | [`serve`]  | Served scans — remote clients through the network service |
 //!
 //! Table 1 of the paper is published TPC-H price/performance data (used as
 //! motivation), not an experiment, and is therefore only discussed in
@@ -28,6 +29,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fig9_file;
+pub mod serve;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,70 @@
+//! Acceptance gate for the served-scan path: ≥32 concurrent remote
+//! clients over two tables must stream to completion with the admission
+//! cap enforced (excess queued or shed, both visible in the metrics
+//! plane), mid-scan connection kills must not leak a single pinned
+//! frame, and the service must sustain a real served throughput.
+//!
+//! Release-only: the timing-sensitive full-scale run is meaningless in a
+//! debug build (debug builds cover the smaller smoke in the `serve`
+//! experiment module's unit tests).
+
+use cscan_bench::experiments::serve::{run_serve_sweep, ServeSweepConfig};
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: CI-scale served sweep (debug builds cover the \
+              smaller smoke in the serve experiment's unit tests)"
+)]
+fn served_sweep_ci_scale() {
+    let cfg = ServeSweepConfig {
+        clients: 36,
+        scans_per_client: 3,
+        chunks: 48,
+        rows_per_chunk: 2_000,
+        max_attached: 10,
+        max_queued: 5,
+        kill_every: 9,
+    };
+    let r = run_serve_sweep(&cfg);
+
+    // Every scheduled scan either streamed to completion or was an
+    // intentional mid-stream kill — nothing hung or errored out.
+    assert_eq!(
+        r.scans_completed + r.scans_killed,
+        (cfg.clients * cfg.scans_per_client) as u64,
+        "scans lost: {r:?}"
+    );
+    assert!(r.scans_killed >= 1, "the kill schedule never fired");
+
+    // The admission cap bit: 36 clients against 10-per-table caps means
+    // some scans waited or were shed, and the gates never let the
+    // concurrently-admitted count past the caps.
+    assert!(
+        r.queued + r.shed > 0,
+        "cap never bit: queued={} shed={}",
+        r.queued,
+        r.shed
+    );
+    assert!(
+        r.peak_admitted <= (2 * cfg.max_attached) as u64,
+        "peak admitted {} exceeds the caps",
+        r.peak_admitted
+    );
+    assert!(r.admitted >= r.scans_completed, "admission undercounted");
+
+    // The service did real work at a real rate.  The floor is deliberately
+    // far below loopback capability — it exists to catch the service
+    // accidentally serializing (one scan at a time would land well under
+    // it at this geometry), not to benchmark the machine.
+    assert!(
+        r.sustained_mib_s >= 8.0,
+        "served throughput collapsed: {:.2} MiB/s",
+        r.sustained_mib_s
+    );
+    assert!(r.ttfb_p99 >= r.ttfb_p50);
+
+    // The leak invariant, under the harshest teardown mix: graceful
+    // completions, shed retries, and dropped-socket kills.
+    assert_eq!(r.pinned_after, 0, "pinned frames leaked: {r:?}");
+}

@@ -130,6 +130,12 @@ impl ColSet {
     pub fn bits(&self) -> u64 {
         self.0
     }
+
+    /// Rebuilds a set from a raw bitmask (the wire-protocol encoding;
+    /// inverse of [`ColSet::bits`]).
+    pub const fn from_bits(bits: u64) -> Self {
+        ColSet(bits)
+    }
 }
 
 impl FromIterator<ColumnId> for ColSet {

@@ -13,13 +13,25 @@ use cscan_storage::{ScanRanges, ZoneMap};
 use serde::{Deserialize, Serialize};
 
 /// The data need a CScan announces to the Active Buffer Manager.
+///
+/// This is the *single* query-description type of the system: both
+/// execution front-ends (the threaded [`crate::threaded::ScanServer`] and
+/// the deterministic sim), the workload generators (via
+/// [`crate::sim::QuerySpec`], which wraps a plan plus a processing speed)
+/// and the serving layer's wire protocol all exchange `CScanPlan`s.
+/// Table-relative defaults — "the whole table", "every column" — are kept
+/// symbolic (`None` ranges / empty columns) so a plan can be built, shipped
+/// and stored without knowing the table geometry; [`CScanPlan::resolve`]
+/// grounds it against a concrete [`TableModel`] at registration time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CScanPlan {
     /// Human-readable label used in reports (e.g. `"F-10"`).
     pub label: String,
-    /// The chunk ranges to read.
-    pub ranges: ScanRanges,
-    /// The columns to read (ignored for NSM storage).
+    /// The chunk ranges to read; `None` means the full table (resolved
+    /// against the model at registration).
+    pub ranges: Option<ScanRanges>,
+    /// The columns to read; the empty set means *all* columns (resolved at
+    /// registration; columns are ignored by NSM storage either way).
     pub columns: ColSet,
     /// Stop after consuming this many chunks (a `LIMIT`-style early
     /// termination); `None` runs the scan to completion.  A limited session
@@ -33,7 +45,7 @@ impl CScanPlan {
     pub fn new(label: impl Into<String>, ranges: ScanRanges, columns: ColSet) -> Self {
         Self {
             label: label.into(),
-            ranges,
+            ranges: Some(ranges),
             columns,
             limit_chunks: None,
         }
@@ -46,9 +58,30 @@ impl CScanPlan {
         self
     }
 
-    /// A full-table scan.
-    pub fn full_table(label: impl Into<String>, model: &TableModel, columns: ColSet) -> Self {
-        Self::new(label, ScanRanges::full(model.num_chunks()), columns)
+    /// Restricts the scan to a column set (DSM experiments and column
+    /// projections over the wire).
+    pub fn with_columns(mut self, columns: ColSet) -> Self {
+        self.columns = columns;
+        self
+    }
+
+    /// Renames the scan.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// A full-table scan over the given columns (empty = all).  The table
+    /// extent stays symbolic until [`CScanPlan::resolve`], so the plan can
+    /// be built without knowing the table geometry — e.g. client-side,
+    /// before the catalog is consulted.
+    pub fn full_table(label: impl Into<String>, columns: ColSet) -> Self {
+        Self {
+            label: label.into(),
+            ranges: None,
+            columns,
+            limit_chunks: None,
+        }
     }
 
     /// A scan derived from a range predicate through a zonemap: only the
@@ -64,19 +97,40 @@ impl CScanPlan {
         Self::new(label, zonemap.matching_ranges(lo, hi), columns)
     }
 
-    /// Number of chunks the plan requests.
-    pub fn num_chunks(&self) -> u32 {
-        self.ranges.num_chunks()
+    /// Grounds the plan against a concrete table: `None` ranges become the
+    /// full table, the empty column set becomes every column the model has.
+    /// Both front-ends call this at registration; the pair it returns is
+    /// exactly what [`crate::abm::Abm::register_query`] wants.
+    pub fn resolve(&self, model: &TableModel) -> (ScanRanges, ColSet) {
+        let ranges = self
+            .ranges
+            .clone()
+            .unwrap_or_else(|| ScanRanges::full(model.num_chunks()));
+        let columns = if self.columns.is_empty() {
+            model.all_columns()
+        } else {
+            self.columns
+        };
+        (ranges, columns)
     }
 
-    /// True if the plan requests nothing (e.g. a predicate no chunk can match).
+    /// Number of chunks the plan requests of `model`.
+    pub fn num_chunks(&self, model: &TableModel) -> u32 {
+        match &self.ranges {
+            Some(r) => r.num_chunks(),
+            None => model.num_chunks(),
+        }
+    }
+
+    /// True if the plan requests nothing (e.g. a predicate no chunk can
+    /// match).  `None` ranges mean the full table, which is never empty.
     pub fn is_empty(&self) -> bool {
-        self.ranges.is_empty()
+        self.ranges.as_ref().is_some_and(|r| r.is_empty())
     }
 
     /// The fraction of the table this plan touches.
     pub fn selectivity(&self, model: &TableModel) -> f64 {
-        self.num_chunks() as f64 / model.num_chunks() as f64
+        self.num_chunks(model) as f64 / model.num_chunks() as f64
     }
 }
 
@@ -89,11 +143,31 @@ mod tests {
     #[test]
     fn full_table_plan() {
         let model = TableModel::nsm_uniform(50, 100, 16);
-        let plan = CScanPlan::full_table("full", &model, model.all_columns());
-        assert_eq!(plan.num_chunks(), 50);
+        let plan = CScanPlan::full_table("full", ColSet::empty());
+        assert_eq!(plan.num_chunks(&model), 50);
         assert!(!plan.is_empty());
         assert_eq!(plan.selectivity(&model), 1.0);
         assert_eq!(plan.label, "full");
+        // Symbolic defaults ground against the model at resolve time.
+        let (ranges, columns) = plan.resolve(&model);
+        assert_eq!(ranges.num_chunks(), 50);
+        assert_eq!(columns, model.all_columns());
+        // Explicit ranges and columns pass through resolve untouched.
+        let narrow = CScanPlan::new("narrow", ScanRanges::single(0, 10), ColSet::first_n(1));
+        let (ranges, columns) = narrow.resolve(&model);
+        assert_eq!(ranges.num_chunks(), 10);
+        assert_eq!(columns, ColSet::first_n(1));
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let plan = CScanPlan::full_table("a", ColSet::empty())
+            .with_columns(ColSet::first_n(2))
+            .with_label("b")
+            .with_chunk_limit(3);
+        assert_eq!(plan.label, "b");
+        assert_eq!(plan.columns, ColSet::first_n(2));
+        assert_eq!(plan.limit_chunks, Some(3));
     }
 
     #[test]
@@ -109,9 +183,11 @@ mod tests {
             ],
         );
         let plan = CScanPlan::from_zonemap("range", &zm, 12, 25, ColSet::first_n(1));
-        assert_eq!(plan.num_chunks(), 2);
+        assert_eq!(plan.num_chunks(&model), 2);
         assert_eq!(
             plan.ranges
+                .as_ref()
+                .expect("zonemap plans carry explicit ranges")
                 .chunks()
                 .iter()
                 .map(|c| c.index())

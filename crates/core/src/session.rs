@@ -57,11 +57,26 @@ use std::sync::Arc;
 /// closed, and every further [`ScanSession::next_chunk`] call reports this
 /// error.  Queries not interested in the failed chunk are unaffected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ScanError {
     /// The chunk that could not be delivered.
     pub chunk: ChunkId,
     /// The final storage error (after retries, if it was retryable).
     pub cause: StoreError,
+}
+
+impl ScanError {
+    /// Stable wire code for "a scan failed on a chunk" in the serving
+    /// layer's binary protocol.  The chunk index and the cause's own
+    /// [`StoreError::wire_code`] travel as the payload, so the error
+    /// round-trips losslessly.
+    pub const WIRE_CODE: u16 = 100;
+
+    /// Builds a scan error.  The struct is `#[non_exhaustive]`, so
+    /// downstream crates construct it here rather than with a literal.
+    pub fn new(chunk: ChunkId, cause: StoreError) -> Self {
+        Self { chunk, cause }
+    }
 }
 
 impl std::fmt::Display for ScanError {
@@ -186,6 +201,18 @@ pub trait ScanSession {
     /// implementation blocks; the sim shim synchronously advances virtual
     /// time.
     fn next_chunk(&mut self) -> Result<Option<PinnedChunk>, ScanError>;
+
+    /// Non-blocking variant of [`ScanSession::next_chunk`] for event-loop
+    /// consumers (the serving layer multiplexes many sessions on one thread
+    /// through this).  `Ok(Poll::Ready(..))` carries exactly what
+    /// `next_chunk` would have returned; `Ok(Poll::Pending)` means nothing
+    /// is deliverable *right now* — the scan is still live and the caller
+    /// should poll again later.  Front-ends that can always answer
+    /// synchronously (the sim shim drives virtual time inline) never return
+    /// `Pending`; that is this default.
+    fn try_next_chunk(&mut self) -> Result<std::task::Poll<Option<PinnedChunk>>, ScanError> {
+        self.next_chunk().map(std::task::Poll::Ready)
+    }
 
     /// Number of chunks the scan still needs (0 once finished or detached).
     fn remaining_chunks(&self) -> u32;
@@ -452,16 +479,10 @@ impl SimScanServer {
     /// Attaches a scan, returning its session.
     pub fn attach(&self, plan: CScanPlan) -> SimScanSession {
         let mut hub = self.hub.lock();
-        let columns = if plan.columns.is_empty() {
-            hub.abm.state().model().all_columns()
-        } else {
-            plan.columns
-        };
+        let (ranges, columns) = plan.resolve(hub.abm.state().model());
         let now = hub.now;
         let label = plan.label.clone();
-        let query = hub
-            .abm
-            .register_query(plan.label, plan.ranges, columns, now);
+        let query = hub.abm.register_query(plan.label, ranges, columns, now);
         let scope = hub.obs.attach_query(label, "sim");
         hub.obs.event_at(
             hub.now_ns(),

@@ -33,7 +33,7 @@ use crate::policy::PolicyKind;
 use crate::query::QueryId;
 use cscan_engine::{EventQueue, JobId, SharedCpu};
 use cscan_simdisk::{IoTrace, QueueDepthTrace, SimDuration, SimTime};
-use cscan_storage::{ChunkId, ScanRanges};
+use cscan_storage::ChunkId;
 use std::collections::HashMap;
 
 /// Events driving the simulation.
@@ -285,11 +285,7 @@ impl<'a> Runner<'a> {
             return;
         };
         self.stream_cursor[stream] += 1;
-        let ranges = spec
-            .ranges
-            .clone()
-            .unwrap_or_else(|| ScanRanges::full(self.model.num_chunks()));
-        let columns = spec.columns.unwrap_or_else(|| self.model.all_columns());
+        let (ranges, columns) = spec.plan.resolve(self.model);
         let id = self
             .abm
             .register_query(spec.label.clone(), ranges, columns, now);
@@ -475,7 +471,7 @@ impl<'a> Runner<'a> {
 mod tests {
     use super::*;
     use crate::colset::ColSet;
-    use cscan_storage::ColumnId;
+    use cscan_storage::{ColumnId, ScanRanges};
 
     /// A small NSM table: 64 chunks, 100k tuples and 256 pages (16 MiB) each.
     fn small_model() -> TableModel {

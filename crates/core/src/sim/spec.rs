@@ -1,73 +1,85 @@
 //! Query and stream specifications for simulated runs.
 
 use crate::colset::ColSet;
+use crate::cscan::CScanPlan;
 use cscan_storage::ScanRanges;
 use serde::{Deserialize, Serialize};
 
-/// Specification of one query inside a stream.
+/// Specification of one query inside a stream: a [`CScanPlan`] (the shared
+/// query-description type — *what* the query reads) plus a processing
+/// speed (*how fast* it can consume data, in tuples per second of
+/// dedicated-core CPU time).
 ///
-/// The only thing that matters to the I/O scheduling experiments is *what*
-/// the query reads (ranges, columns) and *how fast* it can consume data
-/// (tuples per second of dedicated-core CPU time); the actual relational
-/// work is irrelevant and is exercised separately by the `cscan-exec` crate.
+/// The only thing that matters to the I/O scheduling experiments is the
+/// plan and the speed; the actual relational work is irrelevant and is
+/// exercised separately by the `cscan-exec` crate.  `QuerySpec` derefs to
+/// its plan, so `spec.label`, `spec.ranges`, `spec.columns` and
+/// `spec.limit_chunks` all read through.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuerySpec {
-    /// Label used in reports (e.g. `"F-10"` for a FAST 10% scan).
-    pub label: String,
-    /// The chunk ranges to scan; `None` means the full table.
-    pub ranges: Option<ScanRanges>,
-    /// The columns to read; `None` means all columns.
-    pub columns: Option<ColSet>,
+    /// What the query reads: the same plan type the threaded front-end and
+    /// the wire protocol use.
+    pub plan: CScanPlan,
     /// Processing speed in tuples per second of dedicated-core CPU time.
     pub tuples_per_sec: f64,
-    /// Stop after processing this many chunks (a `LIMIT`-style early
-    /// termination); `None` runs the scan to completion.  A limited query
-    /// detaches mid-scan, which exercises the ABM's load-abort path: loads
-    /// in flight solely on its behalf are cancelled.
-    pub limit_chunks: Option<u32>,
+}
+
+impl std::ops::Deref for QuerySpec {
+    type Target = CScanPlan;
+
+    fn deref(&self) -> &CScanPlan {
+        &self.plan
+    }
+}
+
+impl std::ops::DerefMut for QuerySpec {
+    fn deref_mut(&mut self) -> &mut CScanPlan {
+        &mut self.plan
+    }
 }
 
 impl QuerySpec {
-    /// A scan over explicit ranges with the given processing speed.
-    pub fn range_scan(label: impl Into<String>, ranges: ScanRanges, tuples_per_sec: f64) -> Self {
+    /// Wraps an already-built plan with a processing speed.
+    pub fn from_plan(plan: CScanPlan, tuples_per_sec: f64) -> Self {
         assert!(tuples_per_sec > 0.0, "processing speed must be positive");
         Self {
-            label: label.into(),
-            ranges: Some(ranges),
-            columns: None,
+            plan,
             tuples_per_sec,
-            limit_chunks: None,
         }
+    }
+
+    /// A scan over explicit ranges with the given processing speed.
+    pub fn range_scan(label: impl Into<String>, ranges: ScanRanges, tuples_per_sec: f64) -> Self {
+        Self::from_plan(
+            CScanPlan::new(label, ranges, ColSet::empty()),
+            tuples_per_sec,
+        )
     }
 
     /// A full-table scan with the given processing speed.
     pub fn full_scan(label: impl Into<String>, tuples_per_sec: f64) -> Self {
-        assert!(tuples_per_sec > 0.0, "processing speed must be positive");
-        Self {
-            label: label.into(),
-            ranges: None,
-            columns: None,
+        Self::from_plan(
+            CScanPlan::full_table(label, ColSet::empty()),
             tuples_per_sec,
-            limit_chunks: None,
-        }
+        )
     }
 
     /// Restricts the query to a column set (DSM experiments).
     pub fn with_columns(mut self, columns: ColSet) -> Self {
-        self.columns = Some(columns);
+        self.plan = self.plan.with_columns(columns);
         self
     }
 
     /// Stops the query after it has processed `chunks` chunks (LIMIT-style
     /// early termination; the query detaches mid-scan).
     pub fn with_chunk_limit(mut self, chunks: u32) -> Self {
-        self.limit_chunks = Some(chunks);
+        self.plan = self.plan.with_chunk_limit(chunks);
         self
     }
 
     /// Renames the query.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
-        self.label = label.into();
+        self.plan = self.plan.with_label(label);
         self
     }
 
@@ -87,13 +99,23 @@ mod tests {
         let q = QuerySpec::full_scan("F-100", 10_000_000.0);
         assert_eq!(q.label, "F-100");
         assert!(q.ranges.is_none());
-        assert!(q.columns.is_none());
+        assert!(q.columns.is_empty());
         let r = QuerySpec::range_scan("F-10", ScanRanges::single(0, 10), 1e6)
             .with_columns(ColSet::from_columns([ColumnId::new(2)]))
             .with_label("renamed");
         assert_eq!(r.label, "renamed");
         assert_eq!(r.ranges.as_ref().unwrap().num_chunks(), 10);
-        assert_eq!(r.columns.unwrap().len(), 1);
+        assert_eq!(r.columns.len(), 1);
+    }
+
+    #[test]
+    fn spec_shares_the_plan_type() {
+        let plan = CScanPlan::full_table("shared", ColSet::first_n(2)).with_chunk_limit(4);
+        let spec = QuerySpec::from_plan(plan.clone(), 1e6);
+        assert_eq!(spec.plan, plan);
+        // Deref lets spec read exactly what a threaded CScan would.
+        assert_eq!(spec.limit_chunks, Some(4));
+        assert_eq!(spec.columns, ColSet::first_n(2));
     }
 
     #[test]

@@ -1100,14 +1100,10 @@ impl ScanServer {
         let slot = Arc::new(QuerySlot::default());
         let mut sched = self.shared.lock_sched();
         self.shared.service(&mut sched);
-        let columns = if plan.columns.is_empty() {
-            sched.abm.state().model().all_columns()
-        } else {
-            plan.columns
-        };
+        let (ranges, columns) = plan.resolve(sched.abm.state().model());
         let id = sched
             .abm
-            .register_query(plan.label, plan.ranges, columns, self.shared.now());
+            .register_query(plan.label, ranges, columns, self.shared.now());
         sched.slots.insert(id, Arc::clone(&slot));
         // Grant eagerly if something the query wants is already resident
         // (or close the slot straight away for an empty scan); otherwise
@@ -1134,6 +1130,7 @@ impl ScanServer {
             attached: Instant::now(),
             limit: plan.limit_chunks,
             delivered: AtomicU32::new(0),
+            decode_failures: AtomicU32::new(0),
             finished: AtomicBool::new(false),
             error: Mutex::new(None),
         }
@@ -1313,6 +1310,10 @@ pub struct CScanHandle {
     limit: Option<u32>,
     /// Chunks delivered so far (compared against `limit`).
     delivered: AtomicU32,
+    /// Consecutive decode/checksum rejections (reset on a good delivery);
+    /// lives on the handle so the non-blocking path carries the count
+    /// across `try_next_chunk` calls.
+    decode_failures: AtomicU32,
     finished: AtomicBool,
     /// Sticky scan failure: once a needed chunk is quarantined, every
     /// further `next_chunk` call returns this same error.
@@ -1350,7 +1351,6 @@ impl CScanHandle {
         if let Some(error) = *self.error.lock() {
             return Err(error);
         }
-        let mut decode_failures = 0u32;
         'deliver: loop {
             let grant = {
                 let mut st = self.slot.state.lock();
@@ -1417,106 +1417,203 @@ impl CScanHandle {
                     }
                 }
             };
-            let chunk = grant.chunk;
-            // The grant carries the frame *pin*, not the payload: read the
-            // payload from the shard at consume time, so an install that
-            // raced the delivery (e.g. a torn frame replaced in place) is
-            // what this pin actually decodes and verifies.
-            let payload = {
-                let key = frame_key(chunk);
-                let shard = self.shared.pool.shard(key);
-                match shard.payload(key) {
-                    Some(p) => p.clone(),
-                    None => ChunkPayload::Missing,
+            match self.consume_grant(grant)? {
+                Some(pin) => return Ok(Some(pin)),
+                // Rejected delivery (torn frame re-fetched): take the next
+                // grant when the re-load commits.
+                None => continue 'deliver,
+            }
+        }
+    }
+
+    /// Non-blocking delivery: exactly [`CScanHandle::next_chunk`] except
+    /// that instead of waiting on the mailbox condvar it returns
+    /// `Ok(Poll::Pending)`.  The serving layer's event loop multiplexes
+    /// many scans on one thread through this, so the only lock it may
+    /// *block* on is this query's own slot mutex (held for nanoseconds);
+    /// the scheduler lock is taken opportunistically — `try_lock`, the
+    /// same flat-combining discipline as the release path — to self-match
+    /// when the mailbox is empty.
+    ///
+    /// After `Pending` the caller should poll again once progress is
+    /// plausible (a worker committed a load, a pin was released); the
+    /// handle rings one parked worker before returning so the system keeps
+    /// moving while the caller is away.
+    pub fn try_next_chunk(&self) -> Result<std::task::Poll<Option<PinnedChunk>>, ScanError> {
+        use std::task::Poll;
+        if let Some(error) = *self.error.lock() {
+            return Err(error);
+        }
+        loop {
+            let grant = 'take: {
+                let mut st = self.slot.state.lock();
+                if let Some(error) = st.error {
+                    drop(st);
+                    return Err(self.fail(error));
                 }
-            };
-            // Decode-on-first-pin: if the committed payload is still encoded
-            // bytes, pay the decompression CPU cost here — outside every
-            // executor lock (the codec debug-asserts that), shared via the
-            // column cache so later pins of the same buffered chunk skip
-            // straight past this.  The decode re-verifies checksums (the
-            // second integrity point), and runs under catch_unwind so a
-            // panicking codec is contained as a rejected delivery, not an
-            // unwinding consumer.
-            if !payload.is_fully_decoded() {
-                let started = Instant::now();
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    payload.try_decode_all()
-                }))
-                .unwrap_or_else(|_panic| {
-                    self.shared.obs.inc(Counter::WorkerPanics);
-                    self.shared
-                        .obs
-                        .event(EventKind::WorkerPanic, chunk.index(), self.query.0, 0);
-                    self.shared.obs.dump_flight("worker panic");
-                    Err(StoreError::Corrupted)
-                });
-                let nanos = started.elapsed().as_nanos() as u64;
-                // The consumer stalled for `nanos` either way: as the
-                // decoding winner, or blocked on another pin's in-flight
-                // decode of the same columns (0 values for the loser).
-                // Both are pin-wait; only the winner's work counts as
-                // decode output.
-                self.scope.record_pin_wait(nanos);
-                match outcome {
-                    Ok(decoded) => {
-                        if decoded > 0 {
-                            self.shared.obs.record_span_ns(SpanKind::Decode, nanos);
-                            self.shared.obs.add(Counter::DecodeNanos, nanos);
-                            self.shared.obs.add(Counter::ValuesDecoded, decoded as u64);
-                        }
+                if let Some(limit) = self.limit {
+                    if self.delivered.load(Ordering::Relaxed) >= limit {
+                        drop(st);
+                        self.finish();
+                        return Ok(Poll::Ready(None));
                     }
-                    Err(cause) => {
-                        // The installed bytes are torn (or the codec
-                        // panicked on them): reject the delivery *without*
-                        // consuming — the chunk stays needed — evict the
-                        // poisoned frame, and loop back so a fresh load
-                        // fetches clean bytes.  This is the rare recovery
-                        // path, so taking the scheduler lock here is fine.
-                        self.shared.obs.inc(Counter::ChecksumFailures);
+                }
+                if let Some(grant) = st.grant.take() {
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    break 'take grant;
+                }
+                if st.closed
+                    || self.finished.load(Ordering::Acquire)
+                    || self.shared.shutdown.load(Ordering::Acquire)
+                {
+                    return Ok(Poll::Ready(None));
+                }
+                drop(st);
+                // Mailbox empty: self-match if the scheduler lock happens
+                // to be free (never block on it), then re-check the slot —
+                // the matcher may have deposited a grant or closed it.
+                if let Some(guard) = self.shared.sched.try_lock() {
+                    let mut sched = SchedGuard::adopt(guard, &self.shared.obs);
+                    self.shared.service(&mut sched);
+                    self.shared.try_grant(&mut sched, self.query);
+                    drop(sched);
+                    let mut st = self.slot.state.lock();
+                    if let Some(error) = st.error {
+                        drop(st);
+                        return Err(self.fail(error));
+                    }
+                    if let Some(grant) = st.grant.take() {
+                        self.delivered.fetch_add(1, Ordering::Relaxed);
+                        break 'take grant;
+                    }
+                    if st.closed {
+                        return Ok(Poll::Ready(None));
+                    }
+                }
+                // Nothing deliverable right now.  Kick a worker (planning
+                // may be what this query is waiting for) and hand control
+                // back to the event loop.
+                self.shared.park.ring_one();
+                return Ok(Poll::Pending);
+            };
+            match self.consume_grant(grant)? {
+                Some(pin) => return Ok(Poll::Ready(Some(pin))),
+                None => continue,
+            }
+        }
+    }
+
+    /// Turns a taken grant into a [`PinnedChunk`] — payload read from the
+    /// shard, decode-on-first-pin, per-query metrics — or rejects the
+    /// delivery (`Ok(None)`: the torn frame was evicted and the chunk
+    /// re-requested; take the next grant) or gives up (`Err`: the decode
+    /// retry budget is spent).  Shared by the blocking and non-blocking
+    /// delivery paths; the consecutive-rejection counter lives on the
+    /// handle so it survives `Pending` round-trips.
+    fn consume_grant(&self, grant: Grant) -> Result<Option<PinnedChunk>, ScanError> {
+        let chunk = grant.chunk;
+        // The grant carries the frame *pin*, not the payload: read the
+        // payload from the shard at consume time, so an install that
+        // raced the delivery (e.g. a torn frame replaced in place) is
+        // what this pin actually decodes and verifies.
+        let payload = {
+            let key = frame_key(chunk);
+            let shard = self.shared.pool.shard(key);
+            match shard.payload(key) {
+                Some(p) => p.clone(),
+                None => ChunkPayload::Missing,
+            }
+        };
+        // Decode-on-first-pin: if the committed payload is still encoded
+        // bytes, pay the decompression CPU cost here — outside every
+        // executor lock (the codec debug-asserts that), shared via the
+        // column cache so later pins of the same buffered chunk skip
+        // straight past this.  The decode re-verifies checksums (the
+        // second integrity point), and runs under catch_unwind so a
+        // panicking codec is contained as a rejected delivery, not an
+        // unwinding consumer.
+        if !payload.is_fully_decoded() {
+            let started = Instant::now();
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| payload.try_decode_all()))
+                    .unwrap_or_else(|_panic| {
+                        self.shared.obs.inc(Counter::WorkerPanics);
                         self.shared.obs.event(
-                            EventKind::ChecksumFailure,
+                            EventKind::WorkerPanic,
                             chunk.index(),
                             self.query.0,
                             0,
                         );
-                        {
-                            let mut sched = self.shared.lock_sched();
-                            self.shared.service(&mut sched);
-                            let key = frame_key(chunk);
-                            self.shared.pool.shard(key).unpin(key, false);
-                            if sched.abm.reject_delivered(self.query, chunk) {
-                                let mut shard = self.shared.pool.shard(key);
-                                if shard.evict_page(key) {
-                                    self.shared.pool.bump_generation(key);
-                                }
-                            }
-                            self.delivered.fetch_sub(1, Ordering::Relaxed);
-                            // Re-match so the query registers as blocked and
-                            // the re-load's commit wakes it.
-                            self.shared.try_grant(&mut sched, self.query);
-                        }
-                        self.shared.park.ring_one();
-                        decode_failures += 1;
-                        if decode_failures >= self.shared.retry.max_attempts.max(1) {
-                            return Err(self.fail(ScanError { chunk, cause }));
-                        }
-                        continue 'deliver;
+                        self.shared.obs.dump_flight("worker panic");
+                        Err(StoreError::Corrupted)
+                    });
+            let nanos = started.elapsed().as_nanos() as u64;
+            // The consumer stalled for `nanos` either way: as the
+            // decoding winner, or blocked on another pin's in-flight
+            // decode of the same columns (0 values for the loser).
+            // Both are pin-wait; only the winner's work counts as
+            // decode output.
+            self.scope.record_pin_wait(nanos);
+            match outcome {
+                Ok(decoded) => {
+                    if decoded > 0 {
+                        self.shared.obs.record_span_ns(SpanKind::Decode, nanos);
+                        self.shared.obs.add(Counter::DecodeNanos, nanos);
+                        self.shared.obs.add(Counter::ValuesDecoded, decoded as u64);
                     }
                 }
+                Err(cause) => {
+                    // The installed bytes are torn (or the codec
+                    // panicked on them): reject the delivery *without*
+                    // consuming — the chunk stays needed — evict the
+                    // poisoned frame, and let the caller loop back so a
+                    // fresh load fetches clean bytes.  This is the rare
+                    // recovery path, so taking the scheduler lock here is
+                    // fine.
+                    self.shared.obs.inc(Counter::ChecksumFailures);
+                    self.shared.obs.event(
+                        EventKind::ChecksumFailure,
+                        chunk.index(),
+                        self.query.0,
+                        0,
+                    );
+                    {
+                        let mut sched = self.shared.lock_sched();
+                        self.shared.service(&mut sched);
+                        let key = frame_key(chunk);
+                        self.shared.pool.shard(key).unpin(key, false);
+                        if sched.abm.reject_delivered(self.query, chunk) {
+                            let mut shard = self.shared.pool.shard(key);
+                            if shard.evict_page(key) {
+                                self.shared.pool.bump_generation(key);
+                            }
+                        }
+                        self.delivered.fetch_sub(1, Ordering::Relaxed);
+                        // Re-match so the query registers as blocked and
+                        // the re-load's commit wakes it.
+                        self.shared.try_grant(&mut sched, self.query);
+                    }
+                    self.shared.park.ring_one();
+                    let failures = self.decode_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                    if failures >= self.shared.retry.max_attempts.max(1) {
+                        return Err(self.fail(ScanError { chunk, cause }));
+                    }
+                    return Ok(None);
+                }
             }
-            self.scope
-                .record_first_chunk(self.attached.elapsed().as_nanos() as u64);
-            self.scope.add(QueryCounter::ChunksDelivered, 1);
-            self.scope
-                .add(QueryCounter::RowsDelivered, payload.rows() as u64);
-            return Ok(Some(PinnedChunk::new(
-                self.query,
-                chunk,
-                payload,
-                Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
-            )));
         }
+        self.decode_failures.store(0, Ordering::Relaxed);
+        self.scope
+            .record_first_chunk(self.attached.elapsed().as_nanos() as u64);
+        self.scope.add(QueryCounter::ChunksDelivered, 1);
+        self.scope
+            .add(QueryCounter::RowsDelivered, payload.rows() as u64);
+        Ok(Some(PinnedChunk::new(
+            self.query,
+            chunk,
+            payload,
+            Arc::clone(&self.releaser) as Arc<dyn ChunkRelease>,
+        )))
     }
 
     /// Makes `error` the handle's sticky failure and deregisters the scan.
@@ -1585,6 +1682,10 @@ impl CScanHandle {
 impl ScanSession for CScanHandle {
     fn next_chunk(&mut self) -> Result<Option<PinnedChunk>, ScanError> {
         CScanHandle::next_chunk(self)
+    }
+
+    fn try_next_chunk(&mut self) -> Result<std::task::Poll<Option<PinnedChunk>>, ScanError> {
+        CScanHandle::try_next_chunk(self)
     }
 
     fn remaining_chunks(&self) -> u32 {
@@ -2189,7 +2290,7 @@ mod tests {
         );
         let plan =
             CScanPlan::from_zonemap("limited", &zm, 2, 13, model.all_columns()).with_chunk_limit(2);
-        assert_eq!(plan.num_chunks(), 12);
+        assert_eq!(plan.num_chunks(&model), 12);
         let handle = server.cscan(plan);
         // Consume up to the limit while the 4-deep pipeline prefetches.
         let first = handle.next_chunk().unwrap().expect("chunk 1");

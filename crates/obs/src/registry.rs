@@ -90,11 +90,26 @@ pub enum Counter {
     FileReadCalls,
     /// Bytes read from segment files on disk (physical I/O volume).
     FileBytesRead,
+    /// Scans admitted to a table (immediately or after queueing).
+    AdmissionAdmitted,
+    /// Scans that had to wait in a table's FIFO admission queue.
+    AdmissionQueued,
+    /// Scans shed by admission control (queue full or queue-wait timeout).
+    AdmissionShed,
+    /// Network connections accepted by the scan service.
+    ConnectionsOpened,
+    /// Connections shed because the consumer stalled (stopped reading or
+    /// stopped requesting batches while holding open scans).
+    ConnectionsShed,
+    /// Column batches served over the wire protocol.
+    BatchesServed,
+    /// Payload bytes served over the wire protocol (encoded frame bodies).
+    BytesServed,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 33] = [
         Counter::LoadsCompleted,
         Counter::LoadsCancelled,
         Counter::LoadFaults,
@@ -121,6 +136,13 @@ impl Counter {
         Counter::HubShardConflicts,
         Counter::FileReadCalls,
         Counter::FileBytesRead,
+        Counter::AdmissionAdmitted,
+        Counter::AdmissionQueued,
+        Counter::AdmissionShed,
+        Counter::ConnectionsOpened,
+        Counter::ConnectionsShed,
+        Counter::BatchesServed,
+        Counter::BytesServed,
     ];
 
     /// The counter's stable metric name (snake case, no prefix).
@@ -152,6 +174,13 @@ impl Counter {
             Counter::HubShardConflicts => "hub_shard_conflicts",
             Counter::FileReadCalls => "file_read_calls",
             Counter::FileBytesRead => "file_bytes_read",
+            Counter::AdmissionAdmitted => "admission_admitted",
+            Counter::AdmissionQueued => "admission_queued",
+            Counter::AdmissionShed => "admission_shed",
+            Counter::ConnectionsOpened => "connections_opened",
+            Counter::ConnectionsShed => "connections_shed",
+            Counter::BatchesServed => "batches_served",
+            Counter::BytesServed => "bytes_served",
         }
     }
 }
@@ -199,15 +228,24 @@ pub enum Gauge {
     ActiveQueries,
     /// Unreserved buffer pages available to the load planner.
     FreePages,
+    /// Scans currently waiting in admission queues (all tables).
+    AdmissionQueueDepth,
+    /// Scans currently admitted past admission control (all tables).
+    AdmittedScans,
+    /// Network connections currently open against the scan service.
+    OpenConnections,
 }
 
 impl Gauge {
     /// Every gauge, in index order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 7] = [
         Gauge::PinnedFrames,
         Gauge::ResidentFrames,
         Gauge::ActiveQueries,
         Gauge::FreePages,
+        Gauge::AdmissionQueueDepth,
+        Gauge::AdmittedScans,
+        Gauge::OpenConnections,
     ];
 
     /// The gauge's stable metric name.
@@ -217,6 +255,9 @@ impl Gauge {
             Gauge::ResidentFrames => "resident_frames",
             Gauge::ActiveQueries => "active_queries",
             Gauge::FreePages => "free_pages",
+            Gauge::AdmissionQueueDepth => "admission_queue_depth",
+            Gauge::AdmittedScans => "admitted_scans",
+            Gauge::OpenConnections => "open_connections",
         }
     }
 }

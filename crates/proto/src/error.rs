@@ -1,0 +1,173 @@
+//! Serving-layer error conditions and their stable wire codes.
+
+use cscan_core::ScanError;
+
+/// Why the scan service refused or tore down a request.
+///
+/// Wire codes are append-only contracts: `200..=299` belongs to this enum,
+/// `1..=99` to [`cscan_storage::StoreError`], and
+/// [`ScanError::WIRE_CODE`] (100) to failed scans.  The enum is
+/// `#[non_exhaustive]` — new conditions claim fresh codes, and decoders
+/// keep unknown codes as [`ServeError::Other`] instead of failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The catalog has no table by this name.
+    UnknownTable(String),
+    /// Admission control shed the scan outright: the table's attach cap is
+    /// reached and its wait queue is full.
+    AdmissionRejected,
+    /// The scan queued for admission but timed out before a slot freed.
+    AdmissionTimeout,
+    /// The connection stopped consuming (no credit or no socket reads)
+    /// while holding open scans; the server shed it to protect the pool.
+    StalledConsumer,
+    /// A frame referenced a scan id this connection does not own.
+    UnknownScan(u64),
+    /// The request was structurally valid but semantically unusable.
+    BadRequest(String),
+    /// The server is shutting down; no new scans are admitted.
+    ServerShutdown,
+    /// The connection has reached its concurrent-scan cap.
+    TooManyScans,
+    /// An error code minted by a newer peer; kept verbatim.
+    Other(u16, String),
+}
+
+impl ServeError {
+    /// Code for [`ServeError::UnknownTable`].
+    pub const CODE_UNKNOWN_TABLE: u16 = 200;
+    /// Code for [`ServeError::AdmissionRejected`].
+    pub const CODE_ADMISSION_REJECTED: u16 = 201;
+    /// Code for [`ServeError::AdmissionTimeout`].
+    pub const CODE_ADMISSION_TIMEOUT: u16 = 202;
+    /// Code for [`ServeError::StalledConsumer`].
+    pub const CODE_STALLED_CONSUMER: u16 = 203;
+    /// Code for [`ServeError::UnknownScan`].
+    pub const CODE_UNKNOWN_SCAN: u16 = 204;
+    /// Code for [`ServeError::BadRequest`].
+    pub const CODE_BAD_REQUEST: u16 = 205;
+    /// Code for [`ServeError::ServerShutdown`].
+    pub const CODE_SERVER_SHUTDOWN: u16 = 206;
+    /// Code for [`ServeError::TooManyScans`].
+    pub const CODE_TOO_MANY_SCANS: u16 = 207;
+
+    /// The stable wire code this condition travels as.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            ServeError::UnknownTable(_) => Self::CODE_UNKNOWN_TABLE,
+            ServeError::AdmissionRejected => Self::CODE_ADMISSION_REJECTED,
+            ServeError::AdmissionTimeout => Self::CODE_ADMISSION_TIMEOUT,
+            ServeError::StalledConsumer => Self::CODE_STALLED_CONSUMER,
+            ServeError::UnknownScan(_) => Self::CODE_UNKNOWN_SCAN,
+            ServeError::BadRequest(_) => Self::CODE_BAD_REQUEST,
+            ServeError::ServerShutdown => Self::CODE_SERVER_SHUTDOWN,
+            ServeError::TooManyScans => Self::CODE_TOO_MANY_SCANS,
+            ServeError::Other(code, _) => *code,
+        }
+    }
+
+    /// Rebuilds the condition a `(code, detail)` pair names.  Codes below
+    /// 200 (storage and scan errors) and codes this build has never heard
+    /// of come back as [`ServeError::Other`] — decoding never fails.
+    pub fn from_wire(code: u16, detail: &str) -> ServeError {
+        match code {
+            Self::CODE_UNKNOWN_TABLE => ServeError::UnknownTable(detail.to_owned()),
+            Self::CODE_ADMISSION_REJECTED => ServeError::AdmissionRejected,
+            Self::CODE_ADMISSION_TIMEOUT => ServeError::AdmissionTimeout,
+            Self::CODE_STALLED_CONSUMER => ServeError::StalledConsumer,
+            Self::CODE_UNKNOWN_SCAN => ServeError::UnknownScan(0),
+            Self::CODE_BAD_REQUEST => ServeError::BadRequest(detail.to_owned()),
+            Self::CODE_SERVER_SHUTDOWN => ServeError::ServerShutdown,
+            Self::CODE_TOO_MANY_SCANS => ServeError::TooManyScans,
+            other => ServeError::Other(other, detail.to_owned()),
+        }
+    }
+
+    /// Whether the client could reasonably retry the request later (load
+    /// shedding and shutdown are transient states; a missing table is not).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::AdmissionRejected
+                | ServeError::AdmissionTimeout
+                | ServeError::TooManyScans
+                | ServeError::ServerShutdown
+        )
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
+            ServeError::AdmissionRejected => {
+                write!(f, "admission rejected: table at capacity, queue full")
+            }
+            ServeError::AdmissionTimeout => {
+                write!(f, "admission timed out waiting for a scan slot")
+            }
+            ServeError::StalledConsumer => {
+                write!(f, "connection shed: consumer stalled with open scans")
+            }
+            ServeError::UnknownScan(id) => write!(f, "unknown scan id {id}"),
+            ServeError::BadRequest(what) => write!(f, "bad request: {what}"),
+            ServeError::ServerShutdown => write!(f, "server shutting down"),
+            ServeError::TooManyScans => write!(f, "too many concurrent scans on connection"),
+            ServeError::Other(code, detail) => write!(f, "server error {code}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ScanError> for ServeError {
+    fn from(e: ScanError) -> Self {
+        // A scan failure travels with its own code (100); this conversion
+        // exists for contexts that can only carry a ServeError.
+        ServeError::Other(ScanError::WIRE_CODE, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_codes_round_trip_and_stay_distinct() {
+        let all = [
+            ServeError::UnknownTable("t".into()),
+            ServeError::AdmissionRejected,
+            ServeError::AdmissionTimeout,
+            ServeError::StalledConsumer,
+            ServeError::UnknownScan(0),
+            ServeError::BadRequest("x".into()),
+            ServeError::ServerShutdown,
+            ServeError::TooManyScans,
+        ];
+        let mut codes: Vec<u16> = all.iter().map(|e| e.wire_code()).collect();
+        for (e, code) in all.iter().zip(codes.clone()) {
+            assert!((200..=299).contains(&code), "serve errors own 200-299");
+            let back = ServeError::from_wire(code, "t");
+            assert_eq!(back.wire_code(), e.wire_code());
+        }
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "codes are pairwise distinct");
+    }
+
+    #[test]
+    fn unknown_codes_survive_as_other() {
+        let e = ServeError::from_wire(299, "from the future");
+        assert_eq!(e, ServeError::Other(299, "from the future".into()));
+        assert_eq!(e.wire_code(), 299);
+    }
+
+    #[test]
+    fn retryability_matches_load_shedding_semantics() {
+        assert!(ServeError::AdmissionRejected.is_retryable());
+        assert!(ServeError::AdmissionTimeout.is_retryable());
+        assert!(!ServeError::UnknownTable("t".into()).is_retryable());
+        assert!(!ServeError::StalledConsumer.is_retryable());
+    }
+}

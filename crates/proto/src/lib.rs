@@ -1,0 +1,762 @@
+//! The scan service's binary wire protocol.
+//!
+//! One scan over the network is a conversation of length-prefixed frames:
+//! the client opens a scan with a [`CScanPlan`] against a named catalog
+//! table (`OpenScan`), pulls column batches with explicit credits
+//! (`NextBatch` → a stream of `Batch` frames, ending in `ScanDone`), and
+//! may abandon the scan early (`Cancel`).  The server answers failures
+//! with `Error` frames carrying **stable `u16` codes** — storage errors
+//! own 1–99 ([`StoreError::wire_code`]), a failed scan is
+//! [`ScanError::WIRE_CODE`] (100) with the chunk and cause in the payload,
+//! and the serving layer's own conditions (admission control, stalled
+//! consumers, catalog misses) own 200+ via [`ServeError`].
+//!
+//! # Framing
+//!
+//! ```text
+//! [u32 len (LE)] [u8 msg_type] [body: len-1 bytes]
+//! ```
+//!
+//! `len` counts the type byte plus the body, so an empty-bodied message is
+//! `len = 1`.  Frames larger than [`MAX_FRAME_LEN`] are a protocol error
+//! (they would let a malicious peer make the other side allocate
+//! unboundedly).  All integers are little-endian; strings are `u32` length
+//! + UTF-8 bytes; column values travel as raw `i64` words.
+//!
+//! Both sides parse with [`Decoder`]: feed it bytes as they arrive, take
+//! complete [`Message`]s out.  Everything here is pure byte-shuffling —
+//! no sockets — so the encode/decode paths round-trip in unit tests
+//! without a server.
+
+#![warn(missing_docs)]
+
+use cscan_core::{CScanPlan, ColSet, ScanError};
+use cscan_storage::{ChunkId, ChunkRange, ColumnId, ScanRanges, StoreError};
+
+mod error;
+pub use error::ServeError;
+
+/// Upper bound on one frame's `len` field (type byte + body).  Chosen to
+/// fit any realistic column batch (a 64-column × 64Ki-row chunk of `i64`s
+/// is 32 MiB) with headroom, while bounding what a peer can make us buffer.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Sentinel chunk index in `Error` frames for errors not tied to a chunk.
+pub const NO_CHUNK: u32 = u32::MAX;
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Message {
+    /// Client → server: open a scan of `table` described by `plan`.
+    OpenScan {
+        /// Catalog name of the table to scan.
+        table: String,
+        /// What to read — the same plan type both execution front-ends use.
+        plan: CScanPlan,
+    },
+    /// Server → client: the scan is admitted and registered.
+    OpenOk {
+        /// Server-assigned id; all further frames about this scan carry it.
+        scan_id: u64,
+        /// Chunks the scan will deliver (after resolving the plan).
+        num_chunks: u32,
+    },
+    /// Client → server: deliver up to `credits` more batches for `scan_id`.
+    /// Credits are the backpressure primitive: the server never sends a
+    /// batch it was not asked for, so a slow client simply stops asking.
+    NextBatch {
+        /// The scan being pulled.
+        scan_id: u64,
+        /// Number of additional `Batch` frames the client is ready for.
+        credits: u32,
+    },
+    /// Server → client: one chunk's worth of column data.
+    Batch {
+        /// The scan this batch belongs to.
+        scan_id: u64,
+        /// Which chunk (table-relative index) the rows come from.  Chunks
+        /// arrive in ABM-chosen order, not table order.
+        chunk: u32,
+        /// Row count (every column carries exactly this many values).
+        rows: u32,
+        /// `(column id, values)` pairs, ordered by column id.
+        columns: Vec<(u16, Vec<i64>)>,
+    },
+    /// Server → client: the scan delivered everything; `scan_id` is closed.
+    ScanDone {
+        /// The finished scan.
+        scan_id: u64,
+    },
+    /// Client → server: abandon `scan_id` (a LIMIT hit, a user abort).
+    Cancel {
+        /// The scan to abandon.
+        scan_id: u64,
+    },
+    /// Server → client: the cancel took effect; `scan_id` is closed.
+    CancelOk {
+        /// The cancelled scan.
+        scan_id: u64,
+    },
+    /// Server → client: the scan (or the request itself) failed.
+    Error {
+        /// The scan the error belongs to, or 0 for connection-level errors.
+        scan_id: u64,
+        /// Stable error code (see crate docs for the code ranges).
+        code: u16,
+        /// For code [`ScanError::WIRE_CODE`]: the failing chunk's
+        /// [`StoreError::wire_code`].  0 otherwise.
+        aux: u16,
+        /// The chunk involved, or [`NO_CHUNK`].
+        chunk: u32,
+        /// Human-readable context (table name, queue state, …).
+        detail: String,
+    },
+    /// Client → server: drain and close the connection (the CI smoke test
+    /// and the benches use this for deterministic shutdown).
+    Shutdown,
+    /// Server → client: acknowledged; the server closes after this frame.
+    ShutdownOk,
+}
+
+impl Message {
+    /// The frame-type byte this message encodes as.
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::OpenScan { .. } => 1,
+            Message::OpenOk { .. } => 2,
+            Message::NextBatch { .. } => 3,
+            Message::Batch { .. } => 4,
+            Message::ScanDone { .. } => 5,
+            Message::Cancel { .. } => 6,
+            Message::CancelOk { .. } => 7,
+            Message::Error { .. } => 8,
+            Message::Shutdown => 9,
+            Message::ShutdownOk => 10,
+        }
+    }
+
+    /// Builds the `Error` frame for a failed scan: code
+    /// [`ScanError::WIRE_CODE`], cause and chunk in the payload.
+    pub fn scan_error(scan_id: u64, error: ScanError) -> Message {
+        Message::Error {
+            scan_id,
+            code: ScanError::WIRE_CODE,
+            aux: error.cause.wire_code(),
+            chunk: error.chunk.index(),
+            detail: error.to_string(),
+        }
+    }
+
+    /// Builds the `Error` frame for a serving-layer condition.
+    pub fn serve_error(scan_id: u64, error: &ServeError) -> Message {
+        Message::Error {
+            scan_id,
+            code: error.wire_code(),
+            aux: 0,
+            chunk: NO_CHUNK,
+            detail: error.to_string(),
+        }
+    }
+
+    /// Interprets an `Error` frame's fields back into a [`ScanError`], if
+    /// its code says that is what it carries.
+    pub fn as_scan_error(code: u16, aux: u16, chunk: u32) -> Option<ScanError> {
+        if code != ScanError::WIRE_CODE {
+            return None;
+        }
+        StoreError::from_wire_code(aux).map(|cause| ScanError::new(ChunkId::new(chunk), cause))
+    }
+}
+
+/// Appends a `Batch` frame built straight from borrowed column slices —
+/// the server's hot path.  Avoids the copy into [`Message::Batch`]'s owned
+/// `Vec<i64>`s that [`encode_frame`] would require; the bytes produced are
+/// identical.  Returns the encoded frame's size in bytes.
+pub fn encode_batch_frame(
+    buf: &mut Vec<u8>,
+    scan_id: u64,
+    chunk: u32,
+    rows: u32,
+    columns: &[(u16, &[i64])],
+) -> usize {
+    let len_at = buf.len();
+    put_u32(buf, 0); // patched below
+    buf.push(4); // Batch
+    put_u64(buf, scan_id);
+    put_u32(buf, chunk);
+    put_u32(buf, rows);
+    put_u16(buf, columns.len() as u16);
+    for (col, values) in columns {
+        put_u16(buf, *col);
+        put_u32(buf, values.len() as u32);
+        for v in *values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let frame_len = (buf.len() - len_at - 4) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
+    buf.len() - len_at
+}
+
+/// Why a byte stream could not be parsed.  Framing errors are fatal to the
+/// connection: after one, the stream position is unreliable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The frame's `len` field exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// A zero-length frame (no type byte).
+    EmptyFrame,
+    /// An unknown frame-type byte.
+    UnknownType(u8),
+    /// The body ended before the message was complete, or carried invalid
+    /// data (bad UTF-8, inconsistent counts).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Oversized(len) => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"
+                )
+            }
+            ProtoError::EmptyFrame => write!(f, "zero-length frame"),
+            ProtoError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ----------------------------------------------------------------------
+// Encoding.
+// ----------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_plan(buf: &mut Vec<u8>, plan: &CScanPlan) {
+    put_str(buf, &plan.label);
+    match &plan.ranges {
+        None => buf.push(0),
+        Some(ranges) => {
+            buf.push(1);
+            put_u32(buf, ranges.ranges().len() as u32);
+            for r in ranges.ranges() {
+                put_u32(buf, r.start);
+                put_u32(buf, r.end);
+            }
+        }
+    }
+    put_u64(buf, plan.columns.bits());
+    match plan.limit_chunks {
+        None => buf.push(0),
+        Some(n) => {
+            buf.push(1);
+            put_u32(buf, n);
+        }
+    }
+}
+
+/// Appends `msg` to `buf` as one complete frame (length prefix included).
+/// Encoding into a caller-owned buffer lets a connection reuse one
+/// allocation for its whole lifetime.
+pub fn encode_frame(buf: &mut Vec<u8>, msg: &Message) {
+    let len_at = buf.len();
+    put_u32(buf, 0); // patched below
+    buf.push(msg.type_byte());
+    match msg {
+        Message::OpenScan { table, plan } => {
+            put_str(buf, table);
+            put_plan(buf, plan);
+        }
+        Message::OpenOk {
+            scan_id,
+            num_chunks,
+        } => {
+            put_u64(buf, *scan_id);
+            put_u32(buf, *num_chunks);
+        }
+        Message::NextBatch { scan_id, credits } => {
+            put_u64(buf, *scan_id);
+            put_u32(buf, *credits);
+        }
+        Message::Batch {
+            scan_id,
+            chunk,
+            rows,
+            columns,
+        } => {
+            put_u64(buf, *scan_id);
+            put_u32(buf, *chunk);
+            put_u32(buf, *rows);
+            put_u16(buf, columns.len() as u16);
+            for (col, values) in columns {
+                put_u16(buf, *col);
+                put_u32(buf, values.len() as u32);
+                for v in values {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        Message::ScanDone { scan_id }
+        | Message::Cancel { scan_id }
+        | Message::CancelOk { scan_id } => {
+            put_u64(buf, *scan_id);
+        }
+        Message::Error {
+            scan_id,
+            code,
+            aux,
+            chunk,
+            detail,
+        } => {
+            put_u64(buf, *scan_id);
+            put_u16(buf, *code);
+            put_u16(buf, *aux);
+            put_u32(buf, *chunk);
+            put_str(buf, detail);
+        }
+        Message::Shutdown | Message::ShutdownOk => {}
+    }
+    let frame_len = (buf.len() - len_at - 4) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
+}
+
+// ----------------------------------------------------------------------
+// Decoding.
+// ----------------------------------------------------------------------
+
+/// Cursor over one frame's body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.at + n > self.buf.len() {
+            return Err(ProtoError::Malformed("body truncated"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len().saturating_sub(self.at) {
+            return Err(ProtoError::Malformed("string length past body end"));
+        }
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_owned)
+            .map_err(|_| ProtoError::Malformed("string is not UTF-8"))
+    }
+
+    fn plan(&mut self) -> Result<CScanPlan, ProtoError> {
+        let label = self.string()?;
+        let ranges = match self.u8()? {
+            0 => None,
+            1 => {
+                let count = self.u32()? as usize;
+                if count > self.buf.len().saturating_sub(self.at) / 8 {
+                    return Err(ProtoError::Malformed("range count past body end"));
+                }
+                let mut ranges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let start = self.u32()?;
+                    let end = self.u32()?;
+                    if start > end {
+                        return Err(ProtoError::Malformed("inverted chunk range"));
+                    }
+                    ranges.push(ChunkRange::new(start, end));
+                }
+                Some(ScanRanges::from_ranges(ranges))
+            }
+            _ => return Err(ProtoError::Malformed("bad ranges tag")),
+        };
+        let columns = ColSet::from_bits(self.u64()?);
+        let limit_chunks = match self.u8()? {
+            0 => None,
+            1 => Some(self.u32()?),
+            _ => return Err(ProtoError::Malformed("bad limit tag")),
+        };
+        let mut plan = match ranges {
+            Some(r) => CScanPlan::new(label, r, columns),
+            None => CScanPlan::full_table(label, columns),
+        };
+        plan.limit_chunks = limit_chunks;
+        Ok(plan)
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes in frame"))
+        }
+    }
+}
+
+fn decode_body(type_byte: u8, body: &[u8]) -> Result<Message, ProtoError> {
+    let mut r = Reader { buf: body, at: 0 };
+    let msg = match type_byte {
+        1 => Message::OpenScan {
+            table: r.string()?,
+            plan: r.plan()?,
+        },
+        2 => Message::OpenOk {
+            scan_id: r.u64()?,
+            num_chunks: r.u32()?,
+        },
+        3 => Message::NextBatch {
+            scan_id: r.u64()?,
+            credits: r.u32()?,
+        },
+        4 => {
+            let scan_id = r.u64()?;
+            let chunk = r.u32()?;
+            let rows = r.u32()?;
+            let num_cols = r.u16()? as usize;
+            let mut columns = Vec::with_capacity(num_cols.min(64));
+            for _ in 0..num_cols {
+                let col = r.u16()?;
+                let count = r.u32()? as usize;
+                if count > body.len().saturating_sub(r.at) / 8 {
+                    return Err(ProtoError::Malformed("value count past body end"));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(r.i64()?);
+                }
+                columns.push((col, values));
+            }
+            Message::Batch {
+                scan_id,
+                chunk,
+                rows,
+                columns,
+            }
+        }
+        5 => Message::ScanDone { scan_id: r.u64()? },
+        6 => Message::Cancel { scan_id: r.u64()? },
+        7 => Message::CancelOk { scan_id: r.u64()? },
+        8 => Message::Error {
+            scan_id: r.u64()?,
+            code: r.u16()?,
+            aux: r.u16()?,
+            chunk: r.u32()?,
+            detail: r.string()?,
+        },
+        9 => Message::Shutdown,
+        10 => Message::ShutdownOk,
+        t => return Err(ProtoError::UnknownType(t)),
+    };
+    r.done()?;
+    Ok(msg)
+}
+
+/// Incremental frame parser: feed bytes as the socket yields them, take
+/// complete messages out.  Both the client and every server connection own
+/// one of these per direction.
+#[derive(Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Read position within `buf`; consumed bytes are compacted away
+    /// periodically rather than on every frame.
+    at: usize,
+}
+
+impl Decoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact consumed space before growing (amortized O(1) per byte).
+        if self.at > 0 && (self.at >= self.buf.len() || self.at > 64 * 1024) {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Takes the next complete message, `Ok(None)` if more bytes are
+    /// needed.  A `ProtoError` is fatal: the stream offset can no longer
+    /// be trusted and the connection should be closed.
+    pub fn next_message(&mut self) -> Result<Option<Message>, ProtoError> {
+        let avail = &self.buf[self.at..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len == 0 {
+            return Err(ProtoError::EmptyFrame);
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(ProtoError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let msg = decode_body(avail[4], &avail[5..total])?;
+        self.at += total;
+        Ok(Some(msg))
+    }
+
+    /// Bytes buffered but not yet consumed (diagnostics).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+/// Convenience used on both sides of loopback tests: encode one message
+/// into a fresh frame.
+pub fn frame(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_frame(&mut buf, msg);
+    buf
+}
+
+// Re-export the column id type batches are keyed by, so client code can
+// translate `(u16, values)` pairs without depending on cscan_storage.
+pub use cscan_storage::ColumnId as WireColumnId;
+
+/// Translates a batch column id to the storage [`ColumnId`] type.
+pub fn column_id(raw: u16) -> ColumnId {
+    ColumnId::new(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) -> Message {
+        let bytes = frame(&msg);
+        let mut dec = Decoder::new();
+        // Feed byte-by-byte to exercise partial-frame accumulation.
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+        }
+        let out = dec
+            .next_message()
+            .expect("decodes")
+            .expect("complete frame");
+        assert_eq!(dec.pending_bytes(), 0);
+        assert_eq!(out, msg);
+        out
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        round_trip(Message::OpenScan {
+            table: "lineitem".into(),
+            plan: CScanPlan::new(
+                "F-10",
+                ScanRanges::from_ranges([ChunkRange::new(0, 4), ChunkRange::new(9, 12)]),
+                ColSet::first_n(3),
+            )
+            .with_chunk_limit(2),
+        });
+        round_trip(Message::OpenScan {
+            table: "orders".into(),
+            plan: CScanPlan::full_table("full", ColSet::empty()),
+        });
+        round_trip(Message::OpenOk {
+            scan_id: 7,
+            num_chunks: 64,
+        });
+        round_trip(Message::NextBatch {
+            scan_id: 7,
+            credits: 4,
+        });
+        round_trip(Message::Batch {
+            scan_id: 7,
+            chunk: 3,
+            rows: 2,
+            columns: vec![(0, vec![1, -2]), (5, vec![i64::MIN, i64::MAX])],
+        });
+        round_trip(Message::ScanDone { scan_id: 7 });
+        round_trip(Message::Cancel { scan_id: 7 });
+        round_trip(Message::CancelOk { scan_id: 7 });
+        round_trip(Message::Error {
+            scan_id: 7,
+            code: 203,
+            aux: 0,
+            chunk: NO_CHUNK,
+            detail: "stalled".into(),
+        });
+        round_trip(Message::Shutdown);
+        round_trip(Message::ShutdownOk);
+    }
+
+    #[test]
+    fn scan_error_round_trips_through_error_frame() {
+        let original = ScanError::new(ChunkId::new(17), StoreError::Permanent);
+        let msg = Message::scan_error(3, original);
+        let Message::Error {
+            code, aux, chunk, ..
+        } = round_trip(msg)
+        else {
+            panic!("scan_error builds an Error frame");
+        };
+        assert_eq!(Message::as_scan_error(code, aux, chunk), Some(original));
+        // Non-scan codes decode to no ScanError.
+        assert_eq!(Message::as_scan_error(203, 0, NO_CHUNK), None);
+        // A scan code with an unknown cause also refuses to guess.
+        assert_eq!(Message::as_scan_error(ScanError::WIRE_CODE, 999, 17), None);
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut bytes = Vec::new();
+        encode_frame(
+            &mut bytes,
+            &Message::NextBatch {
+                scan_id: 1,
+                credits: 2,
+            },
+        );
+        encode_frame(&mut bytes, &Message::Cancel { scan_id: 1 });
+        encode_frame(&mut bytes, &Message::Shutdown);
+        let mut dec = Decoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next_message().unwrap(),
+            Some(Message::NextBatch {
+                scan_id: 1,
+                credits: 2
+            })
+        );
+        assert_eq!(
+            dec.next_message().unwrap(),
+            Some(Message::Cancel { scan_id: 1 })
+        );
+        assert_eq!(dec.next_message().unwrap(), Some(Message::Shutdown));
+        assert_eq!(dec.next_message().unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_frames_are_fatal_not_panics() {
+        // Oversized length prefix.
+        let mut dec = Decoder::new();
+        dec.feed(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        dec.feed(&[0u8; 8]);
+        assert!(matches!(dec.next_message(), Err(ProtoError::Oversized(_))));
+        // Zero-length frame.
+        let mut dec = Decoder::new();
+        dec.feed(&0u32.to_le_bytes());
+        assert_eq!(dec.next_message(), Err(ProtoError::EmptyFrame));
+        // Unknown type byte.
+        let mut dec = Decoder::new();
+        dec.feed(&1u32.to_le_bytes());
+        dec.feed(&[42u8]);
+        assert_eq!(dec.next_message(), Err(ProtoError::UnknownType(42)));
+        // Truncated body: an OpenOk missing its num_chunks.
+        let mut dec = Decoder::new();
+        dec.feed(&9u32.to_le_bytes());
+        dec.feed(&[2u8]);
+        dec.feed(&7u64.to_le_bytes());
+        assert!(matches!(dec.next_message(), Err(ProtoError::Malformed(_))));
+        // Trailing garbage after a complete body.
+        let mut bytes = frame(&Message::ScanDone { scan_id: 1 });
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        bytes[..4].copy_from_slice(&(len + 1).to_le_bytes());
+        bytes.push(0xEE);
+        let mut dec = Decoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(dec.next_message(), Err(ProtoError::Malformed(_))));
+        // A hostile value count cannot force a huge allocation.
+        let mut body = Vec::new();
+        body.push(4u8); // Batch
+        put_u64(&mut body, 1);
+        put_u32(&mut body, 0);
+        put_u32(&mut body, 0);
+        put_u16(&mut body, 1);
+        put_u16(&mut body, 0);
+        put_u32(&mut body, u32::MAX); // claims 4 billion values in 0 bytes
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, body.len() as u32);
+        bytes.extend_from_slice(&body);
+        let mut dec = Decoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(dec.next_message(), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn borrowed_batch_encoder_matches_owned_encoding() {
+        let owned = frame(&Message::Batch {
+            scan_id: 9,
+            chunk: 2,
+            rows: 3,
+            columns: vec![(1, vec![10, 20, 30]), (4, vec![-1, -2, -3])],
+        });
+        let mut borrowed = Vec::new();
+        let a: &[i64] = &[10, 20, 30];
+        let b: &[i64] = &[-1, -2, -3];
+        let n = encode_batch_frame(&mut borrowed, 9, 2, 3, &[(1, a), (4, b)]);
+        assert_eq!(borrowed, owned);
+        assert_eq!(n, owned.len());
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        let mut dec = Decoder::new();
+        for _ in 0..10_000 {
+            dec.feed(&frame(&Message::ScanDone { scan_id: 9 }));
+            assert!(dec.next_message().unwrap().is_some());
+        }
+        // Without compaction this would hold ~130 KiB of dead prefix.
+        assert!(dec.buf.len() < 130 * 1024, "buffer grew without bound");
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-table admission control: cap attached scans, FIFO-queue the
+//! overflow, shed what the queue cannot hold.
+//!
+//! The cooperative-scans scheduler degrades gracefully as queries attach —
+//! but only down to a point: past a few dozen concurrent scans per table
+//! the buffer manager's working set fragments and everyone loses.  The
+//! [`Admission`] gate keeps the attached set below a configured cap and
+//! turns the excess into *queueing* (bounded, FIFO, with a deadline)
+//! rather than *thrashing*.  Beyond the queue bound the scan is shed
+//! immediately with [`ServeError::AdmissionRejected`] so clients can back
+//! off instead of piling on.
+//!
+//! Admission is strictly FIFO: a waiter is admitted only when it reaches
+//! the queue's front and a slot is free, so a burst of arrivals drains in
+//! order and no scan starves behind a later arrival.
+
+use cscan_obs::{Counter, Gauge, Registry};
+use cscan_proto::ServeError;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for one table's [`Admission`] gate.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Scans allowed to be attached to the table at once.
+    pub max_attached: usize,
+    /// Waiters allowed to queue once the cap is reached; arrivals beyond
+    /// this are shed with [`ServeError::AdmissionRejected`].
+    pub max_queued: usize,
+    /// How long a queued scan waits for a slot before giving up with
+    /// [`ServeError::AdmissionTimeout`].
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_attached: 16,
+            max_queued: 32,
+            queue_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Cross-table admission totals behind the registry's gauges.
+///
+/// Gauges are plain `set` cells, and several tables share one
+/// [`Registry`]; each table reporting only its own occupancy would make
+/// the gauge flap between per-table values.  Every [`Admission`] instead
+/// bumps these shared totals and publishes the *sum*, so
+/// `admitted_scans` / `admission_queue_depth` always mean "across the
+/// whole catalog".
+#[derive(Debug, Default)]
+pub struct AdmissionTotals {
+    admitted: AtomicU64,
+    queued: AtomicU64,
+}
+
+impl AdmissionTotals {
+    /// Fresh totals (all zero).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn admitted_delta(&self, obs: &Registry, up: bool) {
+        let now = if up {
+            self.admitted.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.admitted.fetch_sub(1, Ordering::Relaxed) - 1
+        };
+        obs.gauge_set(Gauge::AdmittedScans, now);
+    }
+
+    fn queued_delta(&self, obs: &Registry, up: bool) {
+        let now = if up {
+            self.queued.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.queued.fetch_sub(1, Ordering::Relaxed) - 1
+        };
+        obs.gauge_set(Gauge::AdmissionQueueDepth, now);
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    /// Scans currently holding a slot (attached to the table).
+    active: usize,
+    /// Tickets of waiters, in arrival order.
+    queue: VecDeque<u64>,
+    /// Next ticket to hand out.
+    next_ticket: u64,
+}
+
+/// One table's admission gate.  Cheap to share: the catalog hands a clone
+/// of the inner `Arc` to every connection touching the table.
+#[derive(Clone)]
+pub struct Admission {
+    inner: Arc<AdmissionInner>,
+}
+
+struct AdmissionInner {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+    obs: Arc<Registry>,
+    totals: Arc<AdmissionTotals>,
+}
+
+impl Admission {
+    /// A gate with `cfg`'s bounds, reporting into `obs` and the shared
+    /// cross-table `totals`.
+    pub fn new(cfg: AdmissionConfig, obs: Arc<Registry>, totals: Arc<AdmissionTotals>) -> Self {
+        assert!(cfg.max_attached > 0, "admission cap must be positive");
+        Admission {
+            inner: Arc::new(AdmissionInner {
+                cfg,
+                state: Mutex::new(AdmissionState::default()),
+                cv: Condvar::new(),
+                obs,
+                totals,
+            }),
+        }
+    }
+
+    /// The gate's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.inner.cfg
+    }
+
+    /// Scans currently attached through this gate.
+    pub fn active(&self) -> usize {
+        self.inner.state.lock().active
+    }
+
+    /// Waiters currently queued at this gate.
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Waits for a slot, FIFO.  Returns the RAII [`Permit`] whose drop
+    /// releases the slot, or the shed/timeout condition to send the peer.
+    pub fn admit(&self) -> Result<Permit, ServeError> {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+
+        // Fast path: a free slot and nobody queued ahead of us.
+        if st.active < inner.cfg.max_attached && st.queue.is_empty() {
+            st.active += 1;
+            inner.obs.inc(Counter::AdmissionAdmitted);
+            inner.totals.admitted_delta(&inner.obs, true);
+            return Ok(self.permit());
+        }
+
+        // Full queue: shed immediately rather than letting latency grow
+        // without bound (the client sees a retryable error).
+        if st.queue.len() >= inner.cfg.max_queued {
+            inner.obs.inc(Counter::AdmissionShed);
+            return Err(ServeError::AdmissionRejected);
+        }
+
+        // Queue up and wait for our ticket to reach the front.
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        inner.obs.inc(Counter::AdmissionQueued);
+        inner.totals.queued_delta(&inner.obs, true);
+
+        let deadline = Instant::now() + inner.cfg.queue_timeout;
+        loop {
+            if st.queue.front() == Some(&ticket) && st.active < inner.cfg.max_attached {
+                st.queue.pop_front();
+                st.active += 1;
+                inner.totals.queued_delta(&inner.obs, false);
+                inner.obs.inc(Counter::AdmissionAdmitted);
+                inner.totals.admitted_delta(&inner.obs, true);
+                // The next waiter may also fit (slots can free in bursts).
+                inner.cv.notify_all();
+                return Ok(self.permit());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.queue.retain(|&t| t != ticket);
+                inner.totals.queued_delta(&inner.obs, false);
+                inner.obs.inc(Counter::AdmissionShed);
+                return Err(ServeError::AdmissionTimeout);
+            }
+            inner.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    fn permit(&self) -> Permit {
+        Permit {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A held admission slot.  Dropping it releases the slot and wakes the
+/// queue — tie its lifetime to the scan's so a disconnect (or a shed
+/// connection) can never leak a slot.
+pub struct Permit {
+    inner: Arc<AdmissionInner>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        st.active -= 1;
+        self.inner.totals.admitted_delta(&self.inner.obs, false);
+        self.inner.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn gate(max_attached: usize, max_queued: usize, timeout_ms: u64) -> Admission {
+        Admission::new(
+            AdmissionConfig {
+                max_attached,
+                max_queued,
+                queue_timeout: Duration::from_millis(timeout_ms),
+            },
+            Arc::new(Registry::new()),
+            AdmissionTotals::new(),
+        )
+    }
+
+    #[test]
+    fn admits_up_to_cap_then_sheds_past_queue() {
+        let g = gate(2, 1, 50);
+        let p1 = g.admit().expect("slot 1");
+        let p2 = g.admit().expect("slot 2");
+        assert_eq!(g.active(), 2);
+        // Third arrival queues and times out (nobody releases).
+        assert_eq!(g.admit().unwrap_err(), ServeError::AdmissionTimeout);
+        drop(p1);
+        let p3 = g.admit().expect("freed slot");
+        drop(p2);
+        drop(p3);
+        assert_eq!(g.active(), 0);
+    }
+
+    #[test]
+    fn full_queue_is_shed_immediately() {
+        let g = gate(1, 0, 1_000);
+        let _p = g.admit().expect("slot");
+        let start = Instant::now();
+        assert_eq!(g.admit().unwrap_err(), ServeError::AdmissionRejected);
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "rejection must not wait out the queue timeout"
+        );
+    }
+
+    #[test]
+    fn queue_drains_fifo_under_contention() {
+        let g = gate(1, 16, 5_000);
+        let first = g.admit().expect("slot");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+        for i in 0..4 {
+            let gate = g.clone();
+            let order = Arc::clone(&order);
+            threads.push(thread::spawn(move || {
+                let permit = gate.admit().expect("within timeout");
+                order.lock().push(i);
+                drop(permit);
+            }));
+            // Serialize arrivals: wait until thread i is visibly queued
+            // before spawning thread i+1, so FIFO order is observable.
+            while g.queued() < i + 1 {
+                thread::yield_now();
+            }
+        }
+        drop(first);
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3], "admission is FIFO");
+    }
+}

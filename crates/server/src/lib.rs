@@ -1,0 +1,33 @@
+//! The Cooperative Scans network service.
+//!
+//! This crate turns the single-process scan executor into a served
+//! system: a [`Catalog`] maps table names to per-table
+//! [`ScanServer`](cscan_core::threaded::ScanServer)s, an [`Admission`]
+//! gate bounds how many scans may attach to each table (FIFO queue, then
+//! shed), and [`serve`] runs the wire protocol from [`cscan_proto`] over
+//! TCP with credit-based batch streaming.
+//!
+//! The design splits cleanly by what can hurt the server:
+//!
+//! * [`admission`] — too many *scans*: cap, queue, shed.
+//! * [`service`] — too many *pins*: a delivered chunk is pinned only for
+//!   the microseconds it takes to encode, never while bytes wait on a
+//!   socket.
+//! * [`net`] — too many *bytes* and too little *progress*: a bounded
+//!   per-connection output buffer, and stall-shedding for peers that
+//!   stop reading while holding scans.
+//!
+//! The `cscan_serve` binary wires a demo catalog to a listener; the
+//! `cscan_client` crate is the matching consumer.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod catalog;
+pub mod net;
+pub mod service;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionTotals, Permit};
+pub use catalog::{model_from_segment, Catalog, TableConfig, TableEntry};
+pub use net::{serve, ServerConfig, ServerHandle};
+pub use service::{Pump, ServerScan};

@@ -1,0 +1,518 @@
+//! The TCP layer: accept loop, per-connection serving threads, stall
+//! shedding and server lifecycle.
+//!
+//! Each connection runs one thread with a non-blocking socket and three
+//! duties per iteration: read requests, pump admitted scans into the
+//! output buffer (round-robin, credit-gated), and flush bytes out.  Two
+//! bounds protect the server from a misbehaving peer:
+//!
+//! * **The output buffer cap** ([`ServerConfig::outbuf_cap`]) — once a
+//!   connection has that many encoded-but-unsent bytes, pumping stops.
+//!   Combined with the encode-only pin lifetime in
+//!   [`crate::service::ServerScan`], a stalled client holds zero pinned
+//!   frames — only plain heap bytes, and a bounded amount of them.
+//! * **The stall timeout** ([`ServerConfig::stall_timeout`]) — a
+//!   connection that neither sends requests nor drains its socket while
+//!   holding open scans (or unsent bytes) is *shed*: its scans detach,
+//!   its admission slots free, and it is told why with the stable code
+//!   [`ServeError::StalledConsumer`] (203).
+
+use crate::catalog::Catalog;
+use crate::service::{Pump, ServerScan};
+use cscan_obs::{Counter, Gauge, Registry};
+use cscan_proto::{encode_frame, Decoder, Message, ServeError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Network-layer knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent open scans allowed per connection.
+    pub max_scans_per_conn: usize,
+    /// Encoded-but-unsent bytes a connection may hold before pumping
+    /// pauses (the per-connection memory bound).
+    pub outbuf_cap: usize,
+    /// How long a connection may make no progress (no reads, no write
+    /// drain) while holding scans or unsent bytes before being shed.
+    pub stall_timeout: Duration,
+    /// Whether a client `Shutdown` frame stops the whole server (used by
+    /// the CI smoke test and the benches for deterministic teardown).
+    pub exit_on_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_scans_per_conn: 16,
+            outbuf_cap: 8 * 1024 * 1024,
+            stall_timeout: Duration::from_secs(5),
+            exit_on_shutdown: true,
+        }
+    }
+}
+
+/// A running scan service.  Dropping the handle does *not* stop the
+/// server; call [`ServerHandle::stop`] or let a client send `Shutdown`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: the accept loop exits and every connection is
+    /// told [`ServeError::ServerShutdown`] and closed.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the server has fully stopped (accept loop exited,
+    /// every connection thread joined).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `catalog` until stopped.  Returns once the
+/// listener is bound and accepting.
+pub fn serve(
+    catalog: Arc<Catalog>,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let open_conns = Arc::new(AtomicU64::new(0));
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        thread::Builder::new()
+            .name("cscan-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let catalog = Arc::clone(&catalog);
+                            let cfg = cfg.clone();
+                            let stop = Arc::clone(&stop);
+                            let open_conns = Arc::clone(&open_conns);
+                            conns.push(
+                                thread::Builder::new()
+                                    .name("cscan-conn".into())
+                                    .spawn(move || {
+                                        Connection::new(stream, catalog, cfg, stop, open_conns)
+                                            .run()
+                                    })
+                                    .expect("spawn connection thread"),
+                            );
+                            // Opportunistically reap finished threads so a
+                            // long-lived server does not accumulate handles.
+                            conns.retain(|t| !t.is_finished());
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                for t in conns {
+                    let _ = t.join();
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+/// Why the connection loop ended (drives cleanup, not the peer).
+enum Exit {
+    /// Peer closed, I/O error, or protocol violation.
+    Closed,
+    /// Drained a `Shutdown`/stop-flag goodbye; flush already attempted.
+    Drained,
+    /// Shed for stalling.
+    Shed,
+}
+
+struct Connection {
+    stream: TcpStream,
+    catalog: Arc<Catalog>,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+    open_conns: Arc<AtomicU64>,
+    obs: Arc<Registry>,
+    dec: Decoder,
+    /// Encoded frames awaiting the socket; `out_at` is the send offset.
+    out: Vec<u8>,
+    out_at: usize,
+    scans: Vec<ServerScan>,
+    /// Ids of scans that reached a terminal state; late frames addressed
+    /// to them are ignored (`NextBatch`) or acked (`Cancel`) instead of
+    /// erroring, because the client may race our `ScanDone`.
+    closed_ids: Vec<u64>,
+    next_scan_id: u64,
+    /// Index of the next scan to pump (round-robin fairness).
+    pump_at: usize,
+    last_progress: Instant,
+    goodbye_sent: bool,
+}
+
+impl Connection {
+    fn new(
+        stream: TcpStream,
+        catalog: Arc<Catalog>,
+        cfg: ServerConfig,
+        stop: Arc<AtomicBool>,
+        open_conns: Arc<AtomicU64>,
+    ) -> Connection {
+        let obs = catalog.observability();
+        obs.inc(Counter::ConnectionsOpened);
+        let now = open_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        obs.gauge_set(Gauge::OpenConnections, now);
+        Connection {
+            stream,
+            catalog,
+            cfg,
+            stop,
+            open_conns,
+            obs,
+            dec: Decoder::new(),
+            out: Vec::new(),
+            out_at: 0,
+            scans: Vec::new(),
+            closed_ids: Vec::new(),
+            next_scan_id: 1,
+            pump_at: 0,
+            last_progress: Instant::now(),
+            goodbye_sent: false,
+        }
+    }
+
+    fn run(mut self) {
+        let _ = self.stream.set_nodelay(true);
+        let _ = self.stream.set_nonblocking(true);
+        let exit = self.serve_loop();
+        // Detach every scan; Drop releases the admission permits.
+        for scan in &mut self.scans {
+            scan.abort();
+        }
+        self.scans.clear();
+        if matches!(exit, Exit::Shed) {
+            self.obs.inc(Counter::ConnectionsShed);
+        }
+        let now = self.open_conns.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.obs.gauge_set(Gauge::OpenConnections, now);
+    }
+
+    fn serve_loop(&mut self) -> Exit {
+        let mut read_buf = vec![0u8; 64 * 1024];
+        loop {
+            let mut progressed = false;
+
+            // Server-wide stop: say goodbye once, then drain and close.
+            if self.stop.load(Ordering::Acquire) && !self.goodbye_sent {
+                self.goodbye_sent = true;
+                for scan in &mut self.scans {
+                    scan.abort();
+                }
+                self.scans.clear();
+                self.push(&Message::serve_error(0, &ServeError::ServerShutdown));
+            }
+
+            // 1. Read whatever the peer sent.
+            match self.read_some(&mut read_buf) {
+                Ok(true) => progressed = true,
+                Ok(false) => {}
+                Err(_) => return Exit::Closed,
+            }
+
+            // 2. Act on complete frames.
+            loop {
+                match self.dec.next_message() {
+                    Ok(Some(msg)) => {
+                        progressed = true;
+                        match self.handle(msg) {
+                            Ok(true) => {}
+                            Ok(false) => {
+                                // Goodbye queued; flush then close below.
+                                self.goodbye_sent = true;
+                                break;
+                            }
+                            Err(_) => return Exit::Closed,
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Framing is broken; tell the peer why, best
+                        // effort, and drop the connection.
+                        self.push(&Message::serve_error(
+                            0,
+                            &ServeError::BadRequest(e.to_string()),
+                        ));
+                        self.flush_blocking(Duration::from_millis(250));
+                        return Exit::Closed;
+                    }
+                }
+            }
+
+            // 3. Pump scans while there is credit, data and buffer room.
+            if self.pump_round() {
+                progressed = true;
+            }
+
+            // 4. Push bytes to the socket.
+            match self.write_some() {
+                Ok(true) => progressed = true,
+                Ok(false) => {}
+                Err(_) => return Exit::Closed,
+            }
+
+            if self.goodbye_sent && self.out_at >= self.out.len() {
+                return Exit::Drained;
+            }
+
+            if progressed {
+                self.last_progress = Instant::now();
+            } else {
+                // Stall shedding: no progress in either direction while
+                // the peer holds scans or unsent bytes.
+                let holding = !self.scans.is_empty() || self.out_at < self.out.len();
+                if holding && self.last_progress.elapsed() > self.cfg.stall_timeout {
+                    for scan in &mut self.scans {
+                        scan.abort();
+                        self.closed_ids.push(scan.id);
+                        let id = scan.id;
+                        encode_frame(
+                            &mut self.out,
+                            &Message::serve_error(id, &ServeError::StalledConsumer),
+                        );
+                    }
+                    self.scans.clear();
+                    if self.out_at >= self.out.len() {
+                        encode_frame(
+                            &mut self.out,
+                            &Message::serve_error(0, &ServeError::StalledConsumer),
+                        );
+                    }
+                    self.flush_blocking(Duration::from_millis(250));
+                    return Exit::Shed;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Applies one request frame.  `Ok(false)` means a goodbye is queued
+    /// and the connection should flush and close.
+    fn handle(&mut self, msg: Message) -> Result<bool, ()> {
+        match msg {
+            Message::OpenScan { table, plan } => {
+                if self.scans.len() >= self.cfg.max_scans_per_conn {
+                    self.push(&Message::serve_error(0, &ServeError::TooManyScans));
+                    return Ok(true);
+                }
+                let Some(entry) = self.catalog.get(&table) else {
+                    self.push(&Message::serve_error(0, &ServeError::UnknownTable(table)));
+                    return Ok(true);
+                };
+                let entry = Arc::clone(entry);
+                // Flush queued frames first: admission may block this
+                // thread for up to the queue timeout, and earlier replies
+                // should not be held hostage behind the wait.
+                let _ = self.write_some();
+                match entry.open_scan(&plan) {
+                    Ok((permit, handle)) => {
+                        let id = self.next_scan_id;
+                        self.next_scan_id += 1;
+                        let num_chunks = plan.num_chunks(entry.model());
+                        self.scans.push(ServerScan::new(
+                            id,
+                            handle,
+                            permit,
+                            entry.served_columns(),
+                            &plan,
+                        ));
+                        self.push(&Message::OpenOk {
+                            scan_id: id,
+                            num_chunks,
+                        });
+                    }
+                    Err(e) => self.push(&Message::serve_error(0, &e)),
+                }
+                Ok(true)
+            }
+            Message::NextBatch { scan_id, credits } => {
+                if let Some(scan) = self.scans.iter_mut().find(|s| s.id == scan_id) {
+                    scan.add_credits(credits);
+                } else if !self.closed_ids.contains(&scan_id) {
+                    self.push(&Message::serve_error(0, &ServeError::UnknownScan(scan_id)));
+                }
+                // Credits racing a ScanDone are silently dropped.
+                Ok(true)
+            }
+            Message::Cancel { scan_id } => {
+                if let Some(at) = self.scans.iter().position(|s| s.id == scan_id) {
+                    let mut scan = self.scans.remove(at);
+                    scan.abort();
+                    self.closed_ids.push(scan_id);
+                    self.push(&Message::CancelOk { scan_id });
+                } else if self.closed_ids.contains(&scan_id) {
+                    // Cancel raced our ScanDone/Error; ack idempotently.
+                    self.push(&Message::CancelOk { scan_id });
+                } else {
+                    self.push(&Message::serve_error(0, &ServeError::UnknownScan(scan_id)));
+                }
+                Ok(true)
+            }
+            Message::Shutdown => {
+                for scan in &mut self.scans {
+                    scan.abort();
+                    self.closed_ids.push(scan.id);
+                }
+                self.scans.clear();
+                self.push(&Message::ShutdownOk);
+                if self.cfg.exit_on_shutdown {
+                    self.stop.store(true, Ordering::Release);
+                }
+                Ok(false)
+            }
+            // Server-to-client frames arriving here are a protocol abuse.
+            _ => {
+                self.push(&Message::serve_error(
+                    0,
+                    &ServeError::BadRequest("unexpected server-side frame".into()),
+                ));
+                self.flush_blocking(Duration::from_millis(250));
+                Err(())
+            }
+        }
+    }
+
+    /// One fair round over all scans: keep pumping until nobody can make
+    /// progress or the output buffer reaches its cap.
+    fn pump_round(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            if self.scans.is_empty() || self.unsent() >= self.cfg.outbuf_cap {
+                return any;
+            }
+            let mut delivered = false;
+            let mut idx = 0;
+            while idx < self.scans.len() {
+                if self.unsent() >= self.cfg.outbuf_cap {
+                    break;
+                }
+                let at = (self.pump_at + idx) % self.scans.len();
+                match self.scans[at].pump(&mut self.out, &self.obs) {
+                    Pump::Delivered => {
+                        delivered = true;
+                        any = true;
+                        idx += 1;
+                    }
+                    Pump::Idle => idx += 1,
+                    Pump::Closed => {
+                        any = true;
+                        let closed = self.scans.remove(at);
+                        self.closed_ids.push(closed.id);
+                        // Restart the round: indices shifted.
+                        break;
+                    }
+                }
+            }
+            self.pump_at = if self.scans.is_empty() {
+                0
+            } else {
+                (self.pump_at + 1) % self.scans.len()
+            };
+            if !delivered {
+                return any;
+            }
+        }
+    }
+
+    fn unsent(&self) -> usize {
+        self.out.len() - self.out_at
+    }
+
+    fn push(&mut self, msg: &Message) {
+        encode_frame(&mut self.out, msg);
+    }
+
+    /// Non-blocking read; `Ok(true)` if any bytes arrived.
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<bool, ()> {
+        let mut got = false;
+        loop {
+            match self.stream.read(buf) {
+                Ok(0) => return if got { Ok(got) } else { Err(()) },
+                Ok(n) => {
+                    self.dec.feed(&buf[..n]);
+                    got = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(got),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+    }
+
+    /// Non-blocking write; `Ok(true)` if any bytes drained.
+    fn write_some(&mut self) -> Result<bool, ()> {
+        let mut wrote = false;
+        while self.out_at < self.out.len() {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    self.out_at += n;
+                    wrote = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        // Compact once everything (or a large prefix) is sent.
+        if self.out_at >= self.out.len() {
+            self.out.clear();
+            self.out_at = 0;
+        } else if self.out_at > 256 * 1024 {
+            self.out.drain(..self.out_at);
+            self.out_at = 0;
+        }
+        Ok(wrote)
+    }
+
+    /// Best-effort bounded flush used on goodbye paths (the socket may be
+    /// full — that is often *why* we are leaving).
+    fn flush_blocking(&mut self, budget: Duration) {
+        let deadline = Instant::now() + budget;
+        while self.out_at < self.out.len() && Instant::now() < deadline {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(0) => return,
+                Ok(n) => self.out_at += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-scan serving state: credits in, encoded `Batch` frames out.
+//!
+//! A [`ServerScan`] owns the executor handle, the admission [`Permit`]
+//! and the client's credit balance.  Pumping is strictly non-blocking
+//! ([`CScanHandle::try_next_chunk`]) and a delivered pin lives only for
+//! the duration of one `encode` call — the frame is released back to the
+//! buffer pool *before* the bytes ever wait on the socket.  That is the
+//! invariant that keeps a stalled client from wedging the pool: its
+//! unsent data sits in a bounded byte buffer, never in pinned frames.
+
+use crate::admission::Permit;
+use cscan_core::threaded::CScanHandle;
+use cscan_core::{CScanPlan, ColSet};
+use cscan_obs::{Counter, Registry};
+use cscan_proto::{encode_batch_frame, encode_frame, Message};
+use cscan_storage::ColumnId;
+use std::task::Poll;
+
+/// What one pump attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pump {
+    /// A batch was encoded into the output buffer.
+    Delivered,
+    /// Nothing to do right now: no credit, or the executor has no chunk
+    /// ready (I/O still in flight).
+    Idle,
+    /// The scan completed or failed; its terminal frame (`ScanDone` or
+    /// `Error`) is in the output buffer and the scan should be dropped.
+    Closed,
+}
+
+/// One open scan on one connection.
+pub struct ServerScan {
+    /// Connection-scoped id the client addresses this scan by.
+    pub id: u64,
+    handle: CScanHandle,
+    /// Held for the scan's lifetime; dropping the scan frees the slot.
+    _permit: Permit,
+    /// Resolved output columns as `(wire id, storage id)` pairs.
+    columns: Vec<(u16, ColumnId)>,
+    credits: u32,
+    done: bool,
+}
+
+impl ServerScan {
+    /// Wraps an admitted, attached scan.  `served` is the table's full
+    /// column set; an empty plan column set resolves to all of it.
+    pub fn new(
+        id: u64,
+        handle: CScanHandle,
+        permit: Permit,
+        served: ColSet,
+        plan: &CScanPlan,
+    ) -> Self {
+        let cols = if plan.columns.is_empty() {
+            served
+        } else {
+            plan.columns
+        };
+        let columns = cols.iter().map(|c| (c.index(), c)).collect();
+        ServerScan {
+            id,
+            handle,
+            _permit: permit,
+            columns,
+            credits: 0,
+            done: false,
+        }
+    }
+
+    /// Adds client credits (saturating — a hostile peer cannot overflow).
+    pub fn add_credits(&mut self, n: u32) {
+        self.credits = self.credits.saturating_add(n);
+    }
+
+    /// Credits the client has outstanding.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Whether a terminal frame has been emitted for this scan.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Tries to move one batch from the executor into `out`.  Never
+    /// blocks; never holds a pin beyond the encode.
+    pub fn pump(&mut self, out: &mut Vec<u8>, obs: &Registry) -> Pump {
+        if self.done {
+            return Pump::Closed;
+        }
+        if self.credits == 0 {
+            return Pump::Idle;
+        }
+        match self.handle.try_next_chunk() {
+            Err(error) => {
+                self.done = true;
+                encode_frame(out, &Message::scan_error(self.id, error));
+                Pump::Closed
+            }
+            Ok(Poll::Pending) => Pump::Idle,
+            Ok(Poll::Ready(None)) => {
+                self.done = true;
+                encode_frame(out, &Message::ScanDone { scan_id: self.id });
+                Pump::Closed
+            }
+            Ok(Poll::Ready(Some(pin))) => {
+                self.credits -= 1;
+                let rows = pin.rows() as u32;
+                let chunk = pin.chunk().index();
+                // Borrow the pinned columns just long enough to encode.
+                let cols: Vec<(u16, &[i64])> = self
+                    .columns
+                    .iter()
+                    .filter_map(|&(raw, col)| pin.column(col).map(|v| (raw, v)))
+                    .collect();
+                let bytes = encode_batch_frame(out, self.id, chunk, rows, &cols);
+                pin.complete();
+                obs.inc(Counter::BatchesServed);
+                obs.add(Counter::BytesServed, bytes as u64);
+                Pump::Delivered
+            }
+        }
+    }
+
+    /// Detaches the scan from the executor (idempotent; also runs on
+    /// drop).  The permit is released when the scan is dropped.
+    pub fn abort(&mut self) {
+        self.done = true;
+        self.handle.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, TableConfig};
+    use cscan_core::ColSet;
+    use cscan_exec::MemTable;
+    use cscan_proto::Decoder;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn pump_respects_credits_and_closes_with_scan_done() {
+        let mut cat = Catalog::new();
+        cat.add_mem_table(
+            "t",
+            MemTable::lineitem_demo(2_000, 500),
+            TableConfig::default(),
+        );
+        let obs = cat.observability();
+        let entry = cat.get("t").unwrap();
+        let plan = CScanPlan::full_table("t", ColSet::first_n(2));
+        let (permit, handle) = entry.open_scan(&plan).expect("admitted");
+        let mut scan = ServerScan::new(1, handle, permit, entry.served_columns(), &plan);
+
+        let mut out = Vec::new();
+        assert_eq!(scan.pump(&mut out, &obs), Pump::Idle, "no credit, no data");
+        assert!(out.is_empty());
+
+        scan.add_credits(2);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = 0;
+        while delivered < 2 {
+            match scan.pump(&mut out, &obs) {
+                Pump::Delivered => delivered += 1,
+                Pump::Idle => assert!(Instant::now() < deadline, "executor stalled"),
+                Pump::Closed => panic!("4 chunks expected, closed after {delivered}"),
+            }
+        }
+        assert_eq!(scan.credits(), 0);
+        assert_eq!(scan.pump(&mut out, &obs), Pump::Idle, "credits exhausted");
+
+        scan.add_credits(10);
+        loop {
+            match scan.pump(&mut out, &obs) {
+                Pump::Delivered => {}
+                Pump::Closed => break,
+                Pump::Idle => assert!(Instant::now() < deadline, "executor stalled"),
+            }
+        }
+
+        // The byte stream decodes as 4 batches then ScanDone.
+        let mut dec = Decoder::new();
+        dec.feed(&out);
+        let mut batches = 0;
+        loop {
+            match dec.next_message().expect("well-formed").expect("complete") {
+                Message::Batch {
+                    scan_id,
+                    rows,
+                    columns,
+                    ..
+                } => {
+                    assert_eq!(scan_id, 1);
+                    assert_eq!(rows, 500);
+                    assert_eq!(columns.len(), 2);
+                    batches += 1;
+                }
+                Message::ScanDone { scan_id } => {
+                    assert_eq!(scan_id, 1);
+                    break;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(batches, 4);
+        drop(scan);
+        assert_eq!(cat.pinned_frames(), 0, "encode-only pin lifetime");
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end service tests over loopback TCP: open/stream/cancel,
+//! catalog misses, admission shedding, and clean teardown.
+
+use cscan_client::{ClientError, ScanClient};
+use cscan_core::{CScanPlan, ColSet};
+use cscan_exec::MemTable;
+use cscan_proto::ServeError;
+use cscan_server::{serve, AdmissionConfig, Catalog, ServerConfig, TableConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn demo_server(admission: AdmissionConfig) -> (Arc<Catalog>, cscan_server::ServerHandle) {
+    let mut catalog = Catalog::new();
+    let cfg = TableConfig {
+        admission,
+        buffer_chunks: 8,
+        ..TableConfig::default()
+    };
+    catalog.add_mem_table(
+        "lineitem",
+        MemTable::lineitem_demo(16_000, 500),
+        cfg.clone(),
+    );
+    catalog.add_mem_table("orders", MemTable::orders_demo(4_000, 500), cfg);
+    let catalog = Arc::new(catalog);
+    let handle = serve(
+        Arc::clone(&catalog),
+        "127.0.0.1:0",
+        ServerConfig {
+            exit_on_shutdown: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    (catalog, handle)
+}
+
+#[test]
+fn full_scan_streams_every_chunk_once() {
+    let (catalog, handle) = demo_server(AdmissionConfig::default());
+    let addr = handle.addr();
+
+    let mut client = ScanClient::connect(addr).expect("connect");
+    let mut scan = client
+        .open_scan("lineitem", CScanPlan::full_table("q", ColSet::first_n(2)))
+        .expect("admitted");
+    assert_eq!(scan.num_chunks(), 32);
+    let mut chunks_seen = Vec::new();
+    let mut rows = 0u64;
+    while let Some(batch) = scan.next_batch().expect("clean stream") {
+        assert_eq!(batch.rows, 500);
+        assert_eq!(batch.columns.len(), 2);
+        assert_eq!(batch.column(0).unwrap().len(), 500);
+        chunks_seen.push(batch.chunk);
+        rows += batch.rows as u64;
+    }
+    assert_eq!(rows, 16_000);
+    chunks_seen.sort_unstable();
+    chunks_seen.dedup();
+    assert_eq!(chunks_seen.len(), 32, "each chunk delivered exactly once");
+
+    drop(scan);
+    drop(client);
+    wait_for_zero_pins(&catalog);
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn two_tables_serve_concurrently_on_one_catalog() {
+    let (catalog, handle) = demo_server(AdmissionConfig::default());
+    let addr: SocketAddr = handle.addr();
+
+    let threads: Vec<_> = [("lineitem", 16_000u64), ("orders", 4_000u64)]
+        .into_iter()
+        .map(|(table, want_rows)| {
+            std::thread::spawn(move || {
+                let mut client = ScanClient::connect(addr).expect("connect");
+                let mut scan = client
+                    .open_scan(table, CScanPlan::full_table("q", ColSet::empty()))
+                    .expect("admitted");
+                let mut rows = 0u64;
+                while let Some(batch) = scan.next_batch().expect("clean stream") {
+                    rows += batch.rows as u64;
+                }
+                assert_eq!(rows, want_rows, "{table}");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    wait_for_zero_pins(&catalog);
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn cancel_mid_scan_frees_the_slot_and_connection_stays_usable() {
+    let (catalog, handle) = demo_server(AdmissionConfig {
+        max_attached: 1,
+        max_queued: 0,
+        queue_timeout: Duration::from_millis(100),
+    });
+
+    let mut client = ScanClient::connect(handle.addr()).expect("connect");
+    let mut scan = client
+        .open_scan("lineitem", CScanPlan::full_table("q", ColSet::first_n(1)))
+        .expect("admitted");
+    let first = scan.next_batch().expect("one batch").expect("not done");
+    assert_eq!(first.rows, 500);
+    scan.cancel().expect("cancel acknowledged");
+
+    // The single admission slot must be free again: with cap 1 and no
+    // queue, a second scan on the same connection succeeds only if the
+    // cancel released its permit.
+    let mut scan = client
+        .open_scan("lineitem", CScanPlan::full_table("q2", ColSet::first_n(1)))
+        .expect("slot was released by cancel");
+    let mut rows = 0u64;
+    while let Some(batch) = scan.next_batch().expect("clean stream") {
+        rows += batch.rows as u64;
+    }
+    assert_eq!(rows, 16_000);
+
+    drop(scan);
+    drop(client);
+    wait_for_zero_pins(&catalog);
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn dropped_scan_cancels_lazily_and_client_recovers() {
+    let (catalog, handle) = demo_server(AdmissionConfig {
+        max_attached: 1,
+        max_queued: 0,
+        queue_timeout: Duration::from_millis(100),
+    });
+
+    let mut client = ScanClient::connect(handle.addr()).expect("connect");
+    {
+        let mut scan = client
+            .open_scan("lineitem", CScanPlan::full_table("q", ColSet::first_n(1)))
+            .expect("admitted");
+        let _ = scan.next_batch().expect("one batch");
+        // Dropped mid-stream: Cancel is sent, the tail drains lazily.
+    }
+    let mut scan = client
+        .open_scan("orders", CScanPlan::full_table("q2", ColSet::empty()))
+        .expect("connection usable after dropped scan");
+    let mut rows = 0u64;
+    while let Some(batch) = scan.next_batch().expect("clean stream") {
+        rows += batch.rows as u64;
+    }
+    assert_eq!(rows, 4_000);
+
+    drop(scan);
+    drop(client);
+    wait_for_zero_pins(&catalog);
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn unknown_table_and_bad_plan_are_typed_errors() {
+    let (_catalog, handle) = demo_server(AdmissionConfig::default());
+
+    let mut client = ScanClient::connect(handle.addr()).expect("connect");
+    match client.open_scan("no_such_table", CScanPlan::full_table("q", ColSet::empty())) {
+        Err(ClientError::Serve(ServeError::UnknownTable(name))) => {
+            assert_eq!(name, "unknown table \"no_such_table\"");
+        }
+        other => panic!("expected UnknownTable, got {other:?}"),
+    }
+    match client.open_scan("lineitem", CScanPlan::full_table("q", ColSet::first_n(40))) {
+        Err(ClientError::Serve(ServeError::BadRequest(_))) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The connection survives typed refusals.
+    let mut scan = client
+        .open_scan("orders", CScanPlan::full_table("q", ColSet::empty()))
+        .expect("connection still usable");
+    assert!(scan.next_batch().expect("streams").is_some());
+    scan.cancel().expect("cancel");
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn admission_cap_sheds_excess_with_retryable_error() {
+    let (catalog, handle) = demo_server(AdmissionConfig {
+        max_attached: 1,
+        max_queued: 0,
+        queue_timeout: Duration::from_millis(100),
+    });
+
+    let mut holder = ScanClient::connect(handle.addr()).expect("connect");
+    let held = holder
+        .open_scan(
+            "lineitem",
+            CScanPlan::full_table("hold", ColSet::first_n(1)),
+        )
+        .expect("first scan admitted");
+
+    let mut second = ScanClient::connect(handle.addr()).expect("connect");
+    match second.open_scan(
+        "lineitem",
+        CScanPlan::full_table("shed", ColSet::first_n(1)),
+    ) {
+        Err(e @ ClientError::Serve(ServeError::AdmissionRejected)) => {
+            assert!(e.is_retryable(), "shedding must be retryable");
+        }
+        other => panic!("expected AdmissionRejected, got {other:?}"),
+    }
+    let obs = catalog.observability();
+    assert!(
+        obs.counter(cscan_obs::Counter::AdmissionShed) >= 1,
+        "shed is counted"
+    );
+
+    // Once the holder finishes, the shed client's retry succeeds.
+    held.cancel().expect("cancel");
+    let mut scan = second
+        .open_scan(
+            "lineitem",
+            CScanPlan::full_table("retry", ColSet::first_n(1)),
+        )
+        .expect("retry after shed");
+    assert!(scan.next_batch().expect("streams").is_some());
+    scan.cancel().expect("cancel");
+
+    drop(holder);
+    drop(second);
+    wait_for_zero_pins(&catalog);
+    handle.stop();
+    handle.join();
+}
+
+/// Pins are released on scan/connection teardown, but the server threads
+/// race the test's asserts; poll briefly before declaring a leak.
+fn wait_for_zero_pins(catalog: &Catalog) {
+    for _ in 0..200 {
+        if catalog.pinned_frames() == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(catalog.pinned_frames(), 0, "pinned frames leaked");
+}

@@ -1,0 +1,142 @@
+//! The stalled-consumer scenario: one client stops reading mid-scan while
+//! eight others keep streaming.  The server must (a) keep the victims
+//! flowing — the stalled peer holds heap bytes, never pinned frames —
+//! (b) shed the stalled connection with the distinct stable code 203
+//! ([`ServeError::StalledConsumer`]), and (c) end with zero pinned frames
+//! once everyone is gone.
+
+use cscan_client::{ClientError, ScanClient};
+use cscan_core::{CScanPlan, ColSet};
+use cscan_exec::MemTable;
+use cscan_obs::Counter;
+use cscan_proto::ServeError;
+use cscan_server::{serve, AdmissionConfig, Catalog, ServerConfig, TableConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const VICTIMS: usize = 8;
+const SCANS_PER_VICTIM: usize = 3;
+
+#[test]
+fn stalled_consumer_is_shed_while_victims_stream() {
+    let mut catalog = Catalog::new();
+    catalog.add_mem_table(
+        "lineitem",
+        MemTable::lineitem_demo(32_000, 500), // 64 chunks
+        TableConfig {
+            // Tight pool: if the stalled scan pinned frames for its unsent
+            // batches, victims would wedge; encode-only pins keep it safe.
+            buffer_chunks: 8,
+            admission: AdmissionConfig {
+                max_attached: VICTIMS + 4,
+                max_queued: 8,
+                queue_timeout: Duration::from_secs(5),
+            },
+            ..TableConfig::default()
+        },
+    );
+    let catalog = Arc::new(catalog);
+    let obs = catalog.observability();
+    let handle = serve(
+        Arc::clone(&catalog),
+        "127.0.0.1:0",
+        ServerConfig {
+            stall_timeout: Duration::from_millis(400),
+            exit_on_shutdown: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // The stalled consumer: pulls two batches, then goes quiet holding an
+    // open scan (credits outstanding, socket unread).
+    let stalled = std::thread::spawn(move || {
+        let mut client = ScanClient::connect(addr).expect("connect");
+        let mut scan = client
+            .open_scan(
+                "lineitem",
+                CScanPlan::full_table("stall", ColSet::first_n(2)),
+            )
+            .expect("admitted");
+        for _ in 0..2 {
+            scan.next_batch().expect("streams before the stall");
+        }
+        std::thread::sleep(Duration::from_millis(1_500));
+        // Well past the stall timeout: drain what the server buffered for
+        // us; the stream must end in the distinct shed error.
+        loop {
+            match scan.next_batch() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("stalled scan ended cleanly instead of being shed"),
+                Err(ClientError::Serve(ServeError::StalledConsumer)) => break,
+                // The server may already have torn the socket down.
+                Err(ClientError::Io(_)) => break,
+                Err(other) => panic!("expected StalledConsumer, got {other:?}"),
+            }
+        }
+    });
+
+    // Eight victims scanning concurrently, repeatedly, measuring per-scan
+    // wall time.
+    let victims: Vec<_> = (0..VICTIMS)
+        .map(|v| {
+            std::thread::spawn(move || {
+                let mut worst = Duration::ZERO;
+                for s in 0..SCANS_PER_VICTIM {
+                    let start = Instant::now();
+                    let mut client = ScanClient::connect(addr).expect("connect");
+                    let mut scan = client
+                        .open_scan(
+                            "lineitem",
+                            CScanPlan::full_table(format!("v{v}-{s}"), ColSet::first_n(2)),
+                        )
+                        .expect("victim admitted");
+                    let mut rows = 0u64;
+                    while let Some(batch) = scan.next_batch().expect("victim streams clean") {
+                        rows += batch.rows as u64;
+                    }
+                    assert_eq!(rows, 32_000, "victim {v} scan {s} saw the whole table");
+                    worst = worst.max(start.elapsed());
+                }
+                worst
+            })
+        })
+        .collect();
+
+    let worst_scan = victims
+        .into_iter()
+        .map(|t| t.join().expect("victim thread"))
+        .max()
+        .unwrap();
+    stalled.join().expect("stalled thread");
+
+    // The victims' tail latency stays bounded: nowhere near the stall
+    // timeout, let alone the stalled client's 1.5 s nap.  Generous bound
+    // to stay robust on loaded CI machines.
+    assert!(
+        worst_scan < Duration::from_secs(10),
+        "victim scans stalled behind the dead consumer: worst {worst_scan:?}"
+    );
+
+    assert!(
+        obs.counter(Counter::ConnectionsShed) >= 1,
+        "the stalled connection was shed"
+    );
+    assert!(
+        obs.counter(Counter::AdmissionAdmitted) >= (VICTIMS * SCANS_PER_VICTIM + 1) as u64,
+        "every scan passed through admission"
+    );
+
+    // Everyone is gone: nothing stays pinned.
+    for _ in 0..200 {
+        if catalog.pinned_frames() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(catalog.pinned_frames(), 0, "pinned frames leaked");
+
+    handle.stop();
+    handle.join();
+}

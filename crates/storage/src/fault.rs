@@ -28,6 +28,7 @@ use std::time::Duration;
 /// The variants matter to the retry layer: everything except
 /// [`StoreError::Permanent`] is worth another attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum StoreError {
     /// The read failed but a retry may succeed (EIO-class hiccup).
     Transient,
@@ -46,6 +47,39 @@ impl StoreError {
     pub fn is_retryable(self) -> bool {
         !matches!(self, StoreError::Permanent)
     }
+
+    /// Stable wire code for this error, used by the serving layer's binary
+    /// protocol.  Codes are append-only: existing values never change
+    /// meaning, and new variants (the enum is `#[non_exhaustive]`) claim
+    /// fresh codes.
+    pub fn wire_code(self) -> u16 {
+        match self {
+            StoreError::Transient => 1,
+            StoreError::TimedOut => 2,
+            StoreError::Corrupted => 3,
+            StoreError::Permanent => 4,
+        }
+    }
+
+    /// Decodes a wire code back into the error it names, or `None` for
+    /// codes this build does not know (a newer peer may send them).
+    pub fn from_wire_code(code: u16) -> Option<StoreError> {
+        match code {
+            1 => Some(StoreError::Transient),
+            2 => Some(StoreError::TimedOut),
+            3 => Some(StoreError::Corrupted),
+            4 => Some(StoreError::Permanent),
+            _ => None,
+        }
+    }
+
+    /// Every variant this build knows, for exhaustive round-trip tests.
+    pub const ALL: [StoreError; 4] = [
+        StoreError::Transient,
+        StoreError::TimedOut,
+        StoreError::Corrupted,
+        StoreError::Permanent,
+    ];
 }
 
 impl std::fmt::Display for StoreError {
@@ -441,6 +475,25 @@ mod tests {
             .expect("corruption is not a read failure");
         assert_eq!(p.verify_checksums(), Err(StoreError::Corrupted));
         assert_eq!(compressed.corruptions_injected(), 1);
+    }
+
+    #[test]
+    fn store_error_wire_codes_round_trip() {
+        for e in StoreError::ALL {
+            assert_eq!(StoreError::from_wire_code(e.wire_code()), Some(e));
+            assert!(
+                e.wire_code() >= 1 && e.wire_code() <= 99,
+                "store errors own 1-99"
+            );
+        }
+        // Codes are pairwise distinct.
+        let mut codes: Vec<u16> = StoreError::ALL.iter().map(|e| e.wire_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), StoreError::ALL.len());
+        // Unknown codes decode to None rather than panicking.
+        assert_eq!(StoreError::from_wire_code(0), None);
+        assert_eq!(StoreError::from_wire_code(99), None);
     }
 
     #[test]

@@ -221,10 +221,10 @@ mod tests {
         let spec = QueryClass::fast(50).to_spec(&m, None, &mut rng);
         assert_eq!(spec.label, "F-50");
         assert_eq!(spec.tuples_per_sec, QuerySpeed::Fast.tuples_per_sec());
-        assert!(spec.columns.is_none());
+        assert!(spec.columns.is_empty());
         let cols = ColSet::first_n(3);
         let spec = QueryClass::slow(10).to_spec(&m, Some(cols), &mut rng);
-        assert_eq!(spec.columns, Some(cols));
+        assert_eq!(spec.columns, cols);
     }
 
     #[test]

@@ -149,7 +149,7 @@ mod tests {
             seed: 1,
         };
         let streams = build_streams(&setup, &model(), Some(cols));
-        assert!(streams.iter().flatten().all(|q| q.columns == Some(cols)));
+        assert!(streams.iter().flatten().all(|q| q.columns == cols));
     }
 
     #[test]

@@ -178,7 +178,7 @@ mod tests {
                 16,
                 "40% of 40 chunks"
             );
-            let cols = q.columns.unwrap();
+            let cols = q.columns;
             assert_eq!(cols.len(), 3);
         }
         // Round-robin window assignment: half ABC, half DEF.

@@ -240,10 +240,7 @@ fn permanent_chunk_errs_interested_queries_and_spares_the_rest() {
             .expect_err("a scan covering the permanently failing chunk must err");
         assert_eq!(
             error,
-            ScanError {
-                chunk: ChunkId::new(BAD),
-                cause: StoreError::Permanent,
-            },
+            ScanError::new(ChunkId::new(BAD), StoreError::Permanent),
             "{policy}/{layout:?}/compressed={compressed}"
         );
         // A query over the healthy prefix is untouched.
@@ -522,10 +519,7 @@ fn on_disk_bit_flip_quarantines_only_the_damaged_chunk() {
             .expect_err("a scan covering the flipped chunk must err");
         assert_eq!(
             error,
-            ScanError {
-                chunk: ChunkId::new(BAD),
-                cause: StoreError::Corrupted,
-            },
+            ScanError::new(ChunkId::new(BAD), StoreError::Corrupted),
             "{policy}: on-disk damage must surface as Corrupted on the damaged chunk"
         );
         let mut healthy = live_source(

@@ -155,22 +155,22 @@ fn zonemap_scans_produce_multi_range_cscans() {
         400,
         cscan_core::ColSet::first_n(1),
     );
-    assert!(plan.num_chunks() > 0);
-    assert!(plan.num_chunks() < model.num_chunks());
+    assert!(plan.num_chunks(&model) > 0);
+    assert!(plan.num_chunks(&model) < model.num_chunks());
     // The plan runs under every policy even though it is a strict subset of
-    // the table expressed as (possibly) multiple ranges.
+    // the table expressed as (possibly) multiple ranges — and because the
+    // sim now shares the plan type, the zonemap plan submits directly.
     for policy in PolicyKind::ALL {
         let mut sim = Simulation::new(
             model.clone(),
             policy,
             SimConfig::default().with_buffer_chunks(7),
         );
-        sim.submit_stream(vec![QuerySpec::range_scan(
-            "zm",
-            plan.ranges.clone(),
+        sim.submit_stream(vec![QuerySpec::from_plan(
+            plan.clone().with_label("zm"),
             8_000_000.0,
         )]);
         let r = sim.run();
-        assert_eq!(r.io_requests, plan.num_chunks() as u64, "{policy}");
+        assert_eq!(r.io_requests, plan.num_chunks(&model) as u64, "{policy}");
     }
 }
